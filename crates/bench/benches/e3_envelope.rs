@@ -1,0 +1,67 @@
+//! E3 (Fig. 5): envelope extraction.
+//!
+//! Regenerates the paper's envelope — one predicate of exactly five
+//! disjunct families over the Istio domain — and benchmarks Alg. 3
+//! (decompose + substitute + simplify) plus the rendering paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muppet_bench::paper::{session, vocab, IstioTable};
+use muppet_logic::{Formula, Instance};
+
+fn bench(c: &mut Criterion) {
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig3);
+
+    // Shape check once: the Fig. 5 structure.
+    let env = s
+        .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+        .unwrap();
+    assert_eq!(env.predicates.len(), 1);
+    let mut inner: &Formula = &env.predicates[0].formula;
+    while let Formula::Forall(_, _, body) = inner {
+        inner = body;
+    }
+    match inner {
+        Formula::Or(ds) => assert_eq!(ds.len(), 5),
+        other => panic!("expected 5 disjuncts, got {other:?}"),
+    }
+    assert_eq!(env.leakage(s.universe()).revealed_atoms, vec!["23"]);
+
+    let mut g = c.benchmark_group("e3_envelope");
+    g.sample_size(30);
+    g.bench_function("extract_k8s_to_istio", |b| {
+        b.iter(|| {
+            let env = s
+                .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+                .unwrap();
+            assert_eq!(env.predicates.len(), 1);
+        })
+    });
+    g.bench_function("extract_istio_to_k8s", |b| {
+        // The reverse direction (four reachability obligations).
+        b.iter(|| {
+            let env = s
+                .compute_envelope(mv.istio_party, mv.k8s_party, &Instance::new())
+                .unwrap();
+            assert!(!env.predicates.is_empty());
+        })
+    });
+    g.bench_function("render_alloy_and_english", |b| {
+        b.iter(|| {
+            let a = env.render_alloy(s.vocab(), s.universe());
+            let e = env.render_english(s.vocab(), s.universe());
+            assert!(!a.is_empty() && !e.is_empty());
+        })
+    });
+    g.bench_function("check_against_config", |b| {
+        let deployment = mv.structure_instance();
+        b.iter(|| {
+            let failing = env.check(&deployment, s.universe());
+            assert_eq!(failing.len(), 1);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E4 (Sec. 5): "all queries made in modest scenarios … finish in under
+//! 1 second" — the paper's single quantitative claim, extended into a
+//! scaling sweep. Mesh size grows from paper scale (3 services) to 24;
+//! every core query (local consistency, reconciliation, envelope
+//! extraction, synthesis) is measured at each size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muppet::ReconcileMode;
+use muppet_bench::scenario::{generate, Scenario, ScenarioParams};
+use muppet_logic::Instance;
+
+fn scenario(services: usize, conflicting: bool) -> Scenario {
+    generate(ScenarioParams {
+        services,
+        istio_goals: services,
+        k8s_goals: 1,
+        conflict_fraction: if conflicting { 1.0 } else { 0.0 },
+        ..ScenarioParams::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let sizes = [3usize, 6, 12, 24];
+    let mut g = c.benchmark_group("e4_scaling");
+    g.sample_size(10);
+
+    for &n in &sizes {
+        let sat = scenario(n, false);
+        let sat_session = sat.session(false);
+        g.bench_with_input(BenchmarkId::new("local_consistency", n), &n, |b, _| {
+            b.iter(|| {
+                let r = sat_session.local_consistency(sat.mv.istio_party).unwrap();
+                assert!(r.ok);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reconcile_sat", n), &n, |b, _| {
+            b.iter(|| {
+                let r = sat_session.reconcile(ReconcileMode::HardBounds).unwrap();
+                assert!(r.success);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("envelope", n), &n, |b, _| {
+            b.iter(|| {
+                let env = sat_session
+                    .compute_envelope(sat.mv.k8s_party, sat.mv.istio_party, &Instance::new())
+                    .unwrap();
+                assert!(!env.predicates.is_empty() || env.impossible.is_empty());
+            })
+        });
+
+        let unsat = scenario(n, true);
+        if !unsat.conflicting_ports().is_empty() {
+            let unsat_session = unsat.session(false);
+            g.bench_with_input(BenchmarkId::new("reconcile_unsat_core", n), &n, |b, _| {
+                b.iter(|| {
+                    let r = unsat_session.reconcile(ReconcileMode::Blameable).unwrap();
+                    assert!(!r.success);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

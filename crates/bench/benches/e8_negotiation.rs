@@ -1,0 +1,48 @@
+//! E8 (Fig. 9): round-robin negotiation episodes.
+//!
+//! Measures full negotiations to convergence as the number of built-in
+//! conflicts grows, on generated scenarios with soft Istio goals and a
+//! goal-dropping revision strategy.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muppet::negotiate::{run_negotiation, DropBlamedSoftGoals, Negotiator, Stubborn};
+use muppet_bench::scenario::{generate, ScenarioParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_negotiation");
+    g.sample_size(10);
+    for &bans in &[1usize, 2, 3] {
+        let params = ScenarioParams {
+            services: 6,
+            istio_goals: 8,
+            k8s_goals: bans,
+            conflict_fraction: 1.0,
+            seed: 7,
+            ..ScenarioParams::default()
+        };
+        let scenario = generate(params);
+        g.bench_with_input(
+            BenchmarkId::new("to_convergence", bans),
+            &bans,
+            |b, _| {
+                b.iter(|| {
+                    // Negotiation mutates goals: rebuild per iteration.
+                    let mut session = scenario.session(true);
+                    let mut negs: BTreeMap<muppet_logic::PartyId, Box<dyn Negotiator>> =
+                        BTreeMap::new();
+                    negs.insert(scenario.mv.k8s_party, Box::new(Stubborn));
+                    negs.insert(scenario.mv.istio_party, Box::new(DropBlamedSoftGoals));
+                    let report = run_negotiation(&mut session, &mut negs, 40).unwrap();
+                    assert!(report.success);
+                    report.rounds
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # muppet-bench — workload generation and the experiment harness core
+//!
+//! The paper's evaluation (Sec. 5) reports that "all queries made in
+//! modest scenarios … finish in under 1 second", and its worked example
+//! (Figs. 1–5) plus workflows (Figs. 6–9) define the behaviours to
+//! regenerate. This crate supplies what the Criterion benches and the
+//! `muppet-harness` binary share:
+//!
+//! * [`scenario`] — a parameterized generator of synthetic meshes, goal
+//!   tables and conflicts (the paper could not obtain production
+//!   configurations — Sec. 3 — so, like it, we extrapolate; the generator
+//!   is our substitute for private workloads, per `DESIGN.md` §5).
+//! * [`paper`] — the fixed paper walkthrough instances (Figs. 1–4) as
+//!   ready-made sessions.
+//! * [`timing`] — small helpers to time closures and format result rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod scenario;
+pub mod timing;

@@ -1,0 +1,58 @@
+//! The paper's fixed walkthrough instances (Figs. 1–4), packaged for
+//! benches, the harness and the examples.
+
+use muppet::{NamedGoal, Party, Session};
+use muppet_goals::{fig2, translate_istio_goals, translate_k8s_goals, IstioGoal};
+use muppet_mesh::MeshVocab;
+
+/// Which Istio goal table to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IstioTable {
+    /// Fig. 3: strict concrete ports (conflicts with the Fig. 2 ban).
+    Fig3,
+    /// Fig. 4: relaxed, with existential port variables.
+    Fig4,
+}
+
+/// The Fig. 1 mesh vocabulary (3 services, the 8 paper ports).
+pub fn vocab() -> MeshVocab {
+    MeshVocab::paper_example()
+}
+
+/// Build the paper's two-party session over a given vocabulary.
+pub fn session(mv: &MeshVocab, table: IstioTable) -> Session<'_> {
+    let rows = match table {
+        IstioTable::Fig3 => IstioGoal::fig3(),
+        IstioTable::Fig4 => IstioGoal::fig4(),
+    };
+    let mut vocab = mv.vocab.clone();
+    let k8s_goals = translate_k8s_goals(&fig2(), mv, &mut vocab).expect("fig2 translates");
+    let istio_goals = translate_istio_goals(&rows, mv, &mut vocab).expect("rows translate");
+    let axioms = mv.well_formedness_axioms(&mut vocab);
+    let mut s = Session::new(&mv.universe, vocab, muppet_logic::Instance::new());
+    s.add_axioms(axioms);
+    s.add_party(
+        Party::new(mv.k8s_party, "k8s-admin")
+            .with_goals(k8s_goals.into_iter().map(NamedGoal::from)),
+    );
+    s.add_party(
+        Party::new(mv.istio_party, "istio-admin")
+            .with_goals(istio_goals.into_iter().map(NamedGoal::from)),
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet::ReconcileMode;
+
+    #[test]
+    fn fig3_conflicts_fig4_reconciles() {
+        let mv = vocab();
+        let s3 = session(&mv, IstioTable::Fig3);
+        assert!(!s3.reconcile(ReconcileMode::HardBounds).unwrap().success);
+        let s4 = session(&mv, IstioTable::Fig4);
+        assert!(s4.reconcile(ReconcileMode::HardBounds).unwrap().success);
+    }
+}

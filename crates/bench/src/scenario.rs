@@ -1,0 +1,323 @@
+//! Synthetic scenario generation.
+//!
+//! Scenarios scale along the axes the paper's example fixes: number of
+//! services, goal-table size, and how many goals collide with the other
+//! party's port bans. Generation is deterministic given the seed.
+
+use muppet::{NamedGoal, Party, Session};
+use muppet_goals::{translate_istio_goals, translate_k8s_goals, IstioGoal, K8sGoal, PortSpec};
+use muppet_mesh::{Mesh, MeshVocab, Selector, Service};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Scenario dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioParams {
+    /// Number of services in the mesh.
+    pub services: usize,
+    /// Listening ports per service.
+    pub ports_per_service: usize,
+    /// Spare ports added to the universe (room for ∃-port goals).
+    pub extra_ports: usize,
+    /// Istio reachability goal rows.
+    pub istio_goals: usize,
+    /// K8s DENY-port goal rows.
+    pub k8s_goals: usize,
+    /// Fraction of K8s bans aimed at ports that Istio goals rely on
+    /// (1.0 = every ban conflicts, 0.0 = bans only hit unused ports).
+    pub conflict_fraction: f64,
+    /// Fraction of Istio goal rows whose destination port is a named
+    /// existential variable instead of a concrete port (Fig. 4 style
+    /// flexibility).
+    pub flexible_fraction: f64,
+    /// Number of namespaces; services are assigned round-robin. With
+    /// more than one, each K8s ban is namespace-scoped with probability
+    /// ½ (the multi-tenant shape of the paper's Sec. 1 motivation).
+    pub namespaces: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            services: 6,
+            ports_per_service: 2,
+            extra_ports: 4,
+            istio_goals: 6,
+            k8s_goals: 1,
+            conflict_fraction: 0.0,
+            flexible_fraction: 0.0,
+            namespaces: 1,
+            seed: 0x4d55_5050,
+        }
+    }
+}
+
+/// A generated scenario: mesh, vocabulary and both goal tables.
+pub struct Scenario {
+    /// The mesh.
+    pub mesh: Mesh,
+    /// The logical vocabulary over it.
+    pub mv: MeshVocab,
+    /// K8s goal rows.
+    pub k8s_goals: Vec<K8sGoal>,
+    /// Istio goal rows.
+    pub istio_goals: Vec<IstioGoal>,
+    /// Parameters used.
+    pub params: ScenarioParams,
+}
+
+/// Generate a scenario deterministically from its parameters.
+pub fn generate(params: ScenarioParams) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut mesh = Mesh::new();
+    let mut all_ports: Vec<u16> = Vec::new();
+    let namespaces = params.namespaces.max(1);
+    for i in 0..params.services {
+        let base = 1000 + (i as u16) * 100;
+        let ports: Vec<u16> = (0..params.ports_per_service)
+            .map(|j| base + j as u16)
+            .collect();
+        all_ports.extend(&ports);
+        let svc = Service::new(format!("svc-{i}"), ports)
+            .in_namespace(format!("ns-{}", i % namespaces));
+        mesh.add_service(svc);
+    }
+    let extra: Vec<u16> = (0..params.extra_ports)
+        .map(|j| 20000 + j as u16)
+        .collect();
+
+    // Istio reachability goals: random src≠dst pairs; the destination
+    // port is one the destination actually listens on (or an ∃ variable
+    // for the flexible fraction).
+    let mut istio_goals = Vec::new();
+    let mut used_ports: Vec<u16> = Vec::new();
+    for gi in 0..params.istio_goals {
+        let si = rng.random_range(0..params.services);
+        let mut di = rng.random_range(0..params.services);
+        if params.services > 1 {
+            while di == si {
+                di = rng.random_range(0..params.services);
+            }
+        }
+        let dst_svc = mesh.service(&format!("svc-{di}")).expect("generated");
+        let dst_ports: Vec<u16> = dst_svc.ports.iter().copied().collect();
+        let port = dst_ports[rng.random_range(0..dst_ports.len())];
+        let flexible = rng.random_bool(params.flexible_fraction.clamp(0.0, 1.0));
+        let dst_port = if flexible {
+            PortSpec::Var(format!("p{gi}"))
+        } else {
+            used_ports.push(port);
+            PortSpec::Port(port)
+        };
+        istio_goals.push(IstioGoal {
+            src: format!("svc-{si}"),
+            dst: format!("svc-{di}"),
+            src_port: PortSpec::Any,
+            dst_port,
+        });
+    }
+
+    // K8s bans: conflicting bans target ports that concrete Istio goals
+    // depend on; benign bans target unused ports.
+    let unused: Vec<u16> = all_ports
+        .iter()
+        .copied()
+        .filter(|p| !used_ports.contains(p))
+        .collect();
+    let mut k8s_goals = Vec::new();
+    for _ in 0..params.k8s_goals {
+        let conflicting = rng.random_bool(params.conflict_fraction.clamp(0.0, 1.0));
+        let port = if conflicting && !used_ports.is_empty() {
+            used_ports[rng.random_range(0..used_ports.len())]
+        } else if !unused.is_empty() {
+            unused[rng.random_range(0..unused.len())]
+        } else if !all_ports.is_empty() {
+            all_ports[rng.random_range(0..all_ports.len())]
+        } else {
+            20000
+        };
+        if k8s_goals
+            .iter()
+            .any(|g: &K8sGoal| g.port == port)
+        {
+            continue; // avoid duplicate bans
+        }
+        let selector = if namespaces > 1 && rng.random_bool(0.5) {
+            Selector::Namespace(format!("ns-{}", rng.random_range(0..namespaces)))
+        } else {
+            Selector::All
+        };
+        k8s_goals.push(K8sGoal {
+            port,
+            perm: muppet_mesh::Action::Deny,
+            selector,
+        });
+    }
+
+    let mv = MeshVocab::new(
+        &mesh,
+        extra,
+        muppet_logic::PartyId(0),
+        muppet_logic::PartyId(1),
+    );
+    Scenario {
+        mesh,
+        mv,
+        k8s_goals,
+        istio_goals,
+        params,
+    }
+}
+
+impl Scenario {
+    /// Build a two-party Muppet session for this scenario. `soft_istio`
+    /// marks the Istio goals droppable (for negotiation experiments).
+    pub fn session(&self, soft_istio: bool) -> Session<'_> {
+        let mut vocab = self.mv.vocab.clone();
+        let k8s_goals =
+            translate_k8s_goals(&self.k8s_goals, &self.mv, &mut vocab).expect("generated goals");
+        let istio_goals = translate_istio_goals(&self.istio_goals, &self.mv, &mut vocab)
+            .expect("generated goals");
+        let axioms = self.mv.well_formedness_axioms(&mut vocab);
+        let mut session = Session::new(
+            &self.mv.universe,
+            vocab,
+            muppet_logic::Instance::new(),
+        );
+        session.add_axioms(axioms);
+        session.add_party(
+            Party::new(self.mv.k8s_party, "k8s-admin")
+                .with_goals(k8s_goals.into_iter().map(NamedGoal::from)),
+        );
+        session.add_party(Party::new(self.mv.istio_party, "istio-admin").with_goals(
+            istio_goals.into_iter().map(|g| {
+                let mut g = NamedGoal::from(g);
+                g.hard = !soft_istio;
+                g
+            }),
+        ));
+        session
+    }
+
+    /// The ports banned by the K8s goals that some concrete Istio goal
+    /// needs — i.e. the built-in conflicts. Namespace-scoped bans only
+    /// conflict with goals whose destination lives in the banned
+    /// namespace.
+    pub fn conflicting_ports(&self) -> Vec<u16> {
+        self.k8s_goals
+            .iter()
+            .filter(|k| {
+                self.istio_goals.iter().any(|g| {
+                    g.dst_port == PortSpec::Port(k.port)
+                        && self
+                            .mesh
+                            .service(&g.dst)
+                            .map(|d| k.selector.matches(d))
+                            .unwrap_or(false)
+                })
+            })
+            .map(|k| k.port)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet::ReconcileMode;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ScenarioParams::default();
+        let a = generate(p);
+        let b = generate(p);
+        assert_eq!(a.mesh, b.mesh);
+        assert_eq!(a.k8s_goals, b.k8s_goals);
+        assert_eq!(a.istio_goals, b.istio_goals);
+    }
+
+    #[test]
+    fn no_conflict_scenarios_reconcile() {
+        let s = generate(ScenarioParams {
+            conflict_fraction: 0.0,
+            ..ScenarioParams::default()
+        });
+        assert!(s.conflicting_ports().is_empty());
+        let session = s.session(false);
+        let rec = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(rec.success);
+    }
+
+    #[test]
+    fn forced_conflicts_fail_reconciliation() {
+        let s = generate(ScenarioParams {
+            conflict_fraction: 1.0,
+            k8s_goals: 2,
+            ..ScenarioParams::default()
+        });
+        assert!(!s.conflicting_ports().is_empty());
+        let session = s.session(false);
+        let rec = session.reconcile(ReconcileMode::Blameable).unwrap();
+        assert!(!rec.success);
+        assert!(!rec.core.is_empty());
+    }
+
+    #[test]
+    fn flexible_goals_survive_bans() {
+        // Fully flexible Istio goals can always dodge a ban via the
+        // spare ports.
+        let s = generate(ScenarioParams {
+            conflict_fraction: 1.0,
+            flexible_fraction: 1.0,
+            k8s_goals: 2,
+            ..ScenarioParams::default()
+        });
+        let session = s.session(false);
+        let rec = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(rec.success);
+    }
+
+    #[test]
+    fn namespaced_scenarios_generate_and_behave() {
+        let s = generate(ScenarioParams {
+            services: 8,
+            namespaces: 3,
+            k8s_goals: 3,
+            conflict_fraction: 1.0,
+            seed: 21,
+            ..ScenarioParams::default()
+        });
+        // Services are spread over the namespaces.
+        let namespaces: std::collections::BTreeSet<&str> = s
+            .mesh
+            .services()
+            .iter()
+            .map(|svc| svc.namespace.as_str())
+            .collect();
+        assert_eq!(namespaces.len(), 3);
+        // The session solves either way; if conflicts exist the core
+        // names goals, not the whole table.
+        let session = s.session(false);
+        let rec = session.reconcile(muppet::ReconcileMode::Blameable).unwrap();
+        if s.conflicting_ports().is_empty() {
+            assert!(rec.success);
+        } else {
+            assert!(!rec.success);
+            assert!(rec.core.len() < 2 * s.istio_goals.len());
+        }
+    }
+
+    #[test]
+    fn scales_to_more_services() {
+        let s = generate(ScenarioParams {
+            services: 12,
+            istio_goals: 12,
+            ..ScenarioParams::default()
+        });
+        assert_eq!(s.mesh.services().len(), 12);
+        let session = s.session(false);
+        assert!(session.reconcile(ReconcileMode::HardBounds).unwrap().success);
+    }
+}

@@ -1,0 +1,442 @@
+//! The solver-aided conformance workflow (Fig. 7).
+//!
+//! "A central provider's settings override all others' goals, so tenants
+//! must work around these inflexible demands." The provider states its
+//! goals and (partial) configuration once; the system checks local
+//! consistency (Alg. 1), computes the envelope (Alg. 3) — which "need
+//! never be recomputed" — and each tenant then configures against it,
+//! with Fig. 8's solver aid (synthesis, envelope checking, minimal-edit
+//! counter-offers) on their side.
+
+use muppet_logic::{Domain, Instance, PartyId};
+use muppet_solver::Outcome;
+
+use crate::envelope::Envelope;
+use crate::session::{MuppetError, Session};
+
+/// What happened in one conformance run.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// Was the provider's own offer consistent with its goals (Alg. 1)?
+    pub provider_consistent: bool,
+    /// The provider's fixed configuration (the Alg. 1 witness).
+    pub provider_config: Option<Instance>,
+    /// The envelope sent to the tenant.
+    pub envelope: Option<Envelope>,
+    /// Did the tenant find a conforming configuration?
+    pub success: bool,
+    /// The tenant's synthesized configuration on success.
+    pub tenant_config: Option<Instance>,
+    /// On failure: blame (group names from the tenant-side query).
+    pub blame: Vec<String>,
+    /// On failure: the minimal-edit counter-offer distance, if one
+    /// exists (how far the tenant's preferred config is from the nearest
+    /// envelope-satisfying one).
+    pub counter_offer_distance: Option<usize>,
+    /// Human-readable log of the workflow steps.
+    pub log: Vec<String>,
+}
+
+/// Run the Fig. 7 conformance workflow: `provider` computes an envelope
+/// once; `tenant` synthesizes against it. `tenant_preferred` (if any) is
+/// the tenant's current configuration, used as the target for
+/// minimal-edit feedback when synthesis fails.
+pub fn run_conformance(
+    session: &Session<'_>,
+    provider: PartyId,
+    tenant: PartyId,
+    tenant_preferred: Option<&Instance>,
+) -> Result<ConformanceReport, MuppetError> {
+    let names = session.party_names();
+    let pname = names.get(&provider).cloned().unwrap_or_default();
+    let tname = names.get(&tenant).cloned().unwrap_or_default();
+    let mut log = Vec::new();
+
+    // Step 1 (Alg. 1): provider's local consistency.
+    let lc = session.local_consistency(provider)?;
+    if !lc.ok {
+        log.push(format!(
+            "{pname}: offer is locally inconsistent; blame: {:?}",
+            lc.core
+        ));
+        return Ok(ConformanceReport {
+            provider_consistent: false,
+            provider_config: None,
+            envelope: None,
+            success: false,
+            tenant_config: None,
+            blame: lc.core,
+            counter_offer_distance: None,
+            log,
+        });
+    }
+    let provider_config = lc.witness.expect("consistent check returns a witness");
+    log.push(format!(
+        "{pname}: locally consistent; fixed configuration has {} settings",
+        provider_config.total_tuples()
+    ));
+
+    // Step 2 (Alg. 3): compute the envelope once.
+    let envelope = session.compute_envelope(provider, tenant, &provider_config)?;
+    log.push(format!(
+        "computed E_{{{pname}→{tname}}}: {} predicate(s), {} impossible goal(s)",
+        envelope.predicates.len(),
+        envelope.impossible.len()
+    ));
+
+    // Step 3 (Fig. 8): tenant synthesizes against envelope + own goals.
+    match session.synthesize_against(tenant, &envelope)? {
+        Outcome::Sat { solution, .. } => {
+            let tenant_config =
+                solution.restrict_to_domain(session.vocab(), Domain::Party(tenant));
+            log.push(format!(
+                "{tname}: synthesized a conforming configuration ({} settings)",
+                tenant_config.total_tuples()
+            ));
+            Ok(ConformanceReport {
+                provider_consistent: true,
+                provider_config: Some(provider_config),
+                envelope: Some(envelope),
+                success: true,
+                tenant_config: Some(tenant_config),
+                blame: Vec::new(),
+                counter_offer_distance: None,
+                log,
+            })
+        }
+        Outcome::Unsat { core, .. } => {
+            log.push(format!("{tname}: synthesis failed; blame: {core:?}"));
+            // Fig. 8 counter-offer: minimal edit of the preferred config
+            // that satisfies the envelope alone.
+            let counter = match tenant_preferred {
+                Some(target) => {
+                    let (outcome, dist) = session.minimal_edit(tenant, &envelope, target)?;
+                    match outcome {
+                        Outcome::Sat { .. } => {
+                            log.push(format!(
+                                "{tname}: nearest envelope-satisfying config is {dist} edit(s) away"
+                            ));
+                            Some(dist)
+                        }
+                        Outcome::Unsat { .. } => None,
+                    }
+                }
+                None => None,
+            };
+            Ok(ConformanceReport {
+                provider_consistent: true,
+                provider_config: Some(provider_config),
+                envelope: Some(envelope),
+                success: false,
+                tenant_config: None,
+                blame: core,
+                counter_offer_distance: counter,
+                log,
+            })
+        }
+    }
+}
+
+/// One tenant's line in a [`MultiTenantReport`].
+#[derive(Clone, Debug)]
+pub struct TenantOutcome {
+    /// The tenant party.
+    pub tenant: PartyId,
+    /// Did this tenant find a conforming configuration?
+    pub success: bool,
+    /// Its synthesized configuration on success.
+    pub config: Option<Instance>,
+    /// Blame on failure.
+    pub blame: Vec<String>,
+}
+
+/// The outcome of provider-to-many-tenants conformance.
+#[derive(Clone, Debug)]
+pub struct MultiTenantReport {
+    /// Was the provider's offer locally consistent?
+    pub provider_consistent: bool,
+    /// The provider's fixed configuration.
+    pub provider_config: Option<Instance>,
+    /// Per-tenant envelopes (one per recipient domain) — each computed
+    /// exactly once.
+    pub envelopes: BTreeMap<PartyId, Envelope>,
+    /// Per-tenant results.
+    pub tenants: Vec<TenantOutcome>,
+}
+
+use std::collections::BTreeMap;
+
+/// Conformance with many tenants: "the K8s administrator sends
+/// E_{K8s→Istio} to **all** their Istio customers" (Sec. 3). The
+/// provider's consistency is checked and its configuration fixed once;
+/// every tenant then synthesizes independently against its own envelope
+/// (envelopes differ per tenant because each tenant owns a different
+/// configuration domain).
+pub fn run_conformance_multi_tenant(
+    session: &Session<'_>,
+    provider: PartyId,
+    tenants: &[PartyId],
+) -> Result<MultiTenantReport, MuppetError> {
+    let lc = session.local_consistency(provider)?;
+    if !lc.ok {
+        return Ok(MultiTenantReport {
+            provider_consistent: false,
+            provider_config: None,
+            envelopes: BTreeMap::new(),
+            tenants: tenants
+                .iter()
+                .map(|&t| TenantOutcome {
+                    tenant: t,
+                    success: false,
+                    config: None,
+                    blame: lc.core.clone(),
+                })
+                .collect(),
+        });
+    }
+    let provider_config = lc.witness.expect("consistent check returns a witness");
+    let mut envelopes = BTreeMap::new();
+    let mut outcomes = Vec::new();
+    for &tenant in tenants {
+        let envelope = session.compute_envelope(provider, tenant, &provider_config)?;
+        let outcome = match session.synthesize_against(tenant, &envelope)? {
+            Outcome::Sat { solution, .. } => TenantOutcome {
+                tenant,
+                success: true,
+                config: Some(
+                    solution.restrict_to_domain(session.vocab(), Domain::Party(tenant)),
+                ),
+                blame: Vec::new(),
+            },
+            Outcome::Unsat { core, .. } => TenantOutcome {
+                tenant,
+                success: false,
+                config: None,
+                blame: core,
+            },
+        };
+        envelopes.insert(tenant, envelope);
+        outcomes.push(outcome);
+    }
+    Ok(MultiTenantReport {
+        provider_consistent: true,
+        provider_config: Some(provider_config),
+        envelopes,
+        tenants: outcomes,
+    })
+}
+
+/// The full Fig. 7 loop with tenant revisions: run conformance; on
+/// failure hand the tenant's [`crate::negotiate::Negotiator`] the blame
+/// plus envelope as feedback and retry, up to `max_revisions` times.
+/// The envelope is computed once and reused across retries ("the
+/// envelope E_{A→B} need never be recomputed").
+pub fn run_conformance_with_revisions(
+    session: &mut Session<'_>,
+    provider: PartyId,
+    tenant: PartyId,
+    tenant_preferred: Option<&Instance>,
+    strategy: &mut dyn crate::negotiate::Negotiator,
+    max_revisions: usize,
+) -> Result<ConformanceReport, MuppetError> {
+    let mut report = run_conformance(session, provider, tenant, tenant_preferred)?;
+    let mut revisions = 0usize;
+    while !report.success && report.provider_consistent && revisions < max_revisions {
+        let envelope = report
+            .envelope
+            .clone()
+            .expect("provider consistent ⇒ envelope exists");
+        // The mediator's counter-offer for the tenant: minimal edit of
+        // the preferred configuration that satisfies the envelope.
+        let counter_offer = match tenant_preferred {
+            Some(target) => match session.minimal_edit(tenant, &envelope, target)? {
+                (muppet_solver::Outcome::Sat { solution, .. }, dist) => Some((
+                    solution.restrict_to_domain(
+                        session.vocab(),
+                        muppet_logic::Domain::Party(tenant),
+                    ),
+                    dist,
+                )),
+                _ => None,
+            },
+            None => None,
+        };
+        let feedback = crate::negotiate::Feedback {
+            core: report.blame.clone(),
+            envelope,
+            counter_offer,
+            round: revisions,
+        };
+        let changed = strategy.revise(session.party_mut(tenant)?, &feedback);
+        if !changed {
+            report.log.push(format!(
+                "tenant declined to revise after {revisions} revision(s); stopping"
+            ));
+            break;
+        }
+        revisions += 1;
+        let mut next = run_conformance(session, provider, tenant, tenant_preferred)?;
+        next.log.insert(
+            0,
+            format!("— retry after tenant revision {revisions} —"),
+        );
+        let mut log = report.log;
+        log.extend(next.log.clone());
+        next.log = log;
+        report = next;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::{NamedGoal, Party};
+    use crate::session::Session;
+    use muppet_goals::{fig2, translate_istio_goals, translate_k8s_goals, IstioGoal};
+    use muppet_mesh::MeshVocab;
+
+    fn session<'a>(mv: &'a MeshVocab, istio_rows: &[IstioGoal]) -> Session<'a> {
+        let mut vocab = mv.vocab.clone();
+        let k8s_goals = translate_k8s_goals(&fig2(), mv, &mut vocab).unwrap();
+        let istio_goals = translate_istio_goals(istio_rows, mv, &mut vocab).unwrap();
+        let axioms = mv.well_formedness_axioms(&mut vocab);
+        let mut s = Session::new(&mv.universe, vocab, Instance::new());
+        s.add_axioms(axioms);
+        s.add_party(
+            Party::new(mv.k8s_party, "k8s-admin")
+                .with_goals(k8s_goals.into_iter().map(NamedGoal::from)),
+        );
+        s.add_party(
+            Party::new(mv.istio_party, "istio-admin")
+                .with_goals(istio_goals.into_iter().map(NamedGoal::from)),
+        );
+        s
+    }
+
+    #[test]
+    fn strict_tenant_goals_fail_with_feedback() {
+        let mv = MeshVocab::paper_example();
+        let s = session(&mv, &IstioGoal::fig3());
+        // The tenant's preferred configuration is its current deployment.
+        let preferred = mv.structure_instance();
+        let report =
+            run_conformance(&s, mv.k8s_party, mv.istio_party, Some(&preferred)).unwrap();
+        assert!(report.provider_consistent);
+        assert!(!report.success);
+        assert!(!report.blame.is_empty());
+        // Counter-offer exists: the envelope alone is satisfiable.
+        let d = report.counter_offer_distance.expect("counter offer");
+        assert_eq!(d, 1, "unexposing port 23 is the one-edit counter-offer");
+        assert!(report.envelope.is_some());
+    }
+
+    #[test]
+    fn relaxed_tenant_goals_succeed_and_verify() {
+        // Fig. 4 relaxation: the synthesizer may re-expose the frontend
+        // on a spare port (port exposure is Istio-owned).
+        let mv = MeshVocab::paper_example();
+        let s = session(&mv, &IstioGoal::fig4());
+        let report = run_conformance(&s, mv.k8s_party, mv.istio_party, None).unwrap();
+        assert!(report.success, "log: {:?}", report.log);
+        // End-to-end verification: provider config + tenant config
+        // satisfy everyone's goals.
+        let combined = s
+            .structure()
+            .union(report.provider_config.as_ref().unwrap())
+            .union(report.tenant_config.as_ref().unwrap());
+        for (name, holds) in s.check_goals(&combined) {
+            assert!(holds, "{name} violated");
+        }
+        // And the envelope accepts the tenant's config.
+        let env = report.envelope.unwrap();
+        assert!(env
+            .check(report.tenant_config.as_ref().unwrap(), &mv.universe)
+            .is_empty());
+    }
+
+    #[test]
+    fn revision_loop_reaches_conformance() {
+        // Strict tenant fails; a revision strategy that swaps the blamed
+        // goal for its Fig. 4 relaxation lets the retry succeed.
+        let mv = MeshVocab::paper_example();
+        let mut s = session(&mv, &IstioGoal::fig3());
+        // Pre-translate the relaxed replacement row with the session's
+        // own vocabulary lineage.
+        let mut vocab = mv.vocab.clone();
+        let _burn: Vec<_> = (0..64).map(|_| vocab.fresh_var()).collect();
+        let relaxed = muppet_goals::translate_istio_goals(
+            &IstioGoal::parse_csv("test-backend,test-frontend,?y,?z\n").unwrap(),
+            &mv,
+            &mut vocab,
+        )
+        .unwrap();
+        let mut replacement = Some(NamedGoal::from(relaxed.into_iter().next().unwrap()));
+        let mut strategy =
+            crate::negotiate::FnNegotiator(move |party: &mut Party, fb: &crate::negotiate::Feedback| {
+                let Some(idx) = party
+                    .goals
+                    .iter()
+                    .position(|g| fb.core.iter().any(|c| c.contains(&g.name)))
+                else {
+                    return false;
+                };
+                match replacement.take() {
+                    Some(r) => {
+                        party.goals[idx] = r;
+                        true
+                    }
+                    None => false,
+                }
+            });
+        let report = run_conformance_with_revisions(
+            &mut s,
+            mv.k8s_party,
+            mv.istio_party,
+            None,
+            &mut strategy,
+            3,
+        )
+        .unwrap();
+        assert!(report.success, "log: {:#?}", report.log);
+        assert!(report.log.iter().any(|l| l.contains("retry after tenant revision 1")));
+    }
+
+    #[test]
+    fn revision_loop_stops_on_stubborn_tenant() {
+        let mv = MeshVocab::paper_example();
+        let mut s = session(&mv, &IstioGoal::fig3());
+        let mut strategy = crate::negotiate::Stubborn;
+        let report = run_conformance_with_revisions(
+            &mut s,
+            mv.k8s_party,
+            mv.istio_party,
+            None,
+            &mut strategy,
+            3,
+        )
+        .unwrap();
+        assert!(!report.success);
+        assert!(report.log.iter().any(|l| l.contains("declined to revise")));
+    }
+
+    #[test]
+    fn inconsistent_provider_is_caught_before_envelope() {
+        let mv = MeshVocab::paper_example();
+        let mut s = session(&mv, &IstioGoal::fig3());
+        // A self-contradictory provider: two opposite goals over its own
+        // relations.
+        let fe = mv.svc_atom("test-frontend").unwrap();
+        let guard =
+            muppet_logic::Formula::pred(mv.k8s_in_guard, [muppet_logic::Term::Const(fe)]);
+        s.party_mut(mv.k8s_party).unwrap().goals.extend([
+            NamedGoal::hard("guard fe", guard.clone()),
+            NamedGoal::hard("never guard fe", muppet_logic::Formula::not(guard)),
+        ]);
+        let report = run_conformance(&s, mv.k8s_party, mv.istio_party, None).unwrap();
+        assert!(!report.provider_consistent);
+        assert!(!report.success);
+        assert!(report.envelope.is_none());
+        assert!(!report.blame.is_empty());
+    }
+}

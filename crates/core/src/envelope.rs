@@ -1,0 +1,262 @@
+//! Envelopes: the interface each party needs the others to satisfy.
+//!
+//! "We use the notation `E_{K8s→Istio}` to mean the conditions the Istio
+//! administrator must satisfy in order to be compatible with the K8s
+//! administrator's goals. An envelope is represented as a necessary and
+//! sufficient set of predicates" (Sec. 3). Envelopes can be *applied* to
+//! a recipient's configuration, *compared* with the recipient's goals
+//! (both are formula sets), or *combined* with the recipient's goals as
+//! synthesis input — all three uses are methods here or on
+//! [`crate::Session`].
+
+use std::collections::BTreeMap;
+
+use muppet_logic::{
+    evaluate_closed, AtomId, Formula, Instance, PartyId, Universe, VarId, Vocabulary,
+};
+use muppet_solver::FormulaGroup;
+
+/// One predicate of an envelope, with provenance.
+#[derive(Clone, Debug)]
+pub struct EnvelopePredicate {
+    /// The goal (by name) this predicate descends from.
+    pub source_goal: String,
+    /// The party whose goal imposed this obligation. In two-party
+    /// envelopes this is always the sender; in multi-source envelopes
+    /// (`E_{{A,B}→C}`, Sec. 7) it "separat\[es\] out the source of
+    /// obligations to focus negotiation".
+    pub obligated_by: PartyId,
+    /// The predicate: a formula over the recipient's domain and shared
+    /// structure only.
+    pub formula: Formula,
+    /// Pretty names for quantified variables.
+    pub var_names: Vec<(VarId, String)>,
+}
+
+/// An envelope `E_{S→to}`.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender parties (one for Fig. 7's `E_{A→B}`, several for the
+    /// Sec. 7 multi-party extension).
+    pub from: Vec<PartyId>,
+    /// Recipient party.
+    pub to: PartyId,
+    /// The predicate set. Empty means the recipient is unconstrained.
+    pub predicates: Vec<EnvelopePredicate>,
+    /// Goals (by name) of the sender that are *unsatisfiable for every
+    /// recipient configuration* given the sender's fixed settings — the
+    /// conflict is not in the recipient's hands.
+    pub impossible: Vec<String>,
+    /// Sender goals whose recipient-free residue is already violated by
+    /// the sender's own fixed configuration.
+    pub residual_violations: Vec<String>,
+    /// Goals whose recipient-relevant obligations are already guaranteed
+    /// by the sender's fixed configuration alone (their predicates
+    /// partial-evaluated to *true* and were dropped). An envelope that is
+    /// trivial because of this is good news, not missing data.
+    pub self_satisfied: Vec<String>,
+}
+
+/// The privacy cost of an envelope (Sec. 7, *Configuration Privacy*):
+/// how much of the sender's configuration the recipient can learn.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakageReport {
+    /// Distinct concrete atoms (services, ports) revealed by the
+    /// predicates. In the paper's example "the envelope revealed the
+    /// special status of port 23, but little else".
+    pub revealed_atoms: Vec<String>,
+    /// Total formula size (AST nodes) across predicates.
+    pub formula_size: usize,
+    /// Number of predicates.
+    pub predicates: usize,
+}
+
+impl Envelope {
+    /// Is the envelope trivially satisfied (no predicates, nothing
+    /// impossible)?
+    pub fn is_trivial(&self) -> bool {
+        self.predicates.is_empty() && self.impossible.is_empty()
+    }
+
+    /// Check a concrete recipient configuration (unioned with the shared
+    /// structure) against the envelope. Returns the indices of failing
+    /// predicates — empty means compatible.
+    ///
+    /// This is the first envelope use of Sec. 3: "they can be applied to
+    /// a recipient's configuration".
+    pub fn check(
+        &self,
+        recipient_config_with_structure: &Instance,
+        universe: &Universe,
+    ) -> Vec<usize> {
+        self.predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                !evaluate_closed(&p.formula, recipient_config_with_structure, universe)
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The envelope as named formula groups, for use in solver queries
+    /// (synthesis against the envelope, Fig. 8). Group names carry the
+    /// provenance so blame reads "envelope from k8s-admin: k8s goal 1".
+    pub fn to_groups(&self, party_names: &BTreeMap<PartyId, String>) -> Vec<FormulaGroup> {
+        self.predicates
+            .iter()
+            .map(|p| {
+                let sender = party_names
+                    .get(&p.obligated_by)
+                    .cloned()
+                    .unwrap_or_else(|| p.obligated_by.to_string());
+                FormulaGroup::new(
+                    format!("envelope from {}: {}", sender, p.source_goal),
+                    vec![p.formula.clone()],
+                )
+            })
+            .collect()
+    }
+
+    /// Render all predicates in Alloy-ish syntax (Fig. 5, code half).
+    pub fn render_alloy(&self, vocab: &Vocabulary, universe: &Universe) -> String {
+        let mut out = String::new();
+        for p in &self.predicates {
+            let mut printer = muppet_logic::pretty::Printer::new(vocab, universe);
+            for (v, n) in &p.var_names {
+                printer.name_var(*v, n.clone());
+            }
+            out.push_str(&format!("// from goal: {}\n", p.source_goal));
+            out.push_str(&printer.alloy(&p.formula));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render all predicates as numbered English (Fig. 5, prose half).
+    pub fn render_english(&self, vocab: &Vocabulary, universe: &Universe) -> String {
+        let mut out = String::new();
+        for p in &self.predicates {
+            let mut printer = muppet_logic::pretty::Printer::new(vocab, universe);
+            for (v, n) in &p.var_names {
+                printer.name_var(*v, n.clone());
+            }
+            out.push_str(&printer.english_numbered(&p.formula));
+        }
+        out
+    }
+
+    /// Compute the leakage report (Sec. 7 privacy metric).
+    pub fn leakage(&self, universe: &Universe) -> LeakageReport {
+        let mut atoms: Vec<AtomId> = Vec::new();
+        let mut size = 0usize;
+        for p in &self.predicates {
+            size += p.formula.size();
+            for a in p.formula.constants() {
+                if !atoms.contains(&a) {
+                    atoms.push(a);
+                }
+            }
+        }
+        LeakageReport {
+            revealed_atoms: atoms
+                .into_iter()
+                .map(|a| universe.atom_name(a).to_string())
+                .collect(),
+            formula_size: size,
+            predicates: self.predicates.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_logic::{Domain, Term};
+
+    fn tiny() -> (Universe, Vocabulary, Formula, AtomId) {
+        let mut u = Universe::new();
+        let s = u.add_sort("S");
+        let a = u.add_atom(s, "a");
+        u.add_atom(s, "b");
+        let mut v = Vocabulary::new();
+        let r = v.add_simple_rel("r", vec![s], Domain::Party(PartyId(1)));
+        let f = Formula::pred(r, [Term::Const(a)]);
+        (u, v, f, a)
+    }
+
+    fn envelope_with(f: Formula) -> Envelope {
+        Envelope {
+            from: vec![PartyId(0)],
+            to: PartyId(1),
+            predicates: vec![EnvelopePredicate {
+                source_goal: "g".into(),
+                obligated_by: PartyId(0),
+                formula: f,
+                var_names: vec![],
+            }],
+            impossible: vec![],
+            residual_violations: vec![],
+            self_satisfied: vec![],
+        }
+    }
+
+    #[test]
+    fn check_reports_failing_predicates() {
+        let (u, v, f, a) = tiny();
+        let env = envelope_with(f);
+        let empty = Instance::new();
+        assert_eq!(env.check(&empty, &u), vec![0]);
+        let mut ok = Instance::new();
+        ok.insert(v.rel_by_name("r").unwrap(), vec![a]);
+        assert!(env.check(&ok, &u).is_empty());
+        assert!(!env.is_trivial());
+    }
+
+    #[test]
+    fn groups_carry_provenance() {
+        let (_, _, f, _) = tiny();
+        let env = envelope_with(f);
+        let mut names = BTreeMap::new();
+        names.insert(PartyId(0), "k8s-admin".to_string());
+        let groups = env.to_groups(&names);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].name, "envelope from k8s-admin: g");
+        // Unknown party falls back to the id.
+        let groups = env.to_groups(&BTreeMap::new());
+        assert!(groups[0].name.contains("party0"));
+    }
+
+    #[test]
+    fn leakage_counts_constants_once() {
+        let (u, _, f, _) = tiny();
+        let mut env = envelope_with(f.clone());
+        env.predicates.push(EnvelopePredicate {
+            source_goal: "g2".into(),
+            obligated_by: PartyId(0),
+            formula: Formula::not(f),
+            var_names: vec![],
+        });
+        let report = env.leakage(&u);
+        assert_eq!(report.predicates, 2);
+        assert_eq!(report.revealed_atoms, vec!["a".to_string()]);
+        assert_eq!(report.formula_size, 3);
+    }
+
+    #[test]
+    fn trivial_envelope() {
+        let env = Envelope {
+            from: vec![PartyId(0)],
+            to: PartyId(1),
+            predicates: vec![],
+            impossible: vec![],
+            residual_violations: vec![],
+            self_satisfied: vec![],
+        };
+        assert!(env.is_trivial());
+        let (u, _, _, _) = tiny();
+        assert!(env.check(&Instance::new(), &u).is_empty());
+        assert_eq!(env.leakage(&u).predicates, 0);
+    }
+}

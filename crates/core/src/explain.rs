@@ -1,0 +1,325 @@
+//! "Why" and "why not" explanations for envelope checks.
+//!
+//! Sec. 7 (*Human Factors / Presentation*): "There are logic-based
+//! options, such as unsatisfiable cores, which can highlight portions of
+//! the envelope that are in contradiction with candidate settings. …
+//! This may need to be wedded to principled output forms like 'why' and
+//! 'why not' modalities." This module implements that wedding: given a
+//! violated envelope predicate and the recipient's configuration, it
+//! produces the *witness* — the quantifier bindings under which the
+//! predicate fails — and, for a disjunctive predicate like Fig. 5's,
+//! the per-disjunct status ("why not" each escape hatch applied).
+
+use std::collections::BTreeMap;
+
+use muppet_logic::pretty::Printer;
+use muppet_logic::{
+    evaluate, AtomId, Formula, Instance, Universe, VarId, Vocabulary,
+};
+
+use crate::envelope::EnvelopePredicate;
+
+/// One failing instantiation of a violated predicate.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The quantifier bindings (display name → atom name) under which
+    /// the body fails, e.g. `src = test-backend, dst = test-frontend`.
+    pub bindings: Vec<(String, String)>,
+    /// For a disjunctive body: each disjunct rendered in English with
+    /// its truth value under the bindings — the "why not" of every
+    /// escape hatch.
+    pub disjuncts: Vec<(String, bool)>,
+}
+
+/// A full explanation of one predicate over one configuration.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The goal the predicate descends from.
+    pub source_goal: String,
+    /// Does the predicate hold?
+    pub holds: bool,
+    /// When violated: every failing instantiation (bounded by
+    /// `max_witnesses`).
+    pub witnesses: Vec<Witness>,
+}
+
+impl Explanation {
+    /// Render the explanation as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.holds {
+            out.push_str(&format!(
+                "predicate from {:?} HOLDS\n",
+                self.source_goal
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "predicate from {:?} is VIOLATED\n",
+            self.source_goal
+        ));
+        for w in &self.witnesses {
+            let binds: Vec<String> = w
+                .bindings
+                .iter()
+                .map(|(v, a)| format!("{v} = {a}"))
+                .collect();
+            out.push_str(&format!("  for {}:\n", binds.join(", ")));
+            for (text, value) in &w.disjuncts {
+                out.push_str(&format!(
+                    "    [{}] {}\n",
+                    if *value { "ok " } else { "FAIL" },
+                    text
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Explain a single envelope predicate against a configuration.
+///
+/// Universal quantifier prefixes are unrolled to find failing bindings
+/// (`why not`); at the innermost level a disjunction is split so each
+/// escape hatch gets its own verdict. Reports at most `max_witnesses`
+/// failing instantiations.
+pub fn explain_predicate(
+    predicate: &EnvelopePredicate,
+    config: &Instance,
+    vocab: &Vocabulary,
+    universe: &Universe,
+    max_witnesses: usize,
+) -> Explanation {
+    let names: BTreeMap<VarId, String> = predicate.var_names.iter().cloned().collect();
+    let mut witnesses = Vec::new();
+    let mut env: BTreeMap<VarId, AtomId> = BTreeMap::new();
+    let holds = walk(
+        &predicate.formula,
+        config,
+        vocab,
+        universe,
+        &names,
+        &mut env,
+        &mut witnesses,
+        max_witnesses,
+    );
+    Explanation {
+        source_goal: predicate.source_goal.clone(),
+        holds,
+        witnesses,
+    }
+}
+
+/// Recursively unroll leading ∀ binders; returns whether the formula
+/// holds, collecting witnesses for failures.
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    f: &Formula,
+    config: &Instance,
+    vocab: &Vocabulary,
+    universe: &Universe,
+    names: &BTreeMap<VarId, String>,
+    env: &mut BTreeMap<VarId, AtomId>,
+    witnesses: &mut Vec<Witness>,
+    max_witnesses: usize,
+) -> bool {
+    match f {
+        Formula::Forall(v, sort, body) => {
+            let mut all = true;
+            for &atom in universe.atoms_of(*sort) {
+                env.insert(*v, atom);
+                if !walk(
+                    body,
+                    config,
+                    vocab,
+                    universe,
+                    names,
+                    env,
+                    witnesses,
+                    max_witnesses,
+                ) {
+                    all = false;
+                }
+                env.remove(v);
+                if witnesses.len() >= max_witnesses && !all {
+                    break;
+                }
+            }
+            all
+        }
+        body => {
+            let holds = evaluate(body, config, universe, &mut env.clone()).unwrap_or(false);
+            if !holds && witnesses.len() < max_witnesses {
+                witnesses.push(make_witness(
+                    body, config, vocab, universe, names, env,
+                ));
+            }
+            holds
+        }
+    }
+}
+
+fn make_witness(
+    body: &Formula,
+    config: &Instance,
+    vocab: &Vocabulary,
+    universe: &Universe,
+    names: &BTreeMap<VarId, String>,
+    env: &BTreeMap<VarId, AtomId>,
+) -> Witness {
+    let bindings = env
+        .iter()
+        .map(|(v, a)| {
+            (
+                names
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| format!("x{}", v.0)),
+                universe.atom_name(*a).to_string(),
+            )
+        })
+        .collect();
+    // Per-disjunct verdicts, with the bindings substituted into the
+    // rendering for readability.
+    let parts: Vec<&Formula> = match body {
+        Formula::Or(ds) => ds.iter().collect(),
+        other => vec![other],
+    };
+    let mut printer = Printer::new(vocab, universe);
+    for (v, n) in names {
+        printer.name_var(*v, n.clone());
+    }
+    let disjuncts = parts
+        .into_iter()
+        .map(|d| {
+            let mut grounded = d.clone();
+            for (&v, &a) in env {
+                grounded = grounded.substitute(v, a);
+            }
+            let value =
+                evaluate(&grounded, config, universe, &mut BTreeMap::new()).unwrap_or(false);
+            (printer.english(d), value)
+        })
+        .collect();
+    Witness {
+        bindings,
+        disjuncts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::{NamedGoal, Party};
+    use crate::session::Session;
+    use muppet_goals::{fig2, translate_istio_goals, translate_k8s_goals, IstioGoal};
+    use muppet_mesh::MeshVocab;
+    use muppet_logic::PartyId;
+
+    fn paper_env() -> (MeshVocab, crate::envelope::Envelope, Vocabulary) {
+        let mv = MeshVocab::paper_example();
+        let mut vocab = mv.vocab.clone();
+        let k8s_goals = translate_k8s_goals(&fig2(), &mv, &mut vocab).unwrap();
+        let istio_goals =
+            translate_istio_goals(&IstioGoal::fig3(), &mv, &mut vocab).unwrap();
+        let axioms = mv.well_formedness_axioms(&mut vocab);
+        let mut s = Session::new(&mv.universe, vocab.clone(), Instance::new());
+        s.add_axioms(axioms);
+        s.add_party(
+            Party::new(mv.k8s_party, "k8s-admin")
+                .with_goals(k8s_goals.into_iter().map(NamedGoal::from)),
+        );
+        s.add_party(
+            Party::new(mv.istio_party, "istio-admin")
+                .with_goals(istio_goals.into_iter().map(NamedGoal::from)),
+        );
+        let env = s
+            .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap();
+        (mv, env, vocab)
+    }
+
+    #[test]
+    fn violated_predicate_names_the_failing_pair() {
+        let (mv, env, vocab) = paper_env();
+        // The bare deployment violates the envelope: every service can
+        // reach the frontend on 23.
+        let config = mv.structure_instance();
+        let exp = explain_predicate(&env.predicates[0], &config, &vocab, &mv.universe, 10);
+        assert!(!exp.holds);
+        // Three witnesses: src ∈ {fe, be, db} × dst = fe.
+        assert_eq!(exp.witnesses.len(), 3);
+        for w in &exp.witnesses {
+            let dst = w.bindings.iter().find(|(n, _)| n == "dst").unwrap();
+            assert_eq!(dst.1, "test-frontend");
+            // All five escape hatches fail.
+            assert_eq!(w.disjuncts.len(), 5);
+            assert!(w.disjuncts.iter().all(|(_, v)| !v));
+        }
+        let text = exp.render();
+        assert!(text.contains("VIOLATED"));
+        assert!(text.contains("dst = test-frontend"));
+        assert!(text.contains("[FAIL]"));
+    }
+
+    #[test]
+    fn partially_fixed_config_shows_which_hatch_opened() {
+        let (mv, env, vocab) = paper_env();
+        // Block egress to 23 from the backend only: the backend pair is
+        // now fine (disjunct 4 holds); fe→fe and db→fe still fail.
+        let mut config = mv.structure_instance();
+        let be = mv.svc_atom("test-backend").unwrap();
+        let p23 = mv.port_atom(23).unwrap();
+        config.insert(mv.istio_eg_deny, vec![be, p23]);
+        let exp = explain_predicate(&env.predicates[0], &config, &vocab, &mv.universe, 10);
+        assert!(!exp.holds);
+        assert_eq!(exp.witnesses.len(), 2);
+        assert!(exp
+            .witnesses
+            .iter()
+            .all(|w| w.bindings.iter().any(|(n, a)| n == "src" && a != "test-backend")));
+    }
+
+    #[test]
+    fn satisfied_predicate_has_no_witnesses() {
+        let (mv, env, vocab) = paper_env();
+        // Unexpose port 23 entirely.
+        let mut config = mv.structure_instance();
+        let fe = mv.svc_atom("test-frontend").unwrap();
+        let p23 = mv.port_atom(23).unwrap();
+        config.remove(mv.listens, &[fe, p23]);
+        let exp = explain_predicate(&env.predicates[0], &config, &vocab, &mv.universe, 10);
+        assert!(exp.holds);
+        assert!(exp.witnesses.is_empty());
+        assert!(exp.render().contains("HOLDS"));
+    }
+
+    #[test]
+    fn witness_limit_is_respected() {
+        let (mv, env, vocab) = paper_env();
+        let config = mv.structure_instance();
+        let exp = explain_predicate(&env.predicates[0], &config, &vocab, &mv.universe, 1);
+        assert!(!exp.holds);
+        assert_eq!(exp.witnesses.len(), 1);
+    }
+
+    #[test]
+    fn non_quantified_predicate_explains_directly() {
+        let mut universe = Universe::new();
+        let s = universe.add_sort("S");
+        let a = universe.add_atom(s, "a");
+        let mut vocab = Vocabulary::new();
+        let r = vocab.add_simple_rel("r", vec![s], muppet_logic::Domain::Party(PartyId(1)));
+        let pred = EnvelopePredicate {
+            source_goal: "g".into(),
+            obligated_by: PartyId(0),
+            formula: Formula::pred(r, [muppet_logic::Term::Const(a)]),
+            var_names: vec![],
+        };
+        let exp = explain_predicate(&pred, &Instance::new(), &vocab, &universe, 5);
+        assert!(!exp.holds);
+        assert_eq!(exp.witnesses.len(), 1);
+        assert!(exp.witnesses[0].bindings.is_empty());
+        assert_eq!(exp.witnesses[0].disjuncts.len(), 1);
+    }
+}

@@ -1,0 +1,915 @@
+//! Sessions: the shared context for Algs. 1–3.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use muppet_logic::{
+    decompose, nnf, partial_eval, simplify, Domain, Formula, Instance, PartialInstance, PartyId,
+    RelId, Term, Universe, Vocabulary,
+};
+use muppet_solver::{FormulaGroup, Outcome, Query, QueryError, QueryStats};
+
+use crate::envelope::{Envelope, EnvelopePredicate};
+use crate::party::Party;
+
+/// Errors from session operations.
+#[derive(Debug)]
+pub enum MuppetError {
+    /// Underlying solver/query failure.
+    Query(QueryError),
+    /// A party id was not registered in the session.
+    UnknownParty(PartyId),
+}
+
+impl fmt::Display for MuppetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuppetError::Query(e) => write!(f, "{e}"),
+            MuppetError::UnknownParty(p) => write!(f, "unknown party {p}"),
+        }
+    }
+}
+
+impl std::error::Error for MuppetError {}
+
+impl From<QueryError> for MuppetError {
+    fn from(e: QueryError) -> MuppetError {
+        MuppetError::Query(e)
+    }
+}
+
+/// Result of a local-consistency check (Alg. 1).
+#[derive(Clone, Debug)]
+pub struct ConsistencyReport {
+    /// Can the offer be completed so the party's goals hold?
+    pub ok: bool,
+    /// On success: a completion of the party's own relations that (with
+    /// some choice for everyone else) satisfies its goals. This is the
+    /// `r.C_A` Alg. 1 returns, and what conformance uses as the
+    /// provider's fixed configuration.
+    pub witness: Option<Instance>,
+    /// On failure: minimal blame — goal names (and axiom/commitment
+    /// group names) that jointly conflict.
+    pub core: Vec<String>,
+    /// Solver work counters.
+    pub stats: QueryStats,
+}
+
+/// Result of offer reconciliation (Alg. 2).
+#[derive(Clone, Debug)]
+pub struct Reconciliation {
+    /// Did reconciliation succeed?
+    pub success: bool,
+    /// On success: the delivered total configuration of each party
+    /// (`deliver C_A, C_B` in Figs. 7 and 9).
+    pub configs: BTreeMap<PartyId, Instance>,
+    /// On failure: minimal blame across *all* parties' goals and (in
+    /// [`ReconcileMode::Blameable`]) committed settings.
+    pub core: Vec<String>,
+    /// Solver work counters.
+    pub stats: QueryStats,
+}
+
+/// How offers' hard settings enter the reconciliation query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconcileMode {
+    /// Lower bounds are hard solver bounds: fast, but conflicts cannot
+    /// blame individual committed settings.
+    HardBounds,
+    /// Lower bounds become named "committed settings" groups so that
+    /// unsat cores can blame them alongside goals (the paper's
+    /// "feedback … with blame information").
+    Blameable,
+}
+
+/// A Muppet session: universe, vocabulary, shared structure, axioms and
+/// parties. All of Algs. 1–3 are methods here.
+pub struct Session<'a> {
+    universe: &'a Universe,
+    vocab: Vocabulary,
+    structure: Instance,
+    axioms: Vec<Formula>,
+    parties: Vec<Party>,
+    symmetry_breaking: bool,
+}
+
+impl<'a> Session<'a> {
+    /// Create a session over a universe/vocabulary with the given fixed
+    /// structure instance.
+    pub fn new(universe: &'a Universe, vocab: Vocabulary, structure: Instance) -> Session<'a> {
+        Session {
+            universe,
+            vocab,
+            structure,
+            axioms: Vec::new(),
+            parties: Vec::new(),
+            symmetry_breaking: false,
+        }
+    }
+
+    /// Enable interchangeable-atom symmetry breaking for the session's
+    /// satisfiability queries (Alg. 1/2 and envelope-side synthesis).
+    /// Minimal-edit queries are unaffected — they must see the full
+    /// model space. Most useful when the universe carries spare ports
+    /// for ∃-port goals.
+    pub fn set_symmetry_breaking(&mut self, enable: bool) {
+        self.symmetry_breaking = enable;
+    }
+
+    /// Add domain well-formedness axioms (always included as a hard
+    /// group named `"structural axioms"`).
+    pub fn add_axioms(&mut self, axioms: impl IntoIterator<Item = Formula>) {
+        self.axioms.extend(axioms);
+    }
+
+    /// The registered axioms.
+    pub fn axioms(&self) -> &[Formula] {
+        &self.axioms
+    }
+
+    /// Register a party.
+    pub fn add_party(&mut self, party: Party) {
+        self.parties.push(party);
+    }
+
+    /// The registered parties.
+    pub fn parties(&self) -> &[Party] {
+        &self.parties
+    }
+
+    /// Look up a party.
+    pub fn party(&self, id: PartyId) -> Result<&Party, MuppetError> {
+        self.parties
+            .iter()
+            .find(|p| p.id == id)
+            .ok_or(MuppetError::UnknownParty(id))
+    }
+
+    /// Mutable party lookup (for negotiation revisions).
+    pub fn party_mut(&mut self, id: PartyId) -> Result<&mut Party, MuppetError> {
+        self.parties
+            .iter_mut()
+            .find(|p| p.id == id)
+            .ok_or(MuppetError::UnknownParty(id))
+    }
+
+    /// Party id → display-name map.
+    pub fn party_names(&self) -> BTreeMap<PartyId, String> {
+        self.parties
+            .iter()
+            .map(|p| (p.id, p.name.clone()))
+            .collect()
+    }
+
+    /// The vocabulary (including any fresh variables created so far).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The universe.
+    pub fn universe(&self) -> &Universe {
+        self.universe
+    }
+
+    /// The shared structure instance.
+    pub fn structure(&self) -> &Instance {
+        &self.structure
+    }
+
+    /// The relations owned by a party's configuration domain.
+    pub fn owned_rels(&self, id: PartyId) -> Vec<RelId> {
+        self.vocab
+            .rels()
+            .filter(|(_, d)| d.owner == Domain::Party(id))
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    fn all_party_rels(&self) -> Vec<RelId> {
+        self.parties
+            .iter()
+            .flat_map(|p| self.owned_rels(p.id))
+            .collect()
+    }
+
+    fn axiom_group(&self) -> FormulaGroup {
+        FormulaGroup::new("structural axioms", self.axioms.clone())
+    }
+
+    fn goal_groups(&self, party: &Party) -> Vec<FormulaGroup> {
+        party
+            .goals
+            .iter()
+            .map(|g| {
+                FormulaGroup::new(
+                    format!("{}: {}", party.name, g.name),
+                    vec![g.formula.clone()],
+                )
+            })
+            .collect()
+    }
+
+    /// Merge offers of the given parties into one bounds object. In
+    /// blameable mode, lower bounds are returned as commitment groups
+    /// instead of bounds.
+    fn merge_offers(
+        &self,
+        parties: &[&Party],
+        mode: ReconcileMode,
+    ) -> (PartialInstance, Vec<FormulaGroup>) {
+        let mut bounds = PartialInstance::new();
+        let mut groups = Vec::new();
+        for p in parties {
+            let mut committed = Vec::new();
+            for rel in p.offer.bounded_rels() {
+                bounds.bound(rel);
+                for t in p.offer.upper(rel) {
+                    bounds.permit(rel, t.clone());
+                }
+                for t in p.offer.lower(rel) {
+                    match mode {
+                        ReconcileMode::HardBounds => bounds.require(rel, t.clone()),
+                        ReconcileMode::Blameable => {
+                            committed.push(Formula::pred(
+                                rel,
+                                t.iter().map(|&a| Term::Const(a)),
+                            ));
+                        }
+                    }
+                }
+            }
+            if !committed.is_empty() {
+                groups.push(FormulaGroup::new(
+                    format!("{}: committed settings", p.name),
+                    committed,
+                ));
+            }
+        }
+        (bounds, groups)
+    }
+
+    /// **Alg. 1 — local consistency.** Can `C??_A` be completed (with
+    /// some configuration for everyone else) so that φ_A holds?
+    pub fn local_consistency(&self, id: PartyId) -> Result<ConsistencyReport, MuppetError> {
+        let party = self.party(id)?;
+        let mut q = Query::new(&self.vocab, self.universe);
+        q.free_rels(self.all_party_rels())
+            .set_fixed(self.structure.clone())
+            .set_symmetry_breaking(self.symmetry_breaking)
+            .add_group(self.axiom_group());
+        let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
+        q.set_bounds(bounds);
+        for g in commit_groups {
+            q.add_group(g);
+        }
+        for g in self.goal_groups(party) {
+            q.add_group(g);
+        }
+        match q.solve()? {
+            Outcome::Sat { solution, stats } => Ok(ConsistencyReport {
+                ok: true,
+                witness: Some(solution.restrict_to_domain(&self.vocab, Domain::Party(id))),
+                core: Vec::new(),
+                stats,
+            }),
+            Outcome::Unsat { core, stats } => Ok(ConsistencyReport {
+                ok: false,
+                witness: None,
+                core,
+                stats,
+            }),
+        }
+    }
+
+    /// **Alg. 2 — reconciliation.** Can all offers be extended to total
+    /// configurations that jointly satisfy everyone's goals?
+    pub fn reconcile(&self, mode: ReconcileMode) -> Result<Reconciliation, MuppetError> {
+        let mut q = Query::new(&self.vocab, self.universe);
+        q.free_rels(self.all_party_rels())
+            .set_fixed(self.structure.clone())
+            .set_symmetry_breaking(self.symmetry_breaking)
+            .add_group(self.axiom_group());
+        let refs: Vec<&Party> = self.parties.iter().collect();
+        let (bounds, commit_groups) = self.merge_offers(&refs, mode);
+        q.set_bounds(bounds);
+        for g in commit_groups {
+            q.add_group(g);
+        }
+        for p in &self.parties {
+            for g in self.goal_groups(p) {
+                q.add_group(g);
+            }
+        }
+        match q.solve()? {
+            Outcome::Sat { solution, stats } => {
+                let configs = self
+                    .parties
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.id,
+                            solution.restrict_to_domain(&self.vocab, Domain::Party(p.id)),
+                        )
+                    })
+                    .collect();
+                Ok(Reconciliation {
+                    success: true,
+                    configs,
+                    core: Vec::new(),
+                    stats,
+                })
+            }
+            Outcome::Unsat { core, stats } => Ok(Reconciliation {
+                success: false,
+                configs: BTreeMap::new(),
+                core,
+                stats,
+            }),
+        }
+    }
+
+    /// **Alg. 3 — envelope extraction.** `E_{from→to}` modulo the
+    /// sender's fixed configuration `c_from`.
+    pub fn compute_envelope(
+        &self,
+        from: PartyId,
+        to: PartyId,
+        c_from: &Instance,
+    ) -> Result<Envelope, MuppetError> {
+        self.compute_multi_envelope(&[(from, c_from.clone())], to)
+    }
+
+    /// **Sec. 7 extension — multi-source envelopes.** `E_{S→to}` for a
+    /// set `S` of senders with fixed configurations: "envelopes would
+    /// also need to encapsulate the needs of multiple agents (e.g.
+    /// `E_{{A,B}→C}`), which our algorithm could produce via multiple
+    /// passes of substitution". Each predicate is tagged with the party
+    /// whose goal imposed it.
+    pub fn compute_multi_envelope(
+        &self,
+        senders: &[(PartyId, Instance)],
+        to: PartyId,
+    ) -> Result<Envelope, MuppetError> {
+        self.compute_multi_envelope_opt(senders, to, true)
+    }
+
+    /// [`Session::compute_multi_envelope`] with the "elementary
+    /// simplifications" switchable — ablation A1 measures what
+    /// simplification buys in envelope size and configuration leakage
+    /// (the paper's privacy mitigation, Sec. 7).
+    pub fn compute_multi_envelope_opt(
+        &self,
+        senders: &[(PartyId, Instance)],
+        to: PartyId,
+        simplify_predicates: bool,
+    ) -> Result<Envelope, MuppetError> {
+        self.party(to)?;
+        let eval_domains: std::collections::BTreeSet<Domain> =
+            senders.iter().map(|(id, _)| Domain::Party(*id)).collect();
+        let mut fixed_all = self.structure.clone();
+        for (_, c) in senders {
+            fixed_all = fixed_all.union(c);
+        }
+        let to_domain = Domain::Party(to);
+        let mut predicates = Vec::new();
+        let mut impossible = Vec::new();
+        let mut residual_violations = Vec::new();
+        let mut self_satisfied = Vec::new();
+
+        for (sender_id, sender_config) in senders {
+            let sender = self.party(*sender_id)?;
+            for goal in &sender.goals {
+                for psi in decompose(&goal.formula) {
+                    if psi.mentions_domain(&self.vocab, to_domain) {
+                        // subst(ψ, C_from): partial evaluation of the
+                        // senders' atoms, then NNF + simplification (the
+                        // paper's "elementary simplifications", which are
+                        // also its privacy mitigation).
+                        let raw = nnf(&partial_eval(
+                            &psi,
+                            sender_config,
+                            &eval_domains,
+                            &self.vocab,
+                            self.universe,
+                        ));
+                        let pe = if simplify_predicates {
+                            simplify(&raw)
+                        } else {
+                            raw
+                        };
+                        match pe {
+                            Formula::True => self_satisfied.push(goal.name.clone()),
+                            Formula::False => impossible.push(goal.name.clone()),
+                            f => predicates.push(EnvelopePredicate {
+                                source_goal: goal.name.clone(),
+                                obligated_by: *sender_id,
+                                formula: f,
+                                var_names: goal.var_names.clone(),
+                            }),
+                        }
+                    } else {
+                        // Recipient-free residue: check it against the
+                        // senders' fixed configurations if it involves no
+                        // third party.
+                        let doms = psi.domains(&self.vocab);
+                        let third_party = doms.iter().any(|d| {
+                            *d != Domain::Structure && !eval_domains.contains(d)
+                        });
+                        if !third_party && psi.free_vars().is_empty() {
+                            let holds = muppet_logic::evaluate_closed(
+                                &psi,
+                                &fixed_all,
+                                self.universe,
+                            )
+                            .unwrap_or(false);
+                            if !holds {
+                                residual_violations.push(goal.name.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        residual_violations.dedup();
+        impossible.dedup();
+        self_satisfied.dedup();
+        // A goal is only "self-satisfied" if no predicate or
+        // impossibility of the same goal remains.
+        self_satisfied.retain(|g| {
+            !predicates.iter().any(|p| &p.source_goal == g) && !impossible.contains(g)
+        });
+        Ok(Envelope {
+            from: senders.iter().map(|(id, _)| *id).collect(),
+            to,
+            predicates,
+            impossible,
+            residual_violations,
+            self_satisfied,
+        })
+    }
+
+    /// Fig. 8 solver aid: synthesize a candidate configuration for `to`
+    /// that provably satisfies the received envelope *and* the party's
+    /// own goals, within the party's offer bounds. Other parties'
+    /// relations are treated existentially (as in Alg. 1).
+    pub fn synthesize_against(
+        &self,
+        to: PartyId,
+        envelope: &Envelope,
+    ) -> Result<Outcome, MuppetError> {
+        let party = self.party(to)?;
+        let mut q = Query::new(&self.vocab, self.universe);
+        q.free_rels(self.all_party_rels())
+            .set_fixed(self.structure.clone())
+            .set_symmetry_breaking(self.symmetry_breaking)
+            .add_group(self.axiom_group());
+        let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
+        q.set_bounds(bounds);
+        for g in commit_groups {
+            q.add_group(g);
+        }
+        for g in envelope.to_groups(&self.party_names()) {
+            q.add_group(g);
+        }
+        for g in self.goal_groups(party) {
+            q.add_group(g);
+        }
+        Ok(q.solve()?)
+    }
+
+    /// Fig. 8 solver aid: the *minimal edit* of `target` (the party's
+    /// current or preferred configuration) that satisfies the envelope.
+    /// Returns the edited configuration and the edit distance (tuple
+    /// flips over the party's relations).
+    pub fn minimal_edit(
+        &self,
+        to: PartyId,
+        envelope: &Envelope,
+        target: &Instance,
+    ) -> Result<(Outcome, usize), MuppetError> {
+        self.party(to)?;
+        let mut q = Query::new(&self.vocab, self.universe);
+        q.free_rels(self.owned_rels(to))
+            .set_fixed(self.structure.clone())
+            .add_group(self.axiom_group());
+        for g in envelope.to_groups(&self.party_names()) {
+            q.add_group(g);
+        }
+        Ok(q.solve_target(target)?)
+    }
+
+    /// Evaluate every party's goals over a complete combined instance
+    /// (structure ∪ all configs). Returns `(goal name, holds)` pairs.
+    /// Used to verify delivered configurations end-to-end.
+    pub fn check_goals(&self, combined: &Instance) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        for p in &self.parties {
+            for g in &p.goals {
+                let holds =
+                    muppet_logic::evaluate_closed(&g.formula, combined, self.universe)
+                        .unwrap_or(false);
+                out.push((format!("{}: {}", p.name, g.name), holds));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::NamedGoal;
+    use muppet_goals::{fig2, translate_istio_goals, translate_k8s_goals, IstioGoal};
+    use muppet_mesh::MeshVocab;
+
+    /// Build the paper's running example session: K8s admin with the
+    /// Fig. 2 ban, Istio admin with the given goal rows.
+    fn paper_session<'a>(mv: &'a MeshVocab, istio_rows: &[IstioGoal]) -> Session<'a> {
+        let mut vocab = mv.vocab.clone();
+        let k8s_goals = translate_k8s_goals(&fig2(), mv, &mut vocab).unwrap();
+        let istio_goals = translate_istio_goals(istio_rows, mv, &mut vocab).unwrap();
+        let axioms = mv.well_formedness_axioms(&mut vocab);
+        let mut session = Session::new(&mv.universe, vocab, Instance::new());
+        session.add_axioms(axioms);
+        session.add_party(
+            Party::new(mv.k8s_party, "k8s-admin")
+                .with_goals(k8s_goals.into_iter().map(NamedGoal::from)),
+        );
+        session.add_party(
+            Party::new(mv.istio_party, "istio-admin")
+                .with_goals(istio_goals.into_iter().map(NamedGoal::from)),
+        );
+        session
+    }
+
+    #[test]
+    fn e1_fig3_goals_conflict_with_port_ban() {
+        // The paper's central conflict: the union of the Fig. 2 and
+        // Fig. 3 goal sets is unsatisfiable.
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        let rec = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(!rec.success);
+        // The minimal core blames exactly the ban and the backend →
+        // frontend:23 reachability goal.
+        assert_eq!(rec.core.len(), 2, "core: {:?}", rec.core);
+        assert!(rec.core.iter().any(|n| n.contains("DENY port 23")));
+        assert!(rec
+            .core
+            .iter()
+            .any(|n| n.contains("test-backend -> test-frontend")));
+    }
+
+    #[test]
+    fn e2_fig4_relaxation_reconciles() {
+        // Relaxed goals (∃ ports): because service port exposure is in
+        // the Istio administrator's domain, the synthesizer can re-expose
+        // the frontend on one of the spare universe ports — the paper's
+        // "choose up to four different ports".
+        let mv = MeshVocab::paper_example();
+        let mesh = mv.mesh().clone();
+        let session = paper_session(&mv, &IstioGoal::fig4());
+        let rec = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(rec.success, "core: {:?}", rec.core);
+        // Verify the delivered configs satisfy every goal.
+        let mut combined = session.structure().clone();
+        for c in rec.configs.values() {
+            combined = combined.union(c);
+        }
+        for (name, holds) in session.check_goals(&combined) {
+            assert!(holds, "goal {name} violated by delivered configs");
+        }
+        // And the K8s ban really bites: no flow to port 23 anywhere.
+        let p23 = mv.port_atom(23).unwrap();
+        for s in mesh.services() {
+            for d in mesh.services() {
+                let f = mv.allowed_formula(
+                    Term::Const(mv.svc_atom(&s.name).unwrap()),
+                    Term::Const(mv.svc_atom(&d.name).unwrap()),
+                    Term::Const(p23),
+                );
+                assert!(
+                    !muppet_logic::evaluate_closed(&f, &combined, &mv.universe).unwrap(),
+                    "{} -> {} :23 should be blocked",
+                    s.name,
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_consistency_of_each_side() {
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        // Each party alone is locally consistent (the conflict is joint).
+        let k8s = session.local_consistency(mv.k8s_party).unwrap();
+        assert!(k8s.ok);
+        assert!(k8s.witness.is_some());
+        let istio = session.local_consistency(mv.istio_party).unwrap();
+        assert!(istio.ok);
+    }
+
+    #[test]
+    fn local_consistency_fails_on_self_contradiction() {
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig3());
+        // Give the K8s admin two directly contradictory goals over its
+        // own relations.
+        let fe = mv.svc_atom("test-frontend").unwrap();
+        let guard = Formula::pred(mv.k8s_in_guard, [Term::Const(fe)]);
+        let k8s_id = mv.k8s_party;
+        session.party_mut(k8s_id).unwrap().goals.extend([
+            NamedGoal::hard("guard the frontend", guard.clone()),
+            NamedGoal::hard("never guard the frontend", Formula::not(guard)),
+        ]);
+        let report = session.local_consistency(k8s_id).unwrap();
+        assert!(!report.ok);
+        assert_eq!(report.core.len(), 2, "core: {:?}", report.core);
+        assert!(report.core.iter().all(|c| c.contains("guard the frontend")));
+    }
+
+    #[test]
+    fn e3_envelope_has_fig5_shape() {
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        // Conformance: K8s is the provider; its fixed configuration is
+        // (so far) empty — the envelope speaks entirely in Istio terms.
+        let env = session
+            .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap();
+        assert_eq!(env.predicates.len(), 1);
+        assert!(env.impossible.is_empty());
+        let f = &env.predicates[0].formula;
+        // Shape: ∀src ∀dst (or of exactly 5 disjunct families).
+        let Formula::Forall(_, _, body) = f else {
+            panic!("expected ∀src, got {f:?}");
+        };
+        let Formula::Forall(_, _, body) = body.as_ref() else {
+            panic!("expected ∀dst");
+        };
+        let Formula::Or(disjuncts) = body.as_ref() else {
+            panic!("expected disjunction, got {body:?}");
+        };
+        assert_eq!(disjuncts.len(), 5, "{disjuncts:#?}");
+        // No K8s relation survives substitution.
+        assert!(!f.mentions_domain(session.vocab(), Domain::Party(mv.k8s_party)));
+        // The five families of Fig. 5: ¬listens(dst,23); istio_in_deny;
+        // (istio_in_guard ∧ ¬istio_in_allow); istio_eg_deny;
+        // (istio_eg_guard ∧ ¬istio_eg_allow).
+        let mut seen_not_listens = false;
+        let mut seen_eg_deny = false;
+        let mut seen_eg_implicit = false;
+        let mut seen_in_deny = false;
+        let mut seen_in_implicit = false;
+        for d in disjuncts {
+            match d {
+                Formula::Not(inner) => {
+                    if let Formula::Pred(r, _) = inner.as_ref() {
+                        if *r == mv.listens {
+                            seen_not_listens = true;
+                        }
+                    }
+                }
+                Formula::Pred(r, _) if *r == mv.istio_eg_deny => seen_eg_deny = true,
+                Formula::Pred(r, _) if *r == mv.istio_in_deny => seen_in_deny = true,
+                Formula::And(parts) => {
+                    let rels: Vec<_> = parts.iter().flat_map(|p| p.rels()).collect();
+                    if rels.contains(&mv.istio_eg_guard) && rels.contains(&mv.istio_eg_allow) {
+                        seen_eg_implicit = true;
+                    }
+                    if rels.contains(&mv.istio_in_guard) && rels.contains(&mv.istio_in_allow) {
+                        seen_in_implicit = true;
+                    }
+                }
+                other => panic!("unexpected disjunct {other:?}"),
+            }
+        }
+        assert!(
+            seen_not_listens
+                && seen_eg_deny
+                && seen_eg_implicit
+                && seen_in_deny
+                && seen_in_implicit
+        );
+        // Privacy: the envelope reveals the special status of port 23
+        // "but little else".
+        let leak = env.leakage(&mv.universe);
+        assert_eq!(leak.revealed_atoms, vec!["23".to_string()]);
+    }
+
+    #[test]
+    fn envelope_check_accepts_and_rejects_istio_configs() {
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        let env = session
+            .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap();
+        // Open Istio config (the current deployment): the frontend
+        // listens on 23 and nothing blocks it ⇒ violates the envelope.
+        let open = mv.structure_instance();
+        assert!(!env.check(&open, &mv.universe).is_empty());
+        // Istio config that bans egress to 23 for every service.
+        let lockdown = mv
+            .compile_istio(&[muppet_mesh::AuthorizationPolicy {
+                name: "deny-23-egress".into(),
+                selector: muppet_mesh::Selector::All,
+                direction: muppet_mesh::Direction::Egress,
+                action: muppet_mesh::Action::Deny,
+                rules: vec![muppet_mesh::AuthPolicyRule::to_ports([23])],
+            }])
+            .unwrap();
+        let with_lockdown = mv.structure_instance().union(&lockdown);
+        assert!(env.check(&with_lockdown, &mv.universe).is_empty());
+    }
+
+    #[test]
+    fn synthesize_against_envelope_produces_compatible_config() {
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig4());
+        let env = session
+            .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap();
+        match session.synthesize_against(mv.istio_party, &env).unwrap() {
+            Outcome::Sat { solution, .. } => {
+                let istio_cfg =
+                    solution.restrict_to_domain(session.vocab(), Domain::Party(mv.istio_party));
+                assert!(env.check(&istio_cfg, &mv.universe).is_empty());
+            }
+            Outcome::Unsat { core, .. } => panic!("expected sat, core {core:?}"),
+        }
+    }
+
+    #[test]
+    fn fig3_goals_cannot_satisfy_envelope() {
+        // With the strict Fig. 3 goals (backend→frontend:23 required),
+        // no Istio configuration satisfies envelope + goals.
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        let env = session
+            .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap();
+        match session.synthesize_against(mv.istio_party, &env).unwrap() {
+            Outcome::Unsat { core, .. } => {
+                assert!(core.iter().any(|n| n.contains("envelope from k8s-admin")));
+                assert!(core
+                    .iter()
+                    .any(|n| n.contains("test-backend -> test-frontend")));
+            }
+            Outcome::Sat { .. } => panic!("expected unsat"),
+        }
+    }
+
+    #[test]
+    fn minimal_edit_against_envelope_is_small() {
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        let env = session
+            .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap();
+        // Target: the Istio admin's current deployment (frontend exposed
+        // on 23, no policies). Two one-edit fixes exist, both straight
+        // out of Fig. 5: stop exposing port 23 (disjunct 1), or add an
+        // empty ingress ALLOW policy on the frontend — a guard with no
+        // allow rules, i.e. implicit-deny-everything (disjunct 5).
+        let target = mv.structure_instance();
+        let (outcome, dist) = session
+            .minimal_edit(mv.istio_party, &env, &target)
+            .unwrap();
+        match outcome {
+            Outcome::Sat { solution, .. } => {
+                let istio_cfg =
+                    solution.restrict_to_domain(session.vocab(), Domain::Party(mv.istio_party));
+                assert!(env.check(&istio_cfg, &mv.universe).is_empty());
+                assert_eq!(dist, 1, "a one-edit fix exists");
+                assert_eq!(istio_cfg.distance(&target), 1);
+                let fe = mv.svc_atom("test-frontend").unwrap();
+                let p23 = mv.port_atom(23).unwrap();
+                let unexposed = !istio_cfg.holds(mv.listens, &[fe, p23]);
+                let locked_down = istio_cfg.holds(mv.istio_in_guard, &[fe])
+                    && istio_cfg.count(mv.istio_in_allow) == 0;
+                assert!(unexposed || locked_down, "{istio_cfg:?}");
+            }
+            Outcome::Unsat { core, .. } => panic!("unsat: {core:?}"),
+        }
+    }
+
+    #[test]
+    fn blameable_mode_blames_committed_settings() {
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig3());
+        // Drop the K8s *goal* and instead have the K8s admin hard-commit
+        // a deny tuple that breaks istio goal 2.
+        let k8s_id = mv.k8s_party;
+        session.party_mut(k8s_id).unwrap().goals.clear();
+        let fe = mv.svc_atom("test-frontend").unwrap();
+        let be = mv.svc_atom("test-backend").unwrap();
+        let p23 = mv.port_atom(23).unwrap();
+        let mut offer = PartialInstance::new();
+        offer.require(mv.k8s_in_deny, vec![fe, be, p23]);
+        // Permit everything else for the K8s admin (an unbounded upper
+        // bound would also work; requiring the single tuple plus leaving
+        // other relations unbounded is simplest).
+        session.party_mut(k8s_id).unwrap().offer = offer;
+        let rec = session.reconcile(ReconcileMode::Blameable).unwrap();
+        assert!(!rec.success);
+        assert!(rec
+            .core
+            .iter()
+            .any(|n| n.contains("k8s-admin: committed settings")));
+        assert!(rec
+            .core
+            .iter()
+            .any(|n| n.contains("test-backend -> test-frontend")));
+        // Hard-bounds mode also fails but cannot name the commitment.
+        let rec2 = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(!rec2.success);
+        assert!(!rec2.core.iter().any(|n| n.contains("committed settings")));
+    }
+
+    #[test]
+    fn impossible_goals_are_reported() {
+        // ∃x (istio_in_guard(x) ∧ k8s_in_guard(x)) with an empty K8s
+        // config: the quantifier expands (the variable reaches a K8s
+        // atom), every disjunct contains a false K8s conjunct, and the
+        // predicate collapses to False — no Istio configuration can
+        // rescue the goal, so it lands in `impossible`.
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig3());
+        let mut vocab = mv.vocab.clone();
+        let x = vocab.fresh_var();
+        let goal = Formula::exists(
+            x,
+            mv.svc_sort,
+            Formula::and([
+                Formula::pred(mv.istio_in_guard, [Term::Var(x)]),
+                Formula::pred(mv.k8s_in_guard, [Term::Var(x)]),
+            ]),
+        );
+        let k8s_id = mv.k8s_party;
+        session
+            .party_mut(k8s_id)
+            .unwrap()
+            .goals
+            .push(NamedGoal::hard("joint guard somewhere", goal));
+        let env = session
+            .compute_envelope(k8s_id, mv.istio_party, &Instance::new())
+            .unwrap();
+        assert!(env
+            .impossible
+            .contains(&"joint guard somewhere".to_string()));
+        assert!(!env.is_trivial());
+        // With a K8s config guarding the frontend, the goal becomes a
+        // real obligation on Istio instead.
+        let fe = mv.svc_atom("test-frontend").unwrap();
+        let mut c_a = Instance::new();
+        c_a.insert(mv.k8s_in_guard, vec![fe]);
+        let env = session
+            .compute_envelope(k8s_id, mv.istio_party, &c_a)
+            .unwrap();
+        assert!(env.impossible.is_empty());
+        assert!(env
+            .predicates
+            .iter()
+            .any(|p| p.source_goal == "joint guard somewhere"));
+    }
+
+    #[test]
+    fn residual_violations_are_detected() {
+        // A K8s-only goal the K8s fixed config violates: "some service
+        // must have an ingress guard" vs an empty C_A.
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig3());
+        let mut vocab = mv.vocab.clone();
+        let v = vocab.fresh_var();
+        let goal = Formula::exists(
+            v,
+            mv.svc_sort,
+            Formula::pred(mv.k8s_in_guard, [Term::Var(v)]),
+        );
+        let k8s_id = mv.k8s_party;
+        session
+            .party_mut(k8s_id)
+            .unwrap()
+            .goals
+            .push(NamedGoal::hard("guard somewhere", goal));
+        let env = session
+            .compute_envelope(k8s_id, mv.istio_party, &Instance::new())
+            .unwrap();
+        assert!(env
+            .residual_violations
+            .contains(&"guard somewhere".to_string()));
+    }
+
+    #[test]
+    fn unknown_party_errors() {
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        let ghost = PartyId(9);
+        assert!(matches!(
+            session.local_consistency(ghost),
+            Err(MuppetError::UnknownParty(_))
+        ));
+        assert!(session.party(ghost).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! A small CSV reader: comma separation, optional double quotes,
+//! whitespace-tolerant, `#` comment lines. Sufficient for goal tables.
+
+/// One parsed record (row) of fields.
+pub type Record = Vec<String>;
+
+/// Parse CSV text into records. Empty lines and lines starting with `#`
+/// are skipped. Fields are trimmed unless quoted.
+pub fn parse_csv(input: &str) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for (ln, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {}", ln + 1, e))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<Record, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    loop {
+        match chars.next() {
+            None => {
+                fields.push(finish(cur, quoted));
+                return Ok(fields);
+            }
+            Some('"') if cur.trim().is_empty() && !quoted => {
+                // Opening quote (only at field start).
+                cur.clear();
+                quoted = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                cur.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => cur.push(c),
+                        None => return Err("unterminated quoted field".into()),
+                    }
+                }
+            }
+            Some(',') => {
+                fields.push(finish(std::mem::take(&mut cur), quoted));
+                quoted = false;
+            }
+            Some(c) => {
+                if quoted {
+                    // Only whitespace may follow a closing quote.
+                    if !c.is_whitespace() {
+                        return Err("characters after closing quote".into());
+                    }
+                } else {
+                    cur.push(c);
+                }
+            }
+        }
+    }
+}
+
+fn finish(cur: String, quoted: bool) -> String {
+    if quoted {
+        cur
+    } else {
+        cur.trim().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_rows_with_trimming_and_comments() {
+        let recs = parse_csv("# goals\nport, perm, selector\n23, DENY, *\n\n24,ALLOW,web\n")
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], vec!["port", "perm", "selector"]);
+        assert_eq!(recs[1], vec!["23", "DENY", "*"]);
+        assert_eq!(recs[2], vec!["24", "ALLOW", "web"]);
+    }
+
+    #[test]
+    fn quoted_fields_preserve_commas_and_quotes() {
+        let recs = parse_csv("\"a,b\",\"say \"\"hi\"\"\",plain\n").unwrap();
+        assert_eq!(recs[0], vec!["a,b", "say \"hi\"", "plain"]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let recs = parse_csv("a,,c\n").unwrap();
+        assert_eq!(recs[0], vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_csv("\"unterminated\n").is_err());
+        assert!(parse_csv("\"x\" y,z\n").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Goal decomposition (step 1 of Alg. 3).
+//!
+//! Alg. 3 begins with `φ'_A ← decompose(φ_A)`: "the formulas φ_A are
+//! decomposed into small subformulas" so that the B-relevant ones can be
+//! filtered and substituted independently. Decomposition must be
+//! *conjunction-preserving*: the conjunction of the returned subformulas
+//! is equivalent to the input.
+
+use crate::formula::Formula;
+
+/// Split a formula into a conjunction of small subformulas.
+///
+/// Rewrites applied (each preserves the conjunction semantics):
+/// * `f₁ ∧ … ∧ fₙ` splits into the decompositions of each `fᵢ`;
+/// * `∀x·(f₁ ∧ … ∧ fₙ)` distributes to `∀x·f₁, …, ∀x·fₙ` and recurses
+///   (universal quantification distributes over conjunction);
+/// * `a ⇔ b` splits into `a ⇒ b` and `b ⇒ a`;
+/// * `¬(f₁ ∨ … ∨ fₙ)` splits into `¬f₁, …, ¬fₙ` (De Morgan);
+/// * anything else is returned whole.
+///
+/// Existential quantifiers and disjunctions are *not* split — doing so
+/// would change meaning.
+pub fn decompose(f: &Formula) -> Vec<Formula> {
+    let mut out = Vec::new();
+    go(f, &mut out);
+    out
+}
+
+fn go(f: &Formula, out: &mut Vec<Formula>) {
+    match f {
+        Formula::True => {}
+        Formula::And(fs) => {
+            for g in fs {
+                go(g, out);
+            }
+        }
+        Formula::Forall(v, s, body) => match body.as_ref() {
+            Formula::And(fs) => {
+                for g in fs {
+                    go(&Formula::forall(*v, *s, g.clone()), out);
+                }
+            }
+            Formula::Forall(_, _, _) => {
+                // Peek through nested ∀ to find a splittable conjunction:
+                // ∀x·∀y·(f ∧ g) → ∀x·∀y·f, ∀x·∀y·g.
+                let inner = decompose(body);
+                if inner.len() <= 1 {
+                    out.push(f.clone());
+                } else {
+                    for g in inner {
+                        go(&Formula::forall(*v, *s, g), out);
+                    }
+                }
+            }
+            _ => out.push(f.clone()),
+        },
+        Formula::Iff(a, b) => {
+            go(&Formula::implies(a.as_ref().clone(), b.as_ref().clone()), out);
+            go(&Formula::implies(b.as_ref().clone(), a.as_ref().clone()), out);
+        }
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Or(fs) => {
+                for g in fs {
+                    go(&Formula::not(g.clone()), out);
+                }
+            }
+            Formula::Not(g) => go(g, out),
+            _ => out.push(f.clone()),
+        },
+        _ => out.push(f.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{Domain, Universe, Vocabulary};
+    use crate::term::Term;
+    use crate::{evaluate_closed, Instance};
+
+    fn fixture() -> (Universe, Vocabulary, Vec<Formula>, crate::symbols::SortId) {
+        let mut u = Universe::new();
+        let s = u.add_sort("S");
+        let a = u.add_atom(s, "a");
+        let b = u.add_atom(s, "b");
+        let mut v = Vocabulary::new();
+        let p = v.add_simple_rel("p", vec![s], Domain::Structure);
+        let q = v.add_simple_rel("q", vec![s], Domain::Structure);
+        let fs = vec![
+            Formula::pred(p, [Term::Const(a)]),
+            Formula::pred(q, [Term::Const(b)]),
+            Formula::pred(p, [Term::Const(b)]),
+        ];
+        (u, v, fs, s)
+    }
+
+    #[test]
+    fn splits_conjunctions_recursively() {
+        let (_, _, fs, _) = fixture();
+        let f = Formula::and([
+            fs[0].clone(),
+            Formula::and([fs[1].clone(), fs[2].clone()]),
+        ]);
+        assert_eq!(decompose(&f), vec![fs[0].clone(), fs[1].clone(), fs[2].clone()]);
+    }
+
+    #[test]
+    fn distributes_forall_over_and() {
+        let (_, mut v, fs, s) = fixture();
+        let x = v.fresh_var();
+        let body = Formula::and([fs[0].clone(), fs[1].clone()]);
+        let f = Formula::forall(x, s, body);
+        let parts = decompose(&f);
+        assert_eq!(
+            parts,
+            vec![
+                Formula::forall(x, s, fs[0].clone()),
+                Formula::forall(x, s, fs[1].clone()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_foralls_are_peeked_through() {
+        let (_, mut v, fs, s) = fixture();
+        let x = v.fresh_var();
+        let y = v.fresh_var();
+        let f = Formula::forall(
+            x,
+            s,
+            Formula::forall(y, s, Formula::and([fs[0].clone(), fs[1].clone()])),
+        );
+        let parts = decompose(&f);
+        assert_eq!(parts.len(), 2);
+        for p in &parts {
+            assert!(matches!(p, Formula::Forall(_, _, _)));
+        }
+    }
+
+    #[test]
+    fn splits_iff_and_negated_or() {
+        let (_, _, fs, _) = fixture();
+        let f = Formula::iff(fs[0].clone(), fs[1].clone());
+        assert_eq!(decompose(&f).len(), 2);
+        let g = Formula::not(Formula::or([fs[0].clone(), fs[1].clone()]));
+        assert_eq!(
+            decompose(&g),
+            vec![
+                Formula::not(fs[0].clone()),
+                Formula::not(fs[1].clone()),
+            ]
+        );
+    }
+
+    #[test]
+    fn leaves_disjunction_and_exists_whole() {
+        let (_, mut v, fs, s) = fixture();
+        let or = Formula::or([fs[0].clone(), fs[1].clone()]);
+        assert_eq!(decompose(&or), vec![or.clone()]);
+        let x = v.fresh_var();
+        let ex = Formula::exists(x, s, Formula::and([fs[0].clone(), fs[1].clone()]));
+        assert_eq!(decompose(&ex), vec![ex.clone()]);
+    }
+
+    #[test]
+    fn conjunction_of_parts_is_equivalent_to_input() {
+        let (u, mut v, fs, s) = fixture();
+        let x = v.fresh_var();
+        let formulas = vec![
+            Formula::and([
+                fs[0].clone(),
+                Formula::forall(x, s, Formula::and([fs[1].clone(), fs[2].clone()])),
+            ]),
+            Formula::iff(fs[0].clone(), Formula::not(Formula::or([fs[1].clone(), fs[2].clone()]))),
+        ];
+        for f in &formulas {
+            let parts = decompose(f);
+            for mask in 0..8u32 {
+                let mut inst = Instance::new();
+                for (bit, g) in fs.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        if let Formula::Pred(r, args) = g {
+                            inst.insert(
+                                *r,
+                                args.iter().map(|t| t.as_const().unwrap()).collect(),
+                            );
+                        }
+                    }
+                }
+                let whole = evaluate_closed(f, &inst, &u).unwrap();
+                let split = parts
+                    .iter()
+                    .all(|p| evaluate_closed(p, &inst, &u).unwrap());
+                assert_eq!(whole, split, "mask {mask} formula {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn true_decomposes_to_nothing() {
+        assert!(decompose(&Formula::True).is_empty());
+        let (_, _, fs, _) = fixture();
+        let f = Formula::and([Formula::True, fs[0].clone()]);
+        assert_eq!(decompose(&f), vec![fs[0].clone()]);
+    }
+}

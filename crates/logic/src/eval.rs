@@ -1,0 +1,254 @@
+//! Total evaluation of formulas over concrete instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::formula::Formula;
+use crate::instance::Instance;
+use crate::symbols::{AtomId, Universe, VarId};
+use crate::term::Term;
+
+/// Errors raised by evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A free variable had no binding in the environment.
+    UnboundVar(VarId),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate `formula` over `instance`, with `env` binding free variables.
+///
+/// Quantifiers range over the atoms of their sort in `universe`. The
+/// instance must be *total* for the relations the formula mentions: a
+/// missing relation is treated as empty (standard closed-world reading).
+pub fn evaluate(
+    formula: &Formula,
+    instance: &Instance,
+    universe: &Universe,
+    env: &mut BTreeMap<VarId, AtomId>,
+) -> Result<bool, EvalError> {
+    match formula {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Pred(rel, args) => {
+            let mut tuple = Vec::with_capacity(args.len());
+            for t in args {
+                tuple.push(resolve(*t, env)?);
+            }
+            Ok(instance.holds(*rel, &tuple))
+        }
+        Formula::Eq(a, b) => Ok(resolve(*a, env)? == resolve(*b, env)?),
+        Formula::Not(f) => Ok(!evaluate(f, instance, universe, env)?),
+        Formula::And(fs) => {
+            for f in fs {
+                if !evaluate(f, instance, universe, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for f in fs {
+                if evaluate(f, instance, universe, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Implies(a, b) => {
+            Ok(!evaluate(a, instance, universe, env)? || evaluate(b, instance, universe, env)?)
+        }
+        Formula::Iff(a, b) => {
+            Ok(evaluate(a, instance, universe, env)? == evaluate(b, instance, universe, env)?)
+        }
+        Formula::Forall(v, sort, body) => {
+            let saved = env.get(v).copied();
+            for &atom in universe.atoms_of(*sort) {
+                env.insert(*v, atom);
+                let r = evaluate(body, instance, universe, env);
+                restore_later(env, *v, saved, &r)?;
+                if !r? {
+                    restore(env, *v, saved);
+                    return Ok(false);
+                }
+            }
+            restore(env, *v, saved);
+            Ok(true)
+        }
+        Formula::Exists(v, sort, body) => {
+            let saved = env.get(v).copied();
+            for &atom in universe.atoms_of(*sort) {
+                env.insert(*v, atom);
+                let r = evaluate(body, instance, universe, env);
+                restore_later(env, *v, saved, &r)?;
+                if r? {
+                    restore(env, *v, saved);
+                    return Ok(true);
+                }
+            }
+            restore(env, *v, saved);
+            Ok(false)
+        }
+    }
+}
+
+fn resolve(t: Term, env: &BTreeMap<VarId, AtomId>) -> Result<AtomId, EvalError> {
+    match t {
+        Term::Const(a) => Ok(a),
+        Term::Var(v) => env.get(&v).copied().ok_or(EvalError::UnboundVar(v)),
+    }
+}
+
+fn restore(env: &mut BTreeMap<VarId, AtomId>, v: VarId, saved: Option<AtomId>) {
+    match saved {
+        Some(a) => {
+            env.insert(v, a);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+}
+
+fn restore_later(
+    env: &mut BTreeMap<VarId, AtomId>,
+    v: VarId,
+    saved: Option<AtomId>,
+    r: &Result<bool, EvalError>,
+) -> Result<(), EvalError> {
+    if r.is_err() {
+        restore(env, v, saved);
+    }
+    Ok(())
+}
+
+/// Evaluate a closed formula (no free variables).
+pub fn evaluate_closed(
+    formula: &Formula,
+    instance: &Instance,
+    universe: &Universe,
+) -> Result<bool, EvalError> {
+    evaluate(formula, instance, universe, &mut BTreeMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{Domain, Vocabulary};
+
+    struct Fix {
+        u: Universe,
+        v: Vocabulary,
+        svc: crate::symbols::SortId,
+        edge: crate::symbols::RelId,
+        atoms: Vec<AtomId>,
+    }
+
+    fn fix() -> Fix {
+        let mut u = Universe::new();
+        let svc = u.add_sort("S");
+        let atoms = vec![
+            u.add_atom(svc, "a"),
+            u.add_atom(svc, "b"),
+            u.add_atom(svc, "c"),
+        ];
+        let mut v = Vocabulary::new();
+        let edge = v.add_simple_rel("edge", vec![svc, svc], Domain::Structure);
+        Fix { u, v, svc, edge, atoms }
+    }
+
+    #[test]
+    fn quantifiers_over_small_graph() {
+        let mut f = fix();
+        let mut inst = Instance::new();
+        // a -> b, b -> c
+        inst.insert(f.edge, vec![f.atoms[0], f.atoms[1]]);
+        inst.insert(f.edge, vec![f.atoms[1], f.atoms[2]]);
+
+        // ∃x. edge(a, x)   — true
+        let x = f.v.fresh_var();
+        let g = Formula::exists(
+            x,
+            f.svc,
+            Formula::pred(f.edge, [Term::Const(f.atoms[0]), Term::Var(x)]),
+        );
+        assert!(evaluate_closed(&g, &inst, &f.u).unwrap());
+
+        // ∀x. ∃y. edge(x, y) — false (c has no successor)
+        let y = f.v.fresh_var();
+        let g = Formula::forall(
+            x,
+            f.svc,
+            Formula::exists(
+                y,
+                f.svc,
+                Formula::pred(f.edge, [Term::Var(x), Term::Var(y)]),
+            ),
+        );
+        assert!(!evaluate_closed(&g, &inst, &f.u).unwrap());
+
+        // ∀x. ¬edge(x, x) — true (irreflexive)
+        let g = Formula::forall(
+            x,
+            f.svc,
+            Formula::not(Formula::pred(f.edge, [Term::Var(x), Term::Var(x)])),
+        );
+        assert!(evaluate_closed(&g, &inst, &f.u).unwrap());
+    }
+
+    #[test]
+    fn connectives_and_equality() {
+        let f = fix();
+        let inst = Instance::new();
+        let t = Formula::Eq(Term::Const(f.atoms[0]), Term::Const(f.atoms[0]));
+        let fa = Formula::Eq(Term::Const(f.atoms[0]), Term::Const(f.atoms[1]));
+        assert!(evaluate_closed(&t, &inst, &f.u).unwrap());
+        assert!(!evaluate_closed(&fa, &inst, &f.u).unwrap());
+        assert!(evaluate_closed(&Formula::implies(fa.clone(), Formula::False), &inst, &f.u).unwrap());
+        assert!(evaluate_closed(&Formula::iff(t.clone(), Formula::True), &inst, &f.u).unwrap());
+        assert!(
+            !evaluate_closed(&Formula::and([t.clone(), fa.clone()]), &inst, &f.u).unwrap()
+        );
+        assert!(evaluate_closed(&Formula::or([fa, t]), &inst, &f.u).unwrap());
+        // Empty connectives.
+        assert!(evaluate_closed(&Formula::and([]), &inst, &f.u).unwrap());
+        assert!(!evaluate_closed(&Formula::or([]), &inst, &f.u).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let g = Formula::pred(f.edge, [Term::Var(x), Term::Var(x)]);
+        assert_eq!(
+            evaluate_closed(&g, &Instance::new(), &f.u),
+            Err(EvalError::UnboundVar(x))
+        );
+    }
+
+    #[test]
+    fn env_is_restored_after_quantifier() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let mut env = BTreeMap::new();
+        env.insert(x, f.atoms[2]);
+        let inst = Instance::new();
+        // ∃x. edge(x,x) — false; but afterwards x must still map to c.
+        let g = Formula::exists(
+            x,
+            f.svc,
+            Formula::pred(f.edge, [Term::Var(x), Term::Var(x)]),
+        );
+        assert!(!evaluate(&g, &inst, &f.u, &mut env).unwrap());
+        assert_eq!(env.get(&x), Some(&f.atoms[2]));
+    }
+}

@@ -1,0 +1,347 @@
+//! The formula AST and structural operations.
+
+use std::collections::BTreeSet;
+
+use crate::symbols::{AtomId, Domain, RelId, SortId, VarId, Vocabulary};
+use crate::term::Term;
+
+/// A bounded first-order formula.
+///
+/// Quantifiers range over the (finite) atoms of a sort, so every formula
+/// denotes a decidable property of an [`crate::Instance`]. This is exactly
+/// the fragment the paper assumes for goals (Sec. 4: "administrator goals
+/// can be translated … to bounded first-order formulas").
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// Relation membership `r(t₁, …, tₖ)`.
+    Pred(RelId, Vec<Term>),
+    /// Term equality.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Universal quantification over a sort.
+    Forall(VarId, SortId, Box<Formula>),
+    /// Existential quantification over a sort.
+    Exists(VarId, SortId, Box<Formula>),
+}
+
+impl Formula {
+    /// `r(args)` as a formula.
+    pub fn pred(rel: RelId, args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Pred(rel, args.into_iter().collect())
+    }
+
+    /// Conjunction; flattens nothing (see [`crate::simplify`]).
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(fs.into_iter().collect())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Implication `a ⇒ b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Bi-implication `a ⇔ b`.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// `∀ v: sort · body`.
+    pub fn forall(v: VarId, sort: SortId, body: Formula) -> Formula {
+        Formula::Forall(v, sort, Box::new(body))
+    }
+
+    /// `∃ v: sort · body`.
+    pub fn exists(v: VarId, sort: SortId, body: Formula) -> Formula {
+        Formula::Exists(v, sort, Box::new(body))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut BTreeSet<VarId>, out: &mut BTreeSet<VarId>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(_, args) => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(*v);
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(*v);
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free_vars(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free_vars(bound, out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Formula::Forall(v, _, body) | Formula::Exists(v, _, body) => {
+                let fresh = bound.insert(*v);
+                body.collect_free_vars(bound, out);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Substitute the constant `atom` for free occurrences of `var`.
+    pub fn substitute(&self, var: VarId, atom: AtomId) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Pred(r, args) => Formula::Pred(
+                *r,
+                args.iter().map(|t| t.substitute(var, atom)).collect(),
+            ),
+            Formula::Eq(a, b) => Formula::Eq(a.substitute(var, atom), b.substitute(var, atom)),
+            Formula::Not(f) => Formula::not(f.substitute(var, atom)),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.substitute(var, atom)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.substitute(var, atom)).collect()),
+            Formula::Implies(a, b) => {
+                Formula::implies(a.substitute(var, atom), b.substitute(var, atom))
+            }
+            Formula::Iff(a, b) => Formula::iff(a.substitute(var, atom), b.substitute(var, atom)),
+            Formula::Forall(v, s, body) => {
+                if *v == var {
+                    // Shadowed: the binder captures the name.
+                    self.clone()
+                } else {
+                    Formula::forall(*v, *s, body.substitute(var, atom))
+                }
+            }
+            Formula::Exists(v, s, body) => {
+                if *v == var {
+                    self.clone()
+                } else {
+                    Formula::exists(*v, *s, body.substitute(var, atom))
+                }
+            }
+        }
+    }
+
+    /// The set of relation symbols mentioned anywhere in the formula.
+    pub fn rels(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        self.collect_rels(&mut out);
+        out
+    }
+
+    fn collect_rels(&self, out: &mut BTreeSet<RelId>) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => {}
+            Formula::Pred(r, _) => {
+                out.insert(*r);
+            }
+            Formula::Not(f) => f.collect_rels(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_rels(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_rels(out);
+                b.collect_rels(out);
+            }
+            Formula::Forall(_, _, body) | Formula::Exists(_, _, body) => body.collect_rels(out),
+        }
+    }
+
+    /// The set of configuration domains whose relations the formula
+    /// mentions. This is the paper's `vars(φ)` read through relation
+    /// ownership.
+    pub fn domains(&self, vocab: &Vocabulary) -> BTreeSet<Domain> {
+        self.rels().iter().map(|&r| vocab.rel(r).owner).collect()
+    }
+
+    /// Does the formula mention any relation owned by `domain`?
+    pub fn mentions_domain(&self, vocab: &Vocabulary, domain: Domain) -> bool {
+        self.rels().iter().any(|&r| vocab.rel(r).owner == domain)
+    }
+
+    /// Node count, for tests and leakage metrics.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Pred(_, _) | Formula::Eq(_, _) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
+            Formula::Forall(_, _, body) | Formula::Exists(_, _, body) => 1 + body.size(),
+        }
+    }
+
+    /// The set of constant atoms appearing in the formula. Used by the
+    /// privacy/leakage metric (Sec. 7): concrete atoms in an envelope are
+    /// fragments of the sender's configuration made visible.
+    pub fn constants(&self) -> BTreeSet<AtomId> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<AtomId>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(_, args) => {
+                for t in args {
+                    if let Term::Const(a) = t {
+                        out.insert(*a);
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Const(c) = t {
+                        out.insert(*c);
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_constants(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_constants(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_constants(out);
+                b.collect_constants(out);
+            }
+            Formula::Forall(_, _, body) | Formula::Exists(_, _, body) => {
+                body.collect_constants(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{Domain, PartyId, Universe, Vocabulary};
+
+    fn setup() -> (Universe, Vocabulary, RelId, RelId, SortId) {
+        let mut u = Universe::new();
+        let svc = u.add_sort("Service");
+        u.add_atom(svc, "a");
+        u.add_atom(svc, "b");
+        let mut v = Vocabulary::new();
+        let r_struct = v.add_simple_rel("listens", vec![svc, svc], Domain::Structure);
+        let r_k8s = v.add_simple_rel("k8s_deny", vec![svc], Domain::Party(PartyId(0)));
+        (u, v, r_struct, r_k8s, svc)
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let (_, mut v, r, _, svc) = setup();
+        let x = v.fresh_var();
+        let y = v.fresh_var();
+        let f = Formula::forall(
+            x,
+            svc,
+            Formula::pred(r, [Term::Var(x), Term::Var(y)]),
+        );
+        assert_eq!(f.free_vars(), BTreeSet::from([y]));
+        let closed = Formula::exists(y, svc, f);
+        assert!(closed.free_vars().is_empty());
+    }
+
+    #[test]
+    fn substitution_avoids_capture_by_shadowing() {
+        let (mut u, mut v, r, _, svc) = setup();
+        let a = u.add_atom(svc, "c");
+        let x = v.fresh_var();
+        // x is free in the predicate but re-bound inside the quantifier.
+        let f = Formula::and([
+            Formula::pred(r, [Term::Var(x), Term::Var(x)]),
+            Formula::forall(x, svc, Formula::pred(r, [Term::Var(x), Term::Var(x)])),
+        ]);
+        let g = f.substitute(x, a);
+        match &g {
+            Formula::And(parts) => {
+                assert_eq!(
+                    parts[0],
+                    Formula::pred(r, [Term::Const(a), Term::Const(a)])
+                );
+                // The shadowed body is untouched.
+                assert_eq!(
+                    parts[1],
+                    Formula::forall(x, svc, Formula::pred(r, [Term::Var(x), Term::Var(x)]))
+                );
+            }
+            _ => panic!("expected And"),
+        }
+    }
+
+    #[test]
+    fn domain_analysis() {
+        let (_, mut v, r_struct, r_k8s, svc) = setup();
+        let x = v.fresh_var();
+        let f = Formula::forall(
+            x,
+            svc,
+            Formula::or([
+                Formula::pred(r_struct, [Term::Var(x), Term::Var(x)]),
+                Formula::pred(r_k8s, [Term::Var(x)]),
+            ]),
+        );
+        let doms = f.domains(&v);
+        assert!(doms.contains(&Domain::Structure));
+        assert!(doms.contains(&Domain::Party(PartyId(0))));
+        assert!(f.mentions_domain(&v, Domain::Party(PartyId(0))));
+        assert!(!f.mentions_domain(&v, Domain::Party(PartyId(1))));
+    }
+
+    #[test]
+    fn size_and_constants() {
+        let (u, mut v, r, _, svc) = setup();
+        let a = u.atom(svc, "a").unwrap();
+        let x = v.fresh_var();
+        let f = Formula::implies(
+            Formula::pred(r, [Term::Const(a), Term::Var(x)]),
+            Formula::True,
+        );
+        assert_eq!(f.size(), 3);
+        assert_eq!(f.constants(), BTreeSet::from([a]));
+    }
+}

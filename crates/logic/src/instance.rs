@@ -1,0 +1,385 @@
+//! Concrete and partial configuration instances.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::symbols::{AtomId, Domain, RelId, Universe, Vocabulary};
+
+/// A concrete instance: for each relation, the set of tuples it contains.
+///
+/// Instances play two roles in Muppet: a party's *configuration* `C_A`
+/// (tables for the relations that party owns, plus the shared structure)
+/// and the solver's *model* output (tables for everything).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Instance {
+    tables: BTreeMap<RelId, BTreeSet<Vec<AtomId>>>,
+}
+
+impl Instance {
+    /// An empty instance (all relations empty).
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Insert a tuple into `rel`.
+    pub fn insert(&mut self, rel: RelId, tuple: Vec<AtomId>) {
+        self.tables.entry(rel).or_default().insert(tuple);
+    }
+
+    /// Remove a tuple from `rel`.
+    pub fn remove(&mut self, rel: RelId, tuple: &[AtomId]) {
+        if let Some(t) = self.tables.get_mut(&rel) {
+            t.remove(tuple);
+        }
+    }
+
+    /// Does `rel` contain `tuple`?
+    pub fn holds(&self, rel: RelId, tuple: &[AtomId]) -> bool {
+        self.tables
+            .get(&rel)
+            .map(|t| t.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// The tuples of `rel` (empty set if never touched).
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &Vec<AtomId>> {
+        self.tables.get(&rel).into_iter().flatten()
+    }
+
+    /// Number of tuples in `rel`.
+    pub fn count(&self, rel: RelId) -> usize {
+        self.tables.get(&rel).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(BTreeSet::len).sum()
+    }
+
+    /// Every (relation, tuple) pair in the instance.
+    pub fn all_tuples(&self) -> Vec<(RelId, Vec<AtomId>)> {
+        self.tables
+            .iter()
+            .flat_map(|(r, ts)| ts.iter().map(move |t| (*r, t.clone())))
+            .collect()
+    }
+
+    /// Merge another instance into this one (set union per relation).
+    ///
+    /// This is the `C_A ∪ C_B` of Algs. 1–2: the two parties own disjoint
+    /// relations, so union is simply laying the tables side by side.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for (rel, tuples) in &other.tables {
+            let entry = out.tables.entry(*rel).or_default();
+            for t in tuples {
+                entry.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Restrict to the relations owned by `domain`.
+    pub fn restrict_to_domain(&self, vocab: &Vocabulary, domain: Domain) -> Instance {
+        let mut out = Instance::new();
+        for (rel, tuples) in &self.tables {
+            if vocab.rel(*rel).owner == domain {
+                out.tables.insert(*rel, tuples.clone());
+            }
+        }
+        out
+    }
+
+    /// Symmetric-difference size against another instance, counted in
+    /// tuples. This is the *edit distance* used for minimal-edit feedback
+    /// (Fig. 8) and the negotiation experiments.
+    pub fn distance(&self, other: &Instance) -> usize {
+        let mut d = 0;
+        let rels: BTreeSet<RelId> = self
+            .tables
+            .keys()
+            .chain(other.tables.keys())
+            .copied()
+            .collect();
+        for rel in rels {
+            let a = self.tables.get(&rel);
+            let b = other.tables.get(&rel);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    d += a.symmetric_difference(b).count();
+                }
+                (Some(a), None) => d += a.len(),
+                (None, Some(b)) => d += b.len(),
+                (None, None) => {}
+            }
+        }
+        d
+    }
+
+    /// Sanity-check that every tuple matches its relation's declared
+    /// arity and argument sorts. Returns the first violation found.
+    pub fn validate(&self, vocab: &Vocabulary, universe: &Universe) -> Result<(), String> {
+        for (rel, tuples) in &self.tables {
+            let decl = vocab.rel(*rel);
+            for t in tuples {
+                if t.len() != decl.arg_sorts.len() {
+                    return Err(format!(
+                        "relation {} expects arity {}, got tuple of length {}",
+                        decl.name,
+                        decl.arg_sorts.len(),
+                        t.len()
+                    ));
+                }
+                for (i, &atom) in t.iter().enumerate() {
+                    if universe.sort_of(atom) != decl.arg_sorts[i] {
+                        return Err(format!(
+                            "relation {} argument {} expects sort {}, got atom {}",
+                            decl.name,
+                            i,
+                            universe.sort_name(decl.arg_sorts[i]),
+                            universe.atom_name(atom)
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A partial instance: per-relation lower and upper bounds.
+///
+/// This is how the paper's `C??` — a configuration "with holes … or a full
+/// configuration that labels some settings as soft" — is represented, in
+/// direct analogy to Kodkod's partial instances:
+///
+/// * a tuple in the **lower** bound *must* be present (a hard setting);
+/// * a tuple in the **upper** bound *may* be present (a hole or a soft
+///   setting the solver is free to use);
+/// * a tuple outside the upper bound is forbidden.
+///
+/// An "empty `C??`" (complete flexibility, Sec. 4.1) is the partial
+/// instance with empty lower bounds and full upper bounds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartialInstance {
+    lower: BTreeMap<RelId, BTreeSet<Vec<AtomId>>>,
+    upper: BTreeMap<RelId, BTreeSet<Vec<AtomId>>>,
+}
+
+impl PartialInstance {
+    /// An empty partial instance: no relations bounded yet. Relations not
+    /// mentioned at all are treated by the solver according to its
+    /// defaults (free over the full product for owned relations).
+    pub fn new() -> PartialInstance {
+        PartialInstance::default()
+    }
+
+    /// Require `tuple ∈ rel` (hard setting). Also enters the upper bound.
+    pub fn require(&mut self, rel: RelId, tuple: Vec<AtomId>) {
+        self.upper.entry(rel).or_default().insert(tuple.clone());
+        self.lower.entry(rel).or_default().insert(tuple);
+    }
+
+    /// Permit `tuple ∈ rel` (hole / soft setting).
+    pub fn permit(&mut self, rel: RelId, tuple: Vec<AtomId>) {
+        self.upper.entry(rel).or_default().insert(tuple);
+    }
+
+    /// Mark `rel` as bounded with what has been required/permitted so far
+    /// even if that is nothing (i.e. an explicitly *fixed* empty or partial
+    /// relation, rather than an unbounded hole).
+    pub fn bound(&mut self, rel: RelId) {
+        self.upper.entry(rel).or_default();
+        self.lower.entry(rel).or_default();
+    }
+
+    /// Is `rel` explicitly bounded?
+    pub fn is_bounded(&self, rel: RelId) -> bool {
+        self.upper.contains_key(&rel)
+    }
+
+    /// Lower-bound tuples for `rel`.
+    pub fn lower(&self, rel: RelId) -> impl Iterator<Item = &Vec<AtomId>> {
+        self.lower.get(&rel).into_iter().flatten()
+    }
+
+    /// Upper-bound tuples for `rel`.
+    pub fn upper(&self, rel: RelId) -> impl Iterator<Item = &Vec<AtomId>> {
+        self.upper.get(&rel).into_iter().flatten()
+    }
+
+    /// Is `tuple` required (in the lower bound)?
+    pub fn is_required(&self, rel: RelId, tuple: &[AtomId]) -> bool {
+        self.lower
+            .get(&rel)
+            .map(|t| t.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Is `tuple` allowed (in the upper bound, or the relation unbounded)?
+    pub fn is_allowed(&self, rel: RelId, tuple: &[AtomId]) -> bool {
+        match self.upper.get(&rel) {
+            Some(t) => t.contains(tuple),
+            None => true,
+        }
+    }
+
+    /// Fix a relation exactly to the tuples of `inst` (no freedom).
+    pub fn fix_from(&mut self, rel: RelId, inst: &Instance) {
+        self.bound(rel);
+        for t in inst.tuples(rel) {
+            self.require(rel, t.clone());
+        }
+    }
+
+    /// Treat every tuple of `inst` as *soft*: permitted but not required.
+    /// This is the paper's "full configuration that labels some settings
+    /// as 'soft'" (here: all of them; callers can `require` the hard
+    /// subset afterwards).
+    pub fn soft_from(&mut self, rel: RelId, inst: &Instance) {
+        self.bound(rel);
+        for t in inst.tuples(rel) {
+            self.permit(rel, t.clone());
+        }
+    }
+
+    /// Does a concrete instance respect these bounds
+    /// (`lower ⊆ inst ⊆ upper` on every bounded relation)?
+    pub fn admits(&self, inst: &Instance) -> bool {
+        for (rel, lower) in &self.lower {
+            for t in lower {
+                if !inst.holds(*rel, t) {
+                    return false;
+                }
+            }
+        }
+        for (rel, upper) in &self.upper {
+            for t in inst.tuples(*rel) {
+                if !upper.contains(t) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The relations explicitly bounded by this partial instance.
+    pub fn bounded_rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.upper.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{Domain, PartyId, Universe, Vocabulary};
+
+    fn setup() -> (Universe, Vocabulary, RelId, Vec<AtomId>) {
+        let mut u = Universe::new();
+        let s = u.add_sort("S");
+        let atoms = vec![u.add_atom(s, "x"), u.add_atom(s, "y")];
+        let mut v = Vocabulary::new();
+        let r = v.add_simple_rel("r", vec![s, s], Domain::Party(PartyId(0)));
+        (u, v, r, atoms)
+    }
+
+    #[test]
+    fn instance_basic_ops() {
+        let (_, _, r, a) = setup();
+        let mut i = Instance::new();
+        assert!(!i.holds(r, &[a[0], a[1]]));
+        i.insert(r, vec![a[0], a[1]]);
+        assert!(i.holds(r, &[a[0], a[1]]));
+        assert_eq!(i.count(r), 1);
+        i.remove(r, &[a[0], a[1]]);
+        assert!(!i.holds(r, &[a[0], a[1]]));
+    }
+
+    #[test]
+    fn union_and_distance() {
+        let (_, _, r, a) = setup();
+        let mut i1 = Instance::new();
+        i1.insert(r, vec![a[0], a[0]]);
+        i1.insert(r, vec![a[0], a[1]]);
+        let mut i2 = Instance::new();
+        i2.insert(r, vec![a[0], a[1]]);
+        i2.insert(r, vec![a[1], a[1]]);
+        let u = i1.union(&i2);
+        assert_eq!(u.count(r), 3);
+        assert_eq!(i1.distance(&i2), 2);
+        assert_eq!(i1.distance(&i1), 0);
+        assert_eq!(i1.distance(&Instance::new()), 2);
+    }
+
+    #[test]
+    fn validation_catches_arity_and_sort_errors() {
+        let (mut u, mut v, r, a) = setup();
+        let other = u.add_sort("T");
+        let t_atom = u.add_atom(other, "t");
+        let mut ok = Instance::new();
+        ok.insert(r, vec![a[0], a[1]]);
+        assert!(ok.validate(&v, &u).is_ok());
+        let mut bad_arity = Instance::new();
+        bad_arity.insert(r, vec![a[0]]);
+        assert!(bad_arity.validate(&v, &u).is_err());
+        let mut bad_sort = Instance::new();
+        bad_sort.insert(r, vec![a[0], t_atom]);
+        assert!(bad_sort.validate(&v, &u).is_err());
+        let _ = v.fresh_var();
+    }
+
+    #[test]
+    fn partial_instance_bounds() {
+        let (_, _, r, a) = setup();
+        let mut p = PartialInstance::new();
+        // Unbounded: everything allowed, nothing required.
+        assert!(p.is_allowed(r, &[a[0], a[0]]));
+        assert!(!p.is_required(r, &[a[0], a[0]]));
+        p.require(r, vec![a[0], a[1]]);
+        p.permit(r, vec![a[1], a[1]]);
+        assert!(p.is_required(r, &[a[0], a[1]]));
+        assert!(p.is_allowed(r, &[a[1], a[1]]));
+        assert!(!p.is_allowed(r, &[a[0], a[0]]));
+
+        let mut good = Instance::new();
+        good.insert(r, vec![a[0], a[1]]);
+        assert!(p.admits(&good));
+        good.insert(r, vec![a[1], a[1]]);
+        assert!(p.admits(&good));
+        let mut missing_required = Instance::new();
+        missing_required.insert(r, vec![a[1], a[1]]);
+        assert!(!p.admits(&missing_required));
+        let mut extra = Instance::new();
+        extra.insert(r, vec![a[0], a[1]]);
+        extra.insert(r, vec![a[0], a[0]]);
+        assert!(!p.admits(&extra));
+    }
+
+    #[test]
+    fn soft_and_fix_builders() {
+        let (_, _, r, a) = setup();
+        let mut base = Instance::new();
+        base.insert(r, vec![a[0], a[0]]);
+
+        let mut soft = PartialInstance::new();
+        soft.soft_from(r, &base);
+        assert!(soft.admits(&Instance::new())); // may drop everything
+        assert!(soft.admits(&base));
+
+        let mut hard = PartialInstance::new();
+        hard.fix_from(r, &base);
+        assert!(!hard.admits(&Instance::new()));
+        assert!(hard.admits(&base));
+    }
+
+    #[test]
+    fn restrict_to_domain_keeps_only_owned() {
+        let (_, mut v, r, a) = setup();
+        let r2 = v.add_simple_rel("other", vec![], Domain::Party(PartyId(1)));
+        let mut i = Instance::new();
+        i.insert(r, vec![a[0], a[0]]);
+        i.insert(r2, vec![]);
+        let only0 = i.restrict_to_domain(&v, Domain::Party(PartyId(0)));
+        assert_eq!(only0.count(r), 1);
+        assert_eq!(only0.count(r2), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # muppet-logic — bounded many-sorted first-order logic
+//!
+//! The paper (Sec. 4) assumes "administrator goals can be translated (by
+//! the system, not the administrator) to bounded first-order formulas" and
+//! builds on the Kodkod/Pardinus formula-manipulation library. This crate
+//! is our from-scratch replacement: a small, carefully-specified logic with
+//! exactly the operations Muppet's algorithms need.
+//!
+//! * **Sorts and universes** ([`Sort`], [`Universe`]): finite domains of
+//!   named atoms (services, ports, labels).
+//! * **Vocabulary** ([`Vocabulary`], [`RelDecl`]): relation symbols, each
+//!   *owned* by a [`Domain`] — either shared system `Structure` or one
+//!   party's configuration domain. Ownership is what makes Alg. 3's
+//!   "`vars(φ) ∩ dom(B) ≠ ∅`" filter and substitution well-defined.
+//! * **Formulas** ([`Formula`]): boolean connectives, bounded quantifiers,
+//!   relation atoms and equality, plus the operations Muppet needs —
+//!   evaluation over an [`Instance`], boolean [`simplify`]cation,
+//!   [`decompose`] into subformulas (Alg. 3 step 1), domain analysis, and
+//!   **partial evaluation** against a fixed configuration
+//!   ([`partial_eval`]) — the `subst(φ, C_A)` of Alg. 3.
+//! * **Instances** ([`Instance`], [`PartialInstance`]): concrete
+//!   configurations as relation tables, and partial configurations as
+//!   lower/upper bounds — the paper's "holes" and "soft" settings.
+//! * **Pretty-printing** ([`pretty`]): Alloy-style and English renderings
+//!   of formulas, reproducing the two presentations of Fig. 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decompose;
+mod eval;
+mod formula;
+mod instance;
+mod partial_eval;
+pub mod pretty;
+mod simplify;
+mod symbols;
+mod term;
+
+pub use decompose::decompose;
+pub use eval::{evaluate, evaluate_closed, EvalError};
+pub use formula::Formula;
+pub use instance::{Instance, PartialInstance};
+pub use partial_eval::partial_eval;
+pub use simplify::{nnf, simplify};
+pub use symbols::{
+    AtomId, Domain, PartyId, RelDecl, RelId, Sort, SortId, Universe, VarId, Vocabulary,
+};
+pub use term::Term;

@@ -1,0 +1,480 @@
+//! Partial evaluation against a fixed configuration — the `subst(φ, C_A)`
+//! of Alg. 3.
+//!
+//! Given a subformula φ that mentions both the sender A's relations and
+//! the recipient B's, envelope extraction must replace "any mention of an
+//! item from A's domain … with the concrete settings provided by C_A".
+//! Concretely:
+//!
+//! * ground atoms over A-owned relations are *evaluated* against `C_A`
+//!   and replaced by `true`/`false`;
+//! * quantifiers whose variable reaches an A-owned atom are *expanded*
+//!   over their (finite) sort so those atoms become ground — but
+//!   quantifiers that never touch A's domain stay symbolic, which is why
+//!   the Fig. 5 envelope retains its `all src, dst: Service` shape;
+//! * everything else is left intact.
+//!
+//! The result, after [`crate::simplify`], is a formula purely over the
+//! remaining domains (B's relations and shared structure).
+
+use std::collections::BTreeSet;
+
+use crate::formula::Formula;
+use crate::instance::Instance;
+use crate::symbols::{Domain, Universe, VarId, Vocabulary};
+use crate::term::Term;
+
+/// Partially evaluate `f`: atoms over relations owned by a domain in
+/// `eval_domains` are decided using `fixed`; the rest of the formula is
+/// preserved. The output mentions no relation owned by `eval_domains`.
+///
+/// A *uniformity pre-pass* keeps envelopes readable: an evaluated-domain
+/// atom whose truth value is the same for **every** instantiation of its
+/// variable arguments is replaced in place, without expanding the
+/// quantifiers that bind those variables. This is what lets the Fig. 5
+/// envelope keep its `all src, dst: Service` shape when the sender's
+/// configuration treats all services alike (e.g. an empty `C_A`, or a
+/// global ban). Non-uniform atoms still force quantifier expansion,
+/// which is semantically required.
+pub fn partial_eval(
+    f: &Formula,
+    fixed: &Instance,
+    eval_domains: &BTreeSet<Domain>,
+    vocab: &Vocabulary,
+    universe: &Universe,
+) -> Formula {
+    let pre = replace_uniform_atoms(f, fixed, eval_domains, vocab, universe);
+    partial_eval_expand(&pre, fixed, eval_domains, vocab, universe)
+}
+
+/// Replace eval-domain atoms whose truth is independent of their variable
+/// arguments.
+fn replace_uniform_atoms(
+    f: &Formula,
+    fixed: &Instance,
+    eval_domains: &BTreeSet<Domain>,
+    vocab: &Vocabulary,
+    universe: &Universe,
+) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(_, _) => f.clone(),
+        Formula::Pred(r, args) => {
+            if !eval_domains.contains(&vocab.rel(*r).owner) {
+                return f.clone();
+            }
+            // Enumerate every instantiation of the variable positions.
+            let decl = vocab.rel(*r);
+            let mut assignments: Vec<Vec<crate::symbols::AtomId>> = vec![Vec::new()];
+            for (i, t) in args.iter().enumerate() {
+                match t {
+                    Term::Const(a) => {
+                        for tuple in &mut assignments {
+                            tuple.push(*a);
+                        }
+                    }
+                    Term::Var(_) => {
+                        let atoms = universe.atoms_of(decl.arg_sorts[i]);
+                        let mut next = Vec::with_capacity(assignments.len() * atoms.len());
+                        for tuple in &assignments {
+                            for &a in atoms {
+                                let mut t2 = tuple.clone();
+                                t2.push(a);
+                                next.push(t2);
+                            }
+                        }
+                        assignments = next;
+                    }
+                }
+            }
+            let mut values = assignments.iter().map(|t| fixed.holds(*r, t));
+            match values.next() {
+                None => Formula::False, // empty sort: vacuous atom
+                Some(first) => {
+                    if values.all(|v| v == first) {
+                        if first {
+                            Formula::True
+                        } else {
+                            Formula::False
+                        }
+                    } else {
+                        f.clone()
+                    }
+                }
+            }
+        }
+        Formula::Not(g) => Formula::not(replace_uniform_atoms(g, fixed, eval_domains, vocab, universe)),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| replace_uniform_atoms(g, fixed, eval_domains, vocab, universe))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| replace_uniform_atoms(g, fixed, eval_domains, vocab, universe))
+                .collect(),
+        ),
+        Formula::Implies(a, b) => Formula::implies(
+            replace_uniform_atoms(a, fixed, eval_domains, vocab, universe),
+            replace_uniform_atoms(b, fixed, eval_domains, vocab, universe),
+        ),
+        Formula::Iff(a, b) => Formula::iff(
+            replace_uniform_atoms(a, fixed, eval_domains, vocab, universe),
+            replace_uniform_atoms(b, fixed, eval_domains, vocab, universe),
+        ),
+        Formula::Forall(v, s, body) => Formula::forall(
+            *v,
+            *s,
+            replace_uniform_atoms(body, fixed, eval_domains, vocab, universe),
+        ),
+        Formula::Exists(v, s, body) => Formula::exists(
+            *v,
+            *s,
+            replace_uniform_atoms(body, fixed, eval_domains, vocab, universe),
+        ),
+    }
+}
+
+fn partial_eval_expand(
+    f: &Formula,
+    fixed: &Instance,
+    eval_domains: &BTreeSet<Domain>,
+    vocab: &Vocabulary,
+    universe: &Universe,
+) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(_, _) => f.clone(),
+        Formula::Pred(r, args) => {
+            if eval_domains.contains(&vocab.rel(*r).owner) {
+                // All arguments must be ground here: quantifiers binding
+                // variables that reach this atom are expanded below before
+                // we recurse into them.
+                let tuple: Option<Vec<_>> = args.iter().map(|t| t.as_const()).collect();
+                match tuple {
+                    Some(tuple) => {
+                        if fixed.holds(*r, &tuple) {
+                            Formula::True
+                        } else {
+                            Formula::False
+                        }
+                    }
+                    None => {
+                        // A free variable reached an evaluated atom: the
+                        // caller passed an open formula. Leave the atom
+                        // unevaluated rather than guess.
+                        debug_assert!(
+                            false,
+                            "partial_eval reached a non-ground atom over an \
+                             evaluated domain; was the input formula open?"
+                        );
+                        f.clone()
+                    }
+                }
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => Formula::not(partial_eval_expand(g, fixed, eval_domains, vocab, universe)),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| partial_eval_expand(g, fixed, eval_domains, vocab, universe))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| partial_eval_expand(g, fixed, eval_domains, vocab, universe))
+                .collect(),
+        ),
+        Formula::Implies(a, b) => Formula::implies(
+            partial_eval_expand(a, fixed, eval_domains, vocab, universe),
+            partial_eval_expand(b, fixed, eval_domains, vocab, universe),
+        ),
+        Formula::Iff(a, b) => Formula::iff(
+            partial_eval_expand(a, fixed, eval_domains, vocab, universe),
+            partial_eval_expand(b, fixed, eval_domains, vocab, universe),
+        ),
+        Formula::Forall(v, s, body) => {
+            if var_reaches_eval_atom(body, *v, eval_domains, vocab) {
+                let parts = universe
+                    .atoms_of(*s)
+                    .iter()
+                    .map(|&a| {
+                        partial_eval_expand(
+                            &body.substitute(*v, a),
+                            fixed,
+                            eval_domains,
+                            vocab,
+                            universe,
+                        )
+                    })
+                    .collect();
+                Formula::And(parts)
+            } else {
+                Formula::forall(
+                    *v,
+                    *s,
+                    partial_eval_expand(body, fixed, eval_domains, vocab, universe),
+                )
+            }
+        }
+        Formula::Exists(v, s, body) => {
+            if var_reaches_eval_atom(body, *v, eval_domains, vocab) {
+                let parts = universe
+                    .atoms_of(*s)
+                    .iter()
+                    .map(|&a| {
+                        partial_eval_expand(
+                            &body.substitute(*v, a),
+                            fixed,
+                            eval_domains,
+                            vocab,
+                            universe,
+                        )
+                    })
+                    .collect();
+                Formula::Or(parts)
+            } else {
+                Formula::exists(
+                    *v,
+                    *s,
+                    partial_eval_expand(body, fixed, eval_domains, vocab, universe),
+                )
+            }
+        }
+    }
+}
+
+/// Does `var` occur (free) as an argument of an atom whose relation is
+/// owned by one of `eval_domains`?
+fn var_reaches_eval_atom(
+    f: &Formula,
+    var: VarId,
+    eval_domains: &BTreeSet<Domain>,
+    vocab: &Vocabulary,
+) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(_, _) => false,
+        Formula::Pred(r, args) => {
+            eval_domains.contains(&vocab.rel(*r).owner)
+                && args.contains(&Term::Var(var))
+        }
+        Formula::Not(g) => var_reaches_eval_atom(g, var, eval_domains, vocab),
+        Formula::And(fs) | Formula::Or(fs) => fs
+            .iter()
+            .any(|g| var_reaches_eval_atom(g, var, eval_domains, vocab)),
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            var_reaches_eval_atom(a, var, eval_domains, vocab)
+                || var_reaches_eval_atom(b, var, eval_domains, vocab)
+        }
+        Formula::Forall(v, _, body) | Formula::Exists(v, _, body) => {
+            *v != var && var_reaches_eval_atom(body, var, eval_domains, vocab)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::PartyId;
+    use crate::{evaluate_closed, simplify};
+
+    struct Fix {
+        u: Universe,
+        v: Vocabulary,
+        svc: crate::symbols::SortId,
+        // A-owned: deny(svc); B-owned: allow(svc); structure: listens(svc).
+        deny: crate::symbols::RelId,
+        allow: crate::symbols::RelId,
+        listens: crate::symbols::RelId,
+        atoms: Vec<crate::symbols::AtomId>,
+    }
+
+    fn fix() -> Fix {
+        let mut u = Universe::new();
+        let svc = u.add_sort("Service");
+        let atoms = vec![u.add_atom(svc, "fe"), u.add_atom(svc, "be")];
+        let mut v = Vocabulary::new();
+        let deny = v.add_simple_rel("deny", vec![svc], Domain::Party(PartyId(0)));
+        let allow = v.add_simple_rel("allow", vec![svc], Domain::Party(PartyId(1)));
+        let listens = v.add_simple_rel("listens", vec![svc], Domain::Structure);
+        Fix { u, v, svc, deny, allow, listens, atoms }
+    }
+
+    #[test]
+    fn closed_a_atoms_are_decided_in_place() {
+        let f = fix();
+        let mut ca = Instance::new();
+        ca.insert(f.deny, vec![f.atoms[0]]);
+        let doms = BTreeSet::from([Domain::Party(PartyId(0))]);
+        let g = Formula::or([
+            Formula::pred(f.deny, [Term::Const(f.atoms[0])]),
+            Formula::pred(f.allow, [Term::Const(f.atoms[1])]),
+        ]);
+        let out = simplify(&partial_eval(&g, &ca, &doms, &f.v, &f.u));
+        // deny(fe) is true under C_A, so the whole disjunct collapses.
+        assert_eq!(out, Formula::True);
+
+        let g2 = Formula::or([
+            Formula::pred(f.deny, [Term::Const(f.atoms[1])]),
+            Formula::pred(f.allow, [Term::Const(f.atoms[1])]),
+        ]);
+        let out2 = simplify(&partial_eval(&g2, &ca, &doms, &f.v, &f.u));
+        assert_eq!(out2, Formula::pred(f.allow, [Term::Const(f.atoms[1])]));
+    }
+
+    #[test]
+    fn quantifier_untouched_when_var_avoids_a_domain() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let doms = BTreeSet::from([Domain::Party(PartyId(0))]);
+        let ca = Instance::new();
+        // ∀x· (allow(x) ∨ listens(x)): no A-relations, quantifier must stay.
+        let g = Formula::forall(
+            x,
+            f.svc,
+            Formula::or([
+                Formula::pred(f.allow, [Term::Var(x)]),
+                Formula::pred(f.listens, [Term::Var(x)]),
+            ]),
+        );
+        let out = partial_eval(&g, &ca, &doms, &f.v, &f.u);
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn quantifier_expanded_when_var_reaches_a_atom() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let doms = BTreeSet::from([Domain::Party(PartyId(0))]);
+        let mut ca = Instance::new();
+        ca.insert(f.deny, vec![f.atoms[0]]);
+        // ∀x· (deny(x) ∨ allow(x)): must expand over {fe, be}; deny(fe)
+        // true ⇒ that conjunct vanishes; deny(be) false ⇒ allow(be)
+        // remains required.
+        let g = Formula::forall(
+            x,
+            f.svc,
+            Formula::or([
+                Formula::pred(f.deny, [Term::Var(x)]),
+                Formula::pred(f.allow, [Term::Var(x)]),
+            ]),
+        );
+        let out = simplify(&partial_eval(&g, &ca, &doms, &f.v, &f.u));
+        assert_eq!(out, Formula::pred(f.allow, [Term::Const(f.atoms[1])]));
+    }
+
+    #[test]
+    fn result_never_mentions_evaluated_domain() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let y = f.v.fresh_var();
+        let doms = BTreeSet::from([Domain::Party(PartyId(0))]);
+        let mut ca = Instance::new();
+        ca.insert(f.deny, vec![f.atoms[1]]);
+        let g = Formula::forall(
+            x,
+            f.svc,
+            Formula::implies(
+                Formula::pred(f.deny, [Term::Var(x)]),
+                Formula::exists(
+                    y,
+                    f.svc,
+                    Formula::and([
+                        Formula::pred(f.allow, [Term::Var(y)]),
+                        Formula::pred(f.listens, [Term::Var(x)]),
+                    ]),
+                ),
+            ),
+        );
+        let out = partial_eval(&g, &ca, &doms, &f.v, &f.u);
+        assert!(!out.mentions_domain(&f.v, Domain::Party(PartyId(0))));
+    }
+
+    #[test]
+    fn uniform_atoms_keep_quantifiers_symbolic() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let doms = BTreeSet::from([Domain::Party(PartyId(0))]);
+        // Global ban: deny(s) for every service — uniform.
+        let mut ca = Instance::new();
+        for &a in &f.atoms {
+            ca.insert(f.deny, vec![a]);
+        }
+        let g = Formula::forall(
+            x,
+            f.svc,
+            Formula::or([
+                Formula::not(Formula::pred(f.deny, [Term::Var(x)])),
+                Formula::pred(f.allow, [Term::Var(x)]),
+            ]),
+        );
+        let out = simplify(&partial_eval(&g, &ca, &doms, &f.v, &f.u));
+        // deny(x) uniformly true ⇒ ¬deny(x) vanishes; the quantifier
+        // survives un-expanded.
+        assert_eq!(
+            out,
+            Formula::forall(x, f.svc, Formula::pred(f.allow, [Term::Var(x)]))
+        );
+        // Non-uniform config must still expand.
+        let mut ca2 = Instance::new();
+        ca2.insert(f.deny, vec![f.atoms[0]]);
+        let out2 = simplify(&partial_eval(&g, &ca2, &doms, &f.v, &f.u));
+        assert!(!matches!(out2, Formula::Forall(_, _, _)));
+        assert!(!out2.mentions_domain(&f.v, Domain::Party(PartyId(0))));
+    }
+
+    /// Soundness: for every completion C_B of B's relations, the original
+    /// formula holds over C_A ∪ C_B iff the partially-evaluated formula
+    /// holds over C_B (plus structure).
+    #[test]
+    fn partial_eval_preserves_semantics_over_all_completions() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let doms = BTreeSet::from([Domain::Party(PartyId(0))]);
+        let formulas = vec![
+            Formula::forall(
+                x,
+                f.svc,
+                Formula::or([
+                    Formula::pred(f.deny, [Term::Var(x)]),
+                    Formula::pred(f.allow, [Term::Var(x)]),
+                ]),
+            ),
+            Formula::exists(
+                x,
+                f.svc,
+                Formula::and([
+                    Formula::not(Formula::pred(f.deny, [Term::Var(x)])),
+                    Formula::pred(f.listens, [Term::Var(x)]),
+                ]),
+            ),
+        ];
+        // Iterate over all C_A (deny tables) and all completions (allow ×
+        // listens tables).
+        for deny_mask in 0..4u32 {
+            let mut ca = Instance::new();
+            for (i, &a) in f.atoms.iter().enumerate() {
+                if deny_mask & (1 << i) != 0 {
+                    ca.insert(f.deny, vec![a]);
+                }
+            }
+            for g in &formulas {
+                let pe = partial_eval(g, &ca, &doms, &f.v, &f.u);
+                for rest_mask in 0..16u32 {
+                    let mut cb = Instance::new();
+                    for (i, &a) in f.atoms.iter().enumerate() {
+                        if rest_mask & (1 << i) != 0 {
+                            cb.insert(f.allow, vec![a]);
+                        }
+                        if rest_mask & (1 << (i + 2)) != 0 {
+                            cb.insert(f.listens, vec![a]);
+                        }
+                    }
+                    let combined = ca.union(&cb);
+                    let orig = evaluate_closed(g, &combined, &f.u).unwrap();
+                    let part = evaluate_closed(&pe, &cb, &f.u).unwrap();
+                    assert_eq!(orig, part, "deny={deny_mask} rest={rest_mask} g={g:?}");
+                }
+            }
+        }
+    }
+}

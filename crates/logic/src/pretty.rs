@@ -1,0 +1,322 @@
+//! Formula rendering: Alloy-style syntax and plain English.
+//!
+//! The paper presents envelopes in both forms (Fig. 5): an Alloy-syntax
+//! listing for precision and a numbered English translation for
+//! communication between administrators ("Would a textual translation
+//! help?", Sec. 7). [`Printer`] produces both.
+
+use std::collections::BTreeMap;
+
+use crate::formula::Formula;
+use crate::symbols::{Universe, VarId, Vocabulary};
+use crate::term::Term;
+
+/// Renders formulas using a vocabulary, a universe and optional
+/// human-readable variable names.
+pub struct Printer<'a> {
+    vocab: &'a Vocabulary,
+    universe: &'a Universe,
+    var_names: BTreeMap<VarId, String>,
+}
+
+impl<'a> Printer<'a> {
+    /// A printer with auto-generated variable names (`x0`, `x1`, …).
+    pub fn new(vocab: &'a Vocabulary, universe: &'a Universe) -> Printer<'a> {
+        Printer {
+            vocab,
+            universe,
+            var_names: BTreeMap::new(),
+        }
+    }
+
+    /// Provide a display name for a variable (e.g. `src`, `dst`).
+    pub fn name_var(&mut self, var: VarId, name: impl Into<String>) {
+        self.var_names.insert(var, name.into());
+    }
+
+    fn var_name(&self, v: VarId) -> String {
+        self.var_names
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| format!("x{}", v.0))
+    }
+
+    fn term(&self, t: Term) -> String {
+        match t {
+            Term::Var(v) => self.var_name(v),
+            Term::Const(a) => self.universe.atom_name(a).to_string(),
+        }
+    }
+
+    /// Alloy-style rendering, e.g.
+    /// `all src: Service | (deny[src, 23] or not listens[src, 23])`.
+    pub fn alloy(&self, f: &Formula) -> String {
+        match f {
+            Formula::True => "true".to_string(),
+            Formula::False => "false".to_string(),
+            Formula::Pred(r, args) => {
+                let args: Vec<String> = args.iter().map(|&t| self.term(t)).collect();
+                format!("{}[{}]", self.vocab.rel(*r).name, args.join(", "))
+            }
+            Formula::Eq(a, b) => format!("{} = {}", self.term(*a), self.term(*b)),
+            Formula::Not(g) => format!("not {}", self.alloy_atomic(g)),
+            Formula::And(fs) => self.alloy_nary(fs, "and", "true"),
+            Formula::Or(fs) => self.alloy_nary(fs, "or", "false"),
+            Formula::Implies(a, b) => {
+                format!("({} implies {})", self.alloy(a), self.alloy(b))
+            }
+            Formula::Iff(a, b) => format!("({} iff {})", self.alloy(a), self.alloy(b)),
+            Formula::Forall(v, s, body) => format!(
+                "all {}: {} | {}",
+                self.var_name(*v),
+                self.universe.sort_name(*s),
+                self.alloy(body)
+            ),
+            Formula::Exists(v, s, body) => format!(
+                "some {}: {} | {}",
+                self.var_name(*v),
+                self.universe.sort_name(*s),
+                self.alloy(body)
+            ),
+        }
+    }
+
+    fn alloy_nary(&self, fs: &[Formula], op: &str, empty: &str) -> String {
+        match fs.len() {
+            0 => empty.to_string(),
+            1 => self.alloy(&fs[0]),
+            _ => {
+                let parts: Vec<String> = fs.iter().map(|g| self.alloy(g)).collect();
+                format!("({})", parts.join(&format!(" {op} ")))
+            }
+        }
+    }
+
+    fn alloy_atomic(&self, f: &Formula) -> String {
+        match f {
+            Formula::Pred(_, _) | Formula::True | Formula::False | Formula::Eq(_, _) => {
+                self.alloy(f)
+            }
+            _ => format!("({})", self.alloy(f)),
+        }
+    }
+
+    /// Inline English rendering of a formula.
+    pub fn english(&self, f: &Formula) -> String {
+        match f {
+            Formula::True => "always".to_string(),
+            Formula::False => "never".to_string(),
+            Formula::Pred(r, args) => self.pred_english(*r, args, false),
+            Formula::Eq(a, b) => format!("{} equals {}", self.term(*a), self.term(*b)),
+            Formula::Not(g) => match g.as_ref() {
+                Formula::Pred(r, args) => self.pred_english(*r, args, true),
+                Formula::Eq(a, b) => {
+                    format!("{} differs from {}", self.term(*a), self.term(*b))
+                }
+                other => format!("it is not the case that {}", self.english(other)),
+            },
+            Formula::And(fs) => self.join_english(fs, "and", "always"),
+            Formula::Or(fs) => self.join_english(fs, "or", "never"),
+            Formula::Implies(a, b) => {
+                format!("if {}, then {}", self.english(a), self.english(b))
+            }
+            Formula::Iff(a, b) => {
+                format!("{} exactly when {}", self.english(a), self.english(b))
+            }
+            Formula::Forall(v, s, body) => format!(
+                "for every {} {}, {}",
+                self.universe.sort_name(*s).to_lowercase(),
+                self.var_name(*v),
+                self.english(body)
+            ),
+            Formula::Exists(v, s, body) => format!(
+                "for some {} {}, {}",
+                self.universe.sort_name(*s).to_lowercase(),
+                self.var_name(*v),
+                self.english(body)
+            ),
+        }
+    }
+
+    fn join_english(&self, fs: &[Formula], op: &str, empty: &str) -> String {
+        match fs.len() {
+            0 => empty.to_string(),
+            1 => self.english(&fs[0]),
+            _ => {
+                let parts: Vec<String> = fs.iter().map(|g| self.english(g)).collect();
+                parts.join(&format!(" {op} "))
+            }
+        }
+    }
+
+    fn pred_english(&self, r: crate::symbols::RelId, args: &[Term], negated: bool) -> String {
+        let decl = self.vocab.rel(r);
+        let template = if negated {
+            if !decl.english_neg.is_empty() {
+                decl.english_neg.clone()
+            } else if !decl.english.is_empty() {
+                format!("it is not the case that {}", decl.english)
+            } else {
+                String::new()
+            }
+        } else {
+            decl.english.clone()
+        };
+        if template.is_empty() {
+            let rendered: Vec<String> = args.iter().map(|&t| self.term(t)).collect();
+            let base = format!("{}({})", decl.name, rendered.join(", "));
+            return if negated { format!("not {base}") } else { base };
+        }
+        let mut out = template;
+        for (i, &t) in args.iter().enumerate() {
+            out = out.replace(&format!("{{{i}}}"), &self.term(t));
+        }
+        out
+    }
+
+    /// Multi-line, numbered English in the style of the paper's Fig. 5:
+    /// leading universal quantifiers become a "For all …" header and a
+    /// top-level disjunction becomes a numbered "either/or" list.
+    pub fn english_numbered(&self, f: &Formula) -> String {
+        let mut quantified = Vec::new();
+        let mut cur = f;
+        while let Formula::Forall(v, s, body) = cur {
+            quantified.push(format!(
+                "{}: {}",
+                self.var_name(*v),
+                self.universe.sort_name(*s)
+            ));
+            cur = body;
+        }
+        let mut out = String::new();
+        if !quantified.is_empty() {
+            out.push_str(&format!(
+                "For all {} pairs, either:\n",
+                quantified.join(", ")
+            ));
+        }
+        match cur {
+            Formula::Or(fs) if fs.len() > 1 => {
+                for (i, g) in fs.iter().enumerate() {
+                    let sentence = capitalize(&self.english(g));
+                    out.push_str(&format!("({}) {}.\n", i + 1, sentence));
+                }
+            }
+            other => {
+                out.push_str(&capitalize(&self.english(other)));
+                out.push_str(".\n");
+            }
+        }
+        out
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{Domain, PartyId, RelDecl};
+
+    fn fixture() -> (Universe, Vocabulary, Formula, VarId, VarId) {
+        let mut u = Universe::new();
+        let svc = u.add_sort("Service");
+        let port = u.add_sort("Port");
+        u.add_atom(svc, "frontend");
+        u.add_atom(svc, "backend");
+        let p23 = u.add_atom(port, "23");
+        let mut v = Vocabulary::new();
+        let listens = v.add_rel(RelDecl {
+            name: "listens".into(),
+            arg_sorts: vec![svc, port],
+            owner: Domain::Structure,
+            english: "{0} listens on port {1}".into(),
+            english_neg: "{0} does not listen on port {1}".into(),
+        });
+        let deny = v.add_rel(RelDecl {
+            name: "egress_deny".into(),
+            arg_sorts: vec![svc, port],
+            owner: Domain::Party(PartyId(1)),
+            english: "{0} is explicitly blocked from sending to port {1}".into(),
+            english_neg: String::new(),
+        });
+        let src = v.fresh_var();
+        let dst = v.fresh_var();
+        let f = Formula::forall(
+            src,
+            svc,
+            Formula::forall(
+                dst,
+                svc,
+                Formula::or([
+                    Formula::not(Formula::pred(
+                        listens,
+                        [Term::Var(dst), Term::Const(p23)],
+                    )),
+                    Formula::pred(deny, [Term::Var(src), Term::Const(p23)]),
+                ]),
+            ),
+        );
+        (u, v, f, src, dst)
+    }
+
+    #[test]
+    fn alloy_rendering() {
+        let (u, v, f, src, dst) = fixture();
+        let mut p = Printer::new(&v, &u);
+        p.name_var(src, "src");
+        p.name_var(dst, "dst");
+        let s = p.alloy(&f);
+        assert_eq!(
+            s,
+            "all src: Service | all dst: Service | \
+             (not listens[dst, 23] or egress_deny[src, 23])"
+        );
+    }
+
+    #[test]
+    fn english_uses_templates_and_negations() {
+        let (u, v, f, src, dst) = fixture();
+        let mut p = Printer::new(&v, &u);
+        p.name_var(src, "src");
+        p.name_var(dst, "dst");
+        let s = p.english(&f);
+        assert!(s.contains("dst does not listen on port 23"), "{s}");
+        assert!(
+            s.contains("src is explicitly blocked from sending to port 23"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn numbered_english_mirrors_fig5_shape() {
+        let (u, v, f, src, dst) = fixture();
+        let mut p = Printer::new(&v, &u);
+        p.name_var(src, "src");
+        p.name_var(dst, "dst");
+        let s = p.english_numbered(&f);
+        assert!(s.starts_with("For all src: Service, dst: Service pairs, either:"));
+        assert!(s.contains("(1) Dst does not listen on port 23."));
+        assert!(s.contains("(2) Src is explicitly blocked from sending to port 23."));
+    }
+
+    #[test]
+    fn fallback_names_and_rendering() {
+        let (u, v, _, _, _) = fixture();
+        let p = Printer::new(&v, &u);
+        let deny = v.rel_by_name("egress_deny").unwrap();
+        let g = Formula::not(Formula::pred(deny, [Term::Var(VarId(9))]));
+        // english_neg empty → "it is not the case that" prefix.
+        assert!(p.english(&g).contains("it is not the case that"));
+        assert!(p.alloy(&g).starts_with("not egress_deny[x9]"));
+        assert_eq!(p.alloy(&Formula::True), "true");
+        assert_eq!(p.english(&Formula::and([])), "always");
+        assert_eq!(p.english(&Formula::or([])), "never");
+    }
+}

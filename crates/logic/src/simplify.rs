@@ -1,0 +1,429 @@
+//! Boolean simplification.
+//!
+//! The paper shows its envelope (Fig. 5) "after applying elementary
+//! simplifications"; this module is those simplifications. They also serve
+//! the privacy discussion of Sec. 7: simplification removes concrete
+//! configuration fragments that partial evaluation would otherwise leak
+//! into an envelope.
+
+use crate::formula::Formula;
+
+/// Recursively simplify a formula.
+///
+/// Performed rewrites (all classical equivalences):
+/// * constant folding through every connective and quantifier;
+/// * flattening of nested `And`/`Or`;
+/// * deduplication of identical conjuncts/disjuncts;
+/// * `x ∧ ¬x → false`, `x ∨ ¬x → true` (syntactic complement pairs);
+/// * double-negation elimination;
+/// * unary `And`/`Or` unwrapping;
+/// * `a ⇒ false → ¬a`, `true ⇒ a → a`, etc.
+///
+/// Simplification is *semantics-preserving* (tested by property tests
+/// against [`crate::evaluate`]) and idempotent.
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Pred(_, _) => f.clone(),
+        Formula::Eq(a, b) => {
+            if a == b {
+                Formula::True
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(inner) => match simplify(inner) {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(g) => *g,
+            g => Formula::not(g),
+        },
+        Formula::And(fs) => {
+            let mut parts: Vec<Formula> = Vec::new();
+            for g in fs {
+                match simplify(g) {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(inner) => parts.extend(inner),
+                    other => parts.push(other),
+                }
+            }
+            dedup_keep_order(&mut parts);
+            if has_complement_pair(&parts) {
+                return Formula::False;
+            }
+            match parts.len() {
+                0 => Formula::True,
+                1 => parts.pop().expect("len checked"),
+                _ => Formula::And(parts),
+            }
+        }
+        Formula::Or(fs) => {
+            let mut parts: Vec<Formula> = Vec::new();
+            for g in fs {
+                match simplify(g) {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(inner) => parts.extend(inner),
+                    other => parts.push(other),
+                }
+            }
+            dedup_keep_order(&mut parts);
+            if has_complement_pair(&parts) {
+                return Formula::True;
+            }
+            match parts.len() {
+                0 => Formula::False,
+                1 => parts.pop().expect("len checked"),
+                _ => Formula::Or(parts),
+            }
+        }
+        Formula::Implies(a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            match (a, b) {
+                (Formula::False, _) => Formula::True,
+                (_, Formula::True) => Formula::True,
+                (Formula::True, b) => b,
+                (a, Formula::False) => simplify(&Formula::not(a)),
+                (a, b) if a == b => Formula::True,
+                (a, b) => Formula::implies(a, b),
+            }
+        }
+        Formula::Iff(a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            match (a, b) {
+                (Formula::True, b) => b,
+                (a, Formula::True) => a,
+                (Formula::False, b) => simplify(&Formula::not(b)),
+                (a, Formula::False) => simplify(&Formula::not(a)),
+                (a, b) if a == b => Formula::True,
+                (a, b) => Formula::iff(a, b),
+            }
+        }
+        Formula::Forall(v, s, body) => match simplify(body) {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            // Vacuous quantifier elimination: if the variable no longer
+            // occurs, drop the binder. (Sorts are non-empty by convention
+            // in Muppet universes; documented invariant.)
+            g if !g.free_vars().contains(v) => g,
+            g => Formula::forall(*v, *s, g),
+        },
+        Formula::Exists(v, s, body) => match simplify(body) {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            g if !g.free_vars().contains(v) => g,
+            g => Formula::exists(*v, *s, g),
+        },
+    }
+}
+
+/// Negation normal form: negations pushed to atoms, `⇒`/`⇔` expanded.
+///
+/// Envelope predicates are put in NNF before simplification so that the
+/// top level becomes the disjunction-of-conditions shape of the paper's
+/// Fig. 5 ("either: (1) …; or (2) …").
+pub fn nnf(f: &Formula) -> Formula {
+    nnf_pol(f, true)
+}
+
+fn nnf_pol(f: &Formula, positive: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if positive {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::False => {
+            if positive {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::Pred(_, _) | Formula::Eq(_, _) => {
+            if positive {
+                f.clone()
+            } else {
+                Formula::not(f.clone())
+            }
+        }
+        Formula::Not(g) => nnf_pol(g, !positive),
+        Formula::And(fs) => {
+            let parts = fs.iter().map(|g| nnf_pol(g, positive)).collect();
+            if positive {
+                Formula::And(parts)
+            } else {
+                Formula::Or(parts)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts = fs.iter().map(|g| nnf_pol(g, positive)).collect();
+            if positive {
+                Formula::Or(parts)
+            } else {
+                Formula::And(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            if positive {
+                // a ⇒ b ≡ ¬a ∨ b
+                Formula::Or(vec![nnf_pol(a, false), nnf_pol(b, true)])
+            } else {
+                // ¬(a ⇒ b) ≡ a ∧ ¬b
+                Formula::And(vec![nnf_pol(a, true), nnf_pol(b, false)])
+            }
+        }
+        Formula::Iff(a, b) => {
+            if positive {
+                Formula::And(vec![
+                    Formula::Or(vec![nnf_pol(a, false), nnf_pol(b, true)]),
+                    Formula::Or(vec![nnf_pol(b, false), nnf_pol(a, true)]),
+                ])
+            } else {
+                Formula::And(vec![
+                    Formula::Or(vec![nnf_pol(a, true), nnf_pol(b, true)]),
+                    Formula::Or(vec![nnf_pol(a, false), nnf_pol(b, false)]),
+                ])
+            }
+        }
+        Formula::Forall(v, s, body) => {
+            if positive {
+                Formula::forall(*v, *s, nnf_pol(body, true))
+            } else {
+                Formula::exists(*v, *s, nnf_pol(body, false))
+            }
+        }
+        Formula::Exists(v, s, body) => {
+            if positive {
+                Formula::exists(*v, *s, nnf_pol(body, true))
+            } else {
+                Formula::forall(*v, *s, nnf_pol(body, false))
+            }
+        }
+    }
+}
+
+fn dedup_keep_order(parts: &mut Vec<Formula>) {
+    let mut seen = Vec::new();
+    parts.retain(|p| {
+        if seen.contains(p) {
+            false
+        } else {
+            seen.push(p.clone());
+            true
+        }
+    });
+}
+
+fn has_complement_pair(parts: &[Formula]) -> bool {
+    for p in parts {
+        if let Formula::Not(inner) = p {
+            if parts.contains(inner) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{Domain, Universe, Vocabulary};
+    use crate::term::Term;
+    use crate::{evaluate_closed, Instance};
+
+    fn atom_formulas() -> (Universe, Vocabulary, Vec<Formula>) {
+        let mut u = Universe::new();
+        let s = u.add_sort("S");
+        let a = u.add_atom(s, "a");
+        let b = u.add_atom(s, "b");
+        let mut v = Vocabulary::new();
+        let p = v.add_simple_rel("p", vec![s], Domain::Structure);
+        let q = v.add_simple_rel("q", vec![s], Domain::Structure);
+        let fs = vec![
+            Formula::pred(p, [Term::Const(a)]),
+            Formula::pred(q, [Term::Const(b)]),
+            Formula::pred(p, [Term::Const(b)]),
+        ];
+        (u, v, fs)
+    }
+
+    #[test]
+    fn constant_folding() {
+        let (_, _, fs) = atom_formulas();
+        let p = fs[0].clone();
+        assert_eq!(
+            simplify(&Formula::and([Formula::True, p.clone()])),
+            p
+        );
+        assert_eq!(
+            simplify(&Formula::and([Formula::False, p.clone()])),
+            Formula::False
+        );
+        assert_eq!(simplify(&Formula::or([Formula::True, p.clone()])), Formula::True);
+        assert_eq!(simplify(&Formula::or([Formula::False, p.clone()])), p);
+        assert_eq!(simplify(&Formula::not(Formula::not(p.clone()))), p);
+        assert_eq!(
+            simplify(&Formula::implies(Formula::True, p.clone())),
+            p
+        );
+        assert_eq!(
+            simplify(&Formula::implies(p.clone(), Formula::False)),
+            Formula::not(p.clone())
+        );
+        assert_eq!(simplify(&Formula::iff(p.clone(), Formula::True)), p);
+    }
+
+    #[test]
+    fn flatten_dedupe_complements() {
+        let (_, _, fs) = atom_formulas();
+        let p = fs[0].clone();
+        let q = fs[1].clone();
+        let nested = Formula::and([
+            Formula::and([p.clone(), q.clone()]),
+            p.clone(),
+        ]);
+        assert_eq!(simplify(&nested), Formula::and([p.clone(), q.clone()]));
+        let contradiction = Formula::and([p.clone(), Formula::not(p.clone())]);
+        assert_eq!(simplify(&contradiction), Formula::False);
+        let tautology = Formula::or([p.clone(), Formula::not(p.clone())]);
+        assert_eq!(simplify(&tautology), Formula::True);
+    }
+
+    #[test]
+    fn trivial_equality_and_quantifiers() {
+        let mut u = Universe::new();
+        let s = u.add_sort("S");
+        u.add_atom(s, "a");
+        let mut v = Vocabulary::new();
+        let p = v.add_simple_rel("p", vec![s], Domain::Structure);
+        let x = v.fresh_var();
+        assert_eq!(
+            simplify(&Formula::Eq(Term::Var(x), Term::Var(x))),
+            Formula::True
+        );
+        assert_eq!(
+            simplify(&Formula::forall(x, s, Formula::True)),
+            Formula::True
+        );
+        assert_eq!(
+            simplify(&Formula::exists(x, s, Formula::False)),
+            Formula::False
+        );
+        // Vacuous binder dropped.
+        let y = v.fresh_var();
+        let body = Formula::pred(p, [Term::Var(x)]);
+        let g = Formula::forall(y, s, body.clone());
+        assert_eq!(simplify(&g), body);
+    }
+
+    #[test]
+    fn idempotent() {
+        let (_, _, fs) = atom_formulas();
+        let f = Formula::or([
+            Formula::and([fs[0].clone(), Formula::True, fs[1].clone()]),
+            Formula::not(Formula::not(fs[2].clone())),
+            Formula::False,
+        ]);
+        let once = simplify(&f);
+        let twice = simplify(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_atoms() {
+        let (_, mut v, fs) = atom_formulas();
+        let p = fs[0].clone();
+        let q = fs[1].clone();
+        // ¬(p ∧ q) → ¬p ∨ ¬q
+        let f = Formula::not(Formula::and([p.clone(), q.clone()]));
+        assert_eq!(
+            nnf(&f),
+            Formula::Or(vec![Formula::not(p.clone()), Formula::not(q.clone())])
+        );
+        // ¬(p ⇒ q) → p ∧ ¬q
+        let f = Formula::not(Formula::implies(p.clone(), q.clone()));
+        assert_eq!(
+            nnf(&f),
+            Formula::And(vec![p.clone(), Formula::not(q.clone())])
+        );
+        // ¬∀x·p → ∃x·¬p
+        let x = v.fresh_var();
+        let s = crate::symbols::SortId(0);
+        let f = Formula::not(Formula::forall(x, s, p.clone()));
+        assert_eq!(nnf(&f), Formula::exists(x, s, Formula::not(p.clone())));
+        // Constants flip.
+        assert_eq!(nnf(&Formula::not(Formula::True)), Formula::False);
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        let (u, _, fs) = atom_formulas();
+        let formulas = vec![
+            Formula::not(Formula::implies(fs[0].clone(), fs[1].clone())),
+            Formula::not(Formula::iff(fs[0].clone(), fs[2].clone())),
+            Formula::iff(fs[0].clone(), fs[2].clone()),
+            Formula::not(Formula::or([
+                Formula::and([fs[0].clone(), fs[1].clone()]),
+                Formula::not(fs[2].clone()),
+            ])),
+        ];
+        for mask in 0..8u32 {
+            let mut inst = Instance::new();
+            for (bit, f) in fs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    if let Formula::Pred(r, args) = f {
+                        inst.insert(*r, args.iter().map(|t| t.as_const().unwrap()).collect());
+                    }
+                }
+            }
+            for f in &formulas {
+                assert_eq!(
+                    evaluate_closed(f, &inst, &u).unwrap(),
+                    evaluate_closed(&nnf(f), &inst, &u).unwrap(),
+                    "mask {mask} formula {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_semantics_on_sampled_instances() {
+        let (u, _, fs) = atom_formulas();
+        // Enumerate all instances over the three ground atoms used.
+        let formulas = vec![
+            Formula::and([fs[0].clone(), Formula::or([fs[1].clone(), fs[2].clone()])]),
+            Formula::implies(fs[0].clone(), Formula::and([fs[1].clone(), Formula::False])),
+            Formula::iff(Formula::not(fs[0].clone()), fs[2].clone()),
+            Formula::or([
+                Formula::not(Formula::and([fs[0].clone(), fs[1].clone()])),
+                fs[2].clone(),
+            ]),
+        ];
+        // All subsets of {p(a), q(b), p(b)}: encode by bits.
+        let (pu, pv, _) = atom_formulas();
+        let _ = (pu, pv);
+        for mask in 0..8u32 {
+            let mut inst = Instance::new();
+            for (bit, f) in fs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    if let Formula::Pred(r, args) = f {
+                        let tuple: Vec<_> =
+                            args.iter().map(|t| t.as_const().unwrap()).collect();
+                        inst.insert(*r, tuple);
+                    }
+                }
+            }
+            for f in &formulas {
+                let before = evaluate_closed(f, &inst, &u).unwrap();
+                let after = evaluate_closed(&simplify(f), &inst, &u).unwrap();
+                assert_eq!(before, after, "mask {mask}, formula {f:?}");
+            }
+        }
+    }
+}

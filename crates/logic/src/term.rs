@@ -1,0 +1,75 @@
+//! Terms: variables and constants.
+
+use crate::symbols::{AtomId, VarId};
+
+/// A first-order term. The logic has no function symbols, so a term is
+/// either a bound variable or a constant atom.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A variable bound by an enclosing quantifier.
+    Var(VarId),
+    /// A constant atom of the universe.
+    Const(AtomId),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(self) -> Option<AtomId> {
+        match self {
+            Term::Const(a) => Some(a),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Replace `var` with `atom` (identity on other terms).
+    pub fn substitute(self, var: VarId, atom: AtomId) -> Term {
+        match self {
+            Term::Var(v) if v == var => Term::Const(atom),
+            t => t,
+        }
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<AtomId> for Term {
+    fn from(a: AtomId) -> Term {
+        Term::Const(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_hits_only_the_named_var() {
+        let v0 = VarId(0);
+        let v1 = VarId(1);
+        let a = AtomId(7);
+        assert_eq!(Term::Var(v0).substitute(v0, a), Term::Const(a));
+        assert_eq!(Term::Var(v1).substitute(v0, a), Term::Var(v1));
+        assert_eq!(Term::Const(AtomId(3)).substitute(v0, a), Term::Const(AtomId(3)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Term::Var(VarId(2)).as_var(), Some(VarId(2)));
+        assert_eq!(Term::Var(VarId(2)).as_const(), None);
+        assert_eq!(Term::Const(AtomId(4)).as_const(), Some(AtomId(4)));
+        assert_eq!(Term::from(VarId(1)), Term::Var(VarId(1)));
+        assert_eq!(Term::from(AtomId(1)), Term::Const(AtomId(1)));
+    }
+}

@@ -1,0 +1,414 @@
+//! The dataplane simulator: executable reference semantics for the
+//! combined K8s + Istio decision.
+//!
+//! The paper's running conflict (Sec. 2–3) exists because *either* layer
+//! can deny a flow: "if either Istio or K8s denies the traffic it will be
+//! denied even if the other party explicitly allows the traffic". This
+//! module is that semantics, written directly over the policy objects,
+//! with a human-readable trace for fault localization. The logical
+//! encoding in [`crate::encode`] is differentially tested against it.
+
+use crate::policy::{Action, AuthorizationPolicy, Direction, MtlsMode, NetworkPolicy, PeerAuthentication};
+use crate::service::{Mesh, Service};
+
+/// A candidate flow between two services.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Flow {
+    /// Source service name.
+    pub src: String,
+    /// Destination service name.
+    pub dst: String,
+    /// Source port (recorded for goal bookkeeping; the modeled policy
+    /// subsets do not constrain it, mirroring real NetworkPolicy /
+    /// AuthorizationPolicy port semantics).
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl Flow {
+    /// Construct a flow.
+    pub fn new(src: impl Into<String>, dst: impl Into<String>, src_port: u16, dst_port: u16) -> Flow {
+        Flow {
+            src: src.into(),
+            dst: dst.into(),
+            src_port,
+            dst_port,
+        }
+    }
+}
+
+/// The verdict for one flow, with the reasoning steps that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Is the flow delivered?
+    pub allowed: bool,
+    /// Human-readable explanation, one step per line. Used for the
+    /// fault-localization walkthroughs.
+    pub trace: Vec<String>,
+}
+
+impl Decision {
+    fn deny(trace: Vec<String>) -> Decision {
+        Decision {
+            allowed: false,
+            trace,
+        }
+    }
+}
+
+/// Evaluate one flow under the combined configuration.
+///
+/// Decision procedure (deny-overrides at every step):
+/// 1. the destination must listen on the destination port;
+/// 2. **K8s layer** — any matching DENY rule (ingress on dst, egress on
+///    src) denies; if a service has ALLOW policies for a direction, a
+///    flow in that direction must match one (default-deny-on-allow, as in
+///    real K8s once a pod is selected by a policy);
+/// 3. **Istio layer** — same shape over AuthorizationPolicies: DENY rules
+///    override; present ALLOW policies imply implicit deny of unmatched
+///    traffic (disjuncts 2–5 of the Fig. 5 envelope).
+pub fn evaluate_flow(
+    mesh: &Mesh,
+    k8s: &[NetworkPolicy],
+    istio: &[AuthorizationPolicy],
+    flow: &Flow,
+) -> Decision {
+    evaluate_flow_full(mesh, k8s, istio, &[], flow)
+}
+
+/// [`evaluate_flow`] with PeerAuthentication policies in play — the
+/// Sec. 7 authentication extension. A strict-mTLS destination rejects
+/// sources without a sidecar proxy at the transport layer, before
+/// either policy layer is consulted.
+pub fn evaluate_flow_full(
+    mesh: &Mesh,
+    k8s: &[NetworkPolicy],
+    istio: &[AuthorizationPolicy],
+    peer_auth: &[PeerAuthentication],
+    flow: &Flow,
+) -> Decision {
+    let mut trace = Vec::new();
+    let Some(src) = mesh.service(&flow.src) else {
+        return Decision::deny(vec![format!("unknown source service {:?}", flow.src)]);
+    };
+    let Some(dst) = mesh.service(&flow.dst) else {
+        return Decision::deny(vec![format!("unknown destination service {:?}", flow.dst)]);
+    };
+
+    if !dst.ports.contains(&flow.dst_port) {
+        return Decision::deny(vec![format!(
+            "{} does not listen on port {}",
+            dst.name, flow.dst_port
+        )]);
+    }
+    trace.push(format!("{} listens on port {}", dst.name, flow.dst_port));
+
+    // Transport layer: strict mTLS vs sidecar-less sources.
+    let strict = peer_auth
+        .iter()
+        .find(|p| p.mode == MtlsMode::Strict && p.selector.matches(dst));
+    if let Some(p) = strict {
+        if !src.sidecar {
+            trace.push(format!(
+                "PeerAuthentication {:?} requires strict mTLS on {}, but {} has no \
+                 sidecar: connection refused",
+                p.name, dst.name, src.name
+            ));
+            return Decision::deny(trace);
+        }
+        trace.push(format!(
+            "strict mTLS on {} satisfied ({} has a sidecar)",
+            dst.name, src.name
+        ));
+    }
+
+    if let Some(d) = k8s_layer(k8s, src, dst, flow.dst_port, &mut trace) {
+        return d;
+    }
+    if let Some(d) = istio_layer(istio, src, dst, flow.dst_port, &mut trace) {
+        return d;
+    }
+    trace.push("no layer denied the flow: allowed".to_string());
+    Decision {
+        allowed: true,
+        trace,
+    }
+}
+
+/// Evaluate the K8s layer; `Some(deny)` short-circuits.
+fn k8s_layer(
+    policies: &[NetworkPolicy],
+    src: &Service,
+    dst: &Service,
+    dport: u16,
+    trace: &mut Vec<String>,
+) -> Option<Decision> {
+    for (direction, selected, peer) in [
+        (Direction::Ingress, dst, src),
+        (Direction::Egress, src, dst),
+    ] {
+        let applicable: Vec<&NetworkPolicy> = policies
+            .iter()
+            .filter(|p| p.direction == direction && p.selector.matches(selected))
+            .collect();
+        // Explicit denies override.
+        for p in &applicable {
+            if p.action == Action::Deny && p.rule_matches(peer, dport) {
+                trace.push(format!(
+                    "K8s NetworkPolicy {:?} denies {:?} traffic for {} (peer {}, port {})",
+                    p.name,
+                    direction,
+                    selected.name,
+                    peer.name,
+                    dport
+                ));
+                return Some(Decision::deny(std::mem::take(trace)));
+            }
+        }
+        // Implicit deny when allow policies exist but none matches.
+        let allows: Vec<&&NetworkPolicy> = applicable
+            .iter()
+            .filter(|p| p.action == Action::Allow)
+            .collect();
+        if !allows.is_empty() && !allows.iter().any(|p| p.rule_matches(peer, dport)) {
+            trace.push(format!(
+                "K8s {:?} allow-policies select {} but none matches peer {} port {}: implicit deny",
+                direction, selected.name, peer.name, dport
+            ));
+            return Some(Decision::deny(std::mem::take(trace)));
+        }
+        if !applicable.is_empty() {
+            trace.push(format!(
+                "K8s layer permits {:?} for {} (peer {}, port {})",
+                direction, selected.name, peer.name, dport
+            ));
+        }
+    }
+    None
+}
+
+/// Evaluate the Istio layer; `Some(deny)` short-circuits.
+fn istio_layer(
+    policies: &[AuthorizationPolicy],
+    src: &Service,
+    dst: &Service,
+    dport: u16,
+    trace: &mut Vec<String>,
+) -> Option<Decision> {
+    for (direction, selected, peer) in [
+        (Direction::Ingress, dst, src),
+        (Direction::Egress, src, dst),
+    ] {
+        let applicable: Vec<&AuthorizationPolicy> = policies
+            .iter()
+            .filter(|p| p.direction == direction && p.selector.matches(selected))
+            .collect();
+        for p in &applicable {
+            if p.action == Action::Deny && p.rule_matches(peer, dport) {
+                trace.push(format!(
+                    "Istio AuthorizationPolicy {:?} (DENY, {:?}) matches {} ← {} on port {}",
+                    p.name, direction, selected.name, peer.name, dport
+                ));
+                return Some(Decision::deny(std::mem::take(trace)));
+            }
+        }
+        let allows: Vec<&&AuthorizationPolicy> = applicable
+            .iter()
+            .filter(|p| p.action == Action::Allow)
+            .collect();
+        if !allows.is_empty() && !allows.iter().any(|p| p.rule_matches(peer, dport)) {
+            trace.push(format!(
+                "Istio {:?} ALLOW-policies select {} but none matches peer {} port {}: \
+                 implicit deny",
+                direction, selected.name, peer.name, dport
+            ));
+            return Some(Decision::deny(std::mem::take(trace)));
+        }
+        if !applicable.is_empty() {
+            trace.push(format!(
+                "Istio layer permits {:?} for {} (peer {}, port {})",
+                direction, selected.name, peer.name, dport
+            ));
+        }
+    }
+    None
+}
+
+/// Evaluate every (src, dst, dport) combination in the mesh and return
+/// the allowed flows. Source port is fixed to 0 (unconstrained by the
+/// modeled policies). Used by tests and the experiment harness.
+pub fn allowed_matrix(
+    mesh: &Mesh,
+    k8s: &[NetworkPolicy],
+    istio: &[AuthorizationPolicy],
+) -> Vec<Flow> {
+    let mut out = Vec::new();
+    let ports = mesh.all_ports();
+    for src in mesh.services() {
+        for dst in mesh.services() {
+            if src.name == dst.name {
+                continue;
+            }
+            for &p in &ports {
+                let flow = Flow::new(src.name.clone(), dst.name.clone(), 0, p);
+                if evaluate_flow(mesh, k8s, istio, &flow).allowed {
+                    out.push(flow);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AuthPolicyRule, NetPolicyRule};
+    use crate::service::Selector;
+
+    fn mesh() -> Mesh {
+        Mesh::paper_example()
+    }
+
+    fn flow(src: &str, dst: &str, dport: u16) -> Flow {
+        Flow::new(src, dst, 0, dport)
+    }
+
+    #[test]
+    fn open_mesh_allows_listening_ports_only() {
+        let m = mesh();
+        assert!(evaluate_flow(&m, &[], &[], &flow("test-backend", "test-frontend", 23)).allowed);
+        assert!(evaluate_flow(&m, &[], &[], &flow("test-frontend", "test-backend", 25)).allowed);
+        // Backend does not listen on 23.
+        let d = evaluate_flow(&m, &[], &[], &flow("test-frontend", "test-backend", 23));
+        assert!(!d.allowed);
+        assert!(d.trace[0].contains("does not listen"));
+        // Unknown services.
+        assert!(!evaluate_flow(&m, &[], &[], &flow("ghost", "test-db", 16000)).allowed);
+        assert!(!evaluate_flow(&m, &[], &[], &flow("test-db", "ghost", 1)).allowed);
+    }
+
+    #[test]
+    fn k8s_global_port_ban_breaks_frontend_reachability() {
+        // The paper's conflict: ban port 23 globally; backend → frontend:23
+        // (previously fine) is now denied.
+        let m = mesh();
+        let ban = NetworkPolicy::deny_port_for_all("deny-telnet", 23);
+        let d = evaluate_flow(&m, std::slice::from_ref(&ban), &[], &flow("test-backend", "test-frontend", 23));
+        assert!(!d.allowed);
+        assert!(d.trace.last().unwrap().contains("deny-telnet"));
+        // Other flows unaffected.
+        assert!(
+            evaluate_flow(&m, std::slice::from_ref(&ban), &[], &flow("test-frontend", "test-backend", 25)).allowed
+        );
+    }
+
+    #[test]
+    fn k8s_allow_policies_cause_implicit_deny() {
+        let m = mesh();
+        // Allow ingress to backend only from frontend on 25.
+        let allow = NetworkPolicy {
+            name: "backend-allow".into(),
+            selector: Selector::label("app", "test-backend"),
+            direction: Direction::Ingress,
+            action: Action::Allow,
+            rules: vec![NetPolicyRule {
+                peer: Selector::label("app", "test-frontend"),
+                ports: [25].into_iter().collect(),
+                port_ranges: Vec::new(),
+            }],
+        };
+        assert!(
+            evaluate_flow(&m, std::slice::from_ref(&allow), &[], &flow("test-frontend", "test-backend", 25))
+                .allowed
+        );
+        // db → backend:12000 is implicitly denied (an allow policy selects
+        // backend, but no rule matches).
+        let d = evaluate_flow(&m, std::slice::from_ref(&allow), &[], &flow("test-db", "test-backend", 12000));
+        assert!(!d.allowed);
+        assert!(d.trace.last().unwrap().contains("implicit deny"));
+        // Frontend (not selected by any policy) keeps default-allow.
+        assert!(
+            evaluate_flow(&m, std::slice::from_ref(&allow), &[], &flow("test-backend", "test-frontend", 23)).allowed
+        );
+    }
+
+    #[test]
+    fn istio_deny_overrides_allow() {
+        let m = mesh();
+        let allow = AuthorizationPolicy {
+            name: "allow-all-to-frontend".into(),
+            selector: Selector::label("app", "test-frontend"),
+            direction: Direction::Ingress,
+            action: Action::Allow,
+            rules: vec![AuthPolicyRule::from_services(["test-backend"])],
+        };
+        let deny = AuthorizationPolicy {
+            name: "deny-backend".into(),
+            selector: Selector::label("app", "test-frontend"),
+            direction: Direction::Ingress,
+            action: Action::Deny,
+            rules: vec![AuthPolicyRule::from_services(["test-backend"])],
+        };
+        let f = flow("test-backend", "test-frontend", 23);
+        assert!(evaluate_flow(&m, &[], std::slice::from_ref(&allow), &f).allowed);
+        let d = evaluate_flow(&m, &[], &[allow, deny], &f);
+        assert!(!d.allowed);
+        assert!(d.trace.last().unwrap().contains("DENY"));
+    }
+
+    #[test]
+    fn istio_egress_policies_constrain_source_side() {
+        let m = mesh();
+        // Backend may only send to port 16000 (the db).
+        let egress = AuthorizationPolicy {
+            name: "backend-egress".into(),
+            selector: Selector::label("app", "test-backend"),
+            direction: Direction::Egress,
+            action: Action::Allow,
+            rules: vec![AuthPolicyRule::to_ports([16000])],
+        };
+        assert!(
+            evaluate_flow(&m, &[], std::slice::from_ref(&egress), &flow("test-backend", "test-db", 16000))
+                .allowed
+        );
+        let d = evaluate_flow(&m, &[], std::slice::from_ref(&egress), &flow("test-backend", "test-frontend", 23));
+        assert!(!d.allowed);
+        // Other sources unaffected.
+        assert!(
+            evaluate_flow(&m, &[], std::slice::from_ref(&egress), &flow("test-frontend", "test-backend", 25)).allowed
+        );
+    }
+
+    #[test]
+    fn either_layer_denying_denies() {
+        // "If either Istio or K8s denies the traffic it will be denied
+        // even if the other party explicitly allows the traffic."
+        let m = mesh();
+        let k8s_deny = NetworkPolicy::deny_port_for_all("ban", 23);
+        let istio_allow = AuthorizationPolicy {
+            name: "explicitly-allow".into(),
+            selector: Selector::label("app", "test-frontend"),
+            direction: Direction::Ingress,
+            action: Action::Allow,
+            rules: vec![AuthPolicyRule::from_services(["test-backend"])],
+        };
+        let f = flow("test-backend", "test-frontend", 23);
+        let d = evaluate_flow(&m, &[k8s_deny], &[istio_allow], &f);
+        assert!(!d.allowed);
+    }
+
+    #[test]
+    fn allowed_matrix_enumerates_reachability() {
+        let m = mesh();
+        let open = allowed_matrix(&m, &[], &[]);
+        // Every (src, dst≠src, listening port of dst) is allowed.
+        assert!(open.contains(&flow("test-backend", "test-frontend", 23)));
+        assert!(open.contains(&flow("test-db", "test-backend", 12000)));
+        assert!(!open.contains(&flow("test-db", "test-backend", 23)));
+        let banned = allowed_matrix(&m, &[NetworkPolicy::deny_port_for_all("b", 23)], &[]);
+        assert!(!banned.contains(&flow("test-backend", "test-frontend", 23)));
+        assert_eq!(open.len() - banned.len(), 2); // two sources lost frontend:23
+    }
+}

@@ -1,0 +1,318 @@
+//! Policy object models: K8s NetworkPolicy and Istio AuthorizationPolicy.
+//!
+//! Both are the *modeled subsets* of Sec. 5: "we modeled the K8s
+//! NetworkPolicy so that K8s administrators can control traffic to and
+//! from Services based on service selectors and ports", and "for
+//! AuthorizationPolicies, we modeled the subset relevant to Services,
+//! which gives the Istio administrator the ability to allow or deny
+//! traffic across services and ports".
+//!
+//! One deliberate extension, matching the paper's Fig. 2 goal table
+//! (`perm = DENY`): our NetworkPolicy rules carry an explicit
+//! allow/deny [`Action`], whereas stock K8s NetworkPolicy is allow-only.
+//! The manifest layer round-trips this through an `x-muppet-action`
+//! field (see `manifest`), and `DESIGN.md` records the deviation.
+
+use std::collections::BTreeSet;
+
+use crate::service::{Selector, Service};
+
+/// Whether a rule permits or forbids matching traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Action {
+    /// Permit matching traffic.
+    Allow,
+    /// Forbid matching traffic (overrides allows).
+    Deny,
+}
+
+/// The direction a policy constrains, relative to the selected service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Direction {
+    /// Traffic arriving at the selected service.
+    Ingress,
+    /// Traffic leaving the selected service.
+    Egress,
+}
+
+/// One rule of a [`NetworkPolicy`]: constrains the *peer* (the other end
+/// of the flow) and the destination port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetPolicyRule {
+    /// Which peer services the rule matches; `All` = any peer.
+    pub peer: Selector,
+    /// Destination ports the rule matches.
+    pub ports: BTreeSet<u16>,
+    /// Inclusive destination-port ranges (K8s `port`+`endPort`). A rule
+    /// with both `ports` and `port_ranges` empty matches any port.
+    pub port_ranges: Vec<(u16, u16)>,
+}
+
+impl NetPolicyRule {
+    /// Rule matching any peer on the given ports.
+    pub fn any_peer(ports: impl IntoIterator<Item = u16>) -> NetPolicyRule {
+        NetPolicyRule {
+            peer: Selector::All,
+            ports: ports.into_iter().collect(),
+            port_ranges: Vec::new(),
+        }
+    }
+
+    /// Rule matching any peer on an inclusive port range.
+    pub fn any_peer_range(start: u16, end: u16) -> NetPolicyRule {
+        NetPolicyRule {
+            peer: Selector::All,
+            ports: BTreeSet::new(),
+            port_ranges: vec![(start, end)],
+        }
+    }
+
+    /// Does this rule match a (peer, dport) combination?
+    pub fn matches(&self, peer: &Service, dport: u16) -> bool {
+        let port_ok = if self.ports.is_empty() && self.port_ranges.is_empty() {
+            true
+        } else {
+            self.ports.contains(&dport)
+                || self
+                    .port_ranges
+                    .iter()
+                    .any(|&(lo, hi)| (lo..=hi).contains(&dport))
+        };
+        self.peer.matches(peer) && port_ok
+    }
+}
+
+/// A (modeled) Kubernetes NetworkPolicy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkPolicy {
+    /// Object name (`metadata.name`).
+    pub name: String,
+    /// Which services the policy applies to (`spec.podSelector`).
+    pub selector: Selector,
+    /// Constrained direction.
+    pub direction: Direction,
+    /// Allow or deny (deny is the Muppet extension).
+    pub action: Action,
+    /// Rules; a flow is matched if *any* rule matches.
+    pub rules: Vec<NetPolicyRule>,
+}
+
+impl NetworkPolicy {
+    /// The paper's Fig. 2 goal as a policy: deny ingress on port 23 for
+    /// all services.
+    pub fn deny_port_for_all(name: impl Into<String>, port: u16) -> NetworkPolicy {
+        NetworkPolicy {
+            name: name.into(),
+            selector: Selector::All,
+            direction: Direction::Ingress,
+            action: Action::Deny,
+            rules: vec![NetPolicyRule::any_peer([port])],
+        }
+    }
+
+    /// Does any rule match the (peer, dport) pair? (Callers check the
+    /// selector against the *selected* service separately.)
+    pub fn rule_matches(&self, peer: &Service, dport: u16) -> bool {
+        self.rules.iter().any(|r| r.matches(peer, dport))
+    }
+}
+
+/// One rule of an [`AuthorizationPolicy`].
+///
+/// For an *ingress* policy (selecting the destination), `services` names
+/// permitted/forbidden **source** services — the
+/// `allow_from_service`/`deny_from_service` of Fig. 5. For an *egress*
+/// policy (selecting the source), `ports` names permitted/forbidden
+/// **destination** ports — the `allow_to_ports`/`deny_to_ports` of
+/// Fig. 5. Either field empty means "any".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthPolicyRule {
+    /// Peer service names (semantics depend on the policy direction).
+    pub services: BTreeSet<String>,
+    /// Peer namespaces (`from.source.namespaces`): matches any peer
+    /// living in one of them. Empty = no namespace constraint.
+    pub namespaces: BTreeSet<String>,
+    /// Destination ports.
+    pub ports: BTreeSet<u16>,
+}
+
+impl AuthPolicyRule {
+    /// Rule over destination ports only.
+    pub fn to_ports(ports: impl IntoIterator<Item = u16>) -> AuthPolicyRule {
+        AuthPolicyRule {
+            services: BTreeSet::new(),
+            namespaces: BTreeSet::new(),
+            ports: ports.into_iter().collect(),
+        }
+    }
+
+    /// Rule over peer services only.
+    pub fn from_services<S: Into<String>>(
+        services: impl IntoIterator<Item = S>,
+    ) -> AuthPolicyRule {
+        AuthPolicyRule {
+            services: services.into_iter().map(Into::into).collect(),
+            namespaces: BTreeSet::new(),
+            ports: BTreeSet::new(),
+        }
+    }
+
+    /// Rule over peer namespaces only.
+    pub fn from_namespaces<S: Into<String>>(
+        namespaces: impl IntoIterator<Item = S>,
+    ) -> AuthPolicyRule {
+        AuthPolicyRule {
+            services: BTreeSet::new(),
+            namespaces: namespaces.into_iter().map(Into::into).collect(),
+            ports: BTreeSet::new(),
+        }
+    }
+
+    /// Does the rule match a (peer service, dport)?
+    ///
+    /// `services` and `namespaces` are alternative *sources* (either
+    /// matching suffices, as in Istio's `from.source`); when both are
+    /// empty any peer matches.
+    pub fn matches(&self, peer: &Service, dport: u16) -> bool {
+        let peer_ok = if self.services.is_empty() && self.namespaces.is_empty() {
+            true
+        } else {
+            self.services.contains(&peer.name) || self.namespaces.contains(&peer.namespace)
+        };
+        peer_ok && (self.ports.is_empty() || self.ports.contains(&dport))
+    }
+}
+
+/// Mutual-TLS enforcement mode of a [`PeerAuthentication`] policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MtlsMode {
+    /// Only mTLS traffic is accepted: sources without a sidecar proxy
+    /// cannot connect at all.
+    Strict,
+    /// Both plaintext and mTLS are accepted.
+    Permissive,
+}
+
+/// A (modeled) Istio PeerAuthentication policy — the Sec. 7
+/// authentication extension ("there are many cries for help … about
+/// debugging interactions between other security elements in Istio and
+/// K8s, such as authentication").
+///
+/// Semantics (modeled subset): if any `Strict` policy selects the
+/// destination workload, flows from sources without a sidecar are
+/// denied at the transport layer, before any authorization policy is
+/// consulted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerAuthentication {
+    /// Object name (`metadata.name`).
+    pub name: String,
+    /// Target workloads (`spec.selector`).
+    pub selector: Selector,
+    /// `spec.mtls.mode`.
+    pub mode: MtlsMode,
+}
+
+/// A (modeled) Istio AuthorizationPolicy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthorizationPolicy {
+    /// Object name (`metadata.name`).
+    pub name: String,
+    /// Target workloads (`spec.selector`); `egress.target`/`ingress.target`
+    /// in the Fig. 5 envelope.
+    pub selector: Selector,
+    /// Which side of the selected service the policy constrains. Stock
+    /// Istio AuthorizationPolicies are server-side (ingress); the paper's
+    /// model also has egress policies on the source, which the manifest
+    /// layer round-trips via `x-muppet-direction`.
+    pub direction: Direction,
+    /// ALLOW or DENY (`spec.action`).
+    pub action: Action,
+    /// Rules; a flow is matched if *any* rule matches.
+    pub rules: Vec<AuthPolicyRule>,
+}
+
+impl AuthorizationPolicy {
+    /// Does any rule match the (peer, dport) pair?
+    pub fn rule_matches(&self, peer: &Service, dport: u16) -> bool {
+        self.rules.iter().any(|r| r.matches(peer, dport))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(name: &str) -> Service {
+        Service::new(name, [80])
+    }
+
+    #[test]
+    fn netpolicy_rule_matching() {
+        let r = NetPolicyRule {
+            peer: Selector::label("app", "web"),
+            ports: [23, 25].into_iter().collect(),
+            port_ranges: Vec::new(),
+        };
+        let web = svc("web");
+        let db = svc("db");
+        assert!(r.matches(&web, 23));
+        assert!(r.matches(&web, 25));
+        assert!(!r.matches(&web, 80));
+        assert!(!r.matches(&db, 23));
+        // Empty ports = any port.
+        let any = NetPolicyRule {
+            peer: Selector::All,
+            ports: BTreeSet::new(),
+            port_ranges: Vec::new(),
+        };
+        assert!(any.matches(&db, 9999));
+    }
+
+    #[test]
+    fn port_ranges_match_inclusively() {
+        let r = NetPolicyRule::any_peer_range(8000, 8005);
+        let s1 = svc("s");
+        assert!(r.matches(&s1, 8000));
+        assert!(r.matches(&s1, 8003));
+        assert!(r.matches(&s1, 8005));
+        assert!(!r.matches(&s1, 7999));
+        assert!(!r.matches(&s1, 8006));
+        // Mixed set + range: either matches.
+        let mixed = NetPolicyRule {
+            peer: Selector::All,
+            ports: [23u16].into_iter().collect(),
+            port_ranges: vec![(100, 200)],
+        };
+        assert!(mixed.matches(&s1, 23));
+        assert!(mixed.matches(&s1, 150));
+        assert!(!mixed.matches(&s1, 24));
+    }
+
+    #[test]
+    fn deny_port_for_all_matches_everything_on_the_port() {
+        let p = NetworkPolicy::deny_port_for_all("ban23", 23);
+        assert_eq!(p.action, Action::Deny);
+        assert_eq!(p.direction, Direction::Ingress);
+        assert!(matches!(p.selector, Selector::All));
+        assert!(p.rule_matches(&svc("anything"), 23));
+        assert!(!p.rule_matches(&svc("anything"), 24));
+    }
+
+    #[test]
+    fn auth_rule_matching() {
+        let r = AuthPolicyRule::from_services(["test-frontend"]);
+        assert!(r.matches(&svc("test-frontend"), 1));
+        assert!(!r.matches(&svc("test-backend"), 1));
+        let r = AuthPolicyRule::to_ports([25]);
+        assert!(r.matches(&svc("anyone"), 25));
+        assert!(!r.matches(&svc("anyone"), 26));
+        let both = AuthPolicyRule {
+            services: ["a".to_string()].into_iter().collect(),
+            namespaces: BTreeSet::new(),
+            ports: [1u16].into_iter().collect(),
+        };
+        assert!(both.matches(&svc("a"), 1));
+        assert!(!both.matches(&svc("a"), 2));
+        assert!(!both.matches(&svc("b"), 1));
+    }
+}

@@ -1,0 +1,222 @@
+//! Services, label selectors and the mesh structure.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A service in the mesh: the shared structure both administrators see.
+///
+/// This corresponds to the Fig. 1 boxes: a name (`test-frontend`), the
+/// labels policies select on, and the ports the service listens on
+/// (`active_ports` in the Fig. 5 envelope).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Service {
+    /// Unique service name.
+    pub name: String,
+    /// The namespace the service lives in. Multi-tenant clusters — the
+    /// paper's motivating setting ("they need to make it possible for
+    /// those different teams … to deploy to a single cluster") — divide
+    /// services into namespaces, and several of the paper's cited help
+    /// posts are namespace-scoped policy confusions.
+    pub namespace: String,
+    /// Labels, e.g. `app: test-frontend`.
+    pub labels: BTreeMap<String, String>,
+    /// Ports the service listens on.
+    pub ports: BTreeSet<u16>,
+    /// Does the workload run an Istio sidecar proxy? Workloads without
+    /// one cannot originate mutual TLS, which matters once strict
+    /// PeerAuthentication is in play (the Sec. 7 authentication
+    /// extension).
+    pub sidecar: bool,
+}
+
+impl Service {
+    /// A service with an automatic `app: <name>` label.
+    pub fn new(name: impl Into<String>, ports: impl IntoIterator<Item = u16>) -> Service {
+        let name = name.into();
+        let mut labels = BTreeMap::new();
+        labels.insert("app".to_string(), name.clone());
+        Service {
+            name,
+            namespace: "default".to_string(),
+            labels,
+            ports: ports.into_iter().collect(),
+            sidecar: true,
+        }
+    }
+
+    /// Place the service in a namespace (builder style).
+    pub fn in_namespace(mut self, ns: impl Into<String>) -> Service {
+        self.namespace = ns.into();
+        self
+    }
+
+    /// Mark the service as running without a sidecar proxy (builder
+    /// style).
+    pub fn without_sidecar(mut self) -> Service {
+        self.sidecar = false;
+        self
+    }
+
+    /// Add a label (builder style).
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Service {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// A label selector, as used by both NetworkPolicy (`podSelector`) and
+/// AuthorizationPolicy (`selector.matchLabels`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Selector {
+    /// Matches every service (`{}` / `*` in the paper's Fig. 2).
+    #[default]
+    All,
+    /// Matches services whose labels include all the given pairs.
+    Labels(BTreeMap<String, String>),
+    /// Matches a single service by name (sugar used by goal files).
+    Name(String),
+    /// Matches every service in a namespace (K8s `namespaceSelector`).
+    Namespace(String),
+}
+
+impl Selector {
+    /// Selector for one label pair.
+    pub fn label(key: impl Into<String>, value: impl Into<String>) -> Selector {
+        let mut m = BTreeMap::new();
+        m.insert(key.into(), value.into());
+        Selector::Labels(m)
+    }
+
+    /// Does this selector match the service?
+    pub fn matches(&self, service: &Service) -> bool {
+        match self {
+            Selector::All => true,
+            Selector::Labels(req) => req
+                .iter()
+                .all(|(k, v)| service.labels.get(k).map(|x| x == v).unwrap_or(false)),
+            Selector::Name(n) => &service.name == n,
+            Selector::Namespace(ns) => &service.namespace == ns,
+        }
+    }
+}
+
+/// The mesh: the set of services. Shared, fixed structure.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Mesh {
+    services: Vec<Service>,
+}
+
+impl Mesh {
+    /// An empty mesh.
+    pub fn new() -> Mesh {
+        Mesh::default()
+    }
+
+    /// Add a service. Replaces any existing service of the same name.
+    pub fn add_service(&mut self, service: Service) {
+        self.services.retain(|s| s.name != service.name);
+        self.services.push(service);
+    }
+
+    /// All services, in insertion order.
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+
+    /// Find a service by name.
+    pub fn service(&self, name: &str) -> Option<&Service> {
+        self.services.iter().find(|s| s.name == name)
+    }
+
+    /// The services matched by a selector.
+    pub fn select(&self, selector: &Selector) -> Vec<&Service> {
+        self.services
+            .iter()
+            .filter(|s| selector.matches(s))
+            .collect()
+    }
+
+    /// All ports any service listens on.
+    pub fn all_ports(&self) -> BTreeSet<u16> {
+        self.services
+            .iter()
+            .flat_map(|s| s.ports.iter().copied())
+            .collect()
+    }
+
+    /// The Fig. 1 example mesh: frontend, backend and database with the
+    /// paper's port assignments (frontend listens on 23, backend on 25
+    /// and 12000, database on 16000).
+    pub fn paper_example() -> Mesh {
+        let mut m = Mesh::new();
+        m.add_service(Service::new("test-frontend", [23]));
+        m.add_service(Service::new("test-backend", [25, 12000]));
+        m.add_service(Service::new("test-db", [16000]));
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_match_by_label_name_and_all() {
+        let svc = Service::new("test-db", [16000]).with_label("tier", "data");
+        assert!(Selector::All.matches(&svc));
+        assert!(Selector::label("app", "test-db").matches(&svc));
+        assert!(Selector::label("tier", "data").matches(&svc));
+        assert!(!Selector::label("tier", "web").matches(&svc));
+        assert!(Selector::Name("test-db".into()).matches(&svc));
+        assert!(!Selector::Name("other".into()).matches(&svc));
+        let mut multi = BTreeMap::new();
+        multi.insert("app".to_string(), "test-db".to_string());
+        multi.insert("tier".to_string(), "data".to_string());
+        assert!(Selector::Labels(multi.clone()).matches(&svc));
+        multi.insert("zone".to_string(), "us".to_string());
+        assert!(!Selector::Labels(multi).matches(&svc));
+    }
+
+    #[test]
+    fn mesh_lookup_and_selection() {
+        let mesh = Mesh::paper_example();
+        assert_eq!(mesh.services().len(), 3);
+        assert!(mesh.service("test-backend").is_some());
+        assert!(mesh.service("nope").is_none());
+        assert_eq!(mesh.select(&Selector::All).len(), 3);
+        assert_eq!(
+            mesh.select(&Selector::label("app", "test-db"))
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["test-db"]
+        );
+        let ports = mesh.all_ports();
+        for p in [23u16, 25, 12000, 16000] {
+            assert!(ports.contains(&p));
+        }
+    }
+
+    #[test]
+    fn namespace_selector_and_builder() {
+        let svc = Service::new("pay-api", [8443]).in_namespace("pay");
+        assert_eq!(svc.namespace, "pay");
+        assert!(Selector::Namespace("pay".into()).matches(&svc));
+        assert!(!Selector::Namespace("shop".into()).matches(&svc));
+        // Default namespace.
+        let d = Service::new("x", [1]);
+        assert_eq!(d.namespace, "default");
+        assert!(Selector::Namespace("default".into()).matches(&d));
+        // Sidecar builder.
+        assert!(d.sidecar);
+        assert!(!Service::new("y", [1]).without_sidecar().sidecar);
+    }
+
+    #[test]
+    fn add_service_replaces_same_name() {
+        let mut mesh = Mesh::new();
+        mesh.add_service(Service::new("a", [1]));
+        mesh.add_service(Service::new("a", [2]));
+        assert_eq!(mesh.services().len(), 1);
+        assert!(mesh.service("a").unwrap().ports.contains(&2));
+    }
+}

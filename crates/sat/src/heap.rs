@@ -1,0 +1,180 @@
+//! Indexed max-heap ordered by variable activity (the VSIDS order).
+//!
+//! Supports O(log n) insert / pop / remove and, crucially, `increase`d
+//! re-ordering when a contained variable's activity is bumped — the
+//! operation MiniSat's `order_heap` provides.
+
+use crate::lit::Var;
+
+/// Max-heap over variables keyed by an external activity array.
+#[derive(Debug, Default)]
+pub(crate) struct ActivityHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `u32::MAX` when absent.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub fn new() -> ActivityHeap {
+        ActivityHeap::default()
+    }
+
+    /// Make room for a new variable (initially absent from the heap).
+    pub fn grow(&mut self) {
+        self.pos.push(ABSENT);
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != ABSENT
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v.0);
+        self.pos[v.index()] = (self.heap.len() - 1) as u32;
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Pop the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restore heap order after `v`'s activity was increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(i) = self.position(v) {
+            self.sift_up(i, activity);
+        }
+    }
+
+    /// Rebuild the heap after a global activity rescale (order unchanged,
+    /// so this is a no-op kept for clarity) or after bulk insertion.
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i, activity);
+        }
+    }
+
+    fn position(&self, v: Var) -> Option<usize> {
+        let p = self.pos[v.index()];
+        if p == ABSENT {
+            None
+        } else {
+            Some(p as usize)
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for _ in 0..5 {
+            h.grow();
+        }
+        for i in 0..5 {
+            h.insert(var(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&activity).map(Var::index)).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn bumped_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for _ in 0..3 {
+            h.grow();
+        }
+        for i in 0..3 {
+            h.insert(var(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(var(0), &activity);
+        assert_eq!(h.pop(&activity), Some(var(0)));
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_contains_tracks() {
+        let activity = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.grow();
+        h.grow();
+        h.insert(var(0), &activity);
+        h.insert(var(0), &activity);
+        assert!(h.contains(var(0)));
+        assert!(!h.contains(var(1)));
+        assert_eq!(h.pop(&activity), Some(var(0)));
+        assert_eq!(h.pop(&activity), None);
+        assert!(h.is_empty());
+    }
+}

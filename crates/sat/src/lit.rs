@@ -1,0 +1,196 @@
+//! Variables, literals and the three-valued assignment type.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from zero.
+///
+/// Variables are created by [`crate::Solver::new_var`]; the solver owns the
+/// numbering. `Var` is a plain index wrapper so it can key into dense
+/// vectors without hashing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Construct a variable from its raw index.
+    ///
+    /// Only meaningful for indices previously handed out by a solver (or
+    /// when building a [`crate::DimacsProblem`] by hand).
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means the *negative*
+/// literal, the classic MiniSat packing. This keeps watch lists and
+/// assignment lookups branch-free.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var` (true when `var` is true).
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var` (true when `var` is false).
+    pub fn neg(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Build a literal from a variable and a polarity flag
+    /// (`positive == true` gives the positive literal).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense index of the literal itself (distinct for each polarity);
+    /// used to key watch lists.
+    pub(crate) fn code(self) -> usize {
+        self.0 as usize
+    }
+
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var().0)
+        } else {
+            write!(f, "!v{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued truth assignment: true, false or unassigned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not yet assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Truth value of a literal whose variable has this assignment,
+    /// accounting for the literal's polarity.
+    pub(crate) fn of_lit(self, lit: Lit) -> LBool {
+        match self {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// Convert from a concrete boolean.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// `true` iff assigned (either polarity).
+    pub fn is_assigned(self) -> bool {
+        !matches!(self, LBool::Undef)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_packing_roundtrip() {
+        let v = Var::from_index(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_ne!(p.code(), n.code());
+    }
+
+    #[test]
+    fn lbool_of_lit_respects_polarity() {
+        let v = Var::from_index(0);
+        assert_eq!(LBool::True.of_lit(Lit::pos(v)), LBool::True);
+        assert_eq!(LBool::True.of_lit(Lit::neg(v)), LBool::False);
+        assert_eq!(LBool::False.of_lit(Lit::pos(v)), LBool::False);
+        assert_eq!(LBool::False.of_lit(Lit::neg(v)), LBool::True);
+        assert_eq!(LBool::Undef.of_lit(Lit::pos(v)), LBool::Undef);
+    }
+
+    #[test]
+    fn lit_new_matches_pos_neg() {
+        let v = Var::from_index(3);
+        assert_eq!(Lit::new(v, true), Lit::pos(v));
+        assert_eq!(Lit::new(v, false), Lit::neg(v));
+    }
+}

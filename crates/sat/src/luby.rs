@@ -1,0 +1,85 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+//!
+//! CDCL restarts scheduled by the Luby sequence are within a constant
+//! factor of the optimal universal restart strategy; scaled by a base
+//! conflict interval they give the solver its restart cadence.
+
+/// `luby(i)` for `i >= 1`: the i-th element of the Luby sequence.
+///
+/// Defined by: `luby(2^k - 1) = 2^(k-1)` and
+/// `luby(i) = luby(i - 2^(k-1) + 1)` for `2^(k-1) <= i < 2^k - 1`.
+pub(crate) fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    let mut i = i;
+    loop {
+        // Smallest k with 2^k - 1 >= i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Iterator over the Luby sequence scaled by `base` conflicts.
+#[derive(Debug)]
+pub(crate) struct LubyRestarts {
+    base: u64,
+    index: u64,
+}
+
+impl LubyRestarts {
+    pub fn new(base: u64) -> LubyRestarts {
+        LubyRestarts { base, index: 0 }
+    }
+
+    /// Conflict budget for the next run.
+    pub fn next_budget(&mut self) -> u64 {
+        self.index += 1;
+        luby(self.index) * self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix_matches_known_values() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby((i + 1) as u64), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn restarts_scale_by_base() {
+        let mut r = LubyRestarts::new(64);
+        assert_eq!(r.next_budget(), 64);
+        assert_eq!(r.next_budget(), 64);
+        assert_eq!(r.next_budget(), 128);
+        assert_eq!(r.next_budget(), 64);
+    }
+
+    #[test]
+    fn luby_is_power_of_two() {
+        for i in 1..=1000u64 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn luby_self_similarity() {
+        // luby(i) for i in the left half of a block equals luby at the
+        // reduced index.
+        for k in 2..10u32 {
+            let block = (1u64 << k) - 1;
+            for i in (1u64 << (k - 1))..block {
+                assert_eq!(luby(i), luby(i - ((1u64 << (k - 1)) - 1)));
+            }
+        }
+    }
+}

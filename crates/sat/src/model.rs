@@ -1,0 +1,62 @@
+//! Satisfying assignments.
+
+use crate::lit::{Lit, Var};
+
+/// A total satisfying assignment returned by [`crate::Solver::solve`].
+///
+/// The model is a snapshot: it stays valid even if the solver is mutated
+/// afterwards (incremental use).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    pub(crate) fn new(values: Vec<bool>) -> Model {
+        Model { values }
+    }
+
+    /// Truth value of a variable.
+    ///
+    /// # Panics
+    /// Panics if `var` was created after this model was produced.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Truth value of a literal.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of variables covered by the model.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Check that every clause (given as a slice of literals) is satisfied.
+    /// Convenience for tests and debugging.
+    pub fn satisfies_clause(&self, clause: &[Lit]) -> bool {
+        clause.iter().any(|&l| self.lit_value(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_lookups() {
+        let m = Model::new(vec![true, false]);
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert!(m.value(v0));
+        assert!(!m.value(v1));
+        assert!(m.lit_value(Lit::pos(v0)));
+        assert!(!m.lit_value(Lit::neg(v0)));
+        assert!(m.lit_value(Lit::neg(v1)));
+        assert_eq!(m.num_vars(), 2);
+        assert!(m.satisfies_clause(&[Lit::neg(v0), Lit::neg(v1)]));
+        assert!(!m.satisfies_clause(&[Lit::neg(v0), Lit::pos(v1)]));
+    }
+}

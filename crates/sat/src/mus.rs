@@ -1,0 +1,157 @@
+//! Minimal unsatisfiable subset (MUS) extraction over named groups.
+//!
+//! The paper's feedback mechanism (Sec. 4.3) blames failures on specific
+//! user inputs: "on configurations with 'holes,' feedback comes as an
+//! unsatisfiable core with blame information", following Torlak et al.'s
+//! minimal-core work. The encoding layer guards each user-visible unit
+//! (one goal row, one policy rule, one envelope predicate) with a fresh
+//! *selector* variable; solving under the selectors as assumptions yields
+//! a core of selectors, which this module shrinks to a *minimal* one by
+//! deletion-based minimization.
+
+use crate::lit::Lit;
+use crate::solver::{SolveResult, Solver};
+
+/// Shrink an assumption core to a minimal one (an irreducible subset whose
+/// members are all necessary for unsatisfiability).
+///
+/// `assumptions` must be jointly UNSAT with the solver's clauses. The
+/// returned subset is UNSAT, and removing any single member makes the
+/// check pass (i.e. it is a MUS over the assumption set, not merely a
+/// smaller core).
+///
+/// Deletion-based: try dropping each member in turn; keep the drop when
+/// the rest remains UNSAT. Each probe is a full (incremental) solver call,
+/// so cost is `O(k)` solves for `k` initial core members — fine at Muppet
+/// scale where cores name a handful of goals.
+///
+/// Returns `None` if the assumptions turn out to be satisfiable (caller
+/// bug) or a probe exhausts a configured conflict budget.
+pub fn shrink_core(solver: &mut Solver, assumptions: &[Lit]) -> Option<Vec<Lit>> {
+    // Start from the solver-reported core, which is usually already much
+    // smaller than the full assumption set.
+    let mut core: Vec<Lit> = match solver.solve_with_assumptions(assumptions) {
+        SolveResult::Unsat(core) => {
+            if core.is_empty() {
+                // Formula unsat on its own: the empty core is minimal.
+                return Some(Vec::new());
+            }
+            core
+        }
+        _ => return None,
+    };
+
+    let mut i = 0;
+    while i < core.len() {
+        let candidate: Vec<Lit> = core
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &l)| l)
+            .collect();
+        match solver.solve_with_assumptions(&candidate) {
+            SolveResult::Unsat(sub) => {
+                // Still unsat without core[i]; adopt the (possibly even
+                // smaller) reported core and restart scanning from the
+                // current position.
+                if sub.is_empty() {
+                    return Some(Vec::new());
+                }
+                core = sub;
+                i = 0;
+            }
+            SolveResult::Sat(_) => {
+                // core[i] is necessary.
+                i += 1;
+            }
+            SolveResult::Unknown => return None,
+        }
+    }
+    Some(core)
+}
+
+/// Check whether a set of assumptions is a *minimal* unsatisfiable subset:
+/// UNSAT as given, SAT after removing any single element. Intended for
+/// tests and assertions.
+pub fn is_minimal_core(solver: &mut Solver, core: &[Lit]) -> bool {
+    if !solver.solve_with_assumptions(core).is_unsat() {
+        return false;
+    }
+    for i in 0..core.len() {
+        let candidate: Vec<Lit> = core
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &l)| l)
+            .collect();
+        if !solver.solve_with_assumptions(&candidate).is_sat() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::{Lit, Var};
+
+    /// Build: selector s_i activates group clause(s). Groups:
+    ///   g0: x        g1: ¬x       g2: y   (irrelevant)
+    /// MUS over {s0, s1, s2} must be exactly {s0, s1}.
+    #[test]
+    fn shrinks_to_exact_conflict_pair() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let sel: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        s.add_clause([Lit::neg(sel[0]), Lit::pos(x)]);
+        s.add_clause([Lit::neg(sel[1]), Lit::neg(x)]);
+        s.add_clause([Lit::neg(sel[2]), Lit::pos(y)]);
+        let assumptions: Vec<Lit> = sel.iter().map(|&v| Lit::pos(v)).collect();
+        let mut core = shrink_core(&mut s, &assumptions).unwrap();
+        core.sort_unstable();
+        let mut expect = vec![Lit::pos(sel[0]), Lit::pos(sel[1])];
+        expect.sort_unstable();
+        assert_eq!(core, expect);
+        assert!(is_minimal_core(&mut s, &core));
+    }
+
+    #[test]
+    fn sat_assumptions_return_none() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        s.add_clause([Lit::pos(x)]);
+        assert_eq!(shrink_core(&mut s, &[Lit::pos(x)]), None);
+    }
+
+    #[test]
+    fn unsat_formula_gives_empty_core() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        s.add_clause([Lit::pos(x)]);
+        s.add_clause([Lit::neg(x)]);
+        let y = s.new_var();
+        assert_eq!(shrink_core(&mut s, &[Lit::pos(y)]), Some(Vec::new()));
+    }
+
+    /// Overlapping conflicts: groups {a}, {¬a ∨ b}, {¬b}, {¬a}. Two MUSes
+    /// exist ({g0,g3} and {g0,g1,g2}); the shrunk core must be one of them
+    /// and must be minimal.
+    #[test]
+    fn finds_some_minimal_core_among_several() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let sel: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause([Lit::neg(sel[0]), Lit::pos(a)]);
+        s.add_clause([Lit::neg(sel[1]), Lit::neg(a), Lit::pos(b)]);
+        s.add_clause([Lit::neg(sel[2]), Lit::neg(b)]);
+        s.add_clause([Lit::neg(sel[3]), Lit::neg(a)]);
+        let assumptions: Vec<Lit> = sel.iter().map(|&v| Lit::pos(v)).collect();
+        let core = shrink_core(&mut s, &assumptions).unwrap();
+        assert!(is_minimal_core(&mut s, &core));
+        assert!(core.len() == 2 || core.len() == 3);
+        assert!(core.contains(&Lit::pos(sel[0])));
+    }
+}

@@ -1,0 +1,50 @@
+//! # muppet-solver — a bounded relational model finder
+//!
+//! The paper's prototype delegates its logic queries to the Pardinus
+//! target-oriented model finder, an extension of Kodkod. This crate is our
+//! from-scratch equivalent, sitting between `muppet-logic` (formulas,
+//! instances, bounds) and `muppet-sat` (the CDCL solver):
+//!
+//! * **Grounding** ([`ground()`]): bounded first-order formulas are expanded
+//!   over the finite universe into negation-normal propositional
+//!   structure, constant-folding fixed relations on the way.
+//! * **Variable mapping** ([`VarMap`]): each undetermined tuple of a
+//!   *free* relation becomes one SAT variable; bounds from a
+//!   [`muppet_logic::PartialInstance`] pin tuples true (lower bound) or
+//!   false (outside the upper bound) — exactly Kodkod's partial-instance
+//!   mechanism, which is how `C??` holes and soft settings reach the
+//!   solver.
+//! * **CNF conversion** ([`tseitin`]): one-sided (Plaisted–Greenbaum
+//!   style) Tseitin encoding, sound and complete for NNF inputs.
+//! * **Named groups and cores**: every formula group is guarded by a
+//!   selector literal; UNSAT answers come back as a *minimal* set of group
+//!   names (via `muppet-sat`'s MUS extraction), giving the paper's "unsat
+//!   core with blame information".
+//! * **Target-oriented solving** ([`Query::solve_target`]): find the model
+//!   *closest to a target instance* (minimal symmetric-difference),
+//!   implemented as MaxSAT linear search over a [`totalizer`] cardinality
+//!   encoding. This is Pardinus's headline feature and powers Muppet's
+//!   minimal-edit counter-offers (Fig. 8).
+//! * **Model enumeration** ([`Query::enumerate`]): iterate distinct models
+//!   via blocking clauses; used by tests to verify envelope
+//!   necessity/sufficiency by exhaustion on small universes.
+//! * **Symmetry breaking** ([`symmetry`], opt-in via
+//!   [`Query::set_symmetry_breaking`]): Kodkod's interchangeable-atom
+//!   optimization — lex-leader constraints over atoms the problem cannot
+//!   tell apart (spare ports). Only legal for plain satisfiability
+//!   queries; target-oriented and enumeration queries keep the full
+//!   model space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ground;
+pub mod query;
+pub mod symmetry;
+pub mod totalizer;
+pub mod tseitin;
+pub mod varmap;
+
+pub use ground::{ground, GExpr};
+pub use query::{FormulaGroup, Outcome, Query, QueryError, QueryStats};
+pub use varmap::VarMap;

@@ -1,0 +1,764 @@
+//! The query API: SAT questions about configurations.
+//!
+//! A [`Query`] packages what all of Muppet's algorithms share: a universe
+//! and vocabulary, a set of *free* relations with bounds (the holes and
+//! soft settings of `C??`), a *fixed* instance (structure plus any
+//! already-committed configuration), and named groups of goal formulas.
+//! `solve` answers Algs. 1–2's satisfiability questions, `solve_target`
+//! answers Pardinus-style "closest model" questions (Fig. 8 minimal
+//! edits), and `enumerate` lists models for exhaustive checks.
+
+use std::fmt;
+
+use muppet_logic::{Formula, Instance, PartialInstance, RelId, Universe, Vocabulary};
+use muppet_sat::{mus, Lit, SolveResult, Solver};
+
+use crate::ground::{ground, GExpr, GroundError};
+use crate::totalizer::Totalizer;
+use crate::tseitin::encode;
+use crate::varmap::VarMap;
+
+/// A named group of formulas. Groups are the unit of *blame*: an UNSAT
+/// answer names the minimal set of groups that conflict. Typical groups
+/// are one per goal row ("istio goal 2"), one per envelope predicate, or
+/// one per structural axiom.
+#[derive(Clone, Debug)]
+pub struct FormulaGroup {
+    /// Display name used in cores and feedback.
+    pub name: String,
+    /// The group's formulas (conjoined).
+    pub formulas: Vec<Formula>,
+}
+
+impl FormulaGroup {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, formulas: Vec<Formula>) -> FormulaGroup {
+        FormulaGroup {
+            name: name.into(),
+            formulas,
+        }
+    }
+}
+
+/// Counters from one query run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// Free (undetermined) tuple variables.
+    pub free_tuple_vars: usize,
+    /// SAT conflicts during the run.
+    pub conflicts: u64,
+    /// SAT decisions during the run.
+    pub decisions: u64,
+    /// SAT propagations during the run.
+    pub propagations: u64,
+}
+
+/// Result of [`Query::solve`].
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Satisfiable. `solution` is the fixed instance unioned with the
+    /// solver's choices for the free relations — a complete configuration.
+    Sat {
+        /// The complete satisfying instance.
+        solution: Instance,
+        /// Work counters.
+        stats: QueryStats,
+    },
+    /// Unsatisfiable. `core` is a *minimal* set of group names that are
+    /// jointly contradictory (blame information, Sec. 4.3).
+    Unsat {
+        /// Minimal conflicting group names.
+        core: Vec<String>,
+        /// Work counters.
+        stats: QueryStats,
+    },
+}
+
+impl Outcome {
+    /// `true` if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat { .. })
+    }
+
+    /// The solution instance, if satisfiable.
+    pub fn solution(&self) -> Option<&Instance> {
+        match self {
+            Outcome::Sat { solution, .. } => Some(solution),
+            Outcome::Unsat { .. } => None,
+        }
+    }
+
+    /// The blame core, if unsatisfiable.
+    pub fn core(&self) -> Option<&[String]> {
+        match self {
+            Outcome::Unsat { core, .. } => Some(core),
+            Outcome::Sat { .. } => None,
+        }
+    }
+}
+
+/// Errors from query execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A goal formula had a free variable.
+    Ground(GroundError),
+    /// The SAT solver gave up (only with an explicit conflict budget).
+    Unknown,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Ground(e) => write!(f, "grounding failed: {e}"),
+            QueryError::Unknown => write!(f, "solver budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<GroundError> for QueryError {
+    fn from(e: GroundError) -> QueryError {
+        QueryError::Ground(e)
+    }
+}
+
+/// A configurable model-finding query. See the module docs.
+pub struct Query<'a> {
+    vocab: &'a Vocabulary,
+    universe: &'a Universe,
+    free_rels: Vec<RelId>,
+    bounds: PartialInstance,
+    fixed: Instance,
+    groups: Vec<FormulaGroup>,
+    minimize_cores: bool,
+    symmetry_breaking: bool,
+}
+
+impl<'a> Query<'a> {
+    /// A query with no free relations, empty fixed instance and no goals.
+    pub fn new(vocab: &'a Vocabulary, universe: &'a Universe) -> Query<'a> {
+        Query {
+            vocab,
+            universe,
+            free_rels: Vec::new(),
+            bounds: PartialInstance::new(),
+            fixed: Instance::new(),
+            groups: Vec::new(),
+            minimize_cores: true,
+            symmetry_breaking: false,
+        }
+    }
+
+    /// Enable lex-leader symmetry breaking over interchangeable atoms
+    /// (see [`crate::symmetry`]). Applies to [`Query::solve`] only:
+    /// `solve_target` must see the whole model space to find the true
+    /// nearest model, and `enumerate` must not skip symmetric models, so
+    /// both ignore this flag.
+    pub fn set_symmetry_breaking(&mut self, enable: bool) -> &mut Self {
+        self.symmetry_breaking = enable;
+        self
+    }
+
+    /// Whether UNSAT cores are shrunk to minimal ones (default: yes).
+    /// Turning this off returns the solver's first core — faster but
+    /// potentially blaming more groups than necessary (ablation A2).
+    pub fn set_minimize_cores(&mut self, minimize: bool) -> &mut Self {
+        self.minimize_cores = minimize;
+        self
+    }
+
+    /// Declare `rel` as free (solver-decided).
+    pub fn free_rel(&mut self, rel: RelId) -> &mut Self {
+        if !self.free_rels.contains(&rel) {
+            self.free_rels.push(rel);
+        }
+        self
+    }
+
+    /// Declare several relations free.
+    pub fn free_rels(&mut self, rels: impl IntoIterator<Item = RelId>) -> &mut Self {
+        for r in rels {
+            self.free_rel(r);
+        }
+        self
+    }
+
+    /// Set partial-instance bounds for the free relations.
+    pub fn set_bounds(&mut self, bounds: PartialInstance) -> &mut Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Set the fixed instance (structure + committed configurations).
+    pub fn set_fixed(&mut self, fixed: Instance) -> &mut Self {
+        self.fixed = fixed;
+        self
+    }
+
+    /// Add a named formula group.
+    pub fn add_group(&mut self, group: FormulaGroup) -> &mut Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// The declared free relations.
+    pub fn free_relations(&self) -> &[RelId] {
+        &self.free_rels
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build(&self) -> Result<(Solver, VarMap, Vec<(String, Lit)>), QueryError> {
+        let mut solver = Solver::new();
+        let varmap = VarMap::build(
+            self.vocab,
+            self.universe,
+            &self.free_rels,
+            &self.bounds,
+            &mut solver,
+        );
+        let mut selectors = Vec::with_capacity(self.groups.len());
+        for g in &self.groups {
+            let parts = g
+                .formulas
+                .iter()
+                .map(|f| ground(f, &varmap, &self.fixed, self.universe))
+                .collect::<Result<Vec<_>, _>>()?;
+            let expr = if parts.len() == 1 {
+                parts.into_iter().next().expect("len checked")
+            } else {
+                GExpr::And(parts)
+            };
+            let lit = encode(&expr, &mut solver);
+            let sel = Lit::pos(solver.new_var());
+            solver.add_clause([!sel, lit]);
+            selectors.push((g.name.clone(), sel));
+        }
+        Ok((solver, varmap, selectors))
+    }
+
+    fn stats_of(varmap: &VarMap, solver: &Solver) -> QueryStats {
+        QueryStats {
+            free_tuple_vars: varmap.num_free_vars(),
+            conflicts: solver.stats.conflicts,
+            decisions: solver.stats.decisions,
+            propagations: solver.stats.propagations,
+        }
+    }
+
+    /// Is the conjunction of all groups satisfiable over the bounds?
+    pub fn solve(&self) -> Result<Outcome, QueryError> {
+        let (mut solver, varmap, selectors) = self.build()?;
+        if self.symmetry_breaking {
+            let formulas: Vec<&Formula> = self
+                .groups
+                .iter()
+                .flat_map(|g| g.formulas.iter())
+                .collect();
+            let classes = crate::symmetry::interchangeable_classes(
+                self.vocab,
+                self.universe,
+                &formulas,
+                &self.fixed,
+                &self.bounds,
+            );
+            crate::symmetry::add_symmetry_breaking(
+                &classes,
+                &self.free_rels,
+                self.vocab,
+                self.universe,
+                &varmap,
+                &mut solver,
+                crate::symmetry::DEFAULT_MAX_PAIRS,
+            );
+        }
+        let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
+        match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat(model) => {
+                let solution = self.fixed.union(&varmap.decode(&model));
+                let stats = Self::stats_of(&varmap, &solver);
+                Ok(Outcome::Sat { solution, stats })
+            }
+            SolveResult::Unsat(first_core) => {
+                let core_lits = if self.minimize_cores {
+                    mus::shrink_core(&mut solver, &assumptions).ok_or(QueryError::Unknown)?
+                } else {
+                    first_core
+                };
+                let core = selectors
+                    .iter()
+                    .filter(|(_, l)| core_lits.contains(l))
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                let stats = Self::stats_of(&varmap, &solver);
+                Ok(Outcome::Unsat { core, stats })
+            }
+            SolveResult::Unknown => Err(QueryError::Unknown),
+        }
+    }
+
+    /// Find the satisfying instance *closest to `target`* (fewest tuple
+    /// flips over the free relations). Returns the outcome and, when SAT,
+    /// the achieved distance.
+    ///
+    /// This reproduces Pardinus's target-oriented model finding: the
+    /// target is the administrator's rejected or preferred configuration,
+    /// and the answer is the minimal edit of it that satisfies the goals.
+    pub fn solve_target(&self, target: &Instance) -> Result<(Outcome, usize), QueryError> {
+        let (mut solver, varmap, selectors) = self.build()?;
+        let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
+
+        // Difference indicators: literal true iff the tuple's value in the
+        // model differs from its value in the target.
+        let mut diff_inputs = Vec::new();
+        for (var, rel, tuple) in varmap.free_tuples() {
+            let in_target = target.holds(rel, tuple);
+            diff_inputs.push(Lit::new(var, !in_target));
+        }
+        // Pinned tuples that disagree with the target contribute a fixed
+        // base distance no model can avoid.
+        let mut base = 0usize;
+        for &rel in &self.free_rels {
+            let decl = self.vocab.rel(rel);
+            for tuple in crate::varmap::tuple_product(self.universe, &decl.arg_sorts) {
+                match varmap.state(rel, &tuple) {
+                    Some(crate::varmap::TupleState::True)
+                        if !target.holds(rel, &tuple) => {
+                            base += 1;
+                        }
+                    Some(crate::varmap::TupleState::False)
+                        if target.holds(rel, &tuple) => {
+                            base += 1;
+                        }
+                    _ => {}
+                }
+            }
+        }
+
+        let tot = Totalizer::build(&diff_inputs, &mut solver);
+        // Linear search upward from distance 0: minimal edits are small in
+        // practice, so this touches few bounds.
+        for k in 0..=diff_inputs.len() {
+            let mut assms = assumptions.clone();
+            assms.extend(tot.at_most(k));
+            match solver.solve_with_assumptions(&assms) {
+                SolveResult::Sat(model) => {
+                    let solution = self.fixed.union(&varmap.decode(&model));
+                    let stats = Self::stats_of(&varmap, &solver);
+                    return Ok((Outcome::Sat { solution, stats }, base + k));
+                }
+                SolveResult::Unsat(_) => continue,
+                SolveResult::Unknown => return Err(QueryError::Unknown),
+            }
+        }
+        // Even unconstrained distance is unsat: produce a core.
+        let core_lits =
+            mus::shrink_core(&mut solver, &assumptions).ok_or(QueryError::Unknown)?;
+        let core = selectors
+            .iter()
+            .filter(|(_, l)| core_lits.contains(l))
+            .map(|(n, _)| n.clone())
+            .collect();
+        let stats = Self::stats_of(&varmap, &solver);
+        Ok((Outcome::Unsat { core, stats }, 0))
+    }
+
+    /// Enumerate up to `limit` distinct solutions (distinct over the free
+    /// relations). Intended for exhaustive verification on small
+    /// universes.
+    pub fn enumerate(&self, limit: usize) -> Result<Vec<Instance>, QueryError> {
+        let (mut solver, varmap, selectors) = self.build()?;
+        let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match solver.solve_with_assumptions(&assumptions) {
+                SolveResult::Sat(model) => {
+                    out.push(self.fixed.union(&varmap.decode(&model)));
+                    // Block this assignment of the free tuple vars.
+                    let blocking: Vec<Lit> = varmap
+                        .free_tuples()
+                        .map(|(v, _, _)| Lit::new(v, !model.value(v)))
+                        .collect();
+                    if blocking.is_empty() {
+                        break; // unique model
+                    }
+                    solver.add_clause(blocking);
+                }
+                SolveResult::Unsat(_) => break,
+                SolveResult::Unknown => return Err(QueryError::Unknown),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_logic::{evaluate_closed, Domain, PartyId, Term};
+
+    struct Fix {
+        u: Universe,
+        v: Vocabulary,
+        s: muppet_logic::SortId,
+        allow: RelId,
+        listens: RelId,
+        atoms: Vec<muppet_logic::AtomId>,
+    }
+
+    fn fix() -> Fix {
+        let mut u = Universe::new();
+        let s = u.add_sort("Service");
+        let atoms = vec![u.add_atom(s, "fe"), u.add_atom(s, "be"), u.add_atom(s, "db")];
+        let mut v = Vocabulary::new();
+        let allow = v.add_simple_rel("allow", vec![s, s], Domain::Party(PartyId(0)));
+        let listens = v.add_simple_rel("listens", vec![s], Domain::Structure);
+        Fix { u, v, s, allow, listens, atoms }
+    }
+
+    #[test]
+    fn synthesis_fills_free_relation() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let mut fixed = Instance::new();
+        fixed.insert(f.listens, vec![f.atoms[1]]);
+        // Goal: every listening service is allowed-from fe.
+        let goal = Formula::forall(
+            x,
+            f.s,
+            Formula::implies(
+                Formula::pred(f.listens, [Term::Var(x)]),
+                Formula::pred(f.allow, [Term::Const(f.atoms[0]), Term::Var(x)]),
+            ),
+        );
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow)
+            .set_fixed(fixed.clone())
+            .add_group(FormulaGroup::new("goal", vec![goal.clone()]));
+        match q.solve().unwrap() {
+            Outcome::Sat { solution, stats } => {
+                assert!(solution.holds(f.allow, &[f.atoms[0], f.atoms[1]]));
+                assert!(evaluate_closed(&goal, &solution, &f.u).unwrap());
+                assert_eq!(stats.free_tuple_vars, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_core_names_minimal_groups() {
+        let f = fix();
+        let t = [f.atoms[0], f.atoms[1]];
+        let pos = Formula::pred(f.allow, t.iter().map(|&a| Term::Const(a)));
+        let neg = Formula::not(pos.clone());
+        let other = Formula::pred(
+            f.allow,
+            [Term::Const(f.atoms[2]), Term::Const(f.atoms[2])],
+        );
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow)
+            .add_group(FormulaGroup::new("require", vec![pos]))
+            .add_group(FormulaGroup::new("forbid", vec![neg]))
+            .add_group(FormulaGroup::new("irrelevant", vec![other]));
+        match q.solve().unwrap() {
+            Outcome::Unsat { core, .. } => {
+                let mut core = core;
+                core.sort();
+                assert_eq!(core, vec!["forbid".to_string(), "require".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounds_pin_choices() {
+        let f = fix();
+        let t_req = vec![f.atoms[0], f.atoms[0]];
+        let t_opt = vec![f.atoms[0], f.atoms[1]];
+        let mut bounds = PartialInstance::new();
+        bounds.require(f.allow, t_req.clone());
+        bounds.permit(f.allow, t_opt.clone());
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow).set_bounds(bounds);
+        match q.solve().unwrap() {
+            Outcome::Sat { solution, .. } => {
+                assert!(solution.holds(f.allow, &t_req));
+                // Upper bound excludes everything else except t_opt.
+                for a in &f.atoms {
+                    for b in &f.atoms {
+                        let t = vec![*a, *b];
+                        if t != t_req && t != t_opt {
+                            assert!(!solution.holds(f.allow, &t));
+                        }
+                    }
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn target_solving_returns_closest_model() {
+        let f = fix();
+        // Goal: allow(fe,be) must hold. Target: empty config. Minimal
+        // edit = 1 (add just that tuple).
+        let goal = Formula::pred(
+            f.allow,
+            [Term::Const(f.atoms[0]), Term::Const(f.atoms[1])],
+        );
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow)
+            .add_group(FormulaGroup::new("g", vec![goal]));
+        let target = Instance::new();
+        let (outcome, dist) = q.solve_target(&target).unwrap();
+        match outcome {
+            Outcome::Sat { solution, .. } => {
+                assert_eq!(dist, 1);
+                assert_eq!(solution.distance(&target), 1);
+                assert!(solution.holds(f.allow, &[f.atoms[0], f.atoms[1]]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn target_solving_prefers_keeping_existing_tuples() {
+        let f = fix();
+        // Target has allow(db,db); goals don't mention it; the closest
+        // model must keep it.
+        let goal = Formula::pred(
+            f.allow,
+            [Term::Const(f.atoms[0]), Term::Const(f.atoms[1])],
+        );
+        let mut target = Instance::new();
+        target.insert(f.allow, vec![f.atoms[2], f.atoms[2]]);
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow)
+            .add_group(FormulaGroup::new("g", vec![goal]));
+        let (outcome, dist) = q.solve_target(&target).unwrap();
+        let solution = outcome.solution().unwrap().clone();
+        assert_eq!(dist, 1);
+        assert!(solution.holds(f.allow, &[f.atoms[2], f.atoms[2]]));
+        assert!(solution.holds(f.allow, &[f.atoms[0], f.atoms[1]]));
+    }
+
+    #[test]
+    fn target_base_distance_counts_pinned_disagreements() {
+        let f = fix();
+        let t = vec![f.atoms[0], f.atoms[0]];
+        let mut bounds = PartialInstance::new();
+        bounds.require(f.allow, t.clone()); // pinned true
+        // Target disagrees: does not contain t. Everything else outside
+        // the upper bound is pinned false and agrees with empty target.
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow).set_bounds(bounds);
+        let (outcome, dist) = q.solve_target(&Instance::new()).unwrap();
+        assert!(outcome.is_sat());
+        assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn enumerate_counts_models() {
+        let f = fix();
+        // allow(fe,fe) ∨ allow(fe,be), all other tuples excluded by upper
+        // bound ⇒ exactly 3 models (TT, TF, FT).
+        let t1 = vec![f.atoms[0], f.atoms[0]];
+        let t2 = vec![f.atoms[0], f.atoms[1]];
+        let mut bounds = PartialInstance::new();
+        bounds.permit(f.allow, t1.clone());
+        bounds.permit(f.allow, t2.clone());
+        let goal = Formula::or([
+            Formula::pred(f.allow, t1.iter().map(|&a| Term::Const(a))),
+            Formula::pred(f.allow, t2.iter().map(|&a| Term::Const(a))),
+        ]);
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow)
+            .set_bounds(bounds)
+            .add_group(FormulaGroup::new("g", vec![goal]));
+        let models = q.enumerate(10).unwrap();
+        assert_eq!(models.len(), 3);
+        // All distinct and all satisfying.
+        for (i, m) in models.iter().enumerate() {
+            assert!(m.holds(f.allow, &t1) || m.holds(f.allow, &t2));
+            for m2 in &models[i + 1..] {
+                assert_ne!(m, m2);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let f = fix();
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow);
+        let models = q.enumerate(5).unwrap();
+        assert_eq!(models.len(), 5);
+    }
+
+    #[test]
+    fn no_groups_means_any_instance_works() {
+        let f = fix();
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow);
+        assert!(q.solve().unwrap().is_sat());
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_verdicts() {
+        // ∃-style goal over interchangeable atoms: SAT with and without
+        // SB; an UNSAT variant stays UNSAT.
+        let f = fix();
+        let mut q = Query::new(&f.v, &f.u);
+        let t1 = Formula::pred(f.allow, [Term::Const(f.atoms[0]), Term::Const(f.atoms[0])]);
+        // fe/be/db all appear as constants? atoms[0] does; atoms 1,2 are
+        // interchangeable.
+        q.free_rel(f.allow)
+            .set_symmetry_breaking(true)
+            .add_group(FormulaGroup::new("g", vec![t1.clone()]));
+        assert!(q.solve().unwrap().is_sat());
+        let mut q2 = Query::new(&f.v, &f.u);
+        q2.free_rel(f.allow)
+            .set_symmetry_breaking(true)
+            .add_group(FormulaGroup::new("g", vec![t1.clone()]))
+            .add_group(FormulaGroup::new("ng", vec![Formula::not(t1)]));
+        match q2.solve().unwrap() {
+            Outcome::Unsat { core, .. } => assert_eq!(core.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_skipped_for_target_and_enumerate() {
+        // enumerate must still see ALL models even with the flag set.
+        let f = fix();
+        let mut q = Query::new(&f.v, &f.u);
+        let mut bounds = PartialInstance::new();
+        // Two interchangeable-atom tuples only.
+        bounds.permit(f.listens, vec![f.atoms[1]]);
+        bounds.permit(f.listens, vec![f.atoms[2]]);
+        q.free_rel(f.listens)
+            .set_bounds(bounds)
+            .set_symmetry_breaking(true);
+        let models = q.enumerate(10).unwrap();
+        assert_eq!(models.len(), 4, "all 2^2 models, symmetric ones included");
+        // Target solving also ignores the flag: nearest model to
+        // {listens(atom2)} is itself, not a canonical rotation.
+        let mut target = Instance::new();
+        target.insert(f.listens, vec![f.atoms[2]]);
+        let (out, dist) = q.solve_target(&target).unwrap();
+        assert!(out.is_sat());
+        assert_eq!(dist, 0);
+    }
+
+    /// Relational pigeonhole: `sits ⊆ P×H`, every pigeon sits somewhere,
+    /// no hole holds two pigeons. Pure quantifiers — every atom is
+    /// interchangeable — so symmetry breaking should slash the conflict
+    /// count on the UNSAT instance.
+    fn php_query(
+        pigeons: usize,
+        holes: usize,
+    ) -> (Universe, Vocabulary, muppet_logic::RelId) {
+        let mut u = Universe::new();
+        let ps = u.add_sort("P");
+        let hs = u.add_sort("H");
+        for i in 0..pigeons {
+            u.add_atom(ps, format!("p{i}"));
+        }
+        for i in 0..holes {
+            u.add_atom(hs, format!("h{i}"));
+        }
+        let mut v = Vocabulary::new();
+        let sits = v.add_simple_rel("sits", vec![ps, hs], Domain::Party(PartyId(0)));
+        (u, v, sits)
+    }
+
+    fn php_formulas(
+        v: &mut Vocabulary,
+        sits: muppet_logic::RelId,
+    ) -> Vec<Formula> {
+        let ps = muppet_logic::SortId(0);
+        let hs = muppet_logic::SortId(1);
+        let p = v.fresh_var();
+        let p2 = v.fresh_var();
+        let h = v.fresh_var();
+        vec![
+            Formula::forall(
+                p,
+                ps,
+                Formula::exists(h, hs, Formula::pred(sits, [Term::Var(p), Term::Var(h)])),
+            ),
+            Formula::forall(
+                h,
+                hs,
+                Formula::forall(
+                    p,
+                    ps,
+                    Formula::forall(
+                        p2,
+                        ps,
+                        Formula::implies(
+                            Formula::and([
+                                Formula::pred(sits, [Term::Var(p), Term::Var(h)]),
+                                Formula::pred(sits, [Term::Var(p2), Term::Var(h)]),
+                            ]),
+                            Formula::Eq(Term::Var(p), Term::Var(p2)),
+                        ),
+                    ),
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn symmetry_breaking_slashes_pigeonhole_conflicts() {
+        let (u, mut v, sits) = php_query(7, 6);
+        let formulas = php_formulas(&mut v, sits);
+        let run = |sb: bool| {
+            let mut q = Query::new(&v, &u);
+            q.free_rel(sits)
+                .set_symmetry_breaking(sb)
+                .add_group(FormulaGroup::new("php", formulas.clone()))
+                .set_minimize_cores(false);
+            match q.solve().unwrap() {
+                Outcome::Unsat { stats, .. } => stats.conflicts,
+                Outcome::Sat { .. } => panic!("PHP(7,6) must be unsat"),
+            }
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with < without,
+            "SB should prune the symmetric search: {with} vs {without} conflicts"
+        );
+    }
+
+    #[test]
+    fn symmetry_breaking_keeps_satisfiable_php_satisfiable() {
+        let (u, mut v, sits) = php_query(5, 5);
+        let formulas = php_formulas(&mut v, sits);
+        let mut q = Query::new(&v, &u);
+        q.free_rel(sits)
+            .set_symmetry_breaking(true)
+            .add_group(FormulaGroup::new("php", formulas.clone()));
+        let Outcome::Sat { solution, .. } = q.solve().unwrap() else {
+            panic!("PHP(5,5) is satisfiable");
+        };
+        // The model is a genuine perfect matching.
+        for f in &formulas {
+            assert!(muppet_logic::evaluate_closed(f, &solution, &u).unwrap());
+        }
+    }
+
+    #[test]
+    fn open_formula_reports_ground_error() {
+        let mut f = fix();
+        let x = f.v.fresh_var();
+        let mut q = Query::new(&f.v, &f.u);
+        q.free_rel(f.allow)
+            .add_group(FormulaGroup::new("open", vec![Formula::pred(
+                f.allow,
+                [Term::Var(x), Term::Var(x)],
+            )]));
+        assert!(matches!(q.solve(), Err(QueryError::Ground(_))));
+    }
+}

@@ -1,0 +1,199 @@
+//! Mapping between relational tuples and SAT variables.
+
+use std::collections::BTreeMap;
+
+use muppet_logic::{AtomId, Instance, PartialInstance, RelId, Universe, Vocabulary};
+use muppet_sat::{Model, Solver, Var};
+
+/// The truth status of one ground tuple after bounds are applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TupleState {
+    /// Pinned true (lower bound, or fixed instance contains it).
+    True,
+    /// Pinned false (outside the upper bound, or fixed instance lacks it).
+    False,
+    /// Undetermined: decided by the SAT solver via this variable.
+    Free(Var),
+}
+
+/// Bidirectional map between the ground atoms of *free* relations and SAT
+/// variables, with fixed relations resolved against a concrete instance.
+///
+/// This mirrors Kodkod's translation of relation bounds: tuples in the
+/// lower bound become constants-true, tuples excluded by the upper bound
+/// constants-false, and the remainder become propositional variables.
+#[derive(Debug)]
+pub struct VarMap {
+    free_rels: Vec<RelId>,
+    states: BTreeMap<(RelId, Vec<AtomId>), TupleState>,
+    by_var: BTreeMap<Var, (RelId, Vec<AtomId>)>,
+}
+
+impl VarMap {
+    /// Build the map.
+    ///
+    /// * `free_rels` — the relations the solver may decide;
+    /// * `bounds` — partial-instance bounds over (a subset of) the free
+    ///   relations. A free relation not bounded at all ranges over its
+    ///   full tuple product.
+    /// * `fixed` — concrete values for every *other* relation mentioned by
+    ///   the query formulas.
+    ///
+    /// Fresh SAT variables are allocated in `solver`.
+    pub fn build(
+        vocab: &Vocabulary,
+        universe: &Universe,
+        free_rels: &[RelId],
+        bounds: &PartialInstance,
+        solver: &mut Solver,
+    ) -> VarMap {
+        let mut states = BTreeMap::new();
+        let mut by_var = BTreeMap::new();
+        for &rel in free_rels {
+            let decl = vocab.rel(rel);
+            for tuple in tuple_product(universe, &decl.arg_sorts) {
+                let state = if bounds.is_required(rel, &tuple) {
+                    TupleState::True
+                } else if !bounds.is_allowed(rel, &tuple) {
+                    TupleState::False
+                } else {
+                    let v = solver.new_var();
+                    by_var.insert(v, (rel, tuple.clone()));
+                    TupleState::Free(v)
+                };
+                states.insert((rel, tuple), state);
+            }
+        }
+        VarMap {
+            free_rels: free_rels.to_vec(),
+            states,
+            by_var,
+        }
+    }
+
+    /// The state of a ground tuple of a *free* relation. `None` when the
+    /// relation is not free (resolve against the fixed instance instead).
+    pub(crate) fn state(&self, rel: RelId, tuple: &[AtomId]) -> Option<TupleState> {
+        self.states.get(&(rel, tuple.to_vec())).copied()
+    }
+
+    /// Is `rel` one of the free relations?
+    pub fn is_free(&self, rel: RelId) -> bool {
+        self.free_rels.contains(&rel)
+    }
+
+    /// Number of free (undetermined) SAT variables.
+    pub fn num_free_vars(&self) -> usize {
+        self.by_var.len()
+    }
+
+    /// All (variable, relation, tuple) triples.
+    pub fn free_tuples(&self) -> impl Iterator<Item = (Var, RelId, &[AtomId])> {
+        self.by_var.iter().map(|(v, (r, t))| (*v, *r, t.as_slice()))
+    }
+
+    /// Decode a SAT model into an [`Instance`] over the free relations
+    /// (pinned-true tuples included).
+    pub fn decode(&self, model: &Model) -> Instance {
+        let mut out = Instance::new();
+        for ((rel, tuple), state) in &self.states {
+            let present = match state {
+                TupleState::True => true,
+                TupleState::False => false,
+                TupleState::Free(v) => model.value(*v),
+            };
+            if present {
+                out.insert(*rel, tuple.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Enumerate the full tuple product of the given argument sorts.
+pub(crate) fn tuple_product(universe: &Universe, arg_sorts: &[muppet_logic::SortId]) -> Vec<Vec<AtomId>> {
+    let mut out: Vec<Vec<AtomId>> = vec![Vec::new()];
+    for &sort in arg_sorts {
+        let atoms = universe.atoms_of(sort);
+        let mut next = Vec::with_capacity(out.len() * atoms.len().max(1));
+        for prefix in &out {
+            for &a in atoms {
+                let mut t = prefix.clone();
+                t.push(a);
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_logic::Domain;
+
+    fn setup() -> (Universe, Vocabulary, RelId, Vec<AtomId>) {
+        let mut u = Universe::new();
+        let s = u.add_sort("S");
+        let atoms = vec![u.add_atom(s, "a"), u.add_atom(s, "b")];
+        let mut v = Vocabulary::new();
+        let r = v.add_simple_rel("r", vec![s, s], Domain::Structure);
+        (u, v, r, atoms)
+    }
+
+    #[test]
+    fn tuple_product_sizes() {
+        let (u, v, r, _) = setup();
+        let decl = v.rel(r);
+        assert_eq!(tuple_product(&u, &decl.arg_sorts).len(), 4);
+        assert_eq!(tuple_product(&u, &[]).len(), 1); // nullary: one empty tuple
+    }
+
+    #[test]
+    fn bounds_pin_tuples() {
+        let (u, v, r, a) = setup();
+        let mut bounds = PartialInstance::new();
+        bounds.require(r, vec![a[0], a[0]]);
+        bounds.permit(r, vec![a[0], a[1]]);
+        // (a,a) required; (a,b) free; (b,*) outside upper bound → false.
+        let mut solver = Solver::new();
+        let vm = VarMap::build(&v, &u, &[r], &bounds, &mut solver);
+        assert_eq!(vm.state(r, &[a[0], a[0]]), Some(TupleState::True));
+        assert!(matches!(vm.state(r, &[a[0], a[1]]), Some(TupleState::Free(_))));
+        assert_eq!(vm.state(r, &[a[1], a[0]]), Some(TupleState::False));
+        assert_eq!(vm.num_free_vars(), 1);
+    }
+
+    #[test]
+    fn unbounded_relation_is_fully_free() {
+        let (u, v, r, _) = setup();
+        let bounds = PartialInstance::new();
+        let mut solver = Solver::new();
+        let vm = VarMap::build(&v, &u, &[r], &bounds, &mut solver);
+        assert_eq!(vm.num_free_vars(), 4);
+        assert!(vm.is_free(r));
+    }
+
+    #[test]
+    fn decode_reads_model_and_pins() {
+        let (u, v, r, a) = setup();
+        let mut bounds = PartialInstance::new();
+        bounds.require(r, vec![a[0], a[0]]);
+        bounds.permit(r, vec![a[0], a[1]]);
+        let mut solver = Solver::new();
+        let vm = VarMap::build(&v, &u, &[r], &bounds, &mut solver);
+        // Force the free tuple true and solve.
+        let (var, _, _) = vm.free_tuples().next().unwrap();
+        solver.add_clause([muppet_sat::Lit::pos(var)]);
+        match solver.solve() {
+            muppet_sat::SolveResult::Sat(m) => {
+                let inst = vm.decode(&m);
+                assert!(inst.holds(r, &[a[0], a[0]]));
+                assert!(inst.holds(r, &[a[0], a[1]]));
+                assert!(!inst.holds(r, &[a[1], a[0]]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

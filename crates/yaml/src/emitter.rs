@@ -1,0 +1,238 @@
+//! YAML emission.
+//!
+//! Emits the block style `kubectl` users expect; parsing the output
+//! reproduces the value (round-trip property, tested here and by
+//! proptest in the crate's integration tests).
+
+use crate::value::Yaml;
+
+/// Render a value as a YAML document (no leading `---`).
+pub fn emit(value: &Yaml) -> String {
+    let mut out = String::new();
+    emit_node(value, 0, &mut out);
+    if out.is_empty() {
+        out.push_str("null\n");
+    }
+    out
+}
+
+fn emit_node(value: &Yaml, indent: usize, out: &mut String) {
+    match value {
+        Yaml::Map(pairs) if !pairs.is_empty() => {
+            for (k, v) in pairs {
+                push_indent(indent, out);
+                out.push_str(&emit_key(k));
+                out.push(':');
+                emit_value_after_key(v, indent, out);
+            }
+        }
+        Yaml::Seq(items) if !items.is_empty() => {
+            for item in items {
+                push_indent(indent, out);
+                out.push('-');
+                match item {
+                    // Conventional style: the first mapping pair shares
+                    // the dash line; the rest align under it.
+                    Yaml::Map(pairs) if !pairs.is_empty() => {
+                        for (i, (k, v)) in pairs.iter().enumerate() {
+                            if i == 0 {
+                                out.push(' ');
+                            } else {
+                                push_indent(indent + 2, out);
+                            }
+                            out.push_str(&emit_key(k));
+                            out.push(':');
+                            emit_value_after_key(v, indent + 2, out);
+                        }
+                    }
+                    other => emit_value_after_key(other, indent, out),
+                }
+            }
+        }
+        Yaml::Map(_) => {
+            // Empty mapping (non-empty handled above).
+            push_indent(indent, out);
+            out.push_str("{}\n");
+        }
+        Yaml::Seq(_) => {
+            push_indent(indent, out);
+            out.push_str("[]\n");
+        }
+        scalar => {
+            push_indent(indent, out);
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+/// After `key:` or `-`: inline scalars/empties, or a nested block on the
+/// following lines.
+fn emit_value_after_key(value: &Yaml, indent: usize, out: &mut String) {
+    match value {
+        Yaml::Map(pairs) if pairs.is_empty() => out.push_str(" {}\n"),
+        Yaml::Seq(items) if items.is_empty() => out.push_str(" []\n"),
+        Yaml::Map(_) | Yaml::Seq(_) => {
+            out.push('\n');
+            emit_node(value, indent + 2, out);
+        }
+        scalar => {
+            out.push(' ');
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+}
+
+fn emit_scalar(value: &Yaml) -> String {
+    match value {
+        Yaml::Null => "null".to_string(),
+        Yaml::Bool(b) => b.to_string(),
+        Yaml::Int(i) => i.to_string(),
+        Yaml::Str(s) => emit_string(s),
+        Yaml::Map(_) | Yaml::Seq(_) => unreachable!("collections handled by emit_node"),
+    }
+}
+
+fn emit_key(k: &str) -> String {
+    if needs_quoting(k) {
+        quote(k)
+    } else {
+        k.to_string()
+    }
+}
+
+fn emit_string(s: &str) -> String {
+    if needs_quoting(s) {
+        quote(s)
+    } else {
+        s.to_string()
+    }
+}
+
+/// A plain scalar must not be mistaken for another type or break the
+/// line grammar.
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    if matches!(
+        s,
+        "null" | "~" | "Null" | "NULL" | "true" | "false" | "True" | "False" | "TRUE" | "FALSE"
+    ) {
+        return true;
+    }
+    if s.parse::<i64>().is_ok() || s.parse::<f64>().is_ok() {
+        return true;
+    }
+    if s.starts_with(' ')
+        || s.ends_with(' ')
+        || s.starts_with('-')
+        || s.starts_with(|c| "&*|>!%@`\"'#[]{},".contains(c))
+    {
+        return true;
+    }
+    s.contains(": ") || s.ends_with(':') || s.contains(" #") || s.contains('\n') || s.contains('\t')
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(y: &Yaml) {
+        let text = emit(y);
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(&back, y, "emitted:\n{text}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Yaml::Null);
+        roundtrip(&Yaml::Bool(true));
+        roundtrip(&Yaml::Int(-42));
+        roundtrip(&Yaml::str("plain"));
+        roundtrip(&Yaml::str("23")); // numeric string must stay a string
+        roundtrip(&Yaml::str("true"));
+        roundtrip(&Yaml::str("a: b"));
+        roundtrip(&Yaml::str("ends with colon:"));
+        roundtrip(&Yaml::str("- starts like a list"));
+        roundtrip(&Yaml::str("with \"quotes\" and \\slashes\\"));
+        roundtrip(&Yaml::str("line\nbreak\ttab"));
+        roundtrip(&Yaml::str(""));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let y = Yaml::map([
+            ("kind".to_string(), Yaml::str("NetworkPolicy")),
+            (
+                "spec".to_string(),
+                Yaml::map([
+                    ("podSelector".to_string(), Yaml::Map(vec![])),
+                    (
+                        "ingress".to_string(),
+                        Yaml::Seq(vec![Yaml::map([(
+                            "ports".to_string(),
+                            Yaml::Seq(vec![
+                                Yaml::map([("port".to_string(), Yaml::Int(23))]),
+                                Yaml::map([("port".to_string(), Yaml::str("8080"))]),
+                            ]),
+                        )])]),
+                    ),
+                    ("empty".to_string(), Yaml::Seq(vec![])),
+                ]),
+            ),
+        ]);
+        roundtrip(&y);
+    }
+
+    #[test]
+    fn sequences_of_sequences_roundtrip() {
+        let y = Yaml::Seq(vec![
+            Yaml::Seq(vec![Yaml::Int(1), Yaml::Int(2)]),
+            Yaml::Seq(vec![Yaml::str("x")]),
+            Yaml::Null,
+        ]);
+        roundtrip(&y);
+    }
+
+    #[test]
+    fn quoted_keys_roundtrip() {
+        let y = Yaml::map([
+            ("plain".to_string(), Yaml::Int(1)),
+            ("needs: quoting".to_string(), Yaml::Int(2)),
+            ("23".to_string(), Yaml::Int(3)),
+        ]);
+        roundtrip(&y);
+    }
+
+    #[test]
+    fn display_matches_emit() {
+        let y = Yaml::map([("a".to_string(), Yaml::Int(1))]);
+        assert_eq!(y.to_string(), emit(&y));
+        assert_eq!(emit(&y), "a: 1\n");
+    }
+}

@@ -1,0 +1,30 @@
+//! # muppet-yaml — a minimal YAML subset parser and emitter
+//!
+//! "Muppet consumes the YAML files that K8s and Istio administrators use
+//! in production" (Sec. 3). The sanctioned offline dependency set has no
+//! YAML crate, so this crate implements, from scratch, the subset of YAML
+//! those manifests actually use:
+//!
+//! * block mappings and block sequences with indentation nesting
+//!   (including the K8s convention of sequence dashes at the parent key's
+//!   indentation);
+//! * plain, single-quoted and double-quoted scalars;
+//! * flow sequences `[a, b]` and flow mappings `{k: v}`;
+//! * comments and blank lines;
+//! * multi-document streams separated by `---`.
+//!
+//! Deliberately out of scope (not used by NetworkPolicy /
+//! AuthorizationPolicy manifests): anchors/aliases, tags, block scalars
+//! (`|`, `>`), and complex keys. The parser rejects what it does not
+//! understand rather than guessing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emitter;
+mod parser;
+mod value;
+
+pub use emitter::emit;
+pub use parser::{parse, parse_documents, ParseError};
+pub use value::Yaml;

@@ -1,0 +1,680 @@
+//! The YAML-subset parser: line-oriented, indentation-driven.
+
+use std::fmt;
+
+use crate::value::Yaml;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "YAML parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug)]
+struct Line {
+    /// 1-based source line number.
+    number: usize,
+    /// Leading spaces.
+    indent: usize,
+    /// Content with comment stripped and trailing space trimmed.
+    content: String,
+}
+
+/// Parse a single YAML document. Multi-document input is an error here;
+/// use [`parse_documents`] for streams.
+pub fn parse(input: &str) -> Result<Yaml, ParseError> {
+    let docs = parse_documents(input)?;
+    match docs.len() {
+        0 => Ok(Yaml::Null),
+        1 => Ok(docs.into_iter().next().expect("len checked")),
+        n => Err(ParseError {
+            line: 1,
+            message: format!("expected a single document, found {n}"),
+        }),
+    }
+}
+
+/// Parse a multi-document stream (`---` separators).
+pub fn parse_documents(input: &str) -> Result<Vec<Yaml>, ParseError> {
+    let mut docs = Vec::new();
+    let mut current: Vec<Line> = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let number = i + 1;
+        let trimmed_end = raw.trim_end();
+        if trimmed_end == "---" || trimmed_end.starts_with("--- ") {
+            if !current.is_empty() {
+                docs.push(parse_lines(std::mem::take(&mut current))?);
+            }
+            // Inline content after `--- ` is not supported (not used by
+            // k8s manifests).
+            if trimmed_end.len() > 3 && !trimmed_end[4..].trim().is_empty() {
+                return Err(ParseError {
+                    line: number,
+                    message: "content on the `---` separator line is unsupported".into(),
+                });
+            }
+            continue;
+        }
+        if trimmed_end == "..." {
+            if !current.is_empty() {
+                docs.push(parse_lines(std::mem::take(&mut current))?);
+            }
+            continue;
+        }
+        let stripped = strip_comment(trimmed_end);
+        let stripped = stripped.trim_end();
+        if stripped.trim().is_empty() {
+            continue;
+        }
+        let indent_chars = stripped.len() - stripped.trim_start().len();
+        if stripped[..indent_chars].contains('\t') {
+            return Err(ParseError {
+                line: number,
+                message: "tabs are not allowed in indentation".into(),
+            });
+        }
+        current.push(Line {
+            number,
+            indent: indent_chars,
+            content: stripped.trim_start().to_string(),
+        });
+    }
+    if !current.is_empty() {
+        docs.push(parse_lines(current)?);
+    }
+    Ok(docs)
+}
+
+/// Remove a trailing ` # comment` outside of quotes. A `#` at the start of
+/// content is also a comment.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut prev_space = true; // start-of-line counts as a boundary
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '\\' if in_double => {
+                out.push(c);
+                if let Some(&n) = chars.peek() {
+                    out.push(n);
+                    chars.next();
+                }
+                prev_space = false;
+                continue;
+            }
+            '#' if !in_single && !in_double && prev_space => {
+                return out;
+            }
+            _ => {}
+        }
+        prev_space = c == ' ';
+        out.push(c);
+    }
+    out
+}
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+fn parse_lines(lines: Vec<Line>) -> Result<Yaml, ParseError> {
+    let mut p = Parser { lines, pos: 0 };
+    let v = p.parse_block(0)?;
+    if let Some(line) = p.peek() {
+        return Err(ParseError {
+            line: line.number,
+            message: format!("unexpected content: {:?}", line.content),
+        });
+    }
+    Ok(v)
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn err(&self, line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Parse a block node whose first line is at indentation
+    /// `>= min_indent`.
+    fn parse_block(&mut self, min_indent: usize) -> Result<Yaml, ParseError> {
+        let line = match self.peek() {
+            Some(l) if l.indent >= min_indent => l.clone(),
+            _ => return Ok(Yaml::Null),
+        };
+        if line.content == "-" || line.content.starts_with("- ") {
+            self.parse_sequence(line.indent)
+        } else if split_key(&line.content).is_some() {
+            self.parse_mapping(line.indent)
+        } else {
+            self.pos += 1;
+            parse_scalar(&line.content).map_err(|m| self.err(line.number, m))
+        }
+    }
+
+    fn parse_mapping(&mut self, indent: usize) -> Result<Yaml, ParseError> {
+        let mut pairs: Vec<(String, Yaml)> = Vec::new();
+        while let Some(line) = self.peek().cloned() {
+            if line.indent != indent {
+                break;
+            }
+            if line.content == "-" || line.content.starts_with("- ") {
+                break;
+            }
+            let Some((key_raw, rest)) = split_key(&line.content) else {
+                return Err(self.err(line.number, format!("expected `key:`, got {:?}", line.content)));
+            };
+            let key = unquote(key_raw.trim()).map_err(|m| self.err(line.number, m))?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(line.number, format!("duplicate key {key:?}")));
+            }
+            self.pos += 1;
+            let value = if rest.trim().is_empty() {
+                // Block value on following lines (or null).
+                match self.peek() {
+                    Some(next) if next.indent > indent => self.parse_block(indent + 1)?,
+                    // K8s convention: sequence items at the key's own
+                    // indentation.
+                    Some(next)
+                        if next.indent == indent
+                            && (next.content == "-" || next.content.starts_with("- ")) =>
+                    {
+                        self.parse_sequence(indent)?
+                    }
+                    _ => Yaml::Null,
+                }
+            } else {
+                parse_scalar(rest.trim()).map_err(|m| self.err(line.number, m))?
+            };
+            pairs.push((key, value));
+        }
+        Ok(Yaml::Map(pairs))
+    }
+
+    fn parse_sequence(&mut self, indent: usize) -> Result<Yaml, ParseError> {
+        let mut items = Vec::new();
+        while let Some(line) = self.peek().cloned() {
+            if line.indent != indent || !(line.content == "-" || line.content.starts_with("- ")) {
+                break;
+            }
+            let rest = line.content[1..].trim_start().to_string();
+            if rest.is_empty() {
+                self.pos += 1;
+                items.push(self.parse_block(indent + 1)?);
+            } else {
+                // Rewrite `- rest` as a virtual line at the column where
+                // `rest` begins, then parse a block there: handles both
+                // `- scalar` and `- key: value` with continuation lines.
+                let rest_col = line.indent + (line.content.len() - rest.len());
+                self.lines[self.pos] = Line {
+                    number: line.number,
+                    indent: rest_col,
+                    content: rest,
+                };
+                items.push(self.parse_block(indent + 1)?);
+            }
+        }
+        Ok(Yaml::Seq(items))
+    }
+}
+
+/// Split `key: value` at the first unquoted `: ` (or trailing `:`).
+/// Returns `(key, rest)` where `rest` may be empty.
+fn split_key(content: &str) -> Option<(&str, &str)> {
+    let mut in_single = false;
+    let mut in_double = false;
+    let bytes = content.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'\\' if in_double => {
+                i += 1;
+            }
+            b':' if !in_single && !in_double => {
+                if i + 1 == bytes.len() {
+                    return Some((&content[..i], ""));
+                }
+                if bytes[i + 1] == b' ' {
+                    return Some((&content[..i], &content[i + 2..]));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        let inner = &s[1..s.len() - 1];
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some(other) => return Err(format!("unsupported escape \\{other}")),
+                    None => return Err("dangling escape".into()),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    } else if s.len() >= 2 && s.starts_with('\'') && s.ends_with('\'') {
+        Ok(s[1..s.len() - 1].replace("''", "'"))
+    } else {
+        Ok(s.to_string())
+    }
+}
+
+fn parse_scalar(text: &str) -> Result<Yaml, String> {
+    let t = text.trim();
+    if t.is_empty() {
+        return Ok(Yaml::Null);
+    }
+    if t.starts_with('[') || t.starts_with('{') {
+        let mut fp = FlowParser {
+            chars: t.chars().collect(),
+            pos: 0,
+        };
+        let v = fp.parse_value()?;
+        fp.skip_ws();
+        if fp.pos != fp.chars.len() {
+            return Err(format!("trailing characters in flow value {t:?}"));
+        }
+        return Ok(v);
+    }
+    if let Some(q) = t.chars().next().filter(|&c| c == '"' || c == '\'') {
+        if t.len() < 2 || !t.ends_with(q) {
+            return Err(format!("unterminated quoted scalar {t:?}"));
+        }
+        return unquote(t).map(Yaml::Str);
+    }
+    if t.starts_with('&') || t.starts_with('*') || t.starts_with('|') || t.starts_with('>') {
+        return Err(format!(
+            "unsupported YAML feature in scalar {t:?} (anchors, aliases and block scalars \
+             are outside the supported subset)"
+        ));
+    }
+    Ok(plain_scalar(t))
+}
+
+fn plain_scalar(t: &str) -> Yaml {
+    match t {
+        "null" | "~" | "Null" | "NULL" => Yaml::Null,
+        "true" | "True" | "TRUE" => Yaml::Bool(true),
+        "false" | "False" | "FALSE" => Yaml::Bool(false),
+        _ => {
+            if let Ok(i) = t.parse::<i64>() {
+                Yaml::Int(i)
+            } else {
+                Yaml::Str(t.to_string())
+            }
+        }
+    }
+}
+
+/// Recursive-descent parser for flow collections (`[...]` / `{...}`).
+struct FlowParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl FlowParser {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos] == ' ' {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Yaml, String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some('[') => self.parse_seq(),
+            Some('{') => self.parse_map(),
+            Some('"') | Some('\'') => {
+                let s = self.take_quoted()?;
+                Ok(Yaml::Str(s))
+            }
+            Some(_) => {
+                let raw = self.take_plain();
+                Ok(plain_scalar(raw.trim()))
+            }
+            None => Err("unexpected end of flow value".into()),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Yaml, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Yaml::Seq(items));
+                }
+                Some(_) => {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.chars.get(self.pos) {
+                        Some(',') => {
+                            self.pos += 1;
+                        }
+                        Some(']') => {}
+                        other => return Err(format!("expected `,` or `]`, got {other:?}")),
+                    }
+                }
+                None => return Err("unterminated flow sequence".into()),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Yaml, String> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Yaml::Map(pairs));
+                }
+                Some(_) => {
+                    let key = match self.chars.get(self.pos) {
+                        Some('"') | Some('\'') => self.take_quoted()?,
+                        _ => self.take_plain_until(&[':']).trim().to_string(),
+                    };
+                    self.skip_ws();
+                    if self.chars.get(self.pos) != Some(&':') {
+                        return Err("expected `:` in flow mapping".into());
+                    }
+                    self.pos += 1;
+                    let value = self.parse_value()?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.chars.get(self.pos) {
+                        Some(',') => {
+                            self.pos += 1;
+                        }
+                        Some('}') => {}
+                        other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+                    }
+                }
+                None => return Err("unterminated flow mapping".into()),
+            }
+        }
+    }
+
+    fn take_quoted(&mut self) -> Result<String, String> {
+        let quote = self.chars[self.pos];
+        self.pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = self.chars.get(self.pos) {
+            self.pos += 1;
+            if c == '\\' && quote == '"' {
+                match self.chars.get(self.pos) {
+                    Some(&n) => {
+                        self.pos += 1;
+                        out.push(match n {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    }
+                    None => return Err("dangling escape in flow string".into()),
+                }
+            } else if c == quote {
+                return Ok(out);
+            } else {
+                out.push(c);
+            }
+        }
+        Err("unterminated quoted string".into())
+    }
+
+    fn take_plain(&mut self) -> String {
+        self.take_plain_until(&[',', ']', '}'])
+    }
+
+    fn take_plain_until(&mut self, stops: &[char]) -> String {
+        let start = self.pos;
+        while let Some(&c) = self.chars.get(self.pos) {
+            if stops.contains(&c) {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_mapping_and_scalars() {
+        let y = parse("name: test-db\nport: 23\nready: true\nnothing: null\n").unwrap();
+        assert_eq!(y.get("name").unwrap().as_str(), Some("test-db"));
+        assert_eq!(y.get("port").unwrap().as_i64(), Some(23));
+        assert_eq!(y.get("ready").unwrap().as_bool(), Some(true));
+        assert!(y.get("nothing").unwrap().is_null());
+    }
+
+    #[test]
+    fn nested_blocks_and_k8s_style_sequences() {
+        let src = "\
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: deny-telnet
+spec:
+  podSelector: {}
+  ingress:
+  - ports:
+    - port: 23
+      protocol: TCP
+  policyTypes:
+  - Ingress
+";
+        let y = parse(src).unwrap();
+        assert_eq!(y.get("kind").unwrap().as_str(), Some("NetworkPolicy"));
+        assert_eq!(
+            y.get_path(&["metadata", "name"]).unwrap().as_str(),
+            Some("deny-telnet")
+        );
+        let ingress = y.get_path(&["spec", "ingress"]).unwrap().as_seq().unwrap();
+        assert_eq!(ingress.len(), 1);
+        let ports = ingress[0].get("ports").unwrap().as_seq().unwrap();
+        assert_eq!(ports[0].get("port").unwrap().as_i64(), Some(23));
+        assert_eq!(ports[0].get("protocol").unwrap().as_str(), Some("TCP"));
+        let pt = y.get_path(&["spec", "policyTypes"]).unwrap().as_seq().unwrap();
+        assert_eq!(pt[0].as_str(), Some("Ingress"));
+        // Empty flow map.
+        assert_eq!(y.get_path(&["spec", "podSelector"]), Some(&Yaml::Map(vec![])));
+    }
+
+    #[test]
+    fn deeper_indented_sequences_also_work() {
+        let src = "spec:\n  ports:\n    - 23\n    - 8080\n";
+        let y = parse(src).unwrap();
+        let ports = y.get_path(&["spec", "ports"]).unwrap().as_seq().unwrap();
+        assert_eq!(ports.iter().map(|p| p.as_i64().unwrap()).collect::<Vec<_>>(), vec![23, 8080]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let src = "# header\nname: x # trailing\n\nport: 5 #:\n";
+        let y = parse(src).unwrap();
+        assert_eq!(y.get("name").unwrap().as_str(), Some("x"));
+        assert_eq!(y.get("port").unwrap().as_i64(), Some(5));
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_a_comment() {
+        let y = parse("name: \"a # b\"\nurl: 'c # d'\n").unwrap();
+        assert_eq!(y.get("name").unwrap().as_str(), Some("a # b"));
+        assert_eq!(y.get("url").unwrap().as_str(), Some("c # d"));
+    }
+
+    #[test]
+    fn flow_collections() {
+        let y = parse("ports: [23, 8080]\nsel: {app: web, tier: \"front\"}\nempty: []\n").unwrap();
+        let ports = y.get("ports").unwrap().as_seq().unwrap();
+        assert_eq!(ports[1].as_i64(), Some(8080));
+        let sel = y.get("sel").unwrap();
+        assert_eq!(sel.get("app").unwrap().as_str(), Some("web"));
+        assert_eq!(sel.get("tier").unwrap().as_str(), Some("front"));
+        assert_eq!(y.get("empty").unwrap().as_seq().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn nested_flow() {
+        let y = parse("matrix: [[1, 2], [3]]\nobj: {a: {b: 1}, c: [x]}\n").unwrap();
+        let m = y.get("matrix").unwrap().as_seq().unwrap();
+        assert_eq!(m[0].as_seq().unwrap()[1].as_i64(), Some(2));
+        assert_eq!(
+            y.get_path(&["obj", "a", "b"]).unwrap().as_i64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn multi_document_stream() {
+        let src = "---\nkind: A\n---\nkind: B\n";
+        let docs = parse_documents(src).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("kind").unwrap().as_str(), Some("A"));
+        assert_eq!(docs[1].get("kind").unwrap().as_str(), Some("B"));
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn quoted_keys_and_strings() {
+        let y = parse("\"weird: key\": 1\n'another''s': \"line\\nbreak\"\n").unwrap();
+        assert_eq!(y.get("weird: key").unwrap().as_i64(), Some(1));
+        assert_eq!(y.get("another's").unwrap().as_str(), Some("line\nbreak"));
+    }
+
+    #[test]
+    fn sequence_of_scalars_and_maps_mixed_items() {
+        let src = "- plain\n- key: v\n  other: w\n- 7\n";
+        let y = parse(src).unwrap();
+        let items = y.as_seq().unwrap();
+        assert_eq!(items[0].as_str(), Some("plain"));
+        assert_eq!(items[1].get("key").unwrap().as_str(), Some("v"));
+        assert_eq!(items[1].get("other").unwrap().as_str(), Some("w"));
+        assert_eq!(items[2].as_i64(), Some(7));
+    }
+
+    #[test]
+    fn nested_sequences_via_dash_only_lines() {
+        let src = "-\n  - 1\n  - 2\n-\n  - 3\n";
+        let y = parse(src).unwrap();
+        let outer = y.as_seq().unwrap();
+        assert_eq!(outer[0].as_seq().unwrap().len(), 2);
+        assert_eq!(outer[1].as_seq().unwrap()[0].as_i64(), Some(3));
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = parse("ok: 1\n\tbad: 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("tab"));
+        let e = parse("a: &anchor\n").unwrap_err();
+        assert!(e.message.contains("unsupported"));
+        let e = parse("a: |\n  text\n").unwrap_err();
+        assert!(e.message.contains("unsupported"));
+        let e = parse("dup: 1\ndup: 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unterminated_flow_is_an_error() {
+        assert!(parse("a: [1, 2\n").is_err());
+        assert!(parse("a: {x: 1\n").is_err());
+        assert!(parse("a: \"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_null() {
+        assert_eq!(parse("").unwrap(), Yaml::Null);
+        assert_eq!(parse("# only comments\n\n").unwrap(), Yaml::Null);
+        assert_eq!(parse_documents("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn istio_authorization_policy_shape() {
+        let src = "\
+apiVersion: security.istio.io/v1
+kind: AuthorizationPolicy
+metadata:
+  name: backend-ingress
+  namespace: default
+spec:
+  selector:
+    matchLabels:
+      app: test-backend
+  action: ALLOW
+  rules:
+  - from:
+    - source:
+        principals: [\"cluster.local/ns/default/sa/test-frontend\"]
+    to:
+    - operation:
+        ports: [\"25\"]
+";
+        let y = parse(src).unwrap();
+        assert_eq!(y.get("kind").unwrap().as_str(), Some("AuthorizationPolicy"));
+        assert_eq!(
+            y.get_path(&["spec", "selector", "matchLabels", "app"])
+                .unwrap()
+                .as_str(),
+            Some("test-backend")
+        );
+        let rules = y.get_path(&["spec", "rules"]).unwrap().as_seq().unwrap();
+        let from = rules[0].get("from").unwrap().as_seq().unwrap();
+        let principals = from[0]
+            .get_path(&["source", "principals"])
+            .unwrap()
+            .as_seq()
+            .unwrap();
+        assert_eq!(
+            principals[0].as_str(),
+            Some("cluster.local/ns/default/sa/test-frontend")
+        );
+        let to = rules[0].get("to").unwrap().as_seq().unwrap();
+        let ports = to[0].get_path(&["operation", "ports"]).unwrap().as_seq().unwrap();
+        assert_eq!(ports[0].as_str(), Some("25"));
+    }
+}

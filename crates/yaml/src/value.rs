@@ -1,0 +1,147 @@
+//! The YAML value model.
+
+use std::fmt;
+
+/// A parsed YAML value.
+///
+/// Mappings preserve source order (a `Vec` of pairs rather than a map),
+/// which keeps emission stable and diffs readable — the same property
+/// `kubectl` users expect of their manifests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Yaml {
+    /// `null` / `~` / empty value.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Any other scalar.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Yaml>),
+    /// Mapping with source-ordered keys.
+    Map(Vec<(String, Yaml)>),
+}
+
+impl Yaml {
+    /// Mapping lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Yaml> {
+        match self {
+            Yaml::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Nested lookup along a path of keys.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Yaml> {
+        let mut cur = self;
+        for k in path {
+            cur = cur.get(k)?;
+        }
+        Some(cur)
+    }
+
+    /// String view (only for `Str`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Yaml::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Scalar rendered as a string: strings pass through, ints and bools
+    /// are formatted. Convenient for fields like `port: 8080` vs
+    /// `port: "8080"`, which K8s treats interchangeably in selectors.
+    pub fn as_scalar_string(&self) -> Option<String> {
+        match self {
+            Yaml::Str(s) => Some(s.clone()),
+            Yaml::Int(i) => Some(i.to_string()),
+            Yaml::Bool(b) => Some(b.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Integer view; also parses numeric strings (`"8080"`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Yaml::Int(i) => Some(*i),
+            Yaml::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Yaml::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Sequence view.
+    pub fn as_seq(&self) -> Option<&[Yaml]> {
+        match self {
+            Yaml::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mapping view.
+    pub fn as_map(&self) -> Option<&[(String, Yaml)]> {
+        match self {
+            Yaml::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Is this `Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Yaml::Null)
+    }
+
+    /// Build a mapping from pairs.
+    pub fn map(pairs: impl IntoIterator<Item = (String, Yaml)>) -> Yaml {
+        Yaml::Map(pairs.into_iter().collect())
+    }
+
+    /// Build a string scalar.
+    pub fn str(s: impl Into<String>) -> Yaml {
+        Yaml::Str(s.into())
+    }
+}
+
+impl fmt::Display for Yaml {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::emitter::emit(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        let y = Yaml::map([
+            ("spec".to_string(), Yaml::map([
+                ("port".to_string(), Yaml::Int(8080)),
+                ("name".to_string(), Yaml::str("db")),
+            ])),
+        ]);
+        assert_eq!(y.get_path(&["spec", "port"]).unwrap().as_i64(), Some(8080));
+        assert_eq!(y.get_path(&["spec", "name"]).unwrap().as_str(), Some("db"));
+        assert_eq!(y.get_path(&["spec", "missing"]), None);
+        assert_eq!(y.get("nope"), None);
+        assert!(Yaml::Null.is_null());
+    }
+
+    #[test]
+    fn scalar_coercions() {
+        assert_eq!(Yaml::Int(5).as_scalar_string(), Some("5".into()));
+        assert_eq!(Yaml::str("5").as_i64(), Some(5));
+        assert_eq!(Yaml::Bool(true).as_scalar_string(), Some("true".into()));
+        assert_eq!(Yaml::str("x").as_i64(), None);
+        assert_eq!(Yaml::Seq(vec![]).as_scalar_string(), None);
+        assert_eq!(Yaml::Bool(false).as_bool(), Some(false));
+    }
+}

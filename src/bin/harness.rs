@@ -1,0 +1,695 @@
+//! The experiment harness: regenerates every paper artifact as a text
+//! row, in one run.
+//!
+//! ```text
+//! cargo run --release --bin muppet-harness            # all experiments
+//! cargo run --release --bin muppet-harness -- --csv   # CSV output
+//! cargo run --release --bin muppet-harness -- e4      # one experiment
+//! ```
+//!
+//! Experiment ids follow `DESIGN.md` §4 and `EXPERIMENTS.md`:
+//! E1 conflict detection, E2 relaxation synthesis, E3 envelope shape,
+//! E4 latency sweep (the Sec. 5 "< 1 s" claim), E5 baseline comparison,
+//! E6 conformance workflow, E7 minimal edits, E8 negotiation rounds,
+//! A1–A3 ablations.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use muppet::conformance::run_conformance;
+use muppet::negotiate::{run_negotiation, DropBlamedSoftGoals, Negotiator, Stubborn};
+use muppet::{baseline, ReconcileMode};
+use muppet_bench::paper::{session, vocab, IstioTable};
+use muppet_bench::scenario::{generate, ScenarioParams};
+use muppet_bench::timing::{ms, timed_median, Table};
+use muppet_logic::{Formula, Instance};
+
+const REPS: usize = 5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |id: &str| {
+        filter.is_empty()
+            || filter
+                .iter()
+                .any(|f| id.to_lowercase().starts_with(&f.to_lowercase()))
+    };
+
+    let mut table = Table::new(&["exp", "instance", "metric", "value", "paper-expectation"]);
+
+    if want("e1") {
+        e1(&mut table);
+    }
+    if want("e2") {
+        e2(&mut table);
+    }
+    if want("e3") {
+        e3(&mut table);
+    }
+    if want("e4") {
+        e4(&mut table);
+    }
+    if want("e5") {
+        e5(&mut table);
+    }
+    if want("e6") {
+        e6(&mut table);
+    }
+    if want("e7") {
+        e7(&mut table);
+    }
+    if want("e8") {
+        e8(&mut table);
+    }
+    if want("a1") {
+        a1(&mut table);
+    }
+    if want("a2") {
+        a2(&mut table);
+    }
+    if want("a3") {
+        a3(&mut table);
+    }
+    if want("a4") {
+        a4(&mut table);
+    }
+    if want("x1") {
+        x1(&mut table);
+    }
+    if want("x2") {
+        x2(&mut table);
+    }
+
+    if csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}
+
+fn row(t: &mut Table, exp: &str, instance: &str, metric: &str, value: String, paper: &str) {
+    t.row(&[
+        exp.to_string(),
+        instance.to_string(),
+        metric.to_string(),
+        value,
+        paper.to_string(),
+    ]);
+}
+
+/// E1 — Figs. 1–3: the strict goal tables conflict; the core blames
+/// exactly the ban and the backend→frontend:23 goal.
+fn e1(t: &mut Table) {
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig3);
+    let (rec, d) = timed_median(REPS, || s.reconcile(ReconcileMode::Blameable).unwrap());
+    assert!(!rec.success);
+    row(t, "E1", "fig2+fig3", "reconcile verdict", "UNSAT".into(), "UNSAT (conflict)");
+    row(
+        t,
+        "E1",
+        "fig2+fig3",
+        "minimal core size",
+        rec.core.len().to_string(),
+        "2 (ban vs goal row 2)",
+    );
+    row(t, "E1", "fig2+fig3", "time (ms)", ms(d), "< 1000");
+}
+
+/// E2 — Fig. 4: relaxation makes synthesis succeed; every goal verifies
+/// against the delivered configurations.
+fn e2(t: &mut Table) {
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig4);
+    let (rec, d) = timed_median(REPS, || s.reconcile(ReconcileMode::HardBounds).unwrap());
+    assert!(rec.success);
+    let mut combined = s.structure().clone();
+    for c in rec.configs.values() {
+        combined = combined.union(c);
+    }
+    let verified = s.check_goals(&combined).into_iter().all(|(_, h)| h);
+    row(t, "E2", "fig2+fig4", "synthesis verdict", "SAT".into(), "SAT (relaxed goals)");
+    row(
+        t,
+        "E2",
+        "fig2+fig4",
+        "goals verified",
+        verified.to_string(),
+        "true",
+    );
+    row(t, "E2", "fig2+fig4", "time (ms)", ms(d), "< 1000");
+}
+
+/// E3 — Fig. 5: the envelope has exactly the paper's five disjunct
+/// families and reveals only port 23.
+fn e3(t: &mut Table) {
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig3);
+    let (env, d) = timed_median(REPS, || {
+        s.compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap()
+    });
+    let mut inner: &Formula = &env.predicates[0].formula;
+    let mut quantifiers = 0;
+    while let Formula::Forall(_, _, body) = inner {
+        quantifiers += 1;
+        inner = body;
+    }
+    let disjuncts = match inner {
+        Formula::Or(ds) => ds.len(),
+        _ => 1,
+    };
+    row(t, "E3", "E_{k8s->istio}", "predicates", env.predicates.len().to_string(), "1");
+    row(
+        t,
+        "E3",
+        "E_{k8s->istio}",
+        "universal quantifiers",
+        quantifiers.to_string(),
+        "2 (src; dst)",
+    );
+    row(t, "E3", "E_{k8s->istio}", "disjunct families", disjuncts.to_string(), "5 (Fig. 5)");
+    row(
+        t,
+        "E3",
+        "E_{k8s->istio}",
+        "atoms revealed",
+        format!("{:?}", env.leakage(s.universe()).revealed_atoms),
+        "only port 23",
+    );
+    row(t, "E3", "E_{k8s->istio}", "time (ms)", ms(d), "< 1000");
+}
+
+/// E4 — Sec. 5: the latency sweep. Modest (paper-scale) rows must stay
+/// under 1 second.
+fn e4(t: &mut Table) {
+    for &n in &[3usize, 6, 12, 24, 48] {
+        let scenario = generate(ScenarioParams {
+            services: n,
+            istio_goals: n,
+            k8s_goals: 1,
+            conflict_fraction: 0.0,
+            ..ScenarioParams::default()
+        });
+        let sess = scenario.session(false);
+        let reps = if n >= 24 { 3 } else { REPS };
+        let inst = format!("{n} services");
+        let expect = if n <= 8 {
+            "< 1000 (modest)"
+        } else {
+            "graceful growth"
+        };
+
+        let (r, d) = timed_median(reps, || {
+            sess.local_consistency(scenario.mv.istio_party).unwrap()
+        });
+        assert!(r.ok);
+        row(t, "E4", &inst, "local consistency (ms)", ms(d), expect);
+        let (r, d) = timed_median(reps, || sess.reconcile(ReconcileMode::HardBounds).unwrap());
+        assert!(r.success);
+        row(t, "E4", &inst, "reconcile+synthesize (ms)", ms(d), expect);
+        row(
+            t,
+            "E4",
+            &inst,
+            "free tuple vars / conflicts",
+            format!("{} / {}", r.stats.free_tuple_vars, r.stats.conflicts),
+            "grows with |Svc|²·|Port|",
+        );
+        let (_, d) = timed_median(reps, || {
+            sess.compute_envelope(
+                scenario.mv.k8s_party,
+                scenario.mv.istio_party,
+                &Instance::new(),
+            )
+            .unwrap()
+        });
+        row(t, "E4", &inst, "envelope (ms)", ms(d), expect);
+        if n <= 8 {
+            assert!(d < Duration::from_secs(1), "modest scenario over budget");
+        }
+    }
+    // A multi-tenant variant: 12 services over 3 namespaces with
+    // namespace-scoped bans (the Sec. 1 motivation shape).
+    let scenario = generate(ScenarioParams {
+        services: 12,
+        istio_goals: 12,
+        k8s_goals: 3,
+        namespaces: 3,
+        conflict_fraction: 0.0,
+        ..ScenarioParams::default()
+    });
+    let sess = scenario.session(false);
+    let (r, d) = timed_median(3, || sess.reconcile(ReconcileMode::HardBounds).unwrap());
+    assert!(r.success);
+    row(
+        t,
+        "E4",
+        "12 services, 3 namespaces",
+        "reconcile+synthesize (ms)",
+        ms(d),
+        "graceful growth",
+    );
+}
+
+/// E5 — Fig. 6 baseline: same verdicts, no localization, and the cost
+/// premium Muppet pays for blame.
+fn e5(t: &mut Table) {
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig3);
+    let (b, db) = timed_median(REPS, || baseline::monolithic_synthesis(&s).unwrap());
+    let (m, dm) = timed_median(REPS, || s.reconcile(ReconcileMode::Blameable).unwrap());
+    assert_eq!(b.success, m.success);
+    row(t, "E5", "fig2+fig3", "baseline verdict", "UNSAT".into(), "UNSAT; no information");
+    row(t, "E5", "fig2+fig3", "baseline core", "(none)".into(), "opaque failure");
+    row(
+        t,
+        "E5",
+        "fig2+fig3",
+        "muppet core",
+        format!("{} goals", m.core.len()),
+        "2 goals blamed",
+    );
+    row(t, "E5", "fig2+fig3", "baseline time (ms)", ms(db), "-");
+    row(t, "E5", "fig2+fig3", "muppet time (ms)", ms(dm), "small premium for blame");
+}
+
+/// E6 — Fig. 7 conformance workflow episodes.
+fn e6(t: &mut Table) {
+    let mv = vocab();
+    let strict = session(&mv, IstioTable::Fig3);
+    let preferred = mv.structure_instance();
+    let (report, d) = timed_median(REPS, || {
+        run_conformance(&strict, mv.k8s_party, mv.istio_party, Some(&preferred)).unwrap()
+    });
+    assert!(!report.success);
+    row(t, "E6", "strict tenant", "outcome", "rejected".into(), "tenant must revise");
+    row(
+        t,
+        "E6",
+        "strict tenant",
+        "counter-offer distance",
+        report.counter_offer_distance.unwrap().to_string(),
+        "1 edit",
+    );
+    row(t, "E6", "strict tenant", "time (ms)", ms(d), "< 1000");
+
+    let relaxed = session(&mv, IstioTable::Fig4);
+    let (report, d) = timed_median(REPS, || {
+        run_conformance(&relaxed, mv.k8s_party, mv.istio_party, None).unwrap()
+    });
+    assert!(report.success);
+    row(t, "E6", "relaxed tenant", "outcome", "conforming config".into(), "success");
+    row(t, "E6", "relaxed tenant", "time (ms)", ms(d), "< 1000");
+}
+
+/// E7 — Fig. 8 minimal edits: distance of the counter-offer vs free
+/// resynthesis.
+fn e7(t: &mut Table) {
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig3);
+    let env = s
+        .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+        .unwrap();
+    let target = mv.structure_instance();
+    let ((out, dist), d) = timed_median(REPS, || {
+        s.minimal_edit(mv.istio_party, &env, &target).unwrap()
+    });
+    assert!(out.is_sat());
+    row(t, "E7", "paper deployment", "minimal edit distance", dist.to_string(), "1 tuple");
+    row(t, "E7", "paper deployment", "target-oriented time (ms)", ms(d), "< 1000");
+
+    let s4 = session(&mv, IstioTable::Fig4);
+    let (out, d) = timed_median(REPS, || {
+        s4.synthesize_against(mv.istio_party, &env).unwrap()
+    });
+    let free_dist = out
+        .solution()
+        .map(|sol| {
+            sol.restrict_to_domain(s4.vocab(), muppet_logic::Domain::Party(mv.istio_party))
+                .distance(&target)
+        })
+        .unwrap_or(0);
+    row(
+        t,
+        "E7",
+        "paper deployment",
+        "free synthesis distance",
+        free_dist.to_string(),
+        ">= minimal edit",
+    );
+    row(t, "E7", "paper deployment", "free synthesis time (ms)", ms(d), "-");
+}
+
+/// E8 — Fig. 9 negotiation: rounds to convergence vs conflict count.
+fn e8(t: &mut Table) {
+    for &bans in &[1usize, 2, 3] {
+        let scenario = generate(ScenarioParams {
+            services: 6,
+            istio_goals: 8,
+            k8s_goals: bans,
+            conflict_fraction: 1.0,
+            seed: 7,
+            ..ScenarioParams::default()
+        });
+        let conflicts = scenario.conflicting_ports().len();
+        let (report, d) = timed_median(3, || {
+            let mut sess = scenario.session(true);
+            let mut negs: BTreeMap<muppet_logic::PartyId, Box<dyn Negotiator>> = BTreeMap::new();
+            negs.insert(scenario.mv.k8s_party, Box::new(Stubborn));
+            negs.insert(scenario.mv.istio_party, Box::new(DropBlamedSoftGoals));
+            run_negotiation(&mut sess, &mut negs, 40).unwrap()
+        });
+        assert!(report.success);
+        let inst = format!("{bans} ban(s); {conflicts} conflict(s)");
+        row(
+            t,
+            "E8",
+            &inst,
+            "rounds to agreement",
+            report.rounds.to_string(),
+            "grows with conflicts",
+        );
+        row(t, "E8", &inst, "time (ms)", ms(d), "< 1000 per episode");
+    }
+}
+
+/// A4 — symmetry-breaking ablation. Two honest measurements: on
+/// easily-satisfiable mesh scenarios the lex-leader overhead is pure
+/// loss; on symmetric UNSAT search (relational pigeonhole, where every
+/// atom is interchangeable) it collapses the conflict count — the same
+/// trade Kodkod documents.
+fn a4(t: &mut Table) {
+    use muppet_logic::{Domain, Formula, PartyId, SortId, Term, Universe, Vocabulary};
+    use muppet_solver::{FormulaGroup, Outcome, Query};
+
+    // Easy-SAT mesh scenario: SB is overhead.
+    let scenario = generate(ScenarioParams {
+        services: 12,
+        istio_goals: 12,
+        k8s_goals: 1,
+        conflict_fraction: 0.0,
+        flexible_fraction: 0.5,
+        extra_ports: 8,
+        ..ScenarioParams::default()
+    });
+    let mut sess = scenario.session(false);
+    let (r, d_off) = timed_median(3, || sess.reconcile(ReconcileMode::HardBounds).unwrap());
+    assert!(r.success);
+    sess.set_symmetry_breaking(true);
+    let (r, d_on) = timed_median(3, || sess.reconcile(ReconcileMode::HardBounds).unwrap());
+    assert!(r.success);
+    row(t, "A4", "easy-SAT mesh (12 svc)", "SB off (ms)", ms(d_off), "-");
+    row(t, "A4", "easy-SAT mesh (12 svc)", "SB on (ms)", ms(d_on), "overhead on easy SAT");
+
+    // Symmetric UNSAT: relational pigeonhole PHP(9,8).
+    let mut u = Universe::new();
+    let ps = u.add_sort("P");
+    let hs = u.add_sort("H");
+    for i in 0..9 {
+        u.add_atom(ps, format!("p{i}"));
+    }
+    for i in 0..8 {
+        u.add_atom(hs, format!("h{i}"));
+    }
+    let mut v = Vocabulary::new();
+    let sits = v.add_simple_rel("sits", vec![ps, hs], Domain::Party(PartyId(0)));
+    let p = v.fresh_var();
+    let p2 = v.fresh_var();
+    let h = v.fresh_var();
+    let formulas = vec![
+        Formula::forall(
+            p,
+            SortId(0),
+            Formula::exists(h, SortId(1), Formula::pred(sits, [Term::Var(p), Term::Var(h)])),
+        ),
+        Formula::forall(
+            h,
+            SortId(1),
+            Formula::forall(
+                p,
+                SortId(0),
+                Formula::forall(
+                    p2,
+                    SortId(0),
+                    Formula::implies(
+                        Formula::and([
+                            Formula::pred(sits, [Term::Var(p), Term::Var(h)]),
+                            Formula::pred(sits, [Term::Var(p2), Term::Var(h)]),
+                        ]),
+                        Formula::Eq(Term::Var(p), Term::Var(p2)),
+                    ),
+                ),
+            ),
+        ),
+    ];
+    let run = |sb: bool| {
+        let mut q = Query::new(&v, &u);
+        q.free_rel(sits)
+            .set_symmetry_breaking(sb)
+            .set_minimize_cores(false)
+            .add_group(FormulaGroup::new("php", formulas.clone()));
+        match q.solve().unwrap() {
+            Outcome::Unsat { stats, .. } => stats.conflicts,
+            Outcome::Sat { .. } => panic!("PHP(9,8) must be unsat"),
+        }
+    };
+    let ((c_off, c_on), d) = timed_median(1, || (run(false), run(true)));
+    let _ = d;
+    row(t, "A4", "PHP(9,8) UNSAT", "conflicts, SB off", c_off.to_string(), "large");
+    row(
+        t,
+        "A4",
+        "PHP(9,8) UNSAT",
+        "conflicts, SB on",
+        c_on.to_string(),
+        "far fewer (symmetry pruned)",
+    );
+}
+
+/// X1 — Sec. 7 extension: learned envelopes (opaque-goal oracle) agree
+/// with the syntactic Alg. 3 envelope.
+fn x1(t: &mut Table) {
+    use muppet::learn::{learn_envelope, Scope};
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig3);
+    let fe = mv.svc_atom("test-frontend").unwrap();
+    let be = mv.svc_atom("test-backend").unwrap();
+    let db = mv.svc_atom("test-db").unwrap();
+    let p23 = mv.port_atom(23).unwrap();
+    let scope = Scope::new(vec![
+        (mv.listens, vec![fe, p23]),
+        (mv.istio_eg_deny, vec![fe, p23]),
+        (mv.istio_eg_deny, vec![be, p23]),
+        (mv.istio_eg_deny, vec![db, p23]),
+        (mv.istio_in_guard, vec![fe]),
+        (mv.istio_in_deny, vec![fe, fe]),
+        (mv.istio_in_deny, vec![fe, be]),
+        (mv.istio_in_deny, vec![fe, db]),
+    ]);
+    let (learned, d) = timed_median(3, || {
+        learn_envelope(&s, mv.k8s_party, &Instance::new(), mv.istio_party, &scope, 128)
+            .unwrap()
+    });
+    assert!(learned.complete);
+    let syntactic = s
+        .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+        .unwrap();
+    let mut agree = 0u32;
+    for mask in 0..(1u32 << scope.len()) {
+        let mut config = Instance::new();
+        for (bit, (rel, tuple)) in scope.tuples.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                config.insert(*rel, tuple.clone());
+            }
+        }
+        if learned.check(&config) == syntactic.check(&config, s.universe()).is_empty() {
+            agree += 1;
+        }
+    }
+    row(t, "X1", "8-tuple scope", "prime implicant cubes", learned.cubes.len().to_string(), "few, general");
+    row(t, "X1", "8-tuple scope", "solver queries", learned.queries.to_string(), "≪ 2^8 configs");
+    row(
+        t,
+        "X1",
+        "8-tuple scope",
+        "agreement with Alg. 3",
+        format!("{agree}/256"),
+        "256/256 (both are the envelope)",
+    );
+    row(t, "X1", "8-tuple scope", "time (ms)", ms(d), "< 1000");
+}
+
+/// X2 — Sec. 7 extension: mTLS/PeerAuthentication adds a sixth escape
+/// hatch to the Fig. 5 envelope.
+fn x2(t: &mut Table) {
+    use muppet::{NamedGoal, Party, Session};
+    use muppet_goals::{translate_k8s_goals, K8sGoal};
+    use muppet_mesh::{Mesh, MeshVocab, Service};
+    let mut mesh = Mesh::paper_example();
+    mesh.add_service(Service::new("legacy-batch", [9000]).without_sidecar());
+    let mv = MeshVocab::new_with_features(
+        &mesh,
+        [24, 26, 10000, 14000],
+        muppet_logic::PartyId(0),
+        muppet_logic::PartyId(1),
+        true,
+    );
+    let mut vocab = mv.vocab.clone();
+    let k8s_goals =
+        translate_k8s_goals(&K8sGoal::parse_csv("23,DENY,*\n").unwrap(), &mv, &mut vocab)
+            .unwrap();
+    let axioms = mv.well_formedness_axioms(&mut vocab);
+    let mut session = Session::new(&mv.universe, vocab, mv.sidecar_instance());
+    session.add_axioms(axioms);
+    session.add_party(
+        Party::new(mv.k8s_party, "k8s-admin")
+            .with_goals(k8s_goals.into_iter().map(NamedGoal::from)),
+    );
+    session.add_party(Party::new(mv.istio_party, "istio-admin"));
+    let (env, d) = timed_median(REPS, || {
+        session
+            .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+            .unwrap()
+    });
+    let mut inner = &env.predicates[0].formula;
+    while let Formula::Forall(_, _, body) = inner {
+        inner = body;
+    }
+    let disjuncts = match inner {
+        Formula::Or(ds) => ds.len(),
+        _ => 1,
+    };
+    row(t, "X2", "mTLS extension on", "disjunct families", disjuncts.to_string(), "6 (Fig. 5 + mTLS)");
+    row(t, "X2", "mTLS extension on", "time (ms)", ms(d), "< 1000");
+}
+
+/// A1 — envelope simplification ablation.
+fn a1(t: &mut Table) {
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig3);
+    let senders = [(mv.k8s_party, Instance::new())];
+    let on = s
+        .compute_multi_envelope_opt(&senders, mv.istio_party, true)
+        .unwrap();
+    let off = s
+        .compute_multi_envelope_opt(&senders, mv.istio_party, false)
+        .unwrap();
+    let lk_on = on.leakage(s.universe());
+    let lk_off = off.leakage(s.universe());
+    row(t, "A1", "simplify=on", "formula size", lk_on.formula_size.to_string(), "smaller");
+    row(t, "A1", "simplify=off", "formula size", lk_off.formula_size.to_string(), "larger");
+    row(
+        t,
+        "A1",
+        "simplify=on",
+        "atoms revealed",
+        lk_on.revealed_atoms.len().to_string(),
+        "<= unsimplified",
+    );
+    row(
+        t,
+        "A1",
+        "simplify=off",
+        "atoms revealed",
+        lk_off.revealed_atoms.len().to_string(),
+        "-",
+    );
+}
+
+/// A2 — core minimization ablation on a many-goal conflict.
+fn a2(t: &mut Table) {
+    use muppet_solver::{FormulaGroup, Outcome, Query};
+    let scenario = generate(ScenarioParams {
+        services: 8,
+        istio_goals: 10,
+        k8s_goals: 2,
+        conflict_fraction: 1.0,
+        seed: 11,
+        ..ScenarioParams::default()
+    });
+    let sess = scenario.session(false);
+    let groups: Vec<FormulaGroup> = sess
+        .parties()
+        .iter()
+        .flat_map(|p| {
+            p.goals
+                .iter()
+                .map(|g| FormulaGroup::new(g.name.clone(), vec![g.formula.clone()]))
+        })
+        .collect();
+    let free: Vec<_> = scenario
+        .mv
+        .k8s_rels()
+        .into_iter()
+        .chain(scenario.mv.istio_rels())
+        .collect();
+    let run = |minimize: bool| {
+        let mut q = Query::new(sess.vocab(), sess.universe());
+        q.free_rels(free.clone()).set_minimize_cores(minimize);
+        q.add_group(FormulaGroup::new("axioms", sess.axioms().to_vec()));
+        for g in &groups {
+            q.add_group(g.clone());
+        }
+        match q.solve().unwrap() {
+            Outcome::Unsat { core, .. } => core.len(),
+            Outcome::Sat { .. } => panic!("expected conflict"),
+        }
+    };
+    let (min_size, d_min) = timed_median(3, || run(true));
+    let (raw_size, d_raw) = timed_median(3, || run(false));
+    assert!(min_size <= raw_size);
+    row(t, "A2", "10-goal conflict", "minimized core size", min_size.to_string(), "minimal");
+    row(t, "A2", "10-goal conflict", "first core size", raw_size.to_string(), ">= minimized");
+    row(t, "A2", "10-goal conflict", "minimized time (ms)", ms(d_min), "slower");
+    row(t, "A2", "10-goal conflict", "first-core time (ms)", ms(d_raw), "faster");
+}
+
+/// A3 — bounds tightness ablation: free-variable counts and solve time.
+fn a3(t: &mut Table) {
+    use muppet_logic::PartialInstance;
+    use muppet_solver::{FormulaGroup, Query};
+    let mv = vocab();
+    let s = session(&mv, IstioTable::Fig4);
+    let rec = s.reconcile(ReconcileMode::HardBounds).unwrap();
+    assert!(rec.success);
+    let mut tight = PartialInstance::new();
+    for rel in mv.istio_rels().into_iter().chain(mv.k8s_rels()) {
+        tight.bound(rel);
+        for cfg in rec.configs.values() {
+            for tuple in cfg.tuples(rel) {
+                tight.permit(rel, tuple.clone());
+            }
+        }
+    }
+    let groups: Vec<FormulaGroup> = s
+        .parties()
+        .iter()
+        .flat_map(|p| {
+            p.goals
+                .iter()
+                .map(|g| FormulaGroup::new(g.name.clone(), vec![g.formula.clone()]))
+        })
+        .collect();
+    let run = |bounds: PartialInstance| {
+        let mut q = Query::new(s.vocab(), s.universe());
+        q.free_rels(mv.istio_rels().into_iter().chain(mv.k8s_rels()))
+            .set_bounds(bounds);
+        q.add_group(FormulaGroup::new("axioms", s.axioms().to_vec()));
+        for g in &groups {
+            q.add_group(g.clone());
+        }
+        match q.solve().unwrap() {
+            muppet_solver::Outcome::Sat { stats, .. } => stats.free_tuple_vars,
+            _ => panic!("expected SAT"),
+        }
+    };
+    let (vars_loose, d_loose) = timed_median(REPS, || run(PartialInstance::new()));
+    let (vars_tight, d_tight) = timed_median(REPS, || run(tight.clone()));
+    row(t, "A3", "holes (unbounded)", "free tuple vars", vars_loose.to_string(), "large");
+    row(t, "A3", "tight upper bounds", "free tuple vars", vars_tight.to_string(), "small");
+    row(t, "A3", "holes (unbounded)", "time (ms)", ms(d_loose), "-");
+    row(t, "A3", "tight upper bounds", "time (ms)", ms(d_tight), "<= unbounded");
+}

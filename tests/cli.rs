@@ -1,0 +1,291 @@
+//! Integration tests for the `muppet-cli` binary: drive the actual
+//! executable over the paper's files and check verdicts, exit codes and
+//! output shape.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const MESH_YAML: &str = "\
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: test-frontend
+spec:
+  ports:
+  - port: 23
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: test-backend
+spec:
+  ports:
+  - port: 25
+  - port: 12000
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: test-db
+spec:
+  ports:
+  - port: 16000
+";
+
+const BAN_YAML: &str = "\
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: deny-telnet
+  annotations:
+    x-muppet-action: Deny
+spec:
+  podSelector: {}
+  policyTypes:
+  - Ingress
+  ingress:
+  - ports:
+    - port: 23
+";
+
+const K8S_GOALS: &str = "port,perm,selector\n23,DENY,*\n";
+const ISTIO_STRICT: &str = "\
+srcService,dstService,srcPort,dstPort
+test-frontend,test-backend,24,25
+test-backend,test-frontend,26,23
+test-backend,test-db,14000,16000
+test-db,test-backend,10000,12000
+";
+const ISTIO_RELAXED: &str = "\
+srcService,dstService,srcPort,dstPort
+test-frontend,test-backend,?w,?x
+test-backend,test-frontend,?y,?z
+test-backend,test-db,14000,16000
+test-db,test-backend,10000,12000
+";
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("muppet-cli-test-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let f = Fixture { dir };
+        f.write("mesh.yaml", MESH_YAML);
+        f.write("ban.yaml", BAN_YAML);
+        f.write("k8s.csv", K8S_GOALS);
+        f.write("istio.csv", ISTIO_STRICT);
+        f.write("relaxed.csv", ISTIO_RELAXED);
+        f
+    }
+
+    fn write(&self, name: &str, content: &str) {
+        std::fs::write(self.dir.join(name), content).expect("write fixture");
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn run(&self, args: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_muppet-cli"))
+            .args(args)
+            .output()
+            .expect("run muppet-cli")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn reconcile_detects_the_paper_conflict() {
+    let f = Fixture::new("reconcile");
+    let out = f.run(&[
+        "reconcile",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+        "--istio-goals",
+        &f.path("istio.csv"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("UNSAT"));
+    assert!(text.contains("DENY port 23"));
+    assert!(text.contains("test-backend -> test-frontend"));
+}
+
+#[test]
+fn reconcile_succeeds_on_relaxed_goals() {
+    let f = Fixture::new("relaxed");
+    let out = f.run(&[
+        "reconcile",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+        "--istio-goals",
+        &f.path("relaxed.csv"),
+        "--extra-ports",
+        "24,26",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("SAT"));
+}
+
+#[test]
+fn check_localizes_the_outage() {
+    let f = Fixture::new("check");
+    // Deployed: mesh + the pushed ban; goals: the strict Istio table.
+    let out = f.run(&[
+        "check",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--manifests",
+        &f.path("ban.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+        "--istio-goals",
+        &f.path("istio.csv"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("[FAIL] istio-admin: istio goal 2"));
+    assert!(text.contains("deny-telnet"), "trace names the culprit: {text}");
+    // The other goals hold.
+    assert_eq!(text.matches("[ok ]").count(), 4);
+}
+
+#[test]
+fn check_passes_on_open_mesh() {
+    let f = Fixture::new("check-ok");
+    let out = f.run(&[
+        "check",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--istio-goals",
+        &f.path("istio.csv"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("all 4 goal(s) hold"));
+}
+
+#[test]
+fn envelope_prints_fig5() {
+    let f = Fixture::new("envelope");
+    let out = f.run(&[
+        "envelope",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("all src: Service | all dst: Service"));
+    assert!(text.contains("(5) Src is explicitly allowed to send to some port"));
+    assert!(text.contains("reveals 1 concrete setting(s): [\"23\"]"));
+}
+
+#[test]
+fn envelope_reports_self_satisfied_provider() {
+    let f = Fixture::new("selfsat");
+    let out = f.run(&[
+        "envelope",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--manifests",
+        &f.path("ban.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("already guarantees its goals"), "{text}");
+    assert!(text.contains("self-satisfied: k8s goal 1"));
+}
+
+#[test]
+fn synthesize_emits_reparsable_verified_yaml() {
+    let f = Fixture::new("synth");
+    let out = f.run(&[
+        "synthesize",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+        "--istio-goals",
+        &f.path("relaxed.csv"),
+        "--extra-ports",
+        "24,26",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let yaml = stdout(&out);
+    // The output is a valid multi-document manifest stream.
+    let bundle = muppet_mesh::manifest::parse_manifests(&yaml).expect("emitted YAML parses");
+    assert_eq!(bundle.mesh.services().len(), 3);
+    // And the stderr note confirms verification ran.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("verified"));
+}
+
+#[test]
+fn explain_names_failing_pairs_and_hatches() {
+    let f = Fixture::new("explain");
+    let out = f.run(&[
+        "explain",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("VIOLATED"));
+    assert!(text.contains("dst = test-frontend"));
+    assert!(text.contains("[FAIL] dst does not listen on port 23"));
+    // With the ban deployed K8s-side, the envelope is self-satisfied.
+    let out = f.run(&[
+        "explain",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--manifests",
+        &f.path("ban.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("trivial"));
+}
+
+#[test]
+fn bad_inputs_give_exit_2() {
+    let f = Fixture::new("bad");
+    let out = f.run(&["reconcile"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = f.run(&["frobnicate", "--manifests", &f.path("mesh.yaml")]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = f.run(&[
+        "reconcile",
+        "--manifests",
+        "/nonexistent/path.yaml",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    f.write("garbage.yaml", "kind: Widget\nmetadata:\n  name: x\n");
+    let out = f.run(&["reconcile", "--manifests", &f.path("garbage.yaml")]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = f.run(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("USAGE"));
+}

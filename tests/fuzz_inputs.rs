@@ -1,0 +1,101 @@
+//! Robustness fuzzing of every external input surface: parsers must
+//! reject garbage with errors, never panic, and accept-then-roundtrip
+//! whatever they accept.
+
+use muppet_goals::{IstioGoal, K8sGoal};
+use muppet_mesh::manifest::parse_manifests;
+use muppet_sat::parse_dimacs;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// DIMACS parsing never panics on arbitrary ASCII.
+    #[test]
+    fn dimacs_never_panics(input in "[ -~\n]{0,300}") {
+        let _ = parse_dimacs(&input);
+    }
+
+    /// Anything DIMACS accepts, it can re-emit and re-parse identically.
+    #[test]
+    fn dimacs_accepted_inputs_roundtrip(
+        num_vars in 1usize..8,
+        clause_spec in prop::collection::vec(
+            prop::collection::vec((1i64..8, any::<bool>()), 1..4),
+            0..6,
+        ),
+    ) {
+        let mut text = format!("p cnf {} {}\n", num_vars, clause_spec.len());
+        for clause in &clause_spec {
+            for (v, pos) in clause {
+                let v = ((v - 1) % num_vars as i64) + 1;
+                text.push_str(&format!("{} ", if *pos { v } else { -v }));
+            }
+            text.push_str("0\n");
+        }
+        let parsed = parse_dimacs(&text).expect("well-formed by construction");
+        let emitted = muppet_sat::write_dimacs(parsed.num_vars, &parsed.clauses);
+        prop_assert_eq!(parse_dimacs(&emitted).expect("roundtrip"), parsed);
+    }
+
+    /// Goal-table CSV parsing never panics on arbitrary input.
+    #[test]
+    fn goal_csv_never_panics(input in "[ -~\n,]{0,300}") {
+        let _ = K8sGoal::parse_csv(&input);
+        let _ = IstioGoal::parse_csv(&input);
+    }
+
+    /// Manifest parsing never panics on arbitrary YAML-ish input.
+    #[test]
+    fn manifest_never_panics(input in "[ -~\n]{0,400}") {
+        let _ = parse_manifests(&input);
+    }
+
+    /// Structured-but-wrong manifests produce errors, not panics: random
+    /// kinds, missing names, weird selectors.
+    #[test]
+    fn structured_garbage_manifests_error_cleanly(
+        kind in "[A-Za-z]{1,20}",
+        name in "[a-z0-9-]{0,12}",
+        extra_key in "[a-z]{1,8}",
+        extra_val in "[a-z0-9]{0,8}",
+    ) {
+        let doc = format!(
+            "kind: {kind}\nmetadata:\n  name: {name}\nspec:\n  {extra_key}: {extra_val}\n"
+        );
+        if let Ok(bundle) = parse_manifests(&doc) {
+            // Only the known kinds may be accepted.
+            prop_assert!(
+                matches!(
+                    kind.as_str(),
+                    "Service" | "NetworkPolicy" | "AuthorizationPolicy" | "PeerAuthentication"
+                ),
+                "accepted unknown kind {kind:?}: {bundle:?}"
+            );
+        }
+    }
+}
+
+/// A grab-bag of historically tricky parser inputs kept as a regression
+/// corpus.
+#[test]
+fn parser_regression_corpus() {
+    // DIMACS: clause spanning lines, comment mid-file, trailing blank.
+    assert!(parse_dimacs("p cnf 2 1\nc mid\n1\n-2 0\n\n").is_ok());
+    // DIMACS: zero clauses declared and present.
+    assert!(parse_dimacs("p cnf 3 0\n").is_ok());
+    // Goals: header-only files are empty, not errors.
+    assert!(K8sGoal::parse_csv("port,perm,selector\n").unwrap().is_empty());
+    assert!(IstioGoal::parse_csv("srcService,dstService,srcPort,dstPort\n")
+        .unwrap()
+        .is_empty());
+    // Goals: whitespace-heavy rows.
+    let g = K8sGoal::parse_csv("  23 ,  DENY ,  *  \n").unwrap();
+    assert_eq!(g[0].port, 23);
+    // Manifests: multiple documents with stray separators.
+    let m = parse_manifests("---\n---\nkind: Service\nmetadata:\n  name: a\n---\n").unwrap();
+    assert_eq!(m.mesh.services().len(), 1);
+    // Manifests: numeric service name stays a string.
+    let m = parse_manifests("kind: Service\nmetadata:\n  name: \"123\"\n").unwrap();
+    assert_eq!(m.mesh.services()[0].name, "123");
+}

@@ -1,0 +1,71 @@
+//! Property-based round-trip testing of the YAML subset.
+
+use muppet_yaml::{emit, parse, Yaml};
+use proptest::prelude::*;
+
+/// Strings that exercise quoting edge cases alongside plain ones.
+fn string_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9-]{0,12}",
+        Just(String::new()),
+        Just("23".to_string()),
+        Just("true".to_string()),
+        Just("null".to_string()),
+        Just("a: b".to_string()),
+        Just("- item".to_string()),
+        Just("#comment".to_string()),
+        Just("ends:".to_string()),
+        Just("with \"quotes\"".to_string()),
+        Just("back\\slash".to_string()),
+        Just("tab\tand\nnewline".to_string()),
+        Just(" leading space".to_string()),
+        Just("trailing space ".to_string()),
+        Just("{flow}".to_string()),
+        Just("[flow]".to_string()),
+        Just("'single'".to_string()),
+    ]
+}
+
+fn yaml_strategy() -> impl Strategy<Value = Yaml> {
+    let leaf = prop_oneof![
+        Just(Yaml::Null),
+        any::<bool>().prop_map(Yaml::Bool),
+        any::<i64>().prop_map(Yaml::Int),
+        string_strategy().prop_map(Yaml::Str),
+    ];
+    leaf.prop_recursive(3, 40, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Yaml::Seq),
+            prop::collection::vec(("[a-z][a-z0-9_-]{0,8}", inner), 0..4).prop_map(|pairs| {
+                // Keys must be unique (the parser rejects duplicates).
+                let mut seen = std::collections::BTreeSet::new();
+                Yaml::Map(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// emit → parse is the identity on arbitrary values.
+    #[test]
+    fn emit_parse_roundtrip(y in yaml_strategy()) {
+        let text = emit(&y);
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}\n---\n{y:?}"));
+        prop_assert_eq!(back, y, "emitted:\n{}", text);
+    }
+
+    /// Parsing never panics on small arbitrary inputs (it may error).
+    #[test]
+    fn parse_never_panics(input in "[ -~\n\t]{0,200}") {
+        let _ = parse(&input);
+        let _ = muppet_yaml::parse_documents(&input);
+    }
+}
