@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
                 "free synthesis should not beat the minimal edit"
             );
         }
-        Outcome::Unsat { core, .. } => panic!("fig4 synthesis unsat: {core:?}"),
+        other => panic!("fig4 synthesis should be sat, got {other:?}"),
     }
 
     let mut g = c.benchmark_group("e7_minimal_edit");

@@ -88,6 +88,11 @@ pub fn monolithic_synthesis(session: &Session<'_>) -> Result<BaselineReport, Mup
             configs: BTreeMap::new(),
             conflicts: stats.conflicts,
         }),
+        // The baseline has no degradation story — that is the point of
+        // the comparison — so exhaustion is a hard error.
+        Outcome::Unknown { phase, stats, .. } => {
+            Err(MuppetError::Exhausted { phase, stats })
+        }
     }
 }
 

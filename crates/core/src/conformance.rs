@@ -9,10 +9,51 @@
 //! counter-offers) on their side.
 
 use muppet_logic::{Domain, Instance, PartyId};
-use muppet_solver::Outcome;
+use muppet_solver::{Outcome, PartialResult};
 
 use crate::envelope::Envelope;
 use crate::session::{MuppetError, Session};
+
+/// Fig. 8 counter-offer helper: the minimal-edit distance from `target`
+/// to the nearest envelope-satisfying configuration. Degrades: when the
+/// query budget runs out mid-search, the best-so-far (possibly
+/// non-minimal) edit distance is reported instead of nothing.
+fn counter_offer_distance(
+    session: &Session<'_>,
+    tenant: PartyId,
+    tname: &str,
+    envelope: &Envelope,
+    target: &Instance,
+    log: &mut Vec<String>,
+) -> Result<Option<usize>, MuppetError> {
+    let (outcome, dist) = session.minimal_edit(tenant, envelope, target)?;
+    Ok(match outcome {
+        Outcome::Sat { .. } => {
+            log.push(format!(
+                "{tname}: nearest envelope-satisfying config is {dist} edit(s) away"
+            ));
+            Some(dist)
+        }
+        Outcome::Unknown {
+            partial: Some(PartialResult::Model { distance, .. }),
+            phase,
+            ..
+        } => {
+            log.push(format!(
+                "{tname}: budget exhausted at phase {phase} while minimizing; \
+                 an envelope-satisfying config exists within {distance} edit(s)"
+            ));
+            Some(distance)
+        }
+        Outcome::Unknown { phase, .. } => {
+            log.push(format!(
+                "{tname}: budget exhausted at phase {phase}; no counter-offer"
+            ));
+            None
+        }
+        Outcome::Unsat { .. } => None,
+    })
+}
 
 /// What happened in one conformance run.
 #[derive(Clone, Debug)]
@@ -110,16 +151,7 @@ pub fn run_conformance(
             // that satisfies the envelope alone.
             let counter = match tenant_preferred {
                 Some(target) => {
-                    let (outcome, dist) = session.minimal_edit(tenant, &envelope, target)?;
-                    match outcome {
-                        Outcome::Sat { .. } => {
-                            log.push(format!(
-                                "{tname}: nearest envelope-satisfying config is {dist} edit(s) away"
-                            ));
-                            Some(dist)
-                        }
-                        Outcome::Unsat { .. } => None,
-                    }
+                    counter_offer_distance(session, tenant, &tname, &envelope, target, &mut log)?
                 }
                 None => None,
             };
@@ -130,6 +162,35 @@ pub fn run_conformance(
                 success: false,
                 tenant_config: None,
                 blame: core,
+                counter_offer_distance: counter,
+                log,
+            })
+        }
+        Outcome::Unknown { phase, stats, partial } => {
+            // Degraded: no verdict within budget. Surface where the
+            // budget went and any partial core, and still try the
+            // (independently budgeted) counter-offer query.
+            log.push(format!(
+                "{tname}: synthesis budget exhausted at phase {phase} ({stats}); \
+                 raise the session budget or retry policy for a verdict"
+            ));
+            let blame = match partial {
+                Some(PartialResult::Core(core)) => core,
+                _ => Vec::new(),
+            };
+            let counter = match tenant_preferred {
+                Some(target) => {
+                    counter_offer_distance(session, tenant, &tname, &envelope, target, &mut log)?
+                }
+                None => None,
+            };
+            Ok(ConformanceReport {
+                provider_consistent: true,
+                provider_config: Some(provider_config),
+                envelope: Some(envelope),
+                success: false,
+                tenant_config: None,
+                blame,
                 counter_offer_distance: counter,
                 log,
             })
@@ -214,6 +275,17 @@ pub fn run_conformance_multi_tenant(
                 config: None,
                 blame: core,
             },
+            // One tenant's exhausted budget must not abort the other
+            // tenants' runs: record a degraded (unproven) failure.
+            Outcome::Unknown { partial, .. } => TenantOutcome {
+                tenant,
+                success: false,
+                config: None,
+                blame: match partial {
+                    Some(PartialResult::Core(core)) => core,
+                    _ => Vec::new(),
+                },
+            },
         };
         envelopes.insert(tenant, envelope);
         outcomes.push(outcome);
@@ -256,6 +328,21 @@ pub fn run_conformance_with_revisions(
                         muppet_logic::Domain::Party(tenant),
                     ),
                     dist,
+                )),
+                // Budget fired mid-minimization: the best-so-far model
+                // is still envelope-satisfying, just maybe not minimal.
+                (
+                    muppet_solver::Outcome::Unknown {
+                        partial: Some(PartialResult::Model { solution, distance }),
+                        ..
+                    },
+                    _,
+                ) => Some((
+                    solution.restrict_to_domain(
+                        session.vocab(),
+                        muppet_logic::Domain::Party(tenant),
+                    ),
+                    distance,
                 )),
                 _ => None,
             },

@@ -176,6 +176,11 @@ pub fn learn_envelope(
                 complete = true;
                 break;
             }
+            Outcome::Unknown { phase, stats, .. } => {
+                // Learning has no partial-result channel: a cube set
+                // generalized under an exhausted query would be unsound.
+                return Err(MuppetError::Exhausted { phase, stats });
+            }
         };
 
         // 2. Seed cube: the model's full assignment of the scope.
@@ -233,6 +238,11 @@ pub fn learn_envelope(
                     cube = candidate;
                 }
                 Outcome::Sat { .. } => {
+                    idx += 1;
+                }
+                Outcome::Unknown { .. } => {
+                    // Cannot prove the literal droppable: keep it. The
+                    // cube stays sound, just possibly less general.
                     idx += 1;
                 }
             }

@@ -35,6 +35,13 @@
 //!   `E_{{A,B}→C}` with per-sender obligation tags) and the
 //!   configuration-privacy **leakage metric** ([`Envelope::leakage`])
 //!   with simplification as the mitigation the paper proposes.
+//! * **Resource governance**: every session query runs under a
+//!   [`Budget`] (wall-clock deadline, conflict/propagation caps,
+//!   cooperative cancellation) with a [`RetryPolicy`] escalation
+//!   schedule ([`Session::set_budget`], [`Session::set_retry_policy`]).
+//!   Exhaustion degrades to structured [`ExhaustionReport`]s carrying
+//!   the pipeline phase, work counters and any partial result — never a
+//!   hang or an information-free error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,7 +56,8 @@ mod party;
 mod session;
 
 pub use envelope::{Envelope, EnvelopePredicate, LeakageReport};
+pub use muppet_solver::{Budget, CancelToken, Exhaustion, Phase, QueryStats, RetryPolicy};
 pub use party::{NamedGoal, Party};
 pub use session::{
-    ConsistencyReport, MuppetError, Reconciliation, ReconcileMode, Session,
+    ConsistencyReport, ExhaustionReport, MuppetError, Reconciliation, ReconcileMode, Session,
 };

@@ -219,12 +219,23 @@ pub fn run_negotiation(
         }
         let turn = party_ids[round % party_ids.len()];
         let turn_name = names.get(&turn).cloned().unwrap_or_default();
-        trace.push(format!(
-            "round {}: conflict {:?}; {} revises",
-            round + 1,
-            rec.core,
-            turn_name
-        ));
+        if let Some(ex) = &rec.exhausted {
+            // A timed-out round degrades instead of aborting the whole
+            // negotiation: the revising party still gets whatever
+            // partial blame the solver salvaged.
+            trace.push(format!(
+                "round {}: {ex}; continuing with partial feedback; {} revises",
+                round + 1,
+                turn_name
+            ));
+        } else {
+            trace.push(format!(
+                "round {}: conflict {:?}; {} revises",
+                round + 1,
+                rec.core,
+                turn_name
+            ));
+        }
 
         // Envelope from everyone else to the revising party, using each
         // sender's locally-consistent witness as its fixed configuration
@@ -263,6 +274,22 @@ pub fn run_negotiation(
                         muppet_logic::Domain::Party(turn),
                     );
                     Some((cfg, dist))
+                }
+                // Exhausted mid-minimization: degrade to the best-so-far
+                // model as a (possibly non-minimal) counter-offer.
+                (
+                    muppet_solver::Outcome::Unknown {
+                        partial:
+                            Some(muppet_solver::PartialResult::Model { solution, distance }),
+                        ..
+                    },
+                    _,
+                ) => {
+                    let cfg = solution.restrict_to_domain(
+                        session.vocab(),
+                        muppet_logic::Domain::Party(turn),
+                    );
+                    Some((cfg, distance))
                 }
                 _ => None,
             }

@@ -7,7 +7,10 @@ use muppet_logic::{
     decompose, nnf, partial_eval, simplify, Domain, Formula, Instance, PartialInstance, PartyId,
     RelId, Term, Universe, Vocabulary,
 };
-use muppet_solver::{FormulaGroup, Outcome, Query, QueryError, QueryStats};
+use muppet_solver::{
+    Budget, FormulaGroup, Outcome, PartialResult, Phase, Query, QueryError, QueryStats,
+    RetryPolicy,
+};
 
 use crate::envelope::{Envelope, EnvelopePredicate};
 use crate::party::Party;
@@ -19,6 +22,15 @@ pub enum MuppetError {
     Query(QueryError),
     /// A party id was not registered in the session.
     UnknownParty(PartyId),
+    /// A solver budget was exhausted in a context with no graceful
+    /// degradation channel (e.g. envelope learning), with the work
+    /// counters at the point of exhaustion.
+    Exhausted {
+        /// Pipeline phase that ran out of budget.
+        phase: Phase,
+        /// Solver work counters at exhaustion.
+        stats: QueryStats,
+    },
 }
 
 impl fmt::Display for MuppetError {
@@ -26,6 +38,9 @@ impl fmt::Display for MuppetError {
         match self {
             MuppetError::Query(e) => write!(f, "{e}"),
             MuppetError::UnknownParty(p) => write!(f, "unknown party {p}"),
+            MuppetError::Exhausted { phase, stats } => {
+                write!(f, "solver budget exhausted at phase {phase} ({stats})")
+            }
         }
     }
 }
@@ -35,6 +50,33 @@ impl std::error::Error for MuppetError {}
 impl From<QueryError> for MuppetError {
     fn from(e: QueryError) -> MuppetError {
         MuppetError::Query(e)
+    }
+}
+
+/// Why (and where) a session query gave up instead of answering.
+///
+/// Attached to [`ConsistencyReport`] and [`Reconciliation`] when every
+/// retry attempt came back unknown: the verdict fields then mean "not
+/// proven", not "no". Callers that need a definite answer should raise
+/// the budget ([`Session::set_budget`]) or allow more escalation
+/// attempts ([`Session::set_retry_policy`]) and re-run.
+#[derive(Clone, Debug)]
+pub struct ExhaustionReport {
+    /// Pipeline phase that ran out of budget on the final attempt.
+    pub phase: Phase,
+    /// Solver work counters at exhaustion.
+    pub stats: QueryStats,
+    /// Solve attempts made (1 = no retries configured or possible).
+    pub attempts: u32,
+}
+
+impl fmt::Display for ExhaustionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget exhausted at phase {} after {} attempt(s) ({})",
+            self.phase, self.attempts, self.stats
+        )
     }
 }
 
@@ -53,6 +95,10 @@ pub struct ConsistencyReport {
     pub core: Vec<String>,
     /// Solver work counters.
     pub stats: QueryStats,
+    /// Present when the budget ran out before a verdict: `ok` is then
+    /// "not proven" and `core` holds the best (possibly unminimized)
+    /// partial core, if any.
+    pub exhausted: Option<ExhaustionReport>,
 }
 
 /// Result of offer reconciliation (Alg. 2).
@@ -68,6 +114,10 @@ pub struct Reconciliation {
     pub core: Vec<String>,
     /// Solver work counters.
     pub stats: QueryStats,
+    /// Present when the budget ran out before a verdict: `success` is
+    /// then "not proven" and `core` holds the best (possibly
+    /// unminimized) partial core, if any.
+    pub exhausted: Option<ExhaustionReport>,
 }
 
 /// How offers' hard settings enter the reconciliation query.
@@ -91,6 +141,8 @@ pub struct Session<'a> {
     axioms: Vec<Formula>,
     parties: Vec<Party>,
     symmetry_breaking: bool,
+    budget: Budget,
+    retry: RetryPolicy,
 }
 
 impl<'a> Session<'a> {
@@ -104,6 +156,67 @@ impl<'a> Session<'a> {
             axioms: Vec::new(),
             parties: Vec::new(),
             symmetry_breaking: false,
+            budget: Budget::unlimited(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Set the resource budget applied to every solver query this
+    /// session runs. Wall-clock deadlines and cancellation tokens are
+    /// shared across retry attempts (they are absolute); conflict caps
+    /// apply per attempt and combine with the retry policy's escalation
+    /// schedule (the smaller cap wins).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The session's query budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Set the escalation schedule for retrying queries that come back
+    /// unknown: attempt `i` gets `initial_conflicts * luby(i)`
+    /// conflicts, up to `max_attempts` tries. The default is a single
+    /// uncapped attempt.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The session's retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Run a budgeted query closure under the session's retry policy.
+    /// Re-runs while the result is unknown, attempts remain, and the
+    /// shared deadline/cancellation has not already fired (retrying
+    /// past an absolute deadline cannot help). Returns the final
+    /// result and the number of attempts made.
+    fn run_budgeted<T>(
+        &self,
+        q: &mut Query,
+        mut run: impl FnMut(&mut Query) -> Result<T, QueryError>,
+        unknown: impl Fn(&T) -> bool,
+    ) -> Result<(T, u32), MuppetError> {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            let mut budget = self.budget.clone();
+            if let Some(cap) = self.retry.conflict_cap(attempt) {
+                let cap = match budget.conflict_cap() {
+                    Some(own) => own.min(cap),
+                    None => cap,
+                };
+                budget.set_conflict_cap(Some(cap));
+            }
+            q.set_budget(budget);
+            let out = run(q)?;
+            if unknown(&out) && attempt < attempts && self.budget.poll().is_none() {
+                attempt += 1;
+                continue;
+            }
+            return Ok((out, attempt));
         }
     }
 
@@ -265,18 +378,31 @@ impl<'a> Session<'a> {
         for g in self.goal_groups(party) {
             q.add_group(g);
         }
-        match q.solve()? {
+        let (outcome, attempts) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        match outcome {
             Outcome::Sat { solution, stats } => Ok(ConsistencyReport {
                 ok: true,
                 witness: Some(solution.restrict_to_domain(&self.vocab, Domain::Party(id))),
                 core: Vec::new(),
                 stats,
+                exhausted: None,
             }),
             Outcome::Unsat { core, stats } => Ok(ConsistencyReport {
                 ok: false,
                 witness: None,
                 core,
                 stats,
+                exhausted: None,
+            }),
+            Outcome::Unknown { phase, stats, partial } => Ok(ConsistencyReport {
+                ok: false,
+                witness: None,
+                core: match partial {
+                    Some(PartialResult::Core(core)) => core,
+                    _ => Vec::new(),
+                },
+                stats,
+                exhausted: Some(ExhaustionReport { phase, stats, attempts }),
             }),
         }
     }
@@ -300,7 +426,8 @@ impl<'a> Session<'a> {
                 q.add_group(g);
             }
         }
-        match q.solve()? {
+        let (outcome, attempts) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        match outcome {
             Outcome::Sat { solution, stats } => {
                 let configs = self
                     .parties
@@ -317,6 +444,7 @@ impl<'a> Session<'a> {
                     configs,
                     core: Vec::new(),
                     stats,
+                    exhausted: None,
                 })
             }
             Outcome::Unsat { core, stats } => Ok(Reconciliation {
@@ -324,6 +452,17 @@ impl<'a> Session<'a> {
                 configs: BTreeMap::new(),
                 core,
                 stats,
+                exhausted: None,
+            }),
+            Outcome::Unknown { phase, stats, partial } => Ok(Reconciliation {
+                success: false,
+                configs: BTreeMap::new(),
+                core: match partial {
+                    Some(PartialResult::Core(core)) => core,
+                    _ => Vec::new(),
+                },
+                stats,
+                exhausted: Some(ExhaustionReport { phase, stats, attempts }),
             }),
         }
     }
@@ -474,7 +613,8 @@ impl<'a> Session<'a> {
         for g in self.goal_groups(party) {
             q.add_group(g);
         }
-        Ok(q.solve()?)
+        let (outcome, _) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        Ok(outcome)
     }
 
     /// Fig. 8 solver aid: the *minimal edit* of `target` (the party's
@@ -495,7 +635,12 @@ impl<'a> Session<'a> {
         for g in envelope.to_groups(&self.party_names()) {
             q.add_group(g);
         }
-        Ok(q.solve_target(target)?)
+        let (result, _) = self.run_budgeted(
+            &mut q,
+            |q| q.solve_target(target),
+            |(outcome, _)| outcome.is_unknown(),
+        )?;
+        Ok(result)
     }
 
     /// Evaluate every party's goals over a complete combined instance
@@ -736,7 +881,7 @@ mod tests {
                     solution.restrict_to_domain(session.vocab(), Domain::Party(mv.istio_party));
                 assert!(env.check(&istio_cfg, &mv.universe).is_empty());
             }
-            Outcome::Unsat { core, .. } => panic!("expected sat, core {core:?}"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
@@ -756,7 +901,7 @@ mod tests {
                     .iter()
                     .any(|n| n.contains("test-backend -> test-frontend")));
             }
-            Outcome::Sat { .. } => panic!("expected unsat"),
+            other => panic!("expected unsat, got {other:?}"),
         }
     }
 
@@ -790,7 +935,7 @@ mod tests {
                     && istio_cfg.count(mv.istio_in_allow) == 0;
                 assert!(unexposed || locked_down, "{istio_cfg:?}");
             }
-            Outcome::Unsat { core, .. } => panic!("unsat: {core:?}"),
+            other => panic!("expected sat at distance 1, got {other:?}"),
         }
     }
 
@@ -911,5 +1056,64 @@ mod tests {
             Err(MuppetError::UnknownParty(_))
         ));
         assert!(session.party(ghost).is_err());
+    }
+
+    /// Acceptance: a deadline-bounded reconciliation that hits an
+    /// (injected) Search-phase exhaustion degrades to a structured
+    /// report instead of erroring or hanging.
+    #[test]
+    fn budgeted_reconcile_degrades_to_exhaustion_report() {
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig4());
+        session.set_budget(
+            Budget::unlimited().with_timeout(std::time::Duration::from_millis(100)),
+        );
+        let _armed = muppet_solver::fault::Armed::new(Phase::Search, 1);
+        let rec = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(!rec.success, "exhausted run must not claim success");
+        let ex = rec.exhausted.expect("must carry an exhaustion report");
+        assert_eq!(ex.phase, Phase::Search);
+        assert_eq!(ex.attempts, 1);
+    }
+
+    /// Acceptance: the same injected exhaustion is absorbed by an
+    /// escalated retry — the failpoint consumes itself on attempt 1 and
+    /// attempt 2 solves the instance for real.
+    #[test]
+    fn escalated_retry_recovers_from_injected_exhaustion() {
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig4());
+        session.set_retry_policy(RetryPolicy::new(u64::MAX, 2));
+        let _armed = muppet_solver::fault::Armed::new(Phase::Search, 1);
+        let rec = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(rec.exhausted.is_none(), "retry must clear the exhaustion");
+        assert!(rec.success, "core: {:?}", rec.core);
+    }
+
+    /// Local consistency follows the same degradation contract.
+    #[test]
+    fn budgeted_local_consistency_degrades() {
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig4());
+        session.set_budget(Budget::unlimited().with_conflict_cap(u64::MAX));
+        let _armed = muppet_solver::fault::Armed::new(Phase::Search, 1);
+        let report = session.local_consistency(mv.k8s_party).unwrap();
+        assert!(!report.ok);
+        let ex = report.exhausted.expect("must carry an exhaustion report");
+        assert_eq!(ex.phase, Phase::Search);
+    }
+
+    /// An expired deadline (no fault injection at all) also yields the
+    /// structured report rather than a panic or a wrong verdict.
+    #[test]
+    fn expired_deadline_reconcile_reports_exhaustion() {
+        let mv = MeshVocab::paper_example();
+        let mut session = paper_session(&mv, &IstioGoal::fig4());
+        session.set_budget(
+            Budget::unlimited().with_timeout(std::time::Duration::from_millis(0)),
+        );
+        let rec = session.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert!(!rec.success);
+        assert!(rec.exhausted.is_some(), "expired deadline must degrade");
     }
 }

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod clause;
 mod dimacs;
 mod heap;
@@ -55,7 +56,9 @@ mod model;
 pub mod mus;
 mod solver;
 
+pub use budget::{Budget, CancelToken, Exhaustion, RetryPolicy};
 pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, DimacsProblem};
 pub use lit::{LBool, Lit, Var};
+pub use luby::luby;
 pub use model::Model;
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -8,7 +8,7 @@
 ///
 /// Defined by: `luby(2^k - 1) = 2^(k-1)` and
 /// `luby(i) = luby(i - 2^(k-1) + 1)` for `2^(k-1) <= i < 2^k - 1`.
-pub(crate) fn luby(i: u64) -> u64 {
+pub fn luby(i: u64) -> u64 {
     debug_assert!(i >= 1);
     let mut i = i;
     loop {

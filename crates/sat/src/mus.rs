@@ -12,6 +12,32 @@
 use crate::lit::Lit;
 use crate::solver::{SolveResult, Solver};
 
+/// Result of [`shrink_core`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShrinkResult {
+    /// The assumptions are jointly UNSAT; the payload is a minimal core.
+    Minimal(Vec<Lit>),
+    /// The assumptions are satisfiable — there is no core to shrink.
+    Sat,
+    /// A resource budget fired mid-minimization.
+    Exhausted {
+        /// Smallest core established so far — still a sound UNSAT core,
+        /// just not proven minimal — or `None` when the budget fired
+        /// before even the initial solve finished.
+        best: Option<Vec<Lit>>,
+    },
+}
+
+impl ShrinkResult {
+    /// The minimal core, if minimization ran to completion.
+    pub fn minimal(self) -> Option<Vec<Lit>> {
+        match self {
+            ShrinkResult::Minimal(core) => Some(core),
+            _ => None,
+        }
+    }
+}
+
 /// Shrink an assumption core to a minimal one (an irreducible subset whose
 /// members are all necessary for unsatisfiability).
 ///
@@ -25,20 +51,23 @@ use crate::solver::{SolveResult, Solver};
 /// so cost is `O(k)` solves for `k` initial core members — fine at Muppet
 /// scale where cores name a handful of goals.
 ///
-/// Returns `None` if the assumptions turn out to be satisfiable (caller
-/// bug) or a probe exhausts a configured conflict budget.
-pub fn shrink_core(solver: &mut Solver, assumptions: &[Lit]) -> Option<Vec<Lit>> {
+/// Minimization respects any budget installed with
+/// [`Solver::set_budget`] (or `set_conflict_budget`): each probe is a
+/// budgeted solve, and once the budget fires the best core found so far
+/// is returned as [`ShrinkResult::Exhausted`] rather than discarded.
+pub fn shrink_core(solver: &mut Solver, assumptions: &[Lit]) -> ShrinkResult {
     // Start from the solver-reported core, which is usually already much
     // smaller than the full assumption set.
     let mut core: Vec<Lit> = match solver.solve_with_assumptions(assumptions) {
         SolveResult::Unsat(core) => {
             if core.is_empty() {
                 // Formula unsat on its own: the empty core is minimal.
-                return Some(Vec::new());
+                return ShrinkResult::Minimal(Vec::new());
             }
             core
         }
-        _ => return None,
+        SolveResult::Sat(_) => return ShrinkResult::Sat,
+        SolveResult::Unknown => return ShrinkResult::Exhausted { best: None },
     };
 
     let mut i = 0;
@@ -55,7 +84,7 @@ pub fn shrink_core(solver: &mut Solver, assumptions: &[Lit]) -> Option<Vec<Lit>>
                 // smaller) reported core and restart scanning from the
                 // current position.
                 if sub.is_empty() {
-                    return Some(Vec::new());
+                    return ShrinkResult::Minimal(Vec::new());
                 }
                 core = sub;
                 i = 0;
@@ -64,10 +93,10 @@ pub fn shrink_core(solver: &mut Solver, assumptions: &[Lit]) -> Option<Vec<Lit>>
                 // core[i] is necessary.
                 i += 1;
             }
-            SolveResult::Unknown => return None,
+            SolveResult::Unknown => return ShrinkResult::Exhausted { best: Some(core) },
         }
     }
-    Some(core)
+    ShrinkResult::Minimal(core)
 }
 
 /// Check whether a set of assumptions is a *minimal* unsatisfiable subset:
@@ -109,7 +138,7 @@ mod tests {
         s.add_clause([Lit::neg(sel[1]), Lit::neg(x)]);
         s.add_clause([Lit::neg(sel[2]), Lit::pos(y)]);
         let assumptions: Vec<Lit> = sel.iter().map(|&v| Lit::pos(v)).collect();
-        let mut core = shrink_core(&mut s, &assumptions).unwrap();
+        let mut core = shrink_core(&mut s, &assumptions).minimal().unwrap();
         core.sort_unstable();
         let mut expect = vec![Lit::pos(sel[0]), Lit::pos(sel[1])];
         expect.sort_unstable();
@@ -118,11 +147,11 @@ mod tests {
     }
 
     #[test]
-    fn sat_assumptions_return_none() {
+    fn sat_assumptions_report_sat() {
         let mut s = Solver::new();
         let x = s.new_var();
         s.add_clause([Lit::pos(x)]);
-        assert_eq!(shrink_core(&mut s, &[Lit::pos(x)]), None);
+        assert_eq!(shrink_core(&mut s, &[Lit::pos(x)]), ShrinkResult::Sat);
     }
 
     #[test]
@@ -132,7 +161,26 @@ mod tests {
         s.add_clause([Lit::pos(x)]);
         s.add_clause([Lit::neg(x)]);
         let y = s.new_var();
-        assert_eq!(shrink_core(&mut s, &[Lit::pos(y)]), Some(Vec::new()));
+        assert_eq!(
+            shrink_core(&mut s, &[Lit::pos(y)]),
+            ShrinkResult::Minimal(Vec::new())
+        );
+    }
+
+    /// An expired deadline makes shrinking exhaust immediately instead of
+    /// hanging or misreporting SAT/UNSAT.
+    #[test]
+    fn expired_budget_exhausts_before_probing() {
+        use crate::budget::Budget;
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause([Lit::pos(x), Lit::pos(y)]);
+        s.set_budget(Budget::unlimited().with_conflict_cap(0));
+        assert_eq!(
+            shrink_core(&mut s, &[Lit::neg(x), Lit::neg(y)]),
+            ShrinkResult::Exhausted { best: None }
+        );
     }
 
     /// Overlapping conflicts: groups {a}, {¬a ∨ b}, {¬b}, {¬a}. Two MUSes
@@ -149,7 +197,7 @@ mod tests {
         s.add_clause([Lit::neg(sel[2]), Lit::neg(b)]);
         s.add_clause([Lit::neg(sel[3]), Lit::neg(a)]);
         let assumptions: Vec<Lit> = sel.iter().map(|&v| Lit::pos(v)).collect();
-        let core = shrink_core(&mut s, &assumptions).unwrap();
+        let core = shrink_core(&mut s, &assumptions).minimal().unwrap();
         assert!(is_minimal_core(&mut s, &core));
         assert!(core.len() == 2 || core.len() == 3);
         assert!(core.contains(&Lit::pos(sel[0])));

@@ -5,6 +5,7 @@
 //! saving, Luby restarts, LBD-aware clause-database reduction, and
 //! assumption-based incremental solving with core extraction.
 
+use crate::budget::Budget;
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::ActivityHeap;
 use crate::lit::{LBool, Lit, Var};
@@ -21,7 +22,8 @@ pub enum SolveResult {
     /// inconsistent with the clauses. Empty when the clauses alone are
     /// unsatisfiable.
     Unsat(Vec<Lit>),
-    /// The configured conflict budget was exhausted before an answer.
+    /// A configured resource limit (conflict budget, deadline,
+    /// propagation cap, or cancellation) fired before an answer.
     Unknown,
 }
 
@@ -49,8 +51,8 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Restarts performed.
     pub restarts: u64,
-    /// Learned clauses currently retained is in the DB; this counts all
-    /// clauses ever learned.
+    /// Total clauses ever learned (not the number currently retained in
+    /// the DB — see `deleted_clauses` for what reduction removed).
     pub learned_clauses: u64,
     /// Learned clauses deleted by database reduction.
     pub deleted_clauses: u64,
@@ -91,6 +93,12 @@ pub struct Solver {
     to_clear: Vec<Var>,
     max_learnt: usize,
     conflict_budget: Option<u64>,
+    /// Resource budget for subsequent solves (deadline / caps /
+    /// cancellation). Caps are measured against `budget_base`.
+    budget: Budget,
+    /// `(conflicts, propagations)` totals at the moment the budget was
+    /// installed, so its caps count only work done under it.
+    budget_base: (u64, u64),
     /// Statistics since construction.
     pub stats: SolverStats,
 }
@@ -136,6 +144,8 @@ impl Solver {
             to_clear: Vec::new(),
             max_learnt: 4000,
             conflict_budget: None,
+            budget: Budget::unlimited(),
+            budget_base: (0, 0),
             stats: SolverStats::default(),
         }
     }
@@ -171,6 +181,33 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget.map(|b| self.stats.conflicts + b);
+    }
+
+    /// Install a [`Budget`] governing subsequent `solve` calls: wall-clock
+    /// deadline, conflict/propagation caps, and cooperative cancellation.
+    /// Caps count work done from this call onward; the deadline and
+    /// cancellation token are absolute. When any limit fires, `solve`
+    /// returns [`SolveResult::Unknown`].
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+        self.budget_base = (self.stats.conflicts, self.stats.propagations);
+    }
+
+    /// The currently installed budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Check the installed budget against work done since it was
+    /// installed. `None` while within limits.
+    pub fn budget_exhausted(&self) -> Option<crate::budget::Exhaustion> {
+        if self.budget.is_unlimited() {
+            return None;
+        }
+        self.budget.check(
+            self.stats.conflicts - self.budget_base.0,
+            self.stats.propagations - self.budget_base.1,
+        )
     }
 
     /// Lower the learned-clause retention threshold. Exposed for tests
@@ -651,6 +688,11 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat(Vec::new());
         }
+        // An already-exhausted budget (expired deadline, tripped
+        // cancellation) means we must not start searching at all.
+        if self.budget_exhausted().is_some() {
+            return SolveResult::Unknown;
+        }
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.ok = false;
@@ -659,6 +701,10 @@ impl Solver {
         self.collect_garbage();
         let mut restarts = LubyRestarts::new(RESTART_BASE);
         loop {
+            if self.budget_exhausted().is_some() {
+                self.cancel_until(0);
+                return SolveResult::Unknown;
+            }
             let budget = restarts.next_budget();
             match self.search(budget, assumptions) {
                 SearchOutcome::Sat(m) => {
@@ -701,9 +747,18 @@ impl Solver {
                         return SearchOutcome::Budget;
                     }
                 }
+                if self.budget_exhausted().is_some() {
+                    return SearchOutcome::Budget;
+                }
             } else {
                 if conflicts_here >= budget {
                     return SearchOutcome::Restart;
+                }
+                // Conflict-free stretches still consume wall clock and
+                // propagations; poll the budget every few hundred
+                // decisions so deadlines and cancellation stay responsive.
+                if self.stats.decisions & 0xFF == 0 && self.budget_exhausted().is_some() {
+                    return SearchOutcome::Budget;
                 }
                 if self.db.num_learnt > self.max_learnt {
                     self.reduce_db();

@@ -1,0 +1,80 @@
+//! Fault-injection failpoints for exercising degradation paths.
+//!
+//! Compiled only under `cfg(test)` or the `fault-inject` feature. Tests
+//! arm a phase with [`arm`]; the next `times` budget polls in that phase
+//! report exhaustion as if a real budget had fired, letting deterministic
+//! tests drive the Unknown/retry machinery without tuning real workloads
+//! to straddle a deadline.
+//!
+//! State is thread-local, so parallel test threads do not interfere.
+
+use std::cell::Cell;
+
+use crate::query::Phase;
+
+thread_local! {
+    static ARMED: Cell<Option<(Phase, u32)>> = const { Cell::new(None) };
+}
+
+/// Arm the failpoint: the next `times` polls of `phase` trip, after which
+/// the failpoint disarms itself.
+pub fn arm(phase: Phase, times: u32) {
+    ARMED.with(|a| a.set(Some((phase, times))));
+}
+
+/// Disarm any armed failpoint on this thread.
+pub fn disarm() {
+    ARMED.with(|a| a.set(None));
+}
+
+/// Called by the query pipeline at each budget poll site. Returns `true`
+/// (and consumes one trip) when the armed failpoint matches `phase`.
+pub(crate) fn should_trip(phase: Phase) -> bool {
+    ARMED.with(|a| match a.get() {
+        Some((p, times)) if p == phase && times > 0 => {
+            a.set(if times > 1 { Some((p, times - 1)) } else { None });
+            true
+        }
+        _ => false,
+    })
+}
+
+/// Guard that disarms the failpoint when dropped, keeping tests tidy even
+/// on panic.
+pub struct Armed;
+
+impl Armed {
+    /// Arm `phase` for `times` trips and return a disarm-on-drop guard.
+    pub fn new(phase: Phase, times: u32) -> Armed {
+        arm(phase, times);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_exactly_times_then_disarms() {
+        let _g = Armed::new(Phase::Ground, 2);
+        assert!(should_trip(Phase::Ground));
+        assert!(!should_trip(Phase::Encode)); // wrong phase: no trip, no consume
+        assert!(should_trip(Phase::Ground));
+        assert!(!should_trip(Phase::Ground));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _g = Armed::new(Phase::Search, 5);
+        }
+        assert!(!should_trip(Phase::Search));
+    }
+}

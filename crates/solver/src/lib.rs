@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault;
 pub mod ground;
 pub mod query;
 pub mod symmetry;
@@ -45,6 +47,7 @@ pub mod totalizer;
 pub mod tseitin;
 pub mod varmap;
 
+pub use muppet_sat::{Budget, CancelToken, Exhaustion, RetryPolicy};
+pub use query::{FormulaGroup, Outcome, PartialResult, Phase, Query, QueryError, QueryStats};
 pub use ground::{ground, GExpr};
-pub use query::{FormulaGroup, Outcome, Query, QueryError, QueryStats};
 pub use varmap::VarMap;

@@ -11,7 +11,7 @@
 use std::fmt;
 
 use muppet_logic::{Formula, Instance, PartialInstance, RelId, Universe, Vocabulary};
-use muppet_sat::{mus, Lit, SolveResult, Solver};
+use muppet_sat::{mus, Budget, Lit, SolveResult, Solver};
 
 use crate::ground::{ground, GExpr, GroundError};
 use crate::totalizer::Totalizer;
@@ -41,7 +41,7 @@ impl FormulaGroup {
 }
 
 /// Counters from one query run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Free (undetermined) tuple variables.
     pub free_tuple_vars: usize,
@@ -51,6 +51,59 @@ pub struct QueryStats {
     pub decisions: u64,
     /// SAT propagations during the run.
     pub propagations: u64,
+    /// SAT restarts during the run.
+    pub restarts: u64,
+}
+
+impl fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "free_vars={} conflicts={} decisions={} propagations={} restarts={}",
+            self.free_tuple_vars, self.conflicts, self.decisions, self.propagations, self.restarts
+        )
+    }
+}
+
+/// The pipeline phase a query was in when its budget fired — the "where
+/// the time went" part of an exhaustion report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Grounding first-order goals to propositional structure.
+    Ground,
+    /// Tseitin-encoding ground formulas to CNF.
+    Encode,
+    /// CDCL model search.
+    Search,
+    /// Deletion-based core minimization (MUS extraction).
+    Minimize,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Ground => write!(f, "ground"),
+            Phase::Encode => write!(f, "encode"),
+            Phase::Search => write!(f, "search"),
+            Phase::Minimize => write!(f, "minimize"),
+        }
+    }
+}
+
+/// Best-effort artifact salvaged from a query whose budget fired.
+#[derive(Clone, Debug)]
+pub enum PartialResult {
+    /// A sound but *unminimized* blame core: the budget fired during MUS
+    /// extraction, after unsatisfiability was already established.
+    Core(Vec<String>),
+    /// A satisfying model whose edit distance to the target was not yet
+    /// proven minimal (target-oriented search's best model so far).
+    Model {
+        /// The satisfying (but possibly non-closest) instance.
+        solution: Instance,
+        /// Its edit distance from the target.
+        distance: usize,
+    },
 }
 
 /// Result of [`Query::solve`].
@@ -72,6 +125,18 @@ pub enum Outcome {
         /// Work counters.
         stats: QueryStats,
     },
+    /// A resource budget (deadline, conflict/propagation cap, or
+    /// cancellation) fired before the query could answer. Carries where
+    /// the work went and any best-effort artifact, so callers can report
+    /// and degrade instead of losing everything.
+    Unknown {
+        /// The pipeline phase that was running when the budget fired.
+        phase: Phase,
+        /// Work counters accumulated before exhaustion.
+        stats: QueryStats,
+        /// Best-effort artifact, when one was established in time.
+        partial: Option<PartialResult>,
+    },
 }
 
 impl Outcome {
@@ -80,11 +145,16 @@ impl Outcome {
         matches!(self, Outcome::Sat { .. })
     }
 
+    /// `true` if the budget fired before an answer.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Outcome::Unknown { .. })
+    }
+
     /// The solution instance, if satisfiable.
     pub fn solution(&self) -> Option<&Instance> {
         match self {
             Outcome::Sat { solution, .. } => Some(solution),
-            Outcome::Unsat { .. } => None,
+            _ => None,
         }
     }
 
@@ -92,25 +162,44 @@ impl Outcome {
     pub fn core(&self) -> Option<&[String]> {
         match self {
             Outcome::Unsat { core, .. } => Some(core),
-            Outcome::Sat { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// Work counters, whatever the verdict.
+    pub fn stats(&self) -> &QueryStats {
+        match self {
+            Outcome::Sat { stats, .. }
+            | Outcome::Unsat { stats, .. }
+            | Outcome::Unknown { stats, .. } => stats,
         }
     }
 }
 
-/// Errors from query execution.
+/// Errors from query execution. Every variant that represents abandoned
+/// solver work carries the [`QueryStats`] accumulated up to that point.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
     /// A goal formula had a free variable.
     Ground(GroundError),
-    /// The SAT solver gave up (only with an explicit conflict budget).
-    Unknown,
+    /// A resource budget fired in an API (like enumeration) that has no
+    /// way to express a partial answer. `solve`/`solve_target` report
+    /// exhaustion as [`Outcome::Unknown`] instead.
+    Exhausted {
+        /// The pipeline phase that was running when the budget fired.
+        phase: Phase,
+        /// Work counters accumulated before exhaustion.
+        stats: QueryStats,
+    },
 }
 
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::Ground(e) => write!(f, "grounding failed: {e}"),
-            QueryError::Unknown => write!(f, "solver budget exhausted"),
+            QueryError::Exhausted { phase, stats } => {
+                write!(f, "solver budget exhausted at phase {phase} ({stats})")
+            }
         }
     }
 }
@@ -123,6 +212,12 @@ impl From<GroundError> for QueryError {
     }
 }
 
+/// How [`Query::build`] can fail before a solver exists.
+enum BuildError {
+    Ground(GroundError),
+    Exhausted(Phase),
+}
+
 /// A configurable model-finding query. See the module docs.
 pub struct Query<'a> {
     vocab: &'a Vocabulary,
@@ -133,6 +228,7 @@ pub struct Query<'a> {
     groups: Vec<FormulaGroup>,
     minimize_cores: bool,
     symmetry_breaking: bool,
+    budget: Budget,
 }
 
 impl<'a> Query<'a> {
@@ -147,7 +243,16 @@ impl<'a> Query<'a> {
             groups: Vec::new(),
             minimize_cores: true,
             symmetry_breaking: false,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Install a resource [`Budget`] governing this query: the deadline,
+    /// caps and cancellation token apply across grounding, encoding, the
+    /// SAT search, and core minimization. The default is unlimited.
+    pub fn set_budget(&mut self, budget: Budget) -> &mut Self {
+        self.budget = budget;
+        self
     }
 
     /// Enable lex-leader symmetry breaking over interchangeable atoms
@@ -208,7 +313,7 @@ impl<'a> Query<'a> {
     }
 
     #[allow(clippy::type_complexity)]
-    fn build(&self) -> Result<(Solver, VarMap, Vec<(String, Lit)>), QueryError> {
+    fn build(&self) -> Result<(Solver, VarMap, Vec<(String, Lit)>), BuildError> {
         let mut solver = Solver::new();
         let varmap = VarMap::build(
             self.vocab,
@@ -217,23 +322,47 @@ impl<'a> Query<'a> {
             &self.bounds,
             &mut solver,
         );
-        let mut selectors = Vec::with_capacity(self.groups.len());
+        // Grounding: per-group, interruptible between groups.
+        let mut ground_exprs = Vec::with_capacity(self.groups.len());
         for g in &self.groups {
+            #[cfg(any(test, feature = "fault-inject"))]
+            if crate::fault::should_trip(Phase::Ground) {
+                return Err(BuildError::Exhausted(Phase::Ground));
+            }
+            if self.budget.poll().is_some() {
+                return Err(BuildError::Exhausted(Phase::Ground));
+            }
             let parts = g
                 .formulas
                 .iter()
                 .map(|f| ground(f, &varmap, &self.fixed, self.universe))
-                .collect::<Result<Vec<_>, _>>()?;
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(BuildError::Ground)?;
             let expr = if parts.len() == 1 {
                 parts.into_iter().next().expect("len checked")
             } else {
                 GExpr::And(parts)
             };
-            let lit = encode(&expr, &mut solver);
+            ground_exprs.push(expr);
+        }
+        // Tseitin encoding: per-group, interruptible between groups.
+        let mut selectors = Vec::with_capacity(self.groups.len());
+        for (g, expr) in self.groups.iter().zip(&ground_exprs) {
+            #[cfg(any(test, feature = "fault-inject"))]
+            if crate::fault::should_trip(Phase::Encode) {
+                return Err(BuildError::Exhausted(Phase::Encode));
+            }
+            if self.budget.poll().is_some() {
+                return Err(BuildError::Exhausted(Phase::Encode));
+            }
+            let lit = encode(expr, &mut solver);
             let sel = Lit::pos(solver.new_var());
             solver.add_clause([!sel, lit]);
             selectors.push((g.name.clone(), sel));
         }
+        // The search phase enforces the rest of the budget inside the
+        // CDCL loop.
+        solver.set_budget(self.budget.clone());
         Ok((solver, varmap, selectors))
     }
 
@@ -243,12 +372,32 @@ impl<'a> Query<'a> {
             conflicts: solver.stats.conflicts,
             decisions: solver.stats.decisions,
             propagations: solver.stats.propagations,
+            restarts: solver.stats.restarts,
+        }
+    }
+
+    /// Convert a pre-solver build abort into the structured outcome.
+    fn exhausted_outcome(&self, phase: Phase) -> Outcome {
+        Outcome::Unknown {
+            phase,
+            stats: QueryStats::default(),
+            partial: None,
         }
     }
 
     /// Is the conjunction of all groups satisfiable over the bounds?
+    ///
+    /// Under a [`Budget`] this never hangs: on exhaustion it returns
+    /// [`Outcome::Unknown`] naming the phase that was running, the work
+    /// counters, and (when UNSAT was already established but the core
+    /// was still being minimized) the unminimized core as a partial
+    /// artifact.
     pub fn solve(&self) -> Result<Outcome, QueryError> {
-        let (mut solver, varmap, selectors) = self.build()?;
+        let (mut solver, varmap, selectors) = match self.build() {
+            Ok(built) => built,
+            Err(BuildError::Ground(e)) => return Err(QueryError::Ground(e)),
+            Err(BuildError::Exhausted(phase)) => return Ok(self.exhausted_outcome(phase)),
+        };
         if self.symmetry_breaking {
             let formulas: Vec<&Formula> = self
                 .groups
@@ -273,6 +422,14 @@ impl<'a> Query<'a> {
             );
         }
         let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
+        #[cfg(any(test, feature = "fault-inject"))]
+        if crate::fault::should_trip(Phase::Search) {
+            return Ok(Outcome::Unknown {
+                phase: Phase::Search,
+                stats: Self::stats_of(&varmap, &solver),
+                partial: None,
+            });
+        }
         match solver.solve_with_assumptions(&assumptions) {
             SolveResult::Sat(model) => {
                 let solution = self.fixed.union(&varmap.decode(&model));
@@ -280,20 +437,46 @@ impl<'a> Query<'a> {
                 Ok(Outcome::Sat { solution, stats })
             }
             SolveResult::Unsat(first_core) => {
+                let names_of = |lits: &[Lit]| -> Vec<String> {
+                    selectors
+                        .iter()
+                        .filter(|(_, l)| lits.contains(l))
+                        .map(|(n, _)| n.clone())
+                        .collect()
+                };
                 let core_lits = if self.minimize_cores {
-                    mus::shrink_core(&mut solver, &assumptions).ok_or(QueryError::Unknown)?
+                    match mus::shrink_core(&mut solver, &assumptions) {
+                        mus::ShrinkResult::Minimal(core) => core,
+                        // The assumptions were just proved UNSAT, so a
+                        // Sat answer here cannot happen; fall back to
+                        // the first core rather than panic.
+                        mus::ShrinkResult::Sat => first_core,
+                        mus::ShrinkResult::Exhausted { best } => {
+                            // UNSAT is established; surface the best
+                            // (unminimized) core as a partial artifact.
+                            let stats = Self::stats_of(&varmap, &solver);
+                            let partial = Some(PartialResult::Core(
+                                names_of(&best.unwrap_or(first_core)),
+                            ));
+                            return Ok(Outcome::Unknown {
+                                phase: Phase::Minimize,
+                                stats,
+                                partial,
+                            });
+                        }
+                    }
                 } else {
                     first_core
                 };
-                let core = selectors
-                    .iter()
-                    .filter(|(_, l)| core_lits.contains(l))
-                    .map(|(n, _)| n.clone())
-                    .collect();
+                let core = names_of(&core_lits);
                 let stats = Self::stats_of(&varmap, &solver);
                 Ok(Outcome::Unsat { core, stats })
             }
-            SolveResult::Unknown => Err(QueryError::Unknown),
+            SolveResult::Unknown => Ok(Outcome::Unknown {
+                phase: Phase::Search,
+                stats: Self::stats_of(&varmap, &solver),
+                partial: None,
+            }),
         }
     }
 
@@ -304,9 +487,27 @@ impl<'a> Query<'a> {
     /// This reproduces Pardinus's target-oriented model finding: the
     /// target is the administrator's rejected or preferred configuration,
     /// and the answer is the minimal edit of it that satisfies the goals.
+    /// On budget exhaustion the returned [`Outcome::Unknown`] carries the
+    /// best model found so far (feasible but not proven closest) as a
+    /// [`PartialResult::Model`], so a counter-offer can still be made.
     pub fn solve_target(&self, target: &Instance) -> Result<(Outcome, usize), QueryError> {
-        let (mut solver, varmap, selectors) = self.build()?;
+        let (mut solver, varmap, selectors) = match self.build() {
+            Ok(built) => built,
+            Err(BuildError::Ground(e)) => return Err(QueryError::Ground(e)),
+            Err(BuildError::Exhausted(phase)) => return Ok((self.exhausted_outcome(phase), 0)),
+        };
         let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
+        #[cfg(any(test, feature = "fault-inject"))]
+        if crate::fault::should_trip(Phase::Search) {
+            return Ok((
+                Outcome::Unknown {
+                    phase: Phase::Search,
+                    stats: Self::stats_of(&varmap, &solver),
+                    partial: None,
+                },
+                0,
+            ));
+        }
 
         // Difference indicators: literal true iff the tuple's value in the
         // model differs from its value in the target.
@@ -335,10 +536,62 @@ impl<'a> Query<'a> {
             }
         }
 
+        // Initial unconstrained probe: establishes feasibility, an upper
+        // bound on the distance, and the best-effort model surfaced if
+        // the budgeted distance search below exhausts.
+        let names_of = |lits: &[Lit], selectors: &[(String, Lit)]| -> Vec<String> {
+            selectors
+                .iter()
+                .filter(|(_, l)| lits.contains(l))
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        let (best_solution, best_dist) = match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat(model) => {
+                let dist = diff_inputs.iter().filter(|&&l| model.lit_value(l)).count();
+                (self.fixed.union(&varmap.decode(&model)), dist)
+            }
+            SolveResult::Unsat(first_core) => {
+                // Infeasible at any distance: produce a core.
+                let core = match mus::shrink_core(&mut solver, &assumptions) {
+                    mus::ShrinkResult::Minimal(core) => names_of(&core, &selectors),
+                    mus::ShrinkResult::Sat => names_of(&first_core, &selectors),
+                    mus::ShrinkResult::Exhausted { best } => {
+                        let stats = Self::stats_of(&varmap, &solver);
+                        let partial = Some(PartialResult::Core(names_of(
+                            &best.unwrap_or(first_core),
+                            &selectors,
+                        )));
+                        return Ok((
+                            Outcome::Unknown {
+                                phase: Phase::Minimize,
+                                stats,
+                                partial,
+                            },
+                            0,
+                        ));
+                    }
+                };
+                let stats = Self::stats_of(&varmap, &solver);
+                return Ok((Outcome::Unsat { core, stats }, 0));
+            }
+            SolveResult::Unknown => {
+                return Ok((
+                    Outcome::Unknown {
+                        phase: Phase::Search,
+                        stats: Self::stats_of(&varmap, &solver),
+                        partial: None,
+                    },
+                    0,
+                ));
+            }
+        };
+
         let tot = Totalizer::build(&diff_inputs, &mut solver);
-        // Linear search upward from distance 0: minimal edits are small in
-        // practice, so this touches few bounds.
-        for k in 0..=diff_inputs.len() {
+        // Linear search upward from distance 0, bounded above by the
+        // probe's distance: minimal edits are small in practice, so this
+        // touches few bounds.
+        for k in 0..best_dist {
             let mut assms = assumptions.clone();
             assms.extend(tot.at_most(k));
             match solver.solve_with_assumptions(&assms) {
@@ -348,26 +601,57 @@ impl<'a> Query<'a> {
                     return Ok((Outcome::Sat { solution, stats }, base + k));
                 }
                 SolveResult::Unsat(_) => continue,
-                SolveResult::Unknown => return Err(QueryError::Unknown),
+                SolveResult::Unknown => {
+                    // Budget fired mid-search: the probe model is still a
+                    // valid (if non-minimal) counter-offer.
+                    let stats = Self::stats_of(&varmap, &solver);
+                    let partial = Some(PartialResult::Model {
+                        solution: best_solution,
+                        distance: base + best_dist,
+                    });
+                    return Ok((
+                        Outcome::Unknown {
+                            phase: Phase::Search,
+                            stats,
+                            partial,
+                        },
+                        0,
+                    ));
+                }
             }
         }
-        // Even unconstrained distance is unsat: produce a core.
-        let core_lits =
-            mus::shrink_core(&mut solver, &assumptions).ok_or(QueryError::Unknown)?;
-        let core = selectors
-            .iter()
-            .filter(|(_, l)| core_lits.contains(l))
-            .map(|(n, _)| n.clone())
-            .collect();
+        // No strictly closer model exists: the probe model is optimal.
         let stats = Self::stats_of(&varmap, &solver);
-        Ok((Outcome::Unsat { core, stats }, 0))
+        Ok((
+            Outcome::Sat {
+                solution: best_solution,
+                stats,
+            },
+            base + best_dist,
+        ))
     }
 
     /// Enumerate up to `limit` distinct solutions (distinct over the free
     /// relations). Intended for exhaustive verification on small
     /// universes.
     pub fn enumerate(&self, limit: usize) -> Result<Vec<Instance>, QueryError> {
-        let (mut solver, varmap, selectors) = self.build()?;
+        let (mut solver, varmap, selectors) = match self.build() {
+            Ok(parts) => parts,
+            Err(BuildError::Ground(e)) => return Err(QueryError::Ground(e)),
+            Err(BuildError::Exhausted(phase)) => {
+                return Err(QueryError::Exhausted {
+                    phase,
+                    stats: QueryStats::default(),
+                })
+            }
+        };
+        #[cfg(any(test, feature = "fault-inject"))]
+        if crate::fault::should_trip(Phase::Search) {
+            return Err(QueryError::Exhausted {
+                phase: Phase::Search,
+                stats: Self::stats_of(&varmap, &solver),
+            });
+        }
         let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
         let mut out = Vec::new();
         while out.len() < limit {
@@ -385,7 +669,12 @@ impl<'a> Query<'a> {
                     solver.add_clause(blocking);
                 }
                 SolveResult::Unsat(_) => break,
-                SolveResult::Unknown => return Err(QueryError::Unknown),
+                SolveResult::Unknown => {
+                    return Err(QueryError::Exhausted {
+                        phase: Phase::Search,
+                        stats: Self::stats_of(&varmap, &solver),
+                    })
+                }
             }
         }
         Ok(out)
@@ -721,7 +1010,7 @@ mod tests {
                 .set_minimize_cores(false);
             match q.solve().unwrap() {
                 Outcome::Unsat { stats, .. } => stats.conflicts,
-                Outcome::Sat { .. } => panic!("PHP(7,6) must be unsat"),
+                other => panic!("PHP(7,6) must be unsat, got {other:?}"),
             }
         };
         let without = run(false);

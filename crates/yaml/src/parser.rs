@@ -128,13 +128,24 @@ fn strip_comment(line: &str) -> String {
     out
 }
 
+/// Nesting bound for both block and flow structure. Real manifests nest
+/// a handful of levels; without a bound, crafted inputs like a line of
+/// ten thousand `- ` markers or `[[[[…` recurse once per level and
+/// overflow the stack — an abort, not a catchable error.
+const MAX_DEPTH: usize = 64;
+
 struct Parser {
     lines: Vec<Line>,
     pos: usize,
+    depth: usize,
 }
 
 fn parse_lines(lines: Vec<Line>) -> Result<Yaml, ParseError> {
-    let mut p = Parser { lines, pos: 0 };
+    let mut p = Parser {
+        lines,
+        pos: 0,
+        depth: 0,
+    };
     let v = p.parse_block(0)?;
     if let Some(line) = p.peek() {
         return Err(ParseError {
@@ -164,14 +175,23 @@ impl Parser {
             Some(l) if l.indent >= min_indent => l.clone(),
             _ => return Ok(Yaml::Null),
         };
-        if line.content == "-" || line.content.starts_with("- ") {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(
+                line.number,
+                format!("structure nested deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        self.depth += 1;
+        let result = if line.content == "-" || line.content.starts_with("- ") {
             self.parse_sequence(line.indent)
         } else if split_key(&line.content).is_some() {
             self.parse_mapping(line.indent)
         } else {
             self.pos += 1;
             parse_scalar(&line.content).map_err(|m| self.err(line.number, m))
-        }
+        };
+        self.depth -= 1;
+        result
     }
 
     fn parse_mapping(&mut self, indent: usize) -> Result<Yaml, ParseError> {
@@ -305,6 +325,7 @@ fn parse_scalar(text: &str) -> Result<Yaml, String> {
         let mut fp = FlowParser {
             chars: t.chars().collect(),
             pos: 0,
+            depth: 0,
         };
         let v = fp.parse_value()?;
         fp.skip_ws();
@@ -347,6 +368,7 @@ fn plain_scalar(t: &str) -> Yaml {
 struct FlowParser {
     chars: Vec<char>,
     pos: usize,
+    depth: usize,
 }
 
 impl FlowParser {
@@ -358,6 +380,16 @@ impl FlowParser {
 
     fn parse_value(&mut self) -> Result<Yaml, String> {
         self.skip_ws();
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("flow value nested deeper than {MAX_DEPTH} levels"));
+        }
+        self.depth += 1;
+        let result = self.parse_value_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_value_inner(&mut self) -> Result<Yaml, String> {
         match self.chars.get(self.pos) {
             Some('[') => self.parse_seq(),
             Some('{') => self.parse_map(),

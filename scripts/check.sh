@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in the same order.
+#
+# Offline-friendly by design: the workspace has no registry
+# dependencies (rand/proptest/criterion are vendored under
+# third_party/), so `--offline` always works and is forced here to
+# catch accidental registry deps early.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-always}"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+# fault-inject is a non-default feature; make sure it keeps compiling.
+run cargo build -q --offline -p muppet-solver --features fault-inject
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint"
+fi
+
+echo "All checks passed."

@@ -7,6 +7,13 @@
 //! cargo run --release --bin muppet-harness -- e4      # one experiment
 //! ```
 //!
+//! Resource governance flags (applied to every session-based
+//! experiment): `--timeout-ms <n>` caps each session's wall clock,
+//! `--conflict-budget <n>` caps solver conflicts per attempt, and
+//! `--retries <n>` allows that many Luby-escalated attempts. When a
+//! governed experiment's budget runs out it emits a structured
+//! "budget exhausted" row (phase + work counters) instead of results.
+//!
 //! Experiment ids follow `DESIGN.md` §4 and `EXPERIMENTS.md`:
 //! E1 conflict detection, E2 relaxation synthesis, E3 envelope shape,
 //! E4 latency sweep (the Sec. 5 "< 1 s" claim), E5 baseline comparison,
@@ -14,11 +21,12 @@
 //! A1–A3 ablations.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use muppet::conformance::run_conformance;
 use muppet::negotiate::{run_negotiation, DropBlamedSoftGoals, Negotiator, Stubborn};
-use muppet::{baseline, ReconcileMode};
+use muppet::{baseline, Budget, ExhaustionReport, ReconcileMode, RetryPolicy, Session};
 use muppet_bench::paper::{session, vocab, IstioTable};
 use muppet_bench::scenario::{generate, ScenarioParams};
 use muppet_bench::timing::{ms, timed_median, Table};
@@ -26,10 +34,84 @@ use muppet_logic::{Formula, Instance};
 
 const REPS: usize = 5;
 
+/// Resource-governance knobs parsed from the command line, applied to
+/// every session-based experiment via [`govern`].
+#[derive(Clone, Copy, Default)]
+struct Gov {
+    timeout_ms: Option<u64>,
+    conflict_budget: Option<u64>,
+    retries: Option<u32>,
+}
+
+static GOV: OnceLock<Gov> = OnceLock::new();
+
+fn gov() -> Gov {
+    GOV.get().copied().unwrap_or_default()
+}
+
+/// Apply the governance flags to a freshly built session. The deadline
+/// (if any) starts now and covers every query the session runs.
+fn govern(s: &mut Session<'_>) {
+    let g = gov();
+    let mut budget = Budget::unlimited();
+    if let Some(t) = g.timeout_ms {
+        budget = budget.with_timeout(Duration::from_millis(t));
+    }
+    s.set_budget(budget);
+    if g.conflict_budget.is_some() || g.retries.is_some() {
+        s.set_retry_policy(RetryPolicy::new(
+            g.conflict_budget.unwrap_or(u64::MAX),
+            g.retries.unwrap_or(1),
+        ));
+    }
+}
+
+/// Structured exhaustion row: where the budget died and what it cost.
+fn exhausted_row(t: &mut Table, exp: &str, instance: &str, ex: &ExhaustionReport) {
+    row(
+        t,
+        exp,
+        instance,
+        "budget exhausted",
+        format!(
+            "phase {} after {} attempt(s); {}",
+            ex.phase, ex.attempts, ex.stats
+        ),
+        "raise --timeout-ms / --conflict-budget / --retries",
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
-    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut g = Gov::default();
+    let mut filter: Vec<&String> = Vec::new();
+    let usage = |msg: String| -> ! {
+        eprintln!("muppet-harness: {msg}");
+        eprintln!(
+            "usage: muppet-harness [--csv] [--timeout-ms <n>] [--conflict-budget <n>] \
+             [--retries <n>] [experiment-id-prefix...]"
+        );
+        std::process::exit(2);
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(format!("{flag} needs a value")))
+                .parse()
+                .unwrap_or_else(|_| usage(format!("{flag} needs a number")))
+        };
+        match a.as_str() {
+            "--csv" => {}
+            "--timeout-ms" => g.timeout_ms = Some(value("--timeout-ms")),
+            "--conflict-budget" => g.conflict_budget = Some(value("--conflict-budget")),
+            "--retries" => g.retries = Some(value("--retries") as u32),
+            other if other.starts_with("--") => usage(format!("unknown flag {other:?}")),
+            _ => filter.push(a),
+        }
+    }
+    GOV.set(g).ok();
     let want = |id: &str| {
         filter.is_empty()
             || filter
@@ -103,8 +185,13 @@ fn row(t: &mut Table, exp: &str, instance: &str, metric: &str, value: String, pa
 /// exactly the ban and the backend→frontend:23 goal.
 fn e1(t: &mut Table) {
     let mv = vocab();
-    let s = session(&mv, IstioTable::Fig3);
+    let mut s = session(&mv, IstioTable::Fig3);
+    govern(&mut s);
     let (rec, d) = timed_median(REPS, || s.reconcile(ReconcileMode::Blameable).unwrap());
+    if let Some(ex) = &rec.exhausted {
+        exhausted_row(t, "E1", "fig2+fig3", ex);
+        return;
+    }
     assert!(!rec.success);
     row(t, "E1", "fig2+fig3", "reconcile verdict", "UNSAT".into(), "UNSAT (conflict)");
     row(
@@ -122,8 +209,13 @@ fn e1(t: &mut Table) {
 /// against the delivered configurations.
 fn e2(t: &mut Table) {
     let mv = vocab();
-    let s = session(&mv, IstioTable::Fig4);
+    let mut s = session(&mv, IstioTable::Fig4);
+    govern(&mut s);
     let (rec, d) = timed_median(REPS, || s.reconcile(ReconcileMode::HardBounds).unwrap());
+    if let Some(ex) = &rec.exhausted {
+        exhausted_row(t, "E2", "fig2+fig4", ex);
+        return;
+    }
     assert!(rec.success);
     let mut combined = s.structure().clone();
     for c in rec.configs.values() {
@@ -193,7 +285,8 @@ fn e4(t: &mut Table) {
             conflict_fraction: 0.0,
             ..ScenarioParams::default()
         });
-        let sess = scenario.session(false);
+        let mut sess = scenario.session(false);
+        govern(&mut sess);
         let reps = if n >= 24 { 3 } else { REPS };
         let inst = format!("{n} services");
         let expect = if n <= 8 {
@@ -205,9 +298,17 @@ fn e4(t: &mut Table) {
         let (r, d) = timed_median(reps, || {
             sess.local_consistency(scenario.mv.istio_party).unwrap()
         });
+        if let Some(ex) = &r.exhausted {
+            exhausted_row(t, "E4", &inst, ex);
+            continue;
+        }
         assert!(r.ok);
         row(t, "E4", &inst, "local consistency (ms)", ms(d), expect);
         let (r, d) = timed_median(reps, || sess.reconcile(ReconcileMode::HardBounds).unwrap());
+        if let Some(ex) = &r.exhausted {
+            exhausted_row(t, "E4", &inst, ex);
+            continue;
+        }
         assert!(r.success);
         row(t, "E4", &inst, "reconcile+synthesize (ms)", ms(d), expect);
         row(
@@ -241,8 +342,13 @@ fn e4(t: &mut Table) {
         conflict_fraction: 0.0,
         ..ScenarioParams::default()
     });
-    let sess = scenario.session(false);
+    let mut sess = scenario.session(false);
+    govern(&mut sess);
     let (r, d) = timed_median(3, || sess.reconcile(ReconcileMode::HardBounds).unwrap());
+    if let Some(ex) = &r.exhausted {
+        exhausted_row(t, "E4", "12 services, 3 namespaces", ex);
+        return;
+    }
     assert!(r.success);
     row(
         t,
@@ -258,9 +364,14 @@ fn e4(t: &mut Table) {
 /// premium Muppet pays for blame.
 fn e5(t: &mut Table) {
     let mv = vocab();
-    let s = session(&mv, IstioTable::Fig3);
+    let mut s = session(&mv, IstioTable::Fig3);
+    govern(&mut s);
     let (b, db) = timed_median(REPS, || baseline::monolithic_synthesis(&s).unwrap());
     let (m, dm) = timed_median(REPS, || s.reconcile(ReconcileMode::Blameable).unwrap());
+    if let Some(ex) = &m.exhausted {
+        exhausted_row(t, "E5", "fig2+fig3", ex);
+        return;
+    }
     assert_eq!(b.success, m.success);
     row(t, "E5", "fig2+fig3", "baseline verdict", "UNSAT".into(), "UNSAT; no information");
     row(t, "E5", "fig2+fig3", "baseline core", "(none)".into(), "opaque failure");
@@ -279,7 +390,9 @@ fn e5(t: &mut Table) {
 /// E6 — Fig. 7 conformance workflow episodes.
 fn e6(t: &mut Table) {
     let mv = vocab();
-    let strict = session(&mv, IstioTable::Fig3);
+    let mut strict = session(&mv, IstioTable::Fig3);
+    govern(&mut strict);
+    let strict = strict;
     let preferred = mv.structure_instance();
     let (report, d) = timed_median(REPS, || {
         run_conformance(&strict, mv.k8s_party, mv.istio_party, Some(&preferred)).unwrap()
@@ -296,7 +409,9 @@ fn e6(t: &mut Table) {
     );
     row(t, "E6", "strict tenant", "time (ms)", ms(d), "< 1000");
 
-    let relaxed = session(&mv, IstioTable::Fig4);
+    let mut relaxed = session(&mv, IstioTable::Fig4);
+    govern(&mut relaxed);
+    let relaxed = relaxed;
     let (report, d) = timed_median(REPS, || {
         run_conformance(&relaxed, mv.k8s_party, mv.istio_party, None).unwrap()
     });
@@ -309,7 +424,9 @@ fn e6(t: &mut Table) {
 /// resynthesis.
 fn e7(t: &mut Table) {
     let mv = vocab();
-    let s = session(&mv, IstioTable::Fig3);
+    let mut s = session(&mv, IstioTable::Fig3);
+    govern(&mut s);
+    let s = s;
     let env = s
         .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
         .unwrap();
@@ -317,6 +434,17 @@ fn e7(t: &mut Table) {
     let ((out, dist), d) = timed_median(REPS, || {
         s.minimal_edit(mv.istio_party, &env, &target).unwrap()
     });
+    if let muppet_solver::Outcome::Unknown { phase, stats, .. } = &out {
+        row(
+            t,
+            "E7",
+            "paper deployment",
+            "budget exhausted",
+            format!("phase {phase}; {stats}"),
+            "raise --timeout-ms / --conflict-budget / --retries",
+        );
+        return;
+    }
     assert!(out.is_sat());
     row(t, "E7", "paper deployment", "minimal edit distance", dist.to_string(), "1 tuple");
     row(t, "E7", "paper deployment", "target-oriented time (ms)", ms(d), "< 1000");
@@ -357,6 +485,7 @@ fn e8(t: &mut Table) {
         let conflicts = scenario.conflicting_ports().len();
         let (report, d) = timed_median(3, || {
             let mut sess = scenario.session(true);
+            govern(&mut sess);
             let mut negs: BTreeMap<muppet_logic::PartyId, Box<dyn Negotiator>> = BTreeMap::new();
             negs.insert(scenario.mv.k8s_party, Box::new(Stubborn));
             negs.insert(scenario.mv.istio_party, Box::new(DropBlamedSoftGoals));
@@ -453,7 +582,7 @@ fn a4(t: &mut Table) {
             .add_group(FormulaGroup::new("php", formulas.clone()));
         match q.solve().unwrap() {
             Outcome::Unsat { stats, .. } => stats.conflicts,
-            Outcome::Sat { .. } => panic!("PHP(9,8) must be unsat"),
+            other => panic!("PHP(9,8) must be unsat, got {other:?}"),
         }
     };
     let ((c_off, c_on), d) = timed_median(1, || (run(false), run(true)));
@@ -635,7 +764,7 @@ fn a2(t: &mut Table) {
         }
         match q.solve().unwrap() {
             Outcome::Unsat { core, .. } => core.len(),
-            Outcome::Sat { .. } => panic!("expected conflict"),
+            other => panic!("expected conflict, got {other:?}"),
         }
     };
     let (min_size, d_min) = timed_median(3, || run(true));

@@ -27,7 +27,7 @@
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use muppet::{NamedGoal, Party, ReconcileMode, Session};
+use muppet::{Budget, NamedGoal, Party, ReconcileMode, Reconciliation, RetryPolicy, Session};
 use muppet_goals::{translate_istio_goals, translate_k8s_goals, IstioGoal, K8sGoal};
 use muppet_logic::{Domain, Instance, PartyId};
 use muppet_mesh::manifest::{
@@ -54,6 +54,9 @@ struct Opts {
     extra_ports: Vec<u16>,
     mtls: bool,
     to: String,
+    timeout_ms: Option<u64>,
+    conflict_budget: Option<u64>,
+    retries: Option<u32>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -64,6 +67,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         extra_ports: Vec::new(),
         mtls: false,
         to: "istio".to_string(),
+        timeout_ms: None,
+        conflict_budget: None,
+        retries: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,6 +93,27 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--mtls" => opts.mtls = true,
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms needs a number of milliseconds".to_string())?,
+                )
+            }
+            "--conflict-budget" => {
+                opts.conflict_budget = Some(
+                    value("--conflict-budget")?
+                        .parse()
+                        .map_err(|_| "--conflict-budget needs a conflict count".to_string())?,
+                )
+            }
+            "--retries" => {
+                opts.retries = Some(
+                    value("--retries")?
+                        .parse()
+                        .map_err(|_| "--retries needs an attempt count".to_string())?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -159,7 +186,7 @@ fn load(opts: &Opts) -> Result<Loaded, String> {
     })
 }
 
-fn build_session<'a>(l: &'a Loaded) -> Result<Session<'a>, String> {
+fn build_session<'a>(l: &'a Loaded, opts: &Opts) -> Result<Session<'a>, String> {
     let mut vocab = l.mv.vocab.clone();
     let k8s = translate_k8s_goals(&l.k8s_goals, &l.mv, &mut vocab).map_err(|e| e.to_string())?;
     let istio =
@@ -175,7 +202,38 @@ fn build_session<'a>(l: &'a Loaded) -> Result<Session<'a>, String> {
         Party::new(l.mv.istio_party, "istio-admin")
             .with_goals(istio.into_iter().map(NamedGoal::from)),
     );
+    // Resource governance: the deadline (if any) starts now and covers
+    // every solver query this invocation runs.
+    let mut budget = Budget::unlimited();
+    if let Some(t) = opts.timeout_ms {
+        budget = budget.with_timeout(std::time::Duration::from_millis(t));
+    }
+    session.set_budget(budget);
+    if opts.conflict_budget.is_some() || opts.retries.is_some() {
+        session.set_retry_policy(RetryPolicy::new(
+            opts.conflict_budget.unwrap_or(u64::MAX),
+            opts.retries.unwrap_or(1),
+        ));
+    }
     Ok(session)
+}
+
+/// Print the structured report for a reconciliation that ran out of
+/// budget, and the knobs that raise it. Returns the exit code.
+fn report_exhausted(rec: &Reconciliation) -> ExitCode {
+    let ex = rec.exhausted.as_ref().expect("caller checked");
+    println!("UNKNOWN: {ex}.");
+    if !rec.core.is_empty() {
+        println!("Partial (unminimized) blame before exhaustion:");
+        for c in &rec.core {
+            println!("  - {c}");
+        }
+    }
+    println!(
+        "Raise --timeout-ms, --conflict-budget, or --retries and re-run \
+         for a definite verdict."
+    );
+    ExitCode::from(3)
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -212,16 +270,22 @@ FLAGS:
   --extra-ports <list>   comma-separated spare ports for ∃-port goals
   --to <k8s|istio>       envelope recipient (default: istio)
   --mtls                 enable the PeerAuthentication extension
+  --timeout-ms <n>       wall-clock budget for all solver work (default: none)
+  --conflict-budget <n>  solver conflict cap per attempt (default: none)
+  --retries <n>          total solve attempts; each retry escalates the
+                         conflict cap by the Luby sequence (default: 1)
 
 EXIT CODES:
   0 = compatible / satisfiable / success
   1 = conflict detected (details on stdout)
-  2 = usage or input error";
+  2 = usage or input error
+  3 = budget exhausted before a verdict (raise --timeout-ms,
+      --conflict-budget, or --retries)";
 
 /// `check`: evaluate the goals against the *deployed* configuration.
 fn check(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
-    let session = build_session(&l)?;
+    let session = build_session(&l, opts)?;
     let deployed = l
         .mv
         .structure_instance()
@@ -276,10 +340,13 @@ fn check(opts: &Opts) -> Result<ExitCode, String> {
 /// `reconcile`: Alg. 2 with blame.
 fn reconcile(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
-    let session = build_session(&l)?;
+    let session = build_session(&l, opts)?;
     let rec = session
         .reconcile(ReconcileMode::Blameable)
         .map_err(|e| e.to_string())?;
+    if rec.exhausted.is_some() {
+        return Ok(report_exhausted(&rec));
+    }
     if rec.success {
         println!("SAT: the goal tables are jointly satisfiable.");
         for (party, config) in &rec.configs {
@@ -299,7 +366,7 @@ fn reconcile(opts: &Opts) -> Result<ExitCode, String> {
 /// `envelope`: Alg. 3, both renderings.
 fn envelope(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
-    let session = build_session(&l)?;
+    let session = build_session(&l, opts)?;
     let (from, to) = match opts.to.as_str() {
         "istio" => (l.mv.k8s_party, l.mv.istio_party),
         "k8s" => (l.mv.istio_party, l.mv.k8s_party),
@@ -355,7 +422,7 @@ fn envelope(opts: &Opts) -> Result<ExitCode, String> {
 /// sender's envelope.
 fn explain(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
-    let session = build_session(&l)?;
+    let session = build_session(&l, opts)?;
     let (from, to) = match opts.to.as_str() {
         "istio" => (l.mv.k8s_party, l.mv.istio_party),
         "k8s" => (l.mv.istio_party, l.mv.k8s_party),
@@ -410,10 +477,13 @@ fn explain(opts: &Opts) -> Result<ExitCode, String> {
 /// `synthesize`: joint synthesis, emitted as YAML manifests.
 fn synthesize(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
-    let session = build_session(&l)?;
+    let session = build_session(&l, opts)?;
     let rec = session
         .reconcile(ReconcileMode::Blameable)
         .map_err(|e| e.to_string())?;
+    if rec.exhausted.is_some() {
+        return Ok(report_exhausted(&rec));
+    }
     if !rec.success {
         println!("UNSAT: cannot synthesize. Minimal blame:");
         for c in &rec.core {

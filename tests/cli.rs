@@ -270,6 +270,37 @@ fn explain_names_failing_pairs_and_hatches() {
 }
 
 #[test]
+fn exhausted_budget_gives_exit_3_and_structured_report() {
+    let f = Fixture::new("budget");
+    let base = [
+        "reconcile",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+        "--istio-goals",
+        &f.path("istio.csv"),
+    ];
+    // An already-expired deadline cannot prove anything: structured
+    // UNKNOWN, exit 3, and a pointer at the budget knobs.
+    let mut args = base.to_vec();
+    args.extend(["--timeout-ms", "0"]);
+    let out = f.run(&args);
+    assert_eq!(out.status.code(), Some(3), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("UNKNOWN"), "{text}");
+    assert!(text.contains("budget exhausted at phase"), "{text}");
+    assert!(text.contains("attempt(s)"), "{text}");
+    assert!(text.contains("--timeout-ms"), "{text}");
+    // A generous budget reaches the real verdict (exit 1: conflict).
+    let mut args = base.to_vec();
+    args.extend(["--timeout-ms", "60000", "--conflict-budget", "1000000", "--retries", "3"]);
+    let out = f.run(&args);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("UNSAT"));
+}
+
+#[test]
 fn bad_inputs_give_exit_2() {
     let f = Fixture::new("bad");
     let out = f.run(&["reconcile"]);

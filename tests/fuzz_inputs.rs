@@ -51,6 +51,56 @@ proptest! {
         let _ = parse_manifests(&input);
     }
 
+    /// The YAML parser itself never panics on arbitrary input — including
+    /// inputs biased toward its own syntax (quotes, flow brackets,
+    /// colons, dashes, comments, separators).
+    #[test]
+    fn yaml_never_panics(input in "[ -~\n]{0,400}") {
+        let _ = muppet_yaml::parse(&input);
+        let _ = muppet_yaml::parse_documents(&input);
+    }
+
+    /// Syntax-dense YAML fragments (much likelier to reach deep parser
+    /// paths than uniform ASCII) also never panic.
+    #[test]
+    fn yaml_syntax_soup_never_panics(
+        input in prop::collection::vec(
+            prop_oneof![
+                Just("- ".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(": ".to_string()),
+                Just("\"".to_string()),
+                Just("'".to_string()),
+                Just("\\".to_string()),
+                Just("#".to_string()),
+                Just(",".to_string()),
+                Just("\n".to_string()),
+                Just("  ".to_string()),
+                Just("---\n".to_string()),
+                "[a-z0-9]{1,4}".prop_map(|s| s),
+            ],
+            0..60,
+        ).prop_map(|parts| parts.concat()),
+    ) {
+        let _ = muppet_yaml::parse_documents(&input);
+    }
+
+    /// Whatever the YAML parser accepts, the emitter can write back out
+    /// and the parser re-reads to the same value.
+    #[test]
+    fn yaml_accepted_inputs_roundtrip(input in "[ -~\n]{0,300}") {
+        if let Ok(v) = muppet_yaml::parse(&input) {
+            let emitted = muppet_yaml::emit(&v);
+            prop_assert_eq!(
+                muppet_yaml::parse(&emitted).expect("emitted YAML must re-parse"),
+                v
+            );
+        }
+    }
+
     /// Structured-but-wrong manifests produce errors, not panics: random
     /// kinds, missing names, weird selectors.
     #[test]
@@ -98,4 +148,29 @@ fn parser_regression_corpus() {
     // Manifests: numeric service name stays a string.
     let m = parse_manifests("kind: Service\nmetadata:\n  name: \"123\"\n").unwrap();
     assert_eq!(m.mesh.services()[0].name, "123");
+}
+
+/// Deeply nested structure must produce a parse error, not a stack
+/// overflow (which aborts the whole process and cannot be caught).
+#[test]
+fn deep_nesting_errors_instead_of_overflowing() {
+    // Flow sequence: `[[[[…`.
+    let deep_flow = format!("key: {}", "[".repeat(20_000));
+    assert!(muppet_yaml::parse(&deep_flow).is_err());
+    // Flow mapping: `{a: {a: …`.
+    let deep_map = format!("key: {}", "{a: ".repeat(20_000));
+    assert!(muppet_yaml::parse(&deep_map).is_err());
+    // Block sequence: one line of `- - - - …`.
+    let deep_block = format!("{}x", "- ".repeat(20_000));
+    assert!(muppet_yaml::parse(&deep_block).is_err());
+    // Block mappings via increasing indentation.
+    let mut deep_indent = String::new();
+    for i in 0..20_000 {
+        deep_indent.push_str(&" ".repeat(i));
+        deep_indent.push_str("k:\n");
+    }
+    assert!(muppet_yaml::parse(&deep_indent).is_err());
+    // Moderate nesting stays accepted.
+    let ok = format!("key: {}1{}", "[".repeat(10), "]".repeat(10));
+    assert!(muppet_yaml::parse(&ok).is_ok());
 }

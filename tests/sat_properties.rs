@@ -2,7 +2,7 @@
 //! oracle, plus core-quality properties.
 #![allow(clippy::needless_range_loop)] // PHP hole loops read better as written
 
-use muppet_sat::{mus, Lit, SolveResult, Solver, Var};
+use muppet_sat::{mus, Budget, CancelToken, Lit, RetryPolicy, SolveResult, Solver, Var};
 use proptest::prelude::*;
 
 /// A random CNF instance: clause lists over `n` variables encoded as
@@ -119,11 +119,17 @@ proptest! {
         let (mut s, vars) = load(num_vars, &clauses);
         // Assume every variable true: often UNSAT against random clauses.
         let assumptions: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
-        if let Some(core) = mus::shrink_core(&mut s, &assumptions) {
-            prop_assert!(mus::is_minimal_core(&mut s, &core), "core {core:?} not minimal");
-        } else {
-            // Satisfiable: fine, nothing to check.
-            prop_assert!(s.solve_with_assumptions(&assumptions).is_sat());
+        match mus::shrink_core(&mut s, &assumptions) {
+            mus::ShrinkResult::Minimal(core) => {
+                prop_assert!(mus::is_minimal_core(&mut s, &core), "core {core:?} not minimal");
+            }
+            mus::ShrinkResult::Sat => {
+                // Satisfiable: fine, nothing to check.
+                prop_assert!(s.solve_with_assumptions(&assumptions).is_sat());
+            }
+            mus::ShrinkResult::Exhausted { .. } => {
+                prop_assert!(false, "unbudgeted shrink must not exhaust");
+            }
         }
     }
 
@@ -143,6 +149,92 @@ proptest! {
                 prop_assert!(vars.iter().any(|&v| m1.value(v) != m2.value(v)));
             }
         }
+    }
+
+    /// A budgeted solve may give up, but it must never give a *wrong*
+    /// verdict: any definite Sat/Unsat under a conflict cap agrees with
+    /// the brute-force oracle.
+    #[test]
+    fn budgeted_solve_never_wrong(
+        clauses in cnf_strategy(8, 30),
+        cap in 0u64..8,
+    ) {
+        let num_vars = 8;
+        let (mut s, vars) = load(num_vars, &clauses);
+        s.set_budget(Budget::unlimited().with_conflict_cap(cap));
+        let expected = brute_force_sat(num_vars, &clauses);
+        match s.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected, "budgeted solver said SAT, oracle says UNSAT");
+                for c in &clauses {
+                    let ok = c.iter().any(|&l| {
+                        let val = model.value(vars[l.unsigned_abs() as usize - 1]);
+                        (l > 0) == val
+                    });
+                    prop_assert!(ok, "model violates clause {c:?}");
+                }
+            }
+            SolveResult::Unsat(_) => {
+                prop_assert!(!expected, "budgeted solver said UNSAT, oracle says SAT");
+            }
+            SolveResult::Unknown => {} // giving up is always allowed
+        }
+    }
+
+    /// A solve under a pre-triggered cancellation token never reports a
+    /// wrong verdict either: it either aborts with Unknown or (for
+    /// instances decided before the first poll) agrees with the oracle.
+    #[test]
+    fn cancelled_solve_never_wrong(clauses in cnf_strategy(8, 30)) {
+        let num_vars = 8;
+        let (mut s, _) = load(num_vars, &clauses);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_budget(Budget::unlimited().with_cancel(token));
+        let expected = brute_force_sat(num_vars, &clauses);
+        match s.solve() {
+            SolveResult::Sat(_) => prop_assert!(expected),
+            SolveResult::Unsat(_) => prop_assert!(!expected),
+            SolveResult::Unknown => {}
+        }
+    }
+
+    /// Luby-escalated re-solving (the `RetryPolicy` schedule) reaches a
+    /// definite verdict that agrees with an unbudgeted solve.
+    #[test]
+    fn escalated_resolve_agrees_with_unbudgeted(clauses in cnf_strategy(8, 30)) {
+        let num_vars = 8;
+        let expected = brute_force_sat(num_vars, &clauses);
+        let policy = RetryPolicy::new(1, 16);
+        let mut verdict = None;
+        for attempt in 1..=policy.max_attempts {
+            let (mut s, _) = load(num_vars, &clauses);
+            let mut budget = Budget::unlimited();
+            budget.set_conflict_cap(policy.conflict_cap(attempt));
+            s.set_budget(budget);
+            match s.solve() {
+                SolveResult::Sat(_) => { verdict = Some(true); break; }
+                SolveResult::Unsat(_) => { verdict = Some(false); break; }
+                SolveResult::Unknown => {}
+            }
+        }
+        // If every capped attempt gave up, the uncapped final solve (the
+        // degradation path's last resort) must settle it.
+        let verdict = match verdict {
+            Some(v) => v,
+            None => {
+                let (mut s, _) = load(num_vars, &clauses);
+                match s.solve() {
+                    SolveResult::Sat(_) => true,
+                    SolveResult::Unsat(_) => false,
+                    SolveResult::Unknown => {
+                        prop_assert!(false, "unbudgeted solve returned Unknown");
+                        unreachable!()
+                    }
+                }
+            }
+        };
+        prop_assert_eq!(verdict, expected, "escalated verdict disagrees with oracle");
     }
 }
 

@@ -1,0 +1,190 @@
+//! Tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supported syntax: literal characters, `.`, escapes (`\n`, `\t`,
+//! `\r`, `\\`, `\-`, `\]`, ...), character classes with ranges
+//! (`[a-z0-9_-]`), and the quantifiers `{m}`, `{m,n}`, `{m,}`, `*`,
+//! `+`, `?`. Anything else (alternation, groups, anchors) panics at
+//! generation time — add support here if a test needs it.
+
+use crate::test_runner::TestRng;
+
+struct Elem {
+    set: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let elems = parse(pattern)
+        .unwrap_or_else(|e| panic!("unsupported regex {pattern:?} in proptest shim: {e}"));
+    let mut out = String::new();
+    for elem in &elems {
+        let n = rng.range_inclusive(elem.min as u64, elem.max as u64) as usize;
+        for _ in 0..n {
+            out.push(elem.set[rng.below(elem.set.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Result<Vec<Elem>, String> {
+    let mut chars = pattern.chars().peekable();
+    let mut elems = Vec::new();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => vec![unescape(chars.next().ok_or("dangling escape")?)],
+            '.' => (' '..='~').collect(),
+            '(' | ')' | '|' | '^' | '$' | '{' | '*' | '+' | '?' => {
+                return Err(format!("unsupported metacharacter {c:?}"));
+            }
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                parse_quantifier(&mut chars)?
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        if set.is_empty() {
+            return Err("empty character class".into());
+        }
+        elems.push(Elem { set, min, max });
+    }
+    Ok(elems)
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Vec<char>, String> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars.next().ok_or("unterminated character class")?;
+        match c {
+            ']' => {
+                if let Some(p) = prev {
+                    out.push(p);
+                }
+                return Ok(out);
+            }
+            '\\' => {
+                if let Some(p) = prev.take() {
+                    out.push(p);
+                }
+                prev = Some(unescape(chars.next().ok_or("dangling escape in class")?));
+            }
+            '-' => match (prev.take(), chars.peek().copied()) {
+                (Some(lo), Some(hi_raw)) if hi_raw != ']' => {
+                    chars.next();
+                    let hi = if hi_raw == '\\' {
+                        unescape(chars.next().ok_or("dangling escape in class")?)
+                    } else {
+                        hi_raw
+                    };
+                    if lo > hi {
+                        return Err(format!("inverted range {lo:?}-{hi:?}"));
+                    }
+                    for u in lo as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(u) {
+                            out.push(ch);
+                        }
+                    }
+                }
+                (p, _) => {
+                    // Literal '-' (at class start or end).
+                    if let Some(p) = p {
+                        out.push(p);
+                    }
+                    out.push('-');
+                }
+            },
+            other => {
+                if let Some(p) = prev.take() {
+                    out.push(p);
+                }
+                prev = Some(other);
+            }
+        }
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), String> {
+    let mut min_digits = String::new();
+    let mut max_digits: Option<String> = None;
+    loop {
+        let c = chars.next().ok_or("unterminated quantifier")?;
+        match c {
+            '}' => break,
+            ',' if max_digits.is_none() => max_digits = Some(String::new()),
+            d if d.is_ascii_digit() => match &mut max_digits {
+                Some(s) => s.push(d),
+                None => min_digits.push(d),
+            },
+            other => return Err(format!("bad quantifier character {other:?}")),
+        }
+    }
+    let min: usize = min_digits.parse().map_err(|_| "bad quantifier minimum")?;
+    let max = match max_digits {
+        None => min,
+        Some(s) if s.is_empty() => min + 8,
+        Some(s) => s.parse().map_err(|_| "bad quantifier maximum")?,
+    };
+    if max < min {
+        return Err("quantifier maximum below minimum".into());
+    }
+    Ok((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_used_by_the_workspace() {
+        let mut rng = TestRng::from_seed(99);
+        for _ in 0..200 {
+            let s = generate("[ -~\n]{0,300}", &mut rng);
+            assert!(s.len() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+
+            let s = generate("[a-z][a-z0-9_-]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+
+            let s = generate("[A-Za-z]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()));
+        }
+    }
+}
