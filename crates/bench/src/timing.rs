@@ -50,6 +50,16 @@ impl Table {
         self.rows.push(cells.to_vec());
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The appended rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Render with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.headers.len();

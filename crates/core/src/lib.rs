@@ -50,13 +50,17 @@ pub mod baseline;
 pub mod conformance;
 mod envelope;
 pub mod explain;
+pub mod fingerprint;
 pub mod learn;
 pub mod negotiate;
 mod party;
 mod session;
 
 pub use envelope::{Envelope, EnvelopePredicate, LeakageReport};
-pub use muppet_solver::{Budget, CancelToken, Exhaustion, Phase, QueryStats, RetryPolicy};
+pub use fingerprint::Fingerprinter;
+pub use muppet_solver::{
+    Budget, CancelToken, Exhaustion, Phase, PreparedStore, QueryStats, RetryPolicy,
+};
 pub use party::{NamedGoal, Party};
 pub use session::{
     ConsistencyReport, ExhaustionReport, MuppetError, Reconciliation, ReconcileMode, Session,

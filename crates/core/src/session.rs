@@ -8,11 +8,12 @@ use muppet_logic::{
     RelId, Term, Universe, Vocabulary,
 };
 use muppet_solver::{
-    Budget, FormulaGroup, Outcome, PartialResult, Phase, Query, QueryError, QueryStats,
-    RetryPolicy,
+    Budget, FormulaGroup, Outcome, PartialResult, Phase, PrepareError, PreparedQuery,
+    PreparedStore, Query, QueryError, QueryStats, RetryPolicy,
 };
 
 use crate::envelope::{Envelope, EnvelopePredicate};
+use crate::fingerprint::Fingerprinter;
 use crate::party::Party;
 
 /// Errors from session operations.
@@ -379,22 +380,56 @@ impl<'a> Session<'a> {
             q.add_group(g);
         }
         let (outcome, attempts) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        Ok(self.consistency_report(id, outcome, attempts))
+    }
+
+    /// Warm-path **Alg. 1**: identical verdicts to
+    /// [`Session::local_consistency`], but grounding/encoding state is
+    /// kept alive in `store` and reused across calls whose vocabulary,
+    /// universe, structure and offer bounds are unchanged — a repeat
+    /// check re-encodes only groups whose content actually changed.
+    /// Symmetry-breaking sessions fall back to the cold path (lex
+    /// clauses are permanent and would poison reuse).
+    pub fn local_consistency_warm(
+        &self,
+        id: PartyId,
+        store: &mut PreparedStore,
+    ) -> Result<ConsistencyReport, MuppetError> {
+        if self.symmetry_breaking {
+            return self.local_consistency(id);
+        }
+        let party = self.party(id)?;
+        let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
+        let mut groups = vec![self.axiom_group()];
+        groups.extend(commit_groups);
+        groups.extend(self.goal_groups(party));
+        let (outcome, attempts) = self.run_warm(store, &bounds, &groups)?;
+        Ok(self.consistency_report(id, outcome, attempts))
+    }
+
+    /// Map a solve outcome onto the Alg. 1 report shape.
+    fn consistency_report(
+        &self,
+        id: PartyId,
+        outcome: Outcome,
+        attempts: u32,
+    ) -> ConsistencyReport {
         match outcome {
-            Outcome::Sat { solution, stats } => Ok(ConsistencyReport {
+            Outcome::Sat { solution, stats } => ConsistencyReport {
                 ok: true,
                 witness: Some(solution.restrict_to_domain(&self.vocab, Domain::Party(id))),
                 core: Vec::new(),
                 stats,
                 exhausted: None,
-            }),
-            Outcome::Unsat { core, stats } => Ok(ConsistencyReport {
+            },
+            Outcome::Unsat { core, stats } => ConsistencyReport {
                 ok: false,
                 witness: None,
                 core,
                 stats,
                 exhausted: None,
-            }),
-            Outcome::Unknown { phase, stats, partial } => Ok(ConsistencyReport {
+            },
+            Outcome::Unknown { phase, stats, partial } => ConsistencyReport {
                 ok: false,
                 witness: None,
                 core: match partial {
@@ -403,7 +438,7 @@ impl<'a> Session<'a> {
                 },
                 stats,
                 exhausted: Some(ExhaustionReport { phase, stats, attempts }),
-            }),
+            },
         }
     }
 
@@ -427,6 +462,33 @@ impl<'a> Session<'a> {
             }
         }
         let (outcome, attempts) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        Ok(self.reconciliation_report(outcome, attempts))
+    }
+
+    /// Warm-path **Alg. 2**: identical verdicts to
+    /// [`Session::reconcile`], with grounding/encoding state kept alive
+    /// in `store` (see [`Session::local_consistency_warm`]).
+    pub fn reconcile_warm(
+        &self,
+        mode: ReconcileMode,
+        store: &mut PreparedStore,
+    ) -> Result<Reconciliation, MuppetError> {
+        if self.symmetry_breaking {
+            return self.reconcile(mode);
+        }
+        let refs: Vec<&Party> = self.parties.iter().collect();
+        let (bounds, commit_groups) = self.merge_offers(&refs, mode);
+        let mut groups = vec![self.axiom_group()];
+        groups.extend(commit_groups);
+        for p in &self.parties {
+            groups.extend(self.goal_groups(p));
+        }
+        let (outcome, attempts) = self.run_warm(store, &bounds, &groups)?;
+        Ok(self.reconciliation_report(outcome, attempts))
+    }
+
+    /// Map a solve outcome onto the Alg. 2 report shape.
+    fn reconciliation_report(&self, outcome: Outcome, attempts: u32) -> Reconciliation {
         match outcome {
             Outcome::Sat { solution, stats } => {
                 let configs = self
@@ -439,22 +501,22 @@ impl<'a> Session<'a> {
                         )
                     })
                     .collect();
-                Ok(Reconciliation {
+                Reconciliation {
                     success: true,
                     configs,
                     core: Vec::new(),
                     stats,
                     exhausted: None,
-                })
+                }
             }
-            Outcome::Unsat { core, stats } => Ok(Reconciliation {
+            Outcome::Unsat { core, stats } => Reconciliation {
                 success: false,
                 configs: BTreeMap::new(),
                 core,
                 stats,
                 exhausted: None,
-            }),
-            Outcome::Unknown { phase, stats, partial } => Ok(Reconciliation {
+            },
+            Outcome::Unknown { phase, stats, partial } => Reconciliation {
                 success: false,
                 configs: BTreeMap::new(),
                 core: match partial {
@@ -463,7 +525,100 @@ impl<'a> Session<'a> {
                 },
                 stats,
                 exhausted: Some(ExhaustionReport { phase, stats, attempts }),
-            }),
+            },
+        }
+    }
+
+    /// Fingerprint of everything that shapes a warm query's variable
+    /// layout: universe, vocabulary, fixed structure and the given
+    /// bounds + free relations. Two sessions agreeing on this key can
+    /// share one [`PreparedQuery`].
+    fn warm_key(&self, bounds: &PartialInstance, free: &[RelId]) -> u128 {
+        let mut fp = Fingerprinter::new();
+        fp.add_universe(self.universe)
+            .add_vocab(&self.vocab)
+            .add_instance(&self.structure)
+            .add_partial(bounds)
+            .add_hash(&free);
+        fp.digest()
+    }
+
+    /// Fingerprint of the session's full semantic content — universe,
+    /// vocabulary, structure, axioms, every party's goals and offer,
+    /// and the symmetry flag. Daemon-level caches key on this.
+    pub fn content_fingerprint(&self) -> u128 {
+        let mut fp = Fingerprinter::new();
+        fp.add_universe(self.universe)
+            .add_vocab(&self.vocab)
+            .add_instance(&self.structure)
+            .add_hash(&self.axioms)
+            .add_bool(self.symmetry_breaking);
+        fp.add_u64(self.parties.len() as u64);
+        for p in &self.parties {
+            fp.add_party(p);
+        }
+        fp.digest()
+    }
+
+    /// The warm analogue of [`Session::run_budgeted`]: fetch (or build)
+    /// the prepared query for this bounds/free-relation shape, make sure
+    /// every group is encoded, and solve with exactly those groups
+    /// active, under the session's budget and retry escalation.
+    fn run_warm(
+        &self,
+        store: &mut PreparedStore,
+        bounds: &PartialInstance,
+        groups: &[FormulaGroup],
+    ) -> Result<(Outcome, u32), MuppetError> {
+        let free = self.all_party_rels();
+        let key = self.warm_key(bounds, &free);
+        let pq = store.get_or_build(key, || {
+            PreparedQuery::new(
+                &self.vocab,
+                self.universe,
+                &free,
+                bounds,
+                self.structure.clone(),
+            )
+        });
+        let attempts_max = self.retry.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            let mut budget = self.budget.clone();
+            if let Some(cap) = self.retry.conflict_cap(attempt) {
+                let cap = match budget.conflict_cap() {
+                    Some(own) => own.min(cap),
+                    None => cap,
+                };
+                budget.set_conflict_cap(Some(cap));
+            }
+            let mut active = Vec::with_capacity(groups.len());
+            let mut aborted = None;
+            for g in groups {
+                match pq.ensure_group(g, &budget) {
+                    Ok(id) => active.push(id),
+                    Err(PrepareError::Ground(e)) => {
+                        return Err(MuppetError::Query(QueryError::Ground(e)))
+                    }
+                    Err(PrepareError::Exhausted(phase)) => {
+                        aborted = Some(phase);
+                        break;
+                    }
+                }
+            }
+            let outcome = match aborted {
+                Some(phase) => Outcome::Unknown {
+                    phase,
+                    stats: QueryStats::default(),
+                    partial: None,
+                },
+                None => pq.solve(&active, budget),
+            };
+            if outcome.is_unknown() && attempt < attempts_max && self.budget.poll().is_none() {
+                attempt += 1;
+                continue;
+            }
+            return Ok((outcome, attempt));
         }
     }
 
@@ -1101,6 +1256,64 @@ mod tests {
         assert!(!report.ok);
         let ex = report.exhausted.expect("must carry an exhaustion report");
         assert_eq!(ex.phase, Phase::Search);
+    }
+
+    /// Warm-path reconciliation and consistency must agree with the
+    /// cold paths verdict-for-verdict, and the second warm call must
+    /// actually reuse the prepared state.
+    #[test]
+    fn warm_paths_match_cold_verdicts_and_reuse_state() {
+        let mv = MeshVocab::paper_example();
+        let mut store = PreparedStore::new();
+
+        // UNSAT case (Fig. 3): same verdict, same minimal core.
+        let s3 = paper_session(&mv, &IstioGoal::fig3());
+        let cold = s3.reconcile(ReconcileMode::HardBounds).unwrap();
+        let warm = s3.reconcile_warm(ReconcileMode::HardBounds, &mut store).unwrap();
+        assert_eq!(cold.success, warm.success);
+        let (mut cc, mut wc) = (cold.core.clone(), warm.core.clone());
+        cc.sort();
+        wc.sort();
+        assert_eq!(cc, wc);
+
+        // Repeat: served from the same prepared query, same answer.
+        let warm2 = s3.reconcile_warm(ReconcileMode::HardBounds, &mut store).unwrap();
+        assert_eq!(warm2.success, cold.success);
+        assert!(store.hits() >= 1, "second call must hit the store");
+        let (_, reused) = store.group_counters();
+        assert!(reused > 0, "repeat call must reuse encoded groups");
+
+        // SAT case (Fig. 4) shares the same store; delivered configs
+        // must satisfy every goal just like the cold path's do.
+        let s4 = paper_session(&mv, &IstioGoal::fig4());
+        let warm4 = s4.reconcile_warm(ReconcileMode::HardBounds, &mut store).unwrap();
+        assert!(warm4.success, "core: {:?}", warm4.core);
+        let mut combined = s4.structure().clone();
+        for c in warm4.configs.values() {
+            combined = combined.union(c);
+        }
+        for (name, holds) in s4.check_goals(&combined) {
+            assert!(holds, "goal {name} violated by warm-delivered configs");
+        }
+
+        // Local consistency parity.
+        let ck = s3.local_consistency(mv.k8s_party).unwrap();
+        let wk = s3.local_consistency_warm(mv.k8s_party, &mut store).unwrap();
+        assert_eq!(ck.ok, wk.ok);
+        assert_eq!(wk.witness.is_some(), ck.witness.is_some());
+    }
+
+    /// Warm paths under a symmetry-breaking session silently use the
+    /// cold pipeline (permanent lex clauses must not enter the store).
+    #[test]
+    fn warm_paths_fall_back_under_symmetry_breaking() {
+        let mv = MeshVocab::paper_example();
+        let mut store = PreparedStore::new();
+        let mut s = paper_session(&mv, &IstioGoal::fig4());
+        s.set_symmetry_breaking(true);
+        let rec = s.reconcile_warm(ReconcileMode::HardBounds, &mut store).unwrap();
+        assert!(rec.success);
+        assert!(store.is_empty(), "fallback must not populate the store");
     }
 
     /// An expired deadline (no fault injection at all) also yields the

@@ -1,0 +1,101 @@
+//! A small blocking client for the daemon protocol.
+//!
+//! [`Endpoint`] names where the daemon listens; [`Client`] holds one
+//! connection and does line-per-request round trips. `muppet_cli
+//! client` and the integration tests are the consumers.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+
+/// Where a daemon listens.
+#[derive(Clone, Debug)]
+pub enum Endpoint {
+    /// Unix domain socket path.
+    Unix(PathBuf),
+    /// TCP address, e.g. `127.0.0.1:7878`.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Connect, optionally bounding each response read.
+    pub fn connect(&self, read_timeout: Option<Duration>) -> Result<Client, String> {
+        match self {
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)
+                    .map_err(|e| format!("connect {}: {e}", path.display()))?;
+                stream
+                    .set_read_timeout(read_timeout)
+                    .map_err(|e| format!("set_read_timeout: {e}"))?;
+                let write = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+                Ok(Client {
+                    reader: BufReader::new(Box::new(stream)),
+                    writer: Box::new(write),
+                })
+            }
+            Endpoint::Tcp(addr) => {
+                let stream =
+                    TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                stream
+                    .set_read_timeout(read_timeout)
+                    .map_err(|e| format!("set_read_timeout: {e}"))?;
+                let write = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+                Ok(Client {
+                    reader: BufReader::new(Box::new(stream)),
+                    writer: Box::new(write),
+                })
+            }
+        }
+    }
+
+    /// One-shot convenience: connect, send, read one response.
+    pub fn roundtrip(
+        &self,
+        req: &Request,
+        read_timeout: Option<Duration>,
+    ) -> Result<Response, String> {
+        self.connect(read_timeout)?.roundtrip(req)
+    }
+}
+
+/// One open connection to a daemon.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Send one request and block for its response. (The protocol
+    /// allows pipelining, but responses may then arrive out of order —
+    /// correlate by `id` if you do.)
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, String> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Send a request line without waiting.
+    pub fn send(&mut self, req: &Request) -> Result<(), String> {
+        self.send_raw(&req.to_line())
+    }
+
+    /// Send a raw protocol line (tests use this to probe how the
+    /// server handles malformed input).
+    pub fn send_raw(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))
+    }
+
+    /// Read the next response line.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".to_string()),
+            Ok(_) => Response::from_line(&line),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+}

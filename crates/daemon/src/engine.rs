@@ -1,0 +1,844 @@
+//! The daemon engine: session registry, result cache, dispatch.
+//!
+//! [`Engine`] is `muppetd` with the sockets removed — tests, the bench
+//! harness and the server all drive the same [`Engine::handle`] entry
+//! point. It owns two layers of reuse:
+//!
+//! 1. **Warm sessions.** Specs are loaded once per content fingerprint
+//!    and kept in a bounded registry. A warm session keeps its
+//!    [`muppet_solver::PreparedStore`] (grounded formulas + CNF) alive,
+//!    so repeat solves re-encode only groups a delta actually touched.
+//! 2. **Content-addressed results.** Every solve answer is cached under
+//!    a fingerprint of *exactly the inputs that feed it*, per
+//!    operation. A consistency check hashes only that party's goal
+//!    table; an envelope toward the tenant hashes only the provider's
+//!    side (manifests, sender goals, the derived port universe, mTLS).
+//!    That is what makes invalidation delta-aware: a tenant goal edit
+//!    that leaves the port universe intact cannot evict the provider's
+//!    envelope, while any hashed-input change lands on a fresh key.
+//!
+//! Soundness rule: only *definite* results enter the cache. An answer
+//! produced under a fired budget (`exhausted` set, or the operation
+//! aborted) is returned to its requester but never stored, so a cached
+//! verdict always equals what a cold, unlimited solve would say.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use muppet::conformance::run_conformance;
+use muppet::negotiate::{DropBlamedSoftGoals, Negotiator, Stubborn};
+use muppet::{
+    Budget, CancelToken, ConsistencyReport, Envelope, ExhaustionReport, MuppetError,
+    QueryStats, Reconciliation, ReconcileMode, RetryPolicy, Session,
+};
+use muppet_logic::{Instance, PartyId, Universe, Vocabulary};
+
+use crate::cache::ResultCache;
+use crate::json::Json;
+use crate::proto::{Op, Request, Response};
+use crate::spec::{SessionSpec, WarmSession};
+
+use muppet::fingerprint::{hex as fingerprint_hex, parse_hex, Fingerprinter};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Result-cache capacity (entries).
+    pub cache_cap: usize,
+    /// Maximum number of warm sessions kept resident.
+    pub max_sessions: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_cap: 1024,
+            max_sessions: 64,
+        }
+    }
+}
+
+/// Warm-session registry: fingerprint → session, FIFO-bounded.
+struct Registry {
+    map: HashMap<u128, Arc<Mutex<WarmSession>>>,
+    order: Vec<u128>,
+}
+
+/// Per-operation latency accumulator.
+#[derive(Default)]
+struct OpLatency {
+    count: u64,
+    total_us: u64,
+}
+
+/// The daemon engine. Thread-safe: share it behind an [`Arc`] and call
+/// [`Engine::handle`] from any number of worker threads.
+pub struct Engine {
+    config: EngineConfig,
+    sessions: Mutex<Registry>,
+    cache: Mutex<ResultCache>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    in_flight: AtomicU64,
+    /// Updated by the server's queue; a plain gauge for `stats`.
+    queue_depth: AtomicU64,
+    latencies: Mutex<HashMap<&'static str, OpLatency>>,
+}
+
+/// RAII guard for the in-flight gauge.
+struct InFlight<'a>(&'a AtomicU64);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Ignore mutex poisoning: engine state is counters and caches, all of
+/// which stay internally consistent even if a panicking thread held the
+/// lock mid-update (worst case a cache entry or counter tick is lost).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Engine {
+    /// A fresh engine.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            sessions: Mutex::new(Registry {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            cache: Mutex::new(ResultCache::new(config.cache_cap)),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            latencies: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Record that a request was queued (server side).
+    pub fn note_enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that a queued request was picked up (server side).
+    pub fn note_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Handle one request. `cancel` (when given) is polled by the
+    /// solver between propagations — cancelling it aborts the request's
+    /// solve work at the next budget check.
+    pub fn handle(&self, req: &Request, cancel: Option<&CancelToken>) -> Response {
+        let start = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _guard = InFlight(&self.in_flight);
+        let mut resp = match self.dispatch(req, cancel) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::failure(req.id.clone(), e)
+            }
+        };
+        resp.id = req.id.clone();
+        resp.elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut lat = relock(&self.latencies);
+        let slot = lat.entry(req.op.name()).or_default();
+        slot.count += 1;
+        slot.total_us += resp.elapsed_us;
+        resp
+    }
+
+    fn dispatch(&self, req: &Request, cancel: Option<&CancelToken>) -> Result<Response, String> {
+        match req.op {
+            Op::Stats => return Ok(Response::success(None, self.stats_json())),
+            // The server intercepts shutdown to stop its threads; the
+            // engine just acknowledges so in-process drivers get a
+            // well-formed response too.
+            Op::Shutdown => {
+                return Ok(Response::success(None, Json::obj([("stopping", Json::Bool(true))])))
+            }
+            _ => {}
+        }
+        let (handle, hex_fp) = self.resolve_session(req)?;
+        if req.op == Op::OpenSession {
+            let ws = relock(&handle);
+            let mut resp = Response::success(
+                None,
+                Json::obj([
+                    ("session", Json::str(&hex_fp)),
+                    ("services", Json::num(ws.core.bundle.mesh.services().len() as u64)),
+                    (
+                        "ports",
+                        Json::Arr(ws.core.ports.iter().map(|&p| Json::num(u64::from(p))).collect()),
+                    ),
+                    ("k8s_goals", Json::num(ws.core.k8s_goals.len() as u64)),
+                    ("istio_goals", Json::num(ws.core.istio_goals.len() as u64)),
+                ]),
+            );
+            resp.session = Some(hex_fp);
+            return Ok(resp);
+        }
+
+        // Layer 2: the content-addressed result cache.
+        let key = {
+            let ws = relock(&handle);
+            self.result_key(req, &ws)?
+        };
+        if let Some((result, _)) = relock(&self.cache).get(key) {
+            let mut resp = Response::success(None, result);
+            resp.cached = true;
+            resp.session = Some(hex_fp);
+            return Ok(resp);
+        }
+
+        // Miss: run the operation against the warm session. The session
+        // mutex serializes work *per session*; distinct sessions solve
+        // concurrently across worker threads.
+        let mut ws = relock(&handle);
+        ws.requests += 1;
+        let (result, definite) = self.run_op(req, &mut ws, cancel)?;
+        drop(ws);
+        if definite {
+            relock(&self.cache).put(key, result.clone(), hex_fp.clone());
+        }
+        let mut resp = Response::success(None, result);
+        resp.session = Some(hex_fp);
+        Ok(resp)
+    }
+
+    /// Find or build the warm session a request addresses.
+    fn resolve_session(&self, req: &Request) -> Result<(Arc<Mutex<WarmSession>>, String), String> {
+        let fp = match (&req.spec, &req.session) {
+            (Some(spec), _) => spec.fingerprint(),
+            (None, Some(handle)) => parse_hex(handle)
+                .ok_or_else(|| format!("malformed session handle {handle:?}"))?,
+            (None, None) => {
+                return Err("request needs either \"spec\" (inline content) or \"session\" (handle)"
+                    .to_string())
+            }
+        };
+        if let Some(h) = relock(&self.sessions).map.get(&fp) {
+            return Ok((Arc::clone(h), fingerprint_hex(fp)));
+        }
+        let spec = req
+            .spec
+            .clone()
+            .ok_or_else(|| "unknown session (expired or never opened); resend with \"spec\"".to_string())?;
+        // Build outside the registry lock — loading grounds axioms and
+        // must not stall unrelated sessions.
+        let built = Arc::new(Mutex::new(spec.load()?));
+        let mut reg = relock(&self.sessions);
+        if let Some(h) = reg.map.get(&fp) {
+            // Someone else built it concurrently; keep theirs.
+            return Ok((Arc::clone(h), fingerprint_hex(fp)));
+        }
+        if reg.map.len() >= self.config.max_sessions && !reg.order.is_empty() {
+            let evicted = reg.order.remove(0);
+            reg.map.remove(&evicted);
+            // No cached result may outlive the session that produced it.
+            relock(&self.cache).invalidate_session(&fingerprint_hex(evicted));
+        }
+        reg.map.insert(fp, Arc::clone(&built));
+        reg.order.push(fp);
+        Ok((built, fingerprint_hex(fp)))
+    }
+
+    /// The per-operation cache key: `h(op ‖ exactly-the-inputs-used)`.
+    fn result_key(&self, req: &Request, ws: &WarmSession) -> Result<u128, String> {
+        let core = &ws.core;
+        let spec = &core.spec;
+        let mut fp = Fingerprinter::new();
+        fp.add_str("result-v1").add_str(req.op.name());
+        // Every operation sees the universe, which derives from the
+        // manifests, the *combined* goal-table port set, extras and
+        // mTLS — so all keys hash those.
+        fp.add_str(&spec.manifests).add_bool(spec.mtls);
+        fp.add_u64(core.ports.len() as u64);
+        for &p in &core.ports {
+            fp.add_u64(u64::from(p));
+        }
+        match req.op {
+            Op::CheckConsistency => {
+                // Depends on one party's goals only.
+                let party = self.party_from(req.party.as_deref(), "party", core)?;
+                fp.add_str(canonical_party(party, core));
+                fp.add_str(core.goals_text(party));
+            }
+            Op::ExtractEnvelope => {
+                // Depends on the *sender's* goals and deployed config
+                // only — the delta-aware case: recipient goal edits
+                // that keep the port universe intact hit the same key.
+                let to = self.party_from(req.to.as_deref().or(Some("istio")), "to", core)?;
+                let from = other_party(to, core);
+                fp.add_str(canonical_party(to, core));
+                fp.add_str(core.goals_text(from));
+            }
+            Op::Reconcile => {
+                fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
+                fp.add_str(req.mode.as_deref().unwrap_or("hard"));
+            }
+            Op::CheckConformance => {
+                let provider =
+                    self.party_from(req.provider.as_deref().or(Some("k8s")), "provider", core)?;
+                fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
+                fp.add_str(canonical_party(provider, core));
+            }
+            Op::NegotiateRound => {
+                fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
+                fp.add_u64(req.max_rounds.unwrap_or(4));
+            }
+            Op::OpenSession | Op::Stats | Op::Shutdown => unreachable!("handled earlier"),
+        }
+        Ok(fp.digest())
+    }
+
+    /// Run a solve operation. Returns `(result, definite)`; only
+    /// definite results may be cached.
+    fn run_op(
+        &self,
+        req: &Request,
+        ws: &mut WarmSession,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Json, bool), String> {
+        // Split borrows: the rebuilt `Session` borrows `core` while the
+        // warm solver state lives in the sibling `prepared` store.
+        let WarmSession { core, prepared, .. } = ws;
+        let mut session = core.session();
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = req.timeout_ms {
+            budget = budget.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(tok) = cancel {
+            budget = budget.with_cancel(tok.clone());
+        }
+        session.set_budget(budget);
+        if req.conflict_budget.is_some() || req.retries.is_some() {
+            session.set_retry_policy(RetryPolicy::new(
+                req.conflict_budget.unwrap_or(u64::MAX),
+                req.retries.unwrap_or(1),
+            ));
+        }
+        match req.op {
+            Op::CheckConsistency => {
+                let party = self.party_from(req.party.as_deref(), "party", core)?;
+                let report = session
+                    .local_consistency_warm(party, prepared)
+                    .map_err(describe_err)?;
+                let definite = report.exhausted.is_none();
+                Ok((consistency_json(&session, party, &report), definite))
+            }
+            Op::Reconcile => {
+                let mode = match req.mode.as_deref().unwrap_or("hard") {
+                    "hard" => ReconcileMode::HardBounds,
+                    "blameable" => ReconcileMode::Blameable,
+                    other => return Err(format!("unknown reconcile mode {other:?}")),
+                };
+                let rec = session.reconcile_warm(mode, prepared).map_err(describe_err)?;
+                let definite = rec.exhausted.is_none();
+                Ok((reconciliation_json(&session, &rec), definite))
+            }
+            Op::ExtractEnvelope => {
+                let to = self.party_from(req.to.as_deref().or(Some("istio")), "to", core)?;
+                let from = other_party(to, core);
+                let c_from = core.deployed(from)?;
+                let env = session
+                    .compute_envelope(from, to, &c_from)
+                    .map_err(describe_err)?;
+                Ok((envelope_json(&session, &env), true))
+            }
+            Op::CheckConformance => {
+                let provider =
+                    self.party_from(req.provider.as_deref().or(Some("k8s")), "provider", core)?;
+                let tenant = other_party(provider, core);
+                let preferred = core.deployed(tenant)?;
+                let report = run_conformance(&session, provider, tenant, Some(&preferred))
+                    .map_err(describe_err)?;
+                Ok((conformance_json(&session, &report), true))
+            }
+            Op::NegotiateRound => {
+                let rounds = req.max_rounds.unwrap_or(4).min(64) as usize;
+                // Paper roles (Fig. 9): the cluster admin holds firm;
+                // the mesh admin's goals are negotiable — soften them
+                // so blamed rows can be dropped round by round.
+                let istio = core.mv.istio_party;
+                if let Ok(p) = session.party_mut(istio) {
+                    for g in &mut p.goals {
+                        g.hard = false;
+                    }
+                }
+                let mut negotiators: std::collections::BTreeMap<PartyId, Box<dyn Negotiator>> =
+                    std::collections::BTreeMap::new();
+                negotiators.insert(core.mv.k8s_party, Box::new(Stubborn));
+                negotiators.insert(core.mv.istio_party, Box::new(DropBlamedSoftGoals));
+                let report =
+                    muppet::negotiate::run_negotiation(&mut session, &mut negotiators, rounds)
+                        .map_err(describe_err)?;
+                let configs = Json::Obj(
+                    report
+                        .configs
+                        .iter()
+                        .map(|(id, c)| {
+                            (canonical_party(*id, core).to_string(), instance_json(&session, c))
+                        })
+                        .collect(),
+                );
+                Ok((
+                    Json::obj([
+                        ("success", Json::Bool(report.success)),
+                        ("rounds", Json::num(report.rounds as u64)),
+                        ("configs", configs),
+                        ("trace", Json::strs(&report.trace)),
+                    ]),
+                    true,
+                ))
+            }
+            Op::OpenSession | Op::Stats | Op::Shutdown => unreachable!("handled earlier"),
+        }
+    }
+
+    fn party_from(
+        &self,
+        name: Option<&str>,
+        field: &str,
+        core: &crate::spec::WarmCore,
+    ) -> Result<PartyId, String> {
+        let name = name.ok_or_else(|| format!("missing \"{field}\" (use k8s or istio)"))?;
+        core.party_id(name)
+    }
+
+    /// The `stats` result object.
+    pub fn stats_json(&self) -> Json {
+        let (hits, misses, evictions) = relock(&self.cache).counters();
+        let cache_len = relock(&self.cache).len() as u64;
+        let reg = relock(&self.sessions);
+        let session_count = reg.map.len() as u64;
+        let (mut builds, mut reuses) = (0u64, 0u64);
+        for h in reg.map.values() {
+            let ws = relock(h);
+            let (b, r) = ws.prepared.group_counters();
+            builds += b;
+            reuses += r;
+        }
+        drop(reg);
+        let lat = relock(&self.latencies);
+        let mut per_op: Vec<(String, Json)> = lat
+            .iter()
+            .map(|(op, l)| {
+                (
+                    op.to_string(),
+                    Json::obj([
+                        ("count", Json::num(l.count)),
+                        ("total_us", Json::num(l.total_us)),
+                        (
+                            "mean_us",
+                            Json::num(l.total_us.checked_div(l.count).unwrap_or(0)),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        per_op.sort_by(|a, b| a.0.cmp(&b.0));
+        let lookups = hits + misses;
+        Json::obj([
+            ("requests", Json::num(self.requests.load(Ordering::Relaxed))),
+            ("errors", Json::num(self.errors.load(Ordering::Relaxed))),
+            ("in_flight", Json::num(self.in_flight.load(Ordering::Relaxed).saturating_sub(1))),
+            ("queue_depth", Json::num(self.queue_depth.load(Ordering::Relaxed))),
+            ("sessions", Json::num(session_count)),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::num(cache_len)),
+                    ("hits", Json::num(hits)),
+                    ("misses", Json::num(misses)),
+                    ("evictions", Json::num(evictions)),
+                    (
+                        "hit_rate",
+                        if lookups == 0 {
+                            Json::Null
+                        } else {
+                            Json::Num(hits as f64 / lookups as f64)
+                        },
+                    ),
+                ]),
+            ),
+            (
+                "warm_groups",
+                Json::obj([("encoded", Json::num(builds)), ("reused", Json::num(reuses))]),
+            ),
+            ("latency", Json::Obj(per_op)),
+        ])
+    }
+
+    /// Convenience for tests/harness: handle a [`SessionSpec`]-bearing
+    /// request built from parts.
+    pub fn handle_op(&self, op: Op, spec: &SessionSpec) -> Response {
+        self.handle(&Request::new(op).with_spec(spec.clone()), None)
+    }
+}
+
+/// The canonical wire name of a party.
+fn canonical_party(id: PartyId, core: &crate::spec::WarmCore) -> &'static str {
+    if id == core.mv.k8s_party {
+        "k8s"
+    } else {
+        "istio"
+    }
+}
+
+/// The other party in a two-party core.
+fn other_party(id: PartyId, core: &crate::spec::WarmCore) -> PartyId {
+    if id == core.mv.k8s_party {
+        core.mv.istio_party
+    } else {
+        core.mv.k8s_party
+    }
+}
+
+fn describe_err(e: MuppetError) -> String {
+    match e {
+        MuppetError::Exhausted { phase, stats } => format!(
+            "budget exhausted during {phase} ({} conflicts, {} propagations)",
+            stats.conflicts, stats.propagations
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// Render a configuration instance as sorted `rel(atom, …)` strings.
+fn instance_json(session: &Session<'_>, inst: &Instance) -> Json {
+    tuples_json(session.vocab(), session.universe(), inst)
+}
+
+fn tuples_json(vocab: &Vocabulary, universe: &Universe, inst: &Instance) -> Json {
+    let mut entries = inst.all_tuples();
+    entries.sort();
+    Json::Arr(
+        entries
+            .iter()
+            .map(|(rel, args)| {
+                let atoms: Vec<String> = args
+                    .iter()
+                    .map(|a| universe.atom_name(*a).to_string())
+                    .collect();
+                Json::str(format!("{}({})", vocab.rel(*rel).name, atoms.join(", ")))
+            })
+            .collect(),
+    )
+}
+
+fn stats_obj(stats: &QueryStats) -> Json {
+    Json::obj([
+        ("free_tuple_vars", Json::num(stats.free_tuple_vars as u64)),
+        ("conflicts", Json::num(stats.conflicts)),
+        ("decisions", Json::num(stats.decisions)),
+        ("propagations", Json::num(stats.propagations)),
+        ("restarts", Json::num(stats.restarts)),
+    ])
+}
+
+fn exhaustion_json(ex: &Option<ExhaustionReport>) -> Json {
+    match ex {
+        None => Json::Null,
+        Some(e) => Json::obj([
+            ("phase", Json::str(e.phase.to_string())),
+            ("stats", stats_obj(&e.stats)),
+            ("attempts", Json::num(u64::from(e.attempts))),
+        ]),
+    }
+}
+
+fn consistency_json(session: &Session<'_>, party: PartyId, report: &ConsistencyReport) -> Json {
+    Json::obj([
+        (
+            "party",
+            Json::str(session.party(party).map(|p| p.name.as_str()).unwrap_or("?")),
+        ),
+        ("ok", Json::Bool(report.ok)),
+        (
+            "witness",
+            match &report.witness {
+                Some(w) => instance_json(session, w),
+                None => Json::Null,
+            },
+        ),
+        ("core", Json::strs(&report.core)),
+        ("stats", stats_obj(&report.stats)),
+        ("exhausted", exhaustion_json(&report.exhausted)),
+    ])
+}
+
+fn reconciliation_json(session: &Session<'_>, rec: &Reconciliation) -> Json {
+    let names = session.party_names();
+    let configs = Json::Obj(
+        rec.configs
+            .iter()
+            .map(|(id, c)| {
+                (
+                    names.get(id).cloned().unwrap_or_else(|| format!("{id:?}")),
+                    instance_json(session, c),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("success", Json::Bool(rec.success)),
+        ("configs", configs),
+        ("core", Json::strs(&rec.core)),
+        ("stats", stats_obj(&rec.stats)),
+        ("exhausted", exhaustion_json(&rec.exhausted)),
+    ])
+}
+
+fn envelope_json(session: &Session<'_>, env: &Envelope) -> Json {
+    let leak = env.leakage(session.universe());
+    Json::obj([
+        ("trivial", Json::Bool(env.is_trivial())),
+        ("predicates", Json::num(env.predicates.len() as u64)),
+        (
+            "alloy",
+            Json::str(env.render_alloy(session.vocab(), session.universe())),
+        ),
+        (
+            "english",
+            Json::str(env.render_english(session.vocab(), session.universe())),
+        ),
+        ("impossible", Json::strs(&env.impossible)),
+        ("residual_violations", Json::strs(&env.residual_violations)),
+        ("self_satisfied", Json::strs(&env.self_satisfied)),
+        (
+            "leakage",
+            Json::obj([
+                ("revealed_atoms", Json::strs(&leak.revealed_atoms)),
+                ("formula_size", Json::num(leak.formula_size as u64)),
+                ("predicates", Json::num(leak.predicates as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn conformance_json(session: &Session<'_>, report: &muppet::conformance::ConformanceReport) -> Json {
+    Json::obj([
+        ("provider_consistent", Json::Bool(report.provider_consistent)),
+        ("success", Json::Bool(report.success)),
+        (
+            "envelope_trivial",
+            match &report.envelope {
+                Some(e) => Json::Bool(e.is_trivial()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "tenant_config",
+            match &report.tenant_config {
+                Some(c) => instance_json(session, c),
+                None => Json::Null,
+            },
+        ),
+        ("blame", Json::strs(&report.blame)),
+        (
+            "counter_offer_distance",
+            match report.counter_offer_distance {
+                Some(d) => Json::num(d as u64),
+                None => Json::Null,
+            },
+        ),
+        ("log", Json::strs(&report.log)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    #[test]
+    fn reconcile_matches_oracle_and_caches() {
+        let eng = engine();
+        // Strict goals: UNSAT in the paper; relaxed: SAT.
+        let strict = eng.handle_op(Op::Reconcile, &SessionSpec::paper_strict());
+        assert!(strict.ok, "{:?}", strict.error);
+        assert!(!strict.cached);
+        assert_eq!(strict.result.get("success").and_then(Json::as_bool), Some(false));
+        let again = eng.handle_op(Op::Reconcile, &SessionSpec::paper_strict());
+        assert!(again.cached, "identical request must be served from cache");
+        assert_eq!(again.result.to_line(), strict.result.to_line());
+        let relaxed = eng.handle_op(Op::Reconcile, &SessionSpec::paper_relaxed());
+        assert!(relaxed.ok);
+        assert!(!relaxed.cached, "different spec must not alias");
+        assert_eq!(relaxed.result.get("success").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn tenant_goal_edit_keeps_provider_envelope_hot() {
+        let eng = engine();
+        let base = SessionSpec::paper_strict();
+        let mut req = Request::new(Op::ExtractEnvelope).with_spec(base.clone());
+        req.to = Some("istio".into());
+        let cold = eng.handle(&req, None);
+        assert!(cold.ok, "{:?}", cold.error);
+        assert!(!cold.cached);
+        // Edit the *tenant's* (istio) goals without touching the port
+        // universe: reorder two rows. The provider-side envelope key
+        // hashes only provider inputs + the derived port set, so this
+        // delta must NOT invalidate the envelope.
+        let mut edited = base.clone();
+        edited.istio_goals = "srcService,dstService,srcPort,dstPort\n\
+                              test-backend,test-frontend,26,23\n\
+                              test-frontend,test-backend,24,25\n\
+                              test-backend,test-db,14000,16000\n\
+                              test-db,test-backend,10000,12000\n"
+            .to_string();
+        assert_ne!(base.fingerprint(), edited.fingerprint());
+        let mut req2 = Request::new(Op::ExtractEnvelope).with_spec(edited.clone());
+        req2.to = Some("istio".into());
+        let warm = eng.handle(&req2, None);
+        assert!(warm.ok, "{:?}", warm.error);
+        assert!(warm.cached, "tenant-side delta must keep the provider envelope cached");
+        assert_eq!(warm.result.to_line(), cold.result.to_line());
+        // But a *provider* goal edit (which changes the hashed inputs)
+        // must land on a fresh key.
+        let mut pedit = base.clone();
+        pedit.k8s_goals = "port,perm,selector\n24,DENY,*\n".to_string();
+        let mut req3 = Request::new(Op::ExtractEnvelope).with_spec(pedit);
+        req3.to = Some("istio".into());
+        let fresh = eng.handle(&req3, None);
+        assert!(fresh.ok, "{:?}", fresh.error);
+        assert!(!fresh.cached, "provider-side delta must invalidate");
+    }
+
+    #[test]
+    fn consistency_and_conformance_roundtrip() {
+        let eng = engine();
+        let mut req = Request::new(Op::CheckConsistency).with_spec(SessionSpec::paper_strict());
+        req.party = Some("istio".into());
+        let r = eng.handle(&req, None);
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.result.get("ok").and_then(Json::as_bool), Some(true));
+        let c = eng.handle_op(Op::CheckConformance, &SessionSpec::paper_relaxed());
+        assert!(c.ok, "{:?}", c.error);
+        assert!(c.result.get("success").and_then(Json::as_bool).is_some());
+        let n = eng.handle_op(Op::NegotiateRound, &SessionSpec::paper_strict());
+        assert!(n.ok, "{:?}", n.error);
+        assert_eq!(n.result.get("success").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn cached_hit_is_much_faster_than_cold() {
+        let eng = engine();
+        let spec = SessionSpec::paper_relaxed();
+        let t0 = Instant::now();
+        let cold = eng.handle_op(Op::CheckConformance, &spec);
+        let cold_us = t0.elapsed().as_micros().max(1);
+        assert!(cold.ok && !cold.cached);
+        // Median of several hits to dodge scheduler noise.
+        let mut hits = Vec::new();
+        for _ in 0..5 {
+            let t = Instant::now();
+            let hit = eng.handle_op(Op::CheckConformance, &spec);
+            hits.push(t.elapsed().as_micros().max(1));
+            assert!(hit.cached);
+        }
+        hits.sort_unstable();
+        let hit_us = hits[hits.len() / 2];
+        assert!(
+            cold_us >= 10 * hit_us,
+            "cache hit must be ≥10× faster: cold {cold_us}µs vs hit {hit_us}µs"
+        );
+    }
+
+    #[test]
+    fn exhausted_results_are_not_cached() {
+        let eng = engine();
+        let mut req = Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict());
+        req.timeout_ms = Some(0); // fires immediately
+        let r = eng.handle(&req, None);
+        // Whether it surfaces as a degraded report or an error, the
+        // follow-up full-budget request must be a cache miss that then
+        // computes the real verdict.
+        assert!(!r.cached);
+        let full = eng.handle_op(Op::Reconcile, &SessionSpec::paper_strict());
+        assert!(full.ok, "{:?}", full.error);
+        assert!(!full.cached, "degraded result must not have been cached");
+        assert_eq!(full.result.get("success").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn cancellation_aborts_a_request() {
+        let eng = engine();
+        let tok = CancelToken::new();
+        tok.cancel();
+        let req = Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict());
+        let r = eng.handle(&req, Some(&tok));
+        // A pre-cancelled token degrades the solve; either channel is
+        // acceptable but the result must not be cached as definite.
+        assert!(!r.cached);
+        let follow = eng.handle_op(Op::Reconcile, &SessionSpec::paper_strict());
+        assert!(!follow.cached);
+        assert!(follow.ok);
+    }
+
+    #[test]
+    fn malformed_requests_error_cleanly() {
+        let eng = engine();
+        let r = eng.handle(&Request::new(Op::Reconcile), None);
+        assert!(!r.ok);
+        assert!(r.error.unwrap().contains("spec"));
+        let mut req = Request::new(Op::CheckConsistency).with_spec(SessionSpec::paper_strict());
+        req.party = Some("marionette".into());
+        let r = eng.handle(&req, None);
+        assert!(!r.ok);
+        let mut req = Request::new(Op::Reconcile);
+        req.session = Some("zz".into());
+        let r = eng.handle(&req, None);
+        assert!(!r.ok, "malformed handle must fail");
+    }
+
+    #[test]
+    fn open_session_then_handle_reuse() {
+        let eng = engine();
+        let opened = eng.handle_op(Op::OpenSession, &SessionSpec::paper_strict());
+        assert!(opened.ok);
+        let handle = opened.session.clone().unwrap();
+        let mut req = Request::new(Op::Reconcile);
+        req.session = Some(handle);
+        let r = eng.handle(&req, None);
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.result.get("success").and_then(Json::as_bool), Some(false));
+        let stats = eng.handle(&Request::new(Op::Stats), None);
+        assert!(stats.ok);
+        assert_eq!(stats.result.get("sessions").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn session_eviction_invalidates_its_results() {
+        let eng = Engine::new(EngineConfig {
+            cache_cap: 64,
+            max_sessions: 1,
+        });
+        let strict = SessionSpec::paper_strict();
+        let r = eng.handle_op(Op::Reconcile, &strict);
+        assert!(r.ok);
+        // Loading a second session evicts the first (max_sessions = 1)
+        // and must drop its cached results with it.
+        let r2 = eng.handle_op(Op::Reconcile, &SessionSpec::paper_relaxed());
+        assert!(r2.ok);
+        let back = eng.handle_op(Op::Reconcile, &strict);
+        assert!(back.ok);
+        assert!(!back.cached, "evicted session's results must not survive");
+        assert_eq!(back.result.get("success").and_then(Json::as_bool), Some(false));
+    }
+}

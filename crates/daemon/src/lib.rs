@@ -1,0 +1,42 @@
+//! `muppetd` — a persistent multi-party coordination daemon.
+//!
+//! The CLI pays the full pipeline cost (parse → ground → encode →
+//! solve) on every invocation. This crate keeps that state alive: a
+//! long-running service owns warm per-session solver state (grounded
+//! formulas and CNF survive across requests behind
+//! [`muppet_solver::PreparedStore`]) and a content-addressed result
+//! cache, and answers consistency / reconciliation / envelope /
+//! conformance / negotiation queries over a JSON-Lines protocol on a
+//! Unix domain socket (optionally TCP).
+//!
+//! Layering, bottom up:
+//!
+//! - [`json`] — a small, hardened JSON reader/writer (no external
+//!   dependencies; depth-limited, never panics on hostile input).
+//! - [`proto`] — the versioned wire protocol: [`proto::Op`],
+//!   [`proto::Request`], [`proto::Response`].
+//! - [`spec`] — [`spec::SessionSpec`] (the content of a coordination
+//!   session) and its loaded form [`spec::WarmSession`].
+//! - [`cache`] — the LRU [`cache::ResultCache`] keyed by per-operation
+//!   content fingerprints.
+//! - [`engine`] — [`engine::Engine`]: session registry + cache +
+//!   dispatch; the daemon with the I/O removed (tests and the harness
+//!   drive it in-process).
+//! - [`server`] / [`client`] — socket plumbing around the engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod spec;
+
+pub use client::Endpoint;
+pub use engine::{Engine, EngineConfig};
+pub use proto::{Op, Request, Response, PROTOCOL_VERSION};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use spec::{SessionSpec, WarmSession};

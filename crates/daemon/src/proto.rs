@@ -1,0 +1,371 @@
+//! The versioned JSON-Lines wire protocol.
+//!
+//! One request per line, one response per line. Every message carries
+//! `"v": 1`; a server receiving a higher version answers with an error
+//! instead of guessing. Requests name an operation (`op`) and address a
+//! session either inline (`spec`, the full content) or by handle
+//! (`session`, the spec fingerprint in hex returned by `open_session`).
+//! Budgets ride on the wire: `timeout_ms` starts a per-request
+//! deadline, `conflict_budget`/`retries` configure the escalation
+//! schedule, and client disconnect cancels in-flight work through the
+//! session's `CancelToken`.
+
+use crate::json::{parse, Json};
+use crate::spec::SessionSpec;
+
+/// Protocol version this daemon speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The operations `muppetd` answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Load (or look up) a warm session for a spec; returns its handle.
+    OpenSession,
+    /// Alg. 1 for one party.
+    CheckConsistency,
+    /// Alg. 2 across all parties.
+    Reconcile,
+    /// Alg. 3: extract an envelope toward `to`.
+    ExtractEnvelope,
+    /// The Fig. 7/8 conformance workflow.
+    CheckConformance,
+    /// A bounded Fig. 9 negotiation.
+    NegotiateRound,
+    /// Daemon counters: cache hit rate, queue depth, latencies.
+    Stats,
+    /// Stop accepting work and shut the daemon down.
+    Shutdown,
+}
+
+impl Op {
+    /// Parse a wire operation name.
+    pub fn parse(name: &str) -> Option<Op> {
+        Some(match name {
+            "open_session" => Op::OpenSession,
+            "check_consistency" => Op::CheckConsistency,
+            "reconcile" => Op::Reconcile,
+            "extract_envelope" => Op::ExtractEnvelope,
+            "check_conformance" => Op::CheckConformance,
+            "negotiate_round" => Op::NegotiateRound,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// The wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::OpenSession => "open_session",
+            Op::CheckConsistency => "check_consistency",
+            Op::Reconcile => "reconcile",
+            Op::ExtractEnvelope => "extract_envelope",
+            Op::CheckConformance => "check_conformance",
+            Op::NegotiateRound => "negotiate_round",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// The operation.
+    pub op: Op,
+    /// Inline session content (alternative to `session`).
+    pub spec: Option<SessionSpec>,
+    /// Session handle from a previous `open_session` (hex fingerprint).
+    pub session: Option<String>,
+    /// `check_consistency`: which party (`"k8s"` / `"istio"`).
+    pub party: Option<String>,
+    /// `reconcile`: `"hard"` (default) or `"blameable"`.
+    pub mode: Option<String>,
+    /// `extract_envelope`: recipient (`"istio"` default, or `"k8s"`).
+    pub to: Option<String>,
+    /// `check_conformance`: provider party (default `"k8s"`).
+    pub provider: Option<String>,
+    /// `negotiate_round`: max rounds (default 4).
+    pub max_rounds: Option<u64>,
+    /// Per-request wall-clock budget in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Solver conflict cap per attempt.
+    pub conflict_budget: Option<u64>,
+    /// Solve attempts (Luby-escalated conflict caps).
+    pub retries: Option<u32>,
+}
+
+impl Request {
+    /// A bare request for `op` (builder-style fields are public).
+    pub fn new(op: Op) -> Request {
+        Request {
+            id: None,
+            op,
+            spec: None,
+            session: None,
+            party: None,
+            mode: None,
+            to: None,
+            provider: None,
+            max_rounds: None,
+            timeout_ms: None,
+            conflict_budget: None,
+            retries: None,
+        }
+    }
+
+    /// Attach an inline spec.
+    pub fn with_spec(mut self, spec: SessionSpec) -> Request {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Parse one request line. Errors are human-readable strings (they
+    /// go straight into the error response).
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let v = parse(line)?;
+        Request::from_json(&v)
+    }
+
+    /// Parse a request from an already-parsed JSON value.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        match v.get("v").and_then(Json::as_u64) {
+            Some(ver) if ver == PROTOCOL_VERSION => {}
+            Some(ver) => return Err(format!("unsupported protocol version {ver}")),
+            None => return Err("missing protocol version field \"v\"".to_string()),
+        }
+        let op_name = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing \"op\"".to_string())?;
+        let op = Op::parse(op_name).ok_or_else(|| format!("unknown op {op_name:?}"))?;
+        let spec = match v.get("spec") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(SessionSpec::from_json(s)?),
+        };
+        let str_field = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        let num_field = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(n) => n
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("{key} must be a non-negative integer")),
+            }
+        };
+        Ok(Request {
+            id: str_field("id"),
+            op,
+            spec,
+            session: str_field("session"),
+            party: str_field("party"),
+            mode: str_field("mode"),
+            to: str_field("to"),
+            provider: str_field("provider"),
+            max_rounds: num_field("max_rounds")?,
+            timeout_ms: num_field("timeout_ms")?,
+            conflict_budget: num_field("conflict_budget")?,
+            retries: num_field("retries")?.map(|n| n.min(u64::from(u32::MAX)) as u32),
+        })
+    }
+
+    /// Serialize for the wire (used by the client side).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("v".into(), Json::num(PROTOCOL_VERSION)),
+            ("op".into(), Json::str(self.op.name())),
+        ];
+        let mut put_str = |key: &str, val: &Option<String>| {
+            if let Some(s) = val {
+                pairs.push((key.to_string(), Json::str(s)));
+            }
+        };
+        put_str("id", &self.id);
+        put_str("session", &self.session);
+        put_str("party", &self.party);
+        put_str("mode", &self.mode);
+        put_str("to", &self.to);
+        put_str("provider", &self.provider);
+        if let Some(spec) = &self.spec {
+            pairs.push(("spec".into(), spec.to_json()));
+        }
+        for (key, val) in [
+            ("max_rounds", self.max_rounds),
+            ("timeout_ms", self.timeout_ms),
+            ("conflict_budget", self.conflict_budget),
+        ] {
+            if let Some(n) = val {
+                pairs.push((key.to_string(), Json::num(n)));
+            }
+        }
+        if let Some(r) = self.retries {
+            pairs.push(("retries".into(), Json::num(u64::from(r))));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+}
+
+/// A response line.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Echo of the request's correlation id.
+    pub id: Option<String>,
+    /// Did the operation run? (`false` ⇒ see `error`.)
+    pub ok: bool,
+    /// Operation-specific result object (null on error).
+    pub result: Json,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+    /// Was the result served from the content-addressed cache?
+    pub cached: bool,
+    /// The session handle the request resolved to, when any.
+    pub session: Option<String>,
+    /// Server-side handling time in microseconds.
+    pub elapsed_us: u64,
+}
+
+impl Response {
+    /// A success response.
+    pub fn success(id: Option<String>, result: Json) -> Response {
+        Response {
+            id,
+            ok: true,
+            result,
+            error: None,
+            cached: false,
+            session: None,
+            elapsed_us: 0,
+        }
+    }
+
+    /// An error response.
+    pub fn failure(id: Option<String>, error: impl Into<String>) -> Response {
+        Response {
+            id,
+            ok: false,
+            result: Json::Null,
+            error: Some(error.into()),
+            cached: false,
+            session: None,
+            elapsed_us: 0,
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("v".into(), Json::num(PROTOCOL_VERSION)),
+            ("ok".into(), Json::Bool(self.ok)),
+        ];
+        if let Some(id) = &self.id {
+            pairs.push(("id".into(), Json::str(id)));
+        }
+        if let Some(e) = &self.error {
+            pairs.push(("error".into(), Json::str(e)));
+        }
+        pairs.push(("cached".into(), Json::Bool(self.cached)));
+        if let Some(s) = &self.session {
+            pairs.push(("session".into(), Json::str(s)));
+        }
+        pairs.push(("elapsed_us".into(), Json::num(self.elapsed_us)));
+        pairs.push(("result".into(), self.result.clone()));
+        Json::Obj(pairs).to_line()
+    }
+
+    /// Parse a response line (client side).
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        let v = parse(line)?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| "response missing \"ok\"".to_string())?;
+        Ok(Response {
+            id: v.get("id").and_then(Json::as_str).map(str::to_string),
+            ok,
+            result: v.get("result").cloned().unwrap_or(Json::Null),
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            session: v.get("session").and_then(Json::as_str).map(str::to_string),
+            elapsed_us: v.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict());
+        req.id = Some("r-7".into());
+        req.mode = Some("blameable".into());
+        req.timeout_ms = Some(500);
+        req.retries = Some(3);
+        let back = Request::from_line(&req.to_line()).unwrap();
+        assert_eq!(back.op, Op::Reconcile);
+        assert_eq!(back.id.as_deref(), Some("r-7"));
+        assert_eq!(back.mode.as_deref(), Some("blameable"));
+        assert_eq!(back.timeout_ms, Some(500));
+        assert_eq!(back.retries, Some(3));
+        assert_eq!(back.spec.unwrap(), SessionSpec::paper_strict());
+    }
+
+    #[test]
+    fn version_is_enforced() {
+        assert!(Request::from_line(r#"{"op":"stats"}"#)
+            .unwrap_err()
+            .contains("version"));
+        assert!(Request::from_line(r#"{"v":99,"op":"stats"}"#)
+            .unwrap_err()
+            .contains("version"));
+        assert!(Request::from_line(r#"{"v":1,"op":"dance"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::from_line("[1,2]").is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut r = Response::success(Some("x".into()), Json::obj([("n", Json::num(3))]));
+        r.cached = true;
+        r.session = Some("abc".into());
+        r.elapsed_us = 1234;
+        let back = Response::from_line(&r.to_line()).unwrap();
+        assert!(back.ok && back.cached);
+        assert_eq!(back.id.as_deref(), Some("x"));
+        assert_eq!(back.session.as_deref(), Some("abc"));
+        assert_eq!(back.elapsed_us, 1234);
+        assert_eq!(back.result.get("n").and_then(Json::as_u64), Some(3));
+        let e = Response::from_line(&Response::failure(None, "boom").to_line()).unwrap();
+        assert!(!e.ok);
+        assert_eq!(e.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in [
+            Op::OpenSession,
+            Op::CheckConsistency,
+            Op::Reconcile,
+            Op::ExtractEnvelope,
+            Op::CheckConformance,
+            Op::NegotiateRound,
+            Op::Stats,
+            Op::Shutdown,
+        ] {
+            assert_eq!(Op::parse(op.name()), Some(op));
+        }
+        assert_eq!(Op::parse("nope"), None);
+    }
+}

@@ -1,0 +1,344 @@
+//! Socket plumbing around the [`Engine`].
+//!
+//! `muppetd` listens on a Unix domain socket (and optionally TCP),
+//! speaks one JSON request per line, and answers one JSON response per
+//! line. Internally:
+//!
+//! - one **acceptor** thread per listener (non-blocking accept with a
+//!   short stop-flag poll, so shutdown is prompt);
+//! - one **reader** thread per connection, which parses request lines,
+//!   registers a [`CancelToken`] per in-flight request and enqueues
+//!   jobs — on client disconnect every still-running request of that
+//!   connection is cancelled cooperatively;
+//! - a fixed **worker pool** draining the shared queue; each job runs
+//!   under `catch_unwind` so a panicking solve turns into an error
+//!   response instead of a dead worker.
+//!
+//! Responses are written under a per-connection mutex, so concurrent
+//! workers never interleave bytes of different lines.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use muppet::CancelToken;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::proto::{Op, Request, Response};
+
+/// How often blocked threads re-check the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(20);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix domain socket path (a stale file at the path is replaced).
+    pub socket: Option<PathBuf>,
+    /// Optional TCP listen address, e.g. `127.0.0.1:0`.
+    pub tcp: Option<String>,
+    /// Worker threads solving requests (clamped to ≥ 1).
+    pub workers: usize,
+    /// Engine knobs (cache and session capacities).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            socket: None,
+            tcp: None,
+            workers: 4,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// One queued request.
+struct Job {
+    req: Request,
+    cancel: CancelToken,
+    seq: u64,
+    inflight: Arc<Mutex<HashMap<u64, CancelToken>>>,
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+/// The shared job queue.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::stop`] (or send a `shutdown` request) first,
+/// then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    threads: Vec<thread::JoinHandle<()>>,
+    socket_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl ServerHandle {
+    /// The engine, for in-process inspection (tests, the harness).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The bound TCP address, when a TCP listener was requested (useful
+    /// with port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Request shutdown: acceptors stop accepting, workers drain the
+    /// queue and exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.ready.notify_all();
+    }
+
+    /// True once [`ServerHandle::stop`] was called (by us or by a
+    /// client's `shutdown` request).
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Join acceptor and worker threads (reader threads exit on their
+    /// own when clients disconnect) and remove the socket file.
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Start the daemon. At least one of `socket` / `tcp` must be set.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
+    if config.socket.is_none() && config.tcp.is_none() {
+        return Err("serve: need a unix socket path or a tcp address".to_string());
+    }
+    let engine = Arc::new(Engine::new(config.engine));
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(Queue {
+        jobs: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    let mut threads = Vec::new();
+
+    for _ in 0..config.workers.max(1) {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        threads.push(thread::spawn(move || worker_loop(&engine, &stop, &queue)));
+    }
+
+    let socket_path = config.socket.clone();
+    if let Some(path) = &config.socket {
+        // Replace a stale socket file from a previous run; refuse to
+        // clobber anything that is not a socket.
+        if path.exists() {
+            let is_socket = std::fs::metadata(path)
+                .map(|m| {
+                    use std::os::unix::fs::FileTypeExt;
+                    m.file_type().is_socket()
+                })
+                .unwrap_or(false);
+            if !is_socket {
+                return Err(format!("refusing to replace non-socket file {}", path.display()));
+            }
+            let _ = std::fs::remove_file(path);
+        }
+        let listener =
+            UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        threads.push(thread::spawn(move || {
+            accept_loop(&stop, || listener.accept().map(|(s, _)| s), |s| spawn_unix(s, &engine, &stop, &queue));
+        }));
+    }
+
+    let mut tcp_addr = None;
+    if let Some(addr) = &config.tcp {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        tcp_addr = listener.local_addr().ok();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        threads.push(thread::spawn(move || {
+            accept_loop(&stop, || listener.accept().map(|(s, _)| s), |s| spawn_tcp(s, &engine, &stop, &queue));
+        }));
+    }
+
+    Ok(ServerHandle {
+        engine,
+        stop,
+        queue,
+        threads,
+        socket_path,
+        tcp_addr,
+    })
+}
+
+/// Non-blocking accept loop with a stop-flag poll.
+fn accept_loop<S>(
+    stop: &AtomicBool,
+    mut accept: impl FnMut() -> std::io::Result<S>,
+    mut spawn: impl FnMut(S),
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(stream) => spawn(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(STOP_POLL),
+            Err(_) => thread::sleep(STOP_POLL),
+        }
+    }
+}
+
+fn spawn_unix(stream: UnixStream, engine: &Arc<Engine>, stop: &Arc<AtomicBool>, queue: &Arc<Queue>) {
+    let write_half: Option<Box<dyn Write + Send>> = stream
+        .try_clone()
+        .ok()
+        .map(|s| Box::new(s) as Box<dyn Write + Send>);
+    spawn_reader(Box::new(stream), write_half, engine, stop, queue);
+}
+
+fn spawn_tcp(stream: TcpStream, engine: &Arc<Engine>, stop: &Arc<AtomicBool>, queue: &Arc<Queue>) {
+    let write_half: Option<Box<dyn Write + Send>> = stream
+        .try_clone()
+        .ok()
+        .map(|s| Box::new(s) as Box<dyn Write + Send>);
+    spawn_reader(Box::new(stream), write_half, engine, stop, queue);
+}
+
+/// Start the per-connection reader thread.
+fn spawn_reader(
+    read_half: Box<dyn Read + Send>,
+    write_half: Option<Box<dyn Write + Send>>,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    queue: &Arc<Queue>,
+) {
+    let Some(write_half) = write_half else {
+        return; // try_clone failed; drop the connection.
+    };
+    let engine = Arc::clone(engine);
+    let stop = Arc::clone(stop);
+    let queue = Arc::clone(queue);
+    thread::spawn(move || {
+        let writer: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(write_half));
+        let inflight: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
+        let seq = AtomicU64::new(0);
+        let mut reader = BufReader::new(read_half);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // EOF or dead socket
+                Ok(_) => {}
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = match Request::from_line(&line) {
+                Ok(req) => req,
+                Err(e) => {
+                    write_response(&writer, &Response::failure(None, e));
+                    continue;
+                }
+            };
+            if req.op == Op::Shutdown {
+                write_response(&writer, &engine.handle(&req, None));
+                stop.store(true, Ordering::SeqCst);
+                queue.ready.notify_all();
+                continue;
+            }
+            let cancel = CancelToken::new();
+            let n = seq.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut inf) = inflight.lock() {
+                inf.insert(n, cancel.clone());
+            }
+            engine.note_enqueued();
+            if let Ok(mut jobs) = queue.jobs.lock() {
+                jobs.push_back(Job {
+                    req,
+                    cancel,
+                    seq: n,
+                    inflight: Arc::clone(&inflight),
+                    writer: Arc::clone(&writer),
+                });
+            }
+            queue.ready.notify_one();
+        }
+        // Client gone: cancel whatever is still running for it.
+        if let Ok(inf) = inflight.lock() {
+            for tok in inf.values() {
+                tok.cancel();
+            }
+        };
+    });
+}
+
+/// The worker pool body: drain jobs until stopped *and* the queue is
+/// empty (a shutdown request still gets its queued predecessors
+/// answered).
+fn worker_loop(engine: &Arc<Engine>, stop: &AtomicBool, queue: &Queue) {
+    loop {
+        let job = {
+            let mut jobs = match queue.jobs.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = match queue.ready.wait_timeout(jobs, STOP_POLL) {
+                    Ok(r) => r,
+                    Err(p) => p.into_inner(),
+                };
+                jobs = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        engine.note_dequeued();
+        let resp = catch_unwind(AssertUnwindSafe(|| engine.handle(&job.req, Some(&job.cancel))))
+            .unwrap_or_else(|_| {
+                Response::failure(job.req.id.clone(), "internal error: request handler panicked")
+            });
+        if let Ok(mut inf) = job.inflight.lock() {
+            inf.remove(&job.seq);
+        }
+        write_response(&job.writer, &resp);
+    }
+}
+
+/// Write one response line under the connection's writer lock. Write
+/// errors mean the client vanished; they are ignored.
+fn write_response(writer: &Mutex<Box<dyn Write + Send>>, resp: &Response) {
+    if let Ok(mut w) = writer.lock() {
+        let _ = writeln!(w, "{}", resp.to_line());
+        let _ = w.flush();
+    }
+}

@@ -1,0 +1,348 @@
+//! Session specifications and warm sessions.
+//!
+//! A [`SessionSpec`] is the wire-level description of a two-party
+//! configuration session: manifest YAML (services + deployed policies),
+//! the two CSV goal tables, and feature flags — exactly the inputs
+//! `muppet-cli` takes from files, but carried inline so the daemon
+//! needs no filesystem access to serve a client.
+//!
+//! Loading a spec produces a [`WarmSession`]: the parsed artifacts
+//! ([`WarmCore`]) plus a [`PreparedStore`] of grounded/encoded solver
+//! state. The core is immutable after load; a `muppet::Session` (which
+//! borrows the universe) is rebuilt cheaply per request from it, while
+//! the prepared store persists and keeps CNF warm across requests.
+
+use std::collections::BTreeSet;
+
+use muppet::fingerprint::Fingerprinter;
+use muppet::{NamedGoal, Party, PreparedStore, Session};
+use muppet_goals::{translate_istio_goals, translate_k8s_goals, IstioGoal, K8sGoal};
+use muppet_logic::{Formula, Instance, PartyId, Vocabulary};
+use muppet_mesh::manifest::{parse_manifests, ManifestBundle};
+use muppet_mesh::MeshVocab;
+
+use crate::json::Json;
+
+/// Everything that defines a session, as content (no file paths).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Concatenated YAML manifests: Services plus any deployed
+    /// NetworkPolicy / AuthorizationPolicy / PeerAuthentication docs.
+    pub manifests: String,
+    /// K8s goal table CSV (`port,perm,selector`); may be empty.
+    pub k8s_goals: String,
+    /// Istio goal table CSV
+    /// (`srcService,dstService,srcPort,dstPort`); may be empty.
+    pub istio_goals: String,
+    /// Enable the PeerAuthentication (mTLS) extension.
+    pub mtls: bool,
+    /// Spare ports widening the universe for ∃-port goals.
+    pub extra_ports: Vec<u16>,
+}
+
+impl SessionSpec {
+    /// Content fingerprint of the full spec. Identical specs — whatever
+    /// client they come from — share one warm session.
+    pub fn fingerprint(&self) -> u128 {
+        let mut fp = Fingerprinter::new();
+        fp.add_str("session-spec-v1")
+            .add_str(&self.manifests)
+            .add_str(&self.k8s_goals)
+            .add_str(&self.istio_goals)
+            .add_bool(self.mtls);
+        let mut ports = self.extra_ports.clone();
+        ports.sort_unstable();
+        ports.dedup();
+        fp.add_u64(ports.len() as u64);
+        for p in ports {
+            fp.add_u64(u64::from(p));
+        }
+        fp.digest()
+    }
+
+    /// Serialize for the wire.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("manifests", Json::str(&self.manifests)),
+            ("k8s_goals", Json::str(&self.k8s_goals)),
+            ("istio_goals", Json::str(&self.istio_goals)),
+            ("mtls", Json::Bool(self.mtls)),
+            (
+                "extra_ports",
+                Json::Arr(self.extra_ports.iter().map(|&p| Json::num(u64::from(p))).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize from the wire. Missing string fields default to
+    /// empty; a malformed `extra_ports` entry is an error.
+    pub fn from_json(v: &Json) -> Result<SessionSpec, String> {
+        let s = |key: &str| -> Result<String, String> {
+            match v.get(key) {
+                None => Ok(String::new()),
+                Some(Json::Str(s)) => Ok(s.clone()),
+                Some(_) => Err(format!("spec.{key} must be a string")),
+            }
+        };
+        let mut extra_ports = Vec::new();
+        if let Some(arr) = v.get("extra_ports") {
+            let items = arr
+                .as_arr()
+                .ok_or_else(|| "spec.extra_ports must be an array".to_string())?;
+            for item in items {
+                let n = item
+                    .as_u64()
+                    .filter(|&n| n <= u64::from(u16::MAX))
+                    .ok_or_else(|| "spec.extra_ports entries must be ports".to_string())?;
+                extra_ports.push(n as u16);
+            }
+        }
+        Ok(SessionSpec {
+            manifests: s("manifests")?,
+            k8s_goals: s("k8s_goals")?,
+            istio_goals: s("istio_goals")?,
+            mtls: v.get("mtls").and_then(Json::as_bool).unwrap_or(false),
+            extra_ports,
+        })
+    }
+
+    /// The paper's running example with the strict Fig. 3 Istio goals
+    /// (jointly unsatisfiable with the Fig. 2 port-23 ban).
+    pub fn paper_strict() -> SessionSpec {
+        SessionSpec {
+            manifests: muppet_mesh::manifest::paper_example_manifests(),
+            k8s_goals: "port,perm,selector\n23,DENY,*\n".to_string(),
+            istio_goals: "srcService,dstService,srcPort,dstPort\n\
+                          test-frontend,test-backend,24,25\n\
+                          test-backend,test-frontend,26,23\n\
+                          test-backend,test-db,14000,16000\n\
+                          test-db,test-backend,10000,12000\n"
+                .to_string(),
+            mtls: false,
+            extra_ports: Vec::new(),
+        }
+    }
+
+    /// The paper's running example with the relaxed Fig. 4 Istio goals
+    /// (∃-port rows; reconcilable by re-exposing spare ports).
+    pub fn paper_relaxed() -> SessionSpec {
+        SessionSpec {
+            istio_goals: "srcService,dstService,srcPort,dstPort\n\
+                          test-frontend,test-backend,?w,?x\n\
+                          test-backend,test-frontend,?y,?z\n\
+                          test-backend,test-db,14000,16000\n\
+                          test-db,test-backend,10000,12000\n"
+                .to_string(),
+            ..SessionSpec::paper_strict()
+        }
+    }
+
+    /// Parse, translate and compile the spec into a [`WarmSession`].
+    /// Mirrors `muppet-cli`'s loading pipeline exactly (same universe
+    /// port derivation), so daemon verdicts match CLI verdicts.
+    pub fn load(self) -> Result<WarmSession, String> {
+        let bundle = parse_manifests(&self.manifests).map_err(|e| e.to_string())?;
+        if bundle.mesh.services().is_empty() {
+            return Err("no Service documents found in the manifests".into());
+        }
+        let k8s_rows = K8sGoal::parse_csv(&self.k8s_goals).map_err(|e| e.to_string())?;
+        let istio_rows = IstioGoal::parse_csv(&self.istio_goals).map_err(|e| e.to_string())?;
+        // The universe's port set derives from BOTH goal tables, the
+        // deployed policies and the explicit extras — anything touching
+        // it invalidates every per-op cache key (see Engine docs).
+        let mut ports: BTreeSet<u16> = muppet_goals::collect_goal_ports(&k8s_rows, &istio_rows);
+        ports.extend(&self.extra_ports);
+        for p in &bundle.k8s_policies {
+            for r in &p.rules {
+                ports.extend(&r.ports);
+            }
+        }
+        for p in &bundle.istio_policies {
+            for r in &p.rules {
+                ports.extend(&r.ports);
+            }
+        }
+        let port_list: Vec<u16> = ports.iter().copied().collect();
+        let mv = MeshVocab::new_with_features(
+            &bundle.mesh,
+            ports,
+            PartyId(0),
+            PartyId(1),
+            self.mtls,
+        );
+        let mut vocab = mv.vocab.clone();
+        let k8s_goals = translate_k8s_goals(&k8s_rows, &mv, &mut vocab)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(NamedGoal::from)
+            .collect();
+        let istio_goals = translate_istio_goals(&istio_rows, &mv, &mut vocab)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(NamedGoal::from)
+            .collect();
+        let axioms = mv.well_formedness_axioms(&mut vocab);
+        let fp = self.fingerprint();
+        Ok(WarmSession {
+            core: WarmCore {
+                spec: self,
+                bundle,
+                mv,
+                vocab,
+                axioms,
+                k8s_goals,
+                istio_goals,
+                ports: port_list,
+                fp,
+            },
+            prepared: PreparedStore::new(),
+            requests: 0,
+        })
+    }
+}
+
+/// The immutable, parsed artifacts of a loaded spec. A borrowing
+/// `Session` is rebuilt from this per request ([`WarmCore::session`]);
+/// the rebuild is cheap (clones of already-translated formulas), and
+/// the expensive state lives in the sibling [`PreparedStore`].
+pub struct WarmCore {
+    /// The original spec (for cache-key derivation).
+    pub spec: SessionSpec,
+    /// Parsed manifests.
+    pub bundle: ManifestBundle,
+    /// Universe + mesh relation handles.
+    pub mv: MeshVocab,
+    /// Vocabulary after goal translation (includes fresh ∃-variables).
+    pub vocab: Vocabulary,
+    /// Well-formedness axioms.
+    pub axioms: Vec<Formula>,
+    /// Translated K8s-party goals.
+    pub k8s_goals: Vec<NamedGoal>,
+    /// Translated Istio-party goals.
+    pub istio_goals: Vec<NamedGoal>,
+    /// The derived universe port set, sorted (part of cache keys).
+    pub ports: Vec<u16>,
+    /// The spec fingerprint (the session's registry key).
+    pub fp: u128,
+}
+
+/// A warm session: parsed core + persistent solver state.
+pub struct WarmSession {
+    /// Parsed, immutable artifacts.
+    pub core: WarmCore,
+    /// Warm grounded/encoded solver state, reused across requests.
+    pub prepared: PreparedStore,
+    /// Requests served by this session (for `stats`).
+    pub requests: u64,
+}
+
+impl WarmCore {
+    /// Build a fresh borrowing [`Session`] over this core. Parties are
+    /// named exactly as `muppet-cli` names them.
+    pub fn session(&self) -> Session<'_> {
+        let mut s = Session::new(&self.mv.universe, self.vocab.clone(), self.mv.sidecar_instance());
+        s.add_axioms(self.axioms.iter().cloned());
+        s.add_party(
+            Party::new(self.mv.k8s_party, "k8s-admin")
+                .with_goals(self.k8s_goals.iter().cloned()),
+        );
+        s.add_party(
+            Party::new(self.mv.istio_party, "istio-admin")
+                .with_goals(self.istio_goals.iter().cloned()),
+        );
+        s
+    }
+
+    /// Resolve a wire party name (`"k8s"` / `"istio"`, or the full
+    /// display names) to its id.
+    pub fn party_id(&self, name: &str) -> Result<PartyId, String> {
+        match name {
+            "k8s" | "k8s-admin" => Ok(self.mv.k8s_party),
+            "istio" | "istio-admin" => Ok(self.mv.istio_party),
+            other => Err(format!("unknown party {other:?} (use k8s or istio)")),
+        }
+    }
+
+    /// The party's deployed configuration, compiled from the manifest
+    /// bundle's policy documents.
+    pub fn deployed(&self, id: PartyId) -> Result<Instance, String> {
+        if id == self.mv.k8s_party {
+            self.mv
+                .compile_k8s(&self.bundle.k8s_policies)
+                .map_err(|e| e.to_string())
+        } else {
+            let istio = self
+                .mv
+                .compile_istio(&self.bundle.istio_policies)
+                .map_err(|e| e.to_string())?;
+            let peer = self
+                .mv
+                .compile_peer_auth(&self.bundle.peer_auth)
+                .map_err(|e| e.to_string())?;
+            Ok(istio.union(&peer))
+        }
+    }
+
+    /// The goal-table text belonging to a party (for delta-aware cache
+    /// keys: a consistency check depends only on *this* text).
+    pub fn goals_text(&self, id: PartyId) -> &str {
+        if id == self.mv.k8s_party {
+            &self.spec.k8s_goals
+        } else {
+            &self.spec.istio_goals
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = SessionSpec {
+            manifests: "kind: Service\n".into(),
+            k8s_goals: "port,perm,selector\n".into(),
+            istio_goals: String::new(),
+            mtls: true,
+            extra_ports: vec![24, 26],
+        };
+        let back = SessionSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = SessionSpec::paper_strict();
+        let b = SessionSpec::paper_strict();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = SessionSpec::paper_relaxed();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = SessionSpec::paper_strict();
+        d.mtls = true;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn paper_specs_load_and_reconcile_as_in_the_paper() {
+        let strict = SessionSpec::paper_strict().load().unwrap();
+        let s = strict.core.session();
+        let rec = s.reconcile(muppet::ReconcileMode::HardBounds).unwrap();
+        assert!(!rec.success, "Fig. 3 goals conflict with the ban");
+        let relaxed = SessionSpec::paper_relaxed().load().unwrap();
+        let s = relaxed.core.session();
+        let rec = s.reconcile(muppet::ReconcileMode::HardBounds).unwrap();
+        assert!(rec.success, "Fig. 4 relaxation reconciles: {:?}", rec.core);
+    }
+
+    #[test]
+    fn bad_specs_error_cleanly() {
+        let mut spec = SessionSpec::paper_strict();
+        spec.manifests = "kind: Nonsense\n".into();
+        assert!(spec.load().is_err());
+        let mut spec = SessionSpec::paper_strict();
+        spec.k8s_goals = "not,a,valid\nheader,row,x\n".into();
+        assert!(spec.load().is_err());
+    }
+}

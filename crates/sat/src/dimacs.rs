@@ -19,6 +19,12 @@ pub struct DimacsProblem {
     pub clauses: Vec<Vec<Lit>>,
 }
 
+/// Upper bound on the variable count [`parse_dimacs`] accepts. An
+/// absurd `p cnf` header must fail with a parse error, not drive
+/// [`DimacsProblem::into_solver`] into an out-of-memory abort — this is
+/// the only solver-facing path fed by raw external input.
+pub const MAX_DIMACS_VARS: usize = 1 << 22;
+
 /// Errors produced by [`parse_dimacs`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DimacsError {
@@ -30,6 +36,8 @@ pub enum DimacsError {
     VarOutOfRange(i64),
     /// A clause was not terminated by `0` before end of input.
     UnterminatedClause,
+    /// The declared variable count exceeds [`MAX_DIMACS_VARS`].
+    TooManyVars(usize),
 }
 
 impl fmt::Display for DimacsError {
@@ -39,6 +47,9 @@ impl fmt::Display for DimacsError {
             DimacsError::BadLiteral(t) => write!(f, "bad DIMACS literal: {t:?}"),
             DimacsError::VarOutOfRange(v) => write!(f, "variable {v} out of declared range"),
             DimacsError::UnterminatedClause => write!(f, "unterminated clause at end of input"),
+            DimacsError::TooManyVars(n) => {
+                write!(f, "declared {n} variables exceeds the {MAX_DIMACS_VARS} limit")
+            }
         }
     }
 }
@@ -70,6 +81,9 @@ pub fn parse_dimacs(input: &str) -> Result<DimacsProblem, DimacsError> {
             let nv: usize = parts[2]
                 .parse()
                 .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            if nv > MAX_DIMACS_VARS {
+                return Err(DimacsError::TooManyVars(nv));
+            }
             num_vars = Some(nv);
             continue;
         }
@@ -81,6 +95,12 @@ pub fn parse_dimacs(input: &str) -> Result<DimacsProblem, DimacsError> {
                 clauses.push(std::mem::take(&mut current));
             } else {
                 let v = n.unsigned_abs() as usize;
+                // Reject before constructing a `Var`: indexes are u32
+                // internally, and a silently truncated variable would
+                // corrupt the clause rather than error.
+                if v > MAX_DIMACS_VARS {
+                    return Err(DimacsError::VarOutOfRange(n));
+                }
                 max_var = max_var.max(v);
                 let var = Var::from_index(v - 1);
                 current.push(Lit::new(var, n > 0));
@@ -171,6 +191,24 @@ mod tests {
             parse_dimacs("1 0\n"),
             Err(DimacsError::BadHeader(_))
         ));
+    }
+
+    #[test]
+    fn absurd_sizes_error_instead_of_exhausting_memory() {
+        // A hostile header must fail at parse time, long before
+        // `into_solver` would try to allocate per-variable state.
+        assert!(matches!(
+            parse_dimacs("p cnf 99999999999 1\n1 0\n"),
+            Err(DimacsError::TooManyVars(_))
+        ));
+        // A hostile literal must not silently truncate to a u32 index.
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\n8589934593 0\n"),
+            Err(DimacsError::VarOutOfRange(_))
+        ));
+        // The boundary itself is accepted.
+        let at_cap = format!("p cnf {MAX_DIMACS_VARS} 1\n1 0\n");
+        assert!(parse_dimacs(&at_cap).is_ok());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #[cfg(any(test, feature = "fault-inject"))]
 pub mod fault;
 pub mod ground;
+pub mod prepared;
 pub mod query;
 pub mod symmetry;
 pub mod totalizer;
@@ -48,6 +49,7 @@ pub mod tseitin;
 pub mod varmap;
 
 pub use muppet_sat::{Budget, CancelToken, Exhaustion, RetryPolicy};
+pub use prepared::{GroupId, PrepareError, PreparedQuery, PreparedStore};
 pub use query::{FormulaGroup, Outcome, PartialResult, Phase, Query, QueryError, QueryStats};
 pub use ground::{ground, GExpr};
 pub use varmap::VarMap;

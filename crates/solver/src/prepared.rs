@@ -1,0 +1,462 @@
+//! Warm, reusable encode state for repeated queries.
+//!
+//! A [`PreparedQuery`] is the daemon-facing counterpart of [`Query`]:
+//! it owns its vocabulary/universe (no borrowed lifetimes, so it can
+//! outlive the session that built it), keeps the SAT solver, variable
+//! map and every Tseitin-encoded formula group alive across requests,
+//! and gates each group behind a selector literal. A later request that
+//! shares groups with an earlier one re-grounds and re-encodes
+//! *nothing*: it just assumes the selectors of the groups it needs.
+//! Groups that are absent from a request are inert (their clauses are
+//! `¬sel ∨ …` and `sel` is not assumed), which is what makes
+//! delta-aware reuse sound.
+//!
+//! [`PreparedStore`] maps a *base fingerprint* — vocabulary, universe,
+//! fixed structure, bounds and free relations — to its prepared query,
+//! so callers with several distinct query shapes (per-party consistency
+//! checks vs. joint reconciliation) each get their own warm state.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use muppet_logic::{Instance, PartialInstance, RelId, Universe, Vocabulary};
+use muppet_sat::{Budget, Lit, Solver};
+
+use crate::ground::{ground, GExpr, GroundError};
+use crate::query::{run_sat_solve, FormulaGroup, Outcome, Phase, QueryStats};
+use crate::tseitin::encode;
+use crate::varmap::VarMap;
+
+/// Handle to a formula group already grounded + encoded into a
+/// [`PreparedQuery`]. Only meaningful for the query that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupId(usize);
+
+/// How [`PreparedQuery::ensure_group`] can fail.
+#[derive(Debug)]
+pub enum PrepareError {
+    /// The group's formulas could not be grounded (free variables).
+    Ground(GroundError),
+    /// The budget fired while grounding or encoding the group.
+    Exhausted(Phase),
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepareError::Ground(e) => write!(f, "grounding failed: {e}"),
+            PrepareError::Exhausted(phase) => {
+                write!(f, "budget exhausted at phase {phase} while preparing group")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// A warm query: solver + varmap built once, formula groups encoded on
+/// first use and reused (via selector assumptions) ever after.
+///
+/// Restrictions compared to [`Query`]: no symmetry breaking (its lex
+/// clauses are permanent and goal-set dependent), no target-oriented
+/// solving and no enumeration (both add permanent clauses that would
+/// poison later reuse). Callers needing those fall back to a cold
+/// [`Query`].
+pub struct PreparedQuery {
+    vocab: Vocabulary,
+    universe: Universe,
+    fixed: Instance,
+    solver: Solver,
+    varmap: VarMap,
+    selectors: Vec<(String, Lit)>,
+    index: HashMap<u64, usize>,
+    minimize_cores: bool,
+    encoded_groups: u64,
+    reused_groups: u64,
+}
+
+impl PreparedQuery {
+    /// Build the warm state: allocate the free-relation variables under
+    /// `bounds` against `fixed`. Groups are added lazily via
+    /// [`PreparedQuery::ensure_group`].
+    ///
+    /// The vocabulary and universe are cloned so the prepared query is
+    /// self-contained (`'static`) and can be cached across sessions
+    /// that rebuild their borrowed views per request.
+    pub fn new(
+        vocab: &Vocabulary,
+        universe: &Universe,
+        free_rels: &[RelId],
+        bounds: &PartialInstance,
+        fixed: Instance,
+    ) -> PreparedQuery {
+        let vocab = vocab.clone();
+        let universe = universe.clone();
+        let mut solver = Solver::new();
+        let varmap = VarMap::build(&vocab, &universe, free_rels, bounds, &mut solver);
+        PreparedQuery {
+            vocab,
+            universe,
+            fixed,
+            solver,
+            varmap,
+            selectors: Vec::new(),
+            index: HashMap::new(),
+            minimize_cores: true,
+            encoded_groups: 0,
+            reused_groups: 0,
+        }
+    }
+
+    /// Whether UNSAT cores are shrunk to minimal ones (default: yes).
+    pub fn set_minimize_cores(&mut self, minimize: bool) -> &mut Self {
+        self.minimize_cores = minimize;
+        self
+    }
+
+    /// Content fingerprint of a group: name + formulas. Two groups with
+    /// identical content share one encoding.
+    fn group_key(group: &FormulaGroup) -> u64 {
+        let mut h = DefaultHasher::new();
+        group.name.hash(&mut h);
+        group.formulas.hash(&mut h);
+        h.finish()
+    }
+
+    /// Ground + encode `group` if this query has not seen its content
+    /// before; otherwise reuse the existing encoding. The returned id
+    /// activates the group in a later [`PreparedQuery::solve`].
+    pub fn ensure_group(
+        &mut self,
+        group: &FormulaGroup,
+        budget: &Budget,
+    ) -> Result<GroupId, PrepareError> {
+        let key = Self::group_key(group);
+        if let Some(&i) = self.index.get(&key) {
+            self.reused_groups += 1;
+            return Ok(GroupId(i));
+        }
+        #[cfg(any(test, feature = "fault-inject"))]
+        if crate::fault::should_trip(Phase::Ground) {
+            return Err(PrepareError::Exhausted(Phase::Ground));
+        }
+        if budget.poll().is_some() {
+            return Err(PrepareError::Exhausted(Phase::Ground));
+        }
+        let mut parts = group
+            .formulas
+            .iter()
+            .map(|f| ground(f, &self.varmap, &self.fixed, &self.universe))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(PrepareError::Ground)?;
+        let expr = if parts.len() == 1 {
+            parts.pop().unwrap_or(GExpr::And(Vec::new()))
+        } else {
+            GExpr::And(parts)
+        };
+        #[cfg(any(test, feature = "fault-inject"))]
+        if crate::fault::should_trip(Phase::Encode) {
+            return Err(PrepareError::Exhausted(Phase::Encode));
+        }
+        if budget.poll().is_some() {
+            return Err(PrepareError::Exhausted(Phase::Encode));
+        }
+        let lit = encode(&expr, &mut self.solver);
+        let sel = Lit::pos(self.solver.new_var());
+        self.solver.add_clause([!sel, lit]);
+        let i = self.selectors.len();
+        self.selectors.push((group.name.clone(), sel));
+        self.index.insert(key, i);
+        self.encoded_groups += 1;
+        Ok(GroupId(i))
+    }
+
+    /// Solve with exactly the given groups active, under `budget`.
+    /// Work counters in the outcome are the *delta* for this solve, not
+    /// the warm solver's lifetime totals.
+    pub fn solve(&mut self, active: &[GroupId], budget: Budget) -> Outcome {
+        let base = QueryStats {
+            free_tuple_vars: 0,
+            conflicts: self.solver.stats.conflicts,
+            decisions: self.solver.stats.decisions,
+            propagations: self.solver.stats.propagations,
+            restarts: self.solver.stats.restarts,
+        };
+        self.solver.set_budget(budget);
+        let assumptions: Vec<Lit> = active
+            .iter()
+            .filter_map(|g| self.selectors.get(g.0).map(|(_, l)| *l))
+            .collect();
+        run_sat_solve(
+            &mut self.solver,
+            &self.varmap,
+            &self.selectors,
+            &assumptions,
+            self.minimize_cores,
+            &self.fixed,
+            base,
+        )
+    }
+
+    /// Groups grounded + encoded by this query so far.
+    pub fn num_groups(&self) -> usize {
+        self.selectors.len()
+    }
+
+    /// How many `ensure_group` calls did fresh ground/encode work.
+    pub fn encoded_groups(&self) -> u64 {
+        self.encoded_groups
+    }
+
+    /// How many `ensure_group` calls reused an existing encoding.
+    pub fn reused_groups(&self) -> u64 {
+        self.reused_groups
+    }
+
+    /// The owned vocabulary (for decoding / debugging).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+}
+
+/// A keyed store of warm [`PreparedQuery`]s. Keys are *base
+/// fingerprints* — everything that shapes the variable layout: vocab,
+/// universe, fixed instance, bounds and free relations. Distinct keys
+/// get distinct warm states; hitting an existing key is the warm path.
+pub struct PreparedStore {
+    map: HashMap<u128, PreparedQuery>,
+    order: Vec<u128>,
+    cap: usize,
+    builds: u64,
+    hits: u64,
+}
+
+impl PreparedStore {
+    /// A store holding at most 8 distinct query shapes.
+    pub fn new() -> PreparedStore {
+        PreparedStore::with_cap(8)
+    }
+
+    /// A store holding at most `cap` (≥ 1) distinct query shapes; the
+    /// oldest is dropped beyond that.
+    pub fn with_cap(cap: usize) -> PreparedStore {
+        PreparedStore {
+            map: HashMap::new(),
+            order: Vec::new(),
+            cap: cap.max(1),
+            builds: 0,
+            hits: 0,
+        }
+    }
+
+    /// Fetch the warm query for `key`, building it on first use.
+    pub fn get_or_build(
+        &mut self,
+        key: u128,
+        build: impl FnOnce() -> PreparedQuery,
+    ) -> &mut PreparedQuery {
+        if !self.map.contains_key(&key) {
+            if self.order.len() >= self.cap {
+                let evict = self.order.remove(0);
+                self.map.remove(&evict);
+            }
+            self.map.insert(key, build());
+            self.order.push(key);
+            self.builds += 1;
+        } else {
+            self.hits += 1;
+        }
+        self.map.get_mut(&key).unwrap_or_else(|| {
+            // Just inserted or found above; unreachable in practice.
+            unreachable!("prepared store entry vanished")
+        })
+    }
+
+    /// Cold builds performed.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Warm hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Distinct query shapes currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Summed (encoded, reused) group counters across all held queries.
+    pub fn group_counters(&self) -> (u64, u64) {
+        self.map.values().fold((0, 0), |(e, r), q| {
+            (e + q.encoded_groups(), r + q.reused_groups())
+        })
+    }
+}
+
+impl Default for PreparedStore {
+    fn default() -> Self {
+        PreparedStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_logic::{Domain, Formula, PartyId, Term};
+
+    struct Fix {
+        u: Universe,
+        v: Vocabulary,
+        allow: RelId,
+        atoms: Vec<muppet_logic::AtomId>,
+    }
+
+    fn fix() -> Fix {
+        let mut u = Universe::new();
+        let s = u.add_sort("Service");
+        let atoms = vec![u.add_atom(s, "fe"), u.add_atom(s, "be"), u.add_atom(s, "db")];
+        let mut v = Vocabulary::new();
+        let allow = v.add_simple_rel("allow", vec![s, s], Domain::Party(PartyId(0)));
+        Fix { u, v, allow, atoms }
+    }
+
+    fn pq(f: &Fix) -> PreparedQuery {
+        PreparedQuery::new(
+            &f.v,
+            &f.u,
+            &[f.allow],
+            &PartialInstance::new(),
+            Instance::new(),
+        )
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_verdicts() {
+        let f = fix();
+        let t = [f.atoms[0], f.atoms[1]];
+        let pos = Formula::pred(f.allow, t.iter().map(|&a| Term::Const(a)));
+        let neg = Formula::not(pos.clone());
+        let g_pos = FormulaGroup::new("require", vec![pos]);
+        let g_neg = FormulaGroup::new("forbid", vec![neg]);
+        let mut q = pq(&f);
+        let b = Budget::unlimited();
+        let id_pos = q.ensure_group(&g_pos, &b).unwrap();
+        let id_neg = q.ensure_group(&g_neg, &b).unwrap();
+        // Both active: unsat, blaming exactly the two groups.
+        match q.solve(&[id_pos, id_neg], Budget::unlimited()) {
+            Outcome::Unsat { mut core, .. } => {
+                core.sort();
+                assert_eq!(core, vec!["forbid".to_string(), "require".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Only one active: sat — the other group's clauses are inert.
+        match q.solve(&[id_pos], Budget::unlimited()) {
+            Outcome::Sat { solution, .. } => {
+                assert!(solution.holds(f.allow, &t));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_groups_are_encoded_once() {
+        let f = fix();
+        let g = FormulaGroup::new(
+            "g",
+            vec![Formula::pred(
+                f.allow,
+                [Term::Const(f.atoms[0]), Term::Const(f.atoms[0])],
+            )],
+        );
+        let mut q = pq(&f);
+        let b = Budget::unlimited();
+        let a = q.ensure_group(&g, &b).unwrap();
+        let bb = q.ensure_group(&g, &b).unwrap();
+        assert_eq!(a, bb);
+        assert_eq!(q.encoded_groups(), 1);
+        assert_eq!(q.reused_groups(), 1);
+        assert_eq!(q.num_groups(), 1);
+    }
+
+    #[test]
+    fn per_solve_stats_are_deltas() {
+        let f = fix();
+        let x_pos = Formula::pred(f.allow, [Term::Const(f.atoms[0]), Term::Const(f.atoms[0])]);
+        let g1 = FormulaGroup::new("a", vec![x_pos.clone()]);
+        let g2 = FormulaGroup::new("b", vec![Formula::not(x_pos)]);
+        let mut q = pq(&f);
+        let b = Budget::unlimited();
+        let i1 = q.ensure_group(&g1, &b).unwrap();
+        let i2 = q.ensure_group(&g2, &b).unwrap();
+        let first = q.solve(&[i1, i2], Budget::unlimited());
+        let second = q.solve(&[i1, i2], Budget::unlimited());
+        // Delta accounting: the second run's counters must not include
+        // the first run's work (non-decreasing totals would show up as
+        // second >= first + first if they were absolute).
+        assert!(second.stats().conflicts <= first.stats().conflicts + 2);
+        assert!(!first.is_unknown() && !second.is_unknown());
+    }
+
+    #[test]
+    fn exhausted_budget_reports_unknown() {
+        let f = fix();
+        let g = FormulaGroup::new(
+            "g",
+            vec![Formula::pred(
+                f.allow,
+                [Term::Const(f.atoms[0]), Term::Const(f.atoms[1])],
+            )],
+        );
+        let mut q = pq(&f);
+        let id = q.ensure_group(&g, &Budget::unlimited()).unwrap();
+        let expired = Budget::unlimited().with_timeout(std::time::Duration::from_millis(0));
+        assert!(q.solve(&[id], expired).is_unknown());
+        // The same warm state still answers once the budget is lifted.
+        assert!(q.solve(&[id], Budget::unlimited()).is_sat());
+    }
+
+    #[test]
+    fn ensure_group_respects_expired_budget() {
+        let f = fix();
+        let g = FormulaGroup::new(
+            "g",
+            vec![Formula::pred(
+                f.allow,
+                [Term::Const(f.atoms[0]), Term::Const(f.atoms[1])],
+            )],
+        );
+        let mut q = pq(&f);
+        let expired = Budget::unlimited().with_timeout(std::time::Duration::from_millis(0));
+        match q.ensure_group(&g, &expired) {
+            Err(PrepareError::Exhausted(Phase::Ground)) => {}
+            other => panic!("expected ground exhaustion, got {other:?}"),
+        }
+        // Already-encoded groups are still reusable under an expired
+        // budget (the reuse path does no work).
+        let id = q.ensure_group(&g, &Budget::unlimited()).unwrap();
+        assert_eq!(q.ensure_group(&g, &expired).unwrap(), id);
+    }
+
+    #[test]
+    fn store_caps_and_counts() {
+        let f = fix();
+        let mut store = PreparedStore::with_cap(2);
+        for key in [1u128, 2, 3, 2] {
+            store.get_or_build(key, || pq(&f));
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.builds(), 3, "key 1 evicted, keys 2/3 built once");
+        assert_eq!(store.hits(), 1);
+        assert!(!store.is_empty());
+    }
+}

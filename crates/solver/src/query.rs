@@ -332,14 +332,14 @@ impl<'a> Query<'a> {
             if self.budget.poll().is_some() {
                 return Err(BuildError::Exhausted(Phase::Ground));
             }
-            let parts = g
+            let mut parts = g
                 .formulas
                 .iter()
                 .map(|f| ground(f, &varmap, &self.fixed, self.universe))
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(BuildError::Ground)?;
             let expr = if parts.len() == 1 {
-                parts.into_iter().next().expect("len checked")
+                parts.pop().unwrap_or(GExpr::And(Vec::new()))
             } else {
                 GExpr::And(parts)
             };
@@ -422,62 +422,15 @@ impl<'a> Query<'a> {
             );
         }
         let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
-        #[cfg(any(test, feature = "fault-inject"))]
-        if crate::fault::should_trip(Phase::Search) {
-            return Ok(Outcome::Unknown {
-                phase: Phase::Search,
-                stats: Self::stats_of(&varmap, &solver),
-                partial: None,
-            });
-        }
-        match solver.solve_with_assumptions(&assumptions) {
-            SolveResult::Sat(model) => {
-                let solution = self.fixed.union(&varmap.decode(&model));
-                let stats = Self::stats_of(&varmap, &solver);
-                Ok(Outcome::Sat { solution, stats })
-            }
-            SolveResult::Unsat(first_core) => {
-                let names_of = |lits: &[Lit]| -> Vec<String> {
-                    selectors
-                        .iter()
-                        .filter(|(_, l)| lits.contains(l))
-                        .map(|(n, _)| n.clone())
-                        .collect()
-                };
-                let core_lits = if self.minimize_cores {
-                    match mus::shrink_core(&mut solver, &assumptions) {
-                        mus::ShrinkResult::Minimal(core) => core,
-                        // The assumptions were just proved UNSAT, so a
-                        // Sat answer here cannot happen; fall back to
-                        // the first core rather than panic.
-                        mus::ShrinkResult::Sat => first_core,
-                        mus::ShrinkResult::Exhausted { best } => {
-                            // UNSAT is established; surface the best
-                            // (unminimized) core as a partial artifact.
-                            let stats = Self::stats_of(&varmap, &solver);
-                            let partial = Some(PartialResult::Core(
-                                names_of(&best.unwrap_or(first_core)),
-                            ));
-                            return Ok(Outcome::Unknown {
-                                phase: Phase::Minimize,
-                                stats,
-                                partial,
-                            });
-                        }
-                    }
-                } else {
-                    first_core
-                };
-                let core = names_of(&core_lits);
-                let stats = Self::stats_of(&varmap, &solver);
-                Ok(Outcome::Unsat { core, stats })
-            }
-            SolveResult::Unknown => Ok(Outcome::Unknown {
-                phase: Phase::Search,
-                stats: Self::stats_of(&varmap, &solver),
-                partial: None,
-            }),
-        }
+        Ok(run_sat_solve(
+            &mut solver,
+            &varmap,
+            &selectors,
+            &assumptions,
+            self.minimize_cores,
+            &self.fixed,
+            QueryStats::default(),
+        ))
     }
 
     /// Find the satisfying instance *closest to `target`* (fewest tuple
@@ -678,6 +631,85 @@ impl<'a> Query<'a> {
             }
         }
         Ok(out)
+    }
+}
+
+/// Shared search/minimize tail used by [`Query::solve`] and the warm
+/// [`crate::prepared::PreparedQuery::solve`]: run the CDCL search under
+/// the already-installed budget, shrink cores when asked, and report
+/// work counters as the delta from `base` (a cold query passes zeros; a
+/// warm query passes the solver's counters before this solve).
+pub(crate) fn run_sat_solve(
+    solver: &mut Solver,
+    varmap: &VarMap,
+    selectors: &[(String, Lit)],
+    assumptions: &[Lit],
+    minimize_cores: bool,
+    fixed: &Instance,
+    base: QueryStats,
+) -> Outcome {
+    let delta_stats = |solver: &Solver| QueryStats {
+        free_tuple_vars: varmap.num_free_vars(),
+        conflicts: solver.stats.conflicts.saturating_sub(base.conflicts),
+        decisions: solver.stats.decisions.saturating_sub(base.decisions),
+        propagations: solver.stats.propagations.saturating_sub(base.propagations),
+        restarts: solver.stats.restarts.saturating_sub(base.restarts),
+    };
+    #[cfg(any(test, feature = "fault-inject"))]
+    if crate::fault::should_trip(Phase::Search) {
+        return Outcome::Unknown {
+            phase: Phase::Search,
+            stats: delta_stats(solver),
+            partial: None,
+        };
+    }
+    match solver.solve_with_assumptions(assumptions) {
+        SolveResult::Sat(model) => {
+            let solution = fixed.union(&varmap.decode(&model));
+            let stats = delta_stats(solver);
+            Outcome::Sat { solution, stats }
+        }
+        SolveResult::Unsat(first_core) => {
+            let names_of = |lits: &[Lit]| -> Vec<String> {
+                selectors
+                    .iter()
+                    .filter(|(_, l)| lits.contains(l))
+                    .map(|(n, _)| n.clone())
+                    .collect()
+            };
+            let core_lits = if minimize_cores {
+                match mus::shrink_core(solver, assumptions) {
+                    mus::ShrinkResult::Minimal(core) => core,
+                    // The assumptions were just proved UNSAT, so a Sat
+                    // answer here cannot happen; fall back to the first
+                    // core rather than panic.
+                    mus::ShrinkResult::Sat => first_core,
+                    mus::ShrinkResult::Exhausted { best } => {
+                        // UNSAT is established; surface the best
+                        // (unminimized) core as a partial artifact.
+                        let stats = delta_stats(solver);
+                        let partial = Some(PartialResult::Core(
+                            names_of(&best.unwrap_or(first_core)),
+                        ));
+                        return Outcome::Unknown {
+                            phase: Phase::Minimize,
+                            stats,
+                            partial,
+                        };
+                    }
+                }
+            } else {
+                first_core
+            };
+            let core = names_of(&core_lits);
+            let stats = delta_stats(solver);
+            Outcome::Unsat { core, stats }
+        }
+        SolveResult::Unknown => Outcome::Unknown {
+            phase: Phase::Search,
+            stats: delta_stats(solver),
+            partial: None,
+        },
     }
 }
 

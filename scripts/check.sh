@@ -17,6 +17,12 @@ run() {
 
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
+# Daemon end-to-end: real sockets, 64 concurrent clients, randomized
+# cache-soundness properties.
+run cargo test -q --offline --test daemon --test daemon_cache_props
+# Daemon bench lane: asserts the >= 10x cached-vs-cold speedup and
+# emits BENCH_daemon.json / BENCH_e2e.json.
+run cargo run --release --offline -q --bin muppet-harness -- d1
 # fault-inject is a non-default feature; make sure it keeps compiling.
 run cargo build -q --offline -p muppet-solver --features fault-inject
 if cargo clippy --version >/dev/null 2>&1; then

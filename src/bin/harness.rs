@@ -45,6 +45,9 @@ struct Gov {
 
 static GOV: OnceLock<Gov> = OnceLock::new();
 
+/// One harness lane: fills its rows into the shared result table.
+type Experiment = fn(&mut Table);
+
 fn gov() -> Gov {
     GOV.get().copied().unwrap_or_default()
 }
@@ -121,53 +124,90 @@ fn main() {
 
     let mut table = Table::new(&["exp", "instance", "metric", "value", "paper-expectation"]);
 
-    if want("e1") {
-        e1(&mut table);
-    }
-    if want("e2") {
-        e2(&mut table);
-    }
-    if want("e3") {
-        e3(&mut table);
-    }
-    if want("e4") {
-        e4(&mut table);
-    }
-    if want("e5") {
-        e5(&mut table);
-    }
-    if want("e6") {
-        e6(&mut table);
-    }
-    if want("e7") {
-        e7(&mut table);
-    }
-    if want("e8") {
-        e8(&mut table);
-    }
-    if want("a1") {
-        a1(&mut table);
-    }
-    if want("a2") {
-        a2(&mut table);
-    }
-    if want("a3") {
-        a3(&mut table);
-    }
-    if want("a4") {
-        a4(&mut table);
-    }
-    if want("x1") {
-        x1(&mut table);
-    }
-    if want("x2") {
-        x2(&mut table);
+    // Every experiment runs under catch_unwind so one failing lane
+    // still leaves a machine-readable record of the rest.
+    let experiments: &[(&str, Experiment)] = &[
+        ("E1", e1),
+        ("E2", e2),
+        ("E3", e3),
+        ("E4", e4),
+        ("E5", e5),
+        ("E6", e6),
+        ("E7", e7),
+        ("E8", e8),
+        ("A1", a1),
+        ("A2", a2),
+        ("A3", a3),
+        ("A4", a4),
+        ("X1", x1),
+        ("X2", x2),
+        ("D1", d1),
+    ];
+    let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
+    for (id, f) in experiments {
+        if !want(id) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let status = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(&mut table)
+        })) {
+            Ok(()) => "ok",
+            Err(_) => "panicked",
+        };
+        runs.push((id.to_string(), start.elapsed().as_secs_f64() * 1e3, status));
     }
 
     if csv {
         print!("{}", table.render_csv());
     } else {
         print!("{}", table.render());
+    }
+    write_bench_e2e(&table, &runs, g);
+    if runs.iter().any(|(_, _, s)| *s == "panicked") {
+        std::process::exit(1);
+    }
+}
+
+/// Always emit `BENCH_e2e.json`: per-experiment wall-clock + verdict
+/// plus the full result table, machine-readable for CI trend lines.
+fn write_bench_e2e(table: &Table, runs: &[(String, f64, &'static str)], g: Gov) {
+    use muppet_daemon::json::Json;
+    let experiments = Json::Arr(
+        runs.iter()
+            .map(|(id, wall_ms, status)| {
+                Json::obj([
+                    ("id", Json::str(id)),
+                    ("wall_ms", Json::Num(*wall_ms)),
+                    ("status", Json::str(*status)),
+                ])
+            })
+            .collect(),
+    );
+    let headers = Json::strs(table.headers());
+    let rows = Json::Arr(table.rows().iter().map(Json::strs).collect());
+    let opt_num = |v: Option<u64>| match v {
+        Some(n) => Json::num(n),
+        None => Json::Null,
+    };
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-e2e-v1")),
+        (
+            "governance",
+            Json::obj([
+                ("timeout_ms", opt_num(g.timeout_ms)),
+                ("conflict_budget", opt_num(g.conflict_budget)),
+                ("retries", opt_num(g.retries.map(u64::from))),
+            ]),
+        ),
+        ("experiments", experiments),
+        (
+            "table",
+            Json::obj([("headers", headers), ("rows", rows)]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_e2e.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_e2e.json: {e}");
     }
 }
 
@@ -821,4 +861,76 @@ fn a3(t: &mut Table) {
     row(t, "A3", "tight upper bounds", "free tuple vars", vars_tight.to_string(), "small");
     row(t, "A3", "holes (unbounded)", "time (ms)", ms(d_loose), "-");
     row(t, "A3", "tight upper bounds", "time (ms)", ms(d_tight), "<= unbounded");
+}
+
+/// D1 — daemon mode: warm sessions + the content-addressed result
+/// cache. Drives the `muppetd` engine in-process (no sockets, so the
+/// numbers isolate the caching layers), measures a cold conformance
+/// solve against cached hits, and emits `BENCH_daemon.json`.
+fn d1(t: &mut Table) {
+    use muppet_daemon::json::Json;
+    use muppet_daemon::{Engine, EngineConfig, Op, Request, SessionSpec};
+
+    let engine = Engine::new(EngineConfig::default());
+    let spec = SessionSpec::paper_relaxed();
+
+    // Cold: load + ground + encode + solve.
+    let t0 = std::time::Instant::now();
+    let cold = engine.handle(&Request::new(Op::CheckConformance).with_spec(spec.clone()), None);
+    let cold_us = t0.elapsed().as_micros().max(1) as u64;
+    assert!(cold.ok, "daemon conformance failed: {:?}", cold.error);
+    assert!(!cold.cached);
+
+    // Cached: the identical request, median of several hits.
+    let mut hits = Vec::new();
+    for _ in 0..9 {
+        let t1 = std::time::Instant::now();
+        let hit = engine.handle(&Request::new(Op::CheckConformance).with_spec(spec.clone()), None);
+        hits.push(t1.elapsed().as_micros().max(1) as u64);
+        assert!(hit.cached, "repeat request must hit the cache");
+    }
+    hits.sort_unstable();
+    let hit_us = hits[hits.len() / 2];
+    let speedup = cold_us as f64 / hit_us as f64;
+
+    // Warm-session effect: a reconcile on the same session reuses the
+    // already-loaded core (no re-parse), and repeat reconciles reuse
+    // encoded groups.
+    let strict = SessionSpec::paper_strict();
+    let r1 = engine.handle(&Request::new(Op::Reconcile).with_spec(strict.clone()), None);
+    assert!(r1.ok && r1.result.get("success").and_then(Json::as_bool) == Some(false));
+    let r2 = engine.handle(&Request::new(Op::Reconcile).with_spec(spec.clone()), None);
+    assert!(r2.ok && r2.result.get("success").and_then(Json::as_bool) == Some(true));
+
+    // Cached-hit throughput over a short burst.
+    let burst = 500u64;
+    let t2 = std::time::Instant::now();
+    for _ in 0..burst {
+        let hit = engine.handle(&Request::new(Op::CheckConformance).with_spec(spec.clone()), None);
+        assert!(hit.cached);
+    }
+    let burst_s = t2.elapsed().as_secs_f64().max(1e-9);
+    let rps = burst as f64 / burst_s;
+
+    let stats = engine.stats_json();
+    row(t, "D1", "paper (fig4)", "cold conformance (ms)", format!("{:.3}", cold_us as f64 / 1e3), "-");
+    row(t, "D1", "paper (fig4)", "cached hit (ms)", format!("{:.3}", hit_us as f64 / 1e3), "-");
+    row(t, "D1", "paper (fig4)", "cache speedup", format!("{speedup:.0}x"), ">= 10x");
+    row(t, "D1", "paper (fig4)", "cached throughput (req/s)", format!("{rps:.0}"), "-");
+    assert!(
+        speedup >= 10.0,
+        "cache hit must be >= 10x faster than cold: cold {cold_us}us vs hit {hit_us}us"
+    );
+
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-daemon-v1")),
+        ("cold_us", Json::num(cold_us)),
+        ("cached_us_median", Json::num(hit_us)),
+        ("speedup", Json::Num(speedup)),
+        ("cached_rps", Json::Num(rps)),
+        ("stats", stats),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_daemon.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_daemon.json: {e}");
+    }
 }

@@ -57,6 +57,14 @@ struct Opts {
     timeout_ms: Option<u64>,
     conflict_budget: Option<u64>,
     retries: Option<u32>,
+    // Daemon-mode flags (`serve` / `client`).
+    socket: Option<String>,
+    tcp: Option<String>,
+    workers: Option<usize>,
+    cache_cap: Option<usize>,
+    party: Option<String>,
+    mode: Option<String>,
+    max_rounds: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -70,6 +78,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         timeout_ms: None,
         conflict_budget: None,
         retries: None,
+        socket: None,
+        tcp: None,
+        workers: None,
+        cache_cap: None,
+        party: None,
+        mode: None,
+        max_rounds: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -114,11 +129,33 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|_| "--retries needs an attempt count".to_string())?,
                 )
             }
+            "--socket" => opts.socket = Some(value("--socket")?),
+            "--tcp" => opts.tcp = Some(value("--tcp")?),
+            "--workers" => {
+                opts.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs a thread count".to_string())?,
+                )
+            }
+            "--cache-cap" => {
+                opts.cache_cap = Some(
+                    value("--cache-cap")?
+                        .parse()
+                        .map_err(|_| "--cache-cap needs an entry count".to_string())?,
+                )
+            }
+            "--party" => opts.party = Some(value("--party")?),
+            "--mode" => opts.mode = Some(value("--mode")?),
+            "--max-rounds" => {
+                opts.max_rounds = Some(
+                    value("--max-rounds")?
+                        .parse()
+                        .map_err(|_| "--max-rounds needs a round count".to_string())?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
-    }
-    if opts.manifests.is_empty() {
-        return Err("at least one --manifests file is required".into());
     }
     Ok(opts)
 }
@@ -131,6 +168,9 @@ struct Loaded {
 }
 
 fn load(opts: &Opts) -> Result<Loaded, String> {
+    if opts.manifests.is_empty() {
+        return Err("at least one --manifests file is required".into());
+    }
     let mut text = String::new();
     for path in &opts.manifests {
         let content = std::fs::read_to_string(path)
@@ -247,6 +287,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "envelope" => envelope(&parse_opts(rest)?),
         "explain" => explain(&parse_opts(rest)?),
         "synthesize" => synthesize(&parse_opts(rest)?),
+        "serve" => serve_cmd(&parse_opts(rest)?),
+        "client" => {
+            let Some((op, crest)) = rest.split_first() else {
+                return Err("client needs an operation (try `muppet-cli help`)".into());
+            };
+            client_cmd(op, &parse_opts(crest)?)
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -260,6 +307,12 @@ muppet-cli — solver-aided multi-party configuration
 
 USAGE:
   muppet-cli <check|reconcile|envelope|synthesize|explain> [flags]
+  muppet-cli serve  --socket <path> [--tcp <addr>] [--workers <n>] [--cache-cap <n>]
+  muppet-cli client <op> (--socket <path> | --tcp <addr>) [flags]
+      <op> ∈ open_session, check_consistency, reconcile, extract_envelope,
+             check_conformance, negotiate_round, stats, shutdown;
+      file flags below build the inline session spec; responses are
+      printed as one JSON line
 
 FLAGS:
   --manifests <file>     YAML manifests (repeatable): Services and any
@@ -274,6 +327,13 @@ FLAGS:
   --conflict-budget <n>  solver conflict cap per attempt (default: none)
   --retries <n>          total solve attempts; each retry escalates the
                          conflict cap by the Luby sequence (default: 1)
+  --socket <path>        daemon Unix socket (serve: listen; client: connect)
+  --tcp <addr>           daemon TCP address, e.g. 127.0.0.1:7878
+  --workers <n>          serve: worker threads (default: 4)
+  --cache-cap <n>        serve: result-cache entries (default: 1024)
+  --party <k8s|istio>    client: party for check_consistency
+  --mode <hard|blameable> client: reconcile mode (default: hard)
+  --max-rounds <n>       client: negotiation rounds (default: 4)
 
 EXIT CODES:
   0 = compatible / satisfiable / success
@@ -523,6 +583,96 @@ fn synthesize(opts: &Opts) -> Result<ExitCode, String> {
     }
     eprintln!("# synthesized configuration verified against all goals");
     Ok(ExitCode::SUCCESS)
+}
+
+/// `serve`: run `muppetd` in the foreground until a client sends
+/// `shutdown`.
+fn serve_cmd(opts: &Opts) -> Result<ExitCode, String> {
+    let config = muppet_daemon::ServerConfig {
+        socket: opts.socket.as_ref().map(std::path::PathBuf::from),
+        tcp: opts.tcp.clone(),
+        workers: opts.workers.unwrap_or(4),
+        engine: muppet_daemon::EngineConfig {
+            cache_cap: opts.cache_cap.unwrap_or(1024),
+            ..muppet_daemon::EngineConfig::default()
+        },
+    };
+    let handle = muppet_daemon::serve(config)?;
+    if let Some(path) = &opts.socket {
+        eprintln!("muppetd: listening on {path}");
+    }
+    if let Some(addr) = handle.tcp_addr() {
+        eprintln!("muppetd: listening on tcp {addr}");
+    }
+    while !handle.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    handle.wait();
+    eprintln!("muppetd: stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `client`: one request against a running daemon; prints the response
+/// as a JSON line and maps the verdict onto the usual exit codes.
+fn client_cmd(op_name: &str, opts: &Opts) -> Result<ExitCode, String> {
+    let op = muppet_daemon::Op::parse(op_name)
+        .ok_or_else(|| format!("unknown daemon op {op_name:?} (try `muppet-cli help`)"))?;
+    let endpoint = match (&opts.socket, &opts.tcp) {
+        (Some(path), _) => muppet_daemon::Endpoint::Unix(std::path::PathBuf::from(path)),
+        (None, Some(addr)) => muppet_daemon::Endpoint::Tcp(addr.clone()),
+        (None, None) => return Err("client needs --socket or --tcp".into()),
+    };
+    let mut req = muppet_daemon::Request::new(op);
+    if !opts.manifests.is_empty() {
+        let mut text = String::new();
+        for path in &opts.manifests {
+            let content = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            text.push_str("---\n");
+            text.push_str(&content);
+            text.push('\n');
+        }
+        let read_opt = |p: &Option<String>| -> Result<String, String> {
+            match p {
+                Some(p) => std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}")),
+                None => Ok(String::new()),
+            }
+        };
+        req.spec = Some(muppet_daemon::SessionSpec {
+            manifests: text,
+            k8s_goals: read_opt(&opts.k8s_goals)?,
+            istio_goals: read_opt(&opts.istio_goals)?,
+            mtls: opts.mtls,
+            extra_ports: opts.extra_ports.clone(),
+        });
+    }
+    req.party = opts.party.clone();
+    req.mode = opts.mode.clone();
+    req.to = if opts.to == "istio" { None } else { Some(opts.to.clone()) };
+    req.max_rounds = opts.max_rounds;
+    req.timeout_ms = opts.timeout_ms;
+    req.conflict_budget = opts.conflict_budget;
+    req.retries = opts.retries;
+    let resp = endpoint.roundtrip(&req, Some(std::time::Duration::from_secs(120)))?;
+    println!("{}", resp.to_line());
+    if !resp.ok {
+        let err = resp.error.unwrap_or_default();
+        return Ok(ExitCode::from(if err.contains("budget exhausted") { 3 } else { 2 }));
+    }
+    // A definite "no" (conflict / non-conformance) exits 1, like the
+    // direct subcommands; a degraded verdict exits 3.
+    if !resp.result.get("exhausted").map(muppet_daemon::json::Json::is_null).unwrap_or(true) {
+        return Ok(ExitCode::from(3));
+    }
+    let verdict = resp
+        .result
+        .get("success")
+        .or_else(|| resp.result.get("ok"))
+        .and_then(muppet_daemon::json::Json::as_bool);
+    Ok(match verdict {
+        Some(false) => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    })
 }
 
 // `Instance` is used in type positions above; keep the import honest.

@@ -1,0 +1,354 @@
+//! End-to-end tests for `muppetd`: a real server on a real socket,
+//! concurrent clients, and verdict parity with a single-threaded
+//! oracle computed directly on the core library.
+
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use muppet_daemon::json::Json;
+use muppet_daemon::{serve, Endpoint, Op, Request, ServerConfig, SessionSpec};
+
+/// A unique socket path under the system temp dir.
+fn socket_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("muppetd-{}-{name}.sock", std::process::id()))
+}
+
+fn start(name: &str, workers: usize) -> (muppet_daemon::ServerHandle, PathBuf) {
+    let path = socket_path(name);
+    let handle = serve(ServerConfig {
+        socket: Some(path.clone()),
+        tcp: None,
+        workers,
+        engine: muppet_daemon::EngineConfig::default(),
+    })
+    .expect("serve");
+    (handle, path)
+}
+
+/// Single-threaded oracle verdicts, computed cold on the core library
+/// (no daemon, no cache, no warm state).
+struct Oracle {
+    strict_reconcile: bool,
+    relaxed_reconcile: bool,
+    conformance_success: bool,
+    istio_consistent: bool,
+}
+
+fn oracle() -> Oracle {
+    let strict = SessionSpec::paper_strict().load().expect("load strict");
+    let relaxed = SessionSpec::paper_relaxed().load().expect("load relaxed");
+    let s = strict.core.session();
+    let strict_reconcile = s
+        .reconcile(muppet::ReconcileMode::HardBounds)
+        .expect("reconcile")
+        .success;
+    let istio_consistent = s
+        .local_consistency(strict.core.mv.istio_party)
+        .expect("consistency")
+        .ok;
+    let r = relaxed.core.session();
+    let relaxed_reconcile = r
+        .reconcile(muppet::ReconcileMode::HardBounds)
+        .expect("reconcile")
+        .success;
+    let tenant = relaxed.core.mv.istio_party;
+    let preferred = relaxed.core.deployed(tenant).expect("deployed");
+    let conformance_success = muppet::conformance::run_conformance(
+        &r,
+        relaxed.core.mv.k8s_party,
+        tenant,
+        Some(&preferred),
+    )
+    .expect("conformance")
+    .success;
+    Oracle {
+        strict_reconcile,
+        relaxed_reconcile,
+        conformance_success,
+        istio_consistent,
+    }
+}
+
+#[test]
+fn sixty_four_concurrent_clients_match_oracle() {
+    let want = oracle();
+    // Paper sanity: the strict tables conflict, the relaxed ones don't.
+    assert!(!want.strict_reconcile);
+    assert!(want.relaxed_reconcile);
+    let (handle, path) = start("conc", 8);
+
+    let mut joins = Vec::new();
+    for i in 0..64u32 {
+        let path = path.clone();
+        joins.push(thread::spawn(move || -> (u32, Result<muppet_daemon::Response, String>) {
+            let req = match i % 4 {
+                0 => {
+                    Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict())
+                }
+                1 => {
+                    Request::new(Op::Reconcile).with_spec(SessionSpec::paper_relaxed())
+                }
+                2 => {
+                    Request::new(Op::CheckConformance).with_spec(SessionSpec::paper_relaxed())
+                }
+                _ => {
+                    let mut r = Request::new(Op::CheckConsistency)
+                        .with_spec(SessionSpec::paper_strict());
+                    r.party = Some("istio".into());
+                    r
+                }
+            };
+            let mut req = req;
+            req.id = Some(format!("client-{i}"));
+            let resp = Endpoint::Unix(path).roundtrip(&req, Some(Duration::from_secs(60)));
+            (i, resp)
+        }));
+    }
+    for j in joins {
+        let (i, resp) = j.join().expect("client thread");
+        let resp = resp.unwrap_or_else(|e| panic!("client {i}: {e}"));
+        assert!(resp.ok, "client {i}: {:?}", resp.error);
+        assert_eq!(resp.id.as_deref(), Some(format!("client-{i}").as_str()));
+        let verdict = match i % 4 {
+            0..=2 => resp.result.get("success").and_then(Json::as_bool),
+            _ => resp.result.get("ok").and_then(Json::as_bool),
+        };
+        let expected = match i % 4 {
+            0 => want.strict_reconcile,
+            1 => want.relaxed_reconcile,
+            2 => want.conformance_success,
+            _ => want.istio_consistent,
+        };
+        assert_eq!(verdict, Some(expected), "client {i} verdict mismatch");
+    }
+
+    // Stats must be coherent after the storm.
+    let stats = Endpoint::Unix(path.clone())
+        .roundtrip(&Request::new(Op::Stats), Some(Duration::from_secs(10)))
+        .expect("stats");
+    assert!(stats.ok);
+    let requests = stats.result.get("requests").and_then(Json::as_u64).unwrap();
+    assert!(requests >= 64, "served {requests} < 64");
+    let hits = stats
+        .result
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    // 64 clients over 4 distinct requests: most are repeats.
+    assert!(hits >= 32, "expected heavy cache reuse, got {hits} hits");
+    assert_eq!(
+        stats.result.get("sessions").and_then(Json::as_u64),
+        Some(2),
+        "exactly two distinct specs were in play"
+    );
+
+    handle.stop();
+    handle.wait();
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let (handle, path) = start("shutdown", 2);
+    let resp = Endpoint::Unix(path)
+        .roundtrip(&Request::new(Op::Shutdown), Some(Duration::from_secs(10)))
+        .expect("shutdown");
+    assert!(resp.ok);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !handle.is_stopped() && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert!(handle.is_stopped(), "shutdown request must stop the server");
+    handle.wait();
+}
+
+#[test]
+fn tcp_listener_smoke() {
+    let handle = serve(ServerConfig {
+        socket: None,
+        tcp: Some("127.0.0.1:0".to_string()),
+        workers: 2,
+        engine: muppet_daemon::EngineConfig::default(),
+    })
+    .expect("serve tcp");
+    let addr = handle.tcp_addr().expect("bound tcp addr");
+    let req = Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict());
+    let resp = Endpoint::Tcp(addr.to_string())
+        .roundtrip(&req, Some(Duration::from_secs(30)))
+        .expect("tcp roundtrip");
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.result.get("success").and_then(Json::as_bool), Some(false));
+    handle.stop();
+    handle.wait();
+}
+
+#[test]
+fn malformed_lines_get_error_responses_not_disconnects() {
+    let (handle, path) = start("malformed", 2);
+    let mut client = Endpoint::Unix(path).connect(Some(Duration::from_secs(10))).unwrap();
+    for bad in ["this is not json", "{\"v\":1}", "{\"v\":99,\"op\":\"stats\"}", "[1,2,3]"] {
+        // Reuse the protocol plumbing by writing raw lines through a
+        // throwaway Request? No — these are intentionally invalid, so
+        // go through send/recv on the raw client.
+        client.send_raw(bad).unwrap();
+        let resp = client.recv().unwrap();
+        assert!(!resp.ok, "line {bad:?} must be rejected");
+        assert!(resp.error.is_some());
+    }
+    // The connection is still usable afterwards.
+    let resp = client
+        .roundtrip(&Request::new(Op::Stats))
+        .expect("stats after garbage");
+    assert!(resp.ok);
+    handle.stop();
+    handle.wait();
+}
+
+#[test]
+fn warm_sessions_reuse_encoded_groups_across_requests() {
+    let (handle, path) = start("warm", 2);
+    let ep = Endpoint::Unix(path);
+    // Two reconciles of the same spec with different modes: the second
+    // must reuse the warm session's encoded groups rather than
+    // re-grounding from scratch.
+    let mut hard = Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict());
+    hard.mode = Some("hard".into());
+    let mut blame = Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict());
+    blame.mode = Some("blameable".into());
+    let r1 = ep.roundtrip(&hard, Some(Duration::from_secs(30))).unwrap();
+    let r2 = ep.roundtrip(&blame, Some(Duration::from_secs(30))).unwrap();
+    assert!(r1.ok && r2.ok);
+    assert!(!r2.cached, "different mode is a different result key");
+    let stats = ep
+        .roundtrip(&Request::new(Op::Stats), Some(Duration::from_secs(10)))
+        .unwrap();
+    let reused = stats
+        .result
+        .get("warm_groups")
+        .and_then(|w| w.get("reused"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(reused > 0, "second reconcile must reuse warm groups");
+    handle.stop();
+    handle.wait();
+}
+
+#[test]
+fn cli_serve_and_client_subprocesses() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("muppetd-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("d.sock");
+    let spec = SessionSpec::paper_strict();
+    let manifests = dir.join("m.yaml");
+    let k8s = dir.join("k8s.csv");
+    let istio = dir.join("istio.csv");
+    std::fs::File::create(&manifests)
+        .unwrap()
+        .write_all(spec.manifests.as_bytes())
+        .unwrap();
+    std::fs::File::create(&k8s).unwrap().write_all(spec.k8s_goals.as_bytes()).unwrap();
+    std::fs::File::create(&istio)
+        .unwrap()
+        .write_all(spec.istio_goals.as_bytes())
+        .unwrap();
+
+    let cli = env!("CARGO_BIN_EXE_muppet-cli");
+    let mut server = Command::new(cli)
+        .args(["serve", "--socket", sock.to_str().unwrap(), "--workers", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    // Wait for the socket to accept connections.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if sock.exists()
+            && Endpoint::Unix(sock.clone())
+                .roundtrip(&Request::new(Op::Stats), Some(Duration::from_secs(5)))
+                .is_ok()
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon did not come up");
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // Strict goals conflict → the client maps success=false to exit 1.
+    let out = Command::new(cli)
+        .args([
+            "client",
+            "reconcile",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--manifests",
+            manifests.to_str().unwrap(),
+            "--k8s-goals",
+            k8s.to_str().unwrap(),
+            "--istio-goals",
+            istio.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run client");
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let line = String::from_utf8_lossy(&out.stdout);
+    let resp = muppet_daemon::Response::from_line(line.trim()).expect("client prints JSON");
+    assert!(resp.ok);
+    assert_eq!(resp.result.get("success").and_then(Json::as_bool), Some(false));
+
+    // stats over the CLI: exit 0.
+    let out = Command::new(cli)
+        .args(["client", "stats", "--socket", sock.to_str().unwrap()])
+        .output()
+        .expect("run client stats");
+    assert_eq!(out.status.code(), Some(0));
+
+    // shutdown stops the server process.
+    let out = Command::new(cli)
+        .args(["client", "shutdown", "--socket", sock.to_str().unwrap()])
+        .output()
+        .expect("run client shutdown");
+    assert_eq!(out.status.code(), Some(0));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match server.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "serve exited with {status}");
+                break;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = server.kill();
+                panic!("serve did not exit after shutdown");
+            }
+            None => thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Verdicts from the daemon must be identical whether served cold,
+/// warm, or from cache — spot-checked here over the socket; the
+/// exhaustive randomized version lives in `daemon_cache_props.rs`.
+#[test]
+fn repeat_requests_are_cached_and_identical() {
+    let (handle, path) = start("cached", 2);
+    let ep = Endpoint::Unix(path);
+    let req = Request::new(Op::CheckConformance).with_spec(SessionSpec::paper_relaxed());
+    let cold = ep.roundtrip(&req, Some(Duration::from_secs(30))).unwrap();
+    assert!(cold.ok && !cold.cached);
+    let warm = ep.roundtrip(&req, Some(Duration::from_secs(30))).unwrap();
+    assert!(warm.ok && warm.cached);
+    assert_eq!(cold.result.to_line(), warm.result.to_line());
+    // Oracle parity.
+    let want = oracle();
+    assert_eq!(
+        cold.result.get("success").and_then(Json::as_bool),
+        Some(want.conformance_success)
+    );
+    handle.stop();
+    handle.wait();
+}
