@@ -201,6 +201,55 @@ impl Scenario {
         session
     }
 
+    /// Render the scenario as daemon wire content: `(manifests YAML,
+    /// k8s goal CSV, istio goal CSV, extra ports)` — the fields of a
+    /// `muppet-daemon` `SessionSpec`. Round-trips through the same
+    /// parsers the CLI uses, so a daemon loaded from these strings sees
+    /// the scenario's mesh and goal tables.
+    pub fn wire_content(&self) -> (String, String, String, Vec<u16>) {
+        let manifests = muppet_mesh::manifest::emit_bundle(&muppet_mesh::manifest::ManifestBundle {
+            mesh: self.mesh.clone(),
+            ..Default::default()
+        });
+        let mut k8s = String::from("port,perm,selector\n");
+        for g in &self.k8s_goals {
+            let perm = match g.perm {
+                muppet_mesh::Action::Deny => "DENY",
+                muppet_mesh::Action::Allow => "ALLOW",
+            };
+            let sel = match &g.selector {
+                Selector::All => "*".to_string(),
+                Selector::Namespace(ns) => format!("ns={ns}"),
+                Selector::Name(n) => n.clone(),
+                Selector::Labels(pairs) => pairs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .next()
+                    .unwrap_or_else(|| "*".to_string()),
+            };
+            k8s.push_str(&format!("{},{},{}\n", g.port, perm, sel));
+        }
+        let mut istio = String::from("srcService,dstService,srcPort,dstPort\n");
+        let cell = |p: &PortSpec| match p {
+            PortSpec::Port(n) => n.to_string(),
+            PortSpec::Var(name) => format!("?{name}"),
+            PortSpec::Any => "*".to_string(),
+        };
+        for g in &self.istio_goals {
+            istio.push_str(&format!(
+                "{},{},{},{}\n",
+                g.src,
+                g.dst,
+                cell(&g.src_port),
+                cell(&g.dst_port)
+            ));
+        }
+        let extras: Vec<u16> = (0..self.params.extra_ports)
+            .map(|j| 20000 + j as u16)
+            .collect();
+        (manifests, k8s, istio, extras)
+    }
+
     /// The ports banned by the K8s goals that some concrete Istio goal
     /// needs — i.e. the built-in conflicts. Namespace-scoped bans only
     /// conflict with goals whose destination lives in the banned

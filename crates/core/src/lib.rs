@@ -59,7 +59,8 @@ mod session;
 pub use envelope::{Envelope, EnvelopePredicate, LeakageReport};
 pub use fingerprint::Fingerprinter;
 pub use muppet_solver::{
-    Budget, CancelToken, Exhaustion, Phase, PreparedStore, QueryStats, RetryPolicy,
+    default_threads, Budget, CancelToken, Exhaustion, Phase, PortfolioConfig, PortfolioSummary,
+    PreparedStore, QueryStats, RetryPolicy,
 };
 pub use party::{NamedGoal, Party};
 pub use session::{

@@ -8,8 +8,8 @@ use muppet_logic::{
     RelId, Term, Universe, Vocabulary,
 };
 use muppet_solver::{
-    Budget, FormulaGroup, Outcome, PartialResult, Phase, PrepareError, PreparedQuery,
-    PreparedStore, Query, QueryError, QueryStats, RetryPolicy,
+    Budget, FormulaGroup, Outcome, PartialResult, Phase, PortfolioConfig, PrepareError,
+    PreparedQuery, PreparedStore, Query, QueryError, QueryStats, RetryPolicy,
 };
 
 use crate::envelope::{Envelope, EnvelopePredicate};
@@ -144,6 +144,7 @@ pub struct Session<'a> {
     symmetry_breaking: bool,
     budget: Budget,
     retry: RetryPolicy,
+    portfolio: Option<PortfolioConfig>,
 }
 
 impl<'a> Session<'a> {
@@ -159,6 +160,7 @@ impl<'a> Session<'a> {
             symmetry_breaking: false,
             budget: Budget::unlimited(),
             retry: RetryPolicy::default(),
+            portfolio: None,
         }
     }
 
@@ -219,6 +221,32 @@ impl<'a> Session<'a> {
             }
             return Ok((out, attempt));
         }
+    }
+
+    /// Run the search phase of satisfiability queries on a parallel
+    /// portfolio of `n` diversified solvers racing over a shared
+    /// learned-clause pool. `n <= 1` restores plain sequential solving.
+    /// Verdicts are identical either way; only wall-clock time and the
+    /// reported work counters differ. Grounding, encoding, core
+    /// shrinking, target optimization and enumeration stay sequential.
+    pub fn set_threads(&mut self, n: usize) {
+        self.portfolio = if n > 1 {
+            Some(PortfolioConfig::with_threads(n))
+        } else {
+            None
+        };
+    }
+
+    /// Full control over the portfolio configuration (worker count,
+    /// deterministic mode, clause-sharing thresholds). `None` or a
+    /// non-parallel config solves sequentially.
+    pub fn set_portfolio(&mut self, portfolio: Option<PortfolioConfig>) {
+        self.portfolio = portfolio.filter(PortfolioConfig::is_parallel);
+    }
+
+    /// The session's portfolio configuration, if parallel search is on.
+    pub fn portfolio(&self) -> Option<&PortfolioConfig> {
+        self.portfolio.as_ref()
     }
 
     /// Enable interchangeable-atom symmetry breaking for the session's
@@ -370,6 +398,7 @@ impl<'a> Session<'a> {
         q.free_rels(self.all_party_rels())
             .set_fixed(self.structure.clone())
             .set_symmetry_breaking(self.symmetry_breaking)
+            .set_portfolio(self.portfolio)
             .add_group(self.axiom_group());
         let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
         q.set_bounds(bounds);
@@ -449,6 +478,7 @@ impl<'a> Session<'a> {
         q.free_rels(self.all_party_rels())
             .set_fixed(self.structure.clone())
             .set_symmetry_breaking(self.symmetry_breaking)
+            .set_portfolio(self.portfolio)
             .add_group(self.axiom_group());
         let refs: Vec<&Party> = self.parties.iter().collect();
         let (bounds, commit_groups) = self.merge_offers(&refs, mode);
@@ -581,6 +611,7 @@ impl<'a> Session<'a> {
                 self.structure.clone(),
             )
         });
+        pq.set_portfolio(self.portfolio);
         let attempts_max = self.retry.max_attempts.max(1);
         let mut attempt = 1;
         loop {
@@ -756,6 +787,7 @@ impl<'a> Session<'a> {
         q.free_rels(self.all_party_rels())
             .set_fixed(self.structure.clone())
             .set_symmetry_breaking(self.symmetry_breaking)
+            .set_portfolio(self.portfolio)
             .add_group(self.axiom_group());
         let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
         q.set_bounds(bounds);

@@ -33,6 +33,7 @@ use muppet::{
     Budget, CancelToken, ConsistencyReport, Envelope, ExhaustionReport, MuppetError,
     QueryStats, Reconciliation, ReconcileMode, RetryPolicy, Session,
 };
+use muppet::default_threads;
 use muppet_logic::{Instance, PartyId, Universe, Vocabulary};
 
 use crate::cache::ResultCache;
@@ -49,6 +50,11 @@ pub struct EngineConfig {
     pub cache_cap: usize,
     /// Maximum number of warm sessions kept resident.
     pub max_sessions: usize,
+    /// Portfolio workers for the search phase of each solve (1 =
+    /// sequential). A request's `threads` field overrides this; either
+    /// way the queue accounting charges one slot per request, however
+    /// many solver workers it fans out to.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +62,7 @@ impl Default for EngineConfig {
         EngineConfig {
             cache_cap: 1024,
             max_sessions: 64,
+            threads: default_threads(),
         }
     }
 }
@@ -85,6 +92,11 @@ pub struct Engine {
     /// Updated by the server's queue; a plain gauge for `stats`.
     queue_depth: AtomicU64,
     latencies: Mutex<HashMap<&'static str, OpLatency>>,
+    /// Portfolio aggregates across all solves (for `stats`).
+    pf_solves: AtomicU64,
+    pf_exported: AtomicU64,
+    pf_imported: AtomicU64,
+    pf_restarts: AtomicU64,
 }
 
 /// RAII guard for the in-flight gauge.
@@ -121,6 +133,10 @@ impl Engine {
             in_flight: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             latencies: Mutex::new(HashMap::new()),
+            pf_solves: AtomicU64::new(0),
+            pf_exported: AtomicU64::new(0),
+            pf_imported: AtomicU64::new(0),
+            pf_restarts: AtomicU64::new(0),
         }
     }
 
@@ -322,6 +338,11 @@ impl Engine {
             budget = budget.with_cancel(tok.clone());
         }
         session.set_budget(budget);
+        let threads = req
+            .threads
+            .map(|t| t.min(64) as usize)
+            .unwrap_or(self.config.threads);
+        session.set_threads(threads);
         if req.conflict_budget.is_some() || req.retries.is_some() {
             session.set_retry_policy(RetryPolicy::new(
                 req.conflict_budget.unwrap_or(u64::MAX),
@@ -335,6 +356,7 @@ impl Engine {
                     .local_consistency_warm(party, prepared)
                     .map_err(describe_err)?;
                 let definite = report.exhausted.is_none();
+                self.note_portfolio(&report.stats);
                 Ok((consistency_json(&session, party, &report), definite))
             }
             Op::Reconcile => {
@@ -345,6 +367,7 @@ impl Engine {
                 };
                 let rec = session.reconcile_warm(mode, prepared).map_err(describe_err)?;
                 let definite = rec.exhausted.is_none();
+                self.note_portfolio(&rec.stats);
                 Ok((reconciliation_json(&session, &rec), definite))
             }
             Op::ExtractEnvelope => {
@@ -403,6 +426,17 @@ impl Engine {
                 ))
             }
             Op::OpenSession | Op::Stats | Op::Shutdown => unreachable!("handled earlier"),
+        }
+    }
+
+    /// Fold one solve's portfolio summary (when the search actually
+    /// fanned out) into the daemon-wide aggregates.
+    fn note_portfolio(&self, stats: &QueryStats) {
+        if let Some(p) = stats.portfolio {
+            self.pf_solves.fetch_add(1, Ordering::Relaxed);
+            self.pf_exported.fetch_add(p.exported, Ordering::Relaxed);
+            self.pf_imported.fetch_add(p.imported, Ordering::Relaxed);
+            self.pf_restarts.fetch_add(p.restarts, Ordering::Relaxed);
         }
     }
 
@@ -476,6 +510,16 @@ impl Engine {
                 "warm_groups",
                 Json::obj([("encoded", Json::num(builds)), ("reused", Json::num(reuses))]),
             ),
+            (
+                "portfolio",
+                Json::obj([
+                    ("threads", Json::num(self.config.threads as u64)),
+                    ("solves", Json::num(self.pf_solves.load(Ordering::Relaxed))),
+                    ("shared_exported", Json::num(self.pf_exported.load(Ordering::Relaxed))),
+                    ("shared_imported", Json::num(self.pf_imported.load(Ordering::Relaxed))),
+                    ("restarts", Json::num(self.pf_restarts.load(Ordering::Relaxed))),
+                ]),
+            ),
             ("latency", Json::Obj(per_op)),
         ])
     }
@@ -538,13 +582,33 @@ fn tuples_json(vocab: &Vocabulary, universe: &Universe, inst: &Instance) -> Json
 }
 
 fn stats_obj(stats: &QueryStats) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("free_tuple_vars", Json::num(stats.free_tuple_vars as u64)),
         ("conflicts", Json::num(stats.conflicts)),
         ("decisions", Json::num(stats.decisions)),
         ("propagations", Json::num(stats.propagations)),
         ("restarts", Json::num(stats.restarts)),
-    ])
+    ];
+    if let Some(p) = stats.portfolio {
+        fields.push((
+            "portfolio",
+            Json::obj([
+                ("workers", Json::num(u64::from(p.workers))),
+                (
+                    "winner",
+                    match p.winner {
+                        Some(w) => Json::num(u64::from(w)),
+                        None => Json::Null,
+                    },
+                ),
+                ("shared_exported", Json::num(p.exported)),
+                ("shared_imported", Json::num(p.imported)),
+                ("restarts", Json::num(p.restarts)),
+                ("conflicts", Json::num(p.conflicts)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn exhaustion_json(ex: &Option<ExhaustionReport>) -> Json {
@@ -828,6 +892,7 @@ mod tests {
         let eng = Engine::new(EngineConfig {
             cache_cap: 64,
             max_sessions: 1,
+            ..EngineConfig::default()
         });
         let strict = SessionSpec::paper_strict();
         let r = eng.handle_op(Op::Reconcile, &strict);

@@ -95,6 +95,9 @@ pub struct Request {
     pub conflict_budget: Option<u64>,
     /// Solve attempts (Luby-escalated conflict caps).
     pub retries: Option<u32>,
+    /// Portfolio workers for this request's search phase (overrides the
+    /// daemon's configured default; 1 = sequential).
+    pub threads: Option<u64>,
 }
 
 impl Request {
@@ -113,6 +116,7 @@ impl Request {
             timeout_ms: None,
             conflict_budget: None,
             retries: None,
+            threads: None,
         }
     }
 
@@ -171,6 +175,7 @@ impl Request {
             timeout_ms: num_field("timeout_ms")?,
             conflict_budget: num_field("conflict_budget")?,
             retries: num_field("retries")?.map(|n| n.min(u64::from(u32::MAX)) as u32),
+            threads: num_field("threads")?,
         })
     }
 
@@ -198,6 +203,7 @@ impl Request {
             ("max_rounds", self.max_rounds),
             ("timeout_ms", self.timeout_ms),
             ("conflict_budget", self.conflict_budget),
+            ("threads", self.threads),
         ] {
             if let Some(n) = val {
                 pairs.push((key.to_string(), Json::num(n)));
@@ -312,12 +318,14 @@ mod tests {
         req.mode = Some("blameable".into());
         req.timeout_ms = Some(500);
         req.retries = Some(3);
+        req.threads = Some(4);
         let back = Request::from_line(&req.to_line()).unwrap();
         assert_eq!(back.op, Op::Reconcile);
         assert_eq!(back.id.as_deref(), Some("r-7"));
         assert_eq!(back.mode.as_deref(), Some("blameable"));
         assert_eq!(back.timeout_ms, Some(500));
         assert_eq!(back.retries, Some(3));
+        assert_eq!(back.threads, Some(4));
         assert_eq!(back.spec.unwrap(), SessionSpec::paper_strict());
     }
 

@@ -276,7 +276,11 @@ fn spawn_reader(
             if let Ok(mut inf) = inflight.lock() {
                 inf.insert(n, cancel.clone());
             }
-            engine.note_enqueued();
+            // The depth gauge ticks inside the queue lock, *after* a
+            // successful push: a failed lock leaks no phantom slot, and
+            // a worker cannot observe (and decrement for) the job before
+            // its increment landed. One request is one slot, however
+            // many portfolio workers its solve later fans out to.
             if let Ok(mut jobs) = queue.jobs.lock() {
                 jobs.push_back(Job {
                     req,
@@ -285,6 +289,7 @@ fn spawn_reader(
                     inflight: Arc::clone(&inflight),
                     writer: Arc::clone(&writer),
                 });
+                engine.note_enqueued();
             }
             queue.ready.notify_one();
         }

@@ -1,0 +1,325 @@
+//! The bounded, epoch-versioned shared learned-clause pool.
+//!
+//! Workers export glue clauses into the pool and import everything the
+//! other workers contributed since their own last visit. The pool is
+//! bounded by **bytes** (not clause count): when an insertion would
+//! exceed the cap, the worst clauses (highest LBD, then oldest) are
+//! evicted until the newcomer fits — and a clause that alone exceeds
+//! the cap is simply refused, so a pathological exporter can never grow
+//! resident memory past the configured budget.
+//!
+//! Two scheduling modes:
+//!
+//! - **racing** (default): exports are visible to other workers as soon
+//!   as the exporting thread's `export` call returns.
+//! - **deterministic**: exports are staged per worker and only become
+//!   visible when the portfolio driver calls [`SharedPool::seal_epoch`]
+//!   at a round barrier, merging staged clauses in worker-id order.
+//!   Within a round the visible set is frozen, so every worker's
+//!   imports — and therefore its whole search trajectory — are a pure
+//!   function of the round number.
+
+use muppet_sat::{ClauseExchange, Lit};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Fixed per-clause accounting overhead (entry struct, dedup key,
+/// vector headers), added to the literal payload when charging bytes.
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// Charged size of a clause with `len` literals.
+fn clause_bytes(len: usize) -> usize {
+    ENTRY_OVERHEAD_BYTES + 2 * len * std::mem::size_of::<Lit>()
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Monotonic sequence number; doubles as age (lower = older) and
+    /// as the import cursor coordinate.
+    seq: u64,
+    /// Exporting worker (its own imports skip these).
+    source: usize,
+    lits: Vec<Lit>,
+    lbd: u32,
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Live entries, ascending `seq`.
+    entries: Vec<Entry>,
+    /// Deterministic mode: clauses staged per worker until the next
+    /// [`SharedPool::seal_epoch`].
+    staged: Vec<Vec<(Vec<Lit>, u32)>>,
+    /// Per-reader import cursor: highest `seq` already handed out.
+    cursors: Vec<u64>,
+    /// Dedup set over normalized (sorted) literal vectors of live
+    /// entries.
+    seen: HashSet<Vec<Lit>>,
+    next_seq: u64,
+    bytes: usize,
+    /// Counters for the stats surface.
+    accepted: u64,
+    rejected: u64,
+    evicted: u64,
+    epoch: u64,
+}
+
+/// Aggregate pool counters, for reports and the daemon stats response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Clauses accepted into the pool.
+    pub accepted: u64,
+    /// Clauses refused (duplicates, oversized, over-cap).
+    pub rejected: u64,
+    /// Clauses evicted by the byte bound (LBD-then-age order).
+    pub evicted: u64,
+    /// Current resident bytes.
+    pub bytes: usize,
+    /// Current live entries.
+    pub entries: usize,
+    /// Sealed epochs (deterministic mode only).
+    pub epoch: u64,
+}
+
+/// The shared clause pool. One instance per portfolio solve, wrapped in
+/// an `Arc` and handed to every worker via
+/// [`muppet_sat::Solver::set_clause_exchange`].
+#[derive(Debug)]
+pub struct SharedPool {
+    inner: Mutex<PoolInner>,
+    cap_bytes: usize,
+    deterministic: bool,
+}
+
+impl SharedPool {
+    /// A pool for `readers` import cursors (workers plus, by
+    /// convention, one extra cursor for the master solver to drain the
+    /// pool after the race) bounded by `cap_bytes`.
+    pub fn new(readers: usize, cap_bytes: usize, deterministic: bool) -> SharedPool {
+        SharedPool {
+            inner: Mutex::new(PoolInner {
+                staged: (0..readers).map(|_| Vec::new()).collect(),
+                cursors: vec![0; readers],
+                ..PoolInner::default()
+            }),
+            cap_bytes,
+            deterministic,
+        }
+    }
+
+    /// Deterministic mode: publish all staged exports in worker-id
+    /// order and freeze the visible set for the next round.
+    pub fn seal_epoch(&self) {
+        let mut inner = self.lock();
+        let staged: Vec<Vec<(Vec<Lit>, u32)>> =
+            inner.staged.iter_mut().map(std::mem::take).collect();
+        for (worker, batch) in staged.into_iter().enumerate() {
+            for (lits, lbd) in batch {
+                insert(&mut inner, self.cap_bytes, worker, lits, lbd);
+            }
+        }
+        inner.epoch += 1;
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.lock();
+        PoolStats {
+            accepted: inner.accepted,
+            rejected: inner.rejected,
+            evicted: inner.evicted,
+            bytes: inner.bytes,
+            entries: inner.entries.len(),
+            epoch: inner.epoch,
+        }
+    }
+
+    /// Current resident bytes (live entries only).
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// Insert one clause, charging bytes and evicting as needed.
+fn insert(inner: &mut PoolInner, cap_bytes: usize, source: usize, mut lits: Vec<Lit>, lbd: u32) {
+    lits.sort_unstable();
+    lits.dedup();
+    let bytes = clause_bytes(lits.len());
+    if bytes > cap_bytes || inner.seen.contains(&lits) {
+        inner.rejected += 1;
+        return;
+    }
+    while inner.bytes + bytes > cap_bytes {
+        // Evict the worst live clause: highest LBD, oldest among
+        // equals. The pool is small (byte-bounded), a linear scan is
+        // fine.
+        let victim = inner
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.lbd, u64::MAX - e.seq))
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let e = inner.entries.remove(i);
+                inner.bytes -= e.bytes;
+                inner.seen.remove(&e.lits);
+                inner.evicted += 1;
+            }
+            None => break, // cap smaller than one clause; refuse below
+        }
+    }
+    if inner.bytes + bytes > cap_bytes {
+        inner.rejected += 1;
+        return;
+    }
+    inner.next_seq += 1;
+    let seq = inner.next_seq;
+    inner.seen.insert(lits.clone());
+    inner.bytes += bytes;
+    inner.accepted += 1;
+    inner.entries.push(Entry {
+        seq,
+        source,
+        lits,
+        lbd,
+        bytes,
+    });
+}
+
+impl ClauseExchange for SharedPool {
+    fn export(&self, worker: usize, lits: &[Lit], lbd: u32) {
+        let mut inner = self.lock();
+        if self.deterministic {
+            if let Some(buf) = inner.staged.get_mut(worker) {
+                buf.push((lits.to_vec(), lbd));
+            }
+        } else {
+            insert(&mut inner, self.cap_bytes, worker, lits.to_vec(), lbd);
+        }
+    }
+
+    fn import(&self, worker: usize) -> Vec<(Vec<Lit>, u32)> {
+        let mut inner = self.lock();
+        let cursor = inner.cursors.get(worker).copied().unwrap_or(u64::MAX);
+        let mut out = Vec::new();
+        let mut high = cursor;
+        for e in &inner.entries {
+            if e.seq > cursor && e.source != worker {
+                out.push((e.lits.clone(), e.lbd));
+            }
+            if e.seq > high {
+                high = e.seq;
+            }
+        }
+        if let Some(c) = inner.cursors.get_mut(worker) {
+            *c = high;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_sat::Var;
+
+    fn clause(ids: &[i32]) -> Vec<Lit> {
+        ids.iter()
+            .map(|&i| Lit::new(Var::from_index(i.unsigned_abs() as usize), i >= 0))
+            .collect()
+    }
+
+    #[test]
+    fn export_import_roundtrip_skips_own_clauses() {
+        let pool = SharedPool::new(3, 1 << 20, false);
+        pool.export(0, &clause(&[1, 2]), 2);
+        pool.export(1, &clause(&[3, 4]), 2);
+        let got0 = pool.import(0);
+        assert_eq!(got0, vec![(clause(&[3, 4]), 2)]);
+        let got1 = pool.import(1);
+        assert_eq!(got1, vec![(clause(&[1, 2]), 2)]);
+        // Cursor advanced: nothing new on a second import.
+        assert!(pool.import(0).is_empty());
+        // The extra (master) cursor sees everything.
+        assert_eq!(pool.import(2).len(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let pool = SharedPool::new(2, 1 << 20, false);
+        pool.export(0, &clause(&[1, 2]), 2);
+        pool.export(1, &clause(&[2, 1]), 3); // same clause, reordered
+        assert_eq!(pool.stats().accepted, 1);
+        assert_eq!(pool.stats().rejected, 1);
+    }
+
+    #[test]
+    fn pathological_exporter_cannot_exceed_byte_cap() {
+        // A tight cap and a firehose of distinct clauses: resident
+        // bytes must never exceed the cap, no matter how many clauses
+        // are pushed.
+        let cap = 4 * 1024;
+        let pool = SharedPool::new(2, cap, false);
+        for i in 0..10_000i32 {
+            let c = clause(&[i + 1, -(i + 2), i + 3]);
+            pool.export(0, &c, 2 + (i % 7) as u32);
+            assert!(
+                pool.resident_bytes() <= cap,
+                "pool grew past cap at clause {i}: {} > {cap}",
+                pool.resident_bytes()
+            );
+        }
+        let stats = pool.stats();
+        assert!(stats.evicted > 0, "eviction must have engaged: {stats:?}");
+        assert!(stats.bytes <= cap);
+        // A clause bigger than the whole cap is refused outright.
+        let huge: Vec<i32> = (1..2000).collect();
+        let before = pool.resident_bytes();
+        pool.export(0, &clause(&huge), 2);
+        assert_eq!(pool.resident_bytes(), before);
+    }
+
+    #[test]
+    fn eviction_prefers_high_lbd_then_age() {
+        // Cap fits exactly three 2-literal clauses.
+        let cap = 3 * clause_bytes(2);
+        let pool = SharedPool::new(2, cap, false);
+        pool.export(0, &clause(&[1, 2]), 5); // oldest, lbd 5
+        pool.export(0, &clause(&[3, 4]), 2); // glue
+        pool.export(0, &clause(&[5, 6]), 5); // newer, lbd 5
+        pool.export(0, &clause(&[7, 8]), 3); // forces one eviction
+        let got = pool.import(1);
+        let lits: Vec<Vec<Lit>> = got.into_iter().map(|(l, _)| l).collect();
+        // The oldest lbd-5 clause went first.
+        assert!(!lits.contains(&clause(&[1, 2])));
+        assert!(lits.contains(&clause(&[3, 4])));
+        assert!(lits.contains(&clause(&[5, 6])));
+        assert!(lits.contains(&clause(&[7, 8])));
+    }
+
+    #[test]
+    fn deterministic_mode_stages_until_sealed() {
+        let pool = SharedPool::new(3, 1 << 20, true);
+        pool.export(1, &clause(&[1, 2]), 2);
+        pool.export(0, &clause(&[3, 4]), 2);
+        // Nothing visible before the barrier.
+        assert!(pool.import(2).is_empty());
+        pool.seal_epoch();
+        // Sealed in worker-id order: worker 0's clause first.
+        let got = pool.import(2);
+        assert_eq!(
+            got,
+            vec![(clause(&[3, 4]), 2), (clause(&[1, 2]), 2)]
+        );
+        assert_eq!(pool.stats().epoch, 1);
+    }
+}

@@ -77,7 +77,10 @@ pub struct Budget {
     deadline: Option<Instant>,
     conflicts: Option<u64>,
     propagations: Option<u64>,
-    cancel: Option<CancelToken>,
+    /// Cancellation tokens; any one of them firing exhausts the budget.
+    /// More than one arises when a portfolio race adds its
+    /// loser-cancellation token on top of a caller's token.
+    cancels: Vec<CancelToken>,
 }
 
 impl Budget {
@@ -110,9 +113,10 @@ impl Budget {
         self
     }
 
-    /// Attach a cooperative-cancellation token.
+    /// Attach a cooperative-cancellation token. May be called more than
+    /// once; every attached token is observed (first one to fire wins).
     pub fn with_cancel(mut self, token: CancelToken) -> Budget {
-        self.cancel = Some(token);
+        self.cancels.push(token);
         self
     }
 
@@ -133,23 +137,21 @@ impl Budget {
         self.deadline.is_none()
             && self.conflicts.is_none()
             && self.propagations.is_none()
-            && self.cancel.is_none()
+            && self.cancels.is_empty()
     }
 
     /// `true` if a deadline or cancellation token is configured (the
     /// limits that remain meaningful across retry attempts).
     pub fn has_deadline_or_cancel(&self) -> bool {
-        self.deadline.is_some() || self.cancel.is_some()
+        self.deadline.is_some() || !self.cancels.is_empty()
     }
 
     /// Cheap check of the non-counter limits: cancellation and (at the
     /// caller's discretion) the deadline. Counter caps are checked by
     /// [`Budget::check`] with the current totals.
     pub fn poll(&self) -> Option<Exhaustion> {
-        if let Some(token) = &self.cancel {
-            if token.is_cancelled() {
-                return Some(Exhaustion::Cancelled);
-            }
+        if self.cancels.iter().any(CancelToken::is_cancelled) {
+            return Some(Exhaustion::Cancelled);
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -282,6 +284,25 @@ mod tests {
         token.cancel();
         assert_eq!(b.poll(), Some(Exhaustion::Cancelled));
         assert_eq!(b.check(0, 0), Some(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn stacked_cancel_tokens_all_observed() {
+        let caller = CancelToken::new();
+        let race = CancelToken::new();
+        let b = Budget::unlimited()
+            .with_cancel(caller.clone())
+            .with_cancel(race.clone());
+        assert!(!b.is_unlimited());
+        assert_eq!(b.poll(), None);
+        race.cancel();
+        assert_eq!(b.poll(), Some(Exhaustion::Cancelled));
+        // Cloning shares the tokens, and the caller token alone is
+        // also enough.
+        let b2 = Budget::unlimited().with_cancel(caller.clone());
+        assert_eq!(b2.poll(), None);
+        caller.cancel();
+        assert_eq!(b2.poll(), Some(Exhaustion::Cancelled));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::lit::Lit;
 pub(crate) struct ClauseRef(pub(crate) u32);
 
 /// A single clause plus the metadata CDCL bookkeeping needs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Clause {
     /// The literals. Positions 0 and 1 are the watched literals.
     pub lits: Vec<Lit>,
@@ -34,7 +34,7 @@ pub(crate) struct Clause {
 /// parks the slot on a *pending* list (stale watchers may still point at
 /// it); [`ClauseDb::collect_garbage`] — called by the solver once watch
 /// lists have been purged — moves pending slots to the free list for reuse.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ClauseDb {
     clauses: Vec<Clause>,
     free: Vec<u32>,

@@ -7,7 +7,7 @@
 use crate::lit::Var;
 
 /// Max-heap over variables keyed by an external activity array.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ActivityHeap {
     /// Heap array of variable indices.
     heap: Vec<u32>,

@@ -54,6 +54,7 @@ mod lit;
 mod luby;
 mod model;
 pub mod mus;
+pub mod share;
 mod solver;
 
 pub use budget::{Budget, CancelToken, Exhaustion, RetryPolicy};
@@ -61,4 +62,5 @@ pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, DimacsProblem};
 pub use lit::{LBool, Lit, Var};
 pub use luby::luby;
 pub use model::Model;
+pub use share::ClauseExchange;
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -1,0 +1,32 @@
+//! Cross-solver learned-clause exchange.
+//!
+//! A portfolio of diversified solvers shares proofs through an object
+//! implementing [`ClauseExchange`]: each worker *exports* learned
+//! clauses whose LBD is at or below its configured threshold as they
+//! are learned, and *imports* clauses learned by the other workers at
+//! restart boundaries (decision level 0, where integrating foreign
+//! clauses is trivially sound — a learned clause is a logical
+//! consequence of the shared problem clauses, so any worker may adopt
+//! it).
+//!
+//! The trait lives here so the CDCL loop can call it; the concrete
+//! bounded pool lives in the `muppet-portfolio` crate. Implementations
+//! decide the schedule: a racing pool hands over everything new, a
+//! deterministic pool only releases clauses sealed at fixed epochs.
+
+use crate::lit::Lit;
+
+/// A shared learned-clause pool connecting portfolio workers.
+///
+/// Implementations must be cheap under concurrent calls: `export` runs
+/// on the hot learning path (though only for clauses under the LBD
+/// threshold) and `import` runs at restart boundaries.
+pub trait ClauseExchange: Send + Sync + std::fmt::Debug {
+    /// Offer a clause learned by `worker` (asserting literal first).
+    /// The pool may drop it (duplicates, byte budget).
+    fn export(&self, worker: usize, lits: &[Lit], lbd: u32);
+
+    /// Clauses learned by *other* workers that `worker` has not yet
+    /// imported, as `(literals, lbd)` pairs.
+    fn import(&self, worker: usize) -> Vec<(Vec<Lit>, u32)>;
+}

@@ -48,6 +48,7 @@ pub mod totalizer;
 pub mod tseitin;
 pub mod varmap;
 
+pub use muppet_portfolio::{default_threads, PortfolioConfig, PortfolioSummary};
 pub use muppet_sat::{Budget, CancelToken, Exhaustion, RetryPolicy};
 pub use prepared::{GroupId, PrepareError, PreparedQuery, PreparedStore};
 pub use query::{FormulaGroup, Outcome, PartialResult, Phase, Query, QueryError, QueryStats};

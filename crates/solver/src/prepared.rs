@@ -22,6 +22,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use muppet_logic::{Instance, PartialInstance, RelId, Universe, Vocabulary};
+use muppet_portfolio::PortfolioConfig;
 use muppet_sat::{Budget, Lit, Solver};
 
 use crate::ground::{ground, GExpr, GroundError};
@@ -73,6 +74,7 @@ pub struct PreparedQuery {
     selectors: Vec<(String, Lit)>,
     index: HashMap<u64, usize>,
     minimize_cores: bool,
+    portfolio: Option<PortfolioConfig>,
     encoded_groups: u64,
     reused_groups: u64,
 }
@@ -105,6 +107,7 @@ impl PreparedQuery {
             selectors: Vec::new(),
             index: HashMap::new(),
             minimize_cores: true,
+            portfolio: None,
             encoded_groups: 0,
             reused_groups: 0,
         }
@@ -113,6 +116,16 @@ impl PreparedQuery {
     /// Whether UNSAT cores are shrunk to minimal ones (default: yes).
     pub fn set_minimize_cores(&mut self, minimize: bool) -> &mut Self {
         self.minimize_cores = minimize;
+        self
+    }
+
+    /// Fan the search phase of [`PreparedQuery::solve`] out across a
+    /// portfolio of diversified workers. `None` (the default) or a
+    /// config with `threads <= 1` keeps the search sequential. The
+    /// shared proofs flow back into the warm solver, so later solves on
+    /// this prepared query benefit from earlier races.
+    pub fn set_portfolio(&mut self, portfolio: Option<PortfolioConfig>) -> &mut Self {
+        self.portfolio = portfolio;
         self
     }
 
@@ -183,6 +196,7 @@ impl PreparedQuery {
             decisions: self.solver.stats.decisions,
             propagations: self.solver.stats.propagations,
             restarts: self.solver.stats.restarts,
+            portfolio: None,
         };
         self.solver.set_budget(budget);
         let assumptions: Vec<Lit> = active
@@ -197,6 +211,7 @@ impl PreparedQuery {
             self.minimize_cores,
             &self.fixed,
             base,
+            self.portfolio.as_ref(),
         )
     }
 

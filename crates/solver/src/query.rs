@@ -11,6 +11,7 @@
 use std::fmt;
 
 use muppet_logic::{Formula, Instance, PartialInstance, RelId, Universe, Vocabulary};
+use muppet_portfolio::{solve_portfolio, PortfolioConfig, PortfolioSummary};
 use muppet_sat::{mus, Budget, Lit, SolveResult, Solver};
 
 use crate::ground::{ground, GExpr, GroundError};
@@ -53,6 +54,9 @@ pub struct QueryStats {
     pub propagations: u64,
     /// SAT restarts during the run.
     pub restarts: u64,
+    /// Portfolio aggregates when the search phase fanned out across
+    /// diversified workers (`None` for a sequential solve).
+    pub portfolio: Option<PortfolioSummary>,
 }
 
 impl fmt::Display for QueryStats {
@@ -61,7 +65,18 @@ impl fmt::Display for QueryStats {
             f,
             "free_vars={} conflicts={} decisions={} propagations={} restarts={}",
             self.free_tuple_vars, self.conflicts, self.decisions, self.propagations, self.restarts
-        )
+        )?;
+        if let Some(p) = &self.portfolio {
+            write!(
+                f,
+                " workers={} winner={} shared_out={} shared_in={}",
+                p.workers,
+                p.winner.map_or_else(|| "-".to_string(), |w| w.to_string()),
+                p.exported,
+                p.imported
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -229,6 +244,7 @@ pub struct Query<'a> {
     minimize_cores: bool,
     symmetry_breaking: bool,
     budget: Budget,
+    portfolio: Option<PortfolioConfig>,
 }
 
 impl<'a> Query<'a> {
@@ -244,6 +260,7 @@ impl<'a> Query<'a> {
             minimize_cores: true,
             symmetry_breaking: false,
             budget: Budget::unlimited(),
+            portfolio: None,
         }
     }
 
@@ -270,6 +287,16 @@ impl<'a> Query<'a> {
     /// potentially blaming more groups than necessary (ablation A2).
     pub fn set_minimize_cores(&mut self, minimize: bool) -> &mut Self {
         self.minimize_cores = minimize;
+        self
+    }
+
+    /// Fan the search phase out across a portfolio of diversified
+    /// workers. `None` (the default) or a config with `threads <= 1`
+    /// keeps the search sequential. Applies to [`Query::solve`] only:
+    /// target-oriented solving and enumeration add permanent clauses
+    /// mid-search and stay sequential.
+    pub fn set_portfolio(&mut self, portfolio: Option<PortfolioConfig>) -> &mut Self {
+        self.portfolio = portfolio;
         self
     }
 
@@ -373,6 +400,7 @@ impl<'a> Query<'a> {
             decisions: solver.stats.decisions,
             propagations: solver.stats.propagations,
             restarts: solver.stats.restarts,
+            portfolio: None,
         }
     }
 
@@ -430,6 +458,7 @@ impl<'a> Query<'a> {
             self.minimize_cores,
             &self.fixed,
             QueryStats::default(),
+            self.portfolio.as_ref(),
         ))
     }
 
@@ -636,9 +665,15 @@ impl<'a> Query<'a> {
 
 /// Shared search/minimize tail used by [`Query::solve`] and the warm
 /// [`crate::prepared::PreparedQuery::solve`]: run the CDCL search under
-/// the already-installed budget, shrink cores when asked, and report
-/// work counters as the delta from `base` (a cold query passes zeros; a
-/// warm query passes the solver's counters before this solve).
+/// the already-installed budget (fanning out across a portfolio when
+/// `portfolio` says so), shrink cores when asked, and report work
+/// counters as the delta from `base` (a cold query passes zeros; a warm
+/// query passes the solver's counters before this solve).
+///
+/// The fault-injection check runs on the *calling* thread before any
+/// fan-out (failpoints are thread-local), so a query under fault
+/// injection always degrades to the sequential path.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by two call sites
 pub(crate) fn run_sat_solve(
     solver: &mut Solver,
     varmap: &VarMap,
@@ -647,26 +682,37 @@ pub(crate) fn run_sat_solve(
     minimize_cores: bool,
     fixed: &Instance,
     base: QueryStats,
+    portfolio: Option<&PortfolioConfig>,
 ) -> Outcome {
-    let delta_stats = |solver: &Solver| QueryStats {
+    let delta_stats = |solver: &Solver, summary: Option<PortfolioSummary>| QueryStats {
         free_tuple_vars: varmap.num_free_vars(),
         conflicts: solver.stats.conflicts.saturating_sub(base.conflicts),
         decisions: solver.stats.decisions.saturating_sub(base.decisions),
         propagations: solver.stats.propagations.saturating_sub(base.propagations),
         restarts: solver.stats.restarts.saturating_sub(base.restarts),
+        portfolio: summary,
     };
     #[cfg(any(test, feature = "fault-inject"))]
     if crate::fault::should_trip(Phase::Search) {
         return Outcome::Unknown {
             phase: Phase::Search,
-            stats: delta_stats(solver),
+            stats: delta_stats(solver, None),
             partial: None,
         };
     }
-    match solver.solve_with_assumptions(assumptions) {
+    let mut summary: Option<PortfolioSummary> = None;
+    let search_result = match portfolio {
+        Some(cfg) if cfg.is_parallel() => {
+            let (result, s) = solve_portfolio(solver, assumptions, cfg);
+            summary = Some(s);
+            result
+        }
+        _ => solver.solve_with_assumptions(assumptions),
+    };
+    match search_result {
         SolveResult::Sat(model) => {
             let solution = fixed.union(&varmap.decode(&model));
-            let stats = delta_stats(solver);
+            let stats = delta_stats(solver, summary);
             Outcome::Sat { solution, stats }
         }
         SolveResult::Unsat(first_core) => {
@@ -687,7 +733,7 @@ pub(crate) fn run_sat_solve(
                     mus::ShrinkResult::Exhausted { best } => {
                         // UNSAT is established; surface the best
                         // (unminimized) core as a partial artifact.
-                        let stats = delta_stats(solver);
+                        let stats = delta_stats(solver, summary);
                         let partial = Some(PartialResult::Core(
                             names_of(&best.unwrap_or(first_core)),
                         ));
@@ -702,12 +748,12 @@ pub(crate) fn run_sat_solve(
                 first_core
             };
             let core = names_of(&core_lits);
-            let stats = delta_stats(solver);
+            let stats = delta_stats(solver, summary);
             Outcome::Unsat { core, stats }
         }
         SolveResult::Unknown => Outcome::Unknown {
             phase: Phase::Search,
-            stats: delta_stats(solver),
+            stats: delta_stats(solver, summary),
             partial: None,
         },
     }

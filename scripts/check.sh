@@ -23,6 +23,14 @@ run cargo test -q --offline --test daemon --test daemon_cache_props
 # Daemon bench lane: asserts the >= 10x cached-vs-cold speedup and
 # emits BENCH_daemon.json / BENCH_e2e.json.
 run cargo run --release --offline -q --bin muppet-harness -- d1
+# Portfolio lane: differential properties (4-thread verdicts == the
+# sequential ones), the D1/E2E harness slice at --threads 4, and the
+# P1 bench which asserts byte-identical reconcile verdicts across
+# thread counts and always emits BENCH_portfolio.json.
+run cargo test -q --offline --test portfolio_properties
+run cargo run --release --offline -q --bin muppet-harness -- --threads 4 d1 e1 e4
+run cargo run --release --offline -q --bin muppet-harness -- p1
+test -s BENCH_portfolio.json || { echo "BENCH_portfolio.json missing"; exit 1; }
 # fault-inject is a non-default feature; make sure it keeps compiling.
 run cargo build -q --offline -p muppet-solver --features fault-inject
 if cargo clippy --version >/dev/null 2>&1; then

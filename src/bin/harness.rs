@@ -26,7 +26,7 @@ use std::time::Duration;
 
 use muppet::conformance::run_conformance;
 use muppet::negotiate::{run_negotiation, DropBlamedSoftGoals, Negotiator, Stubborn};
-use muppet::{baseline, Budget, ExhaustionReport, ReconcileMode, RetryPolicy, Session};
+use muppet::{baseline, Budget, ExhaustionReport, ReconcileMode, Reconciliation, RetryPolicy, Session};
 use muppet_bench::paper::{session, vocab, IstioTable};
 use muppet_bench::scenario::{generate, ScenarioParams};
 use muppet_bench::timing::{ms, timed_median, Table};
@@ -41,6 +41,7 @@ struct Gov {
     timeout_ms: Option<u64>,
     conflict_budget: Option<u64>,
     retries: Option<u32>,
+    threads: Option<usize>,
 }
 
 static GOV: OnceLock<Gov> = OnceLock::new();
@@ -61,6 +62,9 @@ fn govern(s: &mut Session<'_>) {
         budget = budget.with_timeout(Duration::from_millis(t));
     }
     s.set_budget(budget);
+    if let Some(n) = g.threads {
+        s.set_threads(n);
+    }
     if g.conflict_budget.is_some() || g.retries.is_some() {
         s.set_retry_policy(RetryPolicy::new(
             g.conflict_budget.unwrap_or(u64::MAX),
@@ -93,7 +97,7 @@ fn main() {
         eprintln!("muppet-harness: {msg}");
         eprintln!(
             "usage: muppet-harness [--csv] [--timeout-ms <n>] [--conflict-budget <n>] \
-             [--retries <n>] [experiment-id-prefix...]"
+             [--retries <n>] [--threads <n>] [experiment-id-prefix...]"
         );
         std::process::exit(2);
     };
@@ -110,9 +114,15 @@ fn main() {
             "--timeout-ms" => g.timeout_ms = Some(value("--timeout-ms")),
             "--conflict-budget" => g.conflict_budget = Some(value("--conflict-budget")),
             "--retries" => g.retries = Some(value("--retries") as u32),
+            "--threads" => g.threads = Some(value("--threads") as usize),
             other if other.starts_with("--") => usage(format!("unknown flag {other:?}")),
             _ => filter.push(a),
         }
+    }
+    if g.threads.is_none() {
+        g.threads = std::env::var("MUPPET_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok());
     }
     GOV.set(g).ok();
     let want = |id: &str| {
@@ -142,6 +152,7 @@ fn main() {
         ("X1", x1),
         ("X2", x2),
         ("D1", d1),
+        ("P1", p1),
     ];
     let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
     for (id, f) in experiments {
@@ -932,5 +943,170 @@ fn d1(t: &mut Table) {
     ]);
     if let Err(e) = std::fs::write("BENCH_daemon.json", doc.to_line() + "\n") {
         eprintln!("muppet-harness: cannot write BENCH_daemon.json: {e}");
+    }
+}
+
+/// P1 — the portfolio lane. Three honest measurements, always written
+/// to `BENCH_portfolio.json`:
+///
+/// 1. *Verdict parity*: the hardest UNSAT reconcile in the suite runs
+///    sequentially and with a 4-worker portfolio; the rendered verdicts
+///    (success, minimal blame core, degradation marker, configs) must
+///    be byte-identical.
+/// 2. *Search behaviour*: a symmetric UNSAT CNF (pigeonhole) solved by
+///    `solve_portfolio` at 1 and 4 workers, with wall clock and clause-
+///    sharing counters. The speedup field reports whatever the host
+///    actually delivers — on a single hardware thread, 4 workers are
+///    legitimately *slower* (diversification without parallelism).
+/// 3. *Determinism*: two lockstep-mode runs must agree on verdict,
+///    winner and every aggregate counter.
+fn p1(t: &mut Table) {
+    use muppet_daemon::json::Json;
+    use muppet_portfolio::{solve_portfolio, PortfolioConfig};
+    use muppet_sat::{Lit, Solver, Var};
+
+    // 1. Verdict parity on a fully-conflicted (UNSAT) scenario.
+    // Blameable mode so the minimal core is part of the verdict.
+    let scenario = generate(ScenarioParams {
+        services: 12,
+        istio_goals: 14,
+        k8s_goals: 3,
+        conflict_fraction: 1.0,
+        seed: 11,
+        ..ScenarioParams::default()
+    });
+    let render = |rec: &Reconciliation| {
+        format!(
+            "success={} core={:?} exhausted={} configs={:?}",
+            rec.success,
+            rec.core,
+            rec.exhausted.is_some(),
+            rec.configs,
+        )
+    };
+    let run = |threads: usize| {
+        let mut sess = scenario.session(false);
+        govern(&mut sess);
+        sess.set_threads(threads);
+        timed_median(3, || sess.reconcile(ReconcileMode::Blameable).unwrap())
+    };
+    let (seq, d_seq) = run(1);
+    let (par, d_par) = run(4);
+    assert!(!seq.success, "parity scenario must be UNSAT");
+    let identical = render(&seq) == render(&par);
+    assert!(identical, "thread counts diverged:\n  1: {}\n  4: {}", render(&seq), render(&par));
+    let rec_speedup = d_seq.as_secs_f64() / d_par.as_secs_f64().max(1e-9);
+    row(t, "P1", "UNSAT reconcile (12 svc)", "verdicts byte-identical", identical.to_string(), "true");
+    row(t, "P1", "UNSAT reconcile (12 svc)", "threads=1 (ms)", ms(d_seq), "-");
+    row(t, "P1", "UNSAT reconcile (12 svc)", "threads=4 (ms)", ms(d_par), "host-dependent");
+    let pf = par.stats.portfolio;
+
+    // 2. Portfolio search on symmetric UNSAT CNF: pigeonhole PHP(8,7).
+    let pigeonhole = |pigeons: usize, holes: usize| {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..holes {
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause([Lit::neg(row1[j]), Lit::neg(row2[j])]);
+                }
+            }
+        }
+        s
+    };
+    let base = pigeonhole(8, 7);
+    let search = |threads: usize| {
+        timed_median(3, || {
+            let mut s = base.clone();
+            let (r, summary) = solve_portfolio(&mut s, &[], &PortfolioConfig::with_threads(threads));
+            assert!(r.is_unsat(), "PHP(8,7) must be UNSAT");
+            summary
+        })
+    };
+    let (_, d_s1) = search(1);
+    let (sum4, d_s4) = search(4);
+    let search_speedup = d_s1.as_secs_f64() / d_s4.as_secs_f64().max(1e-9);
+    row(t, "P1", "PHP(8,7) UNSAT", "threads=1 (ms)", ms(d_s1), "-");
+    row(t, "P1", "PHP(8,7) UNSAT", "threads=4 (ms)", ms(d_s4), ">= 1.5x faster on >= 4 cores");
+    row(
+        t,
+        "P1",
+        "PHP(8,7) UNSAT",
+        "shared clauses exported/imported",
+        format!("{} / {}", sum4.exported, sum4.imported),
+        "> 0 (pool is live)",
+    );
+
+    // 3. Deterministic lockstep mode: bitwise-reproducible statistics.
+    let det_cfg = PortfolioConfig {
+        deterministic: true,
+        slice_conflicts: 256,
+        ..PortfolioConfig::with_threads(3)
+    };
+    let det = || {
+        let mut s = base.clone();
+        let (r, summary) = solve_portfolio(&mut s, &[], &det_cfg);
+        assert!(r.is_unsat());
+        summary
+    };
+    let (da, db) = (det(), det());
+    assert_eq!(da, db, "deterministic mode must reproduce exactly");
+    row(t, "P1", "PHP(8,7) deterministic", "two runs identical", (da == db).to_string(), "true");
+
+    let threads_obj = |s: &muppet::PortfolioSummary| {
+        Json::obj([
+            ("workers", Json::num(u64::from(s.workers))),
+            (
+                "winner",
+                s.winner.map(|w| Json::num(u64::from(w))).unwrap_or(Json::Null),
+            ),
+            ("exported", Json::num(s.exported)),
+            ("imported", Json::num(s.imported)),
+            ("restarts", Json::num(s.restarts)),
+            ("conflicts", Json::num(s.conflicts)),
+        ])
+    };
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-portfolio-v1")),
+        ("host_cores", Json::num(std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1))),
+        (
+            "reconcile_parity",
+            Json::obj([
+                ("instance", Json::str("12 services, fully conflicted, blameable")),
+                ("verdicts_identical", Json::Bool(identical)),
+                ("verdict", Json::str(render(&seq))),
+                ("threads1_ms", Json::Num(d_seq.as_secs_f64() * 1e3)),
+                ("threads4_ms", Json::Num(d_par.as_secs_f64() * 1e3)),
+                ("speedup", Json::Num(rec_speedup)),
+                (
+                    "portfolio",
+                    pf.as_ref().map(threads_obj).unwrap_or(Json::Null),
+                ),
+            ]),
+        ),
+        (
+            "search",
+            Json::obj([
+                ("instance", Json::str("PHP(8,7)")),
+                ("threads1_ms", Json::Num(d_s1.as_secs_f64() * 1e3)),
+                ("threads4_ms", Json::Num(d_s4.as_secs_f64() * 1e3)),
+                ("speedup", Json::Num(search_speedup)),
+                ("threads4", threads_obj(&sum4)),
+            ]),
+        ),
+        (
+            "deterministic",
+            Json::obj([
+                ("instance", Json::str("PHP(8,7), 3 workers, lockstep")),
+                ("reproducible", Json::Bool(da == db)),
+                ("summary", threads_obj(&da)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_portfolio.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_portfolio.json: {e}");
     }
 }

@@ -27,7 +27,7 @@
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use muppet::{Budget, NamedGoal, Party, ReconcileMode, Reconciliation, RetryPolicy, Session};
+use muppet::{default_threads, Budget, NamedGoal, Party, ReconcileMode, Reconciliation, RetryPolicy, Session};
 use muppet_goals::{translate_istio_goals, translate_k8s_goals, IstioGoal, K8sGoal};
 use muppet_logic::{Domain, Instance, PartyId};
 use muppet_mesh::manifest::{
@@ -57,6 +57,7 @@ struct Opts {
     timeout_ms: Option<u64>,
     conflict_budget: Option<u64>,
     retries: Option<u32>,
+    threads: Option<usize>,
     // Daemon-mode flags (`serve` / `client`).
     socket: Option<String>,
     tcp: Option<String>,
@@ -78,6 +79,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         timeout_ms: None,
         conflict_budget: None,
         retries: None,
+        threads: None,
         socket: None,
         tcp: None,
         workers: None,
@@ -129,6 +131,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|_| "--retries needs an attempt count".to_string())?,
                 )
             }
+            "--threads" => {
+                opts.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs a worker count".to_string())?,
+                )
+            }
             "--socket" => opts.socket = Some(value("--socket")?),
             "--tcp" => opts.tcp = Some(value("--tcp")?),
             "--workers" => {
@@ -158,6 +167,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         }
     }
     Ok(opts)
+}
+
+/// Portfolio width: `--threads` wins, then the `MUPPET_THREADS`
+/// environment variable, then the machine default (cores, capped).
+/// `None` means nothing was given anywhere — callers that forward the
+/// count to a daemon leave the request field unset in that case so the
+/// server's own default applies.
+fn requested_threads(opts: &Opts) -> Option<usize> {
+    opts.threads.or_else(|| {
+        std::env::var("MUPPET_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+fn effective_threads(opts: &Opts) -> usize {
+    requested_threads(opts).unwrap_or_else(default_threads).clamp(1, 64)
 }
 
 struct Loaded {
@@ -249,6 +275,7 @@ fn build_session<'a>(l: &'a Loaded, opts: &Opts) -> Result<Session<'a>, String> 
         budget = budget.with_timeout(std::time::Duration::from_millis(t));
     }
     session.set_budget(budget);
+    session.set_threads(effective_threads(opts));
     if opts.conflict_budget.is_some() || opts.retries.is_some() {
         session.set_retry_policy(RetryPolicy::new(
             opts.conflict_budget.unwrap_or(u64::MAX),
@@ -327,6 +354,11 @@ FLAGS:
   --conflict-budget <n>  solver conflict cap per attempt (default: none)
   --retries <n>          total solve attempts; each retry escalates the
                          conflict cap by the Luby sequence (default: 1)
+  --threads <n>          portfolio solver workers per query; 1 = plain
+                         sequential CDCL (default: $MUPPET_THREADS, else
+                         available cores capped at 8); on serve this sets
+                         the daemon-wide default, on client it overrides
+                         per request
   --socket <path>        daemon Unix socket (serve: listen; client: connect)
   --tcp <addr>           daemon TCP address, e.g. 127.0.0.1:7878
   --workers <n>          serve: worker threads (default: 4)
@@ -594,6 +626,7 @@ fn serve_cmd(opts: &Opts) -> Result<ExitCode, String> {
         workers: opts.workers.unwrap_or(4),
         engine: muppet_daemon::EngineConfig {
             cache_cap: opts.cache_cap.unwrap_or(1024),
+            threads: effective_threads(opts),
             ..muppet_daemon::EngineConfig::default()
         },
     };
@@ -653,6 +686,7 @@ fn client_cmd(op_name: &str, opts: &Opts) -> Result<ExitCode, String> {
     req.timeout_ms = opts.timeout_ms;
     req.conflict_budget = opts.conflict_budget;
     req.retries = opts.retries;
+    req.threads = requested_threads(opts).map(|t| t.clamp(1, 64) as u64);
     let resp = endpoint.roundtrip(&req, Some(std::time::Duration::from_secs(120)))?;
     println!("{}", resp.to_line());
     if !resp.ok {

@@ -330,6 +330,92 @@ fn cli_serve_and_client_subprocesses() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A client that disconnects mid-solve must have its request cancelled
+/// (satellite: the reader thread's per-request `CancelToken` is stacked
+/// into every portfolio worker's budget, so one `cancel()` reaches all
+/// of them). The scenario below runs for tens of seconds in a debug
+/// build if the cancellation is lost; the drain deadline is far below
+/// that. Also checks the queue accounting: a request that fans out to 4
+/// portfolio workers holds exactly one in-flight slot.
+#[test]
+fn client_disconnect_cancels_in_flight_portfolio_solve() {
+    use muppet_bench::scenario::{generate, ScenarioParams};
+    let sc = generate(ScenarioParams {
+        services: 40,
+        istio_goals: 48,
+        k8s_goals: 4,
+        conflict_fraction: 0.0,
+        flexible_fraction: 0.3,
+        extra_ports: 8,
+        ..ScenarioParams::default()
+    });
+    let (manifests, k8s_goals, istio_goals, extra_ports) = sc.wire_content();
+    let spec = SessionSpec {
+        manifests,
+        k8s_goals,
+        istio_goals,
+        mtls: false,
+        extra_ports,
+    };
+    let (handle, path) = start("kill", 2);
+    let mut req = Request::new(Op::Reconcile).with_spec(spec);
+    req.threads = Some(4);
+    let mut victim = Endpoint::Unix(path.clone())
+        .connect(Some(Duration::from_secs(60)))
+        .unwrap();
+    victim.send(&req).unwrap();
+    let ep = Endpoint::Unix(path);
+    // Stats polling must itself survive a saturated host (the full
+    // suite runs many test binaries at once): retry transient
+    // timeouts until the caller's deadline.
+    let poll_stats = |deadline: Instant| loop {
+        match ep.roundtrip(&Request::new(Op::Stats), Some(Duration::from_secs(10))) {
+            Ok(stats) => break stats,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "stats roundtrip kept failing: {e}");
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    // Wait for a worker to pick the job up.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = poll_stats(deadline);
+        let busy = stats.result.get("in_flight").and_then(Json::as_u64).unwrap();
+        if busy >= 1 {
+            // One request, one slot — regardless of portfolio fan-out.
+            assert_eq!(busy, 1, "fanned-out request must count as one slot");
+            break;
+        }
+        assert!(Instant::now() < deadline, "solve never started");
+        thread::sleep(Duration::from_millis(10));
+    }
+    // Kill the client mid-solve.
+    drop(victim);
+    // The worker must come back promptly: budget cancellation polls run
+    // between solver propagations and between group encodings, and the
+    // reader's EOF handler fires within one read. 15 s absorbs CI noise
+    // but stays far below the uncancelled solve time (a minute or more
+    // in a debug build).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let stats = poll_stats(deadline);
+        let busy = stats.result.get("in_flight").and_then(Json::as_u64).unwrap();
+        if busy == 0 {
+            let depth = stats.result.get("queue_depth").and_then(Json::as_u64).unwrap();
+            assert_eq!(depth, 0, "queue slot must be released");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect did not cancel the in-flight solve"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+    handle.stop();
+    handle.wait();
+}
+
 /// Verdicts from the daemon must be identical whether served cold,
 /// warm, or from cache — spot-checked here over the socket; the
 /// exhaustive randomized version lives in `daemon_cache_props.rs`.

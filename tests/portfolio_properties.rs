@@ -1,0 +1,176 @@
+//! Differential properties of the parallel portfolio engine: on
+//! randomized CNFs and randomized goal tables, portfolio verdicts are
+//! identical to sequential ones — under assumptions too — SAT models
+//! satisfy the formula, and UNSAT claims re-verify sequentially.
+
+use muppet::ReconcileMode;
+use muppet_bench::scenario::{generate, ScenarioParams};
+use muppet_portfolio::{solve_portfolio, PortfolioConfig};
+use muppet_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random CNF instance: clause lists over `n` variables encoded as
+/// signed nonzero integers (DIMACS convention).
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
+    let lit = (1..=max_vars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = prop::collection::vec(lit, 1..=3);
+    prop::collection::vec(clause, 0..=max_clauses)
+}
+
+fn load(num_vars: usize, clauses: &[Vec<i32>]) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars = s.new_vars(num_vars);
+    for c in clauses {
+        s.add_clause(c.iter().map(|&l| {
+            let v = vars[l.unsigned_abs() as usize - 1];
+            Lit::new(v, l > 0)
+        }));
+    }
+    (s, vars)
+}
+
+fn pool_cfg(threads: usize) -> PortfolioConfig {
+    PortfolioConfig {
+        threads,
+        pool_bytes: 256 * 1024,
+        ..PortfolioConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Portfolio and sequential verdicts agree on random CNFs; SAT
+    /// models satisfy every clause; UNSAT re-verifies on a fresh
+    /// sequential solver over the same clauses.
+    #[test]
+    fn portfolio_matches_sequential(clauses in cnf_strategy(12, 48)) {
+        let num_vars = 12;
+        let (seq_solver, vars) = load(num_vars, &clauses);
+        let mut seq = seq_solver.clone();
+        let mut par = seq_solver.clone();
+        let sequential_sat = seq.solve().is_sat();
+        let (result, summary) = solve_portfolio(&mut par, &[], &pool_cfg(4));
+        // workers == 0 marks the trivial path: the clause set was
+        // already inconsistent at level 0, no race was needed.
+        prop_assert!(summary.workers == 4 || summary.workers == 0);
+        match result {
+            SolveResult::Sat(model) => {
+                prop_assert!(sequential_sat, "portfolio SAT, sequential UNSAT");
+                for c in &clauses {
+                    let ok = c.iter().any(|&l| {
+                        let val = model.value(vars[l.unsigned_abs() as usize - 1]);
+                        (l > 0) == val
+                    });
+                    prop_assert!(ok, "portfolio model violates clause {:?}", c);
+                }
+            }
+            SolveResult::Unsat(_) => {
+                prop_assert!(!sequential_sat, "portfolio UNSAT, sequential SAT");
+                // Re-verify the UNSAT claim from scratch, sequentially.
+                let (mut fresh, _) = load(num_vars, &clauses);
+                prop_assert!(fresh.solve().is_unsat());
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// The same property under assumptions, plus core soundness: the
+    /// portfolio's failed-assumption core must keep the instance UNSAT
+    /// when re-solved sequentially under just those assumptions.
+    #[test]
+    fn portfolio_matches_sequential_under_assumptions(
+        clauses in cnf_strategy(10, 32),
+        assumption_bits in prop::collection::vec(any::<Option<bool>>(), 10),
+    ) {
+        let num_vars = 10;
+        let (base, vars) = load(num_vars, &clauses);
+        let assumptions: Vec<Lit> = assumption_bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.map(|sign| Lit::new(vars[i], sign)))
+            .collect();
+        let mut seq = base.clone();
+        let mut par = base.clone();
+        let seq_sat = seq.solve_with_assumptions(&assumptions).is_sat();
+        let (result, _) = solve_portfolio(&mut par, &assumptions, &pool_cfg(3));
+        match result {
+            SolveResult::Sat(model) => {
+                prop_assert!(seq_sat);
+                for a in &assumptions {
+                    prop_assert!(model.lit_value(*a), "assumption {:?} not honored", a);
+                }
+            }
+            SolveResult::Unsat(core) => {
+                prop_assert!(!seq_sat);
+                prop_assert!(core.iter().all(|l| assumptions.contains(l)));
+                let mut fresh = base.clone();
+                prop_assert!(fresh.solve_with_assumptions(&core).is_unsat());
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// Deterministic mode: two runs over the same instance return the
+    /// same verdict, winner and aggregate statistics.
+    #[test]
+    fn deterministic_mode_is_reproducible(clauses in cnf_strategy(10, 36)) {
+        let (base, _) = load(10, &clauses);
+        let cfg = PortfolioConfig {
+            deterministic: true,
+            slice_conflicts: 64,
+            ..pool_cfg(3)
+        };
+        let (r1, s1) = solve_portfolio(&mut base.clone(), &[], &cfg);
+        let (r2, s2) = solve_portfolio(&mut base.clone(), &[], &cfg);
+        prop_assert_eq!(r1.is_sat(), r2.is_sat());
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+proptest! {
+    // Whole-pipeline differential runs are expensive (grounding +
+    // encoding per case); fewer cases, same property strength per case.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized goal tables through the full Session pipeline: a
+    /// 4-thread portfolio session returns exactly the sequential
+    /// verdicts for reconciliation and per-party consistency.
+    #[test]
+    fn session_verdicts_identical_across_thread_counts(
+        services in 3usize..7,
+        goals in 2usize..7,
+        bans in 1usize..4,
+        conflict in any::<bool>(),
+        flexible in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let sc = generate(ScenarioParams {
+            services,
+            istio_goals: goals,
+            k8s_goals: bans,
+            conflict_fraction: if conflict { 1.0 } else { 0.0 },
+            flexible_fraction: if flexible { 0.5 } else { 0.0 },
+            seed,
+            ..ScenarioParams::default()
+        });
+        let mut sequential = sc.session(false);
+        sequential.set_threads(1);
+        let mut portfolio = sc.session(false);
+        portfolio.set_threads(4);
+        let seq_rec = sequential.reconcile(ReconcileMode::HardBounds).unwrap();
+        let par_rec = portfolio.reconcile(ReconcileMode::HardBounds).unwrap();
+        prop_assert_eq!(seq_rec.success, par_rec.success, "reconcile verdicts diverged");
+        if !seq_rec.success {
+            // Blame sets are minimal cores over the same groups; the
+            // shrink runs on the master solver either way and must
+            // land on the same names.
+            prop_assert_eq!(seq_rec.core, par_rec.core, "blame diverged");
+        }
+        for party in [sc.mv.k8s_party, sc.mv.istio_party] {
+            let s = sequential.local_consistency(party).unwrap();
+            let p = portfolio.local_consistency(party).unwrap();
+            prop_assert_eq!(s.ok, p.ok, "consistency verdicts diverged");
+        }
+    }
+}
