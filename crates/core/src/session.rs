@@ -214,7 +214,10 @@ impl<'a> Session<'a> {
                 budget.set_conflict_cap(Some(cap));
             }
             q.set_budget(budget);
+            let mut attempt_span = muppet_obs::span("attempt");
+            attempt_span.record("attempt", u64::from(attempt));
             let out = run(q)?;
+            drop(attempt_span);
             if unknown(&out) && attempt < attempts && self.budget.poll().is_none() {
                 attempt += 1;
                 continue;
@@ -394,6 +397,8 @@ impl<'a> Session<'a> {
     /// some configuration for everyone else) so that φ_A holds?
     pub fn local_consistency(&self, id: PartyId) -> Result<ConsistencyReport, MuppetError> {
         let party = self.party(id)?;
+        let mut op_span = muppet_obs::span("consistency");
+        op_span.attr("party", party.name.clone());
         let mut q = Query::new(&self.vocab, self.universe);
         q.free_rels(self.all_party_rels())
             .set_fixed(self.structure.clone())
@@ -409,6 +414,8 @@ impl<'a> Session<'a> {
             q.add_group(g);
         }
         let (outcome, attempts) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        op_span.record("attempts", u64::from(attempts));
+        drop(op_span);
         Ok(self.consistency_report(id, outcome, attempts))
     }
 
@@ -428,11 +435,16 @@ impl<'a> Session<'a> {
             return self.local_consistency(id);
         }
         let party = self.party(id)?;
+        let mut op_span = muppet_obs::span("consistency");
+        op_span.attr("party", party.name.clone());
+        op_span.attr("warm", "true");
         let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
         let mut groups = vec![self.axiom_group()];
         groups.extend(commit_groups);
         groups.extend(self.goal_groups(party));
         let (outcome, attempts) = self.run_warm(store, &bounds, &groups)?;
+        op_span.record("attempts", u64::from(attempts));
+        drop(op_span);
         Ok(self.consistency_report(id, outcome, attempts))
     }
 
@@ -474,6 +486,8 @@ impl<'a> Session<'a> {
     /// **Alg. 2 — reconciliation.** Can all offers be extended to total
     /// configurations that jointly satisfy everyone's goals?
     pub fn reconcile(&self, mode: ReconcileMode) -> Result<Reconciliation, MuppetError> {
+        let mut op_span = muppet_obs::span("reconcile");
+        op_span.attr("mode", format!("{mode:?}"));
         let mut q = Query::new(&self.vocab, self.universe);
         q.free_rels(self.all_party_rels())
             .set_fixed(self.structure.clone())
@@ -492,6 +506,8 @@ impl<'a> Session<'a> {
             }
         }
         let (outcome, attempts) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        op_span.record("attempts", u64::from(attempts));
+        drop(op_span);
         Ok(self.reconciliation_report(outcome, attempts))
     }
 
@@ -506,6 +522,9 @@ impl<'a> Session<'a> {
         if self.symmetry_breaking {
             return self.reconcile(mode);
         }
+        let mut op_span = muppet_obs::span("reconcile");
+        op_span.attr("mode", format!("{mode:?}"));
+        op_span.attr("warm", "true");
         let refs: Vec<&Party> = self.parties.iter().collect();
         let (bounds, commit_groups) = self.merge_offers(&refs, mode);
         let mut groups = vec![self.axiom_group()];
@@ -514,6 +533,8 @@ impl<'a> Session<'a> {
             groups.extend(self.goal_groups(p));
         }
         let (outcome, attempts) = self.run_warm(store, &bounds, &groups)?;
+        op_span.record("attempts", u64::from(attempts));
+        drop(op_span);
         Ok(self.reconciliation_report(outcome, attempts))
     }
 
@@ -623,6 +644,9 @@ impl<'a> Session<'a> {
                 };
                 budget.set_conflict_cap(Some(cap));
             }
+            let mut attempt_span = muppet_obs::span("attempt");
+            attempt_span.record("attempt", u64::from(attempt));
+            attempt_span.attr("warm", "true");
             let mut active = Vec::with_capacity(groups.len());
             let mut aborted = None;
             for g in groups {
@@ -689,6 +713,8 @@ impl<'a> Session<'a> {
         simplify_predicates: bool,
     ) -> Result<Envelope, MuppetError> {
         self.party(to)?;
+        let mut op_span = muppet_obs::span("envelope");
+        op_span.record("senders", senders.len() as u64);
         let eval_domains: std::collections::BTreeSet<Domain> =
             senders.iter().map(|(id, _)| Domain::Party(*id)).collect();
         let mut fixed_all = self.structure.clone();
@@ -763,6 +789,8 @@ impl<'a> Session<'a> {
         self_satisfied.retain(|g| {
             !predicates.iter().any(|p| &p.source_goal == g) && !impossible.contains(g)
         });
+        op_span.record("predicates", predicates.len() as u64);
+        drop(op_span);
         Ok(Envelope {
             from: senders.iter().map(|(id, _)| *id).collect(),
             to,
@@ -783,6 +811,8 @@ impl<'a> Session<'a> {
         envelope: &Envelope,
     ) -> Result<Outcome, MuppetError> {
         let party = self.party(to)?;
+        let mut op_span = muppet_obs::span("synthesize");
+        op_span.attr("party", party.name.clone());
         let mut q = Query::new(&self.vocab, self.universe);
         q.free_rels(self.all_party_rels())
             .set_fixed(self.structure.clone())
@@ -800,7 +830,9 @@ impl<'a> Session<'a> {
         for g in self.goal_groups(party) {
             q.add_group(g);
         }
-        let (outcome, _) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        let (outcome, attempts) = self.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+        op_span.record("attempts", u64::from(attempts));
+        drop(op_span);
         Ok(outcome)
     }
 
@@ -815,6 +847,7 @@ impl<'a> Session<'a> {
         target: &Instance,
     ) -> Result<(Outcome, usize), MuppetError> {
         self.party(to)?;
+        let mut op_span = muppet_obs::span("minimal_edit");
         let mut q = Query::new(&self.vocab, self.universe);
         q.free_rels(self.owned_rels(to))
             .set_fixed(self.structure.clone())
@@ -822,11 +855,14 @@ impl<'a> Session<'a> {
         for g in envelope.to_groups(&self.party_names()) {
             q.add_group(g);
         }
-        let (result, _) = self.run_budgeted(
+        let (result, attempts) = self.run_budgeted(
             &mut q,
             |q| q.solve_target(target),
             |(outcome, _)| outcome.is_unknown(),
         )?;
+        op_span.record("attempts", u64::from(attempts));
+        op_span.record("distance", result.1 as u64);
+        drop(op_span);
         Ok(result)
     }
 

@@ -36,6 +36,8 @@ use muppet::{
 use muppet::default_threads;
 use muppet_logic::{Instance, PartyId, Universe, Vocabulary};
 
+use muppet_obs::{registry, Counter, Histogram};
+
 use crate::cache::ResultCache;
 use crate::json::Json;
 use crate::proto::{Op, Request, Response};
@@ -97,6 +99,11 @@ pub struct Engine {
     pf_exported: AtomicU64,
     pf_imported: AtomicU64,
     pf_restarts: AtomicU64,
+    /// Global-registry handles, fetched once so the per-request path
+    /// ticks atomics without touching the registry's maps.
+    obs_requests: Counter,
+    obs_errors: Counter,
+    obs_latency: HashMap<&'static str, Arc<Histogram>>,
 }
 
 /// RAII guard for the in-flight gauge.
@@ -119,8 +126,24 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Engine {
-    /// A fresh engine.
+    /// Every operation the engine answers (for pre-created latency
+    /// histograms).
+    const ALL_OPS: [Op; 9] = [
+        Op::OpenSession,
+        Op::CheckConsistency,
+        Op::Reconcile,
+        Op::ExtractEnvelope,
+        Op::CheckConformance,
+        Op::NegotiateRound,
+        Op::Stats,
+        Op::Trace,
+        Op::Shutdown,
+    ];
+
+    /// A fresh engine. Turns span collection on process-wide so the
+    /// `trace` op always has recent trees to serve.
     pub fn new(config: EngineConfig) -> Engine {
+        muppet_obs::set_enabled(true);
         Engine {
             config,
             sessions: Mutex::new(Registry {
@@ -137,6 +160,15 @@ impl Engine {
             pf_exported: AtomicU64::new(0),
             pf_imported: AtomicU64::new(0),
             pf_restarts: AtomicU64::new(0),
+            obs_requests: registry().counter("daemon.requests"),
+            obs_errors: registry().counter("daemon.errors"),
+            obs_latency: Engine::ALL_OPS
+                .iter()
+                .map(|op| {
+                    let name = op.name();
+                    (name, registry().histogram(&format!("daemon.op.{name}.latency_us")))
+                })
+                .collect(),
         }
     }
 
@@ -156,17 +188,26 @@ impl Engine {
     pub fn handle(&self, req: &Request, cancel: Option<&CancelToken>) -> Response {
         let start = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs_requests.inc();
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         let _guard = InFlight(&self.in_flight);
-        let mut resp = match self.dispatch(req, cancel) {
+        let mut span = muppet_obs::span("request");
+        span.attr("op", req.op.name());
+        let mut resp = match self.dispatch(req, cancel, &mut span) {
             Ok(resp) => resp,
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                self.obs_errors.inc();
                 Response::failure(req.id.clone(), e)
             }
         };
         resp.id = req.id.clone();
         resp.elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        span.attr("ok", if resp.ok { "true" } else { "false" });
+        drop(span);
+        if let Some(h) = self.obs_latency.get(req.op.name()) {
+            h.observe_us(resp.elapsed_us);
+        }
         let mut lat = relock(&self.latencies);
         let slot = lat.entry(req.op.name()).or_default();
         slot.count += 1;
@@ -174,9 +215,15 @@ impl Engine {
         resp
     }
 
-    fn dispatch(&self, req: &Request, cancel: Option<&CancelToken>) -> Result<Response, String> {
+    fn dispatch(
+        &self,
+        req: &Request,
+        cancel: Option<&CancelToken>,
+        span: &mut muppet_obs::SpanGuard,
+    ) -> Result<Response, String> {
         match req.op {
             Op::Stats => return Ok(Response::success(None, self.stats_json())),
+            Op::Trace => return Ok(Response::success(None, trace_json(req.n))),
             // The server intercepts shutdown to stop its threads; the
             // engine just acknowledges so in-process drivers get a
             // well-formed response too.
@@ -186,6 +233,7 @@ impl Engine {
             _ => {}
         }
         let (handle, hex_fp) = self.resolve_session(req)?;
+        span.attr("session", hex_fp.clone());
         if req.op == Op::OpenSession {
             let ws = relock(&handle);
             let mut resp = Response::success(
@@ -205,17 +253,22 @@ impl Engine {
             return Ok(resp);
         }
 
-        // Layer 2: the content-addressed result cache.
+        // Layer 2: the content-addressed result cache. The span carries
+        // the same fingerprint the cache keys on, so traces join
+        // against cache entries.
         let key = {
             let ws = relock(&handle);
             self.result_key(req, &ws)?
         };
+        span.attr("result_key", fingerprint_hex(key));
         if let Some((result, _)) = relock(&self.cache).get(key) {
+            span.attr("cached", "true");
             let mut resp = Response::success(None, result);
             resp.cached = true;
             resp.session = Some(hex_fp);
             return Ok(resp);
         }
+        span.attr("cached", "false");
 
         // Miss: run the operation against the warm session. The session
         // mutex serializes work *per session*; distinct sessions solve
@@ -313,7 +366,9 @@ impl Engine {
                 fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
                 fp.add_u64(req.max_rounds.unwrap_or(4));
             }
-            Op::OpenSession | Op::Stats | Op::Shutdown => unreachable!("handled earlier"),
+            Op::OpenSession | Op::Stats | Op::Trace | Op::Shutdown => {
+                unreachable!("handled earlier")
+            }
         }
         Ok(fp.digest())
     }
@@ -425,7 +480,9 @@ impl Engine {
                     true,
                 ))
             }
-            Op::OpenSession | Op::Stats | Op::Shutdown => unreachable!("handled earlier"),
+            Op::OpenSession | Op::Stats | Op::Trace | Op::Shutdown => {
+                unreachable!("handled earlier")
+            }
         }
     }
 
@@ -510,6 +567,7 @@ impl Engine {
                 "warm_groups",
                 Json::obj([("encoded", Json::num(builds)), ("reused", Json::num(reuses))]),
             ),
+            ("obs", obs_json()),
             (
                 "portfolio",
                 Json::obj([
@@ -529,6 +587,62 @@ impl Engine {
     pub fn handle_op(&self, op: Op, spec: &SessionSpec) -> Response {
         self.handle(&Request::new(op).with_spec(spec.clone()), None)
     }
+}
+
+/// The aggregated global metrics registry, for `stats`.
+fn obs_json() -> Json {
+    let snap = registry().snapshot();
+    let counters = Json::Obj(
+        snap.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::num(*v)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        snap.gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::num(*v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snap.histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::obj([
+                        ("count", Json::num(h.count)),
+                        ("sum_us", Json::num(h.sum_us)),
+                        ("mean_us", Json::num(h.mean_us())),
+                        ("p50_us", Json::num(h.quantile_us(0.5))),
+                        ("p99_us", Json::num(h.quantile_us(0.99))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+/// The `trace` result object: the last `n` completed span trees
+/// (default 8), newest first, re-parsed into wire JSON.
+fn trace_json(n: Option<u64>) -> Json {
+    let want = n.unwrap_or(8).min(muppet_obs::ring_capacity() as u64) as usize;
+    let traces = muppet_obs::recent_traces(want)
+        .iter()
+        // SpanNode serializes itself; round-trip through the hardened
+        // parser so the wire sees uniform Json values.
+        .filter_map(|t| crate::json::parse(&t.to_json()).ok())
+        .collect();
+    Json::obj([
+        ("enabled", Json::Bool(muppet_obs::tracing_enabled())),
+        ("capacity", Json::num(muppet_obs::ring_capacity() as u64)),
+        ("traces", Json::Arr(traces)),
+    ])
 }
 
 /// The canonical wire name of a party.

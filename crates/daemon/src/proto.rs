@@ -33,6 +33,8 @@ pub enum Op {
     NegotiateRound,
     /// Daemon counters: cache hit rate, queue depth, latencies.
     Stats,
+    /// The last N completed span trees (observability), as JSON.
+    Trace,
     /// Stop accepting work and shut the daemon down.
     Shutdown,
 }
@@ -48,6 +50,7 @@ impl Op {
             "check_conformance" => Op::CheckConformance,
             "negotiate_round" => Op::NegotiateRound,
             "stats" => Op::Stats,
+            "trace" => Op::Trace,
             "shutdown" => Op::Shutdown,
             _ => return None,
         })
@@ -63,6 +66,7 @@ impl Op {
             Op::CheckConformance => "check_conformance",
             Op::NegotiateRound => "negotiate_round",
             Op::Stats => "stats",
+            Op::Trace => "trace",
             Op::Shutdown => "shutdown",
         }
     }
@@ -98,6 +102,8 @@ pub struct Request {
     /// Portfolio workers for this request's search phase (overrides the
     /// daemon's configured default; 1 = sequential).
     pub threads: Option<u64>,
+    /// `trace`: how many recent span trees to return (default 8).
+    pub n: Option<u64>,
 }
 
 impl Request {
@@ -117,6 +123,7 @@ impl Request {
             conflict_budget: None,
             retries: None,
             threads: None,
+            n: None,
         }
     }
 
@@ -176,6 +183,7 @@ impl Request {
             conflict_budget: num_field("conflict_budget")?,
             retries: num_field("retries")?.map(|n| n.min(u64::from(u32::MAX)) as u32),
             threads: num_field("threads")?,
+            n: num_field("n")?,
         })
     }
 
@@ -204,6 +212,7 @@ impl Request {
             ("timeout_ms", self.timeout_ms),
             ("conflict_budget", self.conflict_budget),
             ("threads", self.threads),
+            ("n", self.n),
         ] {
             if let Some(n) = val {
                 pairs.push((key.to_string(), Json::num(n)));
@@ -370,6 +379,7 @@ mod tests {
             Op::CheckConformance,
             Op::NegotiateRound,
             Op::Stats,
+            Op::Trace,
             Op::Shutdown,
         ] {
             assert_eq!(Op::parse(op.name()), Some(op));

@@ -1,0 +1,292 @@
+//! The in-process metrics registry: named atomic counters, gauges and
+//! fixed-bucket latency histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones over atomics; callers on hot paths fetch them once at
+//! construction time and tick lock-free afterwards. The registry map
+//! itself is only locked on get-or-create and on [`snapshot`] — never
+//! per increment.
+//!
+//! [`snapshot`]: MetricsRegistry::snapshot
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: powers of two from 1 µs to 2³⁰ µs
+/// (~18 min), plus one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram over microseconds. Bucket `i`
+/// counts observations with `value_us <= 2^i`; the last bucket absorbs
+/// everything larger.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation, in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = if us <= 1 {
+            0
+        } else {
+            // Smallest i with 2^i >= us; capped to the overflow bucket.
+            (64 - (us - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record one observation given as a [`std::time::Duration`].
+    pub fn observe(&self, d: std::time::Duration) {
+        self.observe_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (1u64 << i.min(63), b.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time histogram copy: `(upper_bound_us, count)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, µs.
+    pub sum_us: u64,
+    /// `(inclusive upper bound in µs, observations in bucket)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimated quantile (0.0..=1.0), as the upper bound of the
+    /// bucket containing it. Conservative: never underestimates.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map_or(0, |&(b, _)| b)
+    }
+}
+
+/// The registry: get-or-create named metrics, snapshot them all.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests; production code uses [`registry`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.counters);
+        Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.gauges);
+        Gauge(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Snapshot every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Lock a metric map, ignoring poisoning (metric maps hold plain data;
+/// a panicking snapshotter leaves them consistent).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_tick() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name, same underlying atomic.
+        assert_eq!(r.counter("a.b").get(), 5);
+        let g = r.gauge("depth");
+        g.set(7);
+        g.set(3);
+        assert_eq!(r.gauge("depth").get(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.b"), Some(5));
+        assert_eq!(snap.gauges, vec![("depth".to_string(), 3)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        h.observe_us(0);
+        h.observe_us(1);
+        h.observe_us(2);
+        h.observe_us(3);
+        h.observe_us(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_us, 1_000_006);
+        let get = |bound: u64| s.buckets.iter().find(|&&(b, _)| b == bound).unwrap().1;
+        assert_eq!(get(1), 2, "0 and 1 land in the first bucket");
+        assert_eq!(get(2), 1);
+        assert_eq!(get(4), 1);
+        assert_eq!(get(1 << 20), 1, "1s lands in the 2^20 µs bucket");
+        assert!(s.quantile_us(0.5) <= 4);
+        assert_eq!(s.quantile_us(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_absorbs_huge_values() {
+        let h = Histogram::new();
+        h.observe_us(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.buckets.last().unwrap().1, 1);
+        assert!(s.quantile_us(0.99) >= 1 << 31);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        registry().counter("test.obs.global").add(2);
+        assert!(registry().snapshot().counter("test.obs.global").unwrap_or(0) >= 2);
+    }
+}

@@ -239,6 +239,33 @@ pub fn solve_portfolio(
         restarts: workers.iter().map(|w| w.stats.restarts).sum(),
         conflicts: workers.iter().map(|w| w.stats.conflicts).sum(),
     };
+    // Per-worker telemetry: one child event per worker on the open
+    // span (the solver's `search` span, when tracing is on). Gathered
+    // after the join, so worker threads never touch the collector.
+    let mut span = muppet_obs::span("portfolio");
+    if span.is_recording() {
+        span.record("workers", u64::from(summary.workers));
+        span.record("exported", summary.exported);
+        span.record("imported", summary.imported);
+        if let Some(w) = summary.winner {
+            span.record("winner", u64::from(w));
+        }
+        for (i, w) in workers.iter().enumerate() {
+            span.child_event(
+                "worker",
+                &[
+                    ("id", i as u64),
+                    ("conflicts", w.stats.conflicts),
+                    ("propagations", w.stats.propagations),
+                    ("restarts", w.stats.restarts),
+                    ("exported", w.stats.exported_clauses),
+                    ("imported", w.stats.imported_clauses),
+                    ("won", u64::from(winner == Some(i))),
+                ],
+            );
+        }
+    }
+    drop(span);
     (result, summary)
 }
 

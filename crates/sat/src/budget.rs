@@ -89,9 +89,12 @@ impl Budget {
         Budget::default()
     }
 
-    /// Cap wall-clock time, starting now.
+    /// Cap wall-clock time, starting now. A timeout too large to
+    /// represent as an `Instant` (e.g. `--timeout-ms u64::MAX` from
+    /// the CLI) saturates to "no deadline" instead of panicking on
+    /// `Instant` overflow.
     pub fn with_timeout(mut self, timeout: Duration) -> Budget {
-        self.deadline = Some(Instant::now() + timeout);
+        self.deadline = Instant::now().checked_add(timeout);
         self
     }
 
@@ -274,6 +277,22 @@ mod tests {
         let b = Budget::unlimited().with_timeout(Duration::from_secs(3600));
         assert_eq!(b.poll(), None);
         assert!(b.remaining_time().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn absurd_timeout_saturates_to_no_deadline() {
+        // `Instant::now() + Duration::MAX` would panic; the budget must
+        // degrade to "unlimited time" instead.
+        let b = Budget::unlimited().with_timeout(Duration::MAX);
+        assert_eq!(b.poll(), None);
+        assert!(b.remaining_time().is_none(), "saturated = no deadline");
+        // u64::MAX milliseconds may or may not overflow the platform's
+        // Instant; either way the budget must not panic or trip early.
+        let b = Budget::unlimited().with_timeout(Duration::from_millis(u64::MAX));
+        assert_eq!(b.poll(), None);
+        // Sane timeouts still install a deadline.
+        let b = Budget::unlimited().with_timeout(Duration::from_secs(60));
+        assert!(b.remaining_time().is_some());
     }
 
     #[test]

@@ -84,6 +84,12 @@ pub fn parse_dimacs(input: &str) -> Result<DimacsProblem, DimacsError> {
             if nv > MAX_DIMACS_VARS {
                 return Err(DimacsError::TooManyVars(nv));
             }
+            // The declared clause count is not enforced, but it must at
+            // least be a number — a header like `p cnf 3 -1` is hostile
+            // input, not a sloppy generator.
+            let _: usize = parts[3]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
             num_vars = Some(nv);
             continue;
         }
@@ -112,7 +118,10 @@ pub fn parse_dimacs(input: &str) -> Result<DimacsProblem, DimacsError> {
     }
     let declared = num_vars.ok_or_else(|| DimacsError::BadHeader("<missing>".to_string()))?;
     if max_var > declared {
-        return Err(DimacsError::VarOutOfRange(max_var as i64));
+        // `max_var` is bounded by MAX_DIMACS_VARS, so this conversion
+        // cannot truncate; `try_from` keeps that fact checked.
+        let v = i64::try_from(max_var).unwrap_or(i64::MAX);
+        return Err(DimacsError::VarOutOfRange(v));
     }
     Ok(DimacsProblem {
         num_vars: declared,
@@ -209,6 +218,42 @@ mod tests {
         // The boundary itself is accepted.
         let at_cap = format!("p cnf {MAX_DIMACS_VARS} 1\n1 0\n");
         assert!(parse_dimacs(&at_cap).is_ok());
+    }
+
+    #[test]
+    fn adversarial_headers_near_i32_max_are_rejected() {
+        // Declared var counts that would truncate a 32-bit index must
+        // error at the header, never reach allocation.
+        for nv in ["2147483647", "2147483648", "4294967295", "4294967296"] {
+            assert!(
+                matches!(
+                    parse_dimacs(&format!("p cnf {nv} 1\n1 0\n")),
+                    Err(DimacsError::TooManyVars(_))
+                ),
+                "header var count {nv} must be rejected"
+            );
+        }
+        // Literals at and around i32::MAX exceed the declared range and
+        // the hard cap; both directions must error, not wrap.
+        for lit in ["2147483647", "-2147483648", "9223372036854775807", "-9223372036854775808"] {
+            assert!(
+                matches!(
+                    parse_dimacs(&format!("p cnf 2 1\n{lit} 0\n")),
+                    Err(DimacsError::VarOutOfRange(_))
+                ),
+                "literal {lit} must be rejected"
+            );
+        }
+        // A non-numeric or negative clause count is a bad header, even
+        // though the value itself is unused.
+        assert!(matches!(
+            parse_dimacs("p cnf 3 zebra\n1 0\n"),
+            Err(DimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 3 -1\n1 0\n"),
+            Err(DimacsError::BadHeader(_))
+        ));
     }
 
     #[test]

@@ -158,6 +158,8 @@ impl PreparedQuery {
         if budget.poll().is_some() {
             return Err(PrepareError::Exhausted(Phase::Ground));
         }
+        let mut ground_span = muppet_obs::span("ground");
+        ground_span.record("groups", 1);
         let mut parts = group
             .formulas
             .iter()
@@ -169,6 +171,7 @@ impl PreparedQuery {
         } else {
             GExpr::And(parts)
         };
+        drop(ground_span);
         #[cfg(any(test, feature = "fault-inject"))]
         if crate::fault::should_trip(Phase::Encode) {
             return Err(PrepareError::Exhausted(Phase::Encode));
@@ -176,9 +179,12 @@ impl PreparedQuery {
         if budget.poll().is_some() {
             return Err(PrepareError::Exhausted(Phase::Encode));
         }
+        let mut encode_span = muppet_obs::span("encode");
+        encode_span.record("groups", 1);
         let lit = encode(&expr, &mut self.solver);
         let sel = Lit::pos(self.solver.new_var());
         self.solver.add_clause([!sel, lit]);
+        drop(encode_span);
         let i = self.selectors.len();
         self.selectors.push((group.name.clone(), sel));
         self.index.insert(key, i);

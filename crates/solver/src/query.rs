@@ -350,6 +350,7 @@ impl<'a> Query<'a> {
             &mut solver,
         );
         // Grounding: per-group, interruptible between groups.
+        let mut ground_span = muppet_obs::span("ground");
         let mut ground_exprs = Vec::with_capacity(self.groups.len());
         for g in &self.groups {
             #[cfg(any(test, feature = "fault-inject"))]
@@ -372,7 +373,11 @@ impl<'a> Query<'a> {
             };
             ground_exprs.push(expr);
         }
+        ground_span.record("groups", self.groups.len() as u64);
+        ground_span.record("free_tuple_vars", varmap.num_free_vars() as u64);
+        drop(ground_span);
         // Tseitin encoding: per-group, interruptible between groups.
+        let mut encode_span = muppet_obs::span("encode");
         let mut selectors = Vec::with_capacity(self.groups.len());
         for (g, expr) in self.groups.iter().zip(&ground_exprs) {
             #[cfg(any(test, feature = "fault-inject"))]
@@ -387,6 +392,8 @@ impl<'a> Query<'a> {
             solver.add_clause([!sel, lit]);
             selectors.push((g.name.clone(), sel));
         }
+        encode_span.record("groups", self.groups.len() as u64);
+        drop(encode_span);
         // The search phase enforces the rest of the budget inside the
         // CDCL loop.
         solver.set_budget(self.budget.clone());
@@ -528,13 +535,17 @@ impl<'a> Query<'a> {
                 .map(|(n, _)| n.clone())
                 .collect()
         };
+        let mut search_span = muppet_obs::span("search");
+        search_span.attr("mode", "target");
         let (best_solution, best_dist) = match solver.solve_with_assumptions(&assumptions) {
             SolveResult::Sat(model) => {
                 let dist = diff_inputs.iter().filter(|&&l| model.lit_value(l)).count();
                 (self.fixed.union(&varmap.decode(&model)), dist)
             }
             SolveResult::Unsat(first_core) => {
+                drop(search_span);
                 // Infeasible at any distance: produce a core.
+                let _minimize_span = muppet_obs::span("minimize");
                 let core = match mus::shrink_core(&mut solver, &assumptions) {
                     mus::ShrinkResult::Minimal(core) => names_of(&core, &selectors),
                     mus::ShrinkResult::Sat => names_of(&first_core, &selectors),
@@ -701,6 +712,7 @@ pub(crate) fn run_sat_solve(
         };
     }
     let mut summary: Option<PortfolioSummary> = None;
+    let mut search_span = muppet_obs::span("search");
     let search_result = match portfolio {
         Some(cfg) if cfg.is_parallel() => {
             let (result, s) = solve_portfolio(solver, assumptions, cfg);
@@ -709,6 +721,22 @@ pub(crate) fn run_sat_solve(
         }
         _ => solver.solve_with_assumptions(assumptions),
     };
+    if search_span.is_recording() {
+        let d = delta_stats(solver, summary);
+        search_span.record("conflicts", d.conflicts);
+        search_span.record("decisions", d.decisions);
+        search_span.record("propagations", d.propagations);
+        search_span.record("restarts", d.restarts);
+        search_span.attr(
+            "result",
+            match &search_result {
+                SolveResult::Sat(_) => "sat",
+                SolveResult::Unsat(_) => "unsat",
+                SolveResult::Unknown => "unknown",
+            },
+        );
+    }
+    drop(search_span);
     match search_result {
         SolveResult::Sat(model) => {
             let solution = fixed.union(&varmap.decode(&model));
@@ -724,7 +752,13 @@ pub(crate) fn run_sat_solve(
                     .collect()
             };
             let core_lits = if minimize_cores {
-                match mus::shrink_core(solver, assumptions) {
+                let mut minimize_span = muppet_obs::span("minimize");
+                let pre_conflicts = solver.stats.conflicts;
+                let shrunk = mus::shrink_core(solver, assumptions);
+                minimize_span
+                    .record("conflicts", solver.stats.conflicts.saturating_sub(pre_conflicts));
+                drop(minimize_span);
+                match shrunk {
                     mus::ShrinkResult::Minimal(core) => core,
                     // The assumptions were just proved UNSAT, so a Sat
                     // answer here cannot happen; fall back to the first

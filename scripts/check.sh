@@ -31,6 +31,19 @@ run cargo test -q --offline --test portfolio_properties
 run cargo run --release --offline -q --bin muppet-harness -- --threads 4 d1 e1 e4
 run cargo run --release --offline -q --bin muppet-harness -- p1
 test -s BENCH_portfolio.json || { echo "BENCH_portfolio.json missing"; exit 1; }
+# Observability lane: traced paper scenarios with per-phase breakdowns,
+# span-schema validation of the trace ring, and the <= 2% disabled-
+# tracing overhead gate — all asserted inside O1, which also emits
+# BENCH_obs.json. The --trace-json sink must stream well-formed
+# span events (one JSON object per closed span).
+run cargo run --release --offline -q --bin muppet-harness -- --trace-json BENCH_trace.jsonl o1
+test -s BENCH_obs.json || { echo "BENCH_obs.json missing"; exit 1; }
+lines=$(wc -l < BENCH_trace.jsonl)
+valid=$(grep -c '"name":.*"path":.*"depth":.*"start_us":.*"elapsed_us":.*"counters":.*"attrs":' BENCH_trace.jsonl || true)
+if [ "$lines" -lt 1 ] || [ "$lines" -ne "$valid" ]; then
+    echo "BENCH_trace.jsonl: only $valid of $lines lines match the span-event schema"
+    exit 1
+fi
 # fault-inject is a non-default feature; make sure it keeps compiling.
 run cargo build -q --offline -p muppet-solver --features fault-inject
 if cargo clippy --version >/dev/null 2>&1; then

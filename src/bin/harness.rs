@@ -14,6 +14,12 @@
 //! governed experiment's budget runs out it emits a structured
 //! "budget exhausted" row (phase + work counters) instead of results.
 //!
+//! Observability (DESIGN.md §12): `--trace-json <path>` streams one
+//! JSON-Lines event per closed span to a file, and the `O1` lane runs
+//! the paper scenarios traced, validates span trees against the
+//! schema, gates the disabled-tracing overhead at ≤ 2%, and emits
+//! `BENCH_obs.json` with per-phase breakdowns.
+//!
 //! Experiment ids follow `DESIGN.md` §4 and `EXPERIMENTS.md`:
 //! E1 conflict detection, E2 relaxation synthesis, E3 envelope shape,
 //! E4 latency sweep (the Sec. 5 "< 1 s" claim), E5 baseline comparison,
@@ -92,29 +98,36 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     let mut g = Gov::default();
+    let mut trace_json: Option<String> = None;
     let mut filter: Vec<&String> = Vec::new();
     let usage = |msg: String| -> ! {
         eprintln!("muppet-harness: {msg}");
         eprintln!(
             "usage: muppet-harness [--csv] [--timeout-ms <n>] [--conflict-budget <n>] \
-             [--retries <n>] [--threads <n>] [experiment-id-prefix...]"
+             [--retries <n>] [--threads <n>] [--trace-json <path>] [experiment-id-prefix...]"
         );
         std::process::exit(2);
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut value = |flag: &str| {
+        let mut value = |flag: &str| -> String {
             it.next()
                 .unwrap_or_else(|| usage(format!("{flag} needs a value")))
-                .parse()
+                .clone()
+        };
+        let num = |flag: &str, v: String| -> u64 {
+            v.parse()
                 .unwrap_or_else(|_| usage(format!("{flag} needs a number")))
         };
         match a.as_str() {
             "--csv" => {}
-            "--timeout-ms" => g.timeout_ms = Some(value("--timeout-ms")),
-            "--conflict-budget" => g.conflict_budget = Some(value("--conflict-budget")),
-            "--retries" => g.retries = Some(value("--retries") as u32),
-            "--threads" => g.threads = Some(value("--threads") as usize),
+            "--timeout-ms" => g.timeout_ms = Some(num("--timeout-ms", value("--timeout-ms"))),
+            "--conflict-budget" => {
+                g.conflict_budget = Some(num("--conflict-budget", value("--conflict-budget")))
+            }
+            "--retries" => g.retries = Some(num("--retries", value("--retries")) as u32),
+            "--threads" => g.threads = Some(num("--threads", value("--threads")) as usize),
+            "--trace-json" => trace_json = Some(value("--trace-json")),
             other if other.starts_with("--") => usage(format!("unknown flag {other:?}")),
             _ => filter.push(a),
         }
@@ -125,6 +138,12 @@ fn main() {
             .and_then(|v| v.trim().parse().ok());
     }
     GOV.set(g).ok();
+    if let Some(path) = &trace_json {
+        if let Err(e) = muppet_obs::set_json_sink(std::path::Path::new(path)) {
+            usage(format!("--trace-json {path}: {e}"));
+        }
+        muppet_obs::set_enabled(true);
+    }
     let want = |id: &str| {
         filter.is_empty()
             || filter
@@ -153,6 +172,7 @@ fn main() {
         ("X2", x2),
         ("D1", d1),
         ("P1", p1),
+        ("O1", o1),
     ];
     let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
     for (id, f) in experiments {
@@ -175,6 +195,8 @@ fn main() {
         print!("{}", table.render());
     }
     write_bench_e2e(&table, &runs, g);
+    // Flush the --trace-json sink before exiting either way.
+    muppet_obs::clear_json_sink();
     if runs.iter().any(|(_, _, s)| *s == "panicked") {
         std::process::exit(1);
     }
@@ -1108,5 +1130,181 @@ fn p1(t: &mut Table) {
     ]);
     if let Err(e) = std::fs::write("BENCH_portfolio.json", doc.to_line() + "\n") {
         eprintln!("muppet-harness: cannot write BENCH_portfolio.json: {e}");
+    }
+}
+
+/// O1 — the observability lane (DESIGN.md §12). Four honest checks,
+/// always written to `BENCH_obs.json`:
+///
+/// 1. *Traced scenarios*: the paper tables run end-to-end with
+///    tracing on and a [`muppet_obs::PhaseAccumulator`] registered;
+///    the profiler must see every solve phase (`ground` → `encode` →
+///    `search`) and the per-phase totals become the breakdown table.
+/// 2. *Schema validation*: every span tree in the ring round-trips
+///    through the daemon's hardened JSON parser and carries the
+///    `name`/`start_us`/`elapsed_us`/`counters`/`attrs` fields at
+///    every node.
+/// 3. *Overhead gate*: the disabled-tracing span call is
+///    micro-benched (it must cost one relaxed atomic load); the
+///    implied per-solve overhead against an untraced paper reconcile
+///    must stay ≤ 2%.
+/// 4. The per-phase breakdown lands in `BENCH_obs.json`.
+fn o1(t: &mut Table) {
+    use muppet_daemon::json::{parse, Json};
+    use muppet_obs::PhaseAccumulator;
+
+    let was_enabled = muppet_obs::tracing_enabled();
+    muppet_obs::clear_profilers();
+    let acc = PhaseAccumulator::new();
+    muppet_obs::on_span_close(acc.callback());
+    muppet_obs::set_enabled(true);
+
+    // 1. Traced scenario set: the paper tables, end to end.
+    let mv = vocab();
+    let mut strict = session(&mv, IstioTable::Fig3);
+    govern(&mut strict);
+    let rec = strict.reconcile(ReconcileMode::Blameable).unwrap();
+    assert!(!rec.success, "strict paper tables must conflict");
+    let mut relaxed = session(&mv, IstioTable::Fig4);
+    govern(&mut relaxed);
+    let rec = relaxed.reconcile(ReconcileMode::HardBounds).unwrap();
+    assert!(rec.success, "relaxed paper tables must synthesize");
+    let lc = relaxed.local_consistency(mv.istio_party).unwrap();
+    assert!(lc.ok);
+    strict
+        .compute_envelope(mv.k8s_party, mv.istio_party, &Instance::new())
+        .unwrap();
+
+    // 2. Schema validation through the daemon's own JSON parser.
+    let traces = muppet_obs::recent_traces(muppet_obs::ring_capacity());
+    assert!(!traces.is_empty(), "traced run must record span trees");
+    fn validate(node: &Json, validated: &mut u64) {
+        for key in ["name", "start_us", "elapsed_us", "counters", "attrs"] {
+            assert!(node.get(key).is_some(), "span node missing {key:?}");
+        }
+        assert!(node.get("name").unwrap().as_str().is_some(), "name is a string");
+        assert!(node.get("elapsed_us").unwrap().as_u64().is_some(), "elapsed_us is integral");
+        *validated += 1;
+        if let Some(children) = node.get("children").and_then(Json::as_arr) {
+            for child in children {
+                validate(child, validated);
+            }
+        }
+    }
+    let mut spans_validated = 0u64;
+    for tree in &traces {
+        let parsed = parse(&tree.to_json()).expect("span tree must serialize to valid JSON");
+        validate(&parsed, &mut spans_validated);
+    }
+    let spans_per_solve = traces
+        .iter()
+        .find(|tr| tr.name == "reconcile")
+        .map(|tr| tr.span_count() as u64)
+        .expect("ring must hold a reconcile trace");
+
+    let totals = acc.drain();
+    muppet_obs::clear_profilers();
+    for phase in ["reconcile", "ground", "encode", "search"] {
+        assert!(totals.contains_key(phase), "profiler must see phase {phase:?}");
+    }
+
+    // 3. Overhead gate: with tracing disabled a span call is one
+    // relaxed atomic load + an inert guard drop.
+    muppet_obs::set_enabled(false);
+    let probes = 4_000_000u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..probes {
+        drop(std::hint::black_box(muppet_obs::span("overhead-probe")));
+    }
+    let disabled_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+    let mut sess = session(&mv, IstioTable::Fig4);
+    govern(&mut sess);
+    let (rec, d_solve) =
+        timed_median(REPS, || sess.reconcile(ReconcileMode::HardBounds).unwrap());
+    assert!(rec.success);
+    let overhead_pct =
+        spans_per_solve as f64 * disabled_ns / (d_solve.as_secs_f64() * 1e9).max(1.0) * 100.0;
+    assert!(
+        overhead_pct <= 2.0,
+        "disabled-tracing overhead {overhead_pct:.4}% breaks the 2% budget: \
+         {spans_per_solve} spans x {disabled_ns:.1}ns against a {:.1}ms solve",
+        d_solve.as_secs_f64() * 1e3
+    );
+    muppet_obs::set_enabled(was_enabled);
+
+    for (name, p) in &totals {
+        row(
+            t,
+            "O1",
+            "paper scenarios",
+            &format!("phase {name}"),
+            format!("{}x / {}us total / {}us max", p.count, p.total_us, p.max_us),
+            "per-phase breakdown",
+        );
+    }
+    row(
+        t,
+        "O1",
+        "span schema",
+        "trees / spans validated",
+        format!("{} / {spans_validated}", traces.len()),
+        "all ring trees parse",
+    );
+    row(
+        t,
+        "O1",
+        "overhead",
+        "disabled span (ns)",
+        format!("{disabled_ns:.1}"),
+        "one relaxed atomic load",
+    );
+    row(
+        t,
+        "O1",
+        "overhead",
+        "implied per-solve (%)",
+        format!("{overhead_pct:.4}"),
+        "<= 2",
+    );
+
+    let phases = Json::Obj(
+        totals
+            .iter()
+            .map(|(name, p)| {
+                (
+                    (*name).to_string(),
+                    Json::obj([
+                        ("count", Json::num(p.count)),
+                        ("total_us", Json::num(p.total_us)),
+                        ("max_us", Json::num(p.max_us)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-obs-v1")),
+        ("phases", phases),
+        (
+            "traces",
+            Json::obj([
+                ("trees", Json::num(traces.len() as u64)),
+                ("spans_validated", Json::num(spans_validated)),
+                ("ring_capacity", Json::num(muppet_obs::ring_capacity() as u64)),
+            ]),
+        ),
+        (
+            "overhead",
+            Json::obj([
+                ("disabled_span_ns", Json::Num(disabled_ns)),
+                ("spans_per_solve", Json::num(spans_per_solve)),
+                ("solve_ms", Json::Num(d_solve.as_secs_f64() * 1e3)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+                ("budget_pct", Json::Num(2.0)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_obs.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_obs.json: {e}");
     }
 }

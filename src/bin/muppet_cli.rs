@@ -66,6 +66,9 @@ struct Opts {
     party: Option<String>,
     mode: Option<String>,
     max_rounds: Option<u64>,
+    // Observability flags.
+    trace_json: Option<String>,
+    trace_n: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -87,6 +90,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         party: None,
         mode: None,
         max_rounds: None,
+        trace_json: None,
+        trace_n: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -152,6 +157,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     value("--cache-cap")?
                         .parse()
                         .map_err(|_| "--cache-cap needs an entry count".to_string())?,
+                )
+            }
+            "--trace-json" => opts.trace_json = Some(value("--trace-json")?),
+            "--n" => {
+                opts.trace_n = Some(
+                    value("--n")?
+                        .parse()
+                        .map_err(|_| "--n needs a trace count".to_string())?,
                 )
             }
             "--party" => opts.party = Some(value("--party")?),
@@ -303,30 +316,50 @@ fn report_exhausted(rec: &Reconciliation) -> ExitCode {
     ExitCode::from(3)
 }
 
+/// Install the observability sinks `--trace-json` asks for. Tracing
+/// stays off (one relaxed load per would-be span) unless the flag is
+/// given.
+fn init_obs(opts: &Opts) -> Result<(), String> {
+    if let Some(path) = &opts.trace_json {
+        muppet_obs::set_json_sink(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open --trace-json {path}: {e}"))?;
+        muppet_obs::set_enabled(true);
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return Ok(ExitCode::from(2));
     };
-    match cmd.as_str() {
-        "check" => check(&parse_opts(rest)?),
-        "reconcile" => reconcile(&parse_opts(rest)?),
-        "envelope" => envelope(&parse_opts(rest)?),
-        "explain" => explain(&parse_opts(rest)?),
-        "synthesize" => synthesize(&parse_opts(rest)?),
-        "serve" => serve_cmd(&parse_opts(rest)?),
+    let prep = |rest: &[String]| -> Result<Opts, String> {
+        let opts = parse_opts(rest)?;
+        init_obs(&opts)?;
+        Ok(opts)
+    };
+    let code = match cmd.as_str() {
+        "check" => check(&prep(rest)?),
+        "reconcile" => reconcile(&prep(rest)?),
+        "envelope" => envelope(&prep(rest)?),
+        "explain" => explain(&prep(rest)?),
+        "synthesize" => synthesize(&prep(rest)?),
+        "serve" => serve_cmd(&prep(rest)?),
         "client" => {
             let Some((op, crest)) = rest.split_first() else {
                 return Err("client needs an operation (try `muppet-cli help`)".into());
             };
-            client_cmd(op, &parse_opts(crest)?)
+            client_cmd(op, &prep(crest)?)
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand {other:?} (try `muppet-cli help`)")),
-    }
+    };
+    // Flush any trace events buffered by the JSON-Lines sink.
+    muppet_obs::clear_json_sink();
+    code
 }
 
 const USAGE: &str = "\
@@ -337,7 +370,7 @@ USAGE:
   muppet-cli serve  --socket <path> [--tcp <addr>] [--workers <n>] [--cache-cap <n>]
   muppet-cli client <op> (--socket <path> | --tcp <addr>) [flags]
       <op> ∈ open_session, check_consistency, reconcile, extract_envelope,
-             check_conformance, negotiate_round, stats, shutdown;
+             check_conformance, negotiate_round, stats, trace, shutdown;
       file flags below build the inline session spec; responses are
       printed as one JSON line
 
@@ -366,6 +399,10 @@ FLAGS:
   --party <k8s|istio>    client: party for check_consistency
   --mode <hard|blameable> client: reconcile mode (default: hard)
   --max-rounds <n>       client: negotiation rounds (default: 4)
+  --trace-json <file>    stream one JSON-Lines event per closed span
+                         (pipeline phases with timings and solver
+                         counters) to <file>
+  --n <count>            client trace: span trees to return (default: 8)
 
 EXIT CODES:
   0 = compatible / satisfiable / success
@@ -687,6 +724,7 @@ fn client_cmd(op_name: &str, opts: &Opts) -> Result<ExitCode, String> {
     req.conflict_budget = opts.conflict_budget;
     req.retries = opts.retries;
     req.threads = requested_threads(opts).map(|t| t.clamp(1, 64) as u64);
+    req.n = opts.trace_n;
     let resp = endpoint.roundtrip(&req, Some(std::time::Duration::from_secs(120)))?;
     println!("{}", resp.to_line());
     if !resp.ok {

@@ -300,6 +300,70 @@ fn exhausted_budget_gives_exit_3_and_structured_report() {
     assert!(stdout(&out).contains("UNSAT"));
 }
 
+/// Regression (budget overflow): an absurd `--timeout-ms` used to
+/// panic in `Budget::with_timeout` on `Instant + Duration` overflow.
+/// It must instead behave like "no deadline" and deliver the real
+/// verdict.
+#[test]
+fn absurd_timeout_is_no_deadline_not_a_panic() {
+    let f = Fixture::new("hugetimeout");
+    for timeout in ["18446744073709551615", "9223372036854775807"] {
+        let out = f.run(&[
+            "reconcile",
+            "--manifests",
+            &f.path("mesh.yaml"),
+            "--k8s-goals",
+            &f.path("k8s.csv"),
+            "--istio-goals",
+            &f.path("istio.csv"),
+            "--timeout-ms",
+            timeout,
+        ]);
+        // Exit 1 = the strict tables' real UNSAT verdict; a panic would
+        // surface as a signal/101 and no UNSAT line.
+        assert_eq!(out.status.code(), Some(1), "timeout {timeout}: {out:?}");
+        assert!(stdout(&out).contains("UNSAT"), "timeout {timeout}");
+    }
+}
+
+/// `--trace-json` streams one schema-conforming JSON-Lines event per
+/// closed span, covering the solve phases.
+#[test]
+fn trace_json_flag_streams_span_events() {
+    let f = Fixture::new("tracejson");
+    let trace = f.path("trace.jsonl");
+    let out = f.run(&[
+        "reconcile",
+        "--manifests",
+        &f.path("mesh.yaml"),
+        "--k8s-goals",
+        &f.path("k8s.csv"),
+        "--istio-goals",
+        &f.path("istio.csv"),
+        "--trace-json",
+        &trace,
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!text.trim().is_empty(), "trace must not be empty");
+    let mut seen = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let v = muppet_daemon::json::parse(line)
+            .unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+        for key in ["name", "path", "depth", "start_us", "elapsed_us", "counters", "attrs"] {
+            assert!(v.get(key).is_some(), "event missing {key:?}: {line}");
+        }
+        let name = v.get("name").and_then(muppet_daemon::json::Json::as_str).unwrap();
+        seen.insert(name.to_string());
+        // path ends with the span's own name.
+        let path = v.get("path").and_then(muppet_daemon::json::Json::as_str).unwrap();
+        assert!(path.ends_with(name), "path {path:?} must end with {name:?}");
+    }
+    for phase in ["reconcile", "ground", "encode", "search"] {
+        assert!(seen.contains(phase), "missing {phase:?} events; saw {seen:?}");
+    }
+}
+
 #[test]
 fn bad_inputs_give_exit_2() {
     let f = Fixture::new("bad");

@@ -206,6 +206,131 @@ fn malformed_lines_get_error_responses_not_disconnects() {
     handle.wait();
 }
 
+/// Unwrap-audit regression: every client-reachable parse path (the
+/// hardened JSON reader, request field coercion, spec decoding, session
+/// handles) must answer adversarial input with a protocol error on the
+/// same connection — never a panic, never a disconnect.
+#[test]
+fn adversarial_requests_get_protocol_errors() {
+    let (handle, path) = start("adversarial", 2);
+    let mut client = Endpoint::Unix(path).connect(Some(Duration::from_secs(10))).unwrap();
+    // One probe per audited parse path in the daemon sources.
+    let probes: Vec<(&str, String)> = vec![
+        // json.rs: depth limit (64) on nested arrays.
+        ("deep nesting", format!("{}1{}", "[".repeat(200), "]".repeat(200))),
+        // json.rs: lone surrogate escape in a string.
+        ("lone surrogate", r#"{"v":1,"op":"stats","id":"\ud800"}"#.to_string()),
+        // json.rs: truncated escape at end of input.
+        ("truncated escape", r#"{"v":1,"op":"stats","id":"\u00"#.to_string()),
+        // proto.rs: numeric fields must be non-negative integers.
+        ("negative n", r#"{"v":1,"op":"trace","n":-3}"#.to_string()),
+        ("string timeout", r#"{"v":1,"op":"stats","timeout_ms":"soon"}"#.to_string()),
+        ("float retries", r#"{"v":1,"op":"stats","retries":1.5}"#.to_string()),
+        // spec.rs: spec must be an object with string content fields.
+        ("spec wrong type", r#"{"v":1,"op":"reconcile","spec":"yaml"}"#.to_string()),
+        ("spec missing fields", r#"{"v":1,"op":"reconcile","spec":{}}"#.to_string()),
+        (
+            "spec numeric manifests",
+            r#"{"v":1,"op":"reconcile","spec":{"manifests":7,"k8s_goals":"","istio_goals":""}}"#
+                .to_string(),
+        ),
+        // engine.rs: session handles must be 32 hex chars.
+        ("bad handle", r#"{"v":1,"op":"reconcile","session":"zz"}"#.to_string()),
+        (
+            "unknown handle",
+            r#"{"v":1,"op":"reconcile","session":"00000000000000000000000000000000"}"#.to_string(),
+        ),
+    ];
+    for (what, line) in probes {
+        client.send_raw(&line).unwrap_or_else(|e| panic!("{what}: send failed: {e}"));
+        let resp = client.recv().unwrap_or_else(|e| panic!("{what}: daemon died: {e}"));
+        assert!(!resp.ok, "{what}: must be rejected, got {:?}", resp.result.to_line());
+        assert!(resp.error.is_some(), "{what}: error text required");
+    }
+    // The connection survived every probe.
+    let resp = client.roundtrip(&Request::new(Op::Stats)).expect("stats after probes");
+    assert!(resp.ok);
+    handle.stop();
+    handle.wait();
+}
+
+/// The observability surface over the wire: a solve leaves a span tree
+/// the `trace` op can serve, and `stats` carries the aggregated
+/// registry (cache counters, per-op latency histograms).
+#[test]
+fn trace_op_serves_span_trees_and_stats_carries_obs() {
+    let (handle, path) = start("trace", 2);
+    let ep = Endpoint::Unix(path);
+    let req = Request::new(Op::Reconcile).with_spec(SessionSpec::paper_strict());
+    let solved = ep.roundtrip(&req, Some(Duration::from_secs(60))).unwrap();
+    assert!(solved.ok, "{:?}", solved.error);
+
+    let mut trace_req = Request::new(Op::Trace);
+    trace_req.n = Some(16);
+    let traced = ep.roundtrip(&trace_req, Some(Duration::from_secs(10))).unwrap();
+    assert!(traced.ok, "{:?}", traced.error);
+    assert_eq!(traced.result.get("enabled").and_then(Json::as_bool), Some(true));
+    let traces = traced.result.get("traces").and_then(Json::as_arr).expect("traces array");
+    assert!(!traces.is_empty(), "solve must leave at least one root trace");
+    // Find the reconcile request's tree: root "request" with op attr,
+    // a result_key joinable against the cache, and the solve phases
+    // underneath.
+    let tree = traces
+        .iter()
+        .find(|t| {
+            t.get("attrs").and_then(|a| a.get("op")).and_then(Json::as_str)
+                == Some("reconcile")
+        })
+        .expect("a reconcile trace");
+    assert_eq!(tree.get("name").and_then(Json::as_str), Some("request"));
+    let attrs = tree.get("attrs").expect("attrs");
+    assert!(
+        attrs.get("result_key").and_then(Json::as_str).map(str::len) == Some(32),
+        "span must carry the cache fingerprint: {}",
+        tree.to_line()
+    );
+    // Phase spans are nested somewhere under the request root.
+    fn find_span<'j>(node: &'j Json, name: &str) -> Option<&'j Json> {
+        if node.get("name").and_then(Json::as_str) == Some(name) {
+            return Some(node);
+        }
+        node.get("children")
+            .and_then(Json::as_arr)
+            .into_iter()
+            .flatten()
+            .find_map(|c| find_span(c, name))
+    }
+    for phase in ["reconcile", "ground", "encode", "search"] {
+        assert!(
+            find_span(tree, phase).is_some(),
+            "phase {phase:?} missing from trace: {}",
+            tree.to_line()
+        );
+    }
+    let search = find_span(tree, "search").unwrap();
+    assert!(
+        search.get("counters").and_then(|c| c.get("propagations")).is_some(),
+        "search span must carry solver counters: {}",
+        search.to_line()
+    );
+
+    // Aggregated registry in stats.
+    let stats = ep.roundtrip(&Request::new(Op::Stats), Some(Duration::from_secs(10))).unwrap();
+    let obs = stats.result.get("obs").expect("obs section");
+    let counters = obs.get("counters").expect("obs counters");
+    assert!(
+        counters.get("daemon.cache.lookups").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "cache counters must aggregate into stats"
+    );
+    let hist = obs
+        .get("histograms")
+        .and_then(|h| h.get("daemon.op.reconcile.latency_us"))
+        .expect("per-op latency histogram");
+    assert!(hist.get("count").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    handle.stop();
+    handle.wait();
+}
+
 #[test]
 fn warm_sessions_reuse_encoded_groups_across_requests() {
     let (handle, path) = start("warm", 2);

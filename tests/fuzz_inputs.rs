@@ -38,6 +38,39 @@ proptest! {
         prop_assert_eq!(parse_dimacs(&emitted).expect("roundtrip"), parsed);
     }
 
+    /// Hostile DIMACS magnitudes — header var counts and literals big
+    /// enough that an unchecked `as u32` / `as i64` would silently
+    /// truncate to a valid-looking index — must fail with parse
+    /// errors, never a wrapped variable.
+    #[test]
+    fn dimacs_hostile_magnitudes_error_cleanly(
+        nv in prop_oneof![
+            Just(1u64 << 31),            // i32::MAX + 1
+            Just(u64::from(u32::MAX)),
+            Just(1u64 << 32),            // u32::MAX + 1: `as u32` wraps to 0
+            Just(u64::MAX),
+            (1u64 << 22) + 1..(1 << 40),
+        ],
+        lit in prop_oneof![
+            Just(i64::from(i32::MAX)),
+            Just(i64::from(i32::MIN)),
+            Just(i64::MAX),
+            Just(i64::MIN),
+            (1i64 << 23)..(1 << 40),
+        ],
+    ) {
+        // Oversized declared var count: rejected at the header.
+        prop_assert!(matches!(
+            parse_dimacs(&format!("p cnf {nv} 1\n1 0\n")),
+            Err(muppet_sat::DimacsError::TooManyVars(_))
+        ), "header var count {} must be rejected", nv);
+        // Oversized literal under a sane header: rejected at the token.
+        prop_assert!(matches!(
+            parse_dimacs(&format!("p cnf 2 1\n{lit} 0\n")),
+            Err(muppet_sat::DimacsError::VarOutOfRange(_))
+        ), "literal {} must be rejected", lit);
+    }
+
     /// Goal-table CSV parsing never panics on arbitrary input.
     #[test]
     fn goal_csv_never_panics(input in "[ -~\n,]{0,300}") {
@@ -134,6 +167,14 @@ fn parser_regression_corpus() {
     assert!(parse_dimacs("p cnf 2 1\nc mid\n1\n-2 0\n\n").is_ok());
     // DIMACS: zero clauses declared and present.
     assert!(parse_dimacs("p cnf 3 0\n").is_ok());
+    // DIMACS: the exact adversarial headers that once truncated through
+    // `as u32` / `as i64` — each must be a parse error, not a wrap.
+    assert!(parse_dimacs("p cnf 2147483648 1\n1 0\n").is_err()); // i32::MAX + 1
+    assert!(parse_dimacs("p cnf 4294967296 1\n1 0\n").is_err()); // u32::MAX + 1 -> 0
+    assert!(parse_dimacs("p cnf 2 1\n4294967297 0\n").is_err()); // wraps to var 1
+    assert!(parse_dimacs("p cnf 2 1\n-9223372036854775808 0\n").is_err()); // i64::MIN
+    assert!(parse_dimacs("p cnf 3 -1\n1 0\n").is_err()); // negative clause count
+    assert!(parse_dimacs("p cnf 3 18446744073709551616\n").is_err()); // clause count > u64
     // Goals: header-only files are empty, not errors.
     assert!(K8sGoal::parse_csv("port,perm,selector\n").unwrap().is_empty());
     assert!(IstioGoal::parse_csv("srcService,dstService,srcPort,dstPort\n")
