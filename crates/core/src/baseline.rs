@@ -10,9 +10,10 @@
 //! no blame — on conflict it can only say "fail".
 
 use muppet_logic::{Domain, Instance, PartyId};
-use muppet_solver::{FormulaGroup, Outcome, Query};
+use muppet_solver::{FormulaGroup, Outcome};
 use std::collections::BTreeMap;
 
+use crate::party::Party;
 use crate::session::{MuppetError, ReconcileMode, Session};
 
 /// The baseline's (information-poor) answer.
@@ -32,40 +33,24 @@ pub struct BaselineReport {
 /// commitments). On failure there is deliberately no core — that is the
 /// point of the comparison.
 pub fn monolithic_synthesis(session: &Session<'_>) -> Result<BaselineReport, MuppetError> {
-    let mut q = Query::new(session.vocab(), session.universe());
-    let free: Vec<_> = session
-        .parties()
-        .iter()
-        .flat_map(|p| session.owned_rels(p.id))
-        .collect();
-    q.free_rels(free).set_fixed(session.structure().clone());
-    // One opaque group: axioms plus every party's every goal.
+    // The session-standard query builder supplies the free relations,
+    // fixed structure, axiom group and solver settings — the baseline
+    // differs from reconciliation only in lumping every goal into one
+    // opaque unnamed-blame group.
+    let mut q = session.new_query();
+    let refs: Vec<&Party> = session.parties().iter().collect();
+    let (bounds, _commitments) = session.merge_offers(&refs, ReconcileMode::HardBounds);
+    q.set_bounds(bounds);
     let mut formulas = Vec::new();
     for p in session.parties() {
         for g in &p.goals {
             formulas.push(g.formula.clone());
         }
     }
-    let mut bounds = muppet_logic::PartialInstance::new();
-    for p in session.parties() {
-        for rel in p.offer.bounded_rels() {
-            bounds.bound(rel);
-            for t in p.offer.upper(rel) {
-                bounds.permit(rel, t.clone());
-            }
-            for t in p.offer.lower(rel) {
-                bounds.require(rel, t.clone());
-            }
-        }
-    }
-    q.set_bounds(bounds);
     q.add_group(FormulaGroup::new("all goals (monolithic)", formulas));
-    // Axioms still needed so the output decompiles into policy objects.
-    q.add_group(FormulaGroup::new(
-        "axioms",
-        session.axioms().to_vec(),
-    ));
-    match q.solve()? {
+    let (outcome, _attempts) =
+        session.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+    match outcome {
         Outcome::Sat { solution, stats } => {
             let configs = session
                 .parties()

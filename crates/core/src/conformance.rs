@@ -9,7 +9,7 @@
 //! counter-offers) on their side.
 
 use muppet_logic::{Domain, Instance, PartyId};
-use muppet_solver::{Outcome, PartialResult};
+use muppet_solver::{Outcome, PartialResult, PreparedStore};
 
 use crate::envelope::Envelope;
 use crate::session::{MuppetError, Session};
@@ -19,15 +19,11 @@ use crate::session::{MuppetError, Session};
 /// query budget runs out mid-search, the best-so-far (possibly
 /// non-minimal) edit distance is reported instead of nothing.
 fn counter_offer_distance(
-    session: &Session<'_>,
-    tenant: PartyId,
+    (outcome, dist): (Outcome, usize),
     tname: &str,
-    envelope: &Envelope,
-    target: &Instance,
     log: &mut Vec<String>,
-) -> Result<Option<usize>, MuppetError> {
-    let (outcome, dist) = session.minimal_edit(tenant, envelope, target)?;
-    Ok(match outcome {
+) -> Option<usize> {
+    match outcome {
         Outcome::Sat { .. } => {
             log.push(format!(
                 "{tname}: nearest envelope-satisfying config is {dist} edit(s) away"
@@ -52,7 +48,7 @@ fn counter_offer_distance(
             None
         }
         Outcome::Unsat { .. } => None,
-    })
+    }
 }
 
 /// What happened in one conformance run.
@@ -82,11 +78,52 @@ pub struct ConformanceReport {
 /// once; `tenant` synthesizes against it. `tenant_preferred` (if any) is
 /// the tenant's current configuration, used as the target for
 /// minimal-edit feedback when synthesis fails.
+///
+/// The workflow holds one warm incremental engine per query shape in
+/// an internal [`PreparedStore`] — see [`run_conformance_with_store`]
+/// to keep that state alive across calls, and [`run_conformance_cold`]
+/// for the one-shot reference path (byte-identical results).
 pub fn run_conformance(
     session: &Session<'_>,
     provider: PartyId,
     tenant: PartyId,
     tenant_preferred: Option<&Instance>,
+) -> Result<ConformanceReport, MuppetError> {
+    let mut store = PreparedStore::new();
+    run_conformance_impl(session, provider, tenant, tenant_preferred, Some(&mut store))
+}
+
+/// [`run_conformance`] with a caller-held [`PreparedStore`]: repeated
+/// conformance checks (revision loops, daemon sessions) reuse the warm
+/// ground/encode state and solver clauses across calls.
+pub fn run_conformance_with_store(
+    session: &Session<'_>,
+    provider: PartyId,
+    tenant: PartyId,
+    tenant_preferred: Option<&Instance>,
+    store: &mut PreparedStore,
+) -> Result<ConformanceReport, MuppetError> {
+    run_conformance_impl(session, provider, tenant, tenant_preferred, Some(store))
+}
+
+/// The one-shot reference path: every query compiles a fresh engine.
+/// Exists for differential testing against the warm path — results
+/// must be byte-identical.
+pub fn run_conformance_cold(
+    session: &Session<'_>,
+    provider: PartyId,
+    tenant: PartyId,
+    tenant_preferred: Option<&Instance>,
+) -> Result<ConformanceReport, MuppetError> {
+    run_conformance_impl(session, provider, tenant, tenant_preferred, None)
+}
+
+fn run_conformance_impl(
+    session: &Session<'_>,
+    provider: PartyId,
+    tenant: PartyId,
+    tenant_preferred: Option<&Instance>,
+    mut warm: Option<&mut PreparedStore>,
 ) -> Result<ConformanceReport, MuppetError> {
     let names = session.party_names();
     let pname = names.get(&provider).cloned().unwrap_or_default();
@@ -94,7 +131,10 @@ pub fn run_conformance(
     let mut log = Vec::new();
 
     // Step 1 (Alg. 1): provider's local consistency.
-    let lc = session.local_consistency(provider)?;
+    let lc = match warm.as_deref_mut() {
+        Some(store) => session.local_consistency_warm(provider, store)?,
+        None => session.local_consistency(provider)?,
+    };
     if !lc.ok {
         log.push(format!(
             "{pname}: offer is locally inconsistent; blame: {:?}",
@@ -125,8 +165,49 @@ pub fn run_conformance(
         envelope.impossible.len()
     ));
 
-    // Step 3 (Fig. 8): tenant synthesizes against envelope + own goals.
-    match session.synthesize_against(tenant, &envelope)? {
+    tenant_step(
+        session,
+        tenant,
+        &tname,
+        provider_config,
+        envelope,
+        tenant_preferred,
+        warm,
+        log,
+    )
+}
+
+/// Step 3 of the Fig. 7 workflow (Fig. 8 solver aid), given an
+/// already-validated provider: the tenant synthesizes against the
+/// envelope plus its own goals, with minimal-edit counter-offer
+/// feedback on failure. Factored out so the revision loop can re-run
+/// only this step — the provider check and envelope "need never be
+/// recomputed".
+#[allow(clippy::too_many_arguments)]
+fn tenant_step(
+    session: &Session<'_>,
+    tenant: PartyId,
+    tname: &str,
+    provider_config: Instance,
+    envelope: Envelope,
+    tenant_preferred: Option<&Instance>,
+    mut warm: Option<&mut PreparedStore>,
+    mut log: Vec<String>,
+) -> Result<ConformanceReport, MuppetError> {
+    let synth = match warm.as_deref_mut() {
+        Some(store) => session.synthesize_against_warm(tenant, &envelope, store)?,
+        None => session.synthesize_against(tenant, &envelope)?,
+    };
+    let mut counter_offer = |target: &Instance,
+                             log: &mut Vec<String>|
+     -> Result<Option<usize>, MuppetError> {
+        let edit = match warm.as_deref_mut() {
+            Some(store) => session.minimal_edit_warm(tenant, &envelope, target, store)?,
+            None => session.minimal_edit(tenant, &envelope, target)?,
+        };
+        Ok(counter_offer_distance(edit, tname, log))
+    };
+    match synth {
         Outcome::Sat { solution, .. } => {
             let tenant_config =
                 solution.restrict_to_domain(session.vocab(), Domain::Party(tenant));
@@ -150,9 +231,7 @@ pub fn run_conformance(
             // Fig. 8 counter-offer: minimal edit of the preferred config
             // that satisfies the envelope alone.
             let counter = match tenant_preferred {
-                Some(target) => {
-                    counter_offer_distance(session, tenant, &tname, &envelope, target, &mut log)?
-                }
+                Some(target) => counter_offer(target, &mut log)?,
                 None => None,
             };
             Ok(ConformanceReport {
@@ -179,9 +258,7 @@ pub fn run_conformance(
                 _ => Vec::new(),
             };
             let counter = match tenant_preferred {
-                Some(target) => {
-                    counter_offer_distance(session, tenant, &tname, &envelope, target, &mut log)?
-                }
+                Some(target) => counter_offer(target, &mut log)?,
                 None => None,
             };
             Ok(ConformanceReport {
@@ -238,7 +315,10 @@ pub fn run_conformance_multi_tenant(
     provider: PartyId,
     tenants: &[PartyId],
 ) -> Result<MultiTenantReport, MuppetError> {
-    let lc = session.local_consistency(provider)?;
+    // One warm store for the whole fan-out: the provider check and each
+    // tenant's synthesis shape stay warm across the loop.
+    let mut store = PreparedStore::new();
+    let lc = session.local_consistency_warm(provider, &mut store)?;
     if !lc.ok {
         return Ok(MultiTenantReport {
             provider_consistent: false,
@@ -260,7 +340,7 @@ pub fn run_conformance_multi_tenant(
     let mut outcomes = Vec::new();
     for &tenant in tenants {
         let envelope = session.compute_envelope(provider, tenant, &provider_config)?;
-        let outcome = match session.synthesize_against(tenant, &envelope)? {
+        let outcome = match session.synthesize_against_warm(tenant, &envelope, &mut store)? {
             Outcome::Sat { solution, .. } => TenantOutcome {
                 tenant,
                 success: true,
@@ -311,7 +391,13 @@ pub fn run_conformance_with_revisions(
     strategy: &mut dyn crate::negotiate::Negotiator,
     max_revisions: usize,
 ) -> Result<ConformanceReport, MuppetError> {
-    let mut report = run_conformance(session, provider, tenant, tenant_preferred)?;
+    // One warm store for the whole loop: the provider is checked and
+    // the envelope computed exactly once (tenant revisions touch only
+    // tenant-owned goals and offers, which enter neither), and every
+    // retry re-runs only the tenant-side step on the warm engine.
+    let mut store = PreparedStore::new();
+    let mut report =
+        run_conformance_with_store(session, provider, tenant, tenant_preferred, &mut store)?;
     let mut revisions = 0usize;
     while !report.success && report.provider_consistent && revisions < max_revisions {
         let envelope = report
@@ -321,36 +407,38 @@ pub fn run_conformance_with_revisions(
         // The mediator's counter-offer for the tenant: minimal edit of
         // the preferred configuration that satisfies the envelope.
         let counter_offer = match tenant_preferred {
-            Some(target) => match session.minimal_edit(tenant, &envelope, target)? {
-                (muppet_solver::Outcome::Sat { solution, .. }, dist) => Some((
-                    solution.restrict_to_domain(
-                        session.vocab(),
-                        muppet_logic::Domain::Party(tenant),
-                    ),
-                    dist,
-                )),
-                // Budget fired mid-minimization: the best-so-far model
-                // is still envelope-satisfying, just maybe not minimal.
-                (
-                    muppet_solver::Outcome::Unknown {
-                        partial: Some(PartialResult::Model { solution, distance }),
-                        ..
-                    },
-                    _,
-                ) => Some((
-                    solution.restrict_to_domain(
-                        session.vocab(),
-                        muppet_logic::Domain::Party(tenant),
-                    ),
-                    distance,
-                )),
-                _ => None,
-            },
+            Some(target) => {
+                match session.minimal_edit_warm(tenant, &envelope, target, &mut store)? {
+                    (muppet_solver::Outcome::Sat { solution, .. }, dist) => Some((
+                        solution.restrict_to_domain(
+                            session.vocab(),
+                            muppet_logic::Domain::Party(tenant),
+                        ),
+                        dist,
+                    )),
+                    // Budget fired mid-minimization: the best-so-far model
+                    // is still envelope-satisfying, just maybe not minimal.
+                    (
+                        muppet_solver::Outcome::Unknown {
+                            partial: Some(PartialResult::Model { solution, distance }),
+                            ..
+                        },
+                        _,
+                    ) => Some((
+                        solution.restrict_to_domain(
+                            session.vocab(),
+                            muppet_logic::Domain::Party(tenant),
+                        ),
+                        distance,
+                    )),
+                    _ => None,
+                }
+            }
             None => None,
         };
         let feedback = crate::negotiate::Feedback {
             core: report.blame.clone(),
-            envelope,
+            envelope: envelope.clone(),
             counter_offer,
             round: revisions,
         };
@@ -362,11 +450,28 @@ pub fn run_conformance_with_revisions(
             break;
         }
         revisions += 1;
-        let mut next = run_conformance(session, provider, tenant, tenant_preferred)?;
-        next.log.insert(
-            0,
-            format!("— retry after tenant revision {revisions} —"),
-        );
+        // Retry only the tenant side: the provider's witness and the
+        // envelope are carried over unchanged.
+        let provider_config = report
+            .provider_config
+            .clone()
+            .expect("provider consistent ⇒ witness exists");
+        let tname = session
+            .party_names()
+            .get(&tenant)
+            .cloned()
+            .unwrap_or_default();
+        let retry_log = vec![format!("— retry after tenant revision {revisions} —")];
+        let mut next = tenant_step(
+            session,
+            tenant,
+            &tname,
+            provider_config,
+            envelope,
+            tenant_preferred,
+            Some(&mut store),
+            retry_log,
+        )?;
         let mut log = report.log;
         log.extend(next.log.clone());
         next.log = log;

@@ -103,6 +103,12 @@ impl Envelope {
     /// The envelope as named formula groups, for use in solver queries
     /// (synthesis against the envelope, Fig. 8). Group names carry the
     /// provenance so blame reads "envelope from k8s-admin: k8s goal 1".
+    ///
+    /// Group identity is by name + formula content, which is what makes
+    /// envelopes cheap on the warm engine (DESIGN.md §13): when a
+    /// revision leaves a predicate untouched, the re-derived group
+    /// content-hashes to the one already encoded and its CNF is reused
+    /// verbatim; only genuinely changed predicates re-encode.
     pub fn to_groups(&self, party_names: &BTreeMap<PartyId, String>) -> Vec<FormulaGroup> {
         self.predicates
             .iter()

@@ -1,176 +1,33 @@
 //! Stable content fingerprints for sessions, goals and configurations.
 //!
-//! The daemon's result cache and warm-session registry are keyed by
-//! *content*, not identity: two requests that describe the same goals,
-//! offers and universe must collide, and any semantic difference must
-//! not. [`Fingerprinter`] produces a 128-bit digest from two
-//! independently-seeded FNV-1a streams fed by the same byte sequence —
-//! deterministic across processes (unlike `DefaultHasher` map ordering
-//! concerns, every `add_*` method walks its structure in a canonical
-//! order), cheap, and wide enough that accidental collisions are not a
-//! practical concern for a cache.
-//!
-//! This is an integrity fingerprint for caching, **not** a
-//! cryptographic hash: nothing here defends against adversarial
-//! collision crafting, and cache entries only short-circuit work the
-//! caller could redo.
+//! The hasher itself ([`Fingerprinter`]) lives in
+//! [`muppet_logic::fingerprint`] so the solver's incremental engine can
+//! key its subformula caches on the same digests (DESIGN.md §13). This
+//! module re-exports it and adds the session-layer walks — goals and
+//! parties — as the [`FingerprintExt`] extension trait.
 
-use std::hash::{Hash, Hasher};
-
-use muppet_logic::{Instance, PartialInstance, RelId, Universe, Vocabulary};
+pub use muppet_logic::fingerprint::{hex, parse_hex, Fingerprinter};
 
 use crate::party::{NamedGoal, Party};
 
-const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Accumulates a canonical byte stream into a 128-bit digest.
-///
-/// Implements [`std::hash::Hasher`], so anything that is `Hash` (e.g.
-/// [`muppet_logic::Formula`]) can be folded in via
-/// [`Fingerprinter::add_hash`]; structures without `Hash` (instances,
-/// universes) get explicit canonical-order walks.
-#[derive(Clone, Debug)]
-pub struct Fingerprinter {
-    a: u64,
-    b: u64,
-}
-
-impl Default for Fingerprinter {
-    fn default() -> Self {
-        Fingerprinter::new()
-    }
-}
-
-impl Hasher for Fingerprinter {
-    fn finish(&self) -> u64 {
-        self.a
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &byte in bytes {
-            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
-            self.b = (self.b.rotate_left(5) ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
-        }
-    }
-}
-
-impl Fingerprinter {
-    /// A fresh fingerprinter.
-    pub fn new() -> Fingerprinter {
-        Fingerprinter {
-            a: FNV_OFFSET_A,
-            b: FNV_OFFSET_B,
-        }
-    }
-
-    /// Fold in raw bytes.
-    pub fn add_bytes(&mut self, bytes: &[u8]) -> &mut Self {
-        self.write(bytes);
-        self
-    }
-
-    /// Fold in a string (length-prefixed, so `("ab","c")` ≠ `("a","bc")`).
-    pub fn add_str(&mut self, s: &str) -> &mut Self {
-        self.add_u64(s.len() as u64);
-        self.write(s.as_bytes());
-        self
-    }
-
-    /// Fold in an integer.
-    pub fn add_u64(&mut self, x: u64) -> &mut Self {
-        self.write(&x.to_le_bytes());
-        self
-    }
-
-    /// Fold in a boolean.
-    pub fn add_bool(&mut self, x: bool) -> &mut Self {
-        self.add_u64(u64::from(x))
-    }
-
-    /// Fold in anything `Hash` (formulas, ids, tuples) via its
-    /// `Hash::hash` byte stream.
-    pub fn add_hash<T: Hash + ?Sized>(&mut self, value: &T) -> &mut Self {
-        value.hash(self);
-        self
-    }
-
-    /// Fold in a total instance: relations and tuples in canonical
-    /// (sorted id) order.
-    pub fn add_instance(&mut self, inst: &Instance) -> &mut Self {
-        let mut entries = inst.all_tuples();
-        entries.sort();
-        self.add_u64(entries.len() as u64);
-        for (rel, tuple) in entries {
-            self.add_hash(&rel);
-            self.add_hash(&tuple);
-        }
-        self
-    }
-
-    /// Fold in a partial instance (offer bounds): per bounded relation,
-    /// the sorted lower and upper tuple sets.
-    pub fn add_partial(&mut self, p: &PartialInstance) -> &mut Self {
-        let mut rels: Vec<RelId> = p.bounded_rels().collect();
-        rels.sort();
-        self.add_u64(rels.len() as u64);
-        for rel in rels {
-            self.add_hash(&rel);
-            let mut lower: Vec<_> = p.lower(rel).map(|t| t.to_vec()).collect();
-            lower.sort();
-            self.add_u64(lower.len() as u64);
-            for t in lower {
-                self.add_hash(&t);
-            }
-            let mut upper: Vec<_> = p.upper(rel).map(|t| t.to_vec()).collect();
-            upper.sort();
-            self.add_u64(upper.len() as u64);
-            for t in upper {
-                self.add_hash(&t);
-            }
-        }
-        self
-    }
-
-    /// Fold in a universe: sorts, their names and their atoms' names in
-    /// declaration order (declaration order is part of identity — atom
-    /// ids appear inside formulas).
-    pub fn add_universe(&mut self, u: &Universe) -> &mut Self {
-        self.add_u64(u.num_sorts() as u64);
-        for s in (0..u.num_sorts() as u32).map(muppet_logic::SortId) {
-            self.add_str(u.sort_name(s));
-            let atoms = u.atoms_of(s);
-            self.add_u64(atoms.len() as u64);
-            for &a in atoms {
-                self.add_str(u.atom_name(a));
-            }
-        }
-        self
-    }
-
-    /// Fold in a vocabulary: every relation's name, argument sorts and
-    /// owning domain, in declaration order.
-    pub fn add_vocab(&mut self, v: &Vocabulary) -> &mut Self {
-        self.add_u64(v.num_rels() as u64);
-        for (rel, decl) in v.rels() {
-            self.add_hash(&rel);
-            self.add_str(&decl.name);
-            self.add_hash(&decl.arg_sorts);
-            self.add_hash(&decl.owner);
-        }
-        self
-    }
-
+/// Session-layer extension: fold goals and parties into a
+/// [`Fingerprinter`] in canonical order.
+pub trait FingerprintExt {
     /// Fold in a named goal: name, hardness and formula.
-    pub fn add_goal(&mut self, g: &NamedGoal) -> &mut Self {
+    fn add_goal(&mut self, g: &NamedGoal) -> &mut Self;
+
+    /// Fold in a party: id, name, goals and offer.
+    fn add_party(&mut self, p: &Party) -> &mut Self;
+}
+
+impl FingerprintExt for Fingerprinter {
+    fn add_goal(&mut self, g: &NamedGoal) -> &mut Self {
         self.add_str(&g.name);
         self.add_bool(g.hard);
         self.add_hash(&g.formula)
     }
 
-    /// Fold in a party: id, name, goals and offer.
-    pub fn add_party(&mut self, p: &Party) -> &mut Self {
+    fn add_party(&mut self, p: &Party) -> &mut Self {
         self.add_hash(&p.id);
         self.add_str(&p.name);
         self.add_u64(p.goals.len() as u64);
@@ -179,30 +36,12 @@ impl Fingerprinter {
         }
         self.add_partial(&p.offer)
     }
-
-    /// The 128-bit digest of everything folded in so far.
-    pub fn digest(&self) -> u128 {
-        (u128::from(self.a) << 64) | u128::from(self.b)
-    }
-}
-
-/// Render a digest as fixed-width lowercase hex (32 chars).
-pub fn hex(digest: u128) -> String {
-    format!("{digest:032x}")
-}
-
-/// Parse a digest rendered by [`hex`].
-pub fn parse_hex(s: &str) -> Option<u128> {
-    if s.len() != 32 {
-        return None;
-    }
-    u128::from_str_radix(s, 16).ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use muppet_logic::{Domain, Formula, PartyId, Term};
+    use muppet_logic::{Domain, Formula, PartyId, Term, Universe, Vocabulary};
 
     #[test]
     fn deterministic_and_sensitive() {
@@ -222,52 +61,5 @@ mod tests {
         assert_ne!(fp(&goal), fp(&other), "renamed goal must differ");
         let soft = NamedGoal::soft("g", Formula::pred(r, [Term::Const(a)]));
         assert_ne!(fp(&goal), fp(&soft), "hardness is part of identity");
-    }
-
-    #[test]
-    fn instance_order_is_canonical() {
-        let mut u = Universe::new();
-        let s = u.add_sort("S");
-        let a = u.add_atom(s, "a");
-        let b = u.add_atom(s, "b");
-        let mut v = Vocabulary::new();
-        let r = v.add_simple_rel("r", vec![s], Domain::Structure);
-        let mut i1 = Instance::new();
-        i1.insert(r, vec![a]);
-        i1.insert(r, vec![b]);
-        let mut i2 = Instance::new();
-        i2.insert(r, vec![b]);
-        i2.insert(r, vec![a]);
-        let fp = |i: &Instance| {
-            let mut f = Fingerprinter::new();
-            f.add_instance(i);
-            f.digest()
-        };
-        assert_eq!(fp(&i1), fp(&i2));
-        let mut i3 = i1.clone();
-        i3.remove(r, &[b]);
-        assert_ne!(fp(&i1), fp(&i3));
-    }
-
-    #[test]
-    fn hex_roundtrip() {
-        let mut f = Fingerprinter::new();
-        f.add_str("hello");
-        let d = f.digest();
-        assert_eq!(parse_hex(&hex(d)), Some(d));
-        assert_eq!(hex(d).len(), 32);
-        assert_eq!(parse_hex("nope"), None);
-    }
-
-    #[test]
-    fn string_boundaries_matter() {
-        let fp = |parts: &[&str]| {
-            let mut f = Fingerprinter::new();
-            for p in parts {
-                f.add_str(p);
-            }
-            f.digest()
-        };
-        assert_ne!(fp(&["ab", "c"]), fp(&["a", "bc"]));
     }
 }

@@ -28,7 +28,7 @@
 use muppet_logic::{
     AtomId, Formula, Instance, PartialInstance, PartyId, RelId, Term,
 };
-use muppet_solver::{FormulaGroup, Outcome, Query};
+use muppet_solver::{FormulaGroup, Outcome, PreparedStore, QueryStats};
 
 use crate::session::{MuppetError, Session};
 
@@ -136,6 +136,26 @@ pub fn learn_envelope(
     scope: &Scope,
     max_cubes: usize,
 ) -> Result<LearnedEnvelope, MuppetError> {
+    let mut store = PreparedStore::new();
+    learn_envelope_with_store(session, from, c_from, to, scope, max_cubes, &mut store)
+}
+
+/// [`learn_envelope`] with a caller-held [`PreparedStore`]. The find
+/// loop runs on a warm incremental engine: the goal group is grounded
+/// and encoded once, each iteration adds only its one new blocking-cube
+/// group, and learned clauses persist — so iteration `n` does `O(1)`
+/// new encoding work instead of re-compiling `n` groups. Generalization
+/// probes change the bounds per candidate literal, so they stay on the
+/// one-shot facade.
+pub fn learn_envelope_with_store(
+    session: &Session<'_>,
+    from: PartyId,
+    c_from: &Instance,
+    to: PartyId,
+    scope: &Scope,
+    max_cubes: usize,
+    store: &mut PreparedStore,
+) -> Result<LearnedEnvelope, MuppetError> {
     let sender = session.party(from)?;
     session.party(to)?;
     let goal_formulas: Vec<Formula> =
@@ -155,22 +175,27 @@ pub fn learn_envelope(
     let mut cubes: Vec<Cube> = Vec::new();
     let mut queries = 0usize;
     let mut complete = false;
+    let mut groups = vec![FormulaGroup::new("goals", goal_formulas.clone())];
 
     while cubes.len() < max_cubes {
-        // 1. Find a satisfying recipient configuration not covered yet.
-        let mut q = Query::new(session.vocab(), session.universe());
-        q.free_rels(to_rels.iter().copied())
-            .set_bounds(scope_bounds.clone())
-            .set_fixed(fixed.clone())
-            .add_group(FormulaGroup::new("goals", goal_formulas.clone()));
-        for (i, cube) in cubes.iter().enumerate() {
-            q.add_group(FormulaGroup::new(
-                format!("block cube {i}"),
-                vec![Formula::not(cube.to_formula())],
-            ));
-        }
+        // 1. Find a satisfying recipient configuration not covered yet,
+        //    on the warm engine (fresh groups only are encoded).
         queries += 1;
-        let model = match q.solve()? {
+        let (outcome, _attempts) = session.run_warm_op(
+            store,
+            &scope_bounds,
+            &to_rels,
+            &fixed,
+            &groups,
+            |pq, active, budget| pq.solve(active, budget),
+            |phase| Outcome::Unknown {
+                phase,
+                stats: QueryStats::default(),
+                partial: None,
+            },
+            Outcome::is_unknown,
+        )?;
+        let model = match outcome {
             Outcome::Sat { solution, .. } => solution,
             Outcome::Unsat { .. } => {
                 complete = true;
@@ -225,14 +250,14 @@ pub fn learn_envelope(
             for (rel, tuple) in &candidate.positive {
                 bounds.require(*rel, tuple.clone());
             }
-            let mut q = Query::new(session.vocab(), session.universe());
-            q.free_rels(to_rels.iter().copied())
-                .set_bounds(bounds)
-                .set_fixed(fixed.clone())
+            let mut q = session.scoped_query(&to_rels, fixed.clone());
+            q.set_bounds(bounds)
                 .set_minimize_cores(false)
                 .add_group(FormulaGroup::new("neg goals", vec![negated_goals.clone()]));
             queries += 1;
-            match q.solve()? {
+            let (outcome, _attempts) =
+                session.run_budgeted(&mut q, |q| q.solve(), Outcome::is_unknown)?;
+            match outcome {
                 Outcome::Unsat { .. } => {
                     // Every completion satisfies the goals: drop it.
                     cube = candidate;
@@ -247,6 +272,10 @@ pub fn learn_envelope(
                 }
             }
         }
+        groups.push(FormulaGroup::new(
+            format!("block cube {}", cubes.len()),
+            vec![Formula::not(cube.to_formula())],
+        ));
         cubes.push(cube);
     }
 

@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 
 use muppet_logic::{Instance, PartyId};
+use muppet_solver::PreparedStore;
 
 use crate::envelope::Envelope;
 use crate::party::Party;
@@ -196,10 +197,52 @@ pub struct NegotiationReport {
 /// multi-source envelope from everyone else) and its [`Negotiator`]
 /// revises it. Negotiation ends on success, after `max_rounds`, or when
 /// a full cycle passes with no party changing anything.
+///
+/// The whole negotiation runs on **one warm incremental engine** per
+/// query shape (held in an internal [`PreparedStore`]): round `n`
+/// starts from round `n-1`'s solver state, a counter-offer is a group
+/// swap plus assumption flips rather than a recompilation, and answers
+/// are byte-identical to the cold path ([`run_negotiation_cold`]) by
+/// the engine's canonicalization contract.
 pub fn run_negotiation(
     session: &mut Session<'_>,
     negotiators: &mut BTreeMap<PartyId, Box<dyn Negotiator>>,
     max_rounds: usize,
+) -> Result<NegotiationReport, MuppetError> {
+    let mut store = PreparedStore::new();
+    run_negotiation_with_store(session, negotiators, max_rounds, &mut store)
+}
+
+/// [`run_negotiation`] with a caller-held [`PreparedStore`], so warm
+/// engine state survives *across* negotiations (the daemon holds one
+/// store per warm session and feeds successive `NegotiateRound`
+/// requests through it).
+pub fn run_negotiation_with_store(
+    session: &mut Session<'_>,
+    negotiators: &mut BTreeMap<PartyId, Box<dyn Negotiator>>,
+    max_rounds: usize,
+    store: &mut PreparedStore,
+) -> Result<NegotiationReport, MuppetError> {
+    run_negotiation_impl(session, negotiators, max_rounds, Some(store))
+}
+
+/// The one-shot reference path: every query compiles a fresh engine.
+/// Exists for differential testing against the warm path — results
+/// must be byte-identical — and as the fallback shape for callers that
+/// cannot hold state.
+pub fn run_negotiation_cold(
+    session: &mut Session<'_>,
+    negotiators: &mut BTreeMap<PartyId, Box<dyn Negotiator>>,
+    max_rounds: usize,
+) -> Result<NegotiationReport, MuppetError> {
+    run_negotiation_impl(session, negotiators, max_rounds, None)
+}
+
+fn run_negotiation_impl(
+    session: &mut Session<'_>,
+    negotiators: &mut BTreeMap<PartyId, Box<dyn Negotiator>>,
+    max_rounds: usize,
+    mut warm: Option<&mut PreparedStore>,
 ) -> Result<NegotiationReport, MuppetError> {
     let mut trace = Vec::new();
     let party_ids: Vec<PartyId> = session.parties().iter().map(|p| p.id).collect();
@@ -207,7 +250,10 @@ pub fn run_negotiation(
     let mut unchanged_streak = 0usize;
 
     for round in 0..max_rounds {
-        let rec = session.reconcile(ReconcileMode::Blameable)?;
+        let rec = match warm.as_deref_mut() {
+            Some(store) => session.reconcile_warm(ReconcileMode::Blameable, store)?,
+            None => session.reconcile(ReconcileMode::Blameable)?,
+        };
         if rec.success {
             trace.push(format!("round {}: reconciliation succeeded", round + 1));
             return Ok(NegotiationReport {
@@ -243,11 +289,11 @@ pub fn run_negotiation(
         // its goals still shape the envelope).
         let mut senders = Vec::new();
         for &other in party_ids.iter().filter(|&&p| p != turn) {
-            let witness = session
-                .local_consistency(other)?
-                .witness
-                .unwrap_or_default();
-            senders.push((other, witness));
+            let lc = match warm.as_deref_mut() {
+                Some(store) => session.local_consistency_warm(other, store)?,
+                None => session.local_consistency(other)?,
+            };
+            senders.push((other, lc.witness.unwrap_or_default()));
         }
         let envelope = session.compute_multi_envelope(&senders, turn)?;
         // Mediator counter-offer: the minimal edit of the party's
@@ -267,7 +313,13 @@ pub fn run_negotiation(
                 }
                 inst
             };
-            match session.minimal_edit(turn, &envelope, &committed)? {
+            let edit = match warm.as_deref_mut() {
+                Some(store) => {
+                    session.minimal_edit_warm(turn, &envelope, &committed, store)?
+                }
+                None => session.minimal_edit(turn, &envelope, &committed)?,
+            };
+            match edit {
                 (muppet_solver::Outcome::Sat { solution, .. }, dist) => {
                     let cfg = solution.restrict_to_domain(
                         session.vocab(),

@@ -8,12 +8,12 @@ use muppet_logic::{
     RelId, Term, Universe, Vocabulary,
 };
 use muppet_solver::{
-    Budget, FormulaGroup, Outcome, PartialResult, Phase, PortfolioConfig, PrepareError,
-    PreparedQuery, PreparedStore, Query, QueryError, QueryStats, RetryPolicy,
+    Budget, FormulaGroup, GroupId, Outcome, PartialResult, Phase, PortfolioConfig,
+    PrepareError, PreparedQuery, PreparedStore, Query, QueryError, QueryStats, RetryPolicy,
 };
 
 use crate::envelope::{Envelope, EnvelopePredicate};
-use crate::fingerprint::Fingerprinter;
+use crate::fingerprint::{FingerprintExt, Fingerprinter};
 use crate::party::Party;
 
 /// Errors from session operations.
@@ -196,7 +196,7 @@ impl<'a> Session<'a> {
     /// shared deadline/cancellation has not already fired (retrying
     /// past an absolute deadline cannot help). Returns the final
     /// result and the number of attempts made.
-    fn run_budgeted<T>(
+    pub(crate) fn run_budgeted<T>(
         &self,
         q: &mut Query,
         mut run: impl FnMut(&mut Query) -> Result<T, QueryError>,
@@ -337,11 +337,52 @@ impl<'a> Session<'a> {
             .collect()
     }
 
-    fn axiom_group(&self) -> FormulaGroup {
+    pub(crate) fn axiom_group(&self) -> FormulaGroup {
         FormulaGroup::new("structural axioms", self.axioms.clone())
     }
 
-    fn goal_groups(&self, party: &Party) -> Vec<FormulaGroup> {
+    /// The session-standard one-shot satisfiability query: all party
+    /// relations free, structure fixed, the session's symmetry and
+    /// portfolio settings applied, and the axiom group added first.
+    /// Every cold Alg. 1/2 call site (and the E5 baseline) builds on
+    /// this, so solver defaults cannot drift between them.
+    pub(crate) fn new_query(&self) -> Query<'_> {
+        let mut q = Query::new(&self.vocab, self.universe);
+        q.free_rels(self.all_party_rels())
+            .set_fixed(self.structure.clone())
+            .set_symmetry_breaking(self.symmetry_breaking)
+            .set_portfolio(self.portfolio)
+            .add_group(self.axiom_group());
+        q
+    }
+
+    /// The session-standard target-oriented query over one party's own
+    /// relations: full model space (no symmetry breaking — lex-leader
+    /// pruning would hide the true nearest model) and the axiom group
+    /// added first. Minimal-edit call sites build on this.
+    pub(crate) fn edit_query(&self, owner: PartyId) -> Query<'_> {
+        let mut q = Query::new(&self.vocab, self.universe);
+        q.free_rels(self.owned_rels(owner))
+            .set_fixed(self.structure.clone())
+            .add_group(self.axiom_group());
+        q
+    }
+
+    /// A one-shot query over a custom free-relation set and fixed
+    /// instance — the shape envelope learning uses (scope-bounded
+    /// recipient relations, sender config folded into the fixed
+    /// instance). Model-space complete: no symmetry breaking; the
+    /// session's portfolio still accelerates the search phase without
+    /// changing verdicts.
+    pub(crate) fn scoped_query(&self, free: &[RelId], fixed: Instance) -> Query<'_> {
+        let mut q = Query::new(&self.vocab, self.universe);
+        q.free_rels(free.iter().copied())
+            .set_fixed(fixed)
+            .set_portfolio(self.portfolio);
+        q
+    }
+
+    pub(crate) fn goal_groups(&self, party: &Party) -> Vec<FormulaGroup> {
         party
             .goals
             .iter()
@@ -357,7 +398,7 @@ impl<'a> Session<'a> {
     /// Merge offers of the given parties into one bounds object. In
     /// blameable mode, lower bounds are returned as commitment groups
     /// instead of bounds.
-    fn merge_offers(
+    pub(crate) fn merge_offers(
         &self,
         parties: &[&Party],
         mode: ReconcileMode,
@@ -399,12 +440,7 @@ impl<'a> Session<'a> {
         let party = self.party(id)?;
         let mut op_span = muppet_obs::span("consistency");
         op_span.attr("party", party.name.clone());
-        let mut q = Query::new(&self.vocab, self.universe);
-        q.free_rels(self.all_party_rels())
-            .set_fixed(self.structure.clone())
-            .set_symmetry_breaking(self.symmetry_breaking)
-            .set_portfolio(self.portfolio)
-            .add_group(self.axiom_group());
+        let mut q = self.new_query();
         let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
         q.set_bounds(bounds);
         for g in commit_groups {
@@ -488,12 +524,7 @@ impl<'a> Session<'a> {
     pub fn reconcile(&self, mode: ReconcileMode) -> Result<Reconciliation, MuppetError> {
         let mut op_span = muppet_obs::span("reconcile");
         op_span.attr("mode", format!("{mode:?}"));
-        let mut q = Query::new(&self.vocab, self.universe);
-        q.free_rels(self.all_party_rels())
-            .set_fixed(self.structure.clone())
-            .set_symmetry_breaking(self.symmetry_breaking)
-            .set_portfolio(self.portfolio)
-            .add_group(self.axiom_group());
+        let mut q = self.new_query();
         let refs: Vec<&Party> = self.parties.iter().collect();
         let (bounds, commit_groups) = self.merge_offers(&refs, mode);
         q.set_bounds(bounds);
@@ -581,14 +612,14 @@ impl<'a> Session<'a> {
     }
 
     /// Fingerprint of everything that shapes a warm query's variable
-    /// layout: universe, vocabulary, fixed structure and the given
-    /// bounds + free relations. Two sessions agreeing on this key can
-    /// share one [`PreparedQuery`].
-    fn warm_key(&self, bounds: &PartialInstance, free: &[RelId]) -> u128 {
+    /// layout: universe, vocabulary, the given fixed instance, bounds
+    /// and free relations. Two sessions agreeing on this key can share
+    /// one [`PreparedQuery`].
+    fn warm_key(&self, bounds: &PartialInstance, free: &[RelId], fixed: &Instance) -> u128 {
         let mut fp = Fingerprinter::new();
         fp.add_universe(self.universe)
             .add_vocab(&self.vocab)
-            .add_instance(&self.structure)
+            .add_instance(fixed)
             .add_partial(bounds)
             .add_hash(&free);
         fp.digest()
@@ -611,26 +642,28 @@ impl<'a> Session<'a> {
         fp.digest()
     }
 
-    /// The warm analogue of [`Session::run_budgeted`]: fetch (or build)
-    /// the prepared query for this bounds/free-relation shape, make sure
-    /// every group is encoded, and solve with exactly those groups
-    /// active, under the session's budget and retry escalation.
-    fn run_warm(
+    /// The warm analogue of [`Session::run_budgeted`], generic over the
+    /// engine operation: fetch (or build) the warm engine for this
+    /// bounds/free/fixed shape, make sure every group is encoded, and
+    /// run `op` with exactly those groups active, under the session's
+    /// budget and retry escalation. `exhausted` shapes a pre-solve
+    /// abort into the operation's result type; `is_unknown` drives the
+    /// retry loop.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_warm_op<T>(
         &self,
         store: &mut PreparedStore,
         bounds: &PartialInstance,
+        free: &[RelId],
+        fixed: &Instance,
         groups: &[FormulaGroup],
-    ) -> Result<(Outcome, u32), MuppetError> {
-        let free = self.all_party_rels();
-        let key = self.warm_key(bounds, &free);
+        mut op: impl FnMut(&mut PreparedQuery, &[GroupId], Budget) -> T,
+        exhausted: impl Fn(Phase) -> T,
+        is_unknown: impl Fn(&T) -> bool,
+    ) -> Result<(T, u32), MuppetError> {
+        let key = self.warm_key(bounds, free, fixed);
         let pq = store.get_or_build(key, || {
-            PreparedQuery::new(
-                &self.vocab,
-                self.universe,
-                &free,
-                bounds,
-                self.structure.clone(),
-            )
+            PreparedQuery::new(&self.vocab, self.universe, free, bounds, fixed.clone())
         });
         pq.set_portfolio(self.portfolio);
         let attempts_max = self.retry.max_attempts.max(1);
@@ -661,20 +694,75 @@ impl<'a> Session<'a> {
                     }
                 }
             }
-            let outcome = match aborted {
-                Some(phase) => Outcome::Unknown {
-                    phase,
-                    stats: QueryStats::default(),
-                    partial: None,
-                },
-                None => pq.solve(&active, budget),
+            let out = match aborted {
+                Some(phase) => exhausted(phase),
+                None => op(pq, &active, budget),
             };
-            if outcome.is_unknown() && attempt < attempts_max && self.budget.poll().is_none() {
+            drop(attempt_span);
+            if is_unknown(&out) && attempt < attempts_max && self.budget.poll().is_none() {
                 attempt += 1;
                 continue;
             }
-            return Ok((outcome, attempt));
+            return Ok((out, attempt));
         }
+    }
+
+    /// Warm satisfiability solve: [`Session::run_warm_op`] specialized
+    /// to the all-party-relations shape every Alg. 1/2 query uses.
+    fn run_warm(
+        &self,
+        store: &mut PreparedStore,
+        bounds: &PartialInstance,
+        groups: &[FormulaGroup],
+    ) -> Result<(Outcome, u32), MuppetError> {
+        let free = self.all_party_rels();
+        self.run_warm_op(
+            store,
+            bounds,
+            &free,
+            &self.structure,
+            groups,
+            |pq, active, budget| pq.solve(active, budget),
+            |phase| Outcome::Unknown {
+                phase,
+                stats: QueryStats::default(),
+                partial: None,
+            },
+            Outcome::is_unknown,
+        )
+    }
+
+    /// Warm target-oriented solve: the probing loop of
+    /// [`PreparedQuery::solve_target`] runs on the warm engine, so the
+    /// cardinality encoding and learned clauses persist across a
+    /// workflow's counter-offer queries.
+    fn run_warm_target(
+        &self,
+        store: &mut PreparedStore,
+        bounds: &PartialInstance,
+        free: &[RelId],
+        groups: &[FormulaGroup],
+        target: &Instance,
+    ) -> Result<((Outcome, usize), u32), MuppetError> {
+        self.run_warm_op(
+            store,
+            bounds,
+            free,
+            &self.structure,
+            groups,
+            |pq, active, budget| pq.solve_target(active, target, budget),
+            |phase| {
+                (
+                    Outcome::Unknown {
+                        phase,
+                        stats: QueryStats::default(),
+                        partial: None,
+                    },
+                    0,
+                )
+            },
+            |(o, _)| o.is_unknown(),
+        )
     }
 
     /// **Alg. 3 — envelope extraction.** `E_{from→to}` modulo the
@@ -813,12 +901,7 @@ impl<'a> Session<'a> {
         let party = self.party(to)?;
         let mut op_span = muppet_obs::span("synthesize");
         op_span.attr("party", party.name.clone());
-        let mut q = Query::new(&self.vocab, self.universe);
-        q.free_rels(self.all_party_rels())
-            .set_fixed(self.structure.clone())
-            .set_symmetry_breaking(self.symmetry_breaking)
-            .set_portfolio(self.portfolio)
-            .add_group(self.axiom_group());
+        let mut q = self.new_query();
         let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
         q.set_bounds(bounds);
         for g in commit_groups {
@@ -836,6 +919,34 @@ impl<'a> Session<'a> {
         Ok(outcome)
     }
 
+    /// Warm-path [`Session::synthesize_against`]: identical verdicts,
+    /// with grounding/encoding state kept alive in `store` (see
+    /// [`Session::local_consistency_warm`]). Symmetry-breaking sessions
+    /// fall back to the cold path.
+    pub fn synthesize_against_warm(
+        &self,
+        to: PartyId,
+        envelope: &Envelope,
+        store: &mut PreparedStore,
+    ) -> Result<Outcome, MuppetError> {
+        if self.symmetry_breaking {
+            return self.synthesize_against(to, envelope);
+        }
+        let party = self.party(to)?;
+        let mut op_span = muppet_obs::span("synthesize");
+        op_span.attr("party", party.name.clone());
+        op_span.attr("warm", "true");
+        let (bounds, commit_groups) = self.merge_offers(&[party], ReconcileMode::HardBounds);
+        let mut groups = vec![self.axiom_group()];
+        groups.extend(commit_groups);
+        groups.extend(envelope.to_groups(&self.party_names()));
+        groups.extend(self.goal_groups(party));
+        let (outcome, attempts) = self.run_warm(store, &bounds, &groups)?;
+        op_span.record("attempts", u64::from(attempts));
+        drop(op_span);
+        Ok(outcome)
+    }
+
     /// Fig. 8 solver aid: the *minimal edit* of `target` (the party's
     /// current or preferred configuration) that satisfies the envelope.
     /// Returns the edited configuration and the edit distance (tuple
@@ -848,10 +959,7 @@ impl<'a> Session<'a> {
     ) -> Result<(Outcome, usize), MuppetError> {
         self.party(to)?;
         let mut op_span = muppet_obs::span("minimal_edit");
-        let mut q = Query::new(&self.vocab, self.universe);
-        q.free_rels(self.owned_rels(to))
-            .set_fixed(self.structure.clone())
-            .add_group(self.axiom_group());
+        let mut q = self.edit_query(to);
         for g in envelope.to_groups(&self.party_names()) {
             q.add_group(g);
         }
@@ -860,6 +968,35 @@ impl<'a> Session<'a> {
             |q| q.solve_target(target),
             |(outcome, _)| outcome.is_unknown(),
         )?;
+        op_span.record("attempts", u64::from(attempts));
+        op_span.record("distance", result.1 as u64);
+        drop(op_span);
+        Ok(result)
+    }
+
+    /// Warm-path [`Session::minimal_edit`]: the target-oriented probing
+    /// runs on the warm engine for this party's edit shape, so the
+    /// cardinality (totalizer) encoding and learned clauses persist —
+    /// a negotiation's counter-offer queries get cheaper round over
+    /// round. Minimal-edit queries never use symmetry breaking, so
+    /// (unlike the satisfiability paths) there is no cold fallback to
+    /// take.
+    pub fn minimal_edit_warm(
+        &self,
+        to: PartyId,
+        envelope: &Envelope,
+        target: &Instance,
+        store: &mut PreparedStore,
+    ) -> Result<(Outcome, usize), MuppetError> {
+        self.party(to)?;
+        let mut op_span = muppet_obs::span("minimal_edit");
+        op_span.attr("warm", "true");
+        let free = self.owned_rels(to);
+        let mut groups = vec![self.axiom_group()];
+        groups.extend(envelope.to_groups(&self.party_names()));
+        let bounds = PartialInstance::new();
+        let (result, attempts) =
+            self.run_warm_target(store, &bounds, &free, &groups, target)?;
         op_span.record("attempts", u64::from(attempts));
         op_span.record("distance", result.1 as u64);
         drop(op_span);

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use muppet::conformance::run_conformance;
+use muppet::conformance::run_conformance_with_store;
 use muppet::negotiate::{DropBlamedSoftGoals, Negotiator, Stubborn};
 use muppet::{
     Budget, CancelToken, ConsistencyReport, Envelope, ExhaustionReport, MuppetError,
@@ -439,8 +439,9 @@ impl Engine {
                     self.party_from(req.provider.as_deref().or(Some("k8s")), "provider", core)?;
                 let tenant = other_party(provider, core);
                 let preferred = core.deployed(tenant)?;
-                let report = run_conformance(&session, provider, tenant, Some(&preferred))
-                    .map_err(describe_err)?;
+                let report =
+                    run_conformance_with_store(&session, provider, tenant, Some(&preferred), prepared)
+                        .map_err(describe_err)?;
                 Ok((conformance_json(&session, &report), true))
             }
             Op::NegotiateRound => {
@@ -458,9 +459,13 @@ impl Engine {
                     std::collections::BTreeMap::new();
                 negotiators.insert(core.mv.k8s_party, Box::new(Stubborn));
                 negotiators.insert(core.mv.istio_party, Box::new(DropBlamedSoftGoals));
-                let report =
-                    muppet::negotiate::run_negotiation(&mut session, &mut negotiators, rounds)
-                        .map_err(describe_err)?;
+                let report = muppet::negotiate::run_negotiation_with_store(
+                    &mut session,
+                    &mut negotiators,
+                    rounds,
+                    prepared,
+                )
+                .map_err(describe_err)?;
                 let configs = Json::Obj(
                     report
                         .configs
@@ -514,11 +519,15 @@ impl Engine {
         let reg = relock(&self.sessions);
         let session_count = reg.map.len() as u64;
         let (mut builds, mut reuses) = (0u64, 0u64);
+        let (mut ground_hits, mut ground_misses) = (0u64, 0u64);
         for h in reg.map.values() {
             let ws = relock(h);
             let (b, r) = ws.prepared.group_counters();
             builds += b;
             reuses += r;
+            let (gh, gm) = ws.prepared.ground_cache_counters();
+            ground_hits += gh;
+            ground_misses += gm;
         }
         drop(reg);
         let lat = relock(&self.latencies);
@@ -566,6 +575,13 @@ impl Engine {
             (
                 "warm_groups",
                 Json::obj([("encoded", Json::num(builds)), ("reused", Json::num(reuses))]),
+            ),
+            (
+                "ground_cache",
+                Json::obj([
+                    ("hits", Json::num(ground_hits)),
+                    ("misses", Json::num(ground_misses)),
+                ]),
             ),
             ("obs", obs_json()),
             (

@@ -29,6 +29,7 @@
 
 mod decompose;
 mod eval;
+pub mod fingerprint;
 mod formula;
 mod instance;
 mod partial_eval;

@@ -99,6 +99,59 @@ pub fn shrink_core(solver: &mut Solver, assumptions: &[Lit]) -> ShrinkResult {
     ShrinkResult::Minimal(core)
 }
 
+/// Like [`shrink_core`], but **deterministic**: the result is a pure
+/// function of the assumption order and the problem semantics,
+/// independent of the solver's heuristic state (learned clauses,
+/// activities, restarts).
+///
+/// Starts from the *full ordered assumption list* — not the
+/// solver-reported core, whose membership depends on search history —
+/// and deletes left to right, never adopting reported sub-cores. The
+/// warm incremental engine relies on this to return byte-identical
+/// cores from warm, cold and portfolio runs; the price is `O(n)` probes
+/// over all `n` assumptions rather than `O(k)` over the first core's
+/// `k` members, which is fine at Muppet scale.
+pub fn shrink_core_ordered(solver: &mut Solver, assumptions: &[Lit]) -> ShrinkResult {
+    // Establish (or confirm) UNSAT; the reported core is discarded.
+    match solver.solve_with_assumptions(assumptions) {
+        SolveResult::Unsat(core) => {
+            if core.is_empty() {
+                // Formula unsat on its own: the empty core is minimal.
+                return ShrinkResult::Minimal(Vec::new());
+            }
+        }
+        SolveResult::Sat(_) => return ShrinkResult::Sat,
+        SolveResult::Unknown => return ShrinkResult::Exhausted { best: None },
+    }
+    let mut core: Vec<Lit> = assumptions.to_vec();
+    let mut i = 0;
+    while i < core.len() {
+        let candidate: Vec<Lit> = core
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &l)| l)
+            .collect();
+        match solver.solve_with_assumptions(&candidate) {
+            SolveResult::Unsat(_) => {
+                // Still unsat without core[i]: drop it. The index now
+                // points at the next element; every element left of `i`
+                // has already been proven necessary *given the current
+                // suffix*, and dropping a later element never makes an
+                // earlier one droppable once it was necessary, so no
+                // rescan is needed.
+                core.remove(i);
+            }
+            SolveResult::Sat(_) => {
+                // core[i] is necessary.
+                i += 1;
+            }
+            SolveResult::Unknown => return ShrinkResult::Exhausted { best: Some(core) },
+        }
+    }
+    ShrinkResult::Minimal(core)
+}
+
 /// Check whether a set of assumptions is a *minimal* unsatisfiable subset:
 /// UNSAT as given, SAT after removing any single element. Intended for
 /// tests and assertions.
@@ -201,5 +254,40 @@ mod tests {
         assert!(is_minimal_core(&mut s, &core));
         assert!(core.len() == 2 || core.len() == 3);
         assert!(core.contains(&Lit::pos(sel[0])));
+    }
+
+    /// Ordered shrinking is a pure function of the assumption order:
+    /// with several MUSes available it always lands on the same one,
+    /// even after the solver has accumulated unrelated search state.
+    #[test]
+    fn ordered_shrink_is_deterministic_under_warm_state() {
+        let build = |s: &mut Solver| -> Vec<Lit> {
+            let a = s.new_var();
+            let b = s.new_var();
+            let sel: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+            s.add_clause([Lit::neg(sel[0]), Lit::pos(a)]);
+            s.add_clause([Lit::neg(sel[1]), Lit::neg(a), Lit::pos(b)]);
+            s.add_clause([Lit::neg(sel[2]), Lit::neg(b)]);
+            s.add_clause([Lit::neg(sel[3]), Lit::neg(a)]);
+            sel.iter().map(|&v| Lit::pos(v)).collect()
+        };
+        let mut cold = Solver::new();
+        let assumptions = build(&mut cold);
+        let cold_core = shrink_core_ordered(&mut cold, &assumptions).minimal().unwrap();
+        // {s0, s3} is the left-to-right deletion fixpoint.
+        assert_eq!(cold_core, vec![assumptions[0], assumptions[3]]);
+        assert!(is_minimal_core(&mut cold, &cold_core));
+
+        let mut warm = Solver::new();
+        let assumptions = build(&mut warm);
+        // Perturb heuristic state with unrelated solves first.
+        for _ in 0..3 {
+            assert!(warm.solve_with_assumptions(&assumptions[1..2]).is_sat());
+            assert!(warm
+                .solve_with_assumptions(&[assumptions[0], assumptions[3]])
+                .is_unsat());
+        }
+        let warm_core = shrink_core_ordered(&mut warm, &assumptions).minimal().unwrap();
+        assert_eq!(warm_core, vec![assumptions[0], assumptions[3]]);
     }
 }

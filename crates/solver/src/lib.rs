@@ -34,6 +34,13 @@
 //!   tell apart (spare ports). Only legal for plain satisfiability
 //!   queries; target-oriented and enumeration queries keep the full
 //!   model space.
+//! * **One incremental engine** ([`IncrementalQuery`], DESIGN.md §13):
+//!   every path above runs on a single warm compilation engine —
+//!   selector-gated CNF groups, a content-fingerprinted subformula
+//!   ground/encode cache, persistent learned clauses — with [`Query`]
+//!   as the one-shot facade and [`PreparedQuery`] as the warm alias.
+//!   Models and cores are canonicalized so warm, cold and portfolio
+//!   runs answer byte-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +48,7 @@
 #[cfg(any(test, feature = "fault-inject"))]
 pub mod fault;
 pub mod ground;
+pub mod incremental;
 pub mod prepared;
 pub mod query;
 pub mod symmetry;
@@ -48,6 +56,7 @@ pub mod totalizer;
 pub mod tseitin;
 pub mod varmap;
 
+pub use incremental::{IncrementalQuery, DEFAULT_CANONICAL_CAP};
 pub use muppet_portfolio::{default_threads, PortfolioConfig, PortfolioSummary};
 pub use muppet_sat::{Budget, CancelToken, Exhaustion, RetryPolicy};
 pub use prepared::{GroupId, PrepareError, PreparedQuery, PreparedStore};

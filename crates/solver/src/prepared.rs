@@ -1,257 +1,43 @@
 //! Warm, reusable encode state for repeated queries.
 //!
-//! A [`PreparedQuery`] is the daemon-facing counterpart of [`Query`]:
-//! it owns its vocabulary/universe (no borrowed lifetimes, so it can
-//! outlive the session that built it), keeps the SAT solver, variable
-//! map and every Tseitin-encoded formula group alive across requests,
-//! and gates each group behind a selector literal. A later request that
-//! shares groups with an earlier one re-grounds and re-encodes
-//! *nothing*: it just assumes the selectors of the groups it needs.
-//! Groups that are absent from a request are inert (their clauses are
-//! `¬sel ∨ …` and `sel` is not assumed), which is what makes
-//! delta-aware reuse sound.
+//! The warm query type itself is the incremental engine
+//! ([`IncrementalQuery`], DESIGN.md §13); [`PreparedQuery`] is kept as
+//! an alias for daemon-facing callers. This module owns
+//! [`PreparedStore`]: a capped, keyed store of warm engines.
 //!
 //! [`PreparedStore`] maps a *base fingerprint* — vocabulary, universe,
-//! fixed structure, bounds and free relations — to its prepared query,
-//! so callers with several distinct query shapes (per-party consistency
+//! fixed structure, bounds and free relations — to its warm engine, so
+//! callers with several distinct query shapes (per-party consistency
 //! checks vs. joint reconciliation) each get their own warm state.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::fmt;
-use std::hash::{Hash, Hasher};
 
-use muppet_logic::{Instance, PartialInstance, RelId, Universe, Vocabulary};
-use muppet_portfolio::PortfolioConfig;
-use muppet_sat::{Budget, Lit, Solver};
+pub use crate::incremental::{GroupId, IncrementalQuery, PrepareError};
 
-use crate::ground::{ground, GExpr, GroundError};
-use crate::query::{run_sat_solve, FormulaGroup, Outcome, Phase, QueryStats};
-use crate::tseitin::encode;
-use crate::varmap::VarMap;
-
-/// Handle to a formula group already grounded + encoded into a
-/// [`PreparedQuery`]. Only meaningful for the query that issued it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct GroupId(usize);
-
-/// How [`PreparedQuery::ensure_group`] can fail.
-#[derive(Debug)]
-pub enum PrepareError {
-    /// The group's formulas could not be grounded (free variables).
-    Ground(GroundError),
-    /// The budget fired while grounding or encoding the group.
-    Exhausted(Phase),
-}
-
-impl fmt::Display for PrepareError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PrepareError::Ground(e) => write!(f, "grounding failed: {e}"),
-            PrepareError::Exhausted(phase) => {
-                write!(f, "budget exhausted at phase {phase} while preparing group")
-            }
-        }
-    }
-}
-
-impl std::error::Error for PrepareError {}
-
-/// A warm query: solver + varmap built once, formula groups encoded on
-/// first use and reused (via selector assumptions) ever after.
-///
-/// Restrictions compared to [`Query`]: no symmetry breaking (its lex
-/// clauses are permanent and goal-set dependent), no target-oriented
-/// solving and no enumeration (both add permanent clauses that would
-/// poison later reuse). Callers needing those fall back to a cold
-/// [`Query`].
-pub struct PreparedQuery {
-    vocab: Vocabulary,
-    universe: Universe,
-    fixed: Instance,
-    solver: Solver,
-    varmap: VarMap,
-    selectors: Vec<(String, Lit)>,
-    index: HashMap<u64, usize>,
-    minimize_cores: bool,
-    portfolio: Option<PortfolioConfig>,
-    encoded_groups: u64,
-    reused_groups: u64,
-}
-
-impl PreparedQuery {
-    /// Build the warm state: allocate the free-relation variables under
-    /// `bounds` against `fixed`. Groups are added lazily via
-    /// [`PreparedQuery::ensure_group`].
-    ///
-    /// The vocabulary and universe are cloned so the prepared query is
-    /// self-contained (`'static`) and can be cached across sessions
-    /// that rebuild their borrowed views per request.
-    pub fn new(
-        vocab: &Vocabulary,
-        universe: &Universe,
-        free_rels: &[RelId],
-        bounds: &PartialInstance,
-        fixed: Instance,
-    ) -> PreparedQuery {
-        let vocab = vocab.clone();
-        let universe = universe.clone();
-        let mut solver = Solver::new();
-        let varmap = VarMap::build(&vocab, &universe, free_rels, bounds, &mut solver);
-        PreparedQuery {
-            vocab,
-            universe,
-            fixed,
-            solver,
-            varmap,
-            selectors: Vec::new(),
-            index: HashMap::new(),
-            minimize_cores: true,
-            portfolio: None,
-            encoded_groups: 0,
-            reused_groups: 0,
-        }
-    }
-
-    /// Whether UNSAT cores are shrunk to minimal ones (default: yes).
-    pub fn set_minimize_cores(&mut self, minimize: bool) -> &mut Self {
-        self.minimize_cores = minimize;
-        self
-    }
-
-    /// Fan the search phase of [`PreparedQuery::solve`] out across a
-    /// portfolio of diversified workers. `None` (the default) or a
-    /// config with `threads <= 1` keeps the search sequential. The
-    /// shared proofs flow back into the warm solver, so later solves on
-    /// this prepared query benefit from earlier races.
-    pub fn set_portfolio(&mut self, portfolio: Option<PortfolioConfig>) -> &mut Self {
-        self.portfolio = portfolio;
-        self
-    }
-
-    /// Content fingerprint of a group: name + formulas. Two groups with
-    /// identical content share one encoding.
-    fn group_key(group: &FormulaGroup) -> u64 {
-        let mut h = DefaultHasher::new();
-        group.name.hash(&mut h);
-        group.formulas.hash(&mut h);
-        h.finish()
-    }
-
-    /// Ground + encode `group` if this query has not seen its content
-    /// before; otherwise reuse the existing encoding. The returned id
-    /// activates the group in a later [`PreparedQuery::solve`].
-    pub fn ensure_group(
-        &mut self,
-        group: &FormulaGroup,
-        budget: &Budget,
-    ) -> Result<GroupId, PrepareError> {
-        let key = Self::group_key(group);
-        if let Some(&i) = self.index.get(&key) {
-            self.reused_groups += 1;
-            return Ok(GroupId(i));
-        }
-        #[cfg(any(test, feature = "fault-inject"))]
-        if crate::fault::should_trip(Phase::Ground) {
-            return Err(PrepareError::Exhausted(Phase::Ground));
-        }
-        if budget.poll().is_some() {
-            return Err(PrepareError::Exhausted(Phase::Ground));
-        }
-        let mut ground_span = muppet_obs::span("ground");
-        ground_span.record("groups", 1);
-        let mut parts = group
-            .formulas
-            .iter()
-            .map(|f| ground(f, &self.varmap, &self.fixed, &self.universe))
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(PrepareError::Ground)?;
-        let expr = if parts.len() == 1 {
-            parts.pop().unwrap_or(GExpr::And(Vec::new()))
-        } else {
-            GExpr::And(parts)
-        };
-        drop(ground_span);
-        #[cfg(any(test, feature = "fault-inject"))]
-        if crate::fault::should_trip(Phase::Encode) {
-            return Err(PrepareError::Exhausted(Phase::Encode));
-        }
-        if budget.poll().is_some() {
-            return Err(PrepareError::Exhausted(Phase::Encode));
-        }
-        let mut encode_span = muppet_obs::span("encode");
-        encode_span.record("groups", 1);
-        let lit = encode(&expr, &mut self.solver);
-        let sel = Lit::pos(self.solver.new_var());
-        self.solver.add_clause([!sel, lit]);
-        drop(encode_span);
-        let i = self.selectors.len();
-        self.selectors.push((group.name.clone(), sel));
-        self.index.insert(key, i);
-        self.encoded_groups += 1;
-        Ok(GroupId(i))
-    }
-
-    /// Solve with exactly the given groups active, under `budget`.
-    /// Work counters in the outcome are the *delta* for this solve, not
-    /// the warm solver's lifetime totals.
-    pub fn solve(&mut self, active: &[GroupId], budget: Budget) -> Outcome {
-        let base = QueryStats {
-            free_tuple_vars: 0,
-            conflicts: self.solver.stats.conflicts,
-            decisions: self.solver.stats.decisions,
-            propagations: self.solver.stats.propagations,
-            restarts: self.solver.stats.restarts,
-            portfolio: None,
-        };
-        self.solver.set_budget(budget);
-        let assumptions: Vec<Lit> = active
-            .iter()
-            .filter_map(|g| self.selectors.get(g.0).map(|(_, l)| *l))
-            .collect();
-        run_sat_solve(
-            &mut self.solver,
-            &self.varmap,
-            &self.selectors,
-            &assumptions,
-            self.minimize_cores,
-            &self.fixed,
-            base,
-            self.portfolio.as_ref(),
-        )
-    }
-
-    /// Groups grounded + encoded by this query so far.
-    pub fn num_groups(&self) -> usize {
-        self.selectors.len()
-    }
-
-    /// How many `ensure_group` calls did fresh ground/encode work.
-    pub fn encoded_groups(&self) -> u64 {
-        self.encoded_groups
-    }
-
-    /// How many `ensure_group` calls reused an existing encoding.
-    pub fn reused_groups(&self) -> u64 {
-        self.reused_groups
-    }
-
-    /// The owned vocabulary (for decoding / debugging).
-    pub fn vocab(&self) -> &Vocabulary {
-        &self.vocab
-    }
-}
+/// Back-compat alias: the warm prepared query *is* the incremental
+/// engine.
+pub type PreparedQuery = IncrementalQuery;
 
 /// A keyed store of warm [`PreparedQuery`]s. Keys are *base
 /// fingerprints* — everything that shapes the variable layout: vocab,
 /// universe, fixed instance, bounds and free relations. Distinct keys
 /// get distinct warm states; hitting an existing key is the warm path.
+///
+/// Counter discipline: `builds`, `hits` and the group/ground-cache
+/// counters are **monotone over the store's lifetime** — evicting an
+/// engine retires its counters into store-level accumulators instead of
+/// forgetting them, so dashboards never see totals go backwards.
 pub struct PreparedStore {
     map: HashMap<u128, PreparedQuery>,
     order: Vec<u128>,
     cap: usize,
     builds: u64,
     hits: u64,
+    evictions: u64,
+    retired_encoded: u64,
+    retired_reused: u64,
+    retired_cache_hits: u64,
+    retired_cache_misses: u64,
 }
 
 impl PreparedStore {
@@ -269,10 +55,19 @@ impl PreparedStore {
             cap: cap.max(1),
             builds: 0,
             hits: 0,
+            evictions: 0,
+            retired_encoded: 0,
+            retired_reused: 0,
+            retired_cache_hits: 0,
+            retired_cache_misses: 0,
         }
     }
 
     /// Fetch the warm query for `key`, building it on first use.
+    ///
+    /// A key evicted earlier is simply rebuilt (another cold build):
+    /// sessions whose warm engine was evicted mid-negotiation rebuild
+    /// transparently and keep working.
     pub fn get_or_build(
         &mut self,
         key: u128,
@@ -281,7 +76,15 @@ impl PreparedStore {
         if !self.map.contains_key(&key) {
             if self.order.len() >= self.cap {
                 let evict = self.order.remove(0);
-                self.map.remove(&evict);
+                if let Some(old) = self.map.remove(&evict) {
+                    // Retire the evicted engine's counters so the
+                    // store-level totals stay monotone.
+                    self.evictions += 1;
+                    self.retired_encoded += old.encoded_groups();
+                    self.retired_reused += old.reused_groups();
+                    self.retired_cache_hits += old.ground_cache_hits();
+                    self.retired_cache_misses += old.ground_cache_misses();
+                }
             }
             self.map.insert(key, build());
             self.order.push(key);
@@ -305,6 +108,11 @@ impl PreparedStore {
         self.hits
     }
 
+    /// Engines evicted to stay within the cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Distinct query shapes currently held.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -315,11 +123,23 @@ impl PreparedStore {
         self.map.is_empty()
     }
 
-    /// Summed (encoded, reused) group counters across all held queries.
+    /// Summed (encoded, reused) group counters across the store's whole
+    /// lifetime: live engines plus everything retired at eviction.
     pub fn group_counters(&self) -> (u64, u64) {
-        self.map.values().fold((0, 0), |(e, r), q| {
-            (e + q.encoded_groups(), r + q.reused_groups())
-        })
+        self.map.values().fold(
+            (self.retired_encoded, self.retired_reused),
+            |(e, r), q| (e + q.encoded_groups(), r + q.reused_groups()),
+        )
+    }
+
+    /// Summed subformula ground/encode cache (hits, misses) across the
+    /// store's whole lifetime, eviction-safe like
+    /// [`PreparedStore::group_counters`].
+    pub fn ground_cache_counters(&self) -> (u64, u64) {
+        self.map.values().fold(
+            (self.retired_cache_hits, self.retired_cache_misses),
+            |(h, m), q| (h + q.ground_cache_hits(), m + q.ground_cache_misses()),
+        )
     }
 }
 
@@ -332,7 +152,11 @@ impl Default for PreparedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use muppet_logic::{Domain, Formula, PartyId, Term};
+    use crate::query::{FormulaGroup, Outcome, Phase};
+    use muppet_logic::{
+        Domain, Formula, Instance, PartialInstance, PartyId, RelId, Term, Universe, Vocabulary,
+    };
+    use muppet_sat::Budget;
 
     struct Fix {
         u: Universe,
@@ -478,6 +302,51 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert_eq!(store.builds(), 3, "key 1 evicted, keys 2/3 built once");
         assert_eq!(store.hits(), 1);
+        assert_eq!(store.evictions(), 1);
         assert!(!store.is_empty());
+    }
+
+    /// Eviction must not roll counters backwards, and an evicted key
+    /// must rebuild transparently and keep answering.
+    #[test]
+    fn evicted_engines_retire_counters_and_rebuild() {
+        let f = fix();
+        let g = FormulaGroup::new(
+            "g",
+            vec![Formula::pred(
+                f.allow,
+                [Term::Const(f.atoms[0]), Term::Const(f.atoms[1])],
+            )],
+        );
+        let b = Budget::unlimited();
+        let mut store = PreparedStore::with_cap(1);
+        // Warm up key 1: one encode + one reuse.
+        let id = {
+            let q = store.get_or_build(1, || pq(&f));
+            let id = q.ensure_group(&g, &b).unwrap();
+            q.ensure_group(&g, &b).unwrap();
+            assert!(q.solve(&[id], Budget::unlimited()).is_sat());
+            id
+        };
+        let before = store.group_counters();
+        assert_eq!(before, (1, 1));
+        // Key 2 evicts key 1 (cap is 1); totals must not shrink.
+        store.get_or_build(2, || pq(&f));
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(
+            store.group_counters(),
+            before,
+            "eviction retired key 1's counters instead of dropping them"
+        );
+        // Re-requesting key 1 mid-"negotiation" rebuilds transparently:
+        // a fresh cold build whose groups re-encode, and the old
+        // GroupId is meaningless for the new engine until re-ensured.
+        let q = store.get_or_build(1, || pq(&f));
+        let id2 = q.ensure_group(&g, &b).unwrap();
+        assert_eq!(id, id2, "fresh engine hands out ids from zero again");
+        assert!(q.solve(&[id2], Budget::unlimited()).is_sat());
+        assert_eq!(store.builds(), 3);
+        let after = store.group_counters();
+        assert!(after.0 > before.0, "rebuild re-encodes monotonically");
     }
 }

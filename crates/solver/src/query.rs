@@ -7,17 +7,21 @@
 //! `solve` answers Algs. 1–2's satisfiability questions, `solve_target`
 //! answers Pardinus-style "closest model" questions (Fig. 8 minimal
 //! edits), and `enumerate` lists models for exhaustive checks.
+//!
+//! `Query` is a thin **one-shot facade** over the incremental engine
+//! ([`crate::IncrementalQuery`], DESIGN.md §13): each call compiles the
+//! groups into a fresh engine and delegates. Long-lived callers
+//! (sessions, the daemon, negotiation loops) hold a warm engine instead
+//! and pay the ground/encode cost once.
 
 use std::fmt;
 
 use muppet_logic::{Formula, Instance, PartialInstance, RelId, Universe, Vocabulary};
-use muppet_portfolio::{solve_portfolio, PortfolioConfig, PortfolioSummary};
-use muppet_sat::{mus, Budget, Lit, SolveResult, Solver};
+use muppet_portfolio::{PortfolioConfig, PortfolioSummary};
+use muppet_sat::Budget;
 
-use crate::ground::{ground, GExpr, GroundError};
-use crate::totalizer::Totalizer;
-use crate::tseitin::encode;
-use crate::varmap::VarMap;
+use crate::ground::GroundError;
+use crate::incremental::{GroupId, IncrementalQuery, PrepareError};
 
 /// A named group of formulas. Groups are the unit of *blame*: an UNSAT
 /// answer names the minimal set of groups that conflict. Typical groups
@@ -227,7 +231,7 @@ impl From<GroundError> for QueryError {
     }
 }
 
-/// How [`Query::build`] can fail before a solver exists.
+/// How compiling the facade's groups into an engine can fail.
 enum BuildError {
     Ground(GroundError),
     Exhausted(Phase),
@@ -339,76 +343,28 @@ impl<'a> Query<'a> {
         &self.free_rels
     }
 
-    #[allow(clippy::type_complexity)]
-    fn build(&self) -> Result<(Solver, VarMap, Vec<(String, Lit)>), BuildError> {
-        let mut solver = Solver::new();
-        let varmap = VarMap::build(
+    /// Compile the facade's configuration into a fresh incremental
+    /// engine with every group grounded + encoded, in declaration
+    /// order.
+    fn build(&self) -> Result<(IncrementalQuery, Vec<GroupId>), BuildError> {
+        let mut engine = IncrementalQuery::new(
             self.vocab,
             self.universe,
             &self.free_rels,
             &self.bounds,
-            &mut solver,
+            self.fixed.clone(),
         );
-        // Grounding: per-group, interruptible between groups.
-        let mut ground_span = muppet_obs::span("ground");
-        let mut ground_exprs = Vec::with_capacity(self.groups.len());
+        engine.set_minimize_cores(self.minimize_cores);
+        engine.set_portfolio(self.portfolio);
+        let mut active = Vec::with_capacity(self.groups.len());
         for g in &self.groups {
-            #[cfg(any(test, feature = "fault-inject"))]
-            if crate::fault::should_trip(Phase::Ground) {
-                return Err(BuildError::Exhausted(Phase::Ground));
+            match engine.ensure_group(g, &self.budget) {
+                Ok(id) => active.push(id),
+                Err(PrepareError::Ground(e)) => return Err(BuildError::Ground(e)),
+                Err(PrepareError::Exhausted(phase)) => return Err(BuildError::Exhausted(phase)),
             }
-            if self.budget.poll().is_some() {
-                return Err(BuildError::Exhausted(Phase::Ground));
-            }
-            let mut parts = g
-                .formulas
-                .iter()
-                .map(|f| ground(f, &varmap, &self.fixed, self.universe))
-                .collect::<Result<Vec<_>, _>>()
-                .map_err(BuildError::Ground)?;
-            let expr = if parts.len() == 1 {
-                parts.pop().unwrap_or(GExpr::And(Vec::new()))
-            } else {
-                GExpr::And(parts)
-            };
-            ground_exprs.push(expr);
         }
-        ground_span.record("groups", self.groups.len() as u64);
-        ground_span.record("free_tuple_vars", varmap.num_free_vars() as u64);
-        drop(ground_span);
-        // Tseitin encoding: per-group, interruptible between groups.
-        let mut encode_span = muppet_obs::span("encode");
-        let mut selectors = Vec::with_capacity(self.groups.len());
-        for (g, expr) in self.groups.iter().zip(&ground_exprs) {
-            #[cfg(any(test, feature = "fault-inject"))]
-            if crate::fault::should_trip(Phase::Encode) {
-                return Err(BuildError::Exhausted(Phase::Encode));
-            }
-            if self.budget.poll().is_some() {
-                return Err(BuildError::Exhausted(Phase::Encode));
-            }
-            let lit = encode(expr, &mut solver);
-            let sel = Lit::pos(solver.new_var());
-            solver.add_clause([!sel, lit]);
-            selectors.push((g.name.clone(), sel));
-        }
-        encode_span.record("groups", self.groups.len() as u64);
-        drop(encode_span);
-        // The search phase enforces the rest of the budget inside the
-        // CDCL loop.
-        solver.set_budget(self.budget.clone());
-        Ok((solver, varmap, selectors))
-    }
-
-    fn stats_of(varmap: &VarMap, solver: &Solver) -> QueryStats {
-        QueryStats {
-            free_tuple_vars: varmap.num_free_vars(),
-            conflicts: solver.stats.conflicts,
-            decisions: solver.stats.decisions,
-            propagations: solver.stats.propagations,
-            restarts: solver.stats.restarts,
-            portfolio: None,
-        }
+        Ok((engine, active))
     }
 
     /// Convert a pre-solver build abort into the structured outcome.
@@ -428,45 +384,17 @@ impl<'a> Query<'a> {
     /// was still being minimized) the unminimized core as a partial
     /// artifact.
     pub fn solve(&self) -> Result<Outcome, QueryError> {
-        let (mut solver, varmap, selectors) = match self.build() {
+        let (mut engine, active) = match self.build() {
             Ok(built) => built,
             Err(BuildError::Ground(e)) => return Err(QueryError::Ground(e)),
             Err(BuildError::Exhausted(phase)) => return Ok(self.exhausted_outcome(phase)),
         };
         if self.symmetry_breaking {
-            let formulas: Vec<&Formula> = self
-                .groups
-                .iter()
-                .flat_map(|g| g.formulas.iter())
-                .collect();
-            let classes = crate::symmetry::interchangeable_classes(
-                self.vocab,
-                self.universe,
-                &formulas,
-                &self.fixed,
-                &self.bounds,
-            );
-            crate::symmetry::add_symmetry_breaking(
-                &classes,
-                &self.free_rels,
-                self.vocab,
-                self.universe,
-                &varmap,
-                &mut solver,
-                crate::symmetry::DEFAULT_MAX_PAIRS,
-            );
+            // Sound only because this engine is one-shot: the lex
+            // clauses are permanent and goal-set dependent.
+            engine.add_symmetry_breaking(&self.groups);
         }
-        let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
-        Ok(run_sat_solve(
-            &mut solver,
-            &varmap,
-            &selectors,
-            &assumptions,
-            self.minimize_cores,
-            &self.fixed,
-            QueryStats::default(),
-            self.portfolio.as_ref(),
-        ))
+        Ok(engine.solve(&active, self.budget.clone()))
     }
 
     /// Find the satisfying instance *closest to `target`* (fewest tuple
@@ -480,156 +408,20 @@ impl<'a> Query<'a> {
     /// best model found so far (feasible but not proven closest) as a
     /// [`PartialResult::Model`], so a counter-offer can still be made.
     pub fn solve_target(&self, target: &Instance) -> Result<(Outcome, usize), QueryError> {
-        let (mut solver, varmap, selectors) = match self.build() {
+        let (mut engine, active) = match self.build() {
             Ok(built) => built,
             Err(BuildError::Ground(e)) => return Err(QueryError::Ground(e)),
             Err(BuildError::Exhausted(phase)) => return Ok((self.exhausted_outcome(phase), 0)),
         };
-        let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
-        #[cfg(any(test, feature = "fault-inject"))]
-        if crate::fault::should_trip(Phase::Search) {
-            return Ok((
-                Outcome::Unknown {
-                    phase: Phase::Search,
-                    stats: Self::stats_of(&varmap, &solver),
-                    partial: None,
-                },
-                0,
-            ));
-        }
-
-        // Difference indicators: literal true iff the tuple's value in the
-        // model differs from its value in the target.
-        let mut diff_inputs = Vec::new();
-        for (var, rel, tuple) in varmap.free_tuples() {
-            let in_target = target.holds(rel, tuple);
-            diff_inputs.push(Lit::new(var, !in_target));
-        }
-        // Pinned tuples that disagree with the target contribute a fixed
-        // base distance no model can avoid.
-        let mut base = 0usize;
-        for &rel in &self.free_rels {
-            let decl = self.vocab.rel(rel);
-            for tuple in crate::varmap::tuple_product(self.universe, &decl.arg_sorts) {
-                match varmap.state(rel, &tuple) {
-                    Some(crate::varmap::TupleState::True)
-                        if !target.holds(rel, &tuple) => {
-                            base += 1;
-                        }
-                    Some(crate::varmap::TupleState::False)
-                        if target.holds(rel, &tuple) => {
-                            base += 1;
-                        }
-                    _ => {}
-                }
-            }
-        }
-
-        // Initial unconstrained probe: establishes feasibility, an upper
-        // bound on the distance, and the best-effort model surfaced if
-        // the budgeted distance search below exhausts.
-        let names_of = |lits: &[Lit], selectors: &[(String, Lit)]| -> Vec<String> {
-            selectors
-                .iter()
-                .filter(|(_, l)| lits.contains(l))
-                .map(|(n, _)| n.clone())
-                .collect()
-        };
-        let mut search_span = muppet_obs::span("search");
-        search_span.attr("mode", "target");
-        let (best_solution, best_dist) = match solver.solve_with_assumptions(&assumptions) {
-            SolveResult::Sat(model) => {
-                let dist = diff_inputs.iter().filter(|&&l| model.lit_value(l)).count();
-                (self.fixed.union(&varmap.decode(&model)), dist)
-            }
-            SolveResult::Unsat(first_core) => {
-                drop(search_span);
-                // Infeasible at any distance: produce a core.
-                let _minimize_span = muppet_obs::span("minimize");
-                let core = match mus::shrink_core(&mut solver, &assumptions) {
-                    mus::ShrinkResult::Minimal(core) => names_of(&core, &selectors),
-                    mus::ShrinkResult::Sat => names_of(&first_core, &selectors),
-                    mus::ShrinkResult::Exhausted { best } => {
-                        let stats = Self::stats_of(&varmap, &solver);
-                        let partial = Some(PartialResult::Core(names_of(
-                            &best.unwrap_or(first_core),
-                            &selectors,
-                        )));
-                        return Ok((
-                            Outcome::Unknown {
-                                phase: Phase::Minimize,
-                                stats,
-                                partial,
-                            },
-                            0,
-                        ));
-                    }
-                };
-                let stats = Self::stats_of(&varmap, &solver);
-                return Ok((Outcome::Unsat { core, stats }, 0));
-            }
-            SolveResult::Unknown => {
-                return Ok((
-                    Outcome::Unknown {
-                        phase: Phase::Search,
-                        stats: Self::stats_of(&varmap, &solver),
-                        partial: None,
-                    },
-                    0,
-                ));
-            }
-        };
-
-        let tot = Totalizer::build(&diff_inputs, &mut solver);
-        // Linear search upward from distance 0, bounded above by the
-        // probe's distance: minimal edits are small in practice, so this
-        // touches few bounds.
-        for k in 0..best_dist {
-            let mut assms = assumptions.clone();
-            assms.extend(tot.at_most(k));
-            match solver.solve_with_assumptions(&assms) {
-                SolveResult::Sat(model) => {
-                    let solution = self.fixed.union(&varmap.decode(&model));
-                    let stats = Self::stats_of(&varmap, &solver);
-                    return Ok((Outcome::Sat { solution, stats }, base + k));
-                }
-                SolveResult::Unsat(_) => continue,
-                SolveResult::Unknown => {
-                    // Budget fired mid-search: the probe model is still a
-                    // valid (if non-minimal) counter-offer.
-                    let stats = Self::stats_of(&varmap, &solver);
-                    let partial = Some(PartialResult::Model {
-                        solution: best_solution,
-                        distance: base + best_dist,
-                    });
-                    return Ok((
-                        Outcome::Unknown {
-                            phase: Phase::Search,
-                            stats,
-                            partial,
-                        },
-                        0,
-                    ));
-                }
-            }
-        }
-        // No strictly closer model exists: the probe model is optimal.
-        let stats = Self::stats_of(&varmap, &solver);
-        Ok((
-            Outcome::Sat {
-                solution: best_solution,
-                stats,
-            },
-            base + best_dist,
-        ))
+        Ok(engine.solve_target(&active, target, self.budget.clone()))
     }
 
     /// Enumerate up to `limit` distinct solutions (distinct over the free
     /// relations). Intended for exhaustive verification on small
     /// universes.
     pub fn enumerate(&self, limit: usize) -> Result<Vec<Instance>, QueryError> {
-        let (mut solver, varmap, selectors) = match self.build() {
-            Ok(parts) => parts,
+        let (mut engine, active) = match self.build() {
+            Ok(built) => built,
             Err(BuildError::Ground(e)) => return Err(QueryError::Ground(e)),
             Err(BuildError::Exhausted(phase)) => {
                 return Err(QueryError::Exhausted {
@@ -638,158 +430,7 @@ impl<'a> Query<'a> {
                 })
             }
         };
-        #[cfg(any(test, feature = "fault-inject"))]
-        if crate::fault::should_trip(Phase::Search) {
-            return Err(QueryError::Exhausted {
-                phase: Phase::Search,
-                stats: Self::stats_of(&varmap, &solver),
-            });
-        }
-        let assumptions: Vec<Lit> = selectors.iter().map(|(_, l)| *l).collect();
-        let mut out = Vec::new();
-        while out.len() < limit {
-            match solver.solve_with_assumptions(&assumptions) {
-                SolveResult::Sat(model) => {
-                    out.push(self.fixed.union(&varmap.decode(&model)));
-                    // Block this assignment of the free tuple vars.
-                    let blocking: Vec<Lit> = varmap
-                        .free_tuples()
-                        .map(|(v, _, _)| Lit::new(v, !model.value(v)))
-                        .collect();
-                    if blocking.is_empty() {
-                        break; // unique model
-                    }
-                    solver.add_clause(blocking);
-                }
-                SolveResult::Unsat(_) => break,
-                SolveResult::Unknown => {
-                    return Err(QueryError::Exhausted {
-                        phase: Phase::Search,
-                        stats: Self::stats_of(&varmap, &solver),
-                    })
-                }
-            }
-        }
-        Ok(out)
-    }
-}
-
-/// Shared search/minimize tail used by [`Query::solve`] and the warm
-/// [`crate::prepared::PreparedQuery::solve`]: run the CDCL search under
-/// the already-installed budget (fanning out across a portfolio when
-/// `portfolio` says so), shrink cores when asked, and report work
-/// counters as the delta from `base` (a cold query passes zeros; a warm
-/// query passes the solver's counters before this solve).
-///
-/// The fault-injection check runs on the *calling* thread before any
-/// fan-out (failpoints are thread-local), so a query under fault
-/// injection always degrades to the sequential path.
-#[allow(clippy::too_many_arguments)] // internal plumbing shared by two call sites
-pub(crate) fn run_sat_solve(
-    solver: &mut Solver,
-    varmap: &VarMap,
-    selectors: &[(String, Lit)],
-    assumptions: &[Lit],
-    minimize_cores: bool,
-    fixed: &Instance,
-    base: QueryStats,
-    portfolio: Option<&PortfolioConfig>,
-) -> Outcome {
-    let delta_stats = |solver: &Solver, summary: Option<PortfolioSummary>| QueryStats {
-        free_tuple_vars: varmap.num_free_vars(),
-        conflicts: solver.stats.conflicts.saturating_sub(base.conflicts),
-        decisions: solver.stats.decisions.saturating_sub(base.decisions),
-        propagations: solver.stats.propagations.saturating_sub(base.propagations),
-        restarts: solver.stats.restarts.saturating_sub(base.restarts),
-        portfolio: summary,
-    };
-    #[cfg(any(test, feature = "fault-inject"))]
-    if crate::fault::should_trip(Phase::Search) {
-        return Outcome::Unknown {
-            phase: Phase::Search,
-            stats: delta_stats(solver, None),
-            partial: None,
-        };
-    }
-    let mut summary: Option<PortfolioSummary> = None;
-    let mut search_span = muppet_obs::span("search");
-    let search_result = match portfolio {
-        Some(cfg) if cfg.is_parallel() => {
-            let (result, s) = solve_portfolio(solver, assumptions, cfg);
-            summary = Some(s);
-            result
-        }
-        _ => solver.solve_with_assumptions(assumptions),
-    };
-    if search_span.is_recording() {
-        let d = delta_stats(solver, summary);
-        search_span.record("conflicts", d.conflicts);
-        search_span.record("decisions", d.decisions);
-        search_span.record("propagations", d.propagations);
-        search_span.record("restarts", d.restarts);
-        search_span.attr(
-            "result",
-            match &search_result {
-                SolveResult::Sat(_) => "sat",
-                SolveResult::Unsat(_) => "unsat",
-                SolveResult::Unknown => "unknown",
-            },
-        );
-    }
-    drop(search_span);
-    match search_result {
-        SolveResult::Sat(model) => {
-            let solution = fixed.union(&varmap.decode(&model));
-            let stats = delta_stats(solver, summary);
-            Outcome::Sat { solution, stats }
-        }
-        SolveResult::Unsat(first_core) => {
-            let names_of = |lits: &[Lit]| -> Vec<String> {
-                selectors
-                    .iter()
-                    .filter(|(_, l)| lits.contains(l))
-                    .map(|(n, _)| n.clone())
-                    .collect()
-            };
-            let core_lits = if minimize_cores {
-                let mut minimize_span = muppet_obs::span("minimize");
-                let pre_conflicts = solver.stats.conflicts;
-                let shrunk = mus::shrink_core(solver, assumptions);
-                minimize_span
-                    .record("conflicts", solver.stats.conflicts.saturating_sub(pre_conflicts));
-                drop(minimize_span);
-                match shrunk {
-                    mus::ShrinkResult::Minimal(core) => core,
-                    // The assumptions were just proved UNSAT, so a Sat
-                    // answer here cannot happen; fall back to the first
-                    // core rather than panic.
-                    mus::ShrinkResult::Sat => first_core,
-                    mus::ShrinkResult::Exhausted { best } => {
-                        // UNSAT is established; surface the best
-                        // (unminimized) core as a partial artifact.
-                        let stats = delta_stats(solver, summary);
-                        let partial = Some(PartialResult::Core(
-                            names_of(&best.unwrap_or(first_core)),
-                        ));
-                        return Outcome::Unknown {
-                            phase: Phase::Minimize,
-                            stats,
-                            partial,
-                        };
-                    }
-                }
-            } else {
-                first_core
-            };
-            let core = names_of(&core_lits);
-            let stats = delta_stats(solver, summary);
-            Outcome::Unsat { core, stats }
-        }
-        SolveResult::Unknown => Outcome::Unknown {
-            phase: Phase::Search,
-            stats: delta_stats(solver, summary),
-            partial: None,
-        },
+        engine.enumerate(&active, limit, self.budget.clone())
     }
 }
 

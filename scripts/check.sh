@@ -44,6 +44,13 @@ if [ "$lines" -lt 1 ] || [ "$lines" -ne "$valid" ]; then
     echo "BENCH_trace.jsonl: only $valid of $lines lines match the span-event schema"
     exit 1
 fi
+# Incremental-engine lane: warm vs cold negotiation on the paper
+# scenario — byte-identical verdicts/counter-offers, and the cold path
+# must re-encode >= 3x more CNF groups. Emits BENCH_incremental.json.
+run cargo run --release --offline -q --bin muppet-harness -- n1
+test -s BENCH_incremental.json || { echo "BENCH_incremental.json missing"; exit 1; }
+# Differential properties: warm == cold on negotiation + conformance.
+run cargo test -q --offline --test incremental_diff
 # fault-inject is a non-default feature; make sure it keeps compiling.
 run cargo build -q --offline -p muppet-solver --features fault-inject
 if cargo clippy --version >/dev/null 2>&1; then

@@ -173,6 +173,7 @@ fn main() {
         ("D1", d1),
         ("P1", p1),
         ("O1", o1),
+        ("N1", n1),
     ];
     let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
     for (id, f) in experiments {
@@ -1306,5 +1307,152 @@ fn o1(t: &mut Table) {
     ]);
     if let Err(e) = std::fs::write("BENCH_obs.json", doc.to_line() + "\n") {
         eprintln!("muppet-harness: cannot write BENCH_obs.json: {e}");
+    }
+}
+
+/// N1 — the incremental-engine lane (DESIGN.md §13). The paper's
+/// K8s/Istio negotiation (Fig. 2 vs Fig. 3, the mesh admin's rows soft
+/// so blamed ones can be conceded) runs as repeated episodes the way
+/// the daemon replays `NegotiateRound`: the **warm** path feeds every
+/// episode through one `PreparedStore`, the **cold** path compiles a
+/// fresh engine for every query. Two gates, always written to
+/// `BENCH_incremental.json`:
+///
+/// 1. *Byte identity*: every episode's verdict, round count, delivered
+///    configs and full trace (the counter-offer sequence) must be
+///    identical between the two paths.
+/// 2. *Work ratio*: the cold path must re-encode >= 3x more CNF groups
+///    than the warm path, measured as deltas of the global
+///    `engine.groups.encoded` counter around each phase.
+fn n1(t: &mut Table) {
+    use muppet::negotiate::{run_negotiation_cold, run_negotiation_with_store};
+    use muppet_daemon::json::Json;
+    use muppet_solver::PreparedStore;
+
+    const EPISODES: usize = 4;
+    const MAX_ROUNDS: usize = 8;
+
+    let mv = vocab();
+    // The daemon's NegotiateRound shape (Fig. 9 roles): the cluster
+    // admin holds firm, the mesh admin's strict Fig. 3 rows are soft.
+    let build = || {
+        let mut s = session(&mv, IstioTable::Fig3);
+        govern(&mut s);
+        if let Ok(p) = s.party_mut(mv.istio_party) {
+            for g in &mut p.goals {
+                g.hard = false;
+            }
+        }
+        s
+    };
+    let negs = || {
+        let mut n: BTreeMap<muppet_logic::PartyId, Box<dyn Negotiator>> = BTreeMap::new();
+        n.insert(mv.k8s_party, Box::new(Stubborn));
+        n.insert(mv.istio_party, Box::new(DropBlamedSoftGoals));
+        n
+    };
+    let encoded = || {
+        muppet_obs::registry()
+            .snapshot()
+            .counter("engine.groups.encoded")
+            .unwrap_or(0)
+    };
+    let ground_hits = || {
+        muppet_obs::registry()
+            .snapshot()
+            .counter("engine.ground_cache.hits")
+            .unwrap_or(0)
+    };
+
+    // Warm: one store across all episodes, the daemon's lifetime shape.
+    let mut store = PreparedStore::new();
+    let warm_before = (encoded(), ground_hits());
+    let t0 = std::time::Instant::now();
+    let warm_reports: Vec<_> = (0..EPISODES)
+        .map(|_| {
+            let mut s = build();
+            run_negotiation_with_store(&mut s, &mut negs(), MAX_ROUNDS, &mut store).unwrap()
+        })
+        .collect();
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_encoded = encoded() - warm_before.0;
+    let warm_ground_hits = ground_hits() - warm_before.1;
+
+    // Cold: identical episodes, every query on a fresh engine.
+    let cold_before = encoded();
+    let t1 = std::time::Instant::now();
+    let cold_reports: Vec<_> = (0..EPISODES)
+        .map(|_| {
+            let mut s = build();
+            run_negotiation_cold(&mut s, &mut negs(), MAX_ROUNDS).unwrap()
+        })
+        .collect();
+    let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let cold_encoded = encoded() - cold_before;
+
+    // Gate 1: byte-identical verdicts and counter-offer sequences.
+    let render = |r: &muppet::negotiate::NegotiationReport| {
+        format!(
+            "success={} rounds={} configs={:?} trace={:?}",
+            r.success, r.rounds, r.configs, r.trace
+        )
+    };
+    let mut identical = true;
+    for (w, c) in warm_reports.iter().zip(&cold_reports) {
+        if render(w) != render(c) {
+            identical = false;
+        }
+        assert!(w.success, "paper negotiation must converge");
+    }
+    assert!(
+        identical,
+        "warm and cold negotiations diverged:\n  warm: {}\n  cold: {}",
+        render(&warm_reports[0]),
+        render(&cold_reports[0]),
+    );
+
+    // Gate 2: the cold path re-encodes >= 3x more groups.
+    let ratio = cold_encoded as f64 / (warm_encoded.max(1)) as f64;
+    let inst = format!("paper fig2/fig3, {EPISODES} episodes");
+    row(t, "N1", &inst, "verdicts + traces byte-identical", identical.to_string(), "true");
+    row(t, "N1", &inst, "rounds per episode", warm_reports[0].rounds.to_string(), "-");
+    row(t, "N1", &inst, "groups encoded (warm)", warm_encoded.to_string(), "-");
+    row(t, "N1", &inst, "groups encoded (cold)", cold_encoded.to_string(), "-");
+    row(t, "N1", &inst, "cold/warm encode ratio", format!("{ratio:.1}x"), ">= 3x");
+    row(t, "N1", &inst, "ground-cache hits (warm)", warm_ground_hits.to_string(), "-");
+    row(t, "N1", &inst, "warm wall (ms)", format!("{warm_ms:.1}"), "-");
+    row(t, "N1", &inst, "cold wall (ms)", format!("{cold_ms:.1}"), "-");
+    assert!(
+        ratio >= 3.0,
+        "cold path must re-encode >= 3x more groups than warm: cold {cold_encoded} vs warm {warm_encoded}"
+    );
+
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-incremental-v1")),
+        ("instance", Json::str("paper fig2 vs fig3, istio rows soft")),
+        ("episodes", Json::num(EPISODES as u64)),
+        ("rounds_per_episode", Json::num(warm_reports[0].rounds as u64)),
+        ("verdicts_identical", Json::Bool(identical)),
+        ("verdict", Json::str(render(&warm_reports[0]))),
+        (
+            "warm",
+            Json::obj([
+                ("groups_encoded", Json::num(warm_encoded)),
+                ("ground_cache_hits", Json::num(warm_ground_hits)),
+                ("wall_ms", Json::Num(warm_ms)),
+            ]),
+        ),
+        (
+            "cold",
+            Json::obj([
+                ("groups_encoded", Json::num(cold_encoded)),
+                ("wall_ms", Json::Num(cold_ms)),
+            ]),
+        ),
+        ("encode_ratio", Json::Num(ratio)),
+        ("gate_ratio", Json::Num(3.0)),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_incremental.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_incremental.json: {e}");
     }
 }
