@@ -3,12 +3,22 @@
 //! [`Endpoint`] names where the daemon listens; [`Client`] holds one
 //! connection and does line-per-request round trips. `muppet_cli
 //! client` and the integration tests are the consumers.
+//!
+//! [`Endpoint::roundtrip_retry`] adds the overload-aware path: jittered
+//! exponential backoff that honors the server's `retry_after_ms` hint
+//! on `overloaded` shed responses, bounded by an attempt count and a
+//! total deadline. Ambiguous transport failures (the connection died
+//! after the request was sent) are retried only for ops that are safe
+//! to repeat ([`crate::proto::Op::safe_to_retry`]); shed responses are
+//! retried for every op, because shed work never started.
 
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{Request, Response};
 
@@ -60,6 +70,163 @@ impl Endpoint {
     ) -> Result<Response, String> {
         self.connect(read_timeout)?.roundtrip(req)
     }
+
+    /// Overload-aware roundtrip: retry with jittered exponential
+    /// backoff until a non-shed response arrives, the attempt budget is
+    /// spent, or the total deadline would be overrun.
+    ///
+    /// Retry rules:
+    /// - an `overloaded` shed response is retryable for **every** op
+    ///   (the daemon never started the work); the sleep honors the
+    ///   server's `retry_after_ms` hint as a floor when present;
+    /// - a connect failure is retryable for every op (nothing was
+    ///   sent);
+    /// - a transport failure *after* sending is retryable only when
+    ///   [`crate::proto::Op::safe_to_retry`] allows it — for an op
+    ///   whose duplicate execution could matter, ambiguity means stop.
+    ///
+    /// `Ok` carries the final response, which can still be a shed one
+    /// (`overloaded: true`) when the backoff budget ran out before the
+    /// daemon had room; `Err` means no response was obtained at all.
+    pub fn roundtrip_retry(
+        &self,
+        req: &Request,
+        read_timeout: Option<Duration>,
+        policy: &RetryPolicy,
+    ) -> Result<RetryReport, String> {
+        let started = Instant::now();
+        let mut jitter = Jitter::new(policy.jitter_seed);
+        let mut slept = Duration::ZERO;
+        let attempts_max = policy.attempts.max(1);
+        let mut last_shed: Option<Response> = None;
+        let mut last_err = String::new();
+        let mut made = 0u32;
+        for attempt in 1..=attempts_max {
+            made = attempt;
+            let outcome = match self.connect(read_timeout) {
+                Err(e) => Err((e, true)), // nothing sent: always retryable
+                Ok(mut client) => match client.roundtrip(req) {
+                    Ok(resp) => Ok(resp),
+                    Err(e) => Err((e, req.op.safe_to_retry())),
+                },
+            };
+            let hint = match outcome {
+                Ok(resp) if !resp.overloaded => {
+                    return Ok(RetryReport { response: resp, attempts: attempt, slept });
+                }
+                Ok(resp) => {
+                    let hint = resp.retry_after_ms;
+                    last_shed = Some(resp);
+                    hint
+                }
+                Err((e, retryable)) => {
+                    if !retryable {
+                        return Err(format!("{e} (not retried: {} is not idempotent)", req.op.name()));
+                    }
+                    last_err = e;
+                    None
+                }
+            };
+            if attempt == attempts_max {
+                break;
+            }
+            let delay = backoff_delay(policy, attempt, hint, &mut jitter);
+            if started.elapsed() + delay > policy.deadline {
+                break; // the sleep alone would overrun the total budget
+            }
+            std::thread::sleep(delay);
+            slept += delay;
+        }
+        match last_shed {
+            Some(response) => Ok(RetryReport { response, attempts: made, slept }),
+            None => Err(format!("{last_err} (after {made} attempt(s))")),
+        }
+    }
+}
+
+/// Client-side retry/backoff knobs for [`Endpoint::roundtrip_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Maximum total attempts, including the first (clamped to ≥ 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt after.
+    pub base_delay: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Total budget across all attempts and sleeps: a retry whose sleep
+    /// would overrun it is abandoned instead.
+    pub deadline: Duration,
+    /// Fixed jitter seed for deterministic tests; `None` seeds from
+    /// process randomness.
+    pub jitter_seed: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            deadline: Duration::from_secs(30),
+            jitter_seed: None,
+        }
+    }
+}
+
+/// What [`Endpoint::roundtrip_retry`] did to obtain its response.
+#[derive(Clone, Debug)]
+pub struct RetryReport {
+    /// The final response (check `overloaded`: the budget may have run
+    /// out while the daemon was still shedding).
+    pub response: Response,
+    /// Attempts actually made (1 = no retry was needed).
+    pub attempts: u32,
+    /// Total time spent sleeping between attempts.
+    pub slept: Duration,
+}
+
+/// The backoff schedule: exponential from `base_delay`, capped at
+/// `max_delay`, with up to +50% multiplicative jitter, and the server's
+/// `retry_after_ms` hint (when present) as a floor — the server knows
+/// its queue better than our schedule does.
+fn backoff_delay(
+    policy: &RetryPolicy,
+    attempt: u32,
+    retry_after_ms: Option<u64>,
+    jitter: &mut Jitter,
+) -> Duration {
+    let base = policy.base_delay.as_millis().min(u128::from(u64::MAX)) as u64;
+    let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+    let capped = exp.min(policy.max_delay.as_millis().min(u128::from(u64::MAX)) as u64);
+    let hinted = capped.max(retry_after_ms.unwrap_or(0));
+    // Full jitter on the upper half: delay in [hinted, 1.5 * hinted].
+    let jittered = hinted + jitter.below(hinted / 2 + 1);
+    Duration::from_millis(jittered)
+}
+
+/// A tiny xorshift64* PRNG for backoff jitter — deterministic under a
+/// fixed seed, seeded from `RandomState` otherwise. Not for crypto;
+/// just decorrelates retry storms across clients.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: Option<u64>) -> Jitter {
+        let s = seed.unwrap_or_else(|| RandomState::new().build_hasher().finish());
+        Jitter(s | 1) // xorshift must not start at 0
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        if bound == 0 {
+            0
+        } else {
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound
+        }
+    }
 }
 
 /// One open connection to a daemon.
@@ -97,5 +264,89 @@ impl Client {
             Ok(_) => Response::from_line(&line),
             Err(e) => Err(format!("recv: {e}")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(400),
+            deadline: Duration::from_secs(5),
+            jitter_seed: Some(seed),
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = policy(7);
+        let mut j = Jitter::new(Some(7));
+        let mut prev = Duration::ZERO;
+        for attempt in 1..=4 {
+            let d = backoff_delay(&p, attempt, None, &mut j);
+            let nominal = 10u64 << (attempt - 1);
+            assert!(d >= Duration::from_millis(nominal), "attempt {attempt}: {d:?}");
+            assert!(
+                d <= Duration::from_millis(nominal + nominal / 2),
+                "attempt {attempt}: jitter beyond +50%: {d:?}"
+            );
+            assert!(d >= prev / 2, "non-collapsing schedule");
+            prev = d;
+        }
+        // Far past the cap, the sleep still respects max_delay (+50%).
+        let d = backoff_delay(&p, 30, None, &mut j);
+        assert!(d <= Duration::from_millis(600), "cap violated: {d:?}");
+    }
+
+    #[test]
+    fn server_hint_is_a_floor() {
+        let p = policy(3);
+        let mut j = Jitter::new(Some(3));
+        // First-attempt nominal backoff is 10ms; a 250ms hint wins.
+        let d = backoff_delay(&p, 1, Some(250), &mut j);
+        assert!(d >= Duration::from_millis(250), "{d:?}");
+        assert!(d <= Duration::from_millis(375), "{d:?}");
+        // A tiny hint does not shrink the schedule below its own value.
+        let d = backoff_delay(&p, 4, Some(1), &mut j);
+        assert!(d >= Duration::from_millis(80), "{d:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_under_a_seed() {
+        let mut a = Jitter::new(Some(42));
+        let mut b = Jitter::new(Some(42));
+        for _ in 0..32 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+        let mut c = Jitter::new(Some(43));
+        let same = (0..32).filter(|_| {
+            let x = Jitter::new(Some(42)).below(u64::MAX);
+            let y = c.below(u64::MAX);
+            x == y
+        }).count();
+        assert!(same < 32, "different seeds must diverge");
+        assert_eq!(Jitter::new(Some(9)).below(0), 0, "zero bound is zero");
+    }
+
+    #[test]
+    fn connect_failure_to_nowhere_errors_after_retries() {
+        // No daemon here: every connect fails, and the error surfaces
+        // after the attempt budget (kept tiny to keep the test fast).
+        let ep = Endpoint::Unix(PathBuf::from("/nonexistent/muppet-test.sock"));
+        let p = RetryPolicy {
+            attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            deadline: Duration::from_millis(200),
+            jitter_seed: Some(1),
+        };
+        let err = ep
+            .roundtrip_retry(&Request::new(crate::proto::Op::Stats), None, &p)
+            .unwrap_err();
+        assert!(err.contains("attempt"), "{err}");
     }
 }

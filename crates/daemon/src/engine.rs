@@ -36,7 +36,7 @@ use muppet::{
 use muppet::default_threads;
 use muppet_logic::{Instance, PartyId, Universe, Vocabulary};
 
-use muppet_obs::{registry, Counter, Histogram};
+use muppet_obs::{registry, Counter, Gauge, Histogram};
 
 use crate::cache::ResultCache;
 use crate::json::Json;
@@ -69,6 +69,65 @@ impl Default for EngineConfig {
     }
 }
 
+/// Admission-control and drain knobs. The **server** layer enforces
+/// them (the engine itself never sheds — in-process callers like the
+/// harness bypass admission by construction); the engine stores a copy
+/// so the `stats` op can report the active limits next to the shed
+/// counters they produce.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadConfig {
+    /// Maximum accepted-but-not-yet-running requests in the shared job
+    /// queue; pushes beyond it are shed with `overloaded`. 0 = unbounded
+    /// (the pre-admission-control behavior).
+    pub max_queue_depth: usize,
+    /// Maximum in-flight (queued + running) requests per client
+    /// connection; excess pipelined requests are shed. 0 = unlimited.
+    pub max_inflight_per_conn: usize,
+    /// The `retry_after_ms` hint attached to shed responses.
+    pub retry_after_ms: u64,
+    /// After a shutdown begins, how long in-flight work may keep
+    /// running before its cancel tokens fire (milliseconds).
+    pub drain_deadline_ms: u64,
+    /// How long a connection may stall mid-line before the server
+    /// drops it (milliseconds); idle connections *between* requests are
+    /// unaffected. 0 disables the timeout.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> OverloadConfig {
+        OverloadConfig {
+            max_queue_depth: 256,
+            max_inflight_per_conn: 32,
+            retry_after_ms: 50,
+            drain_deadline_ms: 5_000,
+            read_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Why the server shed a request (for counters and shed messages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The shared job queue was at `max_queue_depth`.
+    QueueFull,
+    /// The connection was at `max_inflight_per_conn`.
+    ConnCap,
+    /// The server is draining after a shutdown request.
+    Draining,
+}
+
+impl ShedReason {
+    /// The human-readable `error` string on the shed response.
+    pub fn message(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "overloaded: job queue full",
+            ShedReason::ConnCap => "overloaded: connection in-flight cap reached",
+            ShedReason::Draining => "overloaded: server is draining",
+        }
+    }
+}
+
 /// Warm-session registry: fingerprint → session, FIFO-bounded.
 struct Registry {
     map: HashMap<u128, Arc<Mutex<WarmSession>>>,
@@ -93,6 +152,19 @@ pub struct Engine {
     in_flight: AtomicU64,
     /// Updated by the server's queue; a plain gauge for `stats`.
     queue_depth: AtomicU64,
+    /// Highest queue depth ever observed (admission-control telemetry).
+    queue_highwater: AtomicU64,
+    /// Requests shed at admission, by reason.
+    shed_queue_full: AtomicU64,
+    shed_conn_cap: AtomicU64,
+    shed_draining: AtomicU64,
+    /// Graceful drains: how many, the last one's duration, and how many
+    /// stragglers had to be cancelled at the deadline, cumulatively.
+    drains: AtomicU64,
+    drain_last_us: AtomicU64,
+    drain_cancelled: AtomicU64,
+    /// The server's admission limits, when it registered them.
+    overload_limits: Mutex<Option<OverloadConfig>>,
     latencies: Mutex<HashMap<&'static str, OpLatency>>,
     /// Portfolio aggregates across all solves (for `stats`).
     pf_solves: AtomicU64,
@@ -103,6 +175,9 @@ pub struct Engine {
     /// ticks atomics without touching the registry's maps.
     obs_requests: Counter,
     obs_errors: Counter,
+    obs_shed: Counter,
+    obs_queue_highwater: Gauge,
+    obs_drain_duration: Arc<Histogram>,
     obs_latency: HashMap<&'static str, Arc<Histogram>>,
 }
 
@@ -155,6 +230,14 @@ impl Engine {
             errors: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            queue_highwater: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_conn_cap: AtomicU64::new(0),
+            shed_draining: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+            drain_last_us: AtomicU64::new(0),
+            drain_cancelled: AtomicU64::new(0),
+            overload_limits: Mutex::new(None),
             latencies: Mutex::new(HashMap::new()),
             pf_solves: AtomicU64::new(0),
             pf_exported: AtomicU64::new(0),
@@ -162,6 +245,9 @@ impl Engine {
             pf_restarts: AtomicU64::new(0),
             obs_requests: registry().counter("daemon.requests"),
             obs_errors: registry().counter("daemon.errors"),
+            obs_shed: registry().counter("daemon.shed"),
+            obs_queue_highwater: registry().gauge("daemon.queue.highwater"),
+            obs_drain_duration: registry().histogram("daemon.drain.duration_us"),
             obs_latency: Engine::ALL_OPS
                 .iter()
                 .map(|op| {
@@ -172,14 +258,46 @@ impl Engine {
         }
     }
 
-    /// Record that a request was queued (server side).
+    /// Record that a request was queued (server side). Also tracks the
+    /// queue-depth high-watermark, the number admission control would
+    /// have needed to contain.
     pub fn note_enqueued(&self) {
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let high = self.queue_highwater.fetch_max(depth, Ordering::Relaxed).max(depth);
+        self.obs_queue_highwater.set(high);
     }
 
     /// Record that a queued request was picked up (server side).
     pub fn note_dequeued(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a shed request (server side admission control).
+    pub fn note_shed(&self, reason: ShedReason) {
+        match reason {
+            ShedReason::QueueFull => &self.shed_queue_full,
+            ShedReason::ConnCap => &self.shed_conn_cap,
+            ShedReason::Draining => &self.shed_draining,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.obs_shed.inc();
+    }
+
+    /// Record a completed graceful drain: how long from stop to the
+    /// last in-flight request finishing, and how many stragglers had to
+    /// be cancelled at the deadline.
+    pub fn note_drain(&self, duration: Duration, cancelled: u64) {
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        let us = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.drain_last_us.store(us, Ordering::Relaxed);
+        self.drain_cancelled.fetch_add(cancelled, Ordering::Relaxed);
+        self.obs_drain_duration.observe_us(us);
+    }
+
+    /// Register the server's admission limits so `stats` can report
+    /// them alongside the shed counters.
+    pub fn set_overload_limits(&self, limits: OverloadConfig) {
+        *relock(&self.overload_limits) = Some(limits);
     }
 
     /// Handle one request. `cancel` (when given) is polled by the
@@ -226,9 +344,18 @@ impl Engine {
             Op::Trace => return Ok(Response::success(None, trace_json(req.n))),
             // The server intercepts shutdown to stop its threads; the
             // engine just acknowledges so in-process drivers get a
-            // well-formed response too.
+            // well-formed response too. The ack names the drain
+            // contract: already-accepted work finishes (or is cancelled
+            // at `drain_deadline_ms`), new work is shed as overloaded.
             Op::Shutdown => {
-                return Ok(Response::success(None, Json::obj([("stopping", Json::Bool(true))])))
+                let mut pairs = vec![
+                    ("stopping".to_string(), Json::Bool(true)),
+                    ("draining".to_string(), Json::Bool(true)),
+                ];
+                if let Some(l) = *relock(&self.overload_limits) {
+                    pairs.push(("drain_deadline_ms".to_string(), Json::num(l.drain_deadline_ms)));
+                }
+                return Ok(Response::success(None, Json::Obj(pairs)));
             }
             _ => {}
         }
@@ -554,6 +681,7 @@ impl Engine {
             ("errors", Json::num(self.errors.load(Ordering::Relaxed))),
             ("in_flight", Json::num(self.in_flight.load(Ordering::Relaxed).saturating_sub(1))),
             ("queue_depth", Json::num(self.queue_depth.load(Ordering::Relaxed))),
+            ("overload", self.overload_json()),
             ("sessions", Json::num(session_count)),
             (
                 "cache",
@@ -595,6 +723,48 @@ impl Engine {
                 ]),
             ),
             ("latency", Json::Obj(per_op)),
+        ])
+    }
+
+    /// The `overload` section of `stats`: active limits (when the
+    /// server registered any), shed counters by reason, the queue-depth
+    /// high-watermark, and drain telemetry.
+    fn overload_json(&self) -> Json {
+        let limits = match *relock(&self.overload_limits) {
+            Some(l) => Json::obj([
+                ("max_queue_depth", Json::num(l.max_queue_depth as u64)),
+                ("max_inflight_per_conn", Json::num(l.max_inflight_per_conn as u64)),
+                ("retry_after_ms", Json::num(l.retry_after_ms)),
+                ("drain_deadline_ms", Json::num(l.drain_deadline_ms)),
+                ("read_timeout_ms", Json::num(l.read_timeout_ms)),
+            ]),
+            None => Json::Null,
+        };
+        let (qf, cc, dr) = (
+            self.shed_queue_full.load(Ordering::Relaxed),
+            self.shed_conn_cap.load(Ordering::Relaxed),
+            self.shed_draining.load(Ordering::Relaxed),
+        );
+        Json::obj([
+            ("limits", limits),
+            (
+                "shed",
+                Json::obj([
+                    ("queue_full", Json::num(qf)),
+                    ("conn_cap", Json::num(cc)),
+                    ("draining", Json::num(dr)),
+                    ("total", Json::num(qf + cc + dr)),
+                ]),
+            ),
+            ("queue_highwater", Json::num(self.queue_highwater.load(Ordering::Relaxed))),
+            (
+                "drain",
+                Json::obj([
+                    ("count", Json::num(self.drains.load(Ordering::Relaxed))),
+                    ("last_us", Json::num(self.drain_last_us.load(Ordering::Relaxed))),
+                    ("cancelled", Json::num(self.drain_cancelled.load(Ordering::Relaxed))),
+                ]),
+            ),
         ])
     }
 

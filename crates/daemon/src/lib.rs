@@ -35,8 +35,8 @@ pub mod proto;
 pub mod server;
 pub mod spec;
 
-pub use client::Endpoint;
-pub use engine::{Engine, EngineConfig};
+pub use client::{Endpoint, RetryPolicy, RetryReport};
+pub use engine::{Engine, EngineConfig, OverloadConfig, ShedReason};
 pub use proto::{Op, Request, Response, PROTOCOL_VERSION};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use spec::{SessionSpec, WarmSession};

@@ -56,6 +56,21 @@ impl Op {
         })
     }
 
+    /// True when a client may safely re-send this op after a transport
+    /// failure where the outcome is unknown (connection dropped after
+    /// the request was written). Every op except `shutdown` is either
+    /// read-only (`stats`, `trace`) or fingerprint-keyed — its answer
+    /// is a pure function of the request content — so running it twice
+    /// cannot change any outcome. `shutdown` is excluded: re-sending it
+    /// to a freshly restarted daemon would take that instance down too.
+    ///
+    /// Note this gate only applies to ambiguous transport failures.
+    /// An `overloaded` shed response means the daemon never started
+    /// the work, so retrying after one is safe for *every* op.
+    pub fn safe_to_retry(&self) -> bool {
+        !matches!(self, Op::Shutdown)
+    }
+
     /// The wire name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -247,6 +262,13 @@ pub struct Response {
     pub session: Option<String>,
     /// Server-side handling time in microseconds.
     pub elapsed_us: u64,
+    /// True when the daemon shed this request under admission control
+    /// or drain instead of running it (wire: `"status":"overloaded"`).
+    /// The work never started, so re-sending is always safe.
+    pub overloaded: bool,
+    /// Backoff hint accompanying an overloaded response: how long the
+    /// client should wait before retrying, in milliseconds.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Response {
@@ -260,6 +282,8 @@ impl Response {
             cached: false,
             session: None,
             elapsed_us: 0,
+            overloaded: false,
+            retry_after_ms: None,
         }
     }
 
@@ -273,6 +297,29 @@ impl Response {
             cached: false,
             session: None,
             elapsed_us: 0,
+            overloaded: false,
+            retry_after_ms: None,
+        }
+    }
+
+    /// A shed response: the daemon refused to queue the request
+    /// (admission limit hit, or the server is draining) and hints when
+    /// to retry. Never cached, never executed.
+    pub fn overloaded(
+        id: Option<String>,
+        reason: impl Into<String>,
+        retry_after_ms: u64,
+    ) -> Response {
+        Response {
+            id,
+            ok: false,
+            result: Json::Null,
+            error: Some(reason.into()),
+            cached: false,
+            session: None,
+            elapsed_us: 0,
+            overloaded: true,
+            retry_after_ms: Some(retry_after_ms),
         }
     }
 
@@ -287,6 +334,12 @@ impl Response {
         }
         if let Some(e) = &self.error {
             pairs.push(("error".into(), Json::str(e)));
+        }
+        if self.overloaded {
+            pairs.push(("status".into(), Json::str("overloaded")));
+        }
+        if let Some(ms) = self.retry_after_ms {
+            pairs.push(("retry_after_ms".into(), Json::num(ms)));
         }
         pairs.push(("cached".into(), Json::Bool(self.cached)));
         if let Some(s) = &self.session {
@@ -312,6 +365,12 @@ impl Response {
             cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
             session: v.get("session").and_then(Json::as_str).map(str::to_string),
             elapsed_us: v.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0),
+            // Lenient on the extended fields: an absent or ill-typed
+            // `status`/`retry_after_ms` degrades to "not overloaded" /
+            // "no hint" instead of failing the whole line, so old
+            // servers and adversarial peers both parse cleanly.
+            overloaded: v.get("status").and_then(Json::as_str) == Some("overloaded"),
+            retry_after_ms: v.get("retry_after_ms").and_then(Json::as_u64),
         })
     }
 }
@@ -367,6 +426,65 @@ mod tests {
         let e = Response::from_line(&Response::failure(None, "boom").to_line()).unwrap();
         assert!(!e.ok);
         assert_eq!(e.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn overloaded_roundtrip() {
+        let r = Response::overloaded(Some("q-1".into()), "queue full", 75);
+        let line = r.to_line();
+        assert!(line.contains("\"status\":\"overloaded\""));
+        assert!(line.contains("\"retry_after_ms\":75"));
+        let back = Response::from_line(&line).unwrap();
+        assert!(!back.ok && back.overloaded && !back.cached);
+        assert_eq!(back.id.as_deref(), Some("q-1"));
+        assert_eq!(back.retry_after_ms, Some(75));
+        assert_eq!(back.error.as_deref(), Some("queue full"));
+        // Ordinary responses carry neither field on the wire.
+        let ok_line = Response::success(None, Json::Null).to_line();
+        assert!(!ok_line.contains("status") && !ok_line.contains("retry_after_ms"));
+        let ok = Response::from_line(&ok_line).unwrap();
+        assert!(!ok.overloaded && ok.retry_after_ms.is_none());
+    }
+
+    #[test]
+    fn malformed_overload_fields_degrade_gracefully() {
+        // status with the wrong type, or an unknown value, is "not
+        // overloaded" — never a parse failure, never a panic.
+        for line in [
+            r#"{"v":1,"ok":false,"status":7,"retry_after_ms":5,"result":null}"#,
+            r#"{"v":1,"ok":false,"status":"draining-ish","result":null}"#,
+            r#"{"v":1,"ok":false,"status":null,"result":null}"#,
+        ] {
+            let r = Response::from_line(line).unwrap();
+            assert!(!r.overloaded, "{line}");
+        }
+        // retry_after_ms must be a non-negative integer to be honored;
+        // strings, negatives and floats degrade to "no hint".
+        for line in [
+            r#"{"v":1,"ok":false,"status":"overloaded","retry_after_ms":"soon","result":null}"#,
+            r#"{"v":1,"ok":false,"status":"overloaded","retry_after_ms":-3,"result":null}"#,
+            r#"{"v":1,"ok":false,"status":"overloaded","retry_after_ms":1.5,"result":null}"#,
+        ] {
+            let r = Response::from_line(line).unwrap();
+            assert!(r.overloaded && r.retry_after_ms.is_none(), "{line}");
+        }
+    }
+
+    #[test]
+    fn retry_safety_is_per_op() {
+        for op in [
+            Op::OpenSession,
+            Op::CheckConsistency,
+            Op::Reconcile,
+            Op::ExtractEnvelope,
+            Op::CheckConformance,
+            Op::NegotiateRound,
+            Op::Stats,
+            Op::Trace,
+        ] {
+            assert!(op.safe_to_retry(), "{} must be retry-safe", op.name());
+        }
+        assert!(!Op::Shutdown.safe_to_retry());
     }
 
     #[test]

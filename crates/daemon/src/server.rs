@@ -16,21 +16,33 @@
 //!
 //! Responses are written under a per-connection mutex, so concurrent
 //! workers never interleave bytes of different lines.
+//!
+//! **Overload behavior** (DESIGN.md §14): the job queue is bounded by
+//! [`OverloadConfig`] — a request that would exceed `max_queue_depth`
+//! or its connection's `max_inflight_per_conn` is *shed* immediately
+//! with an `overloaded` response carrying a `retry_after_ms` hint,
+//! instead of queueing without bound. Readers enforce a mid-line read
+//! timeout so a half-open client cannot pin its thread forever. On
+//! shutdown the server *drains*: acceptors stop, new requests are shed
+//! as `overloaded: draining`, accepted work keeps running until the
+//! drain deadline, and any stragglers are then cancelled through their
+//! `CancelToken`s — every accepted request still gets a terminal
+//! response.
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{ErrorKind, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use muppet::CancelToken;
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, OverloadConfig, ShedReason};
 use crate::proto::{Op, Request, Response};
 
 /// How often blocked threads re-check the stop flag.
@@ -47,6 +59,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Engine knobs (cache and session capacities).
     pub engine: EngineConfig,
+    /// Admission-control, read-timeout and drain knobs.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +70,7 @@ impl Default for ServerConfig {
             tcp: None,
             workers: 4,
             engine: EngineConfig::default(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -65,7 +80,10 @@ struct Job {
     req: Request,
     cancel: CancelToken,
     seq: u64,
+    /// Server-wide id in the drain registry.
+    gid: u64,
     inflight: Arc<Mutex<HashMap<u64, CancelToken>>>,
+    drain: Arc<DrainState>,
     writer: Arc<Mutex<Box<dyn Write + Send>>>,
 }
 
@@ -73,6 +91,24 @@ struct Job {
 struct Queue {
     jobs: Mutex<VecDeque<Job>>,
     ready: Condvar,
+}
+
+/// Server-wide registry of accepted-but-unfinished requests (queued or
+/// running), keyed by a global id. The drain watchdog cancels every
+/// remaining token here once the drain deadline passes.
+struct DrainState {
+    inflight: Mutex<HashMap<u64, CancelToken>>,
+    next: AtomicU64,
+}
+
+/// Ignore mutex poisoning: queue and registry state stay internally
+/// consistent even if a panicking thread held the lock (worst case one
+/// job entry is stale, which the drain watchdog tolerates).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -99,8 +135,11 @@ impl ServerHandle {
         self.tcp_addr
     }
 
-    /// Request shutdown: acceptors stop accepting, workers drain the
-    /// queue and exit.
+    /// Request shutdown: acceptors stop accepting, readers shed new
+    /// requests as `overloaded: draining`, workers drain the queue and
+    /// exit. In-flight work past the configured drain deadline is
+    /// cancelled by the drain watchdog, so [`ServerHandle::wait`]
+    /// returns within roughly the deadline plus one cancellation poll.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.queue.ready.notify_all();
@@ -112,8 +151,10 @@ impl ServerHandle {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Join acceptor and worker threads (reader threads exit on their
-    /// own when clients disconnect) and remove the socket file.
+    /// Join acceptor, worker and drain-watchdog threads (reader threads
+    /// exit on their own when clients disconnect) and remove the socket
+    /// file. Call [`ServerHandle::stop`] first; after a stop this
+    /// returns within roughly the drain deadline.
     pub fn wait(mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -130,11 +171,17 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         return Err("serve: need a unix socket path or a tcp address".to_string());
     }
     let engine = Arc::new(Engine::new(config.engine));
+    engine.set_overload_limits(config.overload);
     let stop = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(Queue {
         jobs: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
     });
+    let drain = Arc::new(DrainState {
+        inflight: Mutex::new(HashMap::new()),
+        next: AtomicU64::new(0),
+    });
+    let overload = config.overload;
     let mut threads = Vec::new();
 
     for _ in 0..config.workers.max(1) {
@@ -142,6 +189,17 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         let stop = Arc::clone(&stop);
         let queue = Arc::clone(&queue);
         threads.push(thread::spawn(move || worker_loop(&engine, &stop, &queue)));
+    }
+
+    {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        let drain_state = Arc::clone(&drain);
+        let deadline = Duration::from_millis(overload.drain_deadline_ms.max(1));
+        threads.push(thread::spawn(move || {
+            drain_watchdog(&engine, &stop, &queue, &drain_state, deadline)
+        }));
     }
 
     let socket_path = config.socket.clone();
@@ -168,8 +226,13 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
         let queue = Arc::clone(&queue);
+        let drain = Arc::clone(&drain);
         threads.push(thread::spawn(move || {
-            accept_loop(&stop, || listener.accept().map(|(s, _)| s), |s| spawn_unix(s, &engine, &stop, &queue));
+            accept_loop(
+                &stop,
+                || listener.accept().map(|(s, _)| s),
+                |s| spawn_unix(s, &engine, &stop, &queue, &drain, overload),
+            );
         }));
     }
 
@@ -183,8 +246,13 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
         let queue = Arc::clone(&queue);
+        let drain = Arc::clone(&drain);
         threads.push(thread::spawn(move || {
-            accept_loop(&stop, || listener.accept().map(|(s, _)| s), |s| spawn_tcp(s, &engine, &stop, &queue));
+            accept_loop(
+                &stop,
+                || listener.accept().map(|(s, _)| s),
+                |s| spawn_tcp(s, &engine, &stop, &queue, &drain, overload),
+            );
         }));
     }
 
@@ -213,29 +281,60 @@ fn accept_loop<S>(
     }
 }
 
-fn spawn_unix(stream: UnixStream, engine: &Arc<Engine>, stop: &Arc<AtomicBool>, queue: &Arc<Queue>) {
+fn spawn_unix(
+    stream: UnixStream,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    queue: &Arc<Queue>,
+    drain: &Arc<DrainState>,
+    overload: OverloadConfig,
+) {
+    if overload.read_timeout_ms > 0 {
+        // A failed setsockopt leaves the old (blocking) behavior; the
+        // connection still works, it is just loris-prone.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(overload.read_timeout_ms)));
+    }
     let write_half: Option<Box<dyn Write + Send>> = stream
         .try_clone()
         .ok()
         .map(|s| Box::new(s) as Box<dyn Write + Send>);
-    spawn_reader(Box::new(stream), write_half, engine, stop, queue);
+    spawn_reader(Box::new(stream), write_half, engine, stop, queue, drain, overload);
 }
 
-fn spawn_tcp(stream: TcpStream, engine: &Arc<Engine>, stop: &Arc<AtomicBool>, queue: &Arc<Queue>) {
+fn spawn_tcp(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    queue: &Arc<Queue>,
+    drain: &Arc<DrainState>,
+    overload: OverloadConfig,
+) {
+    if overload.read_timeout_ms > 0 {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(overload.read_timeout_ms)));
+    }
     let write_half: Option<Box<dyn Write + Send>> = stream
         .try_clone()
         .ok()
         .map(|s| Box::new(s) as Box<dyn Write + Send>);
-    spawn_reader(Box::new(stream), write_half, engine, stop, queue);
+    spawn_reader(Box::new(stream), write_half, engine, stop, queue, drain, overload);
 }
 
 /// Start the per-connection reader thread.
+///
+/// The reader accumulates raw bytes and handles each complete line,
+/// instead of `BufRead::read_line`, for two reasons: a socket read
+/// timeout must be distinguishable from EOF (a *mid-line* stall is a
+/// slow-loris and drops the connection; an idle gap between requests is
+/// fine), and a timed-out `read_line` would lose the partial line it
+/// had already consumed.
 fn spawn_reader(
     read_half: Box<dyn Read + Send>,
     write_half: Option<Box<dyn Write + Send>>,
     engine: &Arc<Engine>,
     stop: &Arc<AtomicBool>,
     queue: &Arc<Queue>,
+    drain: &Arc<DrainState>,
+    overload: OverloadConfig,
 ) {
     let Some(write_half) = write_half else {
         return; // try_clone failed; drop the connection.
@@ -243,55 +342,46 @@ fn spawn_reader(
     let engine = Arc::clone(engine);
     let stop = Arc::clone(stop);
     let queue = Arc::clone(queue);
+    let drain = Arc::clone(drain);
     thread::spawn(move || {
+        let mut read_half = read_half;
         let writer: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(write_half));
         let inflight: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
         let seq = AtomicU64::new(0);
-        let mut reader = BufReader::new(read_half);
-        let mut line = String::new();
-        loop {
-            line.clear();
-            match reader.read_line(&mut line) {
-                Ok(0) | Err(_) => break, // EOF or dead socket
-                Ok(_) => {}
-            }
-            if line.trim().is_empty() {
-                continue;
-            }
-            let req = match Request::from_line(&line) {
-                Ok(req) => req,
-                Err(e) => {
-                    write_response(&writer, &Response::failure(None, e));
-                    continue;
+        let mut acc: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        'conn: loop {
+            while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+                let line_bytes: Vec<u8> = acc.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&line_bytes);
+                if !line.trim().is_empty() {
+                    handle_line(&line, &engine, &stop, &queue, &drain, overload, &writer, &inflight, &seq);
                 }
-            };
-            if req.op == Op::Shutdown {
-                write_response(&writer, &engine.handle(&req, None));
-                stop.store(true, Ordering::SeqCst);
-                queue.ready.notify_all();
-                continue;
             }
-            let cancel = CancelToken::new();
-            let n = seq.fetch_add(1, Ordering::Relaxed);
-            if let Ok(mut inf) = inflight.lock() {
-                inf.insert(n, cancel.clone());
+            match read_half.read(&mut chunk) {
+                Ok(0) => break 'conn, // EOF
+                Ok(n) => acc.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // The socket's read timeout fired. Mid-line silence
+                    // is a stalled (or malicious) client: answer and
+                    // drop the connection so the thread is reclaimed.
+                    // Between requests it is just an idle keep-alive.
+                    if !acc.is_empty() {
+                        write_response(
+                            &writer,
+                            &Response::failure(
+                                None,
+                                format!(
+                                    "read timeout: request line stalled for {} ms",
+                                    overload.read_timeout_ms
+                                ),
+                            ),
+                        );
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn, // dead socket
             }
-            // The depth gauge ticks inside the queue lock, *after* a
-            // successful push: a failed lock leaks no phantom slot, and
-            // a worker cannot observe (and decrement for) the job before
-            // its increment landed. One request is one slot, however
-            // many portfolio workers its solve later fans out to.
-            if let Ok(mut jobs) = queue.jobs.lock() {
-                jobs.push_back(Job {
-                    req,
-                    cancel,
-                    seq: n,
-                    inflight: Arc::clone(&inflight),
-                    writer: Arc::clone(&writer),
-                });
-                engine.note_enqueued();
-            }
-            queue.ready.notify_one();
         }
         // Client gone: cancel whatever is still running for it.
         if let Ok(inf) = inflight.lock() {
@@ -300,6 +390,91 @@ fn spawn_reader(
             }
         };
     });
+}
+
+/// Parse and dispatch one request line from a connection: admission
+/// control, shed responses, shutdown interception, or enqueue.
+#[allow(clippy::too_many_arguments)] // plumbing shared by one call site
+fn handle_line(
+    line: &str,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    queue: &Arc<Queue>,
+    drain: &Arc<DrainState>,
+    overload: OverloadConfig,
+    writer: &Arc<Mutex<Box<dyn Write + Send>>>,
+    inflight: &Arc<Mutex<HashMap<u64, CancelToken>>>,
+    seq: &AtomicU64,
+) {
+    let req = match Request::from_line(line) {
+        Ok(req) => req,
+        Err(e) => {
+            write_response(writer, &Response::failure(None, e));
+            return;
+        }
+    };
+    if req.op == Op::Shutdown {
+        write_response(writer, &engine.handle(&req, None));
+        stop.store(true, Ordering::SeqCst);
+        queue.ready.notify_all();
+        return;
+    }
+    let shed = |reason: ShedReason, id: Option<String>| {
+        engine.note_shed(reason);
+        write_response(
+            writer,
+            &Response::overloaded(id, reason.message(), overload.retry_after_ms),
+        );
+    };
+    // Draining: a stopped server accepts no new work, but still answers
+    // every request with *something* terminal.
+    if stop.load(Ordering::SeqCst) {
+        shed(ShedReason::Draining, req.id);
+        return;
+    }
+    // Per-connection in-flight cap. Only this reader inserts into the
+    // map (workers only remove), so the check cannot race with another
+    // admission on the same connection.
+    if overload.max_inflight_per_conn > 0
+        && relock(inflight).len() >= overload.max_inflight_per_conn
+    {
+        shed(ShedReason::ConnCap, req.id);
+        return;
+    }
+    let cancel = CancelToken::new();
+    let n = seq.fetch_add(1, Ordering::Relaxed);
+    let gid = drain.next.fetch_add(1, Ordering::Relaxed);
+    let req_id = req.id.clone();
+    // The queue-depth check, token registration and depth gauge all
+    // happen inside the queue lock: admission is atomic, a shed request
+    // registers nothing, and a worker cannot observe (and decrement
+    // for) the job before its increment landed. One request is one
+    // slot, however many portfolio workers its solve later fans out to.
+    let admitted = {
+        let mut jobs = relock(&queue.jobs);
+        if overload.max_queue_depth > 0 && jobs.len() >= overload.max_queue_depth {
+            false
+        } else {
+            relock(inflight).insert(n, cancel.clone());
+            relock(&drain.inflight).insert(gid, cancel.clone());
+            jobs.push_back(Job {
+                req,
+                cancel,
+                seq: n,
+                gid,
+                inflight: Arc::clone(inflight),
+                drain: Arc::clone(drain),
+                writer: Arc::clone(writer),
+            });
+            engine.note_enqueued();
+            true
+        }
+    };
+    if admitted {
+        queue.ready.notify_one();
+    } else {
+        shed(ShedReason::QueueFull, req_id);
+    }
 }
 
 /// The worker pool body: drain jobs until stopped *and* the queue is
@@ -335,8 +510,74 @@ fn worker_loop(engine: &Arc<Engine>, stop: &AtomicBool, queue: &Queue) {
         if let Ok(mut inf) = job.inflight.lock() {
             inf.remove(&job.seq);
         }
+        if let Ok(mut g) = job.drain.inflight.lock() {
+            g.remove(&job.gid);
+        }
         write_response(&job.writer, &resp);
     }
+}
+
+/// The drain watchdog: sleeps until shutdown begins, then watches the
+/// queue and the server-wide in-flight registry. Work finishing within
+/// the drain deadline drains naturally; once the deadline passes, every
+/// remaining token is cancelled (repeatedly, to catch a racing enqueue
+/// that slipped in as the stop flag flipped) so stragglers answer as
+/// budget-exhausted instead of running arbitrarily long. The measured
+/// drain duration and straggler count land in the engine's stats.
+fn drain_watchdog(
+    engine: &Arc<Engine>,
+    stop: &AtomicBool,
+    queue: &Queue,
+    drain: &DrainState,
+    deadline: Duration,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        thread::sleep(STOP_POLL);
+    }
+    let start = Instant::now();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    loop {
+        let queued = relock(&queue.jobs).len();
+        let running = relock(&drain.inflight).len();
+        if queued == 0 && running == 0 {
+            break;
+        }
+        if start.elapsed() >= deadline {
+            {
+                let g = relock(&drain.inflight);
+                for (gid, tok) in g.iter() {
+                    if cancelled.insert(*gid) {
+                        tok.cancel();
+                    }
+                }
+            }
+            // Reap jobs still sitting in the queue. Normally workers
+            // drain these, but a request that raced past the stop flag
+            // after the last worker exited would otherwise be stranded
+            // (and hang this loop); answering it here keeps the
+            // every-accepted-request-terminates guarantee.
+            let stranded: Vec<Job> = relock(&queue.jobs).drain(..).collect();
+            for job in stranded {
+                engine.note_dequeued();
+                cancelled.insert(job.gid);
+                if let Ok(mut inf) = job.inflight.lock() {
+                    inf.remove(&job.seq);
+                }
+                if let Ok(mut g) = job.drain.inflight.lock() {
+                    g.remove(&job.gid);
+                }
+                write_response(
+                    &job.writer,
+                    &Response::failure(
+                        job.req.id.clone(),
+                        "cancelled: server drained before this request started",
+                    ),
+                );
+            }
+        }
+        thread::sleep(STOP_POLL);
+    }
+    engine.note_drain(start.elapsed(), cancelled.len() as u64);
 }
 
 /// Write one response line under the connection's writer lock. Write

@@ -51,6 +51,16 @@ run cargo run --release --offline -q --bin muppet-harness -- n1
 test -s BENCH_incremental.json || { echo "BENCH_incremental.json missing"; exit 1; }
 # Differential properties: warm == cold on negotiation + conformance.
 run cargo test -q --offline --test incremental_diff
+# Robustness lane (DESIGN.md §14): bounded admission, load shedding
+# with retry hints, the slow-loris read timeout, graceful drain and the
+# client retry path — first as deterministic integration tests, then as
+# the R1 chaos harness with solver failpoints compiled in (injected
+# exhaustion + worker panics). R1 gates on zero wrong verdicts vs the
+# sequential oracle, full response accounting, at least one shed, and
+# the drain deadline; it always emits BENCH_robustness.json.
+run cargo test -q --offline --test daemon_overload
+run cargo run --release --offline -q --features fault-inject --bin muppet-harness -- r1
+test -s BENCH_robustness.json || { echo "BENCH_robustness.json missing"; exit 1; }
 # fault-inject is a non-default feature; make sure it keeps compiling.
 run cargo build -q --offline -p muppet-solver --features fault-inject
 if cargo clippy --version >/dev/null 2>&1; then

@@ -24,7 +24,11 @@
 //! E1 conflict detection, E2 relaxation synthesis, E3 envelope shape,
 //! E4 latency sweep (the Sec. 5 "< 1 s" claim), E5 baseline comparison,
 //! E6 conformance workflow, E7 minimal edits, E8 negotiation rounds,
-//! A1–A3 ablations.
+//! A1–A3 ablations. `R1` is the overload/chaos lane (DESIGN.md §14):
+//! it floods a real socket daemon past its admission limits with
+//! misbehaving clients (plus injected solver faults under
+//! `--features fault-inject`) and gates on verdict integrity, shed
+//! accounting and drain latency, emitting `BENCH_robustness.json`.
 
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -174,6 +178,7 @@ fn main() {
         ("P1", p1),
         ("O1", o1),
         ("N1", n1),
+        ("R1", r1),
     ];
     let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
     for (id, f) in experiments {
@@ -967,6 +972,344 @@ fn d1(t: &mut Table) {
     if let Err(e) = std::fs::write("BENCH_daemon.json", doc.to_line() + "\n") {
         eprintln!("muppet-harness: cannot write BENCH_daemon.json: {e}");
     }
+}
+
+/// R1 — the robustness / chaos lane (DESIGN.md §14). Runs a real
+/// socket daemon with deliberately tiny overload limits and drives it
+/// past them while misbehaving clients share the socket:
+///
+/// - *good* clients issue conformance checks through the retrying
+///   [`muppet_daemon::Endpoint::roundtrip_retry`] path and must all
+///   reach the sequential-oracle verdict (zero wrong verdicts, ever);
+/// - *flooding* clients pipeline far past the per-connection cap
+///   without reading, and every pipelined request must still receive
+///   exactly one response (shed or terminal), correlated by id;
+/// - *vanishing* clients disconnect with requests in flight
+///   (exercising per-connection cancel tokens);
+/// - *malformed* clients send garbage frames and partial lines;
+/// - a *stalling* client writes half a request line and hangs, and the
+///   server must kill it at the read timeout (slow-loris);
+/// - with `--features fault-inject`, global failpoints force solver
+///   exhaustion and worker panics mid-burst.
+///
+/// Finally the server drains: `stop()` plus `wait()` must return
+/// within the drain deadline (+ scheduling slack) even with work in
+/// flight. Emits `BENCH_robustness.json` before gating so the
+/// artifact exists even on a failed gate.
+fn r1(t: &mut Table) {
+    use muppet_daemon::json::Json;
+    use muppet_daemon::{
+        serve, Endpoint, Engine, EngineConfig, Op, OverloadConfig, Request, RetryPolicy,
+        ServerConfig, SessionSpec,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const GOOD_CLIENTS: usize = 4;
+    const VARIANTS: usize = 8;
+    const FLOODERS: usize = 2;
+    const PIPELINED: usize = 8;
+
+    // Distinct extra ports give distinct fingerprints, so every variant
+    // is a real cold solve the first time the daemon sees it — cache
+    // hits would sidestep the queue and nothing would ever overload.
+    let variant = |port: u16| -> SessionSpec {
+        let mut s = SessionSpec::paper_relaxed();
+        s.extra_ports.push(port);
+        s
+    };
+    let variants: Vec<SessionSpec> = (0..VARIANTS).map(|i| variant(40_000 + i as u16)).collect();
+
+    // Sequential oracle: the same engine code, in-process, one request
+    // at a time, no admission control in the way.
+    let oracle = Engine::new(EngineConfig { threads: 1, ..EngineConfig::default() });
+    let expected: Vec<bool> = variants
+        .iter()
+        .map(|s| {
+            let r = oracle.handle(&Request::new(Op::CheckConformance).with_spec(s.clone()), None);
+            assert!(r.ok, "oracle conformance failed: {:?}", r.error);
+            r.result
+                .get("success")
+                .and_then(Json::as_bool)
+                .expect("oracle verdict")
+        })
+        .collect();
+
+    // Tiny limits so a test-sized burst genuinely trips admission.
+    let overload = OverloadConfig {
+        max_queue_depth: 4,
+        max_inflight_per_conn: 2,
+        retry_after_ms: 10,
+        drain_deadline_ms: 3_000,
+        read_timeout_ms: 500,
+    };
+    let sock = std::env::temp_dir().join(format!("muppet-r1-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let handle = serve(ServerConfig {
+        socket: Some(sock.clone()),
+        tcp: None,
+        workers: 2,
+        engine: EngineConfig { threads: 1, ..EngineConfig::default() },
+        overload,
+    })
+    .expect("serve");
+    let ep = Endpoint::Unix(sock.clone());
+    let io_timeout = Some(Duration::from_secs(30));
+
+    let wrong = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let attempts_total = Arc::new(AtomicU64::new(0));
+    let unanswered = Arc::new(AtomicU64::new(0));
+    let shed_seen = Arc::new(AtomicU64::new(0));
+
+    // Phase 1: everyone at once.
+    let mut threads = Vec::new();
+    for c in 0..GOOD_CLIENTS {
+        let (ep, variants, expected) = (ep.clone(), variants.clone(), expected.clone());
+        let (wrong, completed, attempts_total) =
+            (wrong.clone(), completed.clone(), attempts_total.clone());
+        threads.push(std::thread::spawn(move || {
+            let policy = RetryPolicy {
+                attempts: 12,
+                base_delay: Duration::from_millis(5),
+                deadline: Duration::from_secs(30),
+                jitter_seed: Some(c as u64 + 1),
+                ..RetryPolicy::default()
+            };
+            for (i, spec) in variants.iter().enumerate() {
+                let req = Request::new(Op::CheckConformance).with_spec(spec.clone());
+                let report = ep
+                    .roundtrip_retry(&req, io_timeout, &policy)
+                    .expect("good client transport error");
+                attempts_total.fetch_add(report.attempts as u64, Ordering::Relaxed);
+                let resp = report.response;
+                if resp.overloaded {
+                    // Retry budget ran out while the daemon was
+                    // shedding: no verdict, but also no wrong verdict.
+                    continue;
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                let verdict = resp.result.get("success").and_then(Json::as_bool);
+                if !resp.ok || verdict != Some(expected[i]) {
+                    wrong.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for f in 0..FLOODERS {
+        let (ep, unanswered, shed_seen) = (ep.clone(), unanswered.clone(), shed_seen.clone());
+        let spec_base = 41_000 + (f * PIPELINED) as u16;
+        threads.push(std::thread::spawn(move || {
+            // Pipeline far past the per-connection cap without reading;
+            // every request must still get exactly one response.
+            let mut client = ep.connect(io_timeout).expect("flooder connect");
+            let mut want: std::collections::BTreeMap<String, ()> = Default::default();
+            for k in 0..PIPELINED {
+                let mut req =
+                    Request::new(Op::CheckConformance).with_spec(variant(spec_base + k as u16));
+                req.id = Some(format!("flood-{f}-{k}"));
+                want.insert(req.id.clone().unwrap(), ());
+                client.send(&req).expect("flooder send");
+            }
+            for _ in 0..PIPELINED {
+                match client.recv() {
+                    Ok(resp) => {
+                        if resp.overloaded {
+                            shed_seen.fetch_add(1, Ordering::Relaxed);
+                            assert!(
+                                resp.retry_after_ms.is_some(),
+                                "shed responses must carry retry_after_ms"
+                            );
+                        }
+                        if let Some(id) = resp.id {
+                            want.remove(&id);
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            unanswered.fetch_add(want.len() as u64, Ordering::Relaxed);
+        }));
+    }
+    // Vanishing clients: requests in flight, then a dead socket.
+    for v in 0..2u16 {
+        let ep = ep.clone();
+        threads.push(std::thread::spawn(move || {
+            if let Ok(mut client) = ep.connect(io_timeout) {
+                let mut req = Request::new(Op::CheckConformance).with_spec(variant(42_000 + v));
+                req.id = Some(format!("vanish-{v}"));
+                let _ = client.send(&req);
+                // Drop without reading: the reader must cancel the
+                // in-flight request and the worker must not write to a
+                // dead socket in any harmful way.
+            }
+        }));
+    }
+    // Malformed frames: parse failures must answer, not kill the server.
+    {
+        let ep = ep.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = ep.connect(io_timeout).expect("malformed connect");
+            for frame in ["{\"op\":", "nonsense", "[1,2,3]", "{\"op\":\"no_such_op\"}"] {
+                client.send_raw(frame).expect("malformed send");
+                let resp = client.recv().expect("malformed frames still get responses");
+                assert!(!resp.ok, "garbage must not succeed: {frame}");
+            }
+        }));
+    }
+    for th in threads {
+        th.join().expect("chaos thread panicked");
+    }
+
+    // Phase 2: slow-loris. Half a request line, then silence — the
+    // server must kill the connection at the read timeout instead of
+    // pinning a reader thread forever.
+    let stall_killed = {
+        use std::io::{Read as _, Write as _};
+        let mut raw = std::os::unix::net::UnixStream::connect(&sock).expect("stall connect");
+        raw.write_all(b"{\"op\":\"stats\"").expect("stall write");
+        raw.flush().ok();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let t0 = std::time::Instant::now();
+        let mut buf = Vec::new();
+        // The server writes one failure line, then closes; read_to_end
+        // returns once the close lands.
+        let got = raw.read_to_end(&mut buf);
+        let line = String::from_utf8_lossy(&buf).to_string();
+        got.is_ok()
+            && line.contains("read timeout")
+            && t0.elapsed() < Duration::from_secs(4)
+    };
+
+    // Phase 3: injected solver faults (needs --features fault-inject).
+    #[cfg(feature = "fault-inject")]
+    let (fault_exhausted_terminal, fault_panic_terminal) = {
+        use muppet_solver::fault::{ArmedGlobal, Mode};
+        use muppet_solver::Phase;
+        let exhausted = {
+            let _g = ArmedGlobal::new(Phase::Search, 2, Mode::Exhaust);
+            let mut all_terminal = true;
+            for i in 0..3u16 {
+                let req = Request::new(Op::CheckConformance).with_spec(variant(43_000 + i));
+                // Any response is fine — exhausted, error, or success —
+                // as long as one terminal line comes back.
+                all_terminal &= ep.roundtrip(&req, io_timeout).is_ok();
+            }
+            all_terminal
+        };
+        let panicked = {
+            let _g = ArmedGlobal::new(Phase::Ground, 1, Mode::Panic);
+            let req = Request::new(Op::CheckConformance).with_spec(variant(43_100));
+            // Grounding runs on a daemon worker thread; the injected
+            // panic must surface as an error response, not a hang.
+            matches!(ep.roundtrip(&req, io_timeout), Ok(r) if !r.ok)
+        };
+        // Disarmed again: the daemon still answers correctly.
+        let r = ep
+            .roundtrip(
+                &Request::new(Op::CheckConformance).with_spec(variants[0].clone()),
+                io_timeout,
+            )
+            .expect("post-fault roundtrip");
+        assert_eq!(
+            r.result.get("success").and_then(Json::as_bool),
+            Some(expected[0]),
+            "daemon must recover fully once faults are disarmed"
+        );
+        (exhausted, panicked)
+    };
+    #[cfg(not(feature = "fault-inject"))]
+    let (fault_exhausted_terminal, fault_panic_terminal) = (true, true);
+
+    // Overload counters as the daemon reports them (`stats` op).
+    let stats = ep
+        .roundtrip(&Request::new(Op::Stats), io_timeout)
+        .expect("stats roundtrip");
+    let overload_stats =
+        stats.result.get("overload").cloned().unwrap_or(Json::Null);
+
+    // Phase 4: graceful drain with work still in flight. Park fresh
+    // requests in the queue, never read them, then stop: wait() must
+    // come back within the drain deadline plus scheduling slack.
+    let mut parked = ep.connect(io_timeout).expect("drain connect");
+    for i in 0..2u16 {
+        let mut req = Request::new(Op::CheckConformance).with_spec(variant(44_000 + i));
+        req.id = Some(format!("drain-{i}"));
+        parked.send(&req).expect("drain send");
+    }
+    let t_drain = std::time::Instant::now();
+    handle.stop();
+    handle.wait();
+    let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+    drop(parked);
+    let _ = std::fs::remove_file(&sock);
+
+    let total_good = (GOOD_CLIENTS * VARIANTS) as u64;
+    let wrong = wrong.load(Ordering::Relaxed);
+    let completed = completed.load(Ordering::Relaxed);
+    let attempts = attempts_total.load(Ordering::Relaxed);
+    let unanswered = unanswered.load(Ordering::Relaxed);
+    let sheds = shed_seen.load(Ordering::Relaxed);
+    let drain_budget_ms = (overload.drain_deadline_ms + 2_000) as f64;
+
+    let inst = "paper conformance variants under chaos";
+    row(t, "R1", inst, "good-client requests", total_good.to_string(), "-");
+    row(t, "R1", inst, "completed with a verdict", completed.to_string(), "-");
+    row(t, "R1", inst, "wrong verdicts", wrong.to_string(), "0");
+    row(t, "R1", inst, "retry attempts (total)", attempts.to_string(), ">= requests");
+    row(t, "R1", inst, "pipelined requests unanswered", unanswered.to_string(), "0");
+    row(t, "R1", inst, "sheds observed by flooders", sheds.to_string(), ">= 1");
+    row(t, "R1", inst, "slow-loris killed at timeout", stall_killed.to_string(), "true");
+    row(t, "R1", inst, "fault: exhaustion stays terminal", fault_exhausted_terminal.to_string(), "true");
+    row(t, "R1", inst, "fault: worker panic answered", fault_panic_terminal.to_string(), "true");
+    row(t, "R1", inst, "drain wall (ms)", format!("{drain_ms:.0}"), &format!("<= {drain_budget_ms:.0}"));
+
+    // The artifact is written before any gate fires, so CI trend lines
+    // survive a red run.
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-robustness-v1")),
+        ("instance", Json::str(inst)),
+        (
+            "limits",
+            Json::obj([
+                ("max_queue_depth", Json::num(overload.max_queue_depth as u64)),
+                ("max_inflight_per_conn", Json::num(overload.max_inflight_per_conn as u64)),
+                ("retry_after_ms", Json::num(overload.retry_after_ms)),
+                ("drain_deadline_ms", Json::num(overload.drain_deadline_ms)),
+                ("read_timeout_ms", Json::num(overload.read_timeout_ms)),
+            ]),
+        ),
+        ("good_requests", Json::num(total_good)),
+        ("completed", Json::num(completed)),
+        ("wrong_verdicts", Json::num(wrong)),
+        ("retry_attempts", Json::num(attempts)),
+        ("pipelined_unanswered", Json::num(unanswered)),
+        ("sheds_seen_by_flooders", Json::num(sheds)),
+        ("stall_killed", Json::Bool(stall_killed)),
+        ("fault_exhaustion_terminal", Json::Bool(fault_exhausted_terminal)),
+        ("fault_panic_terminal", Json::Bool(fault_panic_terminal)),
+        ("fault_inject_compiled", Json::Bool(cfg!(feature = "fault-inject"))),
+        ("drain_ms", Json::Num(drain_ms)),
+        ("drain_budget_ms", Json::Num(drain_budget_ms)),
+        ("overload_stats", overload_stats),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_robustness.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_robustness.json: {e}");
+    }
+
+    assert_eq!(wrong, 0, "chaos must never produce a wrong verdict");
+    assert!(
+        completed >= total_good.saturating_sub(2),
+        "almost every retried request must reach a verdict: {completed}/{total_good}"
+    );
+    assert_eq!(unanswered, 0, "every pipelined request must be answered");
+    assert!(sheds >= 1, "the flood must trip admission control at least once");
+    assert!(stall_killed, "the stalling connection must die at the read timeout");
+    assert!(fault_exhausted_terminal && fault_panic_terminal, "faults must stay terminal");
+    assert!(
+        drain_ms <= drain_budget_ms,
+        "drain took {drain_ms:.0} ms, budget {drain_budget_ms:.0} ms"
+    );
 }
 
 /// P1 — the portfolio lane. Three honest measurements, always written

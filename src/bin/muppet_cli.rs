@@ -66,6 +66,17 @@ struct Opts {
     party: Option<String>,
     mode: Option<String>,
     max_rounds: Option<u64>,
+    // Overload / robustness flags (serve side).
+    max_queue_depth: Option<usize>,
+    max_inflight_per_conn: Option<usize>,
+    retry_after_ms: Option<u64>,
+    drain_deadline_ms: Option<u64>,
+    read_timeout_ms: Option<u64>,
+    // Client-side backoff flags.
+    retry_attempts: Option<u32>,
+    retry_base_ms: Option<u64>,
+    retry_deadline_ms: Option<u64>,
+    no_retry: bool,
     // Observability flags.
     trace_json: Option<String>,
     trace_n: Option<u64>,
@@ -90,6 +101,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         party: None,
         mode: None,
         max_rounds: None,
+        max_queue_depth: None,
+        max_inflight_per_conn: None,
+        retry_after_ms: None,
+        drain_deadline_ms: None,
+        read_timeout_ms: None,
+        retry_attempts: None,
+        retry_base_ms: None,
+        retry_deadline_ms: None,
+        no_retry: false,
         trace_json: None,
         trace_n: None,
     };
@@ -159,6 +179,63 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|_| "--cache-cap needs an entry count".to_string())?,
                 )
             }
+            "--max-queue-depth" => {
+                opts.max_queue_depth = Some(
+                    value("--max-queue-depth")?
+                        .parse()
+                        .map_err(|_| "--max-queue-depth needs a job count".to_string())?,
+                )
+            }
+            "--max-inflight-per-conn" => {
+                opts.max_inflight_per_conn = Some(
+                    value("--max-inflight-per-conn")?
+                        .parse()
+                        .map_err(|_| "--max-inflight-per-conn needs a request count".to_string())?,
+                )
+            }
+            "--retry-after-ms" => {
+                opts.retry_after_ms = Some(
+                    value("--retry-after-ms")?.parse().map_err(|_| {
+                        "--retry-after-ms needs a number of milliseconds".to_string()
+                    })?,
+                )
+            }
+            "--drain-deadline-ms" => {
+                opts.drain_deadline_ms = Some(
+                    value("--drain-deadline-ms")?.parse().map_err(|_| {
+                        "--drain-deadline-ms needs a number of milliseconds".to_string()
+                    })?,
+                )
+            }
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms = Some(
+                    value("--read-timeout-ms")?.parse().map_err(|_| {
+                        "--read-timeout-ms needs a number of milliseconds".to_string()
+                    })?,
+                )
+            }
+            "--retry-attempts" => {
+                opts.retry_attempts = Some(
+                    value("--retry-attempts")?
+                        .parse()
+                        .map_err(|_| "--retry-attempts needs an attempt count".to_string())?,
+                )
+            }
+            "--retry-base-ms" => {
+                opts.retry_base_ms = Some(
+                    value("--retry-base-ms")?.parse().map_err(|_| {
+                        "--retry-base-ms needs a number of milliseconds".to_string()
+                    })?,
+                )
+            }
+            "--retry-deadline-ms" => {
+                opts.retry_deadline_ms = Some(
+                    value("--retry-deadline-ms")?.parse().map_err(|_| {
+                        "--retry-deadline-ms needs a number of milliseconds".to_string()
+                    })?,
+                )
+            }
+            "--no-retry" => opts.no_retry = true,
             "--trace-json" => opts.trace_json = Some(value("--trace-json")?),
             "--n" => {
                 opts.trace_n = Some(
@@ -396,6 +473,24 @@ FLAGS:
   --tcp <addr>           daemon TCP address, e.g. 127.0.0.1:7878
   --workers <n>          serve: worker threads (default: 4)
   --cache-cap <n>        serve: result-cache entries (default: 1024)
+  --max-queue-depth <n>  serve: pending jobs admitted before shedding
+                         with status \"overloaded\" (default: 256)
+  --max-inflight-per-conn <n> serve: outstanding requests per connection
+                         before shedding (default: 32)
+  --retry-after-ms <n>   serve: backoff hint attached to shed responses
+                         (default: 50)
+  --drain-deadline-ms <n> serve: graceful-drain budget on shutdown; in-flight
+                         work past it is cancelled (default: 5000)
+  --read-timeout-ms <n>  serve: kill connections whose request line stalls
+                         mid-write for this long; 0 disables (default: 30000)
+  --retry-attempts <n>   client: attempts when the daemon sheds with
+                         \"overloaded\" or the connection fails (default: 5)
+  --retry-base-ms <n>    client: base backoff delay, doubled per attempt
+                         and floored by the server's retry_after_ms hint
+                         (default: 25)
+  --retry-deadline-ms <n> client: total budget across all attempts and
+                         backoff sleeps (default: 30000)
+  --no-retry             client: fail immediately instead of backing off
   --party <k8s|istio>    client: party for check_consistency
   --mode <hard|blameable> client: reconcile mode (default: hard)
   --max-rounds <n>       client: negotiation rounds (default: 4)
@@ -657,6 +752,7 @@ fn synthesize(opts: &Opts) -> Result<ExitCode, String> {
 /// `serve`: run `muppetd` in the foreground until a client sends
 /// `shutdown`.
 fn serve_cmd(opts: &Opts) -> Result<ExitCode, String> {
+    let defaults = muppet_daemon::OverloadConfig::default();
     let config = muppet_daemon::ServerConfig {
         socket: opts.socket.as_ref().map(std::path::PathBuf::from),
         tcp: opts.tcp.clone(),
@@ -665,6 +761,15 @@ fn serve_cmd(opts: &Opts) -> Result<ExitCode, String> {
             cache_cap: opts.cache_cap.unwrap_or(1024),
             threads: effective_threads(opts),
             ..muppet_daemon::EngineConfig::default()
+        },
+        overload: muppet_daemon::OverloadConfig {
+            max_queue_depth: opts.max_queue_depth.unwrap_or(defaults.max_queue_depth),
+            max_inflight_per_conn: opts
+                .max_inflight_per_conn
+                .unwrap_or(defaults.max_inflight_per_conn),
+            retry_after_ms: opts.retry_after_ms.unwrap_or(defaults.retry_after_ms),
+            drain_deadline_ms: opts.drain_deadline_ms.unwrap_or(defaults.drain_deadline_ms),
+            read_timeout_ms: opts.read_timeout_ms.unwrap_or(defaults.read_timeout_ms),
         },
     };
     let handle = muppet_daemon::serve(config)?;
@@ -725,8 +830,28 @@ fn client_cmd(op_name: &str, opts: &Opts) -> Result<ExitCode, String> {
     req.retries = opts.retries;
     req.threads = requested_threads(opts).map(|t| t.clamp(1, 64) as u64);
     req.n = opts.trace_n;
-    let resp = endpoint.roundtrip(&req, Some(std::time::Duration::from_secs(120)))?;
+    let policy = muppet_daemon::RetryPolicy {
+        attempts: if opts.no_retry { 1 } else { opts.retry_attempts.unwrap_or(5) },
+        base_delay: std::time::Duration::from_millis(opts.retry_base_ms.unwrap_or(25)),
+        deadline: std::time::Duration::from_millis(opts.retry_deadline_ms.unwrap_or(30_000)),
+        ..muppet_daemon::RetryPolicy::default()
+    };
+    let report =
+        endpoint.roundtrip_retry(&req, Some(std::time::Duration::from_secs(120)), &policy)?;
+    if report.attempts > 1 {
+        eprintln!(
+            "muppet-cli: {} attempt(s), backed off {:?} total",
+            report.attempts, report.slept
+        );
+    }
+    let resp = report.response;
     println!("{}", resp.to_line());
+    if resp.overloaded {
+        // The daemon kept shedding until the retry budget ran out: no
+        // verdict was reached, which is exit code 3 like any other
+        // exhausted budget.
+        return Ok(ExitCode::from(3));
+    }
     if !resp.ok {
         let err = resp.error.unwrap_or_default();
         return Ok(ExitCode::from(if err.contains("budget exhausted") { 3 } else { 2 }));

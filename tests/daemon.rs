@@ -16,11 +16,21 @@ fn socket_path(name: &str) -> PathBuf {
 
 fn start(name: &str, workers: usize) -> (muppet_daemon::ServerHandle, PathBuf) {
     let path = socket_path(name);
+    // These tests exercise concurrency and cancellation, not the
+    // slow-loris defense (tests/daemon_overload.rs covers that): on a
+    // saturated single-core CI host a multi-hundred-KB request line can
+    // legitimately dribble in slower than the production read timeout,
+    // so give the test servers a generous one.
+    let overload = muppet_daemon::OverloadConfig {
+        read_timeout_ms: 300_000,
+        ..muppet_daemon::OverloadConfig::default()
+    };
     let handle = serve(ServerConfig {
         socket: Some(path.clone()),
         tcp: None,
         workers,
         engine: muppet_daemon::EngineConfig::default(),
+        overload,
     })
     .expect("serve");
     (handle, path)
@@ -171,6 +181,7 @@ fn tcp_listener_smoke() {
         tcp: Some("127.0.0.1:0".to_string()),
         workers: 2,
         engine: muppet_daemon::EngineConfig::default(),
+        overload: muppet_daemon::OverloadConfig::default(),
     })
     .expect("serve tcp");
     let addr = handle.tcp_addr().expect("bound tcp addr");
@@ -502,8 +513,10 @@ fn client_disconnect_cancels_in_flight_portfolio_solve() {
             }
         }
     };
-    // Wait for a worker to pick the job up.
-    let deadline = Instant::now() + Duration::from_secs(60);
+    // Wait for a worker to pick the job up. Generous: on a saturated
+    // single-core host, scenario generation, the large request line and
+    // the debug-build JSON parse can all crawl.
+    let deadline = Instant::now() + Duration::from_secs(120);
     loop {
         let stats = poll_stats(deadline);
         let busy = stats.result.get("in_flight").and_then(Json::as_u64).unwrap();

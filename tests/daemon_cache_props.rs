@@ -146,3 +146,72 @@ proptest! {
         prop_assert_eq!(resp.result.get("ok").and_then(Json::as_bool), Some(oracle));
     }
 }
+
+/// Ports that no other case (or test) uses, so each overload-soundness
+/// case works on a virgin cache fingerprint in the shared engine.
+fn unique_port() -> u16 {
+    use std::sync::atomic::{AtomicU16, Ordering};
+    static NEXT: AtomicU16 = AtomicU16::new(21_000);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Overload soundness (DESIGN.md §14): work that aborts without a
+    /// definite verdict — here via a pre-cancelled token, the same path
+    /// a drain-deadline or client-disconnect cancellation takes — must
+    /// never seed the result cache. (Server-level sheds respond before
+    /// the engine runs at all, so the cancel path is the only way
+    /// overload can reach the cache.) The next identical request must
+    /// be a genuine cold solve that matches the fresh oracle, and only
+    /// a request after THAT may hit the cache.
+    #[test]
+    fn cancelled_work_never_enters_the_cache(
+        rows in prop::collection::vec(
+            (0usize..3, 0usize..3,
+             prop_oneof![Just(23u16), Just(24), Just(25), Just(12000)],
+             prop_oneof![Just(23u16), Just(24), Just(25), Just(12000)]),
+            1..4,
+        ),
+    ) {
+        let mut spec = spec_with(istio_csv(&rows), false);
+        spec.extra_ports.push(unique_port());
+        let req = Request::new(Op::Reconcile).with_spec(spec.clone());
+
+        let cancel = muppet_solver::CancelToken::new();
+        cancel.cancel();
+        let aborted = engine().handle(&req, Some(&cancel));
+        prop_assert!(!aborted.cached, "aborted work cannot be a cache hit");
+        prop_assert!(
+            !aborted.ok
+                || !aborted
+                    .result
+                    .get("exhausted")
+                    .map(Json::is_null)
+                    .unwrap_or(true),
+            "a pre-cancelled solve must not produce a definite verdict: {}",
+            aborted.to_line()
+        );
+
+        let oracle = spec.clone().load().expect("load")
+            .core.session()
+            .reconcile(muppet::ReconcileMode::HardBounds)
+            .expect("reconcile")
+            .success;
+        let real = engine().handle(&req, None);
+        prop_assert!(real.ok, "{:?}", real.error);
+        prop_assert!(
+            !real.cached,
+            "the cancelled attempt must not have seeded the cache"
+        );
+        prop_assert_eq!(
+            real.result.get("success").and_then(Json::as_bool),
+            Some(oracle),
+            "post-cancellation verdict diverged from the fresh oracle"
+        );
+        let repeat = engine().handle(&req, None);
+        prop_assert!(repeat.cached, "the definite verdict is cacheable as usual");
+        prop_assert_eq!(real.result.to_line(), repeat.result.to_line());
+    }
+}

@@ -134,6 +134,67 @@ proptest! {
         }
     }
 
+    /// Daemon protocol lines never panic on arbitrary ASCII, in either
+    /// direction (the server parses requests, the client responses).
+    #[test]
+    fn proto_lines_never_panic(input in "[ -~\n]{0,300}") {
+        let _ = muppet_daemon::Request::from_line(&input);
+        let _ = muppet_daemon::Response::from_line(&input);
+    }
+
+    /// The overload protocol surface roundtrips: a shed response with
+    /// any id/reason/hint survives to_line → from_line with its status
+    /// and retry hint intact.
+    #[test]
+    fn overloaded_responses_roundtrip(
+        with_id in any::<bool>(),
+        id_text in "[a-zA-Z0-9 _.-]{0,24}",
+        reason in "[ -~]{0,60}",
+        // Hints are wall-clock milliseconds — bounded well inside the
+        // f64-exact integer range the JSON layer can carry.
+        hint in 0u64..86_400_000,
+    ) {
+        let id = with_id.then_some(id_text);
+        let resp = muppet_daemon::Response::overloaded(id.clone(), reason.clone(), hint);
+        let back = muppet_daemon::Response::from_line(&resp.to_line())
+            .expect("emitted shed responses must re-parse");
+        prop_assert!(back.overloaded);
+        prop_assert!(!back.ok);
+        prop_assert_eq!(back.retry_after_ms, Some(hint));
+        prop_assert_eq!(back.id, id);
+        prop_assert_eq!(back.error, Some(reason));
+    }
+
+    /// Adversarial `status` / `retry_after_ms` fields degrade, never
+    /// fail: an ill-typed status is simply "not overloaded" and a bad
+    /// hint is "no hint", because old clients must keep interoperating
+    /// with new servers (and vice versa).
+    #[test]
+    fn ill_typed_overload_fields_degrade(
+        status in prop_oneof![
+            Just("17".to_string()),
+            Just("true".to_string()),
+            Just("null".to_string()),
+            Just("[]".to_string()),
+            Just("{}".to_string()),
+            Just("\"busy\"".to_string()),
+        ],
+        hint in prop_oneof![
+            Just("-1".to_string()),
+            Just("1.5".to_string()),
+            Just("\"soon\"".to_string()),
+            Just("[]".to_string()),
+        ],
+    ) {
+        let line = format!(
+            "{{\"v\":1,\"ok\":false,\"error\":\"x\",\"status\":{status},\"retry_after_ms\":{hint}}}"
+        );
+        let resp = muppet_daemon::Response::from_line(&line)
+            .expect("ill-typed overload fields must degrade, not error");
+        prop_assert!(!resp.overloaded, "non-\"overloaded\" status must not mark a shed");
+        prop_assert_eq!(resp.retry_after_ms, None);
+    }
+
     /// Structured-but-wrong manifests produce errors, not panics: random
     /// kinds, missing names, weird selectors.
     #[test]
@@ -189,6 +250,63 @@ fn parser_regression_corpus() {
     // Manifests: numeric service name stays a string.
     let m = parse_manifests("kind: Service\nmetadata:\n  name: \"123\"\n").unwrap();
     assert_eq!(m.mesh.services()[0].name, "123");
+
+    // Daemon protocol, overload surface (DESIGN.md §14). A canonical
+    // shed line parses with both the status and the hint.
+    let shed = muppet_daemon::Response::from_line(
+        r#"{"v":1,"ok":false,"error":"overloaded: job queue full","status":"overloaded","retry_after_ms":50}"#,
+    )
+    .unwrap();
+    assert!(shed.overloaded && !shed.ok);
+    assert_eq!(shed.retry_after_ms, Some(50));
+    // A shed without a hint is still a shed.
+    let shed = muppet_daemon::Response::from_line(
+        r#"{"v":1,"ok":false,"error":"overloaded: server is draining","status":"overloaded"}"#,
+    )
+    .unwrap();
+    assert!(shed.overloaded && shed.retry_after_ms.is_none());
+    // Contradictory: ok=true with an overloaded status. Parse must not
+    // reject — the status field wins for shed detection, and callers
+    // branch on `overloaded` before `ok`.
+    let odd = muppet_daemon::Response::from_line(
+        r#"{"v":1,"ok":true,"status":"overloaded","result":{}}"#,
+    )
+    .unwrap();
+    assert!(odd.overloaded);
+    // Unknown future statuses pass through as plain responses.
+    let fut = muppet_daemon::Response::from_line(
+        r#"{"v":1,"ok":true,"status":"redirected","result":{}}"#,
+    )
+    .unwrap();
+    assert!(!fut.overloaded);
+    // The drain acknowledgement a shutdown gets back.
+    let ack = muppet_daemon::Response::from_line(
+        r#"{"v":1,"ok":true,"result":{"stopping":true,"draining":true,"drain_deadline_ms":5000}}"#,
+    )
+    .unwrap();
+    assert!(ack.ok && !ack.overloaded);
+    use muppet_daemon::json::Json;
+    assert_eq!(ack.result.get("draining").and_then(Json::as_bool), Some(true));
+    // Adversarial near-misses: truncated status, status in the wrong
+    // place, hint overflow — all parse (leniently) or error cleanly,
+    // never panic.
+    for line in [
+        r#"{"v":1,"ok":false,"status":"overload"}"#,
+        r#"{"v":1,"ok":false,"result":{"status":"overloaded"}}"#,
+        r#"{"v":1,"ok":false,"status":"overloaded","retry_after_ms":99999999999999999999}"#,
+        r#"{"v":1,"ok":false,"status":"OVERLOADED","retry_after_ms":50}"#,
+        r#"{"v":1,"status":"overloaded""#,
+    ] {
+        if let Ok(r) = muppet_daemon::Response::from_line(line) {
+            // Only the exact lowercase status marks a shed.
+            assert_eq!(
+                r.overloaded,
+                line.contains("\"status\":\"overloaded\"")
+                    && !line.contains("\"result\":{\"status\""),
+                "unexpected shed detection for {line}"
+            );
+        }
+    }
 }
 
 /// Deeply nested structure must produce a parse error, not a stack
