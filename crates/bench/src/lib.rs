@@ -6,17 +6,19 @@
 //! regenerate. This crate supplies what the Criterion benches and the
 //! `muppet-harness` binary share:
 //!
-//! * [`scenario`] — a parameterized generator of synthetic meshes, goal
-//!   tables and conflicts (the paper could not obtain production
-//!   configurations — Sec. 3 — so, like it, we extrapolate; the generator
-//!   is our substitute for private workloads, per `DESIGN.md` §5).
+//! * [`scenario`] — the seeded scenario generator and graded corpus,
+//!   re-exported from `muppet-scenario` (the paper could not obtain
+//!   production configurations — Sec. 3 — so, like it, we extrapolate;
+//!   the generator is our substitute for private workloads, per
+//!   `DESIGN.md` §5 and §15).
 //! * [`paper`] — the fixed paper walkthrough instances (Figs. 1–4) as
-//!   ready-made sessions.
+//!   ready-made sessions, also from `muppet-scenario`.
 //! * [`timing`] — small helpers to time closures and format result rows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod paper;
-pub mod scenario;
+pub use muppet_scenario as scenario;
+pub use muppet_scenario::paper;
+
 pub mod timing;

@@ -117,6 +117,16 @@ impl Mesh {
         self.services.push(service);
     }
 
+    /// Build a mesh from a sequence of services (later duplicates of a
+    /// name replace earlier ones, as with [`Mesh::add_service`]).
+    pub fn from_services(services: impl IntoIterator<Item = Service>) -> Mesh {
+        let mut m = Mesh::new();
+        for s in services {
+            m.add_service(s);
+        }
+        m
+    }
+
     /// All services, in insertion order.
     pub fn services(&self) -> &[Service] {
         &self.services

@@ -35,7 +35,7 @@ pub mod span;
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
-pub use profiler::{clear_profilers, on_span_close, PhaseAccumulator, SpanEvent};
+pub use profiler::{clear_profilers, on_span_close, PhaseAccumulator, PhaseTotals, SpanEvent};
 pub use span::{
     clear_json_sink, recent_traces, ring_capacity, set_enabled, set_json_sink, span_named,
     tracing_enabled, SpanGuard, SpanNode,

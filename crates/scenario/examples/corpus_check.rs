@@ -1,0 +1,48 @@
+//! Validate committed corpus labels against the solver, with timings.
+//!
+//! ```text
+//! cargo run --release -p muppet-scenario --example corpus_check [tier ...]
+//! ```
+//!
+//! Defaults to every tier. The harness S1 lane and the integration tests
+//! do this with gating; this example is the manual/debug entry point.
+
+use std::time::Instant;
+
+use muppet_scenario::corpus::{self, Tier};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiers: Vec<Tier> = if args.is_empty() {
+        vec![Tier::Smoke, Tier::Paper, Tier::Large, Tier::Hard]
+    } else {
+        args.iter()
+            .map(|a| Tier::parse(a).unwrap_or_else(|| panic!("unknown tier {a:?}")))
+            .collect()
+    };
+    let mut failures = 0usize;
+    for tier in tiers {
+        for entry in corpus::entries(tier) {
+            let start = Instant::now();
+            let got = corpus::solver_verdict(entry);
+            let ms = start.elapsed().as_millis();
+            let ok = got == entry.expected;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:5} {:18} expected={:5} got={:5} {:>8} ms  {}",
+                tier.name(),
+                entry.name,
+                entry.expected.label(),
+                got.label(),
+                ms,
+                if ok { "ok" } else { "MISMATCH" },
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} label mismatch(es)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,409 @@
+//! The committed graded scenario corpus.
+//!
+//! Four tiers, each an array of named entries with expected verdicts:
+//!
+//! * **smoke** — seconds-scale mesh scenarios; run everywhere.
+//! * **paper** — the paper's walkthrough instances (Figs. 1–4) plus
+//!   paper-scale generated meshes and the relational pigeonhole the A4
+//!   ablation uses.
+//! * **large** — ≥1000-service generated meshes with tight offers; the
+//!   harness S1 scale lane runs the headline entries end to end and the
+//!   rest behind `MUPPET_SCALE=full`.
+//! * **hard** — CNF kernel stress: pigeonhole and the Partner Units
+//!   Problem family.
+//!
+//! Every `smoke`/`paper` label is validated against the solver by
+//! `tests/scenario_corpus.rs`; `large` labels are gated in the S1 lane.
+//! Labels are never recomputed at run time — they are the committed
+//! ground truth a run is compared against.
+
+use crate::hard::{php_cnf, pup_sat, pup_unsat, CnfInstance};
+use crate::paper::{php_relational, session, vocab, IstioTable};
+use crate::{generate, Expected, ScenarioParams};
+
+/// Corpus tier: how big / slow an entry is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Tiny mesh scenarios; always run.
+    Smoke,
+    /// The paper's fixed instances and paper-scale meshes.
+    Paper,
+    /// ≥1000-service generated meshes (bounded sessions).
+    Large,
+    /// CNF kernel stress instances.
+    Hard,
+}
+
+impl Tier {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Smoke => "smoke",
+            Tier::Paper => "paper",
+            Tier::Large => "large",
+            Tier::Hard => "hard",
+        }
+    }
+
+    /// Parse a tier name.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "smoke" => Some(Tier::Smoke),
+            "paper" => Some(Tier::Paper),
+            "large" => Some(Tier::Large),
+            "hard" => Some(Tier::Hard),
+            _ => None,
+        }
+    }
+}
+
+/// What an entry materializes into.
+#[derive(Clone, Copy, Debug)]
+pub enum Kind {
+    /// A generated mesh scenario (ground → encode → search pipeline).
+    Mesh(ScenarioParams),
+    /// The paper's strict tables (Fig. 2 vs Fig. 3).
+    PaperStrict,
+    /// The paper's relaxed tables (Fig. 2 vs Fig. 4).
+    PaperRelaxed,
+    /// Relational pigeonhole over the bounded-FOL pipeline.
+    PhpRelational {
+        /// Pigeons.
+        pigeons: usize,
+        /// Holes.
+        holes: usize,
+    },
+    /// Propositional pigeonhole, straight CNF.
+    PhpCnf {
+        /// Pigeons.
+        pigeons: usize,
+        /// Holes.
+        holes: usize,
+    },
+    /// Satisfiable Partner-Units instance.
+    PupSat {
+        /// Zones (and sensors).
+        zones: usize,
+        /// Zone–sensor edges.
+        edges: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Unsatisfiable (over-capacity) Partner-Units instance.
+    PupUnsat {
+        /// Control units; zones = 2·units + 1.
+        units: usize,
+    },
+}
+
+/// One committed corpus entry.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusEntry {
+    /// Unique name (`muppet-cli gen --scenario <name>`).
+    pub name: &'static str,
+    /// Tier.
+    pub tier: Tier,
+    /// What to build.
+    pub kind: Kind,
+    /// The committed expected verdict.
+    pub expected: Expected,
+    /// One-line description.
+    pub note: &'static str,
+}
+
+/// Paper-scale generator defaults shared by the corpus' mesh entries.
+const BASE: ScenarioParams = ScenarioParams {
+    services: 6,
+    ports_per_service: 2,
+    extra_ports: 4,
+    istio_goals: 6,
+    k8s_goals: 1,
+    conflict_fraction: 0.0,
+    flexible_fraction: 0.0,
+    namespaces: 1,
+    tiers: 1,
+    port_pool: 0,
+    bounded: false,
+    seed: 0x4d55_5050,
+};
+
+/// Large-tier generator defaults: shared port pool, tier labels,
+/// multi-tenant namespaces, bounded offers.
+const LARGE_BASE: ScenarioParams = ScenarioParams {
+    services: 1000,
+    ports_per_service: 3,
+    extra_ports: 4,
+    istio_goals: 150,
+    k8s_goals: 3,
+    conflict_fraction: 0.0,
+    flexible_fraction: 0.1,
+    namespaces: 10,
+    tiers: 4,
+    port_pool: 6,
+    bounded: true,
+    seed: 71,
+};
+
+/// The committed corpus.
+pub const CORPUS: &[CorpusEntry] = &[
+    // ---- smoke ----
+    CorpusEntry {
+        name: "smoke-baseline",
+        tier: Tier::Smoke,
+        kind: Kind::Mesh(BASE),
+        expected: Expected::Sat,
+        note: "default 6-service mesh, benign ban",
+    },
+    CorpusEntry {
+        name: "smoke-conflict",
+        tier: Tier::Smoke,
+        kind: Kind::Mesh(ScenarioParams {
+            conflict_fraction: 1.0,
+            k8s_goals: 2,
+            ..BASE
+        }),
+        expected: Expected::Unsat,
+        note: "every ban targets a goal port",
+    },
+    CorpusEntry {
+        name: "smoke-flex",
+        tier: Tier::Smoke,
+        kind: Kind::Mesh(ScenarioParams {
+            conflict_fraction: 1.0,
+            flexible_fraction: 1.0,
+            k8s_goals: 2,
+            ..BASE
+        }),
+        expected: Expected::Sat,
+        note: "∃-port goals dodge every ban via spare ports",
+    },
+    // ---- paper ----
+    CorpusEntry {
+        name: "paper-strict",
+        tier: Tier::Paper,
+        kind: Kind::PaperStrict,
+        expected: Expected::Unsat,
+        note: "Fig. 2 port-23 ban vs Fig. 3 telnet row",
+    },
+    CorpusEntry {
+        name: "paper-relaxed",
+        tier: Tier::Paper,
+        kind: Kind::PaperRelaxed,
+        expected: Expected::Sat,
+        note: "Fig. 2 vs Fig. 4 ∃-port rows (synthesis)",
+    },
+    CorpusEntry {
+        name: "paper-mesh-12",
+        tier: Tier::Paper,
+        kind: Kind::Mesh(ScenarioParams {
+            services: 12,
+            istio_goals: 12,
+            ..BASE
+        }),
+        expected: Expected::Sat,
+        note: "paper-scale generated mesh (E-lane shape)",
+    },
+    CorpusEntry {
+        name: "php-9-8",
+        tier: Tier::Paper,
+        kind: Kind::PhpRelational {
+            pigeons: 9,
+            holes: 8,
+        },
+        expected: Expected::Unsat,
+        note: "relational pigeonhole (A4 symmetry ablation)",
+    },
+    // ---- large ----
+    CorpusEntry {
+        name: "large-1000-sat",
+        tier: Tier::Large,
+        kind: Kind::Mesh(LARGE_BASE),
+        expected: Expected::Sat,
+        note: "1000 services, 150 goals, benign bans, bounded",
+    },
+    CorpusEntry {
+        name: "large-1000-unsat",
+        tier: Tier::Large,
+        kind: Kind::Mesh(ScenarioParams {
+            conflict_fraction: 1.0,
+            k8s_goals: 2,
+            seed: 72,
+            ..LARGE_BASE
+        }),
+        expected: Expected::Unsat,
+        note: "1000 services, bans on goal ports, bounded",
+    },
+    CorpusEntry {
+        name: "large-2500-sat",
+        tier: Tier::Large,
+        kind: Kind::Mesh(ScenarioParams {
+            services: 2500,
+            istio_goals: 250,
+            seed: 73,
+            ..LARGE_BASE
+        }),
+        expected: Expected::Sat,
+        note: "2500 services (MUPPET_SCALE=full only)",
+    },
+    // ---- hard ----
+    CorpusEntry {
+        name: "hard-php-8-7",
+        tier: Tier::Hard,
+        kind: Kind::PhpCnf {
+            pigeons: 8,
+            holes: 7,
+        },
+        expected: Expected::Unsat,
+        note: "propositional pigeonhole (P1 portfolio shape)",
+    },
+    CorpusEntry {
+        name: "hard-pup-sat-40",
+        tier: Tier::Hard,
+        kind: Kind::PupSat {
+            zones: 40,
+            edges: 90,
+            seed: 11,
+        },
+        expected: Expected::Sat,
+        note: "Partner Units, planted placement, 20 units",
+    },
+    CorpusEntry {
+        name: "hard-pup-unsat-5",
+        tier: Tier::Hard,
+        kind: Kind::PupUnsat { units: 5 },
+        expected: Expected::Unsat,
+        note: "11 zones on 5 capacity-2 units: over capacity",
+    },
+];
+
+/// All entries of one tier, in committed order.
+pub fn entries(tier: Tier) -> impl Iterator<Item = &'static CorpusEntry> {
+    CORPUS.iter().filter(move |e| e.tier == tier)
+}
+
+/// Look an entry up by name.
+pub fn entry(name: &str) -> Option<&'static CorpusEntry> {
+    CORPUS.iter().find(|e| e.name == name)
+}
+
+/// Build the CNF instance behind a CNF-kind entry (`None` for mesh /
+/// paper kinds).
+pub fn cnf_instance(kind: Kind) -> Option<CnfInstance> {
+    match kind {
+        Kind::PhpCnf { pigeons, holes } => Some(php_cnf(pigeons, holes)),
+        Kind::PupSat { zones, edges, seed } => Some(pup_sat(zones, edges, seed)),
+        Kind::PupUnsat { units } => Some(pup_unsat(units)),
+        _ => None,
+    }
+}
+
+/// Run an entry through the appropriate solver pipeline and return the
+/// observed verdict. Panics on a budget-exhausted (unknown) outcome —
+/// corpus entries are sized to finish.
+pub fn solver_verdict(entry: &CorpusEntry) -> Expected {
+    fn of_success(success: bool) -> Expected {
+        if success {
+            Expected::Sat
+        } else {
+            Expected::Unsat
+        }
+    }
+    match entry.kind {
+        Kind::Mesh(params) => {
+            let s = generate(params);
+            let rec = s
+                .session(false)
+                .reconcile(muppet::ReconcileMode::HardBounds)
+                .expect("corpus mesh reconciles within budget");
+            of_success(rec.success)
+        }
+        Kind::PaperStrict | Kind::PaperRelaxed => {
+            let mv = vocab();
+            let table = if matches!(entry.kind, Kind::PaperStrict) {
+                IstioTable::Fig3
+            } else {
+                IstioTable::Fig4
+            };
+            let rec = session(&mv, table)
+                .reconcile(muppet::ReconcileMode::HardBounds)
+                .expect("paper tables reconcile within budget");
+            of_success(rec.success)
+        }
+        Kind::PhpRelational { pigeons, holes } => {
+            use muppet_solver::{FormulaGroup, Outcome, Query};
+            let (u, v, sits, formulas) = php_relational(pigeons, holes);
+            let mut q = Query::new(&v, &u);
+            q.free_rel(sits)
+                .set_minimize_cores(false)
+                .add_group(FormulaGroup::new("php", formulas));
+            match q.solve().expect("php solves within budget") {
+                Outcome::Sat { .. } => Expected::Sat,
+                Outcome::Unsat { .. } => Expected::Unsat,
+                other => panic!("php outcome {other:?}"),
+            }
+        }
+        _ => {
+            let inst = cnf_instance(entry.kind).expect("cnf kind");
+            match inst.solver().solve() {
+                muppet_sat::SolveResult::Sat(_) => Expected::Sat,
+                muppet_sat::SolveResult::Unsat(_) => Expected::Unsat,
+                muppet_sat::SolveResult::Unknown => panic!("unbudgeted solve cannot be unknown"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = CORPUS.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CORPUS.len());
+    }
+
+    #[test]
+    fn every_tier_is_populated() {
+        for tier in [Tier::Smoke, Tier::Paper, Tier::Large, Tier::Hard] {
+            assert!(entries(tier).count() >= 2, "tier {} too thin", tier.name());
+        }
+    }
+
+    #[test]
+    fn mesh_labels_match_construction() {
+        // The committed label of every mesh entry must agree with the
+        // generator's own conflict analysis (solver agreement is the
+        // integration test's job; this one is pure construction).
+        for e in CORPUS {
+            if let Kind::Mesh(params) = e.kind {
+                let s = generate(params);
+                assert_eq!(
+                    s.expected_label(),
+                    e.expected,
+                    "{}: committed label disagrees with construction",
+                    e.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_tier_is_actually_large() {
+        for e in entries(Tier::Large) {
+            match e.kind {
+                Kind::Mesh(p) => assert!(p.services >= 1000, "{} too small", e.name),
+                other => panic!("large tier must be mesh scenarios, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tier_names_roundtrip() {
+        for tier in [Tier::Smoke, Tier::Paper, Tier::Large, Tier::Hard] {
+            assert_eq!(Tier::parse(tier.name()), Some(tier));
+        }
+    }
+}

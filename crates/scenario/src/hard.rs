@@ -1,0 +1,297 @@
+//! CNF-level hard instances for the SAT kernel, with verdicts known by
+//! construction.
+//!
+//! * [`php_cnf`] — the propositional pigeonhole principle with pairwise
+//!   at-most-one clauses: the classic exponentially-hard-for-resolution
+//!   UNSAT family.
+//! * [`pup_sat`] / [`pup_unsat`] — a Partner Units Problem-style family
+//!   (arXiv:1308.6206): zones and sensors are placed on control units of
+//!   capacity 2, a connected zone and sensor must share a unit or sit on
+//!   partnered units, and each unit may partner with at most 2 others.
+//!   The satisfiable generator plants a hidden placement and only emits
+//!   zone–sensor edges consistent with it; the unsatisfiable generator
+//!   requests more zones than the units can hold, an UNSAT-by-counting
+//!   core with pairwise capacity clauses (pigeonhole-hard search).
+
+use muppet_sat::{Lit, Solver, Var};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Expected;
+
+/// A self-contained CNF instance: the clause list (for DIMACS export),
+/// a pre-loaded solver, and the verdict it was constructed to have.
+pub struct CnfInstance {
+    /// Number of variables (DIMACS `p cnf` header count).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+    /// The verdict by construction.
+    pub expected: Expected,
+}
+
+impl CnfInstance {
+    fn new(num_vars: usize, clauses: Vec<Vec<Lit>>, expected: Expected) -> CnfInstance {
+        CnfInstance {
+            num_vars,
+            clauses,
+            expected,
+        }
+    }
+
+    /// A fresh solver loaded with the instance.
+    pub fn solver(&self) -> Solver {
+        let mut s = Solver::new();
+        s.new_vars(self.num_vars);
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// The instance in DIMACS CNF format.
+    pub fn dimacs(&self) -> String {
+        muppet_sat::write_dimacs(self.num_vars, &self.clauses)
+    }
+}
+
+/// Tiny arena for allocating CNF variables without a solver.
+struct VarPool {
+    next: usize,
+}
+
+impl VarPool {
+    fn new() -> VarPool {
+        VarPool { next: 0 }
+    }
+
+    fn fresh(&mut self) -> Var {
+        let v = Var::from_index(self.next);
+        self.next += 1;
+        v
+    }
+
+    fn fresh_n(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.fresh()).collect()
+    }
+}
+
+/// Pigeonhole principle PHP(`pigeons`, `holes`) with pairwise
+/// at-most-one hole clauses. UNSAT iff `pigeons > holes`.
+pub fn php_cnf(pigeons: usize, holes: usize) -> CnfInstance {
+    let mut pool = VarPool::new();
+    let p: Vec<Vec<Var>> = (0..pigeons).map(|_| pool.fresh_n(holes)).collect();
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    for row in &p {
+        clauses.push(row.iter().map(|&v| Lit::pos(v)).collect());
+    }
+    for j in 0..holes {
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                clauses.push(vec![Lit::neg(row1[j]), Lit::neg(row2[j])]);
+            }
+        }
+    }
+    let expected = if pigeons > holes {
+        Expected::Unsat
+    } else {
+        Expected::Sat
+    };
+    CnfInstance::new(pool.next, clauses, expected)
+}
+
+/// At-most-one over `lits`, pairwise.
+fn at_most_one(lits: &[Var], clauses: &mut Vec<Vec<Lit>>) {
+    for (i, &a) in lits.iter().enumerate() {
+        for &b in &lits[i + 1..] {
+            clauses.push(vec![Lit::neg(a), Lit::neg(b)]);
+        }
+    }
+}
+
+/// At-most-two over `lits`, pairwise: forbid every triple. Keeps the
+/// counting argument purely combinatorial (no counter ladders that
+/// would give resolution a shortcut).
+fn at_most_two(lits: &[Var], clauses: &mut Vec<Vec<Lit>>) {
+    for i in 0..lits.len() {
+        for j in i + 1..lits.len() {
+            for k in j + 1..lits.len() {
+                clauses.push(vec![Lit::neg(lits[i]), Lit::neg(lits[j]), Lit::neg(lits[k])]);
+            }
+        }
+    }
+}
+
+/// A satisfiable PUP-style instance: `zones` zones (rounded down to
+/// even) and as many sensors on `zones/2` units, `edges` zone–sensor
+/// connections drawn consistently with a hidden placement (zone/sensor
+/// `i` on unit `i/2`, units partnered in a ring). SAT by construction.
+pub fn pup_sat(zones: usize, edges: usize, seed: u64) -> CnfInstance {
+    let n = (zones.max(4) / 2) * 2; // even, ≥ 4
+    let units = n / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = PupBuilder::new(n, n, units);
+    // Hidden placement: zone/sensor i on unit i/2; partner ring.
+    // Every emitted edge (z, s) satisfies unit(z) == unit(s) or the two
+    // units are ring-adjacent, so the hidden placement is a model.
+    for _ in 0..edges {
+        let z = rng.random_range(0..n);
+        let uz = z / 2;
+        let us = match rng.random_range(0..3) {
+            0 => uz,
+            1 => (uz + 1) % units,
+            _ => (uz + units - 1) % units,
+        };
+        let s = 2 * us + rng.random_range(0..2usize);
+        builder.edge(z, s);
+    }
+    builder.finish(Expected::Sat)
+}
+
+/// An unsatisfiable PUP-style instance: `2 * units + 1` zones on
+/// `units` units of capacity 2 — one zone more than the fleet can hold.
+/// UNSAT by counting; the pairwise capacity encoding makes the
+/// refutation pigeonhole-hard.
+pub fn pup_unsat(units: usize) -> CnfInstance {
+    let units = units.max(2);
+    let builder = PupBuilder::new(2 * units + 1, 0, units);
+    builder.finish(Expected::Unsat)
+}
+
+/// Shared PUP clause construction.
+struct PupBuilder {
+    zones: usize,
+    sensors: usize,
+    units: usize,
+    /// x[z][u]: zone z on unit u.
+    x: Vec<Vec<Var>>,
+    /// y[s][u]: sensor s on unit u.
+    y: Vec<Vec<Var>>,
+    /// pr[a][b] for a < b: units a and b are partners.
+    pr: Vec<Vec<Option<Var>>>,
+    pool: VarPool,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl PupBuilder {
+    fn new(zones: usize, sensors: usize, units: usize) -> PupBuilder {
+        let mut pool = VarPool::new();
+        let x: Vec<Vec<Var>> = (0..zones).map(|_| pool.fresh_n(units)).collect();
+        let y: Vec<Vec<Var>> = (0..sensors).map(|_| pool.fresh_n(units)).collect();
+        let mut pr: Vec<Vec<Option<Var>>> = vec![vec![None; units]; units];
+        // Indexed loops: each fresh var lands at two mirrored positions.
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..units {
+            for b in a + 1..units {
+                let v = pool.fresh();
+                pr[a][b] = Some(v);
+                pr[b][a] = Some(v);
+            }
+        }
+        PupBuilder {
+            zones,
+            sensors,
+            units,
+            x,
+            y,
+            pr,
+            pool,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Connect zone `z` to sensor `s`: they must share a unit or sit on
+    /// partnered units.
+    fn edge(&mut self, z: usize, s: usize) {
+        for u in 0..self.units {
+            for w in 0..self.units {
+                if u == w {
+                    continue;
+                }
+                let partners = self.pr[u][w].expect("u != w");
+                self.clauses.push(vec![
+                    Lit::neg(self.x[z][u]),
+                    Lit::neg(self.y[s][w]),
+                    Lit::pos(partners),
+                ]);
+            }
+        }
+    }
+
+    fn finish(mut self, expected: Expected) -> CnfInstance {
+        // Placement: each zone/sensor on exactly one unit.
+        for row in self.x.iter().chain(self.y.iter()) {
+            self.clauses.push(row.iter().map(|&v| Lit::pos(v)).collect());
+            at_most_one(row, &mut self.clauses);
+        }
+        // Unit capacity: at most 2 zones and 2 sensors per unit.
+        for u in 0..self.units {
+            let zs: Vec<Var> = (0..self.zones).map(|z| self.x[z][u]).collect();
+            at_most_two(&zs, &mut self.clauses);
+            let ss: Vec<Var> = (0..self.sensors).map(|s| self.y[s][u]).collect();
+            at_most_two(&ss, &mut self.clauses);
+        }
+        // Inter-unit capacity: at most 2 partners per unit.
+        for u in 0..self.units {
+            let ps: Vec<Var> = (0..self.units)
+                .filter(|&w| w != u)
+                .map(|w| self.pr[u][w].expect("off-diagonal"))
+                .collect();
+            at_most_two(&ps, &mut self.clauses);
+        }
+        CnfInstance::new(self.pool.next, self.clauses, expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_sat::SolveResult;
+
+    fn verdict(inst: &CnfInstance) -> Expected {
+        match inst.solver().solve() {
+            SolveResult::Sat(_) => Expected::Sat,
+            SolveResult::Unsat(_) => Expected::Unsat,
+            SolveResult::Unknown => panic!("unbudgeted solve cannot be unknown"),
+        }
+    }
+
+    #[test]
+    fn php_labels_hold() {
+        for (p, h) in [(5usize, 4usize), (4, 4), (8, 7)] {
+            let inst = php_cnf(p, h);
+            assert_eq!(verdict(&inst), inst.expected, "PHP({p},{h})");
+        }
+    }
+
+    #[test]
+    fn pup_sat_label_holds() {
+        let inst = pup_sat(12, 30, 7);
+        assert_eq!(verdict(&inst), Expected::Sat);
+        assert_eq!(inst.expected, Expected::Sat);
+    }
+
+    #[test]
+    fn pup_unsat_label_holds() {
+        let inst = pup_unsat(4);
+        assert_eq!(verdict(&inst), Expected::Unsat);
+        assert_eq!(inst.expected, Expected::Unsat);
+    }
+
+    #[test]
+    fn pup_is_deterministic() {
+        let a = pup_sat(16, 40, 3);
+        let b = pup_sat(16, 40, 3);
+        assert_eq!(a.num_vars, b.num_vars);
+        assert_eq!(a.clauses, b.clauses);
+        assert_eq!(a.dimacs(), b.dimacs());
+    }
+
+    #[test]
+    fn dimacs_roundtrips() {
+        let inst = php_cnf(4, 3);
+        let parsed = muppet_sat::parse_dimacs(&inst.dimacs()).expect("own emission parses");
+        assert_eq!(parsed.num_vars, inst.num_vars);
+        assert_eq!(parsed.clauses.len(), inst.clauses.len());
+    }
+}

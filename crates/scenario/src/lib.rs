@@ -1,0 +1,66 @@
+//! # muppet-scenario — seeded scale generator + graded scenario corpus
+//!
+//! Every workload the harness, benches, daemon lanes and CLI run comes
+//! from this crate (`DESIGN.md` §15):
+//!
+//! * [`generate`] — a seeded, fully deterministic, parameterized mesh
+//!   generator (service count, label topology, goal families, conflict
+//!   density, tenant/provider goal split) producing complete scenarios —
+//!   manifests + admin goals + an expected verdict label — from tens to
+//!   tens of thousands of services.
+//! * [`paper`] — the paper's fixed walkthrough instances (Figs. 1–4) and
+//!   the relational pigeonhole family, the single definition every lane
+//!   that used to hand-build them now shares.
+//! * [`hard`] — CNF-level hard instances for the SAT kernel: pigeonhole
+//!   and a Partner-Units-Problem-style family (arXiv:1308.6206) whose
+//!   verdicts are known by construction.
+//! * [`corpus`] — the committed graded corpus (tiers `smoke` / `paper` /
+//!   `large` / `hard`) with expected verdicts validated against the
+//!   solver by `tests/scenario_corpus.rs` and the harness S1 lane.
+//!
+//! Generation is a pure function of [`ScenarioParams`]: same seed + same
+//! params ⇒ byte-identical manifests, goal tables and provenance, across
+//! processes and runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+mod generate;
+pub mod hard;
+pub mod paper;
+
+pub use generate::{generate, istio_goals_csv, k8s_goals_csv, Scenario, ScenarioParams};
+
+/// The verdict a scenario is constructed to have.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// Reconciliation succeeds (a joint configuration exists).
+    Sat,
+    /// Reconciliation fails (the goals conflict).
+    Unsat,
+}
+
+impl Expected {
+    /// Stable lowercase label (used in `scenario.json` provenance).
+    pub fn label(self) -> &'static str {
+        match self {
+            Expected::Sat => "sat",
+            Expected::Unsat => "unsat",
+        }
+    }
+
+    /// Does a reconciliation success flag match this expectation?
+    pub fn matches_success(self, success: bool) -> bool {
+        match self {
+            Expected::Sat => success,
+            Expected::Unsat => !success,
+        }
+    }
+}
+
+impl std::fmt::Display for Expected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}

@@ -564,19 +564,21 @@ impl IncrementalQuery {
             diff_inputs.push(Lit::new(var, !in_target));
         }
         // Pinned tuples that disagree with the target contribute a
-        // fixed base distance no model can avoid.
+        // fixed base distance no model can avoid. Walk the varmap's
+        // stored states (pinned-true vs target) plus the target's own
+        // tuples (pinned-false, stored or implicit outside a sparse
+        // bound) instead of the full tuple product — the two sweeps
+        // together count exactly the disagreeing pins.
         let mut dist_base = 0usize;
         for &rel in &self.free_rels {
-            let decl = self.vocab.rel(rel);
-            for tuple in crate::varmap::tuple_product(&self.universe, &decl.arg_sorts) {
-                match self.varmap.state(rel, &tuple) {
-                    Some(crate::varmap::TupleState::True) if !target.holds(rel, &tuple) => {
-                        dist_base += 1;
-                    }
-                    Some(crate::varmap::TupleState::False) if target.holds(rel, &tuple) => {
-                        dist_base += 1;
-                    }
-                    _ => {}
+            for (tuple, state) in self.varmap.rel_states(rel) {
+                if state == crate::varmap::TupleState::True && !target.holds(rel, tuple) {
+                    dist_base += 1;
+                }
+            }
+            for tuple in target.tuples(rel) {
+                if self.varmap.state(rel, tuple) == Some(crate::varmap::TupleState::False) {
+                    dist_base += 1;
                 }
             }
         }

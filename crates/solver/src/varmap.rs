@@ -1,6 +1,6 @@
 //! Mapping between relational tuples and SAT variables.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use muppet_logic::{AtomId, Instance, PartialInstance, RelId, Universe, Vocabulary};
 use muppet_sat::{Model, Solver, Var};
@@ -22,10 +22,21 @@ pub(crate) enum TupleState {
 /// This mirrors Kodkod's translation of relation bounds: tuples in the
 /// lower bound become constants-true, tuples excluded by the upper bound
 /// constants-false, and the remainder become propositional variables.
+///
+/// Bounded relations are stored *sparsely*: only the tuples inside the
+/// upper bound (plus any required tuples) get an entry, and every other
+/// tuple is implicitly pinned false. An unbounded free relation still
+/// materializes its full tuple product. This is what keeps thousand-
+/// service mesh queries tractable — a ternary `Svc × Svc × Port` relation
+/// bounded to an empty upper bound costs nothing instead of |Svc|²·|Port|
+/// map entries.
 #[derive(Debug)]
 pub struct VarMap {
     free_rels: Vec<RelId>,
-    states: BTreeMap<(RelId, Vec<AtomId>), TupleState>,
+    /// Per-relation tuple states. Sparse for bounded relations.
+    states: BTreeMap<RelId, BTreeMap<Vec<AtomId>, TupleState>>,
+    /// Relations stored sparsely (absent tuple ⇒ pinned false).
+    sparse: BTreeSet<RelId>,
     by_var: BTreeMap<Var, (RelId, Vec<AtomId>)>,
 }
 
@@ -35,7 +46,7 @@ impl VarMap {
     /// * `free_rels` — the relations the solver may decide;
     /// * `bounds` — partial-instance bounds over (a subset of) the free
     ///   relations. A free relation not bounded at all ranges over its
-    ///   full tuple product.
+    ///   full tuple product; a bounded one only over its upper bound.
     /// * `fixed` — concrete values for every *other* relation mentioned by
     ///   the query formulas.
     ///
@@ -47,34 +58,67 @@ impl VarMap {
         bounds: &PartialInstance,
         solver: &mut Solver,
     ) -> VarMap {
-        let mut states = BTreeMap::new();
+        let mut states: BTreeMap<RelId, BTreeMap<Vec<AtomId>, TupleState>> = BTreeMap::new();
+        let mut sparse = BTreeSet::new();
         let mut by_var = BTreeMap::new();
         for &rel in free_rels {
-            let decl = vocab.rel(rel);
-            for tuple in tuple_product(universe, &decl.arg_sorts) {
-                let state = if bounds.is_required(rel, &tuple) {
-                    TupleState::True
-                } else if !bounds.is_allowed(rel, &tuple) {
-                    TupleState::False
-                } else {
+            let per = states.entry(rel).or_default();
+            if bounds.is_bounded(rel) {
+                // Sparse: enumerate the bound support only. `require`
+                // also enters the upper bound, so the upper set covers
+                // the lower; iterate both anyway to stay correct for
+                // hand-built bounds.
+                sparse.insert(rel);
+                for tuple in bounds.upper(rel).chain(bounds.lower(rel)) {
+                    if per.contains_key(tuple.as_slice()) {
+                        continue;
+                    }
+                    let state = if bounds.is_required(rel, tuple) {
+                        TupleState::True
+                    } else {
+                        let v = solver.new_var();
+                        by_var.insert(v, (rel, tuple.clone()));
+                        TupleState::Free(v)
+                    };
+                    per.insert(tuple.clone(), state);
+                }
+            } else {
+                let decl = vocab.rel(rel);
+                for tuple in tuple_product(universe, &decl.arg_sorts) {
                     let v = solver.new_var();
                     by_var.insert(v, (rel, tuple.clone()));
-                    TupleState::Free(v)
-                };
-                states.insert((rel, tuple), state);
+                    per.insert(tuple, TupleState::Free(v));
+                }
             }
         }
         VarMap {
             free_rels: free_rels.to_vec(),
             states,
+            sparse,
             by_var,
         }
     }
 
     /// The state of a ground tuple of a *free* relation. `None` when the
     /// relation is not free (resolve against the fixed instance instead).
+    /// For a bounded (sparse) relation, tuples outside the stored support
+    /// are pinned false.
     pub(crate) fn state(&self, rel: RelId, tuple: &[AtomId]) -> Option<TupleState> {
-        self.states.get(&(rel, tuple.to_vec())).copied()
+        let per = self.states.get(&rel)?;
+        match per.get(tuple) {
+            Some(s) => Some(*s),
+            None if self.sparse.contains(&rel) => Some(TupleState::False),
+            None => None,
+        }
+    }
+
+    /// Iterate the stored states of one relation. For sparse relations
+    /// this is the bound support; every absent tuple is pinned false.
+    pub(crate) fn rel_states(&self, rel: RelId) -> impl Iterator<Item = (&[AtomId], TupleState)> {
+        self.states
+            .get(&rel)
+            .into_iter()
+            .flat_map(|per| per.iter().map(|(t, s)| (t.as_slice(), *s)))
     }
 
     /// Is `rel` one of the free relations?
@@ -96,14 +140,16 @@ impl VarMap {
     /// (pinned-true tuples included).
     pub fn decode(&self, model: &Model) -> Instance {
         let mut out = Instance::new();
-        for ((rel, tuple), state) in &self.states {
-            let present = match state {
-                TupleState::True => true,
-                TupleState::False => false,
-                TupleState::Free(v) => model.value(*v),
-            };
-            if present {
-                out.insert(*rel, tuple.clone());
+        for (rel, per) in &self.states {
+            for (tuple, state) in per {
+                let present = match state {
+                    TupleState::True => true,
+                    TupleState::False => false,
+                    TupleState::Free(v) => model.value(*v),
+                };
+                if present {
+                    out.insert(*rel, tuple.clone());
+                }
             }
         }
         out
@@ -163,6 +209,33 @@ mod tests {
         assert!(matches!(vm.state(r, &[a[0], a[1]]), Some(TupleState::Free(_))));
         assert_eq!(vm.state(r, &[a[1], a[0]]), Some(TupleState::False));
         assert_eq!(vm.num_free_vars(), 1);
+    }
+
+    #[test]
+    fn bounded_relation_is_stored_sparsely() {
+        let (u, v, r, a) = setup();
+        let mut bounds = PartialInstance::new();
+        bounds.require(r, vec![a[0], a[0]]);
+        bounds.permit(r, vec![a[0], a[1]]);
+        let mut solver = Solver::new();
+        let vm = VarMap::build(&v, &u, &[r], &bounds, &mut solver);
+        // Only the two bound tuples are materialized; the rest of the
+        // 2×2 product is implicit.
+        assert_eq!(vm.rel_states(r).count(), 2);
+        assert_eq!(vm.state(r, &[a[1], a[1]]), Some(TupleState::False));
+    }
+
+    #[test]
+    fn empty_bound_pins_whole_relation_false() {
+        let (u, v, r, a) = setup();
+        let mut bounds = PartialInstance::new();
+        bounds.bound(r);
+        let mut solver = Solver::new();
+        let vm = VarMap::build(&v, &u, &[r], &bounds, &mut solver);
+        assert_eq!(vm.num_free_vars(), 0);
+        assert_eq!(vm.rel_states(r).count(), 0);
+        assert_eq!(vm.state(r, &[a[0], a[1]]), Some(TupleState::False));
+        assert!(vm.is_free(r));
     }
 
     #[test]

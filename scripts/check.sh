@@ -44,6 +44,16 @@ if [ "$lines" -lt 1 ] || [ "$lines" -ne "$valid" ]; then
     echo "BENCH_trace.jsonl: only $valid of $lines lines match the span-event schema"
     exit 1
 fi
+# Scale lane (DESIGN.md §15): the committed scenario corpus end to end
+# — smoke + paper tiers plus the headline 1000-service large entries,
+# every verdict gated against its committed label, same-seed
+# regeneration gated byte-identical, per-phase (ground/encode/search)
+# timings always written to BENCH_scale.json before the gates fire.
+# Set MUPPET_SCALE=full to also run the 2500-service and hard-tier
+# entries (adds ~1 min).
+run cargo test -q --offline --test scenario_props --test scenario_corpus
+run cargo run --release --offline -q --bin muppet-harness -- s1
+test -s BENCH_scale.json || { echo "BENCH_scale.json missing"; exit 1; }
 # Incremental-engine lane: warm vs cold negotiation on the paper
 # scenario — byte-identical verdicts/counter-offers, and the cold path
 # must re-encode >= 3x more CNF groups. Emits BENCH_incremental.json.

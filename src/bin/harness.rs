@@ -24,7 +24,12 @@
 //! E1 conflict detection, E2 relaxation synthesis, E3 envelope shape,
 //! E4 latency sweep (the Sec. 5 "< 1 s" claim), E5 baseline comparison,
 //! E6 conformance workflow, E7 minimal edits, E8 negotiation rounds,
-//! A1–A3 ablations. `R1` is the overload/chaos lane (DESIGN.md §14):
+//! A1–A3 ablations. `S1` is the scale lane (DESIGN.md §15): the
+//! committed scenario corpus end to end — verdicts gated against
+//! committed labels on up-to-2500-service generated meshes
+//! (`MUPPET_SCALE=full` for the full large + hard tiers), per-phase
+//! timings in `BENCH_scale.json`, and a byte-identical regeneration
+//! gate. `R1` is the overload/chaos lane (DESIGN.md §14):
 //! it floods a real socket daemon past its admission limits with
 //! misbehaving clients (plus injected solver faults under
 //! `--features fault-inject`) and gates on verdict integrity, shed
@@ -177,6 +182,7 @@ fn main() {
         ("D1", d1),
         ("P1", p1),
         ("O1", o1),
+        ("S1", s1),
         ("N1", n1),
         ("R1", r1),
     ];
@@ -590,7 +596,6 @@ fn e8(t: &mut Table) {
 /// atom is interchangeable) it collapses the conflict count — the same
 /// trade Kodkod documents.
 fn a4(t: &mut Table) {
-    use muppet_logic::{Domain, Formula, PartyId, SortId, Term, Universe, Vocabulary};
     use muppet_solver::{FormulaGroup, Outcome, Query};
 
     // Easy-SAT mesh scenario: SB is overhead.
@@ -612,47 +617,9 @@ fn a4(t: &mut Table) {
     row(t, "A4", "easy-SAT mesh (12 svc)", "SB off (ms)", ms(d_off), "-");
     row(t, "A4", "easy-SAT mesh (12 svc)", "SB on (ms)", ms(d_on), "overhead on easy SAT");
 
-    // Symmetric UNSAT: relational pigeonhole PHP(9,8).
-    let mut u = Universe::new();
-    let ps = u.add_sort("P");
-    let hs = u.add_sort("H");
-    for i in 0..9 {
-        u.add_atom(ps, format!("p{i}"));
-    }
-    for i in 0..8 {
-        u.add_atom(hs, format!("h{i}"));
-    }
-    let mut v = Vocabulary::new();
-    let sits = v.add_simple_rel("sits", vec![ps, hs], Domain::Party(PartyId(0)));
-    let p = v.fresh_var();
-    let p2 = v.fresh_var();
-    let h = v.fresh_var();
-    let formulas = vec![
-        Formula::forall(
-            p,
-            SortId(0),
-            Formula::exists(h, SortId(1), Formula::pred(sits, [Term::Var(p), Term::Var(h)])),
-        ),
-        Formula::forall(
-            h,
-            SortId(1),
-            Formula::forall(
-                p,
-                SortId(0),
-                Formula::forall(
-                    p2,
-                    SortId(0),
-                    Formula::implies(
-                        Formula::and([
-                            Formula::pred(sits, [Term::Var(p), Term::Var(h)]),
-                            Formula::pred(sits, [Term::Var(p2), Term::Var(h)]),
-                        ]),
-                        Formula::Eq(Term::Var(p), Term::Var(p2)),
-                    ),
-                ),
-            ),
-        ),
-    ];
+    // Symmetric UNSAT: relational pigeonhole PHP(9,8), from the shared
+    // corpus fixture (same instance `php-9-8` gates in the S1 lane).
+    let (u, v, sits, formulas) = muppet_bench::paper::php_relational(9, 8);
     let run = |sb: bool| {
         let mut q = Query::new(&v, &u);
         q.free_rel(sits)
@@ -1329,7 +1296,6 @@ fn r1(t: &mut Table) {
 fn p1(t: &mut Table) {
     use muppet_daemon::json::Json;
     use muppet_portfolio::{solve_portfolio, PortfolioConfig};
-    use muppet_sat::{Lit, Solver, Var};
 
     // 1. Verdict parity on a fully-conflicted (UNSAT) scenario.
     // Blameable mode so the minimal core is part of the verdict.
@@ -1367,23 +1333,9 @@ fn p1(t: &mut Table) {
     row(t, "P1", "UNSAT reconcile (12 svc)", "threads=4 (ms)", ms(d_par), "host-dependent");
     let pf = par.stats.portfolio;
 
-    // 2. Portfolio search on symmetric UNSAT CNF: pigeonhole PHP(8,7).
-    let pigeonhole = |pigeons: usize, holes: usize| {
-        let mut s = Solver::new();
-        let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
-        for row in &p {
-            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
-        }
-        for j in 0..holes {
-            for (i1, row1) in p.iter().enumerate() {
-                for row2 in &p[i1 + 1..] {
-                    s.add_clause([Lit::neg(row1[j]), Lit::neg(row2[j])]);
-                }
-            }
-        }
-        s
-    };
-    let base = pigeonhole(8, 7);
+    // 2. Portfolio search on symmetric UNSAT CNF: pigeonhole PHP(8,7),
+    // the shared corpus instance `hard-php-8-7`.
+    let base = muppet_bench::scenario::hard::php_cnf(8, 7).solver();
     let search = |threads: usize| {
         timed_median(3, || {
             let mut s = base.clone();
@@ -1650,6 +1602,150 @@ fn o1(t: &mut Table) {
     ]);
     if let Err(e) = std::fs::write("BENCH_obs.json", doc.to_line() + "\n") {
         eprintln!("muppet-harness: cannot write BENCH_obs.json: {e}");
+    }
+}
+
+/// S1 — the scale lane (DESIGN.md §15). Runs the committed scenario
+/// corpus end to end and gates every observed verdict against its
+/// committed label: always the `smoke` + `paper` tiers plus the two
+/// headline 1000-service `large` entries; the full `large` and `hard`
+/// tiers when `MUPPET_SCALE=full`. Mesh entries run the whole
+/// ground → encode → search pipeline with the obs profiler attached,
+/// so `BENCH_scale.json` carries per-phase timings for every scenario.
+/// The lane also regenerates the headline scenario twice and gates
+/// byte-identical output (manifests, goal tables, provenance JSON).
+/// `BENCH_scale.json` is always written before any gate fires.
+fn s1(t: &mut Table) {
+    use muppet_bench::scenario::corpus::{self, Kind, Tier};
+    use muppet_daemon::json::Json;
+    use muppet_obs::PhaseAccumulator;
+
+    let full = std::env::var("MUPPET_SCALE").map(|v| v == "full").unwrap_or(false);
+    let headline = ["large-1000-sat", "large-1000-unsat"];
+    let selected: Vec<&corpus::CorpusEntry> = corpus::CORPUS
+        .iter()
+        .filter(|e| match e.tier {
+            Tier::Smoke | Tier::Paper => true,
+            Tier::Large => full || headline.contains(&e.name),
+            Tier::Hard => full,
+        })
+        .collect();
+
+    let was_enabled = muppet_obs::tracing_enabled();
+    let mut scenarios: Vec<Json> = Vec::new();
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut largest_phases: Option<(String, BTreeMap<&'static str, muppet_obs::PhaseTotals>)> =
+        None;
+    let mut largest_services = 0usize;
+    for entry in &selected {
+        muppet_obs::clear_profilers();
+        let acc = PhaseAccumulator::new();
+        muppet_obs::on_span_close(acc.callback());
+        muppet_obs::set_enabled(true);
+        let start = std::time::Instant::now();
+        let got = corpus::solver_verdict(entry);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let totals = acc.drain();
+        muppet_obs::clear_profilers();
+        muppet_obs::set_enabled(was_enabled);
+
+        let ok = got == entry.expected;
+        if !ok {
+            mismatches.push(format!(
+                "{}: expected {}, got {got}",
+                entry.name, entry.expected
+            ));
+        }
+        row(
+            t,
+            "S1",
+            entry.name,
+            "verdict",
+            format!("{got} in {wall_ms:.0} ms"),
+            entry.expected.label(),
+        );
+        if let Kind::Mesh(params) = entry.kind {
+            if params.services > largest_services {
+                largest_services = params.services;
+                largest_phases = Some((entry.name.to_string(), totals.clone()));
+            }
+        }
+        let phases = Json::Obj(
+            totals
+                .iter()
+                .map(|(name, p)| {
+                    (
+                        (*name).to_string(),
+                        Json::obj([
+                            ("count", Json::num(p.count)),
+                            ("total_us", Json::num(p.total_us)),
+                            ("max_us", Json::num(p.max_us)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        scenarios.push(Json::obj([
+            ("name", Json::str(entry.name)),
+            ("tier", Json::str(entry.tier.name())),
+            ("expected", Json::str(entry.expected.label())),
+            ("got", Json::str(got.label())),
+            ("ok", Json::Bool(ok)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("phases", phases),
+        ]));
+    }
+
+    // Determinism gate: the headline scenario regenerated from scratch
+    // must be byte-identical — manifests, goal tables and provenance.
+    let head = corpus::entry("large-1000-sat").expect("headline entry exists");
+    let Kind::Mesh(params) = head.kind else {
+        panic!("headline entry must be a mesh scenario")
+    };
+    let a = muppet_bench::scenario::generate(params);
+    let b = muppet_bench::scenario::generate(params);
+    let regen_identical = a.wire_content() == b.wire_content()
+        && a.provenance_json(head.name) == b.provenance_json(head.name);
+    row(
+        t,
+        "S1",
+        head.name,
+        "regeneration byte-identical",
+        regen_identical.to_string(),
+        "true (seeded determinism)",
+    );
+
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-scale-v1")),
+        ("mode", Json::str(if full { "full" } else { "headline" })),
+        ("regeneration_identical", Json::Bool(regen_identical)),
+        ("scenarios", Json::Arr(scenarios)),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_scale.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_scale.json: {e}");
+    }
+
+    // Gates fire only after BENCH_scale.json is on disk.
+    assert!(mismatches.is_empty(), "corpus label mismatches: {mismatches:?}");
+    assert!(regen_identical, "same seed + params must regenerate byte-identically");
+    let (largest_name, phases) = largest_phases.expect("lane must run a mesh scenario");
+    assert!(
+        largest_services >= 1000,
+        "scale lane must solve a >= 1000-service mesh (got {largest_services})"
+    );
+    for phase in ["ground", "encode", "search"] {
+        let p = match phases.get(phase) {
+            Some(p) => p,
+            None => panic!("{largest_name}: no {phase} phase recorded"),
+        };
+        row(
+            t,
+            "S1",
+            &largest_name,
+            &format!("phase {phase}"),
+            format!("{}x / {}us total / {}us max", p.count, p.total_us, p.max_us),
+            "per-phase breakdown",
+        );
     }
 }
 

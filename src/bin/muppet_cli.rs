@@ -18,6 +18,9 @@
 //!     apply the envelope to the deployed configuration and print a
 //!     "why not": the failing (src, dst) pairs with a verdict for every
 //!     escape hatch (Sec. 7's why/why-not presentation)
+//! muppet-cli gen        --scenario large-1000-sat --out dir/   (or --list)
+//!     materialize a corpus scenario from `crates/scenario` into the
+//!     same artifacts the subcommands above consume, plus provenance
 //! ```
 //!
 //! Common flags: `--extra-ports 24,26,…` widens the port universe
@@ -80,6 +83,11 @@ struct Opts {
     // Observability flags.
     trace_json: Option<String>,
     trace_n: Option<u64>,
+    // `gen` flags.
+    scenario: Option<String>,
+    seed: Option<u64>,
+    out: Option<String>,
+    list: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -112,6 +120,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         no_retry: false,
         trace_json: None,
         trace_n: None,
+        scenario: None,
+        seed: None,
+        out: None,
+        list: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -244,6 +256,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|_| "--n needs a trace count".to_string())?,
                 )
             }
+            "--scenario" => opts.scenario = Some(value("--scenario")?),
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs an unsigned integer".to_string())?,
+                )
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--list" => opts.list = true,
             "--party" => opts.party = Some(value("--party")?),
             "--mode" => opts.mode = Some(value("--mode")?),
             "--max-rounds" => {
@@ -421,6 +443,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "envelope" => envelope(&prep(rest)?),
         "explain" => explain(&prep(rest)?),
         "synthesize" => synthesize(&prep(rest)?),
+        "gen" => gen_cmd(&prep(rest)?),
         "serve" => serve_cmd(&prep(rest)?),
         "client" => {
             let Some((op, crest)) = rest.split_first() else {
@@ -444,6 +467,9 @@ muppet-cli — solver-aided multi-party configuration
 
 USAGE:
   muppet-cli <check|reconcile|envelope|synthesize|explain> [flags]
+  muppet-cli gen    --scenario <name> [--seed <n>] --out <dir> | gen --list
+      materialize a corpus scenario (manifests.yaml + goal CSVs +
+      scenario.json provenance; DIMACS .cnf for CNF-kind entries)
   muppet-cli serve  --socket <path> [--tcp <addr>] [--workers <n>] [--cache-cap <n>]
   muppet-cli client <op> (--socket <path> | --tcp <addr>) [flags]
       <op> ∈ open_session, check_consistency, reconcile, extract_envelope,
@@ -494,6 +520,10 @@ FLAGS:
   --party <k8s|istio>    client: party for check_consistency
   --mode <hard|blameable> client: reconcile mode (default: hard)
   --max-rounds <n>       client: negotiation rounds (default: 4)
+  --scenario <name>      gen: corpus entry to materialize (gen --list shows all)
+  --seed <n>             gen: override the generator seed (mesh / pup-sat kinds)
+  --out <dir>            gen: output directory (created if missing)
+  --list                 gen: print the scenario corpus and exit
   --trace-json <file>    stream one JSON-Lines event per closed span
                          (pipeline phases with timings and solver
                          counters) to <file>
@@ -746,6 +776,135 @@ fn synthesize(opts: &Opts) -> Result<ExitCode, String> {
         return Err("internal error: synthesized configuration fails verification".into());
     }
     eprintln!("# synthesized configuration verified against all goals");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `gen`: materialize a corpus scenario (or a reseeded variant) into a
+/// directory of the same artifacts the other subcommands consume —
+/// `manifests.yaml`, `k8s-goals.csv`, `istio-goals.csv` — plus a
+/// `scenario.json` provenance stamp (params, seed, expected verdict).
+/// CNF-kind entries emit `<name>.cnf` in DIMACS instead of manifests.
+fn gen_cmd(opts: &Opts) -> Result<ExitCode, String> {
+    use muppet_scenario::corpus::{self, Kind};
+    use muppet_scenario::paper::IstioTable;
+
+    if opts.list {
+        println!("{:<18} {:<6} {:<6} note", "name", "tier", "label");
+        for e in corpus::CORPUS {
+            println!("{:<18} {:<6} {:<6} {}", e.name, e.tier.name(), e.expected.label(), e.note);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let name = opts
+        .scenario
+        .as_deref()
+        .ok_or("gen needs --scenario <name> (see --list) or --list")?;
+    let entry = corpus::entry(name)
+        .ok_or_else(|| format!("unknown scenario {name:?} (see `muppet-cli gen --list`)"))?;
+    let out = opts.out.as_deref().ok_or("gen needs --out <dir>")?;
+    let dir = std::path::Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let write = |file: &str, content: &str| -> Result<(), String> {
+        let path = dir.join(file);
+        std::fs::write(&path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    };
+
+    match entry.kind {
+        Kind::Mesh(mut params) => {
+            if let Some(seed) = opts.seed {
+                params.seed = seed;
+            }
+            let s = muppet_scenario::generate(params);
+            let (manifests, k8s, istio, extras) = s.wire_content();
+            write("manifests.yaml", &manifests)?;
+            write("k8s-goals.csv", &k8s)?;
+            write("istio-goals.csv", &istio)?;
+            write("scenario.json", &(s.provenance_json(entry.name) + "\n"))?;
+            let extras_csv: Vec<String> = extras.iter().map(|p| p.to_string()).collect();
+            println!(
+                "wrote {out}/{{manifests.yaml,k8s-goals.csv,istio-goals.csv,scenario.json}} \
+                 ({} services, expected {})",
+                s.mesh.services().len(),
+                s.expected_label()
+            );
+            println!(
+                "run: muppet-cli reconcile --manifests {out}/manifests.yaml \
+                 --k8s-goals {out}/k8s-goals.csv --istio-goals {out}/istio-goals.csv \
+                 --extra-ports {}",
+                extras_csv.join(",")
+            );
+        }
+        Kind::PaperStrict | Kind::PaperRelaxed => {
+            if opts.seed.is_some() {
+                return Err(format!("{name} is a fixed paper instance; --seed does not apply"));
+            }
+            let mesh = muppet_mesh::Mesh::paper_example();
+            let manifests =
+                muppet_mesh::manifest::emit_bundle(&muppet_mesh::manifest::ManifestBundle {
+                    mesh,
+                    ..Default::default()
+                });
+            let rows = match entry.kind {
+                Kind::PaperStrict => IstioGoal::fig3(),
+                _ => IstioGoal::fig4(),
+            };
+            let table = if matches!(entry.kind, Kind::PaperStrict) {
+                IstioTable::Fig3
+            } else {
+                IstioTable::Fig4
+            };
+            write("manifests.yaml", &manifests)?;
+            write("k8s-goals.csv", &muppet_scenario::k8s_goals_csv(&muppet_goals::fig2()))?;
+            write("istio-goals.csv", &muppet_scenario::istio_goals_csv(&rows))?;
+            write(
+                "scenario.json",
+                &format!(
+                    "{{\"schema\":\"muppet-scenario-paper-v1\",\"name\":\"{}\",\
+                     \"table\":\"{:?}\",\"expected\":\"{}\"}}\n",
+                    entry.name,
+                    table,
+                    entry.expected.label()
+                ),
+            )?;
+            println!(
+                "wrote {out}/{{manifests.yaml,k8s-goals.csv,istio-goals.csv,scenario.json}} \
+                 (paper tables, expected {})",
+                entry.expected
+            );
+        }
+        Kind::PhpRelational { .. } => {
+            return Err(format!(
+                "{name} is a relational (pre-CNF) instance with no file form; \
+                 run it via the harness S1 lane"
+            ));
+        }
+        _ => {
+            let mut kind = entry.kind;
+            if let (Kind::PupSat { seed, .. }, Some(s)) = (&mut kind, opts.seed) {
+                *seed = s;
+            }
+            let inst = corpus::cnf_instance(kind).expect("cnf kind");
+            write(&format!("{}.cnf", entry.name), &inst.dimacs())?;
+            write(
+                "scenario.json",
+                &format!(
+                    "{{\"schema\":\"muppet-scenario-cnf-v1\",\"name\":\"{}\",\
+                     \"expected\":\"{}\",\"num_vars\":{},\"clauses\":{}}}\n",
+                    entry.name,
+                    inst.expected.label(),
+                    inst.num_vars,
+                    inst.clauses.len()
+                ),
+            )?;
+            println!(
+                "wrote {out}/{{{}.cnf,scenario.json}} ({} vars, {} clauses, expected {})",
+                entry.name,
+                inst.num_vars,
+                inst.clauses.len(),
+                inst.expected
+            );
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -202,4 +202,10 @@ impl_tuple_strategy! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, G)
+    (A, B, C, D, E, G, H)
+    (A, B, C, D, E, G, H, I)
+    (A, B, C, D, E, G, H, I, J)
+    (A, B, C, D, E, G, H, I, J, K)
+    (A, B, C, D, E, G, H, I, J, K, L)
+    (A, B, C, D, E, G, H, I, J, K, L, M)
 }
