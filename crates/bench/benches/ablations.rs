@@ -14,7 +14,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use muppet::ReconcileMode;
 use muppet_bench::paper::{session, vocab, IstioTable};
-use muppet_bench::scenario::{generate, ScenarioParams};
+use muppet_bench::scenario::corpus::{entry, Kind};
+use muppet_bench::scenario::generate;
 use muppet_logic::{Instance, PartialInstance};
 use muppet_solver::{FormulaGroup, Query};
 
@@ -57,15 +58,13 @@ fn a1_simplification(c: &mut Criterion) {
 }
 
 fn a2_core_minimization(c: &mut Criterion) {
-    // A scenario with several goals so the first core can over-blame.
-    let scenario = generate(ScenarioParams {
-        services: 8,
-        istio_goals: 10,
-        k8s_goals: 2,
-        conflict_fraction: 1.0,
-        seed: 11,
-        ..ScenarioParams::default()
-    });
+    // The corpus' conflicted paper-scale mesh: 12 goal rows and 2 bans,
+    // enough for the first core to over-blame.
+    let e = entry("paper-mesh-12-conflict").expect("committed corpus entry");
+    let Kind::Mesh(params) = e.kind else {
+        panic!("paper-mesh-12-conflict must be a mesh entry")
+    };
+    let scenario = generate(params);
     assert!(!scenario.conflicting_ports().is_empty());
     let session = scenario.session(false);
 

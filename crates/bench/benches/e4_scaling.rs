@@ -1,63 +1,72 @@
 //! E4 (Sec. 5): "all queries made in modest scenarios … finish in under
 //! 1 second" — the paper's single quantitative claim, extended into a
-//! scaling sweep. Mesh size grows from paper scale (3 services) to 24;
-//! every core query (local consistency, reconciliation, envelope
-//! extraction, synthesis) is measured at each size.
+//! scaling sweep. The workload is the committed scenario corpus: every
+//! mesh entry of the smoke and paper tiers is measured on each core
+//! query (local consistency, reconciliation, envelope extraction), with
+//! the entry's committed verdict as the assertion — no hand-rolled
+//! fixtures, so the bench sweep and the test suite stay on the same
+//! ground truth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use muppet::ReconcileMode;
-use muppet_bench::scenario::{generate, Scenario, ScenarioParams};
+use muppet_bench::scenario::corpus::{entries, Kind, Tier};
+use muppet_bench::scenario::{generate, Expected};
 use muppet_logic::Instance;
 
-fn scenario(services: usize, conflicting: bool) -> Scenario {
-    generate(ScenarioParams {
-        services,
-        istio_goals: services,
-        k8s_goals: 1,
-        conflict_fraction: if conflicting { 1.0 } else { 0.0 },
-        ..ScenarioParams::default()
-    })
-}
-
 fn bench(c: &mut Criterion) {
-    let sizes = [3usize, 6, 12, 24];
     let mut g = c.benchmark_group("e4_scaling");
     g.sample_size(10);
 
-    for &n in &sizes {
-        let sat = scenario(n, false);
-        let sat_session = sat.session(false);
-        g.bench_with_input(BenchmarkId::new("local_consistency", n), &n, |b, _| {
-            b.iter(|| {
-                let r = sat_session.local_consistency(sat.mv.istio_party).unwrap();
-                assert!(r.ok);
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("reconcile_sat", n), &n, |b, _| {
-            b.iter(|| {
-                let r = sat_session.reconcile(ReconcileMode::HardBounds).unwrap();
-                assert!(r.success);
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("envelope", n), &n, |b, _| {
-            b.iter(|| {
-                let env = sat_session
-                    .compute_envelope(sat.mv.k8s_party, sat.mv.istio_party, &Instance::new())
-                    .unwrap();
-                assert!(!env.predicates.is_empty() || env.impossible.is_empty());
-            })
-        });
+    for entry in entries(Tier::Smoke).chain(entries(Tier::Paper)) {
+        let Kind::Mesh(params) = entry.kind else {
+            continue;
+        };
+        let scenario = generate(params);
+        let session = scenario.session(false);
+        let sat = entry.expected == Expected::Sat;
 
-        let unsat = scenario(n, true);
-        if !unsat.conflicting_ports().is_empty() {
-            let unsat_session = unsat.session(false);
-            g.bench_with_input(BenchmarkId::new("reconcile_unsat_core", n), &n, |b, _| {
-                b.iter(|| {
-                    let r = unsat_session.reconcile(ReconcileMode::Blameable).unwrap();
-                    assert!(!r.success);
-                })
-            });
+        if sat {
+            g.bench_with_input(
+                BenchmarkId::new("local_consistency", entry.name),
+                &entry.name,
+                |b, _| {
+                    b.iter(|| {
+                        let r = session.local_consistency(scenario.mv.istio_party).unwrap();
+                        assert!(r.ok);
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new("envelope", entry.name),
+                &entry.name,
+                |b, _| {
+                    b.iter(|| {
+                        let env = session
+                            .compute_envelope(
+                                scenario.mv.k8s_party,
+                                scenario.mv.istio_party,
+                                &Instance::new(),
+                            )
+                            .unwrap();
+                        assert!(!env.predicates.is_empty() || env.impossible.is_empty());
+                    })
+                },
+            );
         }
+
+        // Sat entries measure the model search, unsat ones the blamed
+        // core extraction — both against the committed label.
+        let (mode, label) = if sat {
+            (ReconcileMode::HardBounds, "reconcile_sat")
+        } else {
+            (ReconcileMode::Blameable, "reconcile_unsat_core")
+        };
+        g.bench_with_input(BenchmarkId::new(label, entry.name), &entry.name, |b, _| {
+            b.iter(|| {
+                let r = session.reconcile(mode).unwrap();
+                assert_eq!(r.success, sat, "{} verdict drifted", entry.name);
+            })
+        });
     }
     g.finish();
 }

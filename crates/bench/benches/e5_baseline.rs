@@ -9,19 +9,19 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use muppet::{baseline, ReconcileMode};
 use muppet_bench::paper::{session, vocab, IstioTable};
-use muppet_bench::scenario::{generate, ScenarioParams};
+use muppet_bench::scenario::corpus::{entry, Kind};
+use muppet_bench::scenario::generate;
 
 fn bench(c: &mut Criterion) {
     let mv = vocab();
     let s = session(&mv, IstioTable::Fig3);
 
-    let big = generate(ScenarioParams {
-        services: 12,
-        istio_goals: 12,
-        k8s_goals: 2,
-        conflict_fraction: 1.0,
-        ..ScenarioParams::default()
-    });
+    // The corpus' conflicted paper-scale mesh (committed label: unsat).
+    let e = entry("paper-mesh-12-conflict").expect("committed corpus entry");
+    let Kind::Mesh(params) = e.kind else {
+        panic!("paper-mesh-12-conflict must be a mesh entry")
+    };
+    let big = generate(params);
     let big_session = big.session(false);
 
     let mut g = c.benchmark_group("e5_baseline");

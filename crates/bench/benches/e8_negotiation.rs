@@ -1,31 +1,36 @@
 //! E8 (Fig. 9): round-robin negotiation episodes.
 //!
-//! Measures full negotiations to convergence as the number of built-in
-//! conflicts grows, on generated scenarios with soft Istio goals and a
-//! goal-dropping revision strategy.
+//! Measures full negotiations to convergence on the committed corpus'
+//! conflicted mesh entries (every ban targets a goal port), with soft
+//! Istio goals and a goal-dropping revision strategy. Consuming the
+//! corpus instead of hand-rolled fixtures keeps the negotiation
+//! workload pinned to the same committed ground truth the test suite
+//! validates.
 
 use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use muppet::negotiate::{run_negotiation, DropBlamedSoftGoals, Negotiator, Stubborn};
-use muppet_bench::scenario::{generate, ScenarioParams};
+use muppet_bench::scenario::corpus::{entries, Kind, Tier};
+use muppet_bench::scenario::{generate, Expected};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_negotiation");
     g.sample_size(10);
-    for &bans in &[1usize, 2, 3] {
-        let params = ScenarioParams {
-            services: 6,
-            istio_goals: 8,
-            k8s_goals: bans,
-            conflict_fraction: 1.0,
-            seed: 7,
-            ..ScenarioParams::default()
+    for entry in entries(Tier::Smoke).chain(entries(Tier::Paper)) {
+        let Kind::Mesh(params) = entry.kind else {
+            continue;
         };
+        // Negotiation is only interesting where the hard verdict is
+        // unsat: the soft-goal session then converges by dropping
+        // blamed rows.
+        if entry.expected != Expected::Unsat {
+            continue;
+        }
         let scenario = generate(params);
         g.bench_with_input(
-            BenchmarkId::new("to_convergence", bans),
-            &bans,
+            BenchmarkId::new("to_convergence", entry.name),
+            &entry.name,
             |b, _| {
                 b.iter(|| {
                     // Negotiation mutates goals: rebuild per iteration.

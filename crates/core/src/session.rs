@@ -569,6 +569,32 @@ impl<'a> Session<'a> {
         Ok(self.reconciliation_report(outcome, attempts))
     }
 
+    /// The `(name, content_key)` signature of every formula group a
+    /// [`Session::reconcile_warm`] call would submit, in submission
+    /// order: the axiom group, any commitment groups the mode derives
+    /// from offers, then each party's goal groups. Diffing two
+    /// sessions' signatures predicts exactly which groups a shared warm
+    /// engine will re-encode — unchanged keys are reused from the
+    /// incremental engine's content index — which is how the stream
+    /// session maps a config delta to its dirtied groups without
+    /// touching the solver (DESIGN.md §16).
+    pub fn reconcile_group_signatures(&self, mode: ReconcileMode) -> Vec<(String, u128)> {
+        let refs: Vec<&Party> = self.parties.iter().collect();
+        let (_, commit_groups) = self.merge_offers(&refs, mode);
+        let mut groups = vec![self.axiom_group()];
+        groups.extend(commit_groups);
+        for p in &self.parties {
+            groups.extend(self.goal_groups(p));
+        }
+        groups
+            .into_iter()
+            .map(|g| {
+                let key = g.content_key();
+                (g.name, key)
+            })
+            .collect()
+    }
+
     /// Map a solve outcome onto the Alg. 2 report shape.
     fn reconciliation_report(&self, outcome: Outcome, attempts: u32) -> Reconciliation {
         match outcome {

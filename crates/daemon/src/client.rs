@@ -258,10 +258,18 @@ impl Client {
 
     /// Read the next response line.
     pub fn recv(&mut self) -> Result<Response, String> {
+        Response::from_line(&self.recv_line()?)
+    }
+
+    /// Read the next raw protocol line. A subscribed connection
+    /// receives unsolicited event lines (distinguished by an `"event"`
+    /// field; responses never carry one) interleaved with responses, so
+    /// streaming consumers read raw lines and dispatch on that field.
+    pub fn recv_line(&mut self) -> Result<String, String> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Err("daemon closed the connection".to_string()),
-            Ok(_) => Response::from_line(&line),
+            Ok(_) => Ok(line),
             Err(e) => Err(format!("recv: {e}")),
         }
     }

@@ -22,7 +22,7 @@
 //! aborted) is returned to its requester but never stored, so a cached
 //! verdict always equals what a cold, unlimited solve would say.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -34,7 +34,11 @@ use muppet::{
     QueryStats, Reconciliation, ReconcileMode, RetryPolicy, Session,
 };
 use muppet::default_threads;
+use muppet_goals::{collect_goal_ports, IstioGoal, K8sGoal};
 use muppet_logic::{Instance, PartyId, Universe, Vocabulary};
+use muppet_mesh::manifest::parse_manifests;
+use muppet_scenario::ConfigDelta;
+use muppet_stream::{StreamSession, StreamSpec, StreamStats};
 
 use muppet_obs::{registry, Counter, Gauge, Histogram};
 
@@ -134,6 +138,16 @@ struct Registry {
     order: Vec<u128>,
 }
 
+/// Streaming-watch registry: watch id → live multi-shot session,
+/// FIFO-bounded at the same cap as warm sessions. Unlike warm sessions
+/// (content-addressed, shareable), every `watch` call mints a fresh id:
+/// a watch is *mutable* state owned by whoever holds the id.
+struct WatchRegistry {
+    map: HashMap<String, Arc<Mutex<StreamSession>>>,
+    order: Vec<String>,
+    next_id: u64,
+}
+
 /// Per-operation latency accumulator.
 #[derive(Default)]
 struct OpLatency {
@@ -146,6 +160,7 @@ struct OpLatency {
 pub struct Engine {
     config: EngineConfig,
     sessions: Mutex<Registry>,
+    watches: Mutex<WatchRegistry>,
     cache: Mutex<ResultCache>,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -203,7 +218,7 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 impl Engine {
     /// Every operation the engine answers (for pre-created latency
     /// histograms).
-    const ALL_OPS: [Op; 9] = [
+    const ALL_OPS: [Op; 13] = [
         Op::OpenSession,
         Op::CheckConsistency,
         Op::Reconcile,
@@ -212,6 +227,10 @@ impl Engine {
         Op::NegotiateRound,
         Op::Stats,
         Op::Trace,
+        Op::Watch,
+        Op::PushDelta,
+        Op::Subscribe,
+        Op::Unwatch,
         Op::Shutdown,
     ];
 
@@ -224,6 +243,11 @@ impl Engine {
             sessions: Mutex::new(Registry {
                 map: HashMap::new(),
                 order: Vec::new(),
+            }),
+            watches: Mutex::new(WatchRegistry {
+                map: HashMap::new(),
+                order: Vec::new(),
+                next_id: 0,
             }),
             cache: Mutex::new(ResultCache::new(config.cache_cap)),
             requests: AtomicU64::new(0),
@@ -357,6 +381,13 @@ impl Engine {
                 }
                 return Ok(Response::success(None, Json::Obj(pairs)));
             }
+            // Streaming ops live in their own registry of *mutable*
+            // watch sessions: never content-cached, never fingerprint
+            // keyed — a watch is identified by the id `watch` minted.
+            Op::Watch => return self.op_watch(req, span),
+            Op::PushDelta => return self.op_push_delta(req, span),
+            Op::Subscribe => return self.op_subscribe(req),
+            Op::Unwatch => return self.op_unwatch(req),
             _ => {}
         }
         let (handle, hex_fp) = self.resolve_session(req)?;
@@ -493,7 +524,8 @@ impl Engine {
                 fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
                 fp.add_u64(req.max_rounds.unwrap_or(4));
             }
-            Op::OpenSession | Op::Stats | Op::Trace | Op::Shutdown => {
+            Op::OpenSession | Op::Stats | Op::Trace | Op::Shutdown | Op::Watch
+            | Op::PushDelta | Op::Subscribe | Op::Unwatch => {
                 unreachable!("handled earlier")
             }
         }
@@ -612,7 +644,8 @@ impl Engine {
                     true,
                 ))
             }
-            Op::OpenSession | Op::Stats | Op::Trace | Op::Shutdown => {
+            Op::OpenSession | Op::Stats | Op::Trace | Op::Shutdown | Op::Watch
+            | Op::PushDelta | Op::Subscribe | Op::Unwatch => {
                 unreachable!("handled earlier")
             }
         }
@@ -639,6 +672,127 @@ impl Engine {
         core.party_id(name)
     }
 
+    /// `watch`: open a streaming session over an inline spec. Solves the
+    /// initial state (so the first response already carries a verdict)
+    /// and returns the minted watch id for follow-up `push_delta`s.
+    fn op_watch(
+        &self,
+        req: &Request,
+        span: &mut muppet_obs::SpanGuard,
+    ) -> Result<Response, String> {
+        let spec = req
+            .spec
+            .as_ref()
+            .ok_or_else(|| "watch needs an inline \"spec\"".to_string())?;
+        let stream_spec = stream_spec_from(spec)?;
+        let threads = req
+            .threads
+            .map(|t| t.clamp(1, 64) as usize)
+            .unwrap_or(self.config.threads);
+        // Build outside the registry lock — the initial solve grounds
+        // and encodes the full formula set.
+        let (session, initial) =
+            StreamSession::with_threads(stream_spec, threads).map_err(|e| e.to_string())?;
+        let mut reg = relock(&self.watches);
+        let id = format!("w-{}", reg.next_id);
+        reg.next_id += 1;
+        if reg.map.len() >= self.config.max_sessions && !reg.order.is_empty() {
+            let evicted = reg.order.remove(0);
+            reg.map.remove(&evicted);
+        }
+        reg.map.insert(id.clone(), Arc::new(Mutex::new(session)));
+        reg.order.push(id.clone());
+        drop(reg);
+        span.attr("watch", id.clone());
+        Ok(Response::success(
+            None,
+            Json::obj([
+                ("watch", Json::str(&id)),
+                ("initial", stream_stats_json(&initial)),
+            ]),
+        ))
+    }
+
+    /// `push_delta`: parse one delta line, apply it to the watch and
+    /// re-solve warm. An invalid delta leaves the watch untouched; a
+    /// translation/solve failure after a *valid* apply is reported and
+    /// leaves the watch at the post-apply state (per `muppet-stream`'s
+    /// error contract).
+    fn op_push_delta(
+        &self,
+        req: &Request,
+        span: &mut muppet_obs::SpanGuard,
+    ) -> Result<Response, String> {
+        let (id, handle) = self.resolve_watch(req)?;
+        span.attr("watch", id.clone());
+        let line = req
+            .delta
+            .as_deref()
+            .ok_or_else(|| "push_delta needs a \"delta\" line".to_string())?;
+        let delta = ConfigDelta::parse(line).map_err(|e| format!("delta rejected: {e}"))?;
+        let mut session = relock(&handle);
+        let stats = session.push(&delta).map_err(|e| e.to_string())?;
+        drop(session);
+        let mut pairs = vec![("watch".to_string(), Json::str(&id))];
+        if let Json::Obj(fields) = stream_stats_json(&stats) {
+            pairs.extend(fields);
+        }
+        Ok(Response::success(None, Json::Obj(pairs)))
+    }
+
+    /// `subscribe`: validate the watch id and report its current state.
+    /// The **server** layer intercepts the op after this succeeds and
+    /// registers the connection's writer for verdict-flip pushes; the
+    /// engine only vouches that the watch exists.
+    fn op_subscribe(&self, req: &Request) -> Result<Response, String> {
+        let (id, handle) = self.resolve_watch(req)?;
+        let session = relock(&handle);
+        Ok(Response::success(
+            None,
+            Json::obj([
+                ("watch", Json::str(&id)),
+                ("subscribed", Json::Bool(true)),
+                ("verdict", Json::str(session.verdict())),
+                ("solves", Json::num(session.solves())),
+            ]),
+        ))
+    }
+
+    /// `unwatch`: drop the watch and its warm solver state. Idempotent
+    /// in effect — a second unwatch of the same id errors harmlessly.
+    fn op_unwatch(&self, req: &Request) -> Result<Response, String> {
+        let id = req
+            .watch
+            .clone()
+            .ok_or_else(|| "unwatch needs a \"watch\" id".to_string())?;
+        let mut reg = relock(&self.watches);
+        let removed = reg.map.remove(&id).is_some();
+        reg.order.retain(|w| w != &id);
+        drop(reg);
+        if !removed {
+            return Err(format!("unknown watch {id:?} (expired or never opened)"));
+        }
+        Ok(Response::success(
+            None,
+            Json::obj([("watch", Json::str(&id)), ("removed", Json::Bool(true))]),
+        ))
+    }
+
+    /// Look up a watch by the request's `watch` field.
+    fn resolve_watch(&self, req: &Request) -> Result<(String, Arc<Mutex<StreamSession>>), String> {
+        let id = req
+            .watch
+            .clone()
+            .ok_or_else(|| "request needs a \"watch\" id (from a watch op)".to_string())?;
+        let reg = relock(&self.watches);
+        let handle = reg
+            .map
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| format!("unknown watch {id:?} (expired or never opened)"))?;
+        Ok((id, handle))
+    }
+
     /// The `stats` result object.
     pub fn stats_json(&self) -> Json {
         let (hits, misses, evictions) = relock(&self.cache).counters();
@@ -657,6 +811,20 @@ impl Engine {
             ground_misses += gm;
         }
         drop(reg);
+        // Streaming watches carry their own warm stores; their reuse is
+        // part of the same story the counters tell.
+        let wreg = relock(&self.watches);
+        let watch_count = wreg.map.len() as u64;
+        for h in wreg.map.values() {
+            let ss = relock(h);
+            let (b, r) = ss.group_counters();
+            builds += b;
+            reuses += r;
+            let (gh, gm) = ss.ground_cache_counters();
+            ground_hits += gh;
+            ground_misses += gm;
+        }
+        drop(wreg);
         let lat = relock(&self.latencies);
         let mut per_op: Vec<(String, Json)> = lat
             .iter()
@@ -683,6 +851,7 @@ impl Engine {
             ("queue_depth", Json::num(self.queue_depth.load(Ordering::Relaxed))),
             ("overload", self.overload_json()),
             ("sessions", Json::num(session_count)),
+            ("watches", Json::num(watch_count)),
             (
                 "cache",
                 Json::obj([
@@ -709,6 +878,14 @@ impl Engine {
                 Json::obj([
                     ("hits", Json::num(ground_hits)),
                     ("misses", Json::num(ground_misses)),
+                    (
+                        "hit_rate",
+                        if ground_hits + ground_misses == 0 {
+                            Json::Null
+                        } else {
+                            Json::Num(ground_hits as f64 / (ground_hits + ground_misses) as f64)
+                        },
+                    ),
                 ]),
             ),
             ("obs", obs_json()),
@@ -773,6 +950,49 @@ impl Engine {
     pub fn handle_op(&self, op: Op, spec: &SessionSpec) -> Response {
         self.handle(&Request::new(op).with_spec(spec.clone()), None)
     }
+}
+
+/// Build the streaming-session state from a wire spec: parsed mesh plus
+/// the *raw* goal tables (a stream edits rows, so it keeps them
+/// untranslated). Goal-table ports are folded into the extras so every
+/// referenced port is in the stream universe, mirroring the warm-session
+/// port derivation.
+fn stream_spec_from(spec: &SessionSpec) -> Result<StreamSpec, String> {
+    if spec.mtls {
+        return Err("watch does not support mtls specs".to_string());
+    }
+    let bundle = parse_manifests(&spec.manifests).map_err(|e| e.to_string())?;
+    if bundle.mesh.services().is_empty() {
+        return Err("no Service documents found in the manifests".into());
+    }
+    let k8s_goals = K8sGoal::parse_csv(&spec.k8s_goals).map_err(|e| e.to_string())?;
+    let istio_goals = IstioGoal::parse_csv(&spec.istio_goals).map_err(|e| e.to_string())?;
+    let mut ports: BTreeSet<u16> = collect_goal_ports(&k8s_goals, &istio_goals);
+    ports.extend(&spec.extra_ports);
+    Ok(StreamSpec {
+        mesh: bundle.mesh,
+        k8s_goals,
+        istio_goals,
+        extra_ports: ports.into_iter().collect(),
+        bounded: false,
+    })
+}
+
+/// One per-delta [`StreamStats`] as a wire object.
+fn stream_stats_json(s: &StreamStats) -> Json {
+    Json::obj([
+        ("seq", Json::num(s.seq)),
+        ("kind", Json::str(s.kind)),
+        ("verdict", Json::str(&s.verdict)),
+        ("flipped", Json::Bool(s.flipped)),
+        ("dirtied", Json::strs(&s.dirtied)),
+        ("groups_encoded", Json::num(s.groups_encoded)),
+        ("groups_reused", Json::num(s.groups_reused)),
+        ("ground_cache_hits", Json::num(s.ground_cache_hits)),
+        ("ground_cache_misses", Json::num(s.ground_cache_misses)),
+        ("vocab_rebuilt", Json::Bool(s.vocab_rebuilt)),
+        ("delta_us", Json::num(s.elapsed_us)),
+    ])
 }
 
 /// The aggregated global metrics registry, for `stats`.
@@ -1185,6 +1405,69 @@ mod tests {
         let stats = eng.handle(&Request::new(Op::Stats), None);
         assert!(stats.ok);
         assert_eq!(stats.result.get("sessions").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn watch_lifecycle_streams_deltas() {
+        let eng = engine();
+        let req = Request::new(Op::Watch).with_spec(SessionSpec::paper_relaxed());
+        let opened = eng.handle(&req, None);
+        assert!(opened.ok, "{:?}", opened.error);
+        let id = opened
+            .result
+            .get("watch")
+            .and_then(Json::as_str)
+            .expect("watch id")
+            .to_string();
+        let initial = opened.result.get("initial").expect("initial stats");
+        let verdict = initial.get("verdict").and_then(Json::as_str).unwrap();
+        assert!(verdict.starts_with("sat"), "relaxed spec must open sat: {verdict}");
+
+        // Banning a port a concrete goal row needs flips the verdict…
+        let mut push = Request::new(Op::PushDelta);
+        push.watch = Some(id.clone());
+        push.delta = Some("upsert-ban 16000 *".into());
+        let r = eng.handle(&push, None);
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.result.get("flipped").and_then(Json::as_bool), Some(true));
+        assert!(r
+            .result
+            .get("verdict")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("unsat"));
+
+        // …and dropping it flips back, reusing the warm groups.
+        push.delta = Some("drop-ban 16000".into());
+        let r2 = eng.handle(&push, None);
+        assert!(r2.ok, "{:?}", r2.error);
+        assert_eq!(r2.result.get("flipped").and_then(Json::as_bool), Some(true));
+        assert!(r2.result.get("groups_reused").and_then(Json::as_u64).unwrap() > 0);
+
+        // A malformed delta is rejected without touching the watch.
+        push.delta = Some("remove-service no-such-svc".into());
+        let bad = eng.handle(&push, None);
+        assert!(!bad.ok);
+        let mut sub = Request::new(Op::Subscribe);
+        sub.watch = Some(id.clone());
+        let s = eng.handle(&sub, None);
+        assert!(s.ok, "{:?}", s.error);
+        assert_eq!(s.result.get("subscribed").and_then(Json::as_bool), Some(true));
+        assert!(s
+            .result
+            .get("verdict")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("sat"));
+
+        // stats counts the live watch; unwatch tears it down.
+        let stats = eng.handle(&Request::new(Op::Stats), None);
+        assert_eq!(stats.result.get("watches").and_then(Json::as_u64), Some(1));
+        let mut un = Request::new(Op::Unwatch);
+        un.watch = Some(id.clone());
+        assert!(eng.handle(&un, None).ok);
+        assert!(!eng.handle(&un, None).ok, "second unwatch must error");
+        assert!(!eng.handle(&sub, None).ok, "subscribe after unwatch must error");
     }
 
     #[test]

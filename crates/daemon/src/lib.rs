@@ -35,7 +35,7 @@ pub mod proto;
 pub mod server;
 pub mod spec;
 
-pub use client::{Endpoint, RetryPolicy, RetryReport};
+pub use client::{Client, Endpoint, RetryPolicy, RetryReport};
 pub use engine::{Engine, EngineConfig, OverloadConfig, ShedReason};
 pub use proto::{Op, Request, Response, PROTOCOL_VERSION};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -35,6 +35,17 @@ pub enum Op {
     Stats,
     /// The last N completed span trees (observability), as JSON.
     Trace,
+    /// Open a streaming-reconfiguration watch over a spec: the daemon
+    /// keeps a warm multi-shot [`muppet_stream::StreamSession`] alive
+    /// and returns a watch id for `push_delta`/`subscribe`/`unwatch`.
+    Watch,
+    /// Apply one config delta line to a watch and re-solve warm.
+    PushDelta,
+    /// Mark this connection as a subscriber of a watch: verdict-flip
+    /// notifications are pushed to it as unsolicited JSON lines.
+    Subscribe,
+    /// Tear down a watch and drop its warm solver state.
+    Unwatch,
     /// Stop accepting work and shut the daemon down.
     Shutdown,
 }
@@ -51,6 +62,10 @@ impl Op {
             "negotiate_round" => Op::NegotiateRound,
             "stats" => Op::Stats,
             "trace" => Op::Trace,
+            "watch" => Op::Watch,
+            "push_delta" => Op::PushDelta,
+            "subscribe" => Op::Subscribe,
+            "unwatch" => Op::Unwatch,
             "shutdown" => Op::Shutdown,
             _ => return None,
         })
@@ -67,8 +82,16 @@ impl Op {
     /// Note this gate only applies to ambiguous transport failures.
     /// An `overloaded` shed response means the daemon never started
     /// the work, so retrying after one is safe for *every* op.
+    ///
+    /// The streaming ops break the pure-function property: `watch`
+    /// mints a fresh watch id per call (a blind retry would leak a
+    /// second warm session) and `push_delta` advances a watch's edit
+    /// sequence (re-applying an `add-service` fails as a duplicate and
+    /// a re-applied goal edit double-advances the stream), so both are
+    /// excluded alongside `shutdown`. `subscribe`/`unwatch` are
+    /// idempotent on their watch id and stay retry-safe.
     pub fn safe_to_retry(&self) -> bool {
-        !matches!(self, Op::Shutdown)
+        !matches!(self, Op::Shutdown | Op::Watch | Op::PushDelta)
     }
 
     /// The wire name.
@@ -82,6 +105,10 @@ impl Op {
             Op::NegotiateRound => "negotiate_round",
             Op::Stats => "stats",
             Op::Trace => "trace",
+            Op::Watch => "watch",
+            Op::PushDelta => "push_delta",
+            Op::Subscribe => "subscribe",
+            Op::Unwatch => "unwatch",
             Op::Shutdown => "shutdown",
         }
     }
@@ -119,6 +146,11 @@ pub struct Request {
     pub threads: Option<u64>,
     /// `trace`: how many recent span trees to return (default 8).
     pub n: Option<u64>,
+    /// `push_delta`/`subscribe`/`unwatch`: the watch id from `watch`.
+    pub watch: Option<String>,
+    /// `push_delta`: one config delta line (the `muppet-scenario`
+    /// [`ConfigDelta`](muppet_scenario::ConfigDelta) text codec).
+    pub delta: Option<String>,
 }
 
 impl Request {
@@ -139,6 +171,8 @@ impl Request {
             retries: None,
             threads: None,
             n: None,
+            watch: None,
+            delta: None,
         }
     }
 
@@ -199,6 +233,8 @@ impl Request {
             retries: num_field("retries")?.map(|n| n.min(u64::from(u32::MAX)) as u32),
             threads: num_field("threads")?,
             n: num_field("n")?,
+            watch: str_field("watch"),
+            delta: str_field("delta"),
         })
     }
 
@@ -219,6 +255,8 @@ impl Request {
         put_str("mode", &self.mode);
         put_str("to", &self.to);
         put_str("provider", &self.provider);
+        put_str("watch", &self.watch);
+        put_str("delta", &self.delta);
         if let Some(spec) = &self.spec {
             pairs.push(("spec".into(), spec.to_json()));
         }
@@ -481,10 +519,16 @@ mod tests {
             Op::NegotiateRound,
             Op::Stats,
             Op::Trace,
+            Op::Subscribe,
+            Op::Unwatch,
         ] {
             assert!(op.safe_to_retry(), "{} must be retry-safe", op.name());
         }
-        assert!(!Op::Shutdown.safe_to_retry());
+        // Shutdown would take a restarted daemon down; watch would mint
+        // a duplicate watch; push_delta would double-apply an edit.
+        for op in [Op::Shutdown, Op::Watch, Op::PushDelta] {
+            assert!(!op.safe_to_retry(), "{} must not be retry-safe", op.name());
+        }
     }
 
     #[test]
@@ -498,10 +542,28 @@ mod tests {
             Op::NegotiateRound,
             Op::Stats,
             Op::Trace,
+            Op::Watch,
+            Op::PushDelta,
+            Op::Subscribe,
+            Op::Unwatch,
             Op::Shutdown,
         ] {
             assert_eq!(Op::parse(op.name()), Some(op));
         }
         assert_eq!(Op::parse("nope"), None);
+    }
+
+    #[test]
+    fn watch_fields_roundtrip() {
+        let mut req = Request::new(Op::PushDelta);
+        req.watch = Some("w-3".into());
+        req.delta = Some("edit-label canary team=blue".into());
+        let back = Request::from_line(&req.to_line()).unwrap();
+        assert_eq!(back.op, Op::PushDelta);
+        assert_eq!(back.watch.as_deref(), Some("w-3"));
+        assert_eq!(back.delta.as_deref(), Some("edit-label canary team=blue"));
+        // Absent fields stay absent on the wire.
+        let bare = Request::new(Op::Stats).to_line();
+        assert!(!bare.contains("watch") && !bare.contains("delta"));
     }
 }

@@ -43,7 +43,8 @@ use std::time::{Duration, Instant};
 use muppet::CancelToken;
 
 use crate::engine::{Engine, EngineConfig, OverloadConfig, ShedReason};
-use crate::proto::{Op, Request, Response};
+use crate::json::Json;
+use crate::proto::{Op, Request, Response, PROTOCOL_VERSION};
 
 /// How often blocked threads re-check the stop flag.
 const STOP_POLL: Duration = Duration::from_millis(20);
@@ -84,7 +85,78 @@ struct Job {
     gid: u64,
     inflight: Arc<Mutex<HashMap<u64, CancelToken>>>,
     drain: Arc<DrainState>,
-    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+    writer: SharedWriter,
+}
+
+/// A connection's shared write half. Response lines and subscription
+/// pushes serialize through the same mutex, so an unsolicited event
+/// line never interleaves bytes with a response line.
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Watch-id → subscribed connection writers (streaming notifications).
+///
+/// Registered by a worker when a `subscribe` succeeds; a verdict flip
+/// reported by a `push_delta` response is broadcast to every subscriber
+/// of that watch as one unsolicited JSON line distinguished by an
+/// `"event"` field (responses never carry one). Entries are pruned when
+/// the watch is torn down, when a write fails, and when the owning
+/// connection's reader exits.
+struct WatchSubs {
+    map: Mutex<HashMap<String, Vec<SharedWriter>>>,
+}
+
+impl WatchSubs {
+    fn new() -> WatchSubs {
+        WatchSubs {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register a subscriber (idempotent per connection).
+    fn add(&self, watch: &str, writer: &SharedWriter) {
+        let mut map = relock(&self.map);
+        let subs = map.entry(watch.to_string()).or_default();
+        if !subs.iter().any(|w| Arc::ptr_eq(w, writer)) {
+            subs.push(Arc::clone(writer));
+        }
+    }
+
+    /// Drop every subscription of a torn-down watch.
+    fn remove_watch(&self, watch: &str) {
+        relock(&self.map).remove(watch);
+    }
+
+    /// Drop a disconnected connection's subscriptions.
+    fn drop_writer(&self, writer: &SharedWriter) {
+        let mut map = relock(&self.map);
+        for subs in map.values_mut() {
+            subs.retain(|w| !Arc::ptr_eq(w, writer));
+        }
+        map.retain(|_, subs| !subs.is_empty());
+    }
+
+    /// Push one event line to every subscriber of `watch`, pruning
+    /// writers whose connection has vanished.
+    fn notify(&self, watch: &str, line: &str) {
+        let writers: Vec<SharedWriter> =
+            relock(&self.map).get(watch).cloned().unwrap_or_default();
+        let mut dead = Vec::new();
+        for w in &writers {
+            let failed = {
+                let mut g = relock(w);
+                writeln!(g, "{line}").and_then(|_| g.flush()).is_err()
+            };
+            if failed {
+                dead.push(Arc::clone(w));
+            }
+        }
+        if !dead.is_empty() {
+            let mut map = relock(&self.map);
+            if let Some(subs) = map.get_mut(watch) {
+                subs.retain(|w| !dead.iter().any(|d| Arc::ptr_eq(d, w)));
+            }
+        }
+    }
 }
 
 /// The shared job queue.
@@ -181,6 +253,7 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         inflight: Mutex::new(HashMap::new()),
         next: AtomicU64::new(0),
     });
+    let subs = Arc::new(WatchSubs::new());
     let overload = config.overload;
     let mut threads = Vec::new();
 
@@ -188,7 +261,8 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
         let queue = Arc::clone(&queue);
-        threads.push(thread::spawn(move || worker_loop(&engine, &stop, &queue)));
+        let subs = Arc::clone(&subs);
+        threads.push(thread::spawn(move || worker_loop(&engine, &stop, &queue, &subs)));
     }
 
     {
@@ -227,11 +301,12 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         let stop = Arc::clone(&stop);
         let queue = Arc::clone(&queue);
         let drain = Arc::clone(&drain);
+        let subs = Arc::clone(&subs);
         threads.push(thread::spawn(move || {
             accept_loop(
                 &stop,
                 || listener.accept().map(|(s, _)| s),
-                |s| spawn_unix(s, &engine, &stop, &queue, &drain, overload),
+                |s| spawn_unix(s, &engine, &stop, &queue, &drain, &subs, overload),
             );
         }));
     }
@@ -247,11 +322,12 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, String> {
         let stop = Arc::clone(&stop);
         let queue = Arc::clone(&queue);
         let drain = Arc::clone(&drain);
+        let subs = Arc::clone(&subs);
         threads.push(thread::spawn(move || {
             accept_loop(
                 &stop,
                 || listener.accept().map(|(s, _)| s),
-                |s| spawn_tcp(s, &engine, &stop, &queue, &drain, overload),
+                |s| spawn_tcp(s, &engine, &stop, &queue, &drain, &subs, overload),
             );
         }));
     }
@@ -287,6 +363,7 @@ fn spawn_unix(
     stop: &Arc<AtomicBool>,
     queue: &Arc<Queue>,
     drain: &Arc<DrainState>,
+    subs: &Arc<WatchSubs>,
     overload: OverloadConfig,
 ) {
     if overload.read_timeout_ms > 0 {
@@ -298,7 +375,7 @@ fn spawn_unix(
         .try_clone()
         .ok()
         .map(|s| Box::new(s) as Box<dyn Write + Send>);
-    spawn_reader(Box::new(stream), write_half, engine, stop, queue, drain, overload);
+    spawn_reader(Box::new(stream), write_half, engine, stop, queue, drain, subs, overload);
 }
 
 fn spawn_tcp(
@@ -307,6 +384,7 @@ fn spawn_tcp(
     stop: &Arc<AtomicBool>,
     queue: &Arc<Queue>,
     drain: &Arc<DrainState>,
+    subs: &Arc<WatchSubs>,
     overload: OverloadConfig,
 ) {
     if overload.read_timeout_ms > 0 {
@@ -316,7 +394,7 @@ fn spawn_tcp(
         .try_clone()
         .ok()
         .map(|s| Box::new(s) as Box<dyn Write + Send>);
-    spawn_reader(Box::new(stream), write_half, engine, stop, queue, drain, overload);
+    spawn_reader(Box::new(stream), write_half, engine, stop, queue, drain, subs, overload);
 }
 
 /// Start the per-connection reader thread.
@@ -327,6 +405,7 @@ fn spawn_tcp(
 /// slow-loris and drops the connection; an idle gap between requests is
 /// fine), and a timed-out `read_line` would lose the partial line it
 /// had already consumed.
+#[allow(clippy::too_many_arguments)] // plumbing shared by two call sites
 fn spawn_reader(
     read_half: Box<dyn Read + Send>,
     write_half: Option<Box<dyn Write + Send>>,
@@ -334,6 +413,7 @@ fn spawn_reader(
     stop: &Arc<AtomicBool>,
     queue: &Arc<Queue>,
     drain: &Arc<DrainState>,
+    subs: &Arc<WatchSubs>,
     overload: OverloadConfig,
 ) {
     let Some(write_half) = write_half else {
@@ -343,9 +423,10 @@ fn spawn_reader(
     let stop = Arc::clone(stop);
     let queue = Arc::clone(queue);
     let drain = Arc::clone(drain);
+    let subs = Arc::clone(subs);
     thread::spawn(move || {
         let mut read_half = read_half;
-        let writer: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(write_half));
+        let writer: SharedWriter = Arc::new(Mutex::new(write_half));
         let inflight: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
         let seq = AtomicU64::new(0);
         let mut acc: Vec<u8> = Vec::new();
@@ -383,12 +464,14 @@ fn spawn_reader(
                 Err(_) => break 'conn, // dead socket
             }
         }
-        // Client gone: cancel whatever is still running for it.
+        // Client gone: cancel whatever is still running for it and
+        // unsubscribe its writer from every watch.
         if let Ok(inf) = inflight.lock() {
             for tok in inf.values() {
                 tok.cancel();
             }
         };
+        subs.drop_writer(&writer);
     });
 }
 
@@ -480,7 +563,7 @@ fn handle_line(
 /// The worker pool body: drain jobs until stopped *and* the queue is
 /// empty (a shutdown request still gets its queued predecessors
 /// answered).
-fn worker_loop(engine: &Arc<Engine>, stop: &AtomicBool, queue: &Queue) {
+fn worker_loop(engine: &Arc<Engine>, stop: &AtomicBool, queue: &Queue, subs: &WatchSubs) {
     loop {
         let job = {
             let mut jobs = match queue.jobs.lock() {
@@ -513,7 +596,53 @@ fn worker_loop(engine: &Arc<Engine>, stop: &AtomicBool, queue: &Queue) {
         if let Ok(mut g) = job.drain.inflight.lock() {
             g.remove(&job.gid);
         }
+        // A subscription must be live before its ok line is written:
+        // the moment the client reads the response it may trigger a
+        // flip from another connection, and that event has to land.
+        if resp.ok && job.req.op == Op::Subscribe {
+            if let Some(w) = resp.result.get("watch").and_then(Json::as_str) {
+                subs.add(w, &job.writer);
+            }
+        }
         write_response(&job.writer, &resp);
+        stream_hooks(subs, &job.req, &resp);
+    }
+}
+
+/// Streaming side effects of a completed job: tear down a watch's
+/// subscriptions and broadcast verdict flips. Runs *after* the job's
+/// own response line so the requester always sees its answer before
+/// any event it triggered (subscriber registration instead runs before
+/// the response — see `worker_loop`).
+fn stream_hooks(subs: &WatchSubs, req: &Request, resp: &Response) {
+    if !resp.ok {
+        return;
+    }
+    let watch = resp.result.get("watch").and_then(Json::as_str);
+    match req.op {
+        Op::Unwatch => {
+            if let Some(w) = watch {
+                subs.remove_watch(w);
+            }
+        }
+        Op::PushDelta => {
+            if resp.result.get("flipped").and_then(Json::as_bool) != Some(true) {
+                return;
+            }
+            if let Some(w) = watch {
+                let grab = |key: &str| resp.result.get(key).cloned().unwrap_or(Json::Null);
+                let event = Json::obj([
+                    ("v", Json::num(PROTOCOL_VERSION)),
+                    ("event", Json::str("verdict_flip")),
+                    ("watch", Json::str(w)),
+                    ("seq", grab("seq")),
+                    ("kind", grab("kind")),
+                    ("verdict", grab("verdict")),
+                ]);
+                subs.notify(w, &event.to_line());
+            }
+        }
+        _ => {}
     }
 }
 

@@ -19,7 +19,8 @@
 
 use crate::hard::{php_cnf, pup_sat, pup_unsat, CnfInstance};
 use crate::paper::{php_relational, session, vocab, IstioTable};
-use crate::{generate, Expected, ScenarioParams};
+use crate::stream::{StreamParams, StreamProfile};
+use crate::{generate, generate_stream, Expected, ScenarioParams};
 
 /// Corpus tier: how big / slow an entry is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +95,10 @@ pub enum Kind {
         /// Control units; zones = 2·units + 1.
         units: usize,
     },
+    /// A generated edit stream (streaming-reconfiguration workload);
+    /// the committed label is the verdict of the *final* state after
+    /// replaying every delta.
+    Stream(StreamParams),
 }
 
 /// One committed corpus entry.
@@ -142,6 +147,24 @@ const LARGE_BASE: ScenarioParams = ScenarioParams {
     port_pool: 6,
     bounded: true,
     seed: 71,
+};
+
+/// Base mesh of the committed churn streams: paper-scale, multi-tenant
+/// namespaces and tier labels, shared port pool so stream edits collide
+/// on ports.
+const STREAM_BASE: ScenarioParams = ScenarioParams {
+    services: 24,
+    ports_per_service: 2,
+    extra_ports: 4,
+    istio_goals: 16,
+    k8s_goals: 2,
+    conflict_fraction: 0.0,
+    flexible_fraction: 0.0,
+    namespaces: 2,
+    tiers: 2,
+    port_pool: 8,
+    bounded: false,
+    seed: 0x4d55_5050,
 };
 
 /// The committed corpus.
@@ -204,6 +227,19 @@ pub const CORPUS: &[CorpusEntry] = &[
         note: "paper-scale generated mesh (E-lane shape)",
     },
     CorpusEntry {
+        name: "paper-mesh-12-conflict",
+        tier: Tier::Paper,
+        kind: Kind::Mesh(ScenarioParams {
+            services: 12,
+            istio_goals: 12,
+            k8s_goals: 2,
+            conflict_fraction: 1.0,
+            ..BASE
+        }),
+        expected: Expected::Unsat,
+        note: "paper-scale mesh, every ban targets a goal port (blame/negotiation shape)",
+    },
+    CorpusEntry {
         name: "php-9-8",
         tier: Tier::Paper,
         kind: Kind::PhpRelational {
@@ -212,6 +248,48 @@ pub const CORPUS: &[CorpusEntry] = &[
         },
         expected: Expected::Unsat,
         note: "relational pigeonhole (A4 symmetry ablation)",
+    },
+    CorpusEntry {
+        name: "stream-policy-churn",
+        tier: Tier::Paper,
+        kind: Kind::Stream(StreamParams {
+            base: STREAM_BASE,
+            profile: StreamProfile::PolicyChurn,
+            deltas: 250,
+            target_services: 0,
+            seed: 101,
+        }),
+        expected: Expected::Sat,
+        note: "250 ban upserts/retractions over a fixed 24-svc mesh",
+    },
+    CorpusEntry {
+        name: "stream-goal-churn",
+        tier: Tier::Paper,
+        kind: Kind::Stream(StreamParams {
+            base: STREAM_BASE,
+            profile: StreamProfile::GoalChurn,
+            deltas: 200,
+            target_services: 0,
+            seed: 102,
+        }),
+        expected: Expected::Unsat,
+        note: "200 goal-row revisions over a fixed 24-svc mesh; the churn leaves a goal on a banned port",
+    },
+    CorpusEntry {
+        name: "stream-bounded-churn",
+        tier: Tier::Paper,
+        kind: Kind::Stream(StreamParams {
+            base: ScenarioParams {
+                bounded: true,
+                ..STREAM_BASE
+            },
+            profile: StreamProfile::PolicyChurn,
+            deltas: 250,
+            target_services: 0,
+            seed: 101,
+        }),
+        expected: Expected::Sat,
+        note: "250 ban upserts over a bounded-offer 24-svc mesh; tight offers keep the model canonicalizable (W1 lane workload)",
     },
     // ---- large ----
     CorpusEntry {
@@ -244,6 +322,25 @@ pub const CORPUS: &[CorpusEntry] = &[
         }),
         expected: Expected::Sat,
         note: "2500 services (MUPPET_SCALE=full only)",
+    },
+    CorpusEntry {
+        name: "stream-growth-1000",
+        tier: Tier::Large,
+        kind: Kind::Stream(StreamParams {
+            base: ScenarioParams {
+                services: 10,
+                istio_goals: 8,
+                k8s_goals: 1,
+                flexible_fraction: 0.0,
+                ..LARGE_BASE
+            },
+            profile: StreamProfile::Growth,
+            deltas: 1140,
+            target_services: 1000,
+            seed: 103,
+        }),
+        expected: Expected::Sat,
+        note: "mesh grows 10 → 1000 services, goals follow, bounded",
     },
     // ---- hard ----
     CorpusEntry {
@@ -342,6 +439,14 @@ pub fn solver_verdict(entry: &CorpusEntry) -> Expected {
                 other => panic!("php outcome {other:?}"),
             }
         }
+        Kind::Stream(params) => {
+            let s = generate_stream(params).final_scenario();
+            let rec = s
+                .session(false)
+                .reconcile(muppet::ReconcileMode::HardBounds)
+                .expect("corpus stream final state reconciles within budget");
+            of_success(rec.success)
+        }
         _ => {
             let inst = cnf_instance(entry.kind).expect("cnf kind");
             match inst.solver().solve() {
@@ -378,14 +483,25 @@ mod tests {
         // generator's own conflict analysis (solver agreement is the
         // integration test's job; this one is pure construction).
         for e in CORPUS {
-            if let Kind::Mesh(params) = e.kind {
-                let s = generate(params);
-                assert_eq!(
-                    s.expected_label(),
-                    e.expected,
-                    "{}: committed label disagrees with construction",
-                    e.name
-                );
+            match e.kind {
+                Kind::Mesh(params) => {
+                    let s = generate(params);
+                    assert_eq!(
+                        s.expected_label(),
+                        e.expected,
+                        "{}: committed label disagrees with construction",
+                        e.name
+                    );
+                }
+                Kind::Stream(params) => {
+                    assert_eq!(
+                        generate_stream(params).final_expected(),
+                        e.expected,
+                        "{}: committed label disagrees with stream replay",
+                        e.name
+                    );
+                }
+                _ => {}
             }
         }
     }
@@ -395,7 +511,34 @@ mod tests {
         for e in entries(Tier::Large) {
             match e.kind {
                 Kind::Mesh(p) => assert!(p.services >= 1000, "{} too small", e.name),
+                Kind::Stream(p) => assert!(
+                    p.target_services >= 1000,
+                    "{} grows to too few services",
+                    e.name
+                ),
                 other => panic!("large tier must be mesh scenarios, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_entries_replay_cleanly() {
+        // Every committed stream regenerates deterministically and its
+        // growth entries actually reach their target.
+        for e in CORPUS {
+            if let Kind::Stream(params) = e.kind {
+                let a = generate_stream(params);
+                let b = generate_stream(params);
+                assert_eq!(a.deltas_text(), b.deltas_text(), "{}", e.name);
+                assert_eq!(a.deltas.len(), params.deltas, "{}", e.name);
+                if params.profile == StreamProfile::Growth {
+                    assert_eq!(
+                        a.final_scenario().mesh.services().len(),
+                        params.target_services,
+                        "{}",
+                        e.name
+                    );
+                }
             }
         }
     }

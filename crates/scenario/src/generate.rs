@@ -240,6 +240,31 @@ pub fn generate(params: ScenarioParams) -> Scenario {
     }
 }
 
+/// The ports banned by `k8s_goals` that some concrete Istio goal row
+/// needs — the built-in conflicts of a `(mesh, bans, goals)` state.
+/// Shared by [`Scenario::conflicting_ports`] and the edit-stream
+/// replay in [`crate::stream`], which evolves bare parts without
+/// paying for vocabulary rebuilds.
+pub fn conflicting_ports_of(
+    mesh: &Mesh,
+    k8s_goals: &[K8sGoal],
+    istio_goals: &[IstioGoal],
+) -> Vec<u16> {
+    k8s_goals
+        .iter()
+        .filter(|k| {
+            istio_goals.iter().any(|g| {
+                g.dst_port == PortSpec::Port(k.port)
+                    && mesh
+                        .service(&g.dst)
+                        .map(|d| k.selector.matches(d))
+                        .unwrap_or(false)
+            })
+        })
+        .map(|k| k.port)
+        .collect()
+}
+
 impl Scenario {
     /// Build a two-party Muppet session for this scenario. `soft_istio`
     /// marks the Istio goals droppable (for negotiation experiments).
@@ -339,20 +364,29 @@ impl Scenario {
     /// conflict with goals whose destination lives in the banned
     /// namespace.
     pub fn conflicting_ports(&self) -> Vec<u16> {
-        self.k8s_goals
-            .iter()
-            .filter(|k| {
-                self.istio_goals.iter().any(|g| {
-                    g.dst_port == PortSpec::Port(k.port)
-                        && self
-                            .mesh
-                            .service(&g.dst)
-                            .map(|d| k.selector.matches(d))
-                            .unwrap_or(false)
-                })
-            })
-            .map(|k| k.port)
+        conflicting_ports_of(&self.mesh, &self.k8s_goals, &self.istio_goals)
+    }
+
+    /// The spare ports this scenario adds to the universe (the
+    /// `extra_ports` parameter, materialized).
+    pub fn extra_port_list(&self) -> Vec<u16> {
+        (0..self.params.extra_ports)
+            .map(|j| 20000 + j as u16)
             .collect()
+    }
+
+    /// Rebuild the vocabulary after a mesh mutation (see
+    /// [`crate::stream::ConfigDelta::apply`]). The rebuild is purely
+    /// content-driven — a rebuild from identical mesh content yields a
+    /// vocabulary with an identical atom layout.
+    pub fn rebuild_vocab(&mut self) {
+        let extra = self.extra_port_list();
+        self.mv = MeshVocab::new(
+            &self.mesh,
+            extra,
+            muppet_logic::PartyId(0),
+            muppet_logic::PartyId(1),
+        );
     }
 
     /// The verdict this scenario is constructed to have, derived from

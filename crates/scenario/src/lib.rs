@@ -17,6 +17,10 @@
 //! * [`corpus`] — the committed graded corpus (tiers `smoke` / `paper` /
 //!   `large` / `hard`) with expected verdicts validated against the
 //!   solver by `tests/scenario_corpus.rs` and the harness S1 lane.
+//! * [`stream`] — typed [`ConfigDelta`] edits with `apply` semantics
+//!   and seeded [`EditStream`] generation (growth / policy-churn /
+//!   goal-churn / mixed profiles) for the streaming-reconfiguration
+//!   subsystem (`crates/stream`, daemon watch mode, harness W1 lane).
 //!
 //! Generation is a pure function of [`ScenarioParams`]: same seed + same
 //! params ⇒ byte-identical manifests, goal tables and provenance, across
@@ -29,8 +33,14 @@ pub mod corpus;
 mod generate;
 pub mod hard;
 pub mod paper;
+pub mod stream;
 
-pub use generate::{generate, istio_goals_csv, k8s_goals_csv, Scenario, ScenarioParams};
+pub use generate::{
+    conflicting_ports_of, generate, istio_goals_csv, k8s_goals_csv, Scenario, ScenarioParams,
+};
+pub use stream::{
+    generate_stream, ConfigDelta, DeltaError, EditStream, StreamParams, StreamProfile,
+};
 
 /// The verdict a scenario is constructed to have.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,1135 @@
+//! Typed configuration deltas and seeded edit streams.
+//!
+//! The streaming-reconfiguration subsystem (DESIGN.md §16) treats a
+//! configuration not as one snapshot but as a *stream of edits*: a mesh
+//! grows service by service, bans churn as cluster admins react to
+//! incidents, goal tables are revised row by row. [`ConfigDelta`] is
+//! the typed edit vocabulary; [`generate_stream`] produces seeded,
+//! deterministic delta sequences in several profiles (growth,
+//! policy churn, goal churn, mixed) that the `crates/stream` session,
+//! the daemon watch mode, the W1 harness lane and the differential
+//! proptests all replay.
+//!
+//! Every delta has [`ConfigDelta::apply`] semantics against a
+//! [`Scenario`] and a stable one-line wire form (`Display` /
+//! [`ConfigDelta::parse`]) using the same selector and port-cell
+//! grammar as the goal CSV tables, so `muppet-cli watch` can stream
+//! deltas from a plain text file.
+
+use muppet_goals::{IstioGoal, K8sGoal, PortSpec};
+use muppet_mesh::{Mesh, Selector, Service};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{generate, Expected, Scenario, ScenarioParams};
+
+/// One typed configuration edit.
+///
+/// The first five variants touch the mesh structure (and therefore the
+/// logical universe — applying them rebuilds the scenario vocabulary);
+/// the last four touch only a goal table, which is what makes them
+/// cheap for a warm multi-shot session: the universe, bounds and every
+/// unchanged CNF group survive byte-for-byte.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigDelta {
+    /// Deploy a new service.
+    AddService {
+        /// Unique service name.
+        name: String,
+        /// Namespace.
+        namespace: String,
+        /// Optional `tier` label value.
+        tier: Option<String>,
+        /// Listening ports (non-empty).
+        ports: Vec<u16>,
+    },
+    /// Tear a service down. Istio goal rows naming it are pruned.
+    RemoveService {
+        /// Service name.
+        name: String,
+    },
+    /// Scale a service's replica count (recorded as a `replicas`
+    /// label). Reachability is service-level, so this is verdict-
+    /// neutral by construction — the cheapest possible delta, and a
+    /// watch session should answer it without re-encoding anything.
+    ScaleReplicas {
+        /// Service name.
+        name: String,
+        /// New replica count.
+        replicas: u32,
+    },
+    /// Replace a service's listening ports.
+    EditPorts {
+        /// Service name.
+        name: String,
+        /// New port set (non-empty).
+        ports: Vec<u16>,
+    },
+    /// Set a label on a service (bans may select on labels).
+    EditLabel {
+        /// Service name.
+        name: String,
+        /// Label key.
+        key: String,
+        /// Label value.
+        value: String,
+    },
+    /// Policy edit: add or replace the DENY ban on a port.
+    UpsertBan {
+        /// Banned destination port.
+        port: u16,
+        /// Which destinations the ban covers.
+        selector: Selector,
+    },
+    /// Policy edit: retract the ban on a port.
+    DropBan {
+        /// Previously banned port.
+        port: u16,
+    },
+    /// Goal-row edit: replace the Istio goal row at `index`, or append
+    /// when `index` equals the current table length.
+    UpsertGoal {
+        /// Row index (`<= len`).
+        index: usize,
+        /// The new row.
+        goal: IstioGoal,
+    },
+    /// Goal-row edit: delete the Istio goal row at `index`.
+    DropGoal {
+        /// Row index (`< len`).
+        index: usize,
+    },
+}
+
+/// Why a delta could not be applied or parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The named service does not exist.
+    UnknownService(String),
+    /// A service of that name already exists.
+    DuplicateService(String),
+    /// A service needs at least one port.
+    EmptyPorts(String),
+    /// No ban exists on that port.
+    UnknownBan(u16),
+    /// Goal-row index out of range.
+    BadIndex(usize, usize),
+    /// The wire line did not parse.
+    Parse(String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownService(n) => write!(f, "unknown service {n:?}"),
+            DeltaError::DuplicateService(n) => write!(f, "service {n:?} already exists"),
+            DeltaError::EmptyPorts(n) => write!(f, "service {n:?} needs at least one port"),
+            DeltaError::UnknownBan(p) => write!(f, "no ban on port {p}"),
+            DeltaError::BadIndex(i, len) => {
+                write!(f, "goal row {i} out of range (table has {len} rows)")
+            }
+            DeltaError::Parse(msg) => write!(f, "bad delta line: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn render_selector(sel: &Selector) -> String {
+    match sel {
+        Selector::All => "*".to_string(),
+        Selector::Namespace(ns) => format!("ns={ns}"),
+        Selector::Name(n) => n.clone(),
+        Selector::Labels(pairs) => pairs
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .next()
+            .unwrap_or_else(|| "*".to_string()),
+    }
+}
+
+fn parse_selector(field: &str) -> Selector {
+    if field == "*" || field.is_empty() {
+        Selector::All
+    } else if let Some((k, v)) = field.split_once('=') {
+        if k == "ns" || k == "namespace" {
+            Selector::Namespace(v.to_string())
+        } else {
+            Selector::label(k, v)
+        }
+    } else {
+        Selector::Name(field.to_string())
+    }
+}
+
+fn render_port_spec(p: &PortSpec) -> String {
+    match p {
+        PortSpec::Port(n) => n.to_string(),
+        PortSpec::Var(name) => format!("?{name}"),
+        PortSpec::Any => "*".to_string(),
+    }
+}
+
+fn parse_port_spec(field: &str) -> Result<PortSpec, DeltaError> {
+    if field == "*" {
+        return Ok(PortSpec::Any);
+    }
+    if let Some(name) = field.strip_prefix('?') {
+        if name.is_empty() {
+            return Err(DeltaError::Parse("?-port variable needs a name".into()));
+        }
+        return Ok(PortSpec::Var(name.to_string()));
+    }
+    field
+        .parse::<u16>()
+        .map(PortSpec::Port)
+        .map_err(|_| DeltaError::Parse(format!("bad port cell {field:?}")))
+}
+
+fn parse_ports(field: &str) -> Result<Vec<u16>, DeltaError> {
+    field
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<u16>()
+                .map_err(|_| DeltaError::Parse(format!("bad port {p:?}")))
+        })
+        .collect()
+}
+
+impl std::fmt::Display for ConfigDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigDelta::AddService {
+                name,
+                namespace,
+                tier,
+                ports,
+            } => {
+                let ports: Vec<String> = ports.iter().map(|p| p.to_string()).collect();
+                write!(
+                    f,
+                    "add-service {name} {namespace} {} {}",
+                    tier.as_deref().unwrap_or("-"),
+                    ports.join(",")
+                )
+            }
+            ConfigDelta::RemoveService { name } => write!(f, "remove-service {name}"),
+            ConfigDelta::ScaleReplicas { name, replicas } => {
+                write!(f, "scale-replicas {name} {replicas}")
+            }
+            ConfigDelta::EditPorts { name, ports } => {
+                let ports: Vec<String> = ports.iter().map(|p| p.to_string()).collect();
+                write!(f, "edit-ports {name} {}", ports.join(","))
+            }
+            ConfigDelta::EditLabel { name, key, value } => {
+                write!(f, "edit-label {name} {key}={value}")
+            }
+            ConfigDelta::UpsertBan { port, selector } => {
+                write!(f, "upsert-ban {port} {}", render_selector(selector))
+            }
+            ConfigDelta::DropBan { port } => write!(f, "drop-ban {port}"),
+            ConfigDelta::UpsertGoal { index, goal } => write!(
+                f,
+                "upsert-goal {index} {} {} {} {}",
+                goal.src,
+                goal.dst,
+                render_port_spec(&goal.src_port),
+                render_port_spec(&goal.dst_port)
+            ),
+            ConfigDelta::DropGoal { index } => write!(f, "drop-goal {index}"),
+        }
+    }
+}
+
+impl ConfigDelta {
+    /// Parse one wire line (the inverse of `Display`).
+    pub fn parse(line: &str) -> Result<ConfigDelta, DeltaError> {
+        let mut it = line.split_whitespace();
+        let op = it
+            .next()
+            .ok_or_else(|| DeltaError::Parse("empty line".into()))?;
+        let fields: Vec<&str> = it.collect();
+        let want = |n: usize| -> Result<(), DeltaError> {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(DeltaError::Parse(format!(
+                    "{op} takes {n} field(s), got {}",
+                    fields.len()
+                )))
+            }
+        };
+        match op {
+            "add-service" => {
+                want(4)?;
+                Ok(ConfigDelta::AddService {
+                    name: fields[0].to_string(),
+                    namespace: fields[1].to_string(),
+                    tier: (fields[2] != "-").then(|| fields[2].to_string()),
+                    ports: parse_ports(fields[3])?,
+                })
+            }
+            "remove-service" => {
+                want(1)?;
+                Ok(ConfigDelta::RemoveService {
+                    name: fields[0].to_string(),
+                })
+            }
+            "scale-replicas" => {
+                want(2)?;
+                Ok(ConfigDelta::ScaleReplicas {
+                    name: fields[0].to_string(),
+                    replicas: fields[1]
+                        .parse()
+                        .map_err(|_| DeltaError::Parse(format!("bad count {:?}", fields[1])))?,
+                })
+            }
+            "edit-ports" => {
+                want(2)?;
+                Ok(ConfigDelta::EditPorts {
+                    name: fields[0].to_string(),
+                    ports: parse_ports(fields[1])?,
+                })
+            }
+            "edit-label" => {
+                want(2)?;
+                let (k, v) = fields[1]
+                    .split_once('=')
+                    .ok_or_else(|| DeltaError::Parse("edit-label needs key=value".into()))?;
+                Ok(ConfigDelta::EditLabel {
+                    name: fields[0].to_string(),
+                    key: k.to_string(),
+                    value: v.to_string(),
+                })
+            }
+            "upsert-ban" => {
+                want(2)?;
+                Ok(ConfigDelta::UpsertBan {
+                    port: fields[0]
+                        .parse()
+                        .map_err(|_| DeltaError::Parse(format!("bad port {:?}", fields[0])))?,
+                    selector: parse_selector(fields[1]),
+                })
+            }
+            "drop-ban" => {
+                want(1)?;
+                Ok(ConfigDelta::DropBan {
+                    port: fields[0]
+                        .parse()
+                        .map_err(|_| DeltaError::Parse(format!("bad port {:?}", fields[0])))?,
+                })
+            }
+            "upsert-goal" => {
+                want(5)?;
+                Ok(ConfigDelta::UpsertGoal {
+                    index: fields[0]
+                        .parse()
+                        .map_err(|_| DeltaError::Parse(format!("bad index {:?}", fields[0])))?,
+                    goal: IstioGoal {
+                        src: fields[1].to_string(),
+                        dst: fields[2].to_string(),
+                        src_port: parse_port_spec(fields[3])?,
+                        dst_port: parse_port_spec(fields[4])?,
+                    },
+                })
+            }
+            "drop-goal" => {
+                want(1)?;
+                Ok(ConfigDelta::DropGoal {
+                    index: fields[0]
+                        .parse()
+                        .map_err(|_| DeltaError::Parse(format!("bad index {:?}", fields[0])))?,
+                })
+            }
+            other => Err(DeltaError::Parse(format!("unknown delta op {other:?}"))),
+        }
+    }
+
+    /// Stable snake_case kind tag (per-delta stats and metrics label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConfigDelta::AddService { .. } => "add_service",
+            ConfigDelta::RemoveService { .. } => "remove_service",
+            ConfigDelta::ScaleReplicas { .. } => "scale_replicas",
+            ConfigDelta::EditPorts { .. } => "edit_ports",
+            ConfigDelta::EditLabel { .. } => "edit_label",
+            ConfigDelta::UpsertBan { .. } => "upsert_ban",
+            ConfigDelta::DropBan { .. } => "drop_ban",
+            ConfigDelta::UpsertGoal { .. } => "upsert_goal",
+            ConfigDelta::DropGoal { .. } => "drop_goal",
+        }
+    }
+
+    /// Does this delta change the mesh structure (services, ports,
+    /// labels) — and with it the logical universe or goal grounding —
+    /// as opposed to only editing a goal table?
+    pub fn touches_mesh(&self) -> bool {
+        matches!(
+            self,
+            ConfigDelta::AddService { .. }
+                | ConfigDelta::RemoveService { .. }
+                | ConfigDelta::ScaleReplicas { .. }
+                | ConfigDelta::EditPorts { .. }
+                | ConfigDelta::EditLabel { .. }
+        )
+    }
+
+    /// Apply the delta to bare mesh + goal-table state. Returns whether
+    /// the mesh changed (callers owning a vocabulary must rebuild it).
+    /// On error nothing is mutated.
+    pub fn apply_parts(
+        &self,
+        mesh: &mut Mesh,
+        k8s_goals: &mut Vec<K8sGoal>,
+        istio_goals: &mut Vec<IstioGoal>,
+    ) -> Result<bool, DeltaError> {
+        match self {
+            ConfigDelta::AddService {
+                name,
+                namespace,
+                tier,
+                ports,
+            } => {
+                if mesh.service(name).is_some() {
+                    return Err(DeltaError::DuplicateService(name.clone()));
+                }
+                if ports.is_empty() {
+                    return Err(DeltaError::EmptyPorts(name.clone()));
+                }
+                let mut svc =
+                    Service::new(name.clone(), ports.iter().copied()).in_namespace(namespace);
+                if let Some(t) = tier {
+                    svc = svc.with_label("tier", t);
+                }
+                mesh.add_service(svc);
+                Ok(true)
+            }
+            ConfigDelta::RemoveService { name } => {
+                if mesh.service(name).is_none() {
+                    return Err(DeltaError::UnknownService(name.clone()));
+                }
+                let kept: Vec<Service> = mesh
+                    .services()
+                    .iter()
+                    .filter(|s| &s.name != name)
+                    .cloned()
+                    .collect();
+                *mesh = Mesh::from_services(kept);
+                istio_goals.retain(|g| &g.src != name && &g.dst != name);
+                Ok(true)
+            }
+            ConfigDelta::ScaleReplicas { name, replicas } => {
+                edit_service(mesh, name, |svc| {
+                    svc.labels
+                        .insert("replicas".to_string(), replicas.to_string());
+                    Ok(())
+                })?;
+                Ok(true)
+            }
+            ConfigDelta::EditPorts { name, ports } => {
+                if ports.is_empty() {
+                    return Err(DeltaError::EmptyPorts(name.clone()));
+                }
+                edit_service(mesh, name, |svc| {
+                    svc.ports = ports.iter().copied().collect();
+                    Ok(())
+                })?;
+                Ok(true)
+            }
+            ConfigDelta::EditLabel { name, key, value } => {
+                edit_service(mesh, name, |svc| {
+                    svc.labels.insert(key.clone(), value.clone());
+                    Ok(())
+                })?;
+                Ok(true)
+            }
+            ConfigDelta::UpsertBan { port, selector } => {
+                let row = K8sGoal {
+                    port: *port,
+                    perm: muppet_mesh::Action::Deny,
+                    selector: selector.clone(),
+                };
+                match k8s_goals.iter_mut().find(|g| g.port == *port) {
+                    Some(existing) => *existing = row,
+                    None => k8s_goals.push(row),
+                }
+                Ok(false)
+            }
+            ConfigDelta::DropBan { port } => {
+                let before = k8s_goals.len();
+                k8s_goals.retain(|g| g.port != *port);
+                if k8s_goals.len() == before {
+                    return Err(DeltaError::UnknownBan(*port));
+                }
+                Ok(false)
+            }
+            ConfigDelta::UpsertGoal { index, goal } => {
+                if *index > istio_goals.len() {
+                    return Err(DeltaError::BadIndex(*index, istio_goals.len()));
+                }
+                for svc in [&goal.src, &goal.dst] {
+                    if mesh.service(svc).is_none() {
+                        return Err(DeltaError::UnknownService(svc.clone()));
+                    }
+                }
+                if *index == istio_goals.len() {
+                    istio_goals.push(goal.clone());
+                } else {
+                    istio_goals[*index] = goal.clone();
+                }
+                Ok(false)
+            }
+            ConfigDelta::DropGoal { index } => {
+                if *index >= istio_goals.len() {
+                    return Err(DeltaError::BadIndex(*index, istio_goals.len()));
+                }
+                istio_goals.remove(*index);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Apply the delta to a full scenario, rebuilding its vocabulary
+    /// when the mesh changed. On error the scenario is unchanged.
+    pub fn apply(&self, scenario: &mut Scenario) -> Result<(), DeltaError> {
+        let dirty = self.apply_parts(
+            &mut scenario.mesh,
+            &mut scenario.k8s_goals,
+            &mut scenario.istio_goals,
+        )?;
+        if dirty {
+            scenario.rebuild_vocab();
+        }
+        Ok(())
+    }
+}
+
+/// Apply `f` to the named service, rebuilding the mesh in place with
+/// service order preserved.
+fn edit_service(
+    mesh: &mut Mesh,
+    name: &str,
+    f: impl FnOnce(&mut Service) -> Result<(), DeltaError>,
+) -> Result<(), DeltaError> {
+    let mut services = mesh.services().to_vec();
+    let svc = services
+        .iter_mut()
+        .find(|s| s.name == name)
+        .ok_or_else(|| DeltaError::UnknownService(name.to_string()))?;
+    f(svc)?;
+    *mesh = Mesh::from_services(services);
+    Ok(())
+}
+
+/// Edit-stream shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamProfile {
+    /// The mesh grows service by service toward `target_services`
+    /// (with goal rows following the new services). Almost every delta
+    /// changes the universe, so this profile exercises correctness of
+    /// vocabulary rebuilds, not warm reuse.
+    Growth,
+    /// Bans are added and retracted over a fixed mesh. The universe
+    /// never changes; only the edited ban's CNF group is dirtied.
+    PolicyChurn,
+    /// Istio goal rows are revised over a fixed mesh; like
+    /// `PolicyChurn`, the warm-reuse sweet spot.
+    GoalChurn,
+    /// Everything at once (the differential-proptest profile).
+    Mixed,
+}
+
+impl StreamProfile {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamProfile::Growth => "growth",
+            StreamProfile::PolicyChurn => "policy-churn",
+            StreamProfile::GoalChurn => "goal-churn",
+            StreamProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a profile name.
+    pub fn parse(s: &str) -> Option<StreamProfile> {
+        match s {
+            "growth" => Some(StreamProfile::Growth),
+            "policy-churn" => Some(StreamProfile::PolicyChurn),
+            "goal-churn" => Some(StreamProfile::GoalChurn),
+            "mixed" => Some(StreamProfile::Mixed),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters of a generated edit stream.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamParams {
+    /// The base scenario the stream starts from.
+    pub base: ScenarioParams,
+    /// Edit mix.
+    pub profile: StreamProfile,
+    /// Number of deltas.
+    pub deltas: usize,
+    /// `Growth` only: service count to grow toward.
+    pub target_services: usize,
+    /// Stream RNG seed (independent of the base scenario's seed).
+    pub seed: u64,
+}
+
+/// A generated edit stream: the base scenario plus an ordered delta
+/// sequence, every delta valid against the state left by its
+/// predecessors.
+pub struct EditStream {
+    /// Generation parameters.
+    pub params: StreamParams,
+    /// The starting scenario.
+    pub base: Scenario,
+    /// The edits, in order.
+    pub deltas: Vec<ConfigDelta>,
+}
+
+impl EditStream {
+    /// One delta per line, in `ConfigDelta::parse` form.
+    pub fn deltas_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The constructed verdict of the *final* state after replaying
+    /// every delta (see [`Scenario::expected_label`]). Replays at the
+    /// parts level, without intermediate vocabulary rebuilds.
+    pub fn final_expected(&self) -> Expected {
+        let (mesh, k8s, istio) = self.replay_parts();
+        if crate::generate::conflicting_ports_of(&mesh, &k8s, &istio).is_empty() {
+            Expected::Sat
+        } else {
+            Expected::Unsat
+        }
+    }
+
+    /// The final scenario after replaying every delta (one vocabulary
+    /// build at the end).
+    pub fn final_scenario(&self) -> Scenario {
+        let (mesh, k8s_goals, istio_goals) = self.replay_parts();
+        let mut s = Scenario {
+            mesh,
+            mv: muppet_mesh::MeshVocab::new(
+                &Mesh::new(),
+                [],
+                muppet_logic::PartyId(0),
+                muppet_logic::PartyId(1),
+            ),
+            k8s_goals,
+            istio_goals,
+            params: self.params.base,
+        };
+        s.rebuild_vocab();
+        s
+    }
+
+    fn replay_parts(&self) -> (Mesh, Vec<K8sGoal>, Vec<IstioGoal>) {
+        let mut mesh = self.base.mesh.clone();
+        let mut k8s = self.base.k8s_goals.clone();
+        let mut istio = self.base.istio_goals.clone();
+        for d in &self.deltas {
+            d.apply_parts(&mut mesh, &mut k8s, &mut istio)
+                .expect("generated stream replays cleanly");
+        }
+        (mesh, k8s, istio)
+    }
+}
+
+/// Generate an edit stream deterministically from its parameters: same
+/// params ⇒ byte-identical base scenario and delta lines.
+pub fn generate_stream(params: StreamParams) -> EditStream {
+    if params.profile == StreamProfile::Growth {
+        assert!(
+            params.base.port_pool > 0,
+            "growth streams need a shared port pool (new services draw from it)"
+        );
+    }
+    let base = generate(params.base);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Shadow state the generator evolves so every delta is valid
+    // against its predecessors.
+    let mut mesh = base.mesh.clone();
+    let mut k8s = base.k8s_goals.clone();
+    let mut istio = base.istio_goals.clone();
+    let mut born = 0usize; // services added by the stream
+
+    let extras: Vec<u16> = (0..params.base.extra_ports)
+        .map(|j| 20000 + j as u16)
+        .collect();
+    let pool: Vec<u16> = if params.base.port_pool > 0 {
+        (0..params.base.port_pool).map(|j| 7000 + j as u16).collect()
+    } else {
+        mesh.all_ports().into_iter().collect()
+    };
+
+    let mut deltas = Vec::with_capacity(params.deltas);
+    for i in 0..params.deltas {
+        let d = next_delta(
+            params, &mut rng, &mesh, &k8s, &istio, &pool, &extras, &mut born, i,
+        );
+        d.apply_parts(&mut mesh, &mut k8s, &mut istio)
+            .expect("generator produced an invalid delta");
+        deltas.push(d);
+    }
+    EditStream {
+        params,
+        base,
+        deltas,
+    }
+}
+
+/// Pick a uniformly random service name from the shadow mesh.
+fn random_service(rng: &mut StdRng, mesh: &Mesh) -> String {
+    let services = mesh.services();
+    services[rng.random_range(0..services.len())].name.clone()
+}
+
+/// A reachability row between two random distinct services, with the
+/// destination port drawn from the destination's live port set. With
+/// `avoid_banned`, ports under a shadow ban are skipped where possible
+/// (keeps growth streams satisfiable by construction).
+fn random_goal_row(
+    rng: &mut StdRng,
+    mesh: &Mesh,
+    k8s: &[K8sGoal],
+    avoid_banned: bool,
+) -> Option<IstioGoal> {
+    let services = mesh.services();
+    if services.len() < 2 {
+        return None;
+    }
+    let si = rng.random_range(0..services.len());
+    let mut di = rng.random_range(0..services.len());
+    while di == si {
+        di = rng.random_range(0..services.len());
+    }
+    let dst = &services[di];
+    let mut ports: Vec<u16> = dst.ports.iter().copied().collect();
+    if avoid_banned {
+        let open: Vec<u16> = ports
+            .iter()
+            .copied()
+            .filter(|p| {
+                !k8s.iter()
+                    .any(|b| b.port == *p && b.selector.matches(dst))
+            })
+            .collect();
+        if open.is_empty() {
+            return None;
+        }
+        ports = open;
+    }
+    let port = ports[rng.random_range(0..ports.len())];
+    Some(IstioGoal {
+        src: services[si].name.clone(),
+        dst: dst.name.clone(),
+        src_port: PortSpec::Any,
+        dst_port: PortSpec::Port(port),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn next_delta(
+    params: StreamParams,
+    rng: &mut StdRng,
+    mesh: &Mesh,
+    k8s: &[K8sGoal],
+    istio: &[IstioGoal],
+    pool: &[u16],
+    extras: &[u16],
+    born: &mut usize,
+    i: usize,
+) -> ConfigDelta {
+    let scale = |rng: &mut StdRng, mesh: &Mesh| ConfigDelta::ScaleReplicas {
+        name: random_service(rng, mesh),
+        replicas: rng.random_range(1..32) as u32,
+    };
+    match params.profile {
+        StreamProfile::Growth => {
+            let grown = mesh.services().len();
+            if grown < params.target_services && i % 8 != 7 {
+                let want = params.base.ports_per_service.min(pool.len()).max(1);
+                let mut ports: Vec<u16> = Vec::with_capacity(want);
+                while ports.len() < want {
+                    let p = pool[rng.random_range(0..pool.len())];
+                    if !ports.contains(&p) {
+                        ports.push(p);
+                    }
+                }
+                let namespaces = params.base.namespaces.max(1);
+                let d = ConfigDelta::AddService {
+                    name: format!("svc-g{born}"),
+                    namespace: format!("ns-{}", *born % namespaces),
+                    tier: (params.base.tiers > 1)
+                        .then(|| format!("t{}", *born % params.base.tiers)),
+                    ports,
+                };
+                *born += 1;
+                d
+            } else if i % 16 == 15 {
+                scale(rng, mesh)
+            } else if let Some(goal) = random_goal_row(rng, mesh, k8s, true) {
+                ConfigDelta::UpsertGoal {
+                    index: istio.len(),
+                    goal,
+                }
+            } else {
+                scale(rng, mesh)
+            }
+        }
+        StreamProfile::PolicyChurn => {
+            let roll = rng.random_range(0..100);
+            if roll < 45 {
+                // Half the upserts aim at a port a concrete goal needs
+                // (a verdict flip to unsat as long as the ban stays),
+                // the rest at spare ports (benign).
+                let goal_ports: Vec<u16> = istio
+                    .iter()
+                    .filter_map(|g| match g.dst_port {
+                        PortSpec::Port(p) => Some(p),
+                        _ => None,
+                    })
+                    .collect();
+                let conflicting = rng.random_bool(0.5) && !goal_ports.is_empty();
+                let port = if conflicting {
+                    goal_ports[rng.random_range(0..goal_ports.len())]
+                } else if !extras.is_empty() {
+                    extras[rng.random_range(0..extras.len())]
+                } else {
+                    pool[rng.random_range(0..pool.len())]
+                };
+                ConfigDelta::UpsertBan {
+                    port,
+                    selector: Selector::All,
+                }
+            } else if roll < 80 && !k8s.is_empty() {
+                ConfigDelta::DropBan {
+                    port: k8s[rng.random_range(0..k8s.len())].port,
+                }
+            } else if roll < 90 {
+                scale(rng, mesh)
+            } else {
+                ConfigDelta::EditLabel {
+                    name: random_service(rng, mesh),
+                    key: "canary".to_string(),
+                    value: format!("v{}", rng.random_range(0..8)),
+                }
+            }
+        }
+        StreamProfile::GoalChurn => {
+            let roll = rng.random_range(0..100);
+            if roll < 45 {
+                match random_goal_row(rng, mesh, k8s, false) {
+                    Some(goal) => ConfigDelta::UpsertGoal {
+                        // Replace an existing row half the time,
+                        // append otherwise.
+                        index: if !istio.is_empty() && rng.random_bool(0.5) {
+                            rng.random_range(0..istio.len())
+                        } else {
+                            istio.len()
+                        },
+                        goal,
+                    },
+                    None => scale(rng, mesh),
+                }
+            } else if roll < 80 && !istio.is_empty() {
+                ConfigDelta::DropGoal {
+                    index: rng.random_range(0..istio.len()),
+                }
+            } else {
+                scale(rng, mesh)
+            }
+        }
+        StreamProfile::Mixed => {
+            let roll = rng.random_range(0..100);
+            if roll < 12 {
+                let want = params.base.ports_per_service.min(pool.len()).max(1);
+                let mut ports: Vec<u16> = Vec::with_capacity(want);
+                while ports.len() < want {
+                    let p = pool[rng.random_range(0..pool.len())];
+                    if !ports.contains(&p) {
+                        ports.push(p);
+                    }
+                }
+                let d = ConfigDelta::AddService {
+                    name: format!("svc-g{born}"),
+                    namespace: "default".to_string(),
+                    tier: None,
+                    ports,
+                };
+                *born += 1;
+                d
+            } else if roll < 20 && mesh.services().len() > 2 {
+                ConfigDelta::RemoveService {
+                    name: random_service(rng, mesh),
+                }
+            } else if roll < 28 {
+                let name = random_service(rng, mesh);
+                let want = params.base.ports_per_service.min(pool.len()).max(1);
+                let mut ports: Vec<u16> = Vec::with_capacity(want);
+                while ports.len() < want {
+                    let p = pool[rng.random_range(0..pool.len())];
+                    if !ports.contains(&p) {
+                        ports.push(p);
+                    }
+                }
+                ConfigDelta::EditPorts { name, ports }
+            } else if roll < 36 {
+                scale(rng, mesh)
+            } else if roll < 55 {
+                let goal_ports: Vec<u16> = istio
+                    .iter()
+                    .filter_map(|g| match g.dst_port {
+                        PortSpec::Port(p) => Some(p),
+                        _ => None,
+                    })
+                    .collect();
+                let conflicting = rng.random_bool(0.4) && !goal_ports.is_empty();
+                let port = if conflicting {
+                    goal_ports[rng.random_range(0..goal_ports.len())]
+                } else if !extras.is_empty() {
+                    extras[rng.random_range(0..extras.len())]
+                } else {
+                    pool[rng.random_range(0..pool.len())]
+                };
+                ConfigDelta::UpsertBan {
+                    port,
+                    selector: Selector::All,
+                }
+            } else if roll < 65 && !k8s.is_empty() {
+                ConfigDelta::DropBan {
+                    port: k8s[rng.random_range(0..k8s.len())].port,
+                }
+            } else if roll < 85 {
+                match random_goal_row(rng, mesh, k8s, false) {
+                    Some(goal) => ConfigDelta::UpsertGoal {
+                        index: if !istio.is_empty() && rng.random_bool(0.5) {
+                            rng.random_range(0..istio.len())
+                        } else {
+                            istio.len()
+                        },
+                        goal,
+                    },
+                    None => scale(rng, mesh),
+                }
+            } else if !istio.is_empty() {
+                ConfigDelta::DropGoal {
+                    index: rng.random_range(0..istio.len()),
+                }
+            } else {
+                scale(rng, mesh)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_lines_round_trip() {
+        let deltas = vec![
+            ConfigDelta::AddService {
+                name: "svc-x".into(),
+                namespace: "ns-1".into(),
+                tier: Some("t2".into()),
+                ports: vec![7001, 7003],
+            },
+            ConfigDelta::AddService {
+                name: "svc-y".into(),
+                namespace: "default".into(),
+                tier: None,
+                ports: vec![8080],
+            },
+            ConfigDelta::RemoveService { name: "svc-x".into() },
+            ConfigDelta::ScaleReplicas {
+                name: "svc-y".into(),
+                replicas: 12,
+            },
+            ConfigDelta::EditPorts {
+                name: "svc-y".into(),
+                ports: vec![1, 2, 3],
+            },
+            ConfigDelta::EditLabel {
+                name: "svc-y".into(),
+                key: "canary".into(),
+                value: "v3".into(),
+            },
+            ConfigDelta::UpsertBan {
+                port: 7001,
+                selector: Selector::All,
+            },
+            ConfigDelta::UpsertBan {
+                port: 7002,
+                selector: Selector::Namespace("ns-1".into()),
+            },
+            ConfigDelta::UpsertBan {
+                port: 7003,
+                selector: Selector::label("tier", "t1"),
+            },
+            ConfigDelta::DropBan { port: 7001 },
+            ConfigDelta::UpsertGoal {
+                index: 0,
+                goal: IstioGoal {
+                    src: "svc-y".into(),
+                    dst: "svc-x".into(),
+                    src_port: PortSpec::Any,
+                    dst_port: PortSpec::Port(7003),
+                },
+            },
+            ConfigDelta::UpsertGoal {
+                index: 3,
+                goal: IstioGoal {
+                    src: "a".into(),
+                    dst: "b".into(),
+                    src_port: PortSpec::Var("w".into()),
+                    dst_port: PortSpec::Var("w".into()),
+                },
+            },
+            ConfigDelta::DropGoal { index: 1 },
+        ];
+        for d in deltas {
+            let line = d.to_string();
+            assert_eq!(ConfigDelta::parse(&line), Ok(d.clone()), "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn apply_validates_and_mutates() {
+        let mut s = generate(ScenarioParams::default());
+        let n_before = s.mesh.services().len();
+        ConfigDelta::AddService {
+            name: "svc-new".into(),
+            namespace: "default".into(),
+            tier: None,
+            ports: vec![1234],
+        }
+        .apply(&mut s)
+        .unwrap();
+        assert_eq!(s.mesh.services().len(), n_before + 1);
+        // The vocabulary followed the mesh: the new service and port
+        // have atoms.
+        assert!(s.mv.svc_atom("svc-new").is_some());
+        assert!(s.mv.port_atom(1234).is_some());
+
+        // Duplicates, unknowns and bad indices are rejected without
+        // mutating.
+        assert!(matches!(
+            ConfigDelta::AddService {
+                name: "svc-new".into(),
+                namespace: "default".into(),
+                tier: None,
+                ports: vec![1],
+            }
+            .apply(&mut s),
+            Err(DeltaError::DuplicateService(_))
+        ));
+        assert!(matches!(
+            ConfigDelta::RemoveService { name: "nope".into() }.apply(&mut s),
+            Err(DeltaError::UnknownService(_))
+        ));
+        assert!(matches!(
+            ConfigDelta::DropGoal { index: 999 }.apply(&mut s),
+            Err(DeltaError::BadIndex(999, _))
+        ));
+        assert!(matches!(
+            ConfigDelta::DropBan { port: 9 }.apply(&mut s),
+            Err(DeltaError::UnknownBan(9))
+        ));
+
+        // Removing a service prunes the goal rows that referenced it.
+        let victim = s.istio_goals[0].dst.clone();
+        ConfigDelta::RemoveService {
+            name: victim.clone(),
+        }
+        .apply(&mut s)
+        .unwrap();
+        assert!(s
+            .istio_goals
+            .iter()
+            .all(|g| g.src != victim && g.dst != victim));
+        assert!(s.mv.svc_atom(&victim).is_none());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_replayable() {
+        for profile in [
+            StreamProfile::Growth,
+            StreamProfile::PolicyChurn,
+            StreamProfile::GoalChurn,
+            StreamProfile::Mixed,
+        ] {
+            let params = StreamParams {
+                base: ScenarioParams {
+                    services: 8,
+                    istio_goals: 6,
+                    k8s_goals: 2,
+                    port_pool: 6,
+                    ports_per_service: 2,
+                    ..ScenarioParams::default()
+                },
+                profile,
+                deltas: 60,
+                target_services: 20,
+                seed: 7,
+            };
+            let a = generate_stream(params);
+            let b = generate_stream(params);
+            assert_eq!(a.deltas_text(), b.deltas_text(), "{}", profile.name());
+            assert_eq!(a.deltas.len(), 60);
+            // Full replay through apply() (vocabulary rebuilds and
+            // all) ends in a state the parts replay agrees with.
+            let mut sc = generate(params.base);
+            for d in &a.deltas {
+                d.apply(&mut sc).expect("replay");
+            }
+            let final_sc = a.final_scenario();
+            assert_eq!(sc.mesh, final_sc.mesh, "{}", profile.name());
+            assert_eq!(sc.k8s_goals, final_sc.k8s_goals);
+            assert_eq!(sc.istio_goals, final_sc.istio_goals);
+            assert_eq!(
+                sc.expected_label(),
+                a.final_expected(),
+                "{}",
+                profile.name()
+            );
+        }
+    }
+
+    #[test]
+    fn growth_reaches_its_target() {
+        let params = StreamParams {
+            base: ScenarioParams {
+                services: 10,
+                istio_goals: 4,
+                k8s_goals: 1,
+                port_pool: 6,
+                ports_per_service: 2,
+                conflict_fraction: 0.0,
+                ..ScenarioParams::default()
+            },
+            profile: StreamProfile::Growth,
+            deltas: 60,
+            target_services: 50,
+            seed: 3,
+        };
+        let stream = generate_stream(params);
+        let s = stream.final_scenario();
+        assert_eq!(s.mesh.services().len(), 50);
+        // Growth goals dodge the shadow bans, so the stream stays
+        // satisfiable when the base was.
+        assert_eq!(stream.final_expected(), Expected::Sat);
+    }
+}

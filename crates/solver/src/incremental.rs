@@ -203,15 +203,9 @@ impl IncrementalQuery {
         self
     }
 
-    /// Content fingerprint of a group: name + formulas, via the stable
-    /// cross-process hasher. Two groups with identical content share
-    /// one encoding.
+    /// Content fingerprint of a group — [`FormulaGroup::content_key`].
     fn group_key(group: &FormulaGroup) -> u128 {
-        let mut fp = Fingerprinter::new();
-        fp.add_str(&group.name);
-        fp.add_u64(group.formulas.len() as u64);
-        fp.add_hash(&group.formulas);
-        fp.digest()
+        group.content_key()
     }
 
     /// Content fingerprint of one formula (the subformula-cache key).
@@ -356,11 +350,26 @@ impl IncrementalQuery {
             .collect()
     }
 
-    fn names_of(&self, lits: &[Lit]) -> Vec<String> {
-        self.selectors
+    /// Group names of the core `lits`, ordered by the **current
+    /// solve's assumption order** (= the caller's group submission
+    /// order), not the engine's selector-creation order. A warm engine
+    /// carries selectors from earlier solves in whatever order history
+    /// created them, so ordering by `self.selectors` would make core
+    /// order depend on engine history; ordering by `assumptions` makes
+    /// warm, cold and portfolio cores byte-identical. (The shrinker
+    /// already returns an ordered subsequence of the assumptions; this
+    /// also normalizes raw solver-reported cores, whose order is
+    /// heuristic-dependent.)
+    fn names_of_in(&self, assumptions: &[Lit], lits: &[Lit]) -> Vec<String> {
+        assumptions
             .iter()
-            .filter(|(_, l)| lits.contains(l))
-            .map(|(n, _)| n.clone())
+            .filter(|l| lits.contains(l))
+            .filter_map(|l| {
+                self.selectors
+                    .iter()
+                    .find(|(_, sl)| sl == l)
+                    .map(|(n, _)| n.clone())
+            })
             .collect()
     }
 
@@ -484,7 +493,7 @@ impl IncrementalQuery {
                             // (unminimized) core as a partial artifact.
                             let stats = self.delta_stats(base, summary);
                             let partial = Some(PartialResult::Core(
-                                self.names_of(&best.unwrap_or(first_core)),
+                                self.names_of_in(assumptions, &best.unwrap_or(first_core)),
                             ));
                             return Outcome::Unknown {
                                 phase: Phase::Minimize,
@@ -496,7 +505,7 @@ impl IncrementalQuery {
                 } else {
                     first_core
                 };
-                let core = self.names_of(&core_lits);
+                let core = self.names_of_in(assumptions, &core_lits);
                 let stats = self.delta_stats(base, summary);
                 Outcome::Unsat { core, stats }
             }
@@ -597,12 +606,12 @@ impl IncrementalQuery {
                 // Infeasible at any distance: produce a core.
                 let _minimize_span = muppet_obs::span("minimize");
                 let core = match mus::shrink_core_ordered(&mut self.solver, &assumptions) {
-                    mus::ShrinkResult::Minimal(core) => self.names_of(&core),
-                    mus::ShrinkResult::Sat => self.names_of(&first_core),
+                    mus::ShrinkResult::Minimal(core) => self.names_of_in(&assumptions, &core),
+                    mus::ShrinkResult::Sat => self.names_of_in(&assumptions, &first_core),
                     mus::ShrinkResult::Exhausted { best } => {
                         let stats = self.delta_stats(&base, None);
                         let partial = Some(PartialResult::Core(
-                            self.names_of(&best.unwrap_or(first_core)),
+                            self.names_of_in(&assumptions, &best.unwrap_or(first_core)),
                         ));
                         return (
                             Outcome::Unknown {

@@ -43,6 +43,20 @@ impl FormulaGroup {
             formulas,
         }
     }
+
+    /// Content fingerprint of the group (name + formulas) via the
+    /// stable cross-process hasher. This is the incremental engine's
+    /// dedup key: two groups with identical content share one encoding,
+    /// so diffing these keys across two group sets predicts exactly
+    /// which groups a warm engine will re-encode (the stream session's
+    /// dirty-group report, DESIGN.md §16).
+    pub fn content_key(&self) -> u128 {
+        let mut fp = muppet_logic::fingerprint::Fingerprinter::new();
+        fp.add_str(&self.name);
+        fp.add_u64(self.formulas.len() as u64);
+        fp.add_hash(&self.formulas);
+        fp.digest()
+    }
 }
 
 /// Counters from one query run.

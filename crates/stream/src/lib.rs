@@ -1,0 +1,501 @@
+//! # muppet-stream — streaming reconfiguration over live edit streams
+//!
+//! The incremental engine (DESIGN.md §13) made *one* edit cheap; this
+//! crate makes **workloads** of edits the product (DESIGN.md §16). A
+//! [`StreamSession`] holds the full two-party configuration state —
+//! mesh, ban table, reachability table — plus a warm
+//! [`PreparedStore`], and ingests a stream of typed
+//! [`ConfigDelta`]s. After each delta it:
+//!
+//! 1. applies the edit to its [`StreamSpec`] (rebuilding the mesh
+//!    vocabulary only when the edit touched the mesh — the vocabulary
+//!    rebuild is content-driven, so an unchanged universe keeps the
+//!    warm engine's variable layout byte-identical),
+//! 2. predicts the dirtied CNF groups by diffing the content
+//!    fingerprints of the groups a reconcile would submit against the
+//!    previous delta's set ([`muppet::Session::reconcile_group_signatures`]),
+//! 3. re-runs reconciliation multi-shot through
+//!    [`muppet::Session::reconcile_warm`] — unchanged groups are reused
+//!    from the engine's content index, only dirtied ones are
+//!    re-grounded and re-encoded — and
+//! 4. reports a per-delta [`StreamStats`]: verdict, whether it flipped,
+//!    dirtied group names, groups re-encoded vs reused, subformula
+//!    ground-cache hits, and latency.
+//!
+//! Warm verdicts are **byte-identical** to cold re-solves of every
+//! intermediate snapshot (canonical lex-min models + ordered-deletion
+//! cores make the solve deterministic); `tests/stream_props.rs` proves
+//! it differentially and the harness W1 lane gates it together with an
+//! amortized speedup floor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use muppet::{MuppetError, NamedGoal, Party, Reconciliation, ReconcileMode, Session};
+use muppet_goals::{translate_istio_goals, translate_k8s_goals, IstioGoal, K8sGoal};
+use muppet_logic::{Instance, PartialInstance, PartyId};
+use muppet_mesh::{Mesh, MeshVocab};
+use muppet_obs::{Counter, Histogram};
+use muppet_scenario::stream::{ConfigDelta, DeltaError};
+use muppet_scenario::Scenario;
+use muppet_solver::PreparedStore;
+
+/// The configuration state a stream session evolves: the mesh plus both
+/// parties' goal tables. [`StreamSpec::session`] builds exactly the
+/// session [`Scenario::session`] builds (hard goals, offers iff
+/// `bounded`), which is what makes warm stream verdicts byte-comparable
+/// to a cold [`Scenario`]-based oracle.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// The service mesh.
+    pub mesh: Mesh,
+    /// Cluster-admin DENY rows.
+    pub k8s_goals: Vec<K8sGoal>,
+    /// Mesh-admin reachability rows.
+    pub istio_goals: Vec<IstioGoal>,
+    /// Spare ports added to the universe.
+    pub extra_ports: Vec<u16>,
+    /// Attach tight party offers (required at ≳500 services).
+    pub bounded: bool,
+}
+
+impl From<&Scenario> for StreamSpec {
+    fn from(s: &Scenario) -> StreamSpec {
+        StreamSpec {
+            mesh: s.mesh.clone(),
+            k8s_goals: s.k8s_goals.clone(),
+            istio_goals: s.istio_goals.clone(),
+            extra_ports: s.extra_port_list(),
+            bounded: s.params.bounded,
+        }
+    }
+}
+
+impl StreamSpec {
+    /// Build the vocabulary for the current mesh + extra ports.
+    pub fn vocab(&self) -> MeshVocab {
+        MeshVocab::new(
+            &self.mesh,
+            self.extra_ports.iter().copied(),
+            PartyId(0),
+            PartyId(1),
+        )
+    }
+
+    /// Build the two-party session over a prebuilt vocabulary
+    /// (mirrors [`Scenario::session`] with hard Istio goals).
+    pub fn session<'a>(&self, mv: &'a MeshVocab) -> Result<Session<'a>, StreamError> {
+        let mut vocab = mv.vocab.clone();
+        let k8s_goals = translate_k8s_goals(&self.k8s_goals, mv, &mut vocab)
+            .map_err(|e| StreamError::Goals(e.to_string()))?;
+        let istio_goals = translate_istio_goals(&self.istio_goals, mv, &mut vocab)
+            .map_err(|e| StreamError::Goals(e.to_string()))?;
+        let axioms = mv.well_formedness_axioms(&mut vocab);
+        let mut session = Session::new(&mv.universe, vocab, Instance::new());
+        session.add_axioms(axioms);
+        let (k8s_offer, istio_offer) = if self.bounded {
+            let (k, i) = self.offers(mv);
+            (Some(k), Some(i))
+        } else {
+            (None, None)
+        };
+        let mut k8s_party = Party::new(mv.k8s_party, "k8s-admin")
+            .with_goals(k8s_goals.into_iter().map(NamedGoal::from));
+        if let Some(offer) = k8s_offer {
+            k8s_party = k8s_party.with_offer(offer);
+        }
+        session.add_party(k8s_party);
+        let mut istio_party = Party::new(mv.istio_party, "istio-admin")
+            .with_goals(istio_goals.into_iter().map(NamedGoal::from));
+        if let Some(offer) = istio_offer {
+            istio_party = istio_party.with_offer(offer);
+        }
+        session.add_party(istio_party);
+        Ok(session)
+    }
+
+    /// Tight offers (mirrors [`Scenario::offers`]): the cluster admin
+    /// offers no network policies, the mesh admin no authorization
+    /// policies and only declared-or-spare exposure.
+    fn offers(&self, mv: &MeshVocab) -> (PartialInstance, PartialInstance) {
+        let mut k8s = PartialInstance::new();
+        for rel in mv.k8s_rels() {
+            k8s.bound(rel);
+        }
+        let mut istio = PartialInstance::new();
+        for rel in mv.istio_rels() {
+            istio.bound(rel);
+        }
+        for svc in self.mesh.services() {
+            let s = mv.svc_atom(&svc.name).expect("mesh service has an atom");
+            for &p in svc.ports.iter().chain(self.extra_ports.iter()) {
+                let pa = mv.port_atom(p).expect("mesh port has an atom");
+                istio.permit(mv.listens, vec![s, pa]);
+            }
+        }
+        (k8s, istio)
+    }
+}
+
+/// Why a stream push failed. The session state is left as the delta
+/// left it (for [`StreamError::Delta`], untouched).
+#[derive(Debug)]
+pub enum StreamError {
+    /// The delta was invalid against the current state.
+    Delta(DeltaError),
+    /// A goal table no longer translates (e.g. a row references a
+    /// service a delta removed out from under it).
+    Goals(String),
+    /// The solve pipeline failed.
+    Engine(MuppetError),
+    /// The solve ran out of budget before a verdict.
+    Exhausted(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Delta(e) => write!(f, "delta rejected: {e}"),
+            StreamError::Goals(e) => write!(f, "goal translation failed: {e}"),
+            StreamError::Engine(e) => write!(f, "solve failed: {e}"),
+            StreamError::Exhausted(p) => write!(f, "solve exhausted in {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<DeltaError> for StreamError {
+    fn from(e: DeltaError) -> StreamError {
+        StreamError::Delta(e)
+    }
+}
+
+/// What one delta cost and changed.
+#[derive(Clone, Debug)]
+pub struct StreamStats {
+    /// Sequence number (0 is the initial solve at session start).
+    pub seq: u64,
+    /// Delta kind tag (`"initial"` for the session-start solve).
+    pub kind: &'static str,
+    /// The canonical verdict line after this delta.
+    pub verdict: String,
+    /// Did the verdict change relative to the previous state?
+    pub flipped: bool,
+    /// Names of the formula groups whose content changed (what the
+    /// warm engine had to re-encode, predicted from fingerprints).
+    pub dirtied: Vec<String>,
+    /// Groups ground+encoded by this solve.
+    pub groups_encoded: u64,
+    /// Groups reused from the warm engine's content index.
+    pub groups_reused: u64,
+    /// Subformula ground-cache hits during this solve.
+    pub ground_cache_hits: u64,
+    /// Subformula ground-cache misses during this solve.
+    pub ground_cache_misses: u64,
+    /// Did the delta force a vocabulary (universe) rebuild?
+    pub vocab_rebuilt: bool,
+    /// Wall-clock latency of apply + solve, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// The canonical verdict line of a reconciliation: `sat` plus the
+/// per-party configurations, or `unsat` plus the blamed core. Debug
+/// formatting over `BTreeMap`s is deterministic, and warm solves
+/// produce canonical (lex-min) models and ordered-deletion cores, so
+/// equal states render byte-identical lines warm or cold — the W1 lane
+/// and the differential proptests compare exactly these strings.
+pub fn verdict_line(rec: &Reconciliation) -> String {
+    if rec.success {
+        format!("sat {:?}", rec.configs)
+    } else {
+        format!("unsat {:?}", rec.core)
+    }
+}
+
+/// A warm multi-shot solving session over a live config edit stream.
+pub struct StreamSession {
+    spec: StreamSpec,
+    mv: MeshVocab,
+    store: PreparedStore,
+    threads: usize,
+    seq: u64,
+    verdict: String,
+    prev_keys: BTreeSet<u128>,
+    ctr_deltas: Counter,
+    ctr_flips: Counter,
+    ctr_reused: Counter,
+    ctr_encoded: Counter,
+    hist: Arc<Histogram>,
+}
+
+impl StreamSession {
+    /// Open a session: builds the vocabulary, solves the initial state
+    /// (seq 0, kind `"initial"`) and leaves the engine warm.
+    pub fn new(spec: StreamSpec) -> Result<(StreamSession, StreamStats), StreamError> {
+        StreamSession::with_threads(spec, 1)
+    }
+
+    /// [`StreamSession::new`] with a portfolio worker count (`<= 1`
+    /// solves sequentially). Verdicts are identical either way.
+    pub fn with_threads(
+        spec: StreamSpec,
+        threads: usize,
+    ) -> Result<(StreamSession, StreamStats), StreamError> {
+        let registry = muppet_obs::registry();
+        let mv = spec.vocab();
+        let mut session = StreamSession {
+            spec,
+            mv,
+            store: PreparedStore::new(),
+            threads,
+            seq: 0,
+            verdict: String::new(),
+            prev_keys: BTreeSet::new(),
+            ctr_deltas: registry.counter("stream.deltas"),
+            ctr_flips: registry.counter("stream.verdict_flips"),
+            ctr_reused: registry.counter("stream.groups.reused"),
+            ctr_encoded: registry.counter("stream.groups.encoded"),
+            hist: registry.histogram("stream.delta_us"),
+        };
+        let stats = session.solve_current(Instant::now(), "initial", true)?;
+        Ok((session, stats))
+    }
+
+    /// Apply one delta and re-solve warm. On `Err(Delta(..))` the state
+    /// is untouched and the previous verdict stands.
+    pub fn push(&mut self, delta: &ConfigDelta) -> Result<StreamStats, StreamError> {
+        let start = Instant::now();
+        let mesh_dirty = delta.apply_parts(
+            &mut self.spec.mesh,
+            &mut self.spec.k8s_goals,
+            &mut self.spec.istio_goals,
+        )?;
+        if mesh_dirty {
+            // Content-driven rebuild: if the edit left the universe's
+            // atom content identical (e.g. a replica-scale label), the
+            // warm key — and with it the live engine — is preserved.
+            self.mv = self.spec.vocab();
+        }
+        let stats = self.solve_current(start, delta.kind(), mesh_dirty)?;
+        self.ctr_deltas.inc();
+        Ok(stats)
+    }
+
+    /// Solve the current state through the warm store and diff the
+    /// group fingerprints against the previous solve.
+    fn solve_current(
+        &mut self,
+        start: Instant,
+        kind: &'static str,
+        vocab_rebuilt: bool,
+    ) -> Result<StreamStats, StreamError> {
+        let session = {
+            let mut s = self.spec.session(&self.mv)?;
+            s.set_threads(self.threads);
+            s
+        };
+        let sigs = session.reconcile_group_signatures(ReconcileMode::HardBounds);
+        let dirtied: Vec<String> = sigs
+            .iter()
+            .filter(|(_, key)| !self.prev_keys.contains(key))
+            .map(|(name, _)| name.clone())
+            .collect();
+        let (enc_before, reuse_before) = self.store.group_counters();
+        let (hit_before, miss_before) = self.store.ground_cache_counters();
+        let rec = session
+            .reconcile_warm(ReconcileMode::HardBounds, &mut self.store)
+            .map_err(StreamError::Engine)?;
+        if let Some(ex) = &rec.exhausted {
+            return Err(StreamError::Exhausted(format!("{:?}", ex.phase)));
+        }
+        let (enc_after, reuse_after) = self.store.group_counters();
+        let (hit_after, miss_after) = self.store.ground_cache_counters();
+        let verdict = verdict_line(&rec);
+        let flipped = self.seq > 0 && verdict != self.verdict;
+        if flipped {
+            self.ctr_flips.inc();
+        }
+        self.ctr_encoded.add(enc_after - enc_before);
+        self.ctr_reused.add(reuse_after - reuse_before);
+        let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.hist.observe_us(elapsed_us);
+        let stats = StreamStats {
+            seq: self.seq,
+            kind,
+            verdict: verdict.clone(),
+            flipped,
+            dirtied,
+            groups_encoded: enc_after - enc_before,
+            groups_reused: reuse_after - reuse_before,
+            ground_cache_hits: hit_after - hit_before,
+            ground_cache_misses: miss_after - miss_before,
+            vocab_rebuilt,
+            elapsed_us,
+        };
+        self.prev_keys = sigs.into_iter().map(|(_, k)| k).collect();
+        self.verdict = verdict;
+        self.seq += 1;
+        Ok(stats)
+    }
+
+    /// The current verdict line.
+    pub fn verdict(&self) -> &str {
+        &self.verdict
+    }
+
+    /// Deltas solved so far, counting the initial solve.
+    pub fn solves(&self) -> u64 {
+        self.seq
+    }
+
+    /// The current configuration state.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Lifetime `(encoded, reused)` group counters of the warm store.
+    pub fn group_counters(&self) -> (u64, u64) {
+        self.store.group_counters()
+    }
+
+    /// Lifetime subformula ground-cache `(hits, misses)`.
+    pub fn ground_cache_counters(&self) -> (u64, u64) {
+        self.store.ground_cache_counters()
+    }
+
+    /// Ground-cache hit rate over the session's lifetime (`None` before
+    /// any lookups).
+    pub fn ground_cache_hit_rate(&self) -> Option<f64> {
+        let (h, m) = self.ground_cache_counters();
+        let total = h + m;
+        (total > 0).then(|| h as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_scenario::stream::{generate_stream, StreamParams, StreamProfile};
+    use muppet_scenario::{generate, ScenarioParams};
+
+    fn small_params() -> ScenarioParams {
+        ScenarioParams {
+            services: 6,
+            ports_per_service: 2,
+            extra_ports: 2,
+            istio_goals: 4,
+            k8s_goals: 1,
+            port_pool: 4,
+            ..ScenarioParams::default()
+        }
+    }
+
+    #[test]
+    fn spec_session_matches_scenario_session() {
+        // The mirrored session builder must agree with the original
+        // byte for byte — same fingerprint, same verdict line.
+        let sc = generate(small_params());
+        let spec = StreamSpec::from(&sc);
+        let mv = spec.vocab();
+        let mirrored = spec.session(&mv).unwrap();
+        let original = sc.session(false);
+        assert_eq!(
+            mirrored.content_fingerprint(),
+            original.content_fingerprint()
+        );
+        let a = mirrored.reconcile(ReconcileMode::HardBounds).unwrap();
+        let b = original.reconcile(ReconcileMode::HardBounds).unwrap();
+        assert_eq!(verdict_line(&a), verdict_line(&b));
+    }
+
+    #[test]
+    fn warm_stream_matches_cold_oracle() {
+        let stream = generate_stream(StreamParams {
+            base: small_params(),
+            profile: StreamProfile::Mixed,
+            deltas: 20,
+            target_services: 0,
+            seed: 5,
+        });
+        let (mut session, initial) = StreamSession::new(StreamSpec::from(&stream.base)).unwrap();
+        assert_eq!(initial.kind, "initial");
+        assert!(!initial.flipped);
+
+        let mut cold = generate(stream.params.base);
+        assert_eq!(
+            initial.verdict,
+            verdict_line(&cold.session(false).reconcile(ReconcileMode::HardBounds).unwrap())
+        );
+        let mut flips_seen = 0;
+        for d in &stream.deltas {
+            let warm = session.push(d).unwrap();
+            d.apply(&mut cold).unwrap();
+            let cold_rec = cold
+                .session(false)
+                .reconcile(ReconcileMode::HardBounds)
+                .unwrap();
+            assert_eq!(warm.verdict, verdict_line(&cold_rec), "delta {}", warm.seq);
+            if warm.flipped {
+                flips_seen += 1;
+            }
+        }
+        assert_eq!(session.solves(), 21);
+        // The warm engine actually reused groups across the stream.
+        let (_, reused) = session.group_counters();
+        assert!(reused > 0, "no warm group reuse across 20 deltas");
+        let _ = flips_seen; // mixed streams may or may not flip; counted for debug
+    }
+
+    #[test]
+    fn goal_edit_dirties_one_group() {
+        // A pure goal-row edit over a fixed mesh must dirty exactly the
+        // edited row's group and reuse everything else.
+        let sc = generate(small_params());
+        let (mut session, _) = StreamSession::new(StreamSpec::from(&sc)).unwrap();
+        // Retarget the row at a different concrete port (a pool port is
+        // always in the universe); a concrete→concrete edit keeps the
+        // vocabulary's variable allocation — and with it every other
+        // group's content — untouched.
+        let goal = sc.istio_goals[0].clone();
+        let old_port = match goal.dst_port {
+            muppet_goals::PortSpec::Port(p) => p,
+            other => panic!("expected concrete port, got {other:?}"),
+        };
+        let new_port = (7000..7004).find(|&p| p != old_port).unwrap();
+        let target = muppet_goals::IstioGoal {
+            dst_port: muppet_goals::PortSpec::Port(new_port),
+            ..goal
+        };
+        let stats = session
+            .push(&ConfigDelta::UpsertGoal {
+                index: 0,
+                goal: target,
+            })
+            .unwrap();
+        assert!(!stats.vocab_rebuilt);
+        assert_eq!(stats.dirtied.len(), 1, "dirtied {:?}", stats.dirtied);
+        assert_eq!(stats.groups_encoded, 1);
+        assert!(stats.groups_reused > 0);
+    }
+
+    #[test]
+    fn invalid_delta_leaves_state_untouched() {
+        let sc = generate(small_params());
+        let (mut session, initial) = StreamSession::new(StreamSpec::from(&sc)).unwrap();
+        let before = session.spec().clone();
+        let err = session
+            .push(&ConfigDelta::RemoveService {
+                name: "no-such-svc".into(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Delta(DeltaError::UnknownService(_))));
+        assert_eq!(session.spec().mesh, before.mesh);
+        assert_eq!(session.verdict(), initial.verdict);
+        assert_eq!(session.solves(), 1);
+    }
+}

@@ -61,6 +61,15 @@ run cargo run --release --offline -q --bin muppet-harness -- n1
 test -s BENCH_incremental.json || { echo "BENCH_incremental.json missing"; exit 1; }
 # Differential properties: warm == cold on negotiation + conformance.
 run cargo test -q --offline --test incremental_diff
+# Streaming-reconfiguration lane (DESIGN.md §16): differential
+# proptests (warm StreamSession replay == cold snapshot solves, 1 and 4
+# threads), then the W1 harness lane replaying a committed ≥200-delta
+# edit stream against the cold oracle — byte-identical verdicts and a
+# >= 5x amortized warm speedup, recorded in BENCH_stream.json (written
+# before the gates fire, so trend lines survive a red run).
+run cargo test -q --offline --test stream_props
+run cargo run --release --offline -q --bin muppet-harness -- w1
+test -s BENCH_stream.json || { echo "BENCH_stream.json missing"; exit 1; }
 # Robustness lane (DESIGN.md §14): bounded admission, load shedding
 # with retry hints, the slow-loris read timeout, graceful drain and the
 # client retry path — first as deterministic integration tests, then as

@@ -29,7 +29,12 @@
 //! committed labels on up-to-2500-service generated meshes
 //! (`MUPPET_SCALE=full` for the full large + hard tiers), per-phase
 //! timings in `BENCH_scale.json`, and a byte-identical regeneration
-//! gate. `R1` is the overload/chaos lane (DESIGN.md §14):
+//! gate. `W1` is the streaming-reconfiguration lane (DESIGN.md §16):
+//! it replays a committed edit stream through one warm multi-shot
+//! `StreamSession` and a cold re-solve-from-scratch oracle in
+//! lockstep, gating byte-identical verdicts at every delta plus a 5x
+//! amortized warm-vs-cold speedup floor, and emits `BENCH_stream.json`.
+//! `R1` is the overload/chaos lane (DESIGN.md §14):
 //! it floods a real socket daemon past its admission limits with
 //! misbehaving clients (plus injected solver faults under
 //! `--features fault-inject`) and gates on verdict integrity, shed
@@ -184,6 +189,7 @@ fn main() {
         ("O1", o1),
         ("S1", s1),
         ("N1", n1),
+        ("W1", w1),
         ("R1", r1),
     ];
     let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
@@ -1894,4 +1900,200 @@ fn n1(t: &mut Table) {
     if let Err(e) = std::fs::write("BENCH_incremental.json", doc.to_line() + "\n") {
         eprintln!("muppet-harness: cannot write BENCH_incremental.json: {e}");
     }
+}
+
+/// W1 — the streaming-reconfiguration lane (DESIGN.md §16). Replays
+/// the committed `stream-policy-churn` edit stream (250 ban
+/// upserts/retractions over a fixed 24-service mesh) through two
+/// engines in lockstep:
+///
+/// - **warm**: one [`muppet_stream::StreamSession`] ingests every
+///   delta multi-shot — unchanged CNF groups are reused by content
+///   fingerprint and grounding hits the subformula cache;
+/// - **cold oracle**: after every delta the accumulated configuration
+///   state is rebuilt and re-solved from scratch (fresh vocabulary,
+///   fresh grounding, fresh encoding, fresh solver).
+///
+/// Two gates, applied only after `BENCH_stream.json` is on disk:
+///
+/// 1. *Byte identity*: the warm verdict line (canonical lex-min model
+///    or ordered-deletion minimal core) equals the cold oracle's at
+///    the initial state and after every one of the >= 200 deltas;
+/// 2. *Amortized speedup*: total cold wall over total warm wall must
+///    be >= 5x — multi-shot solving has to beat re-solving from
+///    scratch by a wide margin, not a rounding error.
+fn w1(t: &mut Table) {
+    use muppet_bench::scenario::corpus::{self, Kind};
+    use muppet_daemon::json::Json;
+    use muppet_stream::{verdict_line, StreamSession, StreamSpec};
+
+    // The bounded-offer churn entry: tight offers keep the free tuple
+    // count under the solver's canonicalization cap, so warm and cold
+    // SAT answers are both canonical (byte-comparable) — and grounding
+    // plus encoding dominate each cold solve, which is exactly the work
+    // the multi-shot session amortizes.
+    let entry = corpus::entry("stream-bounded-churn").expect("committed stream entry");
+    let Kind::Stream(params) = entry.kind else {
+        panic!("stream-bounded-churn must be a stream corpus entry")
+    };
+    assert!(params.deltas >= 200, "the speedup gate needs a >= 200-delta stream");
+    let stream = muppet_bench::scenario::generate_stream(params);
+
+    // Warm: one multi-shot session across the whole stream.
+    let t0 = std::time::Instant::now();
+    let (mut warm, initial) =
+        StreamSession::new(StreamSpec::from(&stream.base)).expect("initial state solves");
+    let mut warm_verdicts: Vec<String> = vec![initial.verdict.clone()];
+    let mut flips = 0u64;
+    let mut max_delta_us = initial.elapsed_us;
+    for d in &stream.deltas {
+        let s = warm.push(d).expect("committed stream replays warm");
+        flips += u64::from(s.flipped);
+        max_delta_us = max_delta_us.max(s.elapsed_us);
+        warm_verdicts.push(s.verdict);
+    }
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (encoded, reused) = warm.group_counters();
+    let (gc_hits, gc_misses) = warm.ground_cache_counters();
+    let hit_rate = warm.ground_cache_hit_rate().unwrap_or(0.0);
+
+    // Cold oracle: the identical state sequence, each solved from
+    // scratch. Same session construction and thread count as the warm
+    // path, so any divergence is the multi-shot engine's fault.
+    let mut cold_spec = StreamSpec::from(&stream.base);
+    let cold_solve = |spec: &StreamSpec| -> String {
+        let mv = spec.vocab();
+        let mut s = spec.session(&mv).expect("cold session builds");
+        s.set_threads(1);
+        let rec = s.reconcile(ReconcileMode::HardBounds).expect("cold reconcile");
+        assert!(rec.exhausted.is_none(), "cold oracle must not exhaust");
+        verdict_line(&rec)
+    };
+    let t1 = std::time::Instant::now();
+    let mut cold_verdicts: Vec<String> = vec![cold_solve(&cold_spec)];
+    for d in &stream.deltas {
+        d.apply_parts(
+            &mut cold_spec.mesh,
+            &mut cold_spec.k8s_goals,
+            &mut cold_spec.istio_goals,
+        )
+        .expect("committed stream replays cold");
+        cold_verdicts.push(cold_solve(&cold_spec));
+    }
+    let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let solves = warm_verdicts.len();
+    let identical = warm_verdicts
+        .iter()
+        .zip(&cold_verdicts)
+        .filter(|(w, c)| w == c)
+        .count();
+    let first_divergence = warm_verdicts
+        .iter()
+        .zip(&cold_verdicts)
+        .position(|(w, c)| w != c);
+    let speedup = cold_ms / warm_ms.max(1e-9);
+    let warm_amortized_us = warm_ms * 1e3 / solves as f64;
+    let cold_amortized_us = cold_ms * 1e3 / solves as f64;
+
+    let inst = format!("{} ({} deltas)", entry.name, stream.deltas.len());
+    row(t, "W1", &inst, "verdicts byte-identical", format!("{identical}/{solves}"), "all");
+    row(t, "W1", &inst, "amortized speedup", format!("{speedup:.1}x"), ">= 5x");
+    row(
+        t,
+        "W1",
+        &inst,
+        "warm amortized per delta (ms)",
+        format!("{:.2}", warm_amortized_us / 1e3),
+        "-",
+    );
+    row(
+        t,
+        "W1",
+        &inst,
+        "cold amortized per delta (ms)",
+        format!("{:.2}", cold_amortized_us / 1e3),
+        "-",
+    );
+    row(t, "W1", &inst, "warm max delta (ms)", format!("{:.2}", max_delta_us as f64 / 1e3), "-");
+    row(t, "W1", &inst, "verdict flips observed", flips.to_string(), "-");
+    row(
+        t,
+        "W1",
+        &inst,
+        "groups encoded / reused",
+        format!("{encoded} / {reused}"),
+        "reuse dominates",
+    );
+    row(
+        t,
+        "W1",
+        &inst,
+        "ground-cache hit rate",
+        format!("{:.3}", hit_rate),
+        "-",
+    );
+
+    // The artifact is written before any gate fires, so CI trend lines
+    // survive a red run.
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-stream-v1")),
+        ("entry", Json::str(entry.name)),
+        ("profile", Json::str(params.profile.name())),
+        ("deltas", Json::num(stream.deltas.len() as u64)),
+        ("solves", Json::num(solves as u64)),
+        ("verdicts_identical", Json::num(identical as u64)),
+        (
+            "first_divergence_seq",
+            match first_divergence {
+                Some(i) => Json::num(i as u64),
+                None => Json::Null,
+            },
+        ),
+        ("verdict_flips", Json::num(flips)),
+        (
+            "warm",
+            Json::obj([
+                ("wall_ms", Json::Num(warm_ms)),
+                ("amortized_us_per_delta", Json::Num(warm_amortized_us)),
+                ("max_delta_us", Json::num(max_delta_us)),
+                ("groups_encoded", Json::num(encoded)),
+                ("groups_reused", Json::num(reused)),
+                (
+                    "ground_cache",
+                    Json::obj([
+                        ("hits", Json::num(gc_hits)),
+                        ("misses", Json::num(gc_misses)),
+                        ("hit_rate", Json::Num(hit_rate)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "cold",
+            Json::obj([
+                ("wall_ms", Json::Num(cold_ms)),
+                ("amortized_us_per_delta", Json::Num(cold_amortized_us)),
+            ]),
+        ),
+        ("amortized_speedup", Json::Num(speedup)),
+        ("gate_speedup", Json::Num(5.0)),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_stream.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_stream.json: {e}");
+    }
+
+    assert_eq!(
+        identical,
+        solves,
+        "warm and cold verdicts diverged first at seq {:?}:\n  warm: {}\n  cold: {}",
+        first_divergence,
+        first_divergence.map(|i| warm_verdicts[i].as_str()).unwrap_or(""),
+        first_divergence.map(|i| cold_verdicts[i].as_str()).unwrap_or(""),
+    );
+    assert!(
+        speedup >= 5.0,
+        "multi-shot solving must amortize >= 5x over cold re-solves: \
+         warm {warm_ms:.0} ms vs cold {cold_ms:.0} ms over {solves} solves"
+    );
 }

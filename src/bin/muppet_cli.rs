@@ -88,6 +88,8 @@ struct Opts {
     seed: Option<u64>,
     out: Option<String>,
     list: bool,
+    // `watch` flags.
+    deltas: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -124,6 +126,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: None,
         out: None,
         list: false,
+        deltas: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -265,6 +268,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 )
             }
             "--out" => opts.out = Some(value("--out")?),
+            "--deltas" => opts.deltas = Some(value("--deltas")?),
             "--list" => opts.list = true,
             "--party" => opts.party = Some(value("--party")?),
             "--mode" => opts.mode = Some(value("--mode")?),
@@ -445,6 +449,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "synthesize" => synthesize(&prep(rest)?),
         "gen" => gen_cmd(&prep(rest)?),
         "serve" => serve_cmd(&prep(rest)?),
+        "watch" => watch_cmd(&prep(rest)?),
         "client" => {
             let Some((op, crest)) = rest.split_first() else {
                 return Err("client needs an operation (try `muppet-cli help`)".into());
@@ -473,9 +478,18 @@ USAGE:
   muppet-cli serve  --socket <path> [--tcp <addr>] [--workers <n>] [--cache-cap <n>]
   muppet-cli client <op> (--socket <path> | --tcp <addr>) [flags]
       <op> ∈ open_session, check_consistency, reconcile, extract_envelope,
-             check_conformance, negotiate_round, stats, trace, shutdown;
+             check_conformance, negotiate_round, stats, trace, shutdown,
+             watch, push_delta, subscribe, unwatch;
       file flags below build the inline session spec; responses are
       printed as one JSON line
+  muppet-cli watch  (--socket <path> | --tcp <addr>) --manifests m.yaml
+                    [--k8s-goals k.csv] [--istio-goals i.csv]
+                    [--deltas edits.txt]
+      streaming reconfiguration: open a watch on the daemon, subscribe
+      to verdict_flip events, then replay one config delta per line
+      from --deltas (or stdin) as push_delta requests; every response
+      and event is printed as one JSON line, and the watch is closed
+      on EOF (see `gen --scenario stream-policy-churn` for a delta file)
 
 FLAGS:
   --manifests <file>     YAML manifests (repeatable): Services and any
@@ -520,6 +534,9 @@ FLAGS:
   --party <k8s|istio>    client: party for check_consistency
   --mode <hard|blameable> client: reconcile mode (default: hard)
   --max-rounds <n>       client: negotiation rounds (default: 4)
+  --deltas <file>        watch: config edits, one `ConfigDelta` line each
+                         (`add-service`, `upsert-ban`, `upsert-goal`, …);
+                         omitted = read deltas from stdin
   --scenario <name>      gen: corpus entry to materialize (gen --list shows all)
   --seed <n>             gen: override the generator seed (mesh / pup-sat kinds)
   --out <dir>            gen: output directory (created if missing)
@@ -878,6 +895,43 @@ fn gen_cmd(opts: &Opts) -> Result<ExitCode, String> {
                  run it via the harness S1 lane"
             ));
         }
+        Kind::Stream(mut params) => {
+            if let Some(seed) = opts.seed {
+                params.seed = seed;
+            }
+            let stream = muppet_scenario::generate_stream(params);
+            let (manifests, k8s, istio, extras) = stream.base.wire_content();
+            write("manifests.yaml", &manifests)?;
+            write("k8s-goals.csv", &k8s)?;
+            write("istio-goals.csv", &istio)?;
+            write("deltas.txt", &stream.deltas_text())?;
+            write(
+                "scenario.json",
+                &format!(
+                    "{{\"schema\":\"muppet-scenario-stream-v1\",\"name\":\"{}\",\
+                     \"profile\":\"{}\",\"deltas\":{},\"seed\":{},\"expected\":\"{}\"}}\n",
+                    entry.name,
+                    params.profile.name(),
+                    stream.deltas.len(),
+                    params.seed,
+                    entry.expected.label()
+                ),
+            )?;
+            let extras_csv: Vec<String> = extras.iter().map(|p| p.to_string()).collect();
+            println!(
+                "wrote {out}/{{manifests.yaml,k8s-goals.csv,istio-goals.csv,deltas.txt,\
+                 scenario.json}} ({} base services, {} deltas, final state expected {})",
+                stream.base.mesh.services().len(),
+                stream.deltas.len(),
+                entry.expected
+            );
+            println!(
+                "replay: muppet-cli watch --socket <sock> --manifests {out}/manifests.yaml \
+                 --k8s-goals {out}/k8s-goals.csv --istio-goals {out}/istio-goals.csv \
+                 --extra-ports {} --deltas {out}/deltas.txt",
+                extras_csv.join(",")
+            );
+        }
         _ => {
             let mut kind = entry.kind;
             if let (Kind::PupSat { seed, .. }, Some(s)) = (&mut kind, opts.seed) {
@@ -946,40 +1000,167 @@ fn serve_cmd(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Resolve `--socket` / `--tcp` into a daemon endpoint.
+fn endpoint_of(opts: &Opts) -> Result<muppet_daemon::Endpoint, String> {
+    match (&opts.socket, &opts.tcp) {
+        (Some(path), _) => Ok(muppet_daemon::Endpoint::Unix(std::path::PathBuf::from(path))),
+        (None, Some(addr)) => Ok(muppet_daemon::Endpoint::Tcp(addr.clone())),
+        (None, None) => Err("needs --socket or --tcp".into()),
+    }
+}
+
+/// Build the inline session spec daemon ops consume from the file
+/// flags, or `None` when no `--manifests` was given.
+fn inline_spec(opts: &Opts) -> Result<Option<muppet_daemon::SessionSpec>, String> {
+    if opts.manifests.is_empty() {
+        return Ok(None);
+    }
+    let mut text = String::new();
+    for path in &opts.manifests {
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        text.push_str("---\n");
+        text.push_str(&content);
+        text.push('\n');
+    }
+    let read_opt = |p: &Option<String>| -> Result<String, String> {
+        match p {
+            Some(p) => std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}")),
+            None => Ok(String::new()),
+        }
+    };
+    Ok(Some(muppet_daemon::SessionSpec {
+        manifests: text,
+        k8s_goals: read_opt(&opts.k8s_goals)?,
+        istio_goals: read_opt(&opts.istio_goals)?,
+        mtls: opts.mtls,
+        extra_ports: opts.extra_ports.clone(),
+    }))
+}
+
+/// Read protocol lines until a response arrives, printing any
+/// subscription event lines (those carrying an `"event"` field;
+/// responses never do) encountered on the way.
+fn pump_until_response(
+    client: &mut muppet_daemon::Client,
+) -> Result<muppet_daemon::Response, String> {
+    loop {
+        let line = client.recv_line()?;
+        let is_event = muppet_daemon::json::parse(&line)
+            .ok()
+            .is_some_and(|j| j.get("event").is_some());
+        if is_event {
+            println!("{}", line.trim_end());
+            continue;
+        }
+        return muppet_daemon::Response::from_line(&line);
+    }
+}
+
+/// `watch`: streaming reconfiguration against a running daemon. Opens
+/// a watch session from the file flags, subscribes to `verdict_flip`
+/// events on the same connection, then replays one `ConfigDelta` line
+/// at a time from `--deltas <file>` (or stdin) as `push_delta`
+/// requests. Every response and event is printed as one JSON line; on
+/// EOF the watch is closed with `unwatch`. Rejected delta lines are
+/// reported on stderr and skipped — a typo should not kill a live
+/// stream. Exit code follows the final verdict: 0 sat, 1 unsat.
+fn watch_cmd(opts: &Opts) -> Result<ExitCode, String> {
+    use muppet_daemon::json::Json;
+    use std::io::BufRead;
+
+    let endpoint = endpoint_of(opts).map_err(|e| format!("watch {e}"))?;
+    let spec = inline_spec(opts)?
+        .ok_or("watch needs --manifests (the starting configuration)")?;
+    let mut client = endpoint.connect(Some(std::time::Duration::from_secs(120)))?;
+
+    let mut req = muppet_daemon::Request::new(muppet_daemon::Op::Watch);
+    req.spec = Some(spec);
+    req.threads = requested_threads(opts).map(|t| t.clamp(1, 64) as u64);
+    client.send(&req)?;
+    let resp = pump_until_response(&mut client)?;
+    println!("{}", resp.to_line());
+    if !resp.ok {
+        return Ok(ExitCode::from(2));
+    }
+    let watch = resp
+        .result
+        .get("watch")
+        .and_then(Json::as_str)
+        .ok_or("daemon watch response carried no watch id")?
+        .to_string();
+    let mut verdict = resp
+        .result
+        .get("initial")
+        .and_then(|i| i.get("verdict"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+
+    let mut sub = muppet_daemon::Request::new(muppet_daemon::Op::Subscribe);
+    sub.watch = Some(watch.clone());
+    client.send(&sub)?;
+    let resp = pump_until_response(&mut client)?;
+    println!("{}", resp.to_line());
+    if !resp.ok {
+        return Ok(ExitCode::from(2));
+    }
+
+    let input: Box<dyn BufRead> = match &opts.deltas {
+        Some(p) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(p).map_err(|e| format!("cannot read {p}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let mut rejected = 0u64;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("reading deltas: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut push = muppet_daemon::Request::new(muppet_daemon::Op::PushDelta);
+        push.watch = Some(watch.clone());
+        push.delta = Some(line.to_string());
+        client.send(&push)?;
+        let resp = pump_until_response(&mut client)?;
+        println!("{}", resp.to_line());
+        if resp.ok {
+            if let Some(v) = resp.result.get("verdict").and_then(Json::as_str) {
+                verdict = v.to_string();
+            }
+        } else {
+            rejected += 1;
+            eprintln!(
+                "muppet-cli: delta {line:?} rejected: {}",
+                resp.error.as_deref().unwrap_or("unknown error")
+            );
+        }
+    }
+
+    let mut un = muppet_daemon::Request::new(muppet_daemon::Op::Unwatch);
+    un.watch = Some(watch);
+    client.send(&un)?;
+    let resp = pump_until_response(&mut client)?;
+    println!("{}", resp.to_line());
+    if rejected > 0 {
+        eprintln!("muppet-cli: {rejected} delta line(s) rejected");
+    }
+    Ok(if verdict.starts_with("unsat") {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 /// `client`: one request against a running daemon; prints the response
 /// as a JSON line and maps the verdict onto the usual exit codes.
 fn client_cmd(op_name: &str, opts: &Opts) -> Result<ExitCode, String> {
     let op = muppet_daemon::Op::parse(op_name)
         .ok_or_else(|| format!("unknown daemon op {op_name:?} (try `muppet-cli help`)"))?;
-    let endpoint = match (&opts.socket, &opts.tcp) {
-        (Some(path), _) => muppet_daemon::Endpoint::Unix(std::path::PathBuf::from(path)),
-        (None, Some(addr)) => muppet_daemon::Endpoint::Tcp(addr.clone()),
-        (None, None) => return Err("client needs --socket or --tcp".into()),
-    };
+    let endpoint = endpoint_of(opts).map_err(|e| format!("client {e}"))?;
     let mut req = muppet_daemon::Request::new(op);
-    if !opts.manifests.is_empty() {
-        let mut text = String::new();
-        for path in &opts.manifests {
-            let content = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            text.push_str("---\n");
-            text.push_str(&content);
-            text.push('\n');
-        }
-        let read_opt = |p: &Option<String>| -> Result<String, String> {
-            match p {
-                Some(p) => std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}")),
-                None => Ok(String::new()),
-            }
-        };
-        req.spec = Some(muppet_daemon::SessionSpec {
-            manifests: text,
-            k8s_goals: read_opt(&opts.k8s_goals)?,
-            istio_goals: read_opt(&opts.istio_goals)?,
-            mtls: opts.mtls,
-            extra_ports: opts.extra_ports.clone(),
-        });
-    }
+    req.spec = inline_spec(opts)?;
     req.party = opts.party.clone();
     req.mode = opts.mode.clone();
     req.to = if opts.to == "istio" { None } else { Some(opts.to.clone()) };

@@ -554,6 +554,75 @@ fn client_disconnect_cancels_in_flight_portfolio_solve() {
     handle.wait();
 }
 
+/// Streaming watch over a real socket: one connection opens a watch and
+/// pushes deltas, a second subscribes, and a verdict-flipping delta
+/// arrives at the subscriber as an unsolicited `"event"` line while
+/// neutral deltas stay silent.
+#[test]
+fn watch_subscribers_get_verdict_flip_events() {
+    let (handle, path) = start("watch", 2);
+    let ep = Endpoint::Unix(path);
+    let mut pusher = ep.connect(Some(Duration::from_secs(60))).unwrap();
+    let opened = pusher
+        .roundtrip(&Request::new(Op::Watch).with_spec(SessionSpec::paper_relaxed()))
+        .unwrap();
+    assert!(opened.ok, "{:?}", opened.error);
+    let id = opened
+        .result
+        .get("watch")
+        .and_then(Json::as_str)
+        .expect("watch id")
+        .to_string();
+    assert!(opened
+        .result
+        .get("initial")
+        .and_then(|i| i.get("verdict"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .starts_with("sat"));
+
+    let mut subscriber = ep.connect(Some(Duration::from_secs(60))).unwrap();
+    let mut sub = Request::new(Op::Subscribe);
+    sub.watch = Some(id.clone());
+    let s = subscriber.roundtrip(&sub).unwrap();
+    assert!(s.ok, "{:?}", s.error);
+
+    // Re-upserting the ban row that is already present changes nothing:
+    // no dirtied groups, no flip — and therefore no event line.
+    let mut push = Request::new(Op::PushDelta);
+    push.watch = Some(id.clone());
+    push.delta = Some("upsert-ban 23 *".into());
+    let quiet = pusher.roundtrip(&push).unwrap();
+    assert!(quiet.ok, "{:?}", quiet.error);
+    assert_eq!(quiet.result.get("flipped").and_then(Json::as_bool), Some(false));
+
+    // Banning a port a concrete goal row needs flips the verdict; the
+    // subscriber's next line must be that event (nothing was pushed for
+    // the quiet delta before it).
+    push.delta = Some("upsert-ban 16000 *".into());
+    let flip = pusher.roundtrip(&push).unwrap();
+    assert!(flip.ok, "{:?}", flip.error);
+    assert_eq!(flip.result.get("flipped").and_then(Json::as_bool), Some(true));
+    let line = subscriber.recv_line().expect("event line");
+    let event = muppet_daemon::json::parse(line.trim()).expect("event parses");
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("verdict_flip"));
+    assert_eq!(event.get("watch").and_then(Json::as_str), Some(id.as_str()));
+    assert!(event
+        .get("verdict")
+        .and_then(Json::as_str)
+        .unwrap()
+        .starts_with("unsat"));
+
+    // unwatch tears the stream down; further pushes error.
+    let mut un = Request::new(Op::Unwatch);
+    un.watch = Some(id.clone());
+    assert!(pusher.roundtrip(&un).unwrap().ok);
+    let gone = pusher.roundtrip(&push).unwrap();
+    assert!(!gone.ok, "push after unwatch must error");
+    handle.stop();
+    handle.wait();
+}
+
 /// Verdicts from the daemon must be identical whether served cold,
 /// warm, or from cache — spot-checked here over the socket; the
 /// exhaustive randomized version lives in `daemon_cache_props.rs`.

@@ -1,0 +1,138 @@
+//! Differential testing of streaming reconfiguration: a warm
+//! [`StreamSession`] replaying a random edit stream must produce
+//! **byte-identical** verdict lines to cold-solving every intermediate
+//! snapshot from scratch, at 1 and 4 portfolio threads.
+//!
+//! Bases are kept small enough (or bounded, which collapses the free
+//! tuple count) that every solve stays under the engine's
+//! canonicalization cap — warm, cold and portfolio models are all the
+//! canonical lex-min witness, so string equality is the right oracle.
+
+use muppet::ReconcileMode;
+use muppet_scenario::stream::{generate_stream, StreamParams, StreamProfile};
+use muppet_scenario::{generate, ScenarioParams};
+use muppet_stream::{verdict_line, StreamSession, StreamSpec};
+use proptest::prelude::*;
+
+/// A random stream workload: base shape, edit profile, length, seed,
+/// portfolio width.
+#[derive(Clone, Debug)]
+struct Workload {
+    params: StreamParams,
+    threads: usize,
+}
+
+/// Base shapes that keep every intermediate snapshot canonicalizable:
+/// unbounded meshes must stay tiny (free tuple vars grow quadratically
+/// with services and cross the solver's canonicalization cap near 6
+/// services), while bounded meshes carry tight offers and stay far
+/// under the cap at any size this test reaches.
+fn base_strategy() -> impl Strategy<Value = ScenarioParams> {
+    (
+        prop_oneof![
+            (Just(false), 3..=4usize),
+            (Just(true), 4..=10usize),
+        ],
+        2..=5usize, // istio goal rows
+        1..=2usize, // k8s ban rows
+        0..10_000u64,
+    )
+        .prop_map(|((bounded, services), istio_goals, k8s_goals, seed)| ScenarioParams {
+            services,
+            // Every service draws the whole pool, so every pool port a
+            // churn delta can target is always in the port universe.
+            ports_per_service: 4,
+            extra_ports: 2,
+            istio_goals,
+            k8s_goals,
+            port_pool: 4,
+            bounded,
+            seed,
+            ..ScenarioParams::default()
+        })
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (base_strategy(), 0..4u8, 6..=14usize, 0..10_000u64, prop_oneof![
+        Just(1usize),
+        Just(4usize)
+    ])
+        .prop_map(|(base, profile, deltas, seed, threads)| {
+            // Growth and Mixed edits add services; on an unbounded base
+            // that walks the free tuple count over the canonicalization
+            // cap, so unbounded workloads stick to fixed-mesh churn.
+            let profile = match profile {
+                0 if base.bounded => StreamProfile::Growth,
+                1 if base.bounded => StreamProfile::Mixed,
+                2 => StreamProfile::GoalChurn,
+                _ => StreamProfile::PolicyChurn,
+            };
+            Workload {
+                params: StreamParams {
+                    base,
+                    profile,
+                    deltas,
+                    target_services: 0,
+                    seed,
+                },
+                threads,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Warm multi-shot replay == cold re-solve of every intermediate
+    /// snapshot, on the canonical verdict line (model or core), at the
+    /// sampled portfolio width.
+    #[test]
+    fn warm_stream_equals_cold_snapshots(w in workload_strategy()) {
+        let stream = generate_stream(w.params);
+
+        let (mut warm, initial) =
+            StreamSession::with_threads(StreamSpec::from(&stream.base), w.threads)
+                .expect("initial state solves");
+
+        let mut cold = generate(w.params.base);
+        let cold_solve = |sc: &muppet_scenario::Scenario| -> String {
+            let mut s = sc.session(false);
+            s.set_threads(w.threads);
+            let rec = s
+                .reconcile(ReconcileMode::HardBounds)
+                .expect("cold snapshot reconciles");
+            prop_assert!(rec.exhausted.is_none(), "cold oracle exhausted");
+            verdict_line(&rec)
+        };
+        prop_assert_eq!(&initial.verdict, &cold_solve(&cold));
+
+        let mut prev = initial.verdict.clone();
+        for d in &stream.deltas {
+            let stats = warm.push(d).expect("generated delta replays warm");
+            d.apply(&mut cold).expect("generated delta replays cold");
+            let oracle = cold_solve(&cold);
+            prop_assert_eq!(&stats.verdict, &oracle, "divergence at seq {}", stats.seq);
+            prop_assert_eq!(stats.flipped, stats.verdict != prev, "flip flag at seq {}", stats.seq);
+            prev = stats.verdict;
+        }
+        prop_assert_eq!(warm.solves(), stream.deltas.len() as u64 + 1);
+    }
+
+    /// Portfolio width never changes answers: the same stream replayed
+    /// at 1 and 4 threads yields byte-identical verdict sequences.
+    #[test]
+    fn thread_count_is_answer_invariant(w in workload_strategy()) {
+        let stream = generate_stream(w.params);
+        let replay = |threads: usize| -> Vec<String> {
+            let (mut s, initial) =
+                StreamSession::with_threads(StreamSpec::from(&stream.base), threads)
+                    .expect("initial state solves");
+            let mut verdicts = vec![initial.verdict];
+            for d in &stream.deltas {
+                verdicts.push(s.push(d).expect("delta replays").verdict);
+            }
+            verdicts
+        };
+        prop_assert_eq!(replay(1), replay(4));
+    }
+}
