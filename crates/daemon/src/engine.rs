@@ -331,8 +331,15 @@ impl Engine {
         let start = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.obs_requests.inc();
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
-        let _guard = InFlight(&self.in_flight);
+        // `stats` is excluded from the in-flight gauge so the number it
+        // reports is exactly the *other* work in progress — tracking it
+        // and fudging the report with a `- 1` would undercount whenever
+        // two stats requests overlap.
+        let track = req.op != Op::Stats;
+        let _guard = track.then(|| {
+            self.in_flight.fetch_add(1, Ordering::Relaxed);
+            InFlight(&self.in_flight)
+        });
         let mut span = muppet_obs::span("request");
         span.attr("op", req.op.name());
         let mut resp = match self.dispatch(req, cancel, &mut span) {
@@ -847,7 +854,9 @@ impl Engine {
         Json::obj([
             ("requests", Json::num(self.requests.load(Ordering::Relaxed))),
             ("errors", Json::num(self.errors.load(Ordering::Relaxed))),
-            ("in_flight", Json::num(self.in_flight.load(Ordering::Relaxed).saturating_sub(1))),
+            // Exact: `stats` requests never enter the gauge (see
+            // `handle`), so no self-correction fudge is needed here.
+            ("in_flight", Json::num(self.in_flight.load(Ordering::Relaxed))),
             ("queue_depth", Json::num(self.queue_depth.load(Ordering::Relaxed))),
             ("overload", self.overload_json()),
             ("sessions", Json::num(session_count)),
@@ -889,6 +898,7 @@ impl Engine {
                 ]),
             ),
             ("obs", obs_json()),
+            ("kernel", kernel_json()),
             (
                 "portfolio",
                 Json::obj([
@@ -1031,6 +1041,44 @@ fn obs_json() -> Json {
         ("counters", counters),
         ("gauges", gauges),
         ("histograms", histograms),
+    ])
+}
+
+/// The `kernel` section of `stats`: the SAT kernel's inprocessing
+/// counters and tiered clause-DB gauges, pulled out of the obs registry
+/// (engines publish them after every solve) so operators don't have to
+/// fish prefixed names out of the raw `obs` dump.
+fn kernel_json() -> Json {
+    let snap = registry().snapshot();
+    let ctr = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k.as_str() == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let gauge = |name: &str| {
+        snap.gauges
+            .iter()
+            .find(|(k, _)| k.as_str() == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    Json::obj([
+        ("inprocessings", Json::num(ctr("kernel.inprocessings"))),
+        ("subsumed_clauses", Json::num(ctr("kernel.subsumed_clauses"))),
+        (
+            "strengthened_clauses",
+            Json::num(ctr("kernel.strengthened_clauses")),
+        ),
+        ("vivified_clauses", Json::num(ctr("kernel.vivified_clauses"))),
+        ("oll_cores", Json::num(ctr("kernel.oll_cores"))),
+        (
+            "tiers",
+            Json::obj([
+                ("core", Json::num(gauge("kernel.tier.core"))),
+                ("mid", Json::num(gauge("kernel.tier.mid"))),
+                ("local", Json::num(gauge("kernel.tier.local"))),
+            ]),
+        ),
     ])
 }
 
@@ -1247,6 +1295,46 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::new(EngineConfig::default())
+    }
+
+    #[test]
+    fn in_flight_gauge_is_exact_under_concurrent_stats() {
+        let eng = engine();
+        // A lone stats request reports zero: stats itself never enters
+        // the gauge.
+        let r = eng.handle(&Request::new(Op::Stats), None);
+        assert!(r.ok);
+        assert_eq!(r.result.get("in_flight").and_then(Json::as_u64), Some(0));
+        // ...and stays exactly zero no matter how many stats requests
+        // overlap. (The old `saturating_sub(1)` fudge under-counted by
+        // one per concurrently-running stats request.)
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    barrier.wait();
+                    for _ in 0..50 {
+                        let r = eng.handle(&Request::new(Op::Stats), None);
+                        assert_eq!(
+                            r.result.get("in_flight").and_then(Json::as_u64),
+                            Some(0),
+                            "overlapping stats requests must not be counted"
+                        );
+                    }
+                });
+            }
+        });
+        // Non-stats work in progress is reported exactly: park two
+        // simulated requests mid-handle and read the gauge through the
+        // stats op.
+        eng.in_flight.fetch_add(2, Ordering::Relaxed);
+        let r = eng.handle(&Request::new(Op::Stats), None);
+        assert_eq!(r.result.get("in_flight").and_then(Json::as_u64), Some(2));
+        eng.in_flight.fetch_sub(2, Ordering::Relaxed);
+        // Real requests leave the gauge balanced once they return.
+        let done = eng.handle_op(Op::Reconcile, &SessionSpec::paper_strict());
+        assert!(done.ok, "{:?}", done.error);
+        assert_eq!(eng.in_flight.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod pool;
 
 pub use pool::{PoolStats, SharedPool};
 
-use muppet_sat::{Budget, ClauseExchange, Lit, SolveResult, Solver, SolverStats};
+use muppet_sat::{Budget, ClauseExchange, Lit, SolveResult, Solver};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -201,7 +201,12 @@ pub fn solve_portfolio(
     let mut workers: Vec<Solver> = (0..n)
         .map(|i| {
             let mut w = master.clone();
-            w.stats = SolverStats::default();
+            // reset_stats (not a plain `stats = default()`) also re-bases
+            // the inprocessing schedule, so a worker's first inprocess
+            // fires a fixed number of conflicts into *its own* run — a
+            // pure function of worker state, as lockstep determinism
+            // requires — rather than inheriting the master's countdown.
+            w.reset_stats();
             w.set_conflict_budget(None);
             diversify(&mut w, i, cfg.seed);
             w.set_clause_exchange(
@@ -230,6 +235,12 @@ pub fn solve_portfolio(
     master.stats.restarts += agg.restarts;
     master.stats.learned_clauses += agg.learned_clauses;
     master.stats.deleted_clauses += agg.deleted_clauses;
+    master.stats.inprocessings += agg.inprocessings;
+    master.stats.subsumed_clauses += agg.subsumed_clauses;
+    master.stats.strengthened_clauses += agg.strengthened_clauses;
+    master.stats.vivified_clauses += agg.vivified_clauses;
+    master.stats.tier_demotions += agg.tier_demotions;
+    master.stats.tier_promotions += agg.tier_promotions;
 
     let summary = PortfolioSummary {
         workers: n as u32,
@@ -446,6 +457,42 @@ mod tests {
         assert!(unsat1 && unsat2);
         assert_eq!(sum1, sum2, "deterministic runs must match exactly");
         assert_eq!(sum1.winner, sum2.winner);
+    }
+
+    #[test]
+    fn deterministic_mode_reproduces_stats_under_tier_pressure() {
+        // A tight learnt cap keeps the workers' tiered clause DB (and
+        // its reduction/demotion machinery) busy; lockstep replay must
+        // still reproduce the winner and every counter byte-for-byte,
+        // including the master-drained kernel counters.
+        let det = PortfolioConfig {
+            threads: 4,
+            deterministic: true,
+            slice_conflicts: 200,
+            pool_bytes: 1 << 20,
+            ..PortfolioConfig::default()
+        };
+        let run = || {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, 8, 7);
+            s.set_max_learnt(50);
+            let (result, summary) = solve_portfolio(&mut s, &[], &det);
+            (result.is_unsat(), summary, s.stats)
+        };
+        let (unsat1, sum1, stats1) = run();
+        let (unsat2, sum2, stats2) = run();
+        assert!(unsat1 && unsat2);
+        assert_eq!(sum1, sum2, "deterministic runs must match exactly");
+        assert_eq!(
+            stats1.deleted_clauses, stats2.deleted_clauses,
+            "tiered eviction must replay deterministically"
+        );
+        assert_eq!(stats1.tier_demotions, stats2.tier_demotions);
+        assert_eq!(stats1.tier_promotions, stats2.tier_promotions);
+        assert_eq!(stats1.inprocessings, stats2.inprocessings);
+        assert_eq!(stats1.subsumed_clauses, stats2.subsumed_clauses);
+        assert_eq!(stats1.strengthened_clauses, stats2.strengthened_clauses);
+        assert_eq!(stats1.vivified_clauses, stats2.vivified_clauses);
     }
 
     #[test]

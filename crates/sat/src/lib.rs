@@ -15,7 +15,12 @@
 //! * Two-literal watched propagation.
 //! * VSIDS decision heuristic (indexed max-heap) with phase saving.
 //! * Luby-sequence restarts.
-//! * Learned-clause database reduction driven by LBD (glue level).
+//! * Three-tier (core/mid/local) learned-clause database keyed by LBD
+//!   (glue level), with demotion/eviction and on-use promotion; a flat
+//!   single-cap policy remains available as a baseline.
+//! * Budget-bounded inprocessing at restart boundaries: clause
+//!   subsumption, self-subsuming resolution and vivification over the
+//!   learnt DB.
 //! * Incremental solving under **assumptions**, returning an assumption
 //!   *core* on UNSAT — the mechanism behind the paper's "unsatisfiable core
 //!   with blame information" feedback (Sec. 4.3).
@@ -63,4 +68,4 @@ pub use lit::{LBool, Lit, Var};
 pub use luby::luby;
 pub use model::Model;
 pub use share::ClauseExchange;
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{ReduceStrategy, RestartPolicy, SolveResult, Solver, SolverStats};

@@ -6,7 +6,7 @@
 //! assumption-based incremental solving with core extraction.
 
 use crate::budget::Budget;
-use crate::clause::{ClauseDb, ClauseRef};
+use crate::clause::{ClauseDb, ClauseRef, Tier};
 use crate::heap::ActivityHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::luby::LubyRestarts;
@@ -62,6 +62,21 @@ pub struct SolverStats {
     pub exported_clauses: u64,
     /// Foreign clauses imported from a shared portfolio pool.
     pub imported_clauses: u64,
+    /// Inprocessing passes run at restart boundaries.
+    pub inprocessings: u64,
+    /// Learnt clauses removed by inprocessing (root-satisfied or
+    /// subsumed by another clause).
+    pub subsumed_clauses: u64,
+    /// Learnt clauses shortened by self-subsuming resolution or root
+    /// simplification.
+    pub strengthened_clauses: u64,
+    /// Learnt clauses shortened by vivification.
+    pub vivified_clauses: u64,
+    /// Learnt clauses demoted Mid → Local by tiered reduction.
+    pub tier_demotions: u64,
+    /// Learnt clauses promoted to a better tier after their LBD
+    /// improved during conflict analysis.
+    pub tier_promotions: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -102,6 +117,70 @@ struct ExchangeLink {
 /// help other workers and would churn the byte-bounded pool.
 const EXPORT_MAX_LEN: usize = 32;
 
+/// Learned-clause retention policy.
+///
+/// `Flat` is the legacy single-cap policy (delete the worse half of the
+/// learnt DB whenever it exceeds `max_learnt`); `Tiered` is the
+/// Chanseok-Oh style three-tier policy (glue clauses kept forever,
+/// mid-LBD clauses demoted when stale, the rest evicted by activity).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReduceStrategy {
+    /// Single retention cap over the whole learnt DB (legacy policy).
+    Flat,
+    /// Three-tier core/mid/local DB keyed by LBD (default).
+    #[default]
+    Tiered,
+}
+
+/// Restart scheduling policy.
+///
+/// `Luby` is the fixed universal schedule (restart_base-scaled Luby
+/// sequence) and the default: restart behaviour stays reproducible and
+/// robust across instance families. `Glucose` restarts when the recent
+/// learnt-clause LBD trend turns worse than the run's global average
+/// (with trail-depth blocking near models) — an adaptive policy whose
+/// aggressive trajectories pay off on refutation-heavy workloads but
+/// swing wildly on satisfiable ones; portfolio workers are the natural
+/// place to mix it in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RestartPolicy {
+    /// Fixed Luby-sequence schedule (default).
+    #[default]
+    Luby,
+    /// Adaptive LBD-trend restarts with trail blocking.
+    Glucose,
+}
+
+/// Glucose restart trigger: recent-LBD EMA must exceed the global
+/// average by this factor.
+const GLUCOSE_K: f64 = 1.25;
+/// Smoothing window of the recent-LBD EMA (in conflicts).
+const GLUCOSE_EMA_WINDOW: f64 = 32.0;
+/// Glucose restart *blocking*: when the assignment trail at a conflict
+/// is this much deeper than its recent average, the solver is likely
+/// closing in on a model — suppress the pending restart.
+const GLUCOSE_BLOCK_R: f64 = 1.4;
+/// Smoothing window of the trail-depth EMA (in conflicts).
+const GLUCOSE_TRAIL_WINDOW: f64 = 5000.0;
+
+/// LBD at or below which a learnt clause is glue ([`Tier::Core`]).
+const CORE_LBD: u32 = 3;
+/// LBD at or below which a learnt clause is [`Tier::Mid`].
+const MID_LBD: u32 = 6;
+/// Conflicts between inprocessing passes.
+const INPROCESS_INTERVAL: u64 = 6000;
+/// Upper bound on the geometric interval backoff (interval doubles
+/// after every pass up to `interval * cap`).
+const INPROCESS_STRETCH_CAP: u64 = 16;
+/// Clauses longer than this are not used as subsumption candidates.
+const SUBSUME_MAX_LEN: usize = 20;
+/// Cap on subset checks per subsumption pass.
+const SUBSUME_CHECK_CAP: usize = 100_000;
+/// Clauses longer than this are not vivified.
+const VIVIFY_MAX_LEN: usize = 40;
+/// Cap on propagations per vivification pass.
+const VIVIFY_PROP_CAP: u64 = 20_000;
+
 /// A CDCL SAT solver. See the [crate docs](crate) for an overview.
 ///
 /// `Solver` is `Clone`: a portfolio clones one master solver per worker
@@ -136,12 +215,52 @@ pub struct Solver {
     /// Scratch buffers reused across conflicts.
     analyze_tmp: Vec<Lit>,
     to_clear: Vec<Var>,
+    /// Stamp scratch for [`Solver::compute_lbd`], indexed by decision
+    /// level.
+    lbd_marks: Vec<u64>,
+    lbd_stamp: u64,
     max_learnt: usize,
+    /// Retention policy for learnt clauses.
+    reduce_strategy: ReduceStrategy,
+    /// Retention cap for [`Tier::Mid`] (tiered policy only).
+    mid_budget: usize,
+    /// Retention cap for [`Tier::Local`] (tiered policy only).
+    local_budget: usize,
+    /// Whether inprocessing runs at restart boundaries.
+    inprocess_on: bool,
+    /// Conflict count at the last inprocessing pass.
+    inprocess_base: u64,
+    /// Conflicts between inprocessing passes.
+    inprocess_interval: u64,
+    /// Geometric backoff multiplier on the interval: doubles after every
+    /// pass (instances that keep searching get proportionally cheaper
+    /// inprocessing), capped so a pass still fires now and then.
+    inprocess_stretch: u64,
     conflict_budget: Option<u64>,
-    /// Base conflict interval for Luby restarts (diversified per worker).
+    /// Base conflict interval for Luby restarts, and the minimum
+    /// conflicts between Glucose restarts (diversified per worker).
     restart_base: u64,
+    /// Restart scheduling policy.
+    restart_policy: RestartPolicy,
+    /// Recursive learned-clause minimization (off = legacy one-step
+    /// antecedent check only).
+    ccmin_deep: bool,
+    /// DFS worklist for [`Solver::lit_redundant`] (kept allocated).
+    ccmin_stack: Vec<Lit>,
+    /// EMA of recent learnt-clause LBDs (Glucose policy; reset to 0 at
+    /// each restart so the window refills before the next trigger).
+    lbd_fast: f64,
+    /// EMA of the assignment-trail depth at conflicts (restart blocking).
+    trail_ema: f64,
+    /// Running sum of all learnt-clause LBDs this run.
+    lbd_sum: f64,
+    /// Number of LBD samples behind `lbd_sum`.
+    lbd_samples: u64,
     /// VSIDS decay factor (diversified per worker).
     var_decay: f64,
+    /// Ramp `var_decay` toward [`VAR_DECAY_CAP`] at each restart (off =
+    /// legacy fixed decay).
+    decay_ramp: bool,
     /// Occasional random decisions, when configured.
     rnd: Option<RandomBranching>,
     /// Shared learned-clause pool, when part of a portfolio.
@@ -158,6 +277,12 @@ pub struct Solver {
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
+/// Ceiling of the VSIDS decay ramp: activity memory lengthens as the
+/// run matures (young search adapts fast; a long refutation benefits
+/// from a near-stable variable order).
+const VAR_DECAY_CAP: f64 = 0.999;
+/// Per-restart increment of the VSIDS decay ramp.
+const VAR_DECAY_RAMP: f64 = 0.002;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 64;
 
@@ -195,9 +320,26 @@ impl Solver {
             seen: Vec::new(),
             analyze_tmp: Vec::new(),
             to_clear: Vec::new(),
+            lbd_marks: vec![0],
+            lbd_stamp: 0,
             max_learnt: 4000,
+            reduce_strategy: ReduceStrategy::Tiered,
+            mid_budget: 2000,
+            local_budget: 2000,
+            inprocess_on: true,
+            inprocess_base: 0,
+            inprocess_interval: INPROCESS_INTERVAL,
+            inprocess_stretch: 1,
             conflict_budget: None,
             restart_base: RESTART_BASE,
+            restart_policy: RestartPolicy::default(),
+            decay_ramp: true,
+            ccmin_deep: true,
+            ccmin_stack: Vec::new(),
+            lbd_fast: 0.0,
+            trail_ema: 0.0,
+            lbd_sum: 0.0,
+            lbd_samples: 0,
             var_decay: VAR_DECAY,
             rnd: None,
             exchange: None,
@@ -216,6 +358,7 @@ impl Solver {
         self.reason.push(None);
         self.level.push(0);
         self.seen.push(false);
+        self.lbd_marks.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap.grow();
@@ -270,9 +413,57 @@ impl Solver {
     /// Lower the learned-clause retention threshold. Exposed for tests
     /// that need to exercise database reduction and garbage collection
     /// deterministically on small instances.
+    ///
+    /// Under [`ReduceStrategy::Tiered`] the single knob maps onto the
+    /// tier budgets deterministically: `mid = max / 2`,
+    /// `local = max - max / 2` (the core tier is never bounded).
     #[doc(hidden)]
     pub fn set_max_learnt(&mut self, max: usize) {
         self.max_learnt = max;
+        self.mid_budget = max / 2;
+        self.local_budget = max - max / 2;
+    }
+
+    /// Select the learned-clause retention policy. The default is
+    /// [`ReduceStrategy::Tiered`]; [`ReduceStrategy::Flat`] restores the
+    /// legacy single-cap behaviour (useful as a baseline oracle).
+    pub fn set_reduce_strategy(&mut self, strategy: ReduceStrategy) {
+        self.reduce_strategy = strategy;
+    }
+
+    /// The active learned-clause retention policy.
+    pub fn reduce_strategy(&self) -> ReduceStrategy {
+        self.reduce_strategy
+    }
+
+    /// Enable or disable the inprocessing pass (subsumption,
+    /// self-subsuming resolution, vivification) run at restart
+    /// boundaries. On by default.
+    pub fn set_inprocessing(&mut self, on: bool) {
+        self.inprocess_on = on;
+    }
+
+    /// Conflicts between inprocessing passes (clamped to ≥ 1; default
+    /// 4000). Small intervals make the pass fire on tiny instances —
+    /// useful for differential testing; production callers should keep
+    /// the default.
+    pub fn set_inprocess_interval(&mut self, conflicts: u64) {
+        self.inprocess_interval = conflicts.max(1);
+    }
+
+    /// Live learnt clauses per tier: `(core, mid, local)`.
+    pub fn tier_sizes(&self) -> (usize, usize, usize) {
+        (self.db.num_core, self.db.num_mid, self.db.num_local)
+    }
+
+    /// Reset the statistics counters *and* the schedule bookkeeping that
+    /// is derived from them (the inprocessing interval). Portfolio
+    /// workers cloned from a warm master call this so their counters —
+    /// and therefore their deterministic replay — start from zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+        self.inprocess_base = 0;
+        self.inprocess_stretch = 1;
     }
 
     /// `false` once the clause set has been proved unsatisfiable at the
@@ -286,6 +477,40 @@ impl Solver {
     /// restart sequences.
     pub fn set_restart_base(&mut self, base: u64) {
         self.restart_base = base.max(1);
+    }
+
+    /// Choose the restart scheduling policy. The default `Glucose`
+    /// policy restarts when the recent learnt-LBD trend is worse than
+    /// the run's average; `Luby` restores the legacy fixed schedule.
+    pub fn set_restart_policy(&mut self, policy: RestartPolicy) {
+        self.restart_policy = policy;
+    }
+
+    /// Enable or disable recursive learned-clause minimization (on by
+    /// default). Off restores the legacy one-step antecedent check.
+    pub fn set_deep_minimization(&mut self, on: bool) {
+        self.ccmin_deep = on;
+    }
+
+    /// Enable or disable the VSIDS decay ramp (on by default): decay
+    /// climbs from its configured base toward 0.999 at each restart, so
+    /// long refutations settle into a near-stable variable order. Off
+    /// restores the legacy fixed decay.
+    pub fn set_decay_ramp(&mut self, on: bool) {
+        self.decay_ramp = on;
+    }
+
+    /// Configure this solver as the pre-tiered-DB legacy kernel: flat
+    /// clause-DB reduction, Luby restarts, no inprocessing, one-step
+    /// clause minimization. The harness K1 lane uses this as the
+    /// sequential baseline ("pre-change oracle") that the modern
+    /// defaults are gated against.
+    pub fn set_legacy_kernel(&mut self) {
+        self.set_reduce_strategy(ReduceStrategy::Flat);
+        self.set_restart_policy(RestartPolicy::Luby);
+        self.set_inprocessing(false);
+        self.set_deep_minimization(false);
+        self.set_decay_ramp(false);
     }
 
     /// Set the VSIDS activity decay factor, clamped to `[0.5, 0.999]`.
@@ -403,7 +628,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.db.alloc(simplified, false, 0);
+                let cref = self.db.alloc(simplified, false, 0, Tier::Core);
                 self.attach(cref);
                 true
             }
@@ -584,6 +809,30 @@ impl Solver {
             self.analyze_tmp.clear();
             self.analyze_tmp
                 .extend(self.db.get(confl).lits.iter().copied());
+            // A learnt clause used in conflict analysis gets its LBD
+            // refreshed; improvements promote it toward the core tier
+            // (tiered policy only — the flat baseline never re-scores).
+            // Core clauses are already in the best tier and their stored
+            // LBD no longer matters, so skip the recount for them: they
+            // are exactly the clauses conflict analysis touches most,
+            // and the walk would dominate per-conflict cost.
+            if self.reduce_strategy == ReduceStrategy::Tiered
+                && self.db.get(confl).learnt
+                && self.db.get(confl).lbd > CORE_LBD
+            {
+                let tmp = std::mem::take(&mut self.analyze_tmp);
+                let lbd = self.compute_lbd(&tmp);
+                self.analyze_tmp = tmp;
+                let c = self.db.get_mut(confl);
+                if lbd < c.lbd {
+                    c.lbd = lbd;
+                    let tier = Self::tier_for(lbd);
+                    if tier < c.tier {
+                        self.db.retier(confl, tier);
+                        self.stats.tier_promotions += 1;
+                    }
+                }
+            }
             let start = usize::from(p.is_some());
             for k in start..self.analyze_tmp.len() {
                 let q = self.analyze_tmp[k];
@@ -618,10 +867,26 @@ impl Solver {
                 .expect("non-decision literal on conflict path must have a reason");
         }
 
-        // Basic learned-clause minimization: a literal is redundant if its
-        // reason's antecedents are all already in the clause (or fixed at
-        // level 0).
-        let minimized: Vec<Lit> = {
+        // Learned-clause minimization: drop literals whose reason chains
+        // bottom out in the clause itself (or in level-0 facts). The
+        // deep mode follows chains recursively (MiniSat's `litRedundant`
+        // with the abstract-level early-out); the legacy mode checks one
+        // reason step only.
+        let minimized: Vec<Lit> = if self.ccmin_deep {
+            let abstract_levels: u64 = learnt[1..]
+                .iter()
+                .fold(0, |a, l| a | 1u64 << (self.level[l.var().index()] & 63));
+            let mut out = Vec::with_capacity(learnt.len());
+            out.push(learnt[0]);
+            for &l in &learnt[1..] {
+                let redundant = self.reason[l.var().index()].is_some()
+                    && self.lit_redundant(l, abstract_levels);
+                if !redundant {
+                    out.push(l);
+                }
+            }
+            out
+        } else {
             let mut out = Vec::with_capacity(learnt.len());
             out.push(learnt[0]);
             for &l in &learnt[1..] {
@@ -661,23 +926,112 @@ impl Solver {
         (learnt, bt)
     }
 
-    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels.len() as u32
+    /// Is `p` (a literal of the fresh learnt clause, with a reason)
+    /// redundant — i.e. does every path of its implication ancestry end
+    /// in another clause literal or a level-0 fact? DFS over reasons;
+    /// `abstract_levels` is a bitmask of the clause's decision levels,
+    /// used to fail fast on ancestors from levels the clause cannot
+    /// absorb. Newly proven-redundant variables stay marked in `seen`
+    /// (and queued on `to_clear`) so later literals reuse the proof.
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u64) -> bool {
+        debug_assert!(self.ccmin_stack.is_empty());
+        self.ccmin_stack.push(p);
+        let top = self.to_clear.len();
+        while let Some(q) = self.ccmin_stack.pop() {
+            let cr = self.reason[q.var().index()]
+                .expect("only literals with reasons are stacked");
+            let n = self.db.get(cr).lits.len();
+            // lits[0] is the implied literal (`q` itself); its
+            // antecedents are the rest.
+            for i in 1..n {
+                let a = self.db.get(cr).lits[i];
+                let v = a.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()].is_some()
+                    && (1u64 << (self.level[v.index()] & 63)) & abstract_levels != 0
+                {
+                    self.seen[v.index()] = true;
+                    self.to_clear.push(v);
+                    self.ccmin_stack.push(a);
+                } else {
+                    // A decision (or foreign-level) ancestor: p is not
+                    // redundant. Roll back the speculative marks.
+                    for u in self.to_clear.drain(top..) {
+                        self.seen[u.index()] = false;
+                    }
+                    self.ccmin_stack.clear();
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Literal-block distance: the number of *distinct live decision
+    /// levels* among the clause's literals. Unassigned literals and
+    /// root-assigned (level-0) literals carry no live level and are not
+    /// counted — a dead level is not glue. Clamped to ≥ 1.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_stamp += 1;
+        let stamp = self.lbd_stamp;
+        let mut distinct = 0u32;
+        for l in lits {
+            let v = l.var().index();
+            if !self.assigns[v].is_assigned() {
+                continue;
+            }
+            let lvl = self.level[v] as usize;
+            if lvl == 0 {
+                continue;
+            }
+            if self.lbd_marks[lvl] != stamp {
+                self.lbd_marks[lvl] = stamp;
+                distinct += 1;
+            }
+        }
+        distinct.max(1)
+    }
+
+    /// The retention tier a learnt clause of the given LBD starts in.
+    fn tier_for(lbd: u32) -> Tier {
+        if lbd <= CORE_LBD {
+            Tier::Core
+        } else if lbd <= MID_LBD {
+            Tier::Mid
+        } else {
+            Tier::Local
+        }
+    }
+
+    /// Feed one learnt-clause LBD into the Glucose restart trend.
+    fn note_lbd(&mut self, lbd: u32) {
+        let l = f64::from(lbd);
+        self.lbd_fast += (l - self.lbd_fast) / GLUCOSE_EMA_WINDOW;
+        self.lbd_sum += l;
+        self.lbd_samples += 1;
+    }
+
+    /// `true` when the adaptive policy wants a restart: the recent-LBD
+    /// EMA runs `GLUCOSE_K` above the global average (current conflicts
+    /// are producing worse clauses than this run typically does).
+    fn glucose_restart_due(&self) -> bool {
+        self.lbd_samples > 0 && self.lbd_fast * self.lbd_samples as f64 > GLUCOSE_K * self.lbd_sum
     }
 
     fn record_learnt(&mut self, learnt: Vec<Lit>) {
         self.stats.learned_clauses += 1;
         if learnt.len() == 1 {
+            self.note_lbd(1);
             self.export_learnt(&learnt, 1);
             self.enqueue(learnt[0], None);
         } else {
             let lbd = self.compute_lbd(&learnt);
+            self.note_lbd(lbd);
             self.export_learnt(&learnt, lbd);
             let asserting = learnt[0];
-            let cref = self.db.alloc(learnt, true, lbd);
+            let cref = self.db.alloc(learnt, true, lbd, Self::tier_for(lbd));
             self.attach(cref);
             self.bump_clause(cref);
             self.enqueue(asserting, Some(cref));
@@ -767,7 +1121,11 @@ impl Solver {
                 }
             }
             _ => {
-                let cref = self.db.alloc(simplified, true, lbd.max(1));
+                // Level-0 simplification may have shortened the clause
+                // below the exporter's LBD; a clause of n literals can
+                // span at most n levels, so clamp before storing.
+                let lbd = lbd.min(simplified.len() as u32).max(1);
+                let cref = self.db.alloc(simplified, true, lbd, Self::tier_for(lbd));
                 self.attach(cref);
             }
         }
@@ -779,11 +1137,11 @@ impl Solver {
         self.reason[v.index()] == Some(cref) && self.assigns[v.index()].is_assigned()
     }
 
-    /// Delete roughly half of the learned clauses, preferring to keep
-    /// low-LBD ("glue") and high-activity clauses. Deletion is lazy: stale
-    /// watchers are dropped during propagation and fully collected at the
-    /// next restart.
-    fn reduce_db(&mut self) {
+    /// Legacy flat reduction: delete roughly half of the learned
+    /// clauses, preferring to keep low-LBD ("glue") and high-activity
+    /// clauses. Deletion is lazy: stale watchers are dropped during
+    /// propagation and fully collected at the next restart.
+    fn reduce_db_flat(&mut self) {
         let mut refs: Vec<ClauseRef> = self
             .db
             .learnt_refs()
@@ -799,13 +1157,389 @@ impl Solver {
         });
         let keep = refs.len() / 2;
         for &r in &refs[keep..] {
-            if self.db.get(r).lbd <= 3 {
+            if self.db.get(r).lbd <= CORE_LBD {
                 continue; // always keep glue clauses
             }
             self.db.delete(r);
             self.stats.deleted_clauses += 1;
         }
         self.max_learnt += self.max_learnt / 3;
+    }
+
+    /// Tiered reduction, mid tier: demote the staler half (highest LBD,
+    /// lowest activity) to [`Tier::Local`], where activity-based
+    /// eviction will deal with it. Nothing is deleted here, so glue-ish
+    /// clauses that get used again can still be promoted back.
+    fn reduce_mid(&mut self) {
+        let mut refs: Vec<ClauseRef> = self
+            .db
+            .learnt_refs()
+            .into_iter()
+            .filter(|&r| self.db.get(r).tier == Tier::Mid)
+            .collect();
+        refs.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let keep = refs.len() / 2;
+        for &r in &refs[keep..] {
+            self.db.retier(r, Tier::Local);
+            self.stats.tier_demotions += 1;
+        }
+        self.mid_budget += self.mid_budget / 3;
+    }
+
+    /// Tiered reduction, local tier: delete the colder half by activity
+    /// (ties broken toward higher LBD). Locked and binary clauses are
+    /// exempt, as in the flat policy.
+    fn reduce_local(&mut self) {
+        let mut refs: Vec<ClauseRef> = self
+            .db
+            .learnt_refs()
+            .into_iter()
+            .filter(|&r| {
+                self.db.get(r).tier == Tier::Local
+                    && !self.locked(r)
+                    && self.db.get(r).lits.len() > 2
+            })
+            .collect();
+        refs.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            cb.activity
+                .partial_cmp(&ca.activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ca.lbd.cmp(&cb.lbd))
+        });
+        let keep = refs.len() / 2;
+        for &r in &refs[keep..] {
+            self.db.delete(r);
+            self.stats.deleted_clauses += 1;
+        }
+        self.local_budget += self.local_budget / 3;
+    }
+
+    /// `true` when enough conflicts have accumulated since the last
+    /// inprocessing pass. Pure function of solver state, so lockstep
+    /// portfolio workers inprocess at identical points.
+    fn inprocess_due(&self) -> bool {
+        let due = self.inprocess_interval.saturating_mul(self.inprocess_stretch);
+        self.inprocess_on && self.stats.conflicts.saturating_sub(self.inprocess_base) >= due
+    }
+
+    /// Inprocessing: simplify the learnt DB at a restart boundary.
+    /// Three sub-passes — root-level simplification, backward
+    /// subsumption + self-subsuming resolution, and vivification — each
+    /// bounded by work caps and the installed [`Budget`], so a deadline
+    /// is never blown here. Only learnt (redundant) clauses are ever
+    /// deleted or shortened, which keeps every pass sound under
+    /// incremental use. Returns `false` if simplification derived a
+    /// top-level contradiction.
+    fn inprocess(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.inprocess_base = self.stats.conflicts;
+        self.inprocess_stretch = (self.inprocess_stretch * 2).min(INPROCESS_STRETCH_CAP);
+        self.stats.inprocessings += 1;
+        if !self.simplify_learnt() {
+            return false;
+        }
+        if self.budget_exhausted().is_some() {
+            return self.ok;
+        }
+        if !self.subsume_pass() {
+            return false;
+        }
+        if self.budget_exhausted().is_some() {
+            return self.ok;
+        }
+        self.vivify_pass()
+    }
+
+    /// Delete a learnt clause, detaching it from any level-0 reason
+    /// slot first (a root-established literal never needs its reason
+    /// again, so forgetting it is safe).
+    fn delete_learnt(&mut self, r: ClauseRef) {
+        let v = self.db.get(r).lits[0].var();
+        if self.reason[v.index()] == Some(r) {
+            self.reason[v.index()] = None;
+        }
+        self.db.delete(r);
+    }
+
+    /// Replace a learnt clause by a strictly smaller set of literals,
+    /// preserving its activity. Handles the unit and empty cases at
+    /// decision level 0.
+    fn replace_learnt(&mut self, r: ClauseRef, kept: Vec<Lit>) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let (old_lbd, activity) = {
+            let c = self.db.get(r);
+            (c.lbd, c.activity)
+        };
+        self.delete_learnt(r);
+        match kept.len() {
+            0 => self.ok = false,
+            1 => match self.lit_value(kept[0]) {
+                LBool::True => {}
+                LBool::False => self.ok = false,
+                LBool::Undef => {
+                    self.enqueue(kept[0], None);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                    }
+                }
+            },
+            _ => {
+                let lbd = old_lbd.min(kept.len() as u32).max(1);
+                let cref = self.db.alloc(kept, true, lbd, Self::tier_for(lbd));
+                self.attach(cref);
+                self.db.get_mut(cref).activity = activity;
+            }
+        }
+    }
+
+    /// Root-level simplification of the learnt DB: drop clauses already
+    /// satisfied at level 0, and strip literals already false at level 0.
+    fn simplify_learnt(&mut self) -> bool {
+        for r in self.db.learnt_refs() {
+            if !self.ok {
+                return false;
+            }
+            let n = self.db.get(r).lits.len();
+            let mut satisfied = false;
+            let mut falsified = false;
+            for i in 0..n {
+                let l = self.db.get(r).lits[i];
+                match self.lit_value(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => falsified = true,
+                    LBool::Undef => {}
+                }
+            }
+            if satisfied {
+                self.delete_learnt(r);
+                self.stats.subsumed_clauses += 1;
+            } else if falsified {
+                let kept: Vec<Lit> = {
+                    let lits = &self.db.get(r).lits;
+                    let assigns = &self.assigns;
+                    lits.iter()
+                        .copied()
+                        .filter(|&l| assigns[l.var().index()].of_lit(l) != LBool::False)
+                        .collect()
+                };
+                self.replace_learnt(r, kept);
+                self.stats.strengthened_clauses += 1;
+            }
+        }
+        self.ok
+    }
+
+    /// Backward subsumption and self-subsuming resolution over the
+    /// learnt DB. Any live clause (problem or learnt) may act as a
+    /// subsumer, but only learnt clauses are deleted or strengthened —
+    /// removing or shortening a redundant clause is always sound.
+    fn subsume_pass(&mut self) -> bool {
+        // Occurrence lists and var-bitmask signatures over the live DB.
+        let refs = self.db.live_refs();
+        let arena = refs.iter().map(|r| r.0 as usize).max().map_or(0, |m| m + 1);
+        let mut occ: Vec<Vec<ClauseRef>> = vec![Vec::new(); self.watches.len()];
+        let mut sig: Vec<u64> = vec![0; arena];
+        for &r in &refs {
+            let mut s = 0u64;
+            for &l in &self.db.get(r).lits {
+                occ[l.code()].push(r);
+                s |= 1u64 << (l.var().index() % 64);
+            }
+            sig[r.0 as usize] = s;
+        }
+        // Stamp marks over literal codes identify the current subsumer's
+        // literals in O(1).
+        let mut marks: Vec<u32> = vec![0; self.watches.len()];
+        let mut stamp: u32 = 0;
+        let mut checks: usize = 0;
+        for &c in &refs {
+            if !self.ok {
+                return false;
+            }
+            if checks > SUBSUME_CHECK_CAP || self.budget_exhausted().is_some() {
+                break;
+            }
+            let clen = self.db.get(c).lits.len();
+            if self.db.get(c).deleted || clen > SUBSUME_MAX_LEN {
+                continue;
+            }
+            stamp += 1;
+            for &l in &self.db.get(c).lits {
+                marks[l.code()] = stamp;
+            }
+            let csig = sig[c.0 as usize];
+            // Backward subsumption: scan the occurrence list of the
+            // rarest literal of `c` for clauses that contain all of `c`.
+            let scan = self
+                .db
+                .get(c)
+                .lits
+                .iter()
+                .copied()
+                .min_by_key(|l| occ[l.code()].len());
+            if let Some(l_min) = scan {
+                for &d in &occ[l_min.code()] {
+                    if checks > SUBSUME_CHECK_CAP {
+                        break;
+                    }
+                    if d == c {
+                        continue;
+                    }
+                    // Every candidate visit counts against the cap — the
+                    // occurrence-list walk itself is the dominant cost on
+                    // dense instances, so an uncounted walk would let one
+                    // pass burn unbounded time before the cap fires.
+                    checks += 1;
+                    let dc = self.db.get(d);
+                    if dc.deleted || !dc.learnt || dc.lits.len() < clen {
+                        continue;
+                    }
+                    if csig & !sig[d.0 as usize] != 0 {
+                        continue; // some var of c does not occur in d
+                    }
+                    let covered = dc.lits.iter().filter(|l| marks[l.code()] == stamp).count();
+                    if covered == clen && !self.locked(d) {
+                        self.delete_learnt(d);
+                        self.stats.subsumed_clauses += 1;
+                    }
+                }
+            }
+            if self.db.get(c).deleted {
+                continue; // c itself went away (possible via aliasing)
+            }
+            // Self-subsuming resolution: if c \ {l} ⊆ d and ¬l ∈ d, the
+            // resolvent of c and d on l subsumes d, so ¬l can be struck
+            // from d.
+            for li in 0..clen {
+                let l = self.db.get(c).lits[li];
+                for &d in &occ[(!l).code()] {
+                    if checks > SUBSUME_CHECK_CAP {
+                        break;
+                    }
+                    checks += 1;
+                    let dc = self.db.get(d);
+                    if dc.deleted || !dc.learnt || dc.lits.len() < clen {
+                        continue;
+                    }
+                    if csig & !sig[d.0 as usize] != 0 {
+                        continue;
+                    }
+                    // d holds ¬l (never marked); all other lits of c must
+                    // appear in d.
+                    let covered = dc.lits.iter().filter(|q| marks[q.code()] == stamp).count();
+                    if covered == clen - 1 && !self.locked(d) {
+                        let kept: Vec<Lit> = dc
+                            .lits
+                            .iter()
+                            .copied()
+                            .filter(|&q| q != !l)
+                            .collect();
+                        debug_assert_eq!(kept.len(), dc.lits.len() - 1);
+                        self.replace_learnt(d, kept);
+                        self.stats.strengthened_clauses += 1;
+                        if !self.ok {
+                            return false;
+                        }
+                    }
+                }
+                if checks > SUBSUME_CHECK_CAP {
+                    break;
+                }
+            }
+        }
+        self.ok
+    }
+
+    /// Vivification: for each valuable learnt clause, assume the
+    /// negation of a prefix of its literals and propagate. A conflict or
+    /// an implied literal proves a shorter clause is entailed; a
+    /// falsified literal is redundant and dropped. Bounded by a
+    /// propagation cap and the installed budget.
+    fn vivify_pass(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let start_props = self.stats.propagations;
+        for r in self.db.learnt_refs() {
+            if !self.ok {
+                return false;
+            }
+            if self.stats.propagations - start_props > VIVIFY_PROP_CAP
+                || self.budget_exhausted().is_some()
+            {
+                break;
+            }
+            {
+                let c = self.db.get(r);
+                if c.deleted
+                    || c.tier == Tier::Local
+                    || c.lits.len() < 3
+                    || c.lits.len() > VIVIFY_MAX_LEN
+                {
+                    continue;
+                }
+            }
+            if self.locked(r) {
+                continue;
+            }
+            let lits = self.db.get(r).lits.clone();
+            let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+            let probe_base = self.trail.len();
+            self.new_decision_level();
+            for &l in &lits {
+                match self.lit_value(l) {
+                    LBool::True => {
+                        // ¬(kept prefix) implies l: the clause shortens
+                        // to the prefix plus l.
+                        kept.push(l);
+                        break;
+                    }
+                    LBool::False => {
+                        // ¬(kept prefix) implies ¬l: l is redundant.
+                        continue;
+                    }
+                    LBool::Undef => {
+                        self.enqueue(!l, None);
+                        kept.push(l);
+                        if self.propagate().is_some() {
+                            // ¬(prefix ∪ {l}) is contradictory: the
+                            // clause shortens to kept.
+                            break;
+                        }
+                    }
+                }
+            }
+            // Backtracking saves the phase of every trail literal, and
+            // these probe assignments are noise, not search history:
+            // letting them through would scramble phase saving on every
+            // pass and wreck the search trajectory it protects. Restore
+            // the saved phases the probe would overwrite.
+            let saved: Vec<(usize, bool)> = self.trail[probe_base..]
+                .iter()
+                .map(|l| {
+                    let i = l.var().index();
+                    (i, self.polarity[i])
+                })
+                .collect();
+            self.cancel_until(0);
+            for (i, p) in saved {
+                self.polarity[i] = p;
+            }
+            if kept.len() < lits.len() {
+                self.stats.vivified_clauses += 1;
+                self.replace_learnt(r, kept);
+            }
+        }
+        self.ok
     }
 
     /// Drop stale watchers and let the clause DB recycle tombstoned slots.
@@ -941,7 +1675,11 @@ impl Solver {
                 self.cancel_until(0);
                 return SolveResult::Unknown;
             }
-            let budget = restarts.next_budget();
+            let budget = match self.restart_policy {
+                RestartPolicy::Luby => restarts.next_budget(),
+                // Glucose decides inside `search`, via the LBD trend.
+                RestartPolicy::Glucose => u64::MAX,
+            };
             match self.search(budget, assumptions) {
                 SearchOutcome::Sat(m) => {
                     self.cancel_until(0);
@@ -953,8 +1691,17 @@ impl Solver {
                 }
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
+                    if self.decay_ramp {
+                        self.var_decay = (self.var_decay + VAR_DECAY_RAMP).min(VAR_DECAY_CAP);
+                    }
                     self.cancel_until(0);
                     self.collect_garbage();
+                    if self.inprocess_due() {
+                        if !self.inprocess() {
+                            return SolveResult::Unsat(Vec::new());
+                        }
+                        self.collect_garbage();
+                    }
                     if !self.import_shared() {
                         return SolveResult::Unsat(Vec::new());
                     }
@@ -973,6 +1720,21 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                // Trail-depth trend for Glucose restart blocking: an
+                // unusually deep trail at conflict time suppresses the
+                // pending restart (the solver may be closing on a model).
+                let depth = self.trail.len() as f64;
+                self.trail_ema += (depth - self.trail_ema) / GLUCOSE_TRAIL_WINDOW;
+                // Blocking only after the trail average has warmed up:
+                // an unwarmed average reads every trail as "deep" and
+                // would suppress all early restarts.
+                if self.restart_policy == RestartPolicy::Glucose
+                    && self.stats.conflicts >= GLUCOSE_TRAIL_WINDOW as u64
+                    && self.glucose_restart_due()
+                    && depth > GLUCOSE_BLOCK_R * self.trail_ema
+                {
+                    self.lbd_fast = 0.0; // block: refill the window instead
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SearchOutcome::Unsat(Vec::new());
@@ -990,7 +1752,17 @@ impl Solver {
                     return SearchOutcome::Budget;
                 }
             } else {
-                if conflicts_here >= budget {
+                let restart_due = match self.restart_policy {
+                    RestartPolicy::Luby => conflicts_here >= budget,
+                    RestartPolicy::Glucose => {
+                        conflicts_here >= self.restart_base && self.glucose_restart_due()
+                    }
+                };
+                if restart_due {
+                    // Refill the recent-LBD window from scratch next run,
+                    // as Glucose empties its queue on restart. (No-op
+                    // bookkeeping under Luby.)
+                    self.lbd_fast = 0.0;
                     return SearchOutcome::Restart;
                 }
                 // Conflict-free stretches still consume wall clock and
@@ -999,8 +1771,20 @@ impl Solver {
                 if self.stats.decisions & 0xFF == 0 && self.budget_exhausted().is_some() {
                     return SearchOutcome::Budget;
                 }
-                if self.db.num_learnt > self.max_learnt {
-                    self.reduce_db();
+                match self.reduce_strategy {
+                    ReduceStrategy::Flat => {
+                        if self.db.num_learnt > self.max_learnt {
+                            self.reduce_db_flat();
+                        }
+                    }
+                    ReduceStrategy::Tiered => {
+                        if self.db.num_mid > self.mid_budget {
+                            self.reduce_mid();
+                        }
+                        if self.db.num_local > self.local_budget {
+                            self.reduce_local();
+                        }
+                    }
                 }
                 // Place assumptions as the first decisions.
                 let mut next = None;
@@ -1332,6 +2116,150 @@ mod tests {
             }
             other => panic!("planted instance must be SAT: {other:?}"),
         }
+    }
+
+    /// Hand-build a trail and pin `compute_lbd` on it: level-0
+    /// (root-assigned) and unassigned literals must not count toward
+    /// LBD, and the result is clamped to ≥ 1.
+    #[test]
+    fn lbd_ignores_root_and_unassigned_literals() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = s.new_vars(6);
+        // v0 true at level 0 (root).
+        s.enqueue(Lit::pos(v[0]), None);
+        // v1, v2 at level 1; v3 at level 2.
+        s.new_decision_level();
+        s.enqueue(Lit::pos(v[1]), None);
+        s.enqueue(Lit::neg(v[2]), None);
+        s.new_decision_level();
+        s.enqueue(Lit::pos(v[3]), None);
+        // v4, v5 left unassigned.
+        let lits = [
+            Lit::neg(v[0]), // level 0: dead, must not count
+            Lit::neg(v[1]), // level 1
+            Lit::pos(v[2]), // level 1 (same block as v1)
+            Lit::neg(v[3]), // level 2
+            Lit::pos(v[4]), // unassigned: must not count
+        ];
+        assert_eq!(s.compute_lbd(&lits), 2, "levels {{1, 2}}");
+        // Only dead/unassigned literals: clamps to 1.
+        assert_eq!(s.compute_lbd(&[Lit::neg(v[0]), Lit::pos(v[5])]), 1);
+        // Repeated calls use fresh stamps.
+        assert_eq!(s.compute_lbd(&lits), 2);
+        s.cancel_until(0);
+    }
+
+    #[test]
+    fn tiered_reduction_under_pressure_proves_unsat() {
+        // Same instance and pressure as the flat-mode test: the tiered
+        // policy must demote and evict yet still prove UNSAT.
+        let mut s = Solver::new();
+        s.set_reduce_strategy(ReduceStrategy::Tiered);
+        s.set_max_learnt(25);
+        let p: Vec<Vec<Var>> = (0..7).map(|_| s.new_vars(6)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..6 {
+            for i1 in 0..7 {
+                for i2 in (i1 + 1)..7 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        let (core, mid, local) = s.tier_sizes();
+        assert_eq!(core + mid + local, s.db.num_learnt, "tier counts cover the learnt DB");
+        assert!(
+            s.stats.tier_demotions > 0 || s.stats.deleted_clauses > 0,
+            "tiered reduction engaged: {:?}",
+            s.stats
+        );
+    }
+
+    #[test]
+    fn set_max_learnt_maps_tier_budgets_deterministically() {
+        let mut s = Solver::new();
+        s.set_max_learnt(25);
+        assert_eq!(s.mid_budget, 12);
+        assert_eq!(s.local_budget, 13);
+        s.set_max_learnt(4000);
+        assert_eq!(s.mid_budget, 2000);
+        assert_eq!(s.local_budget, 2000);
+    }
+
+    /// Force an inprocessing pass on a solver with a learnt DB and check
+    /// it only ever shrinks clauses while preserving the verdict.
+    #[test]
+    fn inprocessing_preserves_verdict_and_shrinks_db() {
+        let build = |inprocess: bool| {
+            let mut s = Solver::new();
+            s.set_inprocessing(inprocess);
+            let p: Vec<Vec<Var>> = (0..8).map(|_| s.new_vars(7)).collect();
+            for row in &p {
+                s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+            }
+            for j in 0..7 {
+                for i1 in 0..8 {
+                    for i2 in (i1 + 1)..8 {
+                        s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                    }
+                }
+            }
+            s
+        };
+        let mut with = build(true);
+        let mut without = build(false);
+        assert!(with.solve().is_unsat());
+        assert!(without.solve().is_unsat());
+        if with.stats.inprocessings > 0 {
+            assert!(
+                with.stats.subsumed_clauses
+                    + with.stats.strengthened_clauses
+                    + with.stats.vivified_clauses
+                    > 0,
+                "an inprocessing pass on PHP(8,7) finds work: {:?}",
+                with.stats
+            );
+        }
+    }
+
+    /// Subsumption + strengthening directly: seed a learnt DB by hand
+    /// and run one inprocessing pass at level 0.
+    #[test]
+    fn subsumption_removes_and_strengthens_learnt_clauses() {
+        let mut s = Solver::new();
+        let v = s.new_vars(5);
+        let l = |i: usize| Lit::pos(v[i]);
+        // Problem clause keeps the vars alive.
+        s.add_clause([l(0), l(1), l(2), l(3), l(4)]);
+        // A learnt clause strictly subsumed by a problem clause...
+        let sub = s.db.alloc(vec![l(0), l(1)], false, 0, Tier::Core);
+        s.attach(sub);
+        let dup = s
+            .db
+            .alloc(vec![l(0), l(1), l(2)], true, 2, Tier::Core);
+        s.attach(dup);
+        // ...and one strengthenable by self-subsuming resolution with
+        // {l0, l1}: {¬l1, l3, l0} → {l3, l0}.
+        let strengthen = s
+            .db
+            .alloc(vec![!l(1), l(3), l(0)], true, 3, Tier::Core);
+        s.attach(strengthen);
+        assert!(s.subsume_pass());
+        assert!(s.db.get(dup).deleted, "{:?}", s.stats);
+        assert_eq!(s.stats.subsumed_clauses, 1);
+        assert_eq!(s.stats.strengthened_clauses, 1);
+        // The strengthened replacement is a live learnt binary clause.
+        let live = s.db.learnt_refs();
+        assert_eq!(live.len(), 1);
+        let mut lits = s.db.get(live[0]).lits.clone();
+        lits.sort_unstable();
+        let mut want = vec![l(0), l(3)];
+        want.sort_unstable();
+        assert_eq!(lits, want);
+        // The solver still answers correctly afterwards.
+        assert!(s.solve().is_sat());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`corpus`] — the committed graded corpus (tiers `smoke` / `paper` /
 //!   `large` / `hard`) with expected verdicts validated against the
 //!   solver by `tests/scenario_corpus.rs` and the harness S1 lane.
+//! * [`minedit`] — a committed minimal-edit scenario with a known
+//!   optimal distance, the harness K1 lane's `solve_target` benchmark
+//!   (core-guided vs. linear-search strategy).
 //! * [`stream`] — typed [`ConfigDelta`] edits with `apply` semantics
 //!   and seeded [`EditStream`] generation (growth / policy-churn /
 //!   goal-churn / mixed profiles) for the streaming-reconfiguration
@@ -32,6 +35,7 @@
 pub mod corpus;
 mod generate;
 pub mod hard;
+pub mod minedit;
 pub mod paper;
 pub mod stream;
 

@@ -36,9 +36,9 @@ use std::collections::HashMap;
 
 use muppet_logic::fingerprint::Fingerprinter;
 use muppet_logic::{Formula, Instance, PartialInstance, RelId, Universe, Vocabulary};
-use muppet_obs::Counter;
+use muppet_obs::{Counter, Gauge};
 use muppet_portfolio::{solve_portfolio, PortfolioConfig, PortfolioSummary};
-use muppet_sat::{mus, Budget, Lit, Model, SolveResult, Solver, Var};
+use muppet_sat::{mus, Budget, Lit, Model, ReduceStrategy, SolveResult, Solver, SolverStats, Var};
 
 use crate::ground::{ground, GExpr, GroundError};
 use crate::query::{FormulaGroup, Outcome, PartialResult, Phase, QueryError, QueryStats};
@@ -81,6 +81,29 @@ impl std::error::Error for PrepareError {}
 /// `O(free vars)` extra solves per answer.
 pub const DEFAULT_CANONICAL_CAP: usize = 768;
 
+/// Fingerprint tag separating OLL relaxation-sum totalizers from the
+/// difference-indicator totalizers in the shared cache: the two kinds
+/// can range over overlapping literal sets but encode different
+/// constraints.
+const OLL_SUM_TAG: u64 = 0x4f4c_4c5f_5355_4d31; // "OLL_SUM1"
+
+/// How [`IncrementalQuery::solve_target`] proves the minimal edit
+/// distance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TargetStrategy {
+    /// Core-guided (OLL-style) ascent: every UNSAT core raises the
+    /// proven lower bound by one and is relaxed through a cached
+    /// totalizer, so hard instances climb in conflict-driven steps
+    /// instead of one solve per candidate distance.
+    #[default]
+    CoreGuided,
+    /// Linear search upward from distance 0 over the cached difference
+    /// totalizer — the pre-OLL baseline, kept as a differential oracle
+    /// and as the semantics both strategies degrade to under budget
+    /// exhaustion (best-so-far partial model).
+    Linear,
+}
+
 /// The warm incremental engine: solver + varmap built once, formula
 /// groups encoded on first use and activated by selector assumptions
 /// ever after. See the module docs for the reuse and canonicalization
@@ -111,6 +134,14 @@ pub struct IncrementalQuery {
     minimize_cores: bool,
     canonical_cap: usize,
     portfolio: Option<PortfolioConfig>,
+    target_strategy: TargetStrategy,
+    /// Lifetime count of OLL cores consumed by core-guided target
+    /// solves on this engine; [`QueryStats::oll_cores`] reports the
+    /// per-solve delta.
+    oll_rounds: u64,
+    /// Kernel counter values already pushed to the metrics registry;
+    /// [`Self::publish_kernel_metrics`] publishes the delta since.
+    kernel_published: SolverStats,
     encoded_groups: u64,
     reused_groups: u64,
     ground_cache_hits: u64,
@@ -119,6 +150,14 @@ pub struct IncrementalQuery {
     ctr_reused: Counter,
     ctr_cache_hits: Counter,
     ctr_cache_misses: Counter,
+    ctr_inprocessings: Counter,
+    ctr_subsumed: Counter,
+    ctr_strengthened: Counter,
+    ctr_vivified: Counter,
+    ctr_oll_cores: Counter,
+    gauge_tier_core: Gauge,
+    gauge_tier_mid: Gauge,
+    gauge_tier_local: Gauge,
 }
 
 impl IncrementalQuery {
@@ -156,6 +195,9 @@ impl IncrementalQuery {
             minimize_cores: true,
             canonical_cap: DEFAULT_CANONICAL_CAP,
             portfolio: None,
+            target_strategy: TargetStrategy::default(),
+            oll_rounds: 0,
+            kernel_published: SolverStats::default(),
             encoded_groups: 0,
             reused_groups: 0,
             ground_cache_hits: 0,
@@ -164,7 +206,54 @@ impl IncrementalQuery {
             ctr_reused: metrics.counter("engine.groups.reused"),
             ctr_cache_hits: metrics.counter("engine.ground_cache.hits"),
             ctr_cache_misses: metrics.counter("engine.ground_cache.misses"),
+            ctr_inprocessings: metrics.counter("kernel.inprocessings"),
+            ctr_subsumed: metrics.counter("kernel.subsumed_clauses"),
+            ctr_strengthened: metrics.counter("kernel.strengthened_clauses"),
+            ctr_vivified: metrics.counter("kernel.vivified_clauses"),
+            ctr_oll_cores: metrics.counter("kernel.oll_cores"),
+            gauge_tier_core: metrics.gauge("kernel.tier.core"),
+            gauge_tier_mid: metrics.gauge("kernel.tier.mid"),
+            gauge_tier_local: metrics.gauge("kernel.tier.local"),
         }
+    }
+
+    /// How target-oriented solves prove the minimal distance (default:
+    /// core-guided). The two strategies return byte-identical outcomes
+    /// and distances; only the search trajectory (and therefore cost)
+    /// differs.
+    pub fn set_target_strategy(&mut self, strategy: TargetStrategy) -> &mut Self {
+        self.target_strategy = strategy;
+        self
+    }
+
+    /// The current target-oriented search strategy.
+    pub fn target_strategy(&self) -> TargetStrategy {
+        self.target_strategy
+    }
+
+    /// Toggle the kernel's restart-boundary inprocessing (subsumption,
+    /// self-subsuming resolution, vivification). Passthrough to
+    /// [`muppet_sat::Solver::set_inprocessing`]; on by default.
+    pub fn set_inprocessing(&mut self, on: bool) -> &mut Self {
+        self.solver.set_inprocessing(on);
+        self
+    }
+
+    /// Conflicts between kernel inprocessing passes (clamped to ≥ 1).
+    /// Passthrough to [`muppet_sat::Solver::set_inprocess_interval`];
+    /// meant for differential tests that need the pass to fire on small
+    /// instances.
+    pub fn set_inprocess_interval(&mut self, conflicts: u64) -> &mut Self {
+        self.solver.set_inprocess_interval(conflicts);
+        self
+    }
+
+    /// Select the kernel's learnt-clause retention policy. Passthrough
+    /// to [`muppet_sat::Solver::set_reduce_strategy`]; the tiered DB is
+    /// the default, the flat cap is the pre-change baseline.
+    pub fn set_reduce_strategy(&mut self, strategy: ReduceStrategy) -> &mut Self {
+        self.solver.set_reduce_strategy(strategy);
+        self
     }
 
     /// Whether UNSAT cores are shrunk to minimal ones (default: yes).
@@ -328,6 +417,8 @@ impl IncrementalQuery {
             decisions: self.solver.stats.decisions,
             propagations: self.solver.stats.propagations,
             restarts: self.solver.stats.restarts,
+            inprocessings: self.solver.stats.inprocessings,
+            oll_cores: self.oll_rounds,
             portfolio: None,
         }
     }
@@ -339,8 +430,36 @@ impl IncrementalQuery {
             decisions: self.solver.stats.decisions.saturating_sub(base.decisions),
             propagations: self.solver.stats.propagations.saturating_sub(base.propagations),
             restarts: self.solver.stats.restarts.saturating_sub(base.restarts),
+            inprocessings: self
+                .solver
+                .stats
+                .inprocessings
+                .saturating_sub(base.inprocessings),
+            oll_cores: self.oll_rounds.saturating_sub(base.oll_cores),
             portfolio: summary,
         }
+    }
+
+    /// Push the kernel's inprocessing counters to the metrics registry
+    /// as deltas since the last publish, and refresh the tier-size
+    /// gauges. Called at the end of every solve entry point so the
+    /// daemon's `stats` op sees live kernel numbers.
+    fn publish_kernel_metrics(&mut self) {
+        let s = self.solver.stats;
+        let p = self.kernel_published;
+        self.ctr_inprocessings
+            .add(s.inprocessings.saturating_sub(p.inprocessings));
+        self.ctr_subsumed
+            .add(s.subsumed_clauses.saturating_sub(p.subsumed_clauses));
+        self.ctr_strengthened
+            .add(s.strengthened_clauses.saturating_sub(p.strengthened_clauses));
+        self.ctr_vivified
+            .add(s.vivified_clauses.saturating_sub(p.vivified_clauses));
+        self.kernel_published = s;
+        let (core, mid, local) = self.solver.tier_sizes();
+        self.gauge_tier_core.set(core as u64);
+        self.gauge_tier_mid.set(mid as u64);
+        self.gauge_tier_local.set(local as u64);
     }
 
     fn assumptions_for(&self, active: &[GroupId]) -> Vec<Lit> {
@@ -415,6 +534,19 @@ impl IncrementalQuery {
             }
         }
         model
+    }
+
+    /// Ensure the global difference-count totalizer for a
+    /// `solve_target` call is encoded and return its negated outputs
+    /// (`&outputs[k..]` assumes "at most k differences"). Cached by the
+    /// difference-indicator fingerprint, so warm engines re-solving
+    /// against the same target reuse the clauses.
+    fn target_totalizer(&mut self, diff_inputs: &[Lit], tkey: u128) -> Vec<Lit> {
+        if !self.totalizers.contains_key(&tkey) {
+            let tot = Totalizer::build(diff_inputs, &mut self.solver);
+            self.totalizers.insert(tkey, tot);
+        }
+        self.totalizers[&tkey].at_most(0)
     }
 
     /// The shared search → minimize tail: run the CDCL search under the
@@ -527,24 +659,41 @@ impl IncrementalQuery {
         let base = self.stats_base();
         self.solver.set_budget(budget);
         let assumptions = self.assumptions_for(active);
-        self.run_search(&assumptions, &base)
+        let outcome = self.run_search(&assumptions, &base);
+        self.publish_kernel_metrics();
+        outcome
     }
 
     /// Find the satisfying instance *closest to `target`* (fewest tuple
     /// flips over the free relations) with the given groups active.
     /// Returns the outcome and, when SAT, the achieved distance.
     ///
-    /// This reproduces Pardinus's target-oriented model finding: linear
-    /// search upward from distance 0 over a cached totalizer
-    /// cardinality network. The totalizer's clauses are one-sided
-    /// (inputs drive outputs) and activated purely by assumptions, so
-    /// they stay inert for every other solve on this warm engine. Among
-    /// the minimal-distance models the canonical one (see
-    /// [`Self::solve`]) is returned. On budget exhaustion the returned
-    /// [`Outcome::Unknown`]
-    /// carries the best model found so far as a
-    /// [`PartialResult::Model`], so a counter-offer can still be made.
+    /// This reproduces Pardinus's target-oriented model finding over a
+    /// cached totalizer cardinality network. The default
+    /// [`TargetStrategy::CoreGuided`] proves the minimum by OLL-style
+    /// core-guided ascent (each UNSAT core raises the lower bound by
+    /// one and is relaxed through a cached sum totalizer);
+    /// [`TargetStrategy::Linear`] searches upward from distance 0 one
+    /// bound at a time. Both return byte-identical results. The
+    /// totalizers' clauses are one-sided (inputs drive outputs) and
+    /// activated purely by assumptions, so they stay inert for every
+    /// other solve on this warm engine. Among the minimal-distance
+    /// models the canonical one (see [`Self::solve`]) is returned. On
+    /// budget exhaustion the returned [`Outcome::Unknown`] carries the
+    /// best model found so far as a [`PartialResult::Model`], so a
+    /// counter-offer can still be made.
     pub fn solve_target(
+        &mut self,
+        active: &[GroupId],
+        target: &Instance,
+        budget: Budget,
+    ) -> (Outcome, usize) {
+        let result = self.solve_target_inner(active, target, budget);
+        self.publish_kernel_metrics();
+        result
+    }
+
+    fn solve_target_inner(
         &mut self,
         active: &[GroupId],
         target: &Instance,
@@ -640,75 +789,275 @@ impl IncrementalQuery {
 
         // Cardinality network over the difference indicators, cached by
         // their content so repeated solves against the same target (and
-        // bound set) reuse the clauses.
+        // bound set) reuse the clauses. Built lazily: the linear arm
+        // and the bounded finisher need it, but a core-guided ascent
+        // that ends holding a witness (and skips the canonical walk)
+        // never pays for the O(n log n) global network — its cores see
+        // only the small per-core relaxation sums.
         let mut fp = Fingerprinter::new();
         for &l in &diff_inputs {
             fp.add_u64(l.var().index() as u64);
             fp.add_bool(l.is_positive());
         }
         let tkey = fp.digest();
-        if !self.totalizers.contains_key(&tkey) {
-            let tot = Totalizer::build(&diff_inputs, &mut self.solver);
-            self.totalizers.insert(tkey, tot);
-        }
-        // `at_most(k)` assumptions are the negated outputs from index k
-        // on; slicing `at_most(0)` avoids re-borrowing the map inside
-        // the solve loop.
-        let neg_outputs: Vec<Lit> = self.totalizers[&tkey].at_most(0);
-        let at_most = |k: usize| &neg_outputs[k.min(neg_outputs.len())..];
 
-        // Linear search upward from distance 0, bounded above by the
-        // probe's distance: minimal edits are small in practice, so
-        // this touches few bounds.
-        for k in 0..best_dist {
-            let mut assms = assumptions.clone();
-            assms.extend_from_slice(at_most(k));
-            match self.solver.solve_with_assumptions(&assms) {
-                SolveResult::Sat(model) => {
-                    let model = self.canonicalize(model, &assms);
-                    let solution = self.fixed.union(&self.varmap.decode(&model));
-                    drop(search_span);
-                    let stats = self.delta_stats(&base, None);
-                    return (Outcome::Sat { solution, stats }, dist_base + k);
+        // Prove the minimal number of true difference indicators
+        // (`optimum <= best_dist`). Strategy-dependent: both arms either
+        // return early (Sat found in the Linear loop, budget fired) or
+        // fall through to the shared finisher below with a proven
+        // optimum — and, for the core-guided arm, a witness model at
+        // that optimum when one is in hand.
+        let optimum: usize;
+        let mut witness: Option<Model> = None;
+        match self.target_strategy {
+            TargetStrategy::Linear => {
+                // Linear search upward from distance 0, bounded above by
+                // the probe's distance: minimal edits are small in
+                // practice, so this touches few bounds.
+                let neg_outputs = self.target_totalizer(&diff_inputs, tkey);
+                let at_most = |k: usize| &neg_outputs[k.min(neg_outputs.len())..];
+                for k in 0..best_dist {
+                    let mut assms = assumptions.clone();
+                    assms.extend_from_slice(at_most(k));
+                    match self.solver.solve_with_assumptions(&assms) {
+                        SolveResult::Sat(model) => {
+                            let model = self.canonicalize(model, &assms);
+                            let solution = self.fixed.union(&self.varmap.decode(&model));
+                            drop(search_span);
+                            let stats = self.delta_stats(&base, None);
+                            return (Outcome::Sat { solution, stats }, dist_base + k);
+                        }
+                        SolveResult::Unsat(_) => continue,
+                        SolveResult::Unknown => {
+                            // Budget fired mid-search: the probe model is
+                            // still a valid (if non-minimal) counter-offer.
+                            drop(search_span);
+                            let stats = self.delta_stats(&base, None);
+                            let partial = Some(PartialResult::Model {
+                                solution: best_solution,
+                                distance: dist_base + best_dist,
+                            });
+                            return (
+                                Outcome::Unknown {
+                                    phase: Phase::Search,
+                                    stats,
+                                    partial,
+                                },
+                                0,
+                            );
+                        }
+                    }
                 }
-                SolveResult::Unsat(_) => continue,
-                SolveResult::Unknown => {
-                    // Budget fired mid-search: the probe model is still
-                    // a valid (if non-minimal) counter-offer.
-                    drop(search_span);
-                    let stats = self.delta_stats(&base, None);
-                    let partial = Some(PartialResult::Model {
-                        solution: best_solution,
-                        distance: dist_base + best_dist,
-                    });
-                    return (
-                        Outcome::Unknown {
-                            phase: Phase::Search,
-                            stats,
-                            partial,
-                        },
-                        0,
-                    );
+                optimum = best_dist;
+            }
+            TargetStrategy::CoreGuided => {
+                // OLL-style ascent. Every difference indicator `d` gets
+                // the soft assumption `¬d`. Each UNSAT core proves one
+                // more unavoidable flip: the blamed softs are retired
+                // and — when the core blames two or more indicators —
+                // replaced by a totalizer over them whose bound starts
+                // at 1 and is raised one unit each time a later core
+                // blames its current bound output. The loop ends when
+                // the softs-plus-bounds state is satisfiable (cost
+                // exactly `lb`) or `lb` meets the probe's upper bound.
+                let mut softs: Vec<Lit> = diff_inputs.iter().map(|&d| !d).collect();
+                // Live relaxation sums: (totalizer cache key, current
+                // bound, input count). The one-sided tree forces
+                // outputs monotonically, so assuming the single
+                // literal `¬output(bound)` enforces "≤ bound".
+                let mut sums: Vec<(u128, usize, usize)> = Vec::new();
+                let mut lb = 0usize;
+                loop {
+                    if lb >= best_dist {
+                        // The probe model already attains the proven
+                        // lower bound.
+                        optimum = best_dist;
+                        break;
+                    }
+                    let mut assms = assumptions.clone();
+                    assms.extend_from_slice(&softs);
+                    for &(key, bound, _) in &sums {
+                        if let Some(o) = self.totalizers[&key].output(bound) {
+                            assms.push(!o);
+                        }
+                    }
+                    match self.solver.solve_with_assumptions(&assms) {
+                        SolveResult::Sat(model) => {
+                            // Cost of this model is exactly `lb`, which
+                            // the cores prove minimal.
+                            optimum = lb;
+                            witness = Some(model);
+                            break;
+                        }
+                        SolveResult::Unsat(core) => {
+                            self.oll_rounds += 1;
+                            self.ctr_oll_cores.inc();
+                            lb += 1;
+                            // Collect the difference indicators this
+                            // core blames: retired softs contribute the
+                            // indicator itself, relaxation sums their
+                            // violated bound output.
+                            let mut indicators: Vec<Lit> = Vec::new();
+                            softs.retain(|&s| {
+                                if core.contains(&s) {
+                                    indicators.push(!s);
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                            let mut next_sums = Vec::with_capacity(sums.len());
+                            for (key, bound, len) in sums.drain(..) {
+                                let o = self.totalizers[&key]
+                                    .output(bound)
+                                    .expect("sum bound < input count");
+                                if core.contains(&!o) {
+                                    indicators.push(o);
+                                    if bound + 1 < len {
+                                        next_sums.push((key, bound + 1, len));
+                                    }
+                                    // A sum at full bound can never be
+                                    // violated again; drop it.
+                                } else {
+                                    next_sums.push((key, bound, len));
+                                }
+                            }
+                            sums = next_sums;
+                            if indicators.len() >= 2 {
+                                let mut sfp = Fingerprinter::new();
+                                sfp.add_u64(OLL_SUM_TAG);
+                                for &l in &indicators {
+                                    sfp.add_u64(l.var().index() as u64);
+                                    sfp.add_bool(l.is_positive());
+                                }
+                                let skey = sfp.digest();
+                                if !self.totalizers.contains_key(&skey) {
+                                    let tot = Totalizer::build(&indicators, &mut self.solver);
+                                    self.totalizers.insert(skey, tot);
+                                }
+                                sums.push((skey, 1, indicators.len()));
+                            } else if indicators.is_empty() {
+                                // Defensive — unreachable: the probe
+                                // proved the hard groups satisfiable, so
+                                // every core must blame a soft. Degrade
+                                // to linear search from the bound the
+                                // genuine cores proved.
+                                let neg_outputs =
+                                    self.target_totalizer(&diff_inputs, tkey);
+                                let at_most =
+                                    |k: usize| &neg_outputs[k.min(neg_outputs.len())..];
+                                let mut k = lb.saturating_sub(1);
+                                loop {
+                                    if k >= best_dist {
+                                        break;
+                                    }
+                                    let mut assms = assumptions.clone();
+                                    assms.extend_from_slice(at_most(k));
+                                    match self.solver.solve_with_assumptions(&assms) {
+                                        SolveResult::Sat(_) => break,
+                                        SolveResult::Unsat(_) => k += 1,
+                                        SolveResult::Unknown => {
+                                            drop(search_span);
+                                            let stats = self.delta_stats(&base, None);
+                                            let partial = Some(PartialResult::Model {
+                                                solution: best_solution,
+                                                distance: dist_base + best_dist,
+                                            });
+                                            return (
+                                                Outcome::Unknown {
+                                                    phase: Phase::Search,
+                                                    stats,
+                                                    partial,
+                                                },
+                                                0,
+                                            );
+                                        }
+                                    }
+                                }
+                                optimum = k.min(best_dist);
+                                break;
+                            }
+                            // A single blamed indicator needs no sum:
+                            // one Boolean can only be violated once, and
+                            // its unit of cost is now counted in `lb`.
+                        }
+                        SolveResult::Unknown => {
+                            // Budget fired mid-ascent: same best-so-far
+                            // semantics as the linear strategy.
+                            drop(search_span);
+                            let stats = self.delta_stats(&base, None);
+                            let partial = Some(PartialResult::Model {
+                                solution: best_solution,
+                                distance: dist_base + best_dist,
+                            });
+                            return (
+                                Outcome::Unknown {
+                                    phase: Phase::Search,
+                                    stats,
+                                    partial,
+                                },
+                                0,
+                            );
+                        }
+                    }
                 }
             }
         }
-        // No strictly closer model exists: re-solve at the optimal
-        // distance to canonicalize among the distance-minimal models.
+        // Shared finisher: (re-)derive a model at the proven optimal
+        // distance and canonicalize among the distance-minimal models,
+        // so both strategies return the same byte-identical answer. The
+        // core-guided Sat exit already holds such a model and skips the
+        // extra solve. The distance bound is needed to derive a missing
+        // witness and to pin the canonical walk to distance-minimal
+        // models; a witness-holding run with canonicalization skipped
+        // (cap exceeded or disabled) needs no bound — and so never
+        // builds the global totalizer at all.
+        let will_canonicalize = self.canonical_cap >= self.varmap.num_free_vars();
         let mut assms = assumptions.clone();
-        assms.extend_from_slice(at_most(best_dist));
-        let solution = match self.solver.solve_with_assumptions(&assms) {
-            SolveResult::Sat(model) => {
+        if witness.is_none() || will_canonicalize {
+            let neg_outputs = self.target_totalizer(&diff_inputs, tkey);
+            assms.extend_from_slice(&neg_outputs[optimum.min(neg_outputs.len())..]);
+        }
+        let found = match witness {
+            Some(model) => Some(model),
+            None => match self.solver.solve_with_assumptions(&assms) {
+                SolveResult::Sat(model) => Some(model),
+                // For `optimum == best_dist` the probe model witnesses
+                // satisfiability at this distance; keep it if the budget
+                // fires (or the defensive unreachable Unsat arm) here.
+                _ => None,
+            },
+        };
+        let solution = match found {
+            Some(model) => {
                 let model = self.canonicalize(model, &assms);
                 self.fixed.union(&self.varmap.decode(&model))
             }
-            // The probe model witnesses satisfiability at this
-            // distance; keep it if the budget fires (or the defensive
-            // unreachable Unsat arm) during canonicalization.
-            _ => best_solution,
+            None if optimum == best_dist => best_solution,
+            None => {
+                // The optimum is proven below the probe's distance but
+                // the budget fired before a model at it could be
+                // derived: report the probe model as best-so-far rather
+                // than a Sat answer whose distance we cannot witness.
+                drop(search_span);
+                let stats = self.delta_stats(&base, None);
+                let partial = Some(PartialResult::Model {
+                    solution: best_solution,
+                    distance: dist_base + best_dist,
+                });
+                return (
+                    Outcome::Unknown {
+                        phase: Phase::Search,
+                        stats,
+                        partial,
+                    },
+                    0,
+                );
+            }
         };
         drop(search_span);
         let stats = self.delta_stats(&base, None);
-        (Outcome::Sat { solution, stats }, dist_base + best_dist)
+        (Outcome::Sat { solution, stats }, dist_base + optimum)
     }
 
     /// Enumerate up to `limit` distinct solutions (distinct over the
@@ -914,6 +1263,58 @@ mod tests {
         // A plain solve on the same warm engine is unaffected by the
         // (assumption-gated) totalizer clauses.
         assert!(q.solve(&[id], Budget::unlimited()).is_sat());
+    }
+
+    #[test]
+    fn core_guided_and_linear_target_strategies_agree() {
+        let f = fix();
+        // Two forced flips plus a one-of-two choice: the OLL ascent
+        // sees both singleton cores (the forced tuples) and a
+        // multi-indicator core (the disjunction), which exercises the
+        // relaxation-sum path.
+        let goal = FormulaGroup::new(
+            "g",
+            vec![
+                tuple_pred(&f, 0, 1),
+                tuple_pred(&f, 1, 2),
+                Formula::or([tuple_pred(&f, 0, 0), tuple_pred(&f, 2, 2)]),
+            ],
+        );
+        let target = Instance::new();
+        let b = Budget::unlimited();
+        let mut oll = engine(&f);
+        assert_eq!(oll.target_strategy(), TargetStrategy::CoreGuided);
+        let id = oll.ensure_group(&goal, &b).unwrap();
+        let (out_oll, d_oll) = oll.solve_target(&[id], &target, Budget::unlimited());
+        let mut lin = engine(&f);
+        lin.set_target_strategy(TargetStrategy::Linear);
+        let lid = lin.ensure_group(&goal, &b).unwrap();
+        let (out_lin, d_lin) = lin.solve_target(&[lid], &target, Budget::unlimited());
+        assert_eq!(d_oll, 3, "two forced tuples plus one disjunct");
+        assert_eq!(d_lin, 3);
+        assert_eq!(
+            out_oll.solution(),
+            out_lin.solution(),
+            "strategies must return the byte-identical canonical model"
+        );
+        match out_oll {
+            Outcome::Sat { stats, .. } => {
+                assert!(stats.oll_cores >= 1, "core-guided run consumed no cores");
+            }
+            other => panic!("{other:?}"),
+        }
+        match out_lin {
+            Outcome::Sat { stats, .. } => {
+                assert_eq!(stats.oll_cores, 0, "linear run must not count OLL cores");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Warm re-solve under the other strategy on the same engine
+        // still agrees: the relaxation sums are assumption-gated.
+        oll.set_target_strategy(TargetStrategy::Linear);
+        let (out_again, d_again) = oll.solve_target(&[id], &target, Budget::unlimited());
+        assert_eq!(d_again, 3);
+        assert_eq!(out_again.solution(), out_lin.solution());
     }
 
     #[test]

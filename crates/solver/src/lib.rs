@@ -56,9 +56,9 @@ pub mod totalizer;
 pub mod tseitin;
 pub mod varmap;
 
-pub use incremental::{IncrementalQuery, DEFAULT_CANONICAL_CAP};
+pub use incremental::{IncrementalQuery, TargetStrategy, DEFAULT_CANONICAL_CAP};
 pub use muppet_portfolio::{default_threads, PortfolioConfig, PortfolioSummary};
-pub use muppet_sat::{Budget, CancelToken, Exhaustion, RetryPolicy};
+pub use muppet_sat::{Budget, CancelToken, Exhaustion, ReduceStrategy, RetryPolicy};
 pub use prepared::{GroupId, PrepareError, PreparedQuery, PreparedStore};
 pub use query::{FormulaGroup, Outcome, PartialResult, Phase, Query, QueryError, QueryStats};
 pub use ground::{ground, GExpr};

@@ -21,7 +21,7 @@ use muppet_portfolio::{PortfolioConfig, PortfolioSummary};
 use muppet_sat::Budget;
 
 use crate::ground::GroundError;
-use crate::incremental::{GroupId, IncrementalQuery, PrepareError};
+use crate::incremental::{GroupId, IncrementalQuery, PrepareError, TargetStrategy};
 
 /// A named group of formulas. Groups are the unit of *blame*: an UNSAT
 /// answer names the minimal set of groups that conflict. Typical groups
@@ -72,6 +72,12 @@ pub struct QueryStats {
     pub propagations: u64,
     /// SAT restarts during the run.
     pub restarts: u64,
+    /// Kernel inprocessing passes (subsumption/vivification sweeps at
+    /// restart boundaries) during the run.
+    pub inprocessings: u64,
+    /// UNSAT cores consumed by core-guided (OLL) target optimization
+    /// during the run; zero for plain solves and linear-search targets.
+    pub oll_cores: u64,
     /// Portfolio aggregates when the search phase fanned out across
     /// diversified workers (`None` for a sequential solve).
     pub portfolio: Option<PortfolioSummary>,
@@ -84,6 +90,12 @@ impl fmt::Display for QueryStats {
             "free_vars={} conflicts={} decisions={} propagations={} restarts={}",
             self.free_tuple_vars, self.conflicts, self.decisions, self.propagations, self.restarts
         )?;
+        if self.inprocessings > 0 {
+            write!(f, " inprocessings={}", self.inprocessings)?;
+        }
+        if self.oll_cores > 0 {
+            write!(f, " oll_cores={}", self.oll_cores)?;
+        }
         if let Some(p) = &self.portfolio {
             write!(
                 f,
@@ -263,6 +275,7 @@ pub struct Query<'a> {
     symmetry_breaking: bool,
     budget: Budget,
     portfolio: Option<PortfolioConfig>,
+    target_strategy: TargetStrategy,
 }
 
 impl<'a> Query<'a> {
@@ -279,6 +292,7 @@ impl<'a> Query<'a> {
             symmetry_breaking: false,
             budget: Budget::unlimited(),
             portfolio: None,
+            target_strategy: TargetStrategy::default(),
         }
     }
 
@@ -315,6 +329,15 @@ impl<'a> Query<'a> {
     /// mid-search and stay sequential.
     pub fn set_portfolio(&mut self, portfolio: Option<PortfolioConfig>) -> &mut Self {
         self.portfolio = portfolio;
+        self
+    }
+
+    /// How [`Query::solve_target`] proves the minimal edit distance
+    /// (default: core-guided OLL ascent). [`TargetStrategy::Linear`] is
+    /// the pre-OLL baseline; both return byte-identical outcomes and
+    /// distances, so this knob trades search trajectory for speed only.
+    pub fn set_target_strategy(&mut self, strategy: TargetStrategy) -> &mut Self {
+        self.target_strategy = strategy;
         self
     }
 
@@ -370,6 +393,7 @@ impl<'a> Query<'a> {
         );
         engine.set_minimize_cores(self.minimize_cores);
         engine.set_portfolio(self.portfolio);
+        engine.set_target_strategy(self.target_strategy);
         let mut active = Vec::with_capacity(self.groups.len());
         for g in &self.groups {
             match engine.ensure_group(g, &self.budget) {

@@ -42,6 +42,18 @@ impl Totalizer {
     pub fn at_most(&self, k: usize) -> Vec<Lit> {
         self.outputs.iter().skip(k).map(|&o| !o).collect()
     }
+
+    /// The `j`-th unary counter output: a literal true in any model
+    /// where at least `j+1` inputs are true. `None` for `j >= n`.
+    ///
+    /// The one-sided tree forces outputs *monotonically*: when `m`
+    /// inputs are true every output `o_0 ..= o_{m-1}` is implied, so a
+    /// core-guided loop can assume the single literal `¬o_b` to enforce
+    /// "at most `b` inputs true" and read the violated bound directly
+    /// off the core.
+    pub fn output(&self, j: usize) -> Option<Lit> {
+        self.outputs.get(j).copied()
+    }
 }
 
 /// Recursively build the counter tree; returns the unary count outputs of

@@ -80,6 +80,19 @@ test -s BENCH_stream.json || { echo "BENCH_stream.json missing"; exit 1; }
 run cargo test -q --offline --test daemon_overload
 run cargo run --release --offline -q --features fault-inject --bin muppet-harness -- r1
 test -s BENCH_robustness.json || { echo "BENCH_robustness.json missing"; exit 1; }
+# SAT-kernel speed lane (DESIGN.md §17): differential kernel
+# properties (core-guided == linear solve_target at 1 and 4 threads;
+# inprocessing + the tiered clause DB invisible next to the flat
+# baseline kernel), then the K1 harness lane — the hard-tier CNF
+# corpus under the legacy pre-change kernel profile vs the tuned
+# defaults (verdict parity on every entry, <= 0.8x wall on the gated
+# refutation) and the committed minimal-edit scenario (core-guided
+# solve_target >= 2x less solver work than linear, byte-identical
+# canonical models). BENCH_kernel.json existence is checked before the
+# perf numbers are trusted; the lane writes it before its gates fire.
+run cargo test -q --offline -p muppet-solver --test kernel_props
+run cargo run --release --offline -q --bin muppet-harness -- k1
+test -s BENCH_kernel.json || { echo "BENCH_kernel.json missing"; exit 1; }
 # fault-inject is a non-default feature; make sure it keeps compiling.
 run cargo build -q --offline -p muppet-solver --features fault-inject
 if cargo clippy --version >/dev/null 2>&1; then

@@ -39,6 +39,12 @@
 //! misbehaving clients (plus injected solver faults under
 //! `--features fault-inject`) and gates on verdict integrity, shed
 //! accounting and drain latency, emitting `BENCH_robustness.json`.
+//! `K1` is the SAT-kernel speed lane (DESIGN.md §17): the hard-tier
+//! CNF corpus solved under the legacy pre-change kernel profile vs the
+//! tuned defaults (verdict parity on every entry, a 0.8x wall-clock
+//! floor on the gated UNSAT instance), plus the committed minimal-edit
+//! scenario solved core-guided vs linear (byte-identical outcomes, a
+//! 2x speedup floor), emitting `BENCH_kernel.json` before any gate.
 
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -191,6 +197,7 @@ fn main() {
         ("N1", n1),
         ("W1", w1),
         ("R1", r1),
+        ("K1", k1),
     ];
     let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
     for (id, f) in experiments {
@@ -2095,5 +2102,280 @@ fn w1(t: &mut Table) {
         speedup >= 5.0,
         "multi-shot solving must amortize >= 5x over cold re-solves: \
          warm {warm_ms:.0} ms vs cold {cold_ms:.0} ms over {solves} solves"
+    );
+}
+
+/// K1 — the SAT-kernel speed lane (DESIGN.md §17).
+///
+/// **Part A** solves every hard-tier CNF corpus entry sequentially
+/// under two in-binary kernel profiles: the legacy pre-change kernel
+/// ([`muppet_sat::Solver::set_legacy_kernel`] — flat reduction, Luby
+/// schedule, no inprocessing, one-step minimization, fixed decay: the
+/// pre-upgrade oracle) and the tuned defaults (tiered clause DB,
+/// inprocessing with geometric backoff, recursive minimization, decay
+/// ramp). Work counters are deterministic per profile; wall clock is
+/// not, so timings are best-of-3. Both profiles must reproduce the
+/// committed verdict on every entry, and on `hard-pup-unsat-5` — the
+/// refutation the speed program is gated on — the tuned kernel must
+/// finish in ≤ 0.8x the legacy wall time.
+///
+/// **Part B** solves the committed minimal-edit scenario
+/// (`minedit(400, 50, 8)`: optimal distance 50 by construction, 800
+/// free tuples, one-of-16 goals) with the core-guided (OLL) and
+/// linear-search `solve_target` strategies. Two measurements: a
+/// *timed* pass with the canonical walk disabled (it costs the same in
+/// both arms and would only blur the optimization-search comparison)
+/// gating core-guided at ≥ 2x less deterministic solver work
+/// (propagations) than linear, wall clock reported best-of-3; and a
+/// *parity* pass with unconditional canonicalization gating
+/// byte-identical solutions at the constructed optimum.
+///
+/// `BENCH_kernel.json` — per-entry walls + verdicts + kernel work
+/// counters (conflicts, inprocessing passes, subsumed / strengthened /
+/// vivified clauses, tier churn) and per-phase minedit timings — is
+/// always written before any gate fires.
+fn k1(t: &mut Table) {
+    use muppet_bench::scenario::corpus::{self, Tier};
+    use muppet_bench::scenario::minedit::minedit;
+    use muppet_daemon::json::Json;
+    use muppet_obs::PhaseAccumulator;
+    use muppet_sat::{SolveResult, Solver, SolverStats};
+    use muppet_solver::TargetStrategy;
+
+    const BEST_OF: usize = 3;
+    const GATED: &str = "hard-pup-unsat-5";
+    const WALL_CEILING: f64 = 0.8;
+    const OLL_FLOOR: f64 = 2.0;
+
+    // ---- Part A: hard-tier CNF corpus, legacy vs tuned kernel ----
+    let stats_json = |s: &SolverStats| {
+        Json::obj([
+            ("conflicts", Json::num(s.conflicts)),
+            ("propagations", Json::num(s.propagations)),
+            ("restarts", Json::num(s.restarts)),
+            ("learned", Json::num(s.learned_clauses)),
+            ("deleted", Json::num(s.deleted_clauses)),
+            ("inprocessings", Json::num(s.inprocessings)),
+            ("subsumed", Json::num(s.subsumed_clauses)),
+            ("strengthened", Json::num(s.strengthened_clauses)),
+            ("vivified", Json::num(s.vivified_clauses)),
+            ("tier_demotions", Json::num(s.tier_demotions)),
+            ("tier_promotions", Json::num(s.tier_promotions)),
+        ])
+    };
+    let mut entries: Vec<Json> = Vec::new();
+    let mut parity_failures: Vec<String> = Vec::new();
+    let mut gated_ratio: Option<f64> = None;
+    for entry in corpus::entries(Tier::Hard) {
+        let inst = corpus::cnf_instance(entry.kind).expect("hard tier is CNF-backed");
+        let profile = |legacy: bool| -> (f64, bool, SolverStats) {
+            let mut best: Option<(f64, bool, SolverStats)> = None;
+            for _ in 0..BEST_OF {
+                let mut s: Solver = inst.solver();
+                if legacy {
+                    s.set_legacy_kernel();
+                }
+                let start = std::time::Instant::now();
+                let sat = matches!(s.solve(), SolveResult::Sat(_));
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                if best.as_ref().is_none_or(|(w, _, _)| wall_ms < *w) {
+                    best = Some((wall_ms, sat, s.stats));
+                }
+            }
+            best.expect("BEST_OF > 0")
+        };
+        let (legacy_ms, legacy_sat, legacy_stats) = profile(true);
+        let (tuned_ms, tuned_sat, tuned_stats) = profile(false);
+        for (kernel, sat) in [("legacy", legacy_sat), ("tuned", tuned_sat)] {
+            if !entry.expected.matches_success(sat) {
+                parity_failures.push(format!(
+                    "{} under the {kernel} kernel: expected {}, got {}",
+                    entry.name,
+                    entry.expected,
+                    if sat { "sat" } else { "unsat" },
+                ));
+            }
+        }
+        let ratio = tuned_ms / legacy_ms.max(1e-9);
+        if entry.name == GATED {
+            gated_ratio = Some(ratio);
+        }
+        row(
+            t,
+            "K1",
+            entry.name,
+            "tuned vs legacy kernel",
+            format!(
+                "{tuned_ms:.0} ms vs {legacy_ms:.0} ms (ratio {ratio:.2}, \
+                 {} vs {} conflicts)",
+                tuned_stats.conflicts, legacy_stats.conflicts
+            ),
+            if entry.name == GATED {
+                "ratio <= 0.8 (speed gate)"
+            } else {
+                "verdict parity"
+            },
+        );
+        entries.push(Json::obj([
+            ("name", Json::str(entry.name)),
+            ("expected", Json::str(entry.expected.label())),
+            ("verdict_parity", Json::Bool(
+                entry.expected.matches_success(legacy_sat)
+                    && entry.expected.matches_success(tuned_sat),
+            )),
+            ("legacy_wall_ms", Json::Num(legacy_ms)),
+            ("tuned_wall_ms", Json::Num(tuned_ms)),
+            ("ratio", Json::Num(ratio)),
+            ("gated", Json::Bool(entry.name == GATED)),
+            ("legacy", stats_json(&legacy_stats)),
+            ("tuned", stats_json(&tuned_stats)),
+        ]));
+    }
+
+    // ---- Part B: minedit, core-guided vs linear solve_target ----
+    let sc = minedit(400, 50, 8);
+    const MINEDIT: &str = "minedit-400-50x8";
+    let was_enabled = muppet_obs::tracing_enabled();
+    // Timed pass: canonical walk off (it costs the same in both arms),
+    // so wall + work counters measure the optimization search alone.
+    // Work counters are deterministic; wall is best-of-3.
+    let timed_run = |strategy: TargetStrategy| {
+        let mut best: Option<(f64, usize, u64, u64, Json)> = None;
+        for _ in 0..BEST_OF {
+            let (mut q, active) = sc.engine();
+            q.set_target_strategy(strategy);
+            q.set_canonical_cap(0);
+            muppet_obs::clear_profilers();
+            let acc = PhaseAccumulator::new();
+            muppet_obs::on_span_close(acc.callback());
+            muppet_obs::set_enabled(true);
+            let start = std::time::Instant::now();
+            let (out, d) = q.solve_target(&active, &sc.target, Budget::unlimited());
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let totals = acc.drain();
+            muppet_obs::clear_profilers();
+            muppet_obs::set_enabled(was_enabled);
+            let stats = out.stats();
+            let (props, confl) = (stats.propagations, stats.conflicts);
+            assert!(out.is_sat(), "minedit must be satisfiable");
+            let phases = Json::Obj(
+                totals
+                    .iter()
+                    .map(|(name, p)| {
+                        (
+                            (*name).to_string(),
+                            Json::obj([
+                                ("count", Json::num(p.count)),
+                                ("total_us", Json::num(p.total_us)),
+                                ("max_us", Json::num(p.max_us)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            );
+            if best.as_ref().is_none_or(|(w, _, _, _, _)| wall_ms < *w) {
+                best = Some((wall_ms, d, props, confl, phases));
+            }
+        }
+        best.expect("BEST_OF > 0")
+    };
+    let (oll_ms, oll_d, oll_props, oll_confl, oll_phases) =
+        timed_run(TargetStrategy::CoreGuided);
+    let (lin_ms, lin_d, lin_props, lin_confl, lin_phases) =
+        timed_run(TargetStrategy::Linear);
+    let wall_speedup = lin_ms / oll_ms.max(1e-9);
+    let work_speedup = lin_props as f64 / oll_props.max(1) as f64;
+    // Parity pass: unconditional canonicalization (800 free tuples is
+    // past the default cap), so both strategies must land on the same
+    // byte-identical distance-minimal model.
+    let parity_run = |strategy: TargetStrategy| {
+        let (mut q, active) = sc.engine();
+        q.set_target_strategy(strategy);
+        q.set_canonical_cap(usize::MAX);
+        let (out, d) = q.solve_target(&active, &sc.target, Budget::unlimited());
+        format!("{:?} at distance {d}", out.solution())
+    };
+    let identical =
+        parity_run(TargetStrategy::CoreGuided) == parity_run(TargetStrategy::Linear);
+    row(
+        t,
+        "K1",
+        MINEDIT,
+        "core-guided vs linear",
+        format!(
+            "{oll_ms:.0} ms / {oll_props} props vs {lin_ms:.0} ms / {lin_props} \
+             props ({work_speedup:.1}x work, {wall_speedup:.1}x wall), \
+             distance {oll_d} vs {lin_d}, canonical-identical {identical}"
+        ),
+        "work >= 2x, distance 50, byte-identical",
+    );
+
+    // BENCH_kernel.json lands before any gate fires, so a red gate
+    // still leaves the full measurement on disk.
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-kernel-v1")),
+        ("best_of", Json::num(BEST_OF as u64)),
+        ("entries", Json::Arr(entries)),
+        (
+            "minedit",
+            Json::obj([
+                ("name", Json::str(MINEDIT)),
+                ("optimum", Json::num(sc.optimum as u64)),
+                (
+                    "core_guided",
+                    Json::obj([
+                        ("wall_ms", Json::Num(oll_ms)),
+                        ("distance", Json::num(oll_d as u64)),
+                        ("propagations", Json::num(oll_props)),
+                        ("conflicts", Json::num(oll_confl)),
+                        ("phases", oll_phases),
+                    ]),
+                ),
+                (
+                    "linear",
+                    Json::obj([
+                        ("wall_ms", Json::Num(lin_ms)),
+                        ("distance", Json::num(lin_d as u64)),
+                        ("propagations", Json::num(lin_props)),
+                        ("conflicts", Json::num(lin_confl)),
+                        ("phases", lin_phases),
+                    ]),
+                ),
+                ("wall_speedup", Json::Num(wall_speedup)),
+                ("work_speedup", Json::Num(work_speedup)),
+                ("identical", Json::Bool(identical)),
+            ]),
+        ),
+        (
+            "gates",
+            Json::obj([
+                ("wall_ceiling", Json::Num(WALL_CEILING)),
+                ("oll_floor", Json::Num(OLL_FLOOR)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_kernel.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_kernel.json: {e}");
+    }
+
+    // Gates fire only after BENCH_kernel.json is on disk.
+    assert!(
+        parity_failures.is_empty(),
+        "hard-tier verdicts diverged: {parity_failures:?}"
+    );
+    let ratio = gated_ratio.expect("gated entry must be in the hard tier");
+    assert!(
+        ratio <= WALL_CEILING,
+        "tuned kernel must finish {GATED} in <= {WALL_CEILING}x the legacy \
+         wall time, measured {ratio:.2}x"
+    );
+    assert_eq!(oll_d, sc.optimum, "core-guided missed the constructed optimum");
+    assert_eq!(lin_d, sc.optimum, "linear search missed the constructed optimum");
+    assert!(identical, "strategies must canonicalize to the same model");
+    assert!(
+        work_speedup >= OLL_FLOOR,
+        "core-guided solve_target must do >= {OLL_FLOOR}x less solver work than \
+         linear on minedit, measured {work_speedup:.1}x ({oll_props} vs {lin_props} \
+         propagations)"
     );
 }
