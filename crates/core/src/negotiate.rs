@@ -177,6 +177,42 @@ fn feedback_names_commitments(core: &[String], party_name: &str) -> bool {
         .any(|c| c.contains(party_name) && c.contains("committed settings"))
 }
 
+/// Who gets revision turns, and in what order. The paper's Fig. 9 is
+/// [`Schedule::RoundRobin`]; a hub-and-spoke deployment (one fixed
+/// provider, N tenants revising around it) is the degenerate case where
+/// the hub never takes a turn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every party takes turns in registration order ("each
+    /// administrator gets a turn to revise in a round-robin fashion").
+    RoundRobin,
+    /// The named hub never revises; the remaining parties (spokes)
+    /// round-robin among themselves. Equivalent to `RoundRobin` with a
+    /// [`Stubborn`] hub, except the hub's turns are not burned from
+    /// `max_rounds` and a stuck verdict needs only a full *spoke* cycle.
+    HubAndSpoke(PartyId),
+}
+
+impl Schedule {
+    /// The cyclic turn order over the session's parties.
+    fn turn_cycle(&self, party_ids: &[PartyId]) -> Vec<PartyId> {
+        match self {
+            Schedule::RoundRobin => party_ids.to_vec(),
+            Schedule::HubAndSpoke(hub) => {
+                let spokes: Vec<PartyId> =
+                    party_ids.iter().copied().filter(|p| p != hub).collect();
+                // A hub that isn't registered (or is the only party)
+                // degrades to round-robin rather than an empty cycle.
+                if spokes.is_empty() || spokes.len() == party_ids.len() {
+                    party_ids.to_vec()
+                } else {
+                    spokes
+                }
+            }
+        }
+    }
+}
+
 /// The outcome of a negotiation.
 #[derive(Clone, Debug)]
 pub struct NegotiationReport {
@@ -213,6 +249,18 @@ pub fn run_negotiation(
     run_negotiation_with_store(session, negotiators, max_rounds, &mut store)
 }
 
+/// [`run_negotiation`] under an explicit [`Schedule`]. `RoundRobin`
+/// reproduces [`run_negotiation`] exactly.
+pub fn run_negotiation_scheduled(
+    session: &mut Session<'_>,
+    negotiators: &mut BTreeMap<PartyId, Box<dyn Negotiator>>,
+    max_rounds: usize,
+    schedule: Schedule,
+) -> Result<NegotiationReport, MuppetError> {
+    let mut store = PreparedStore::new();
+    run_negotiation_impl(session, negotiators, max_rounds, Some(&mut store), schedule)
+}
+
 /// [`run_negotiation`] with a caller-held [`PreparedStore`], so warm
 /// engine state survives *across* negotiations (the daemon holds one
 /// store per warm session and feeds successive `NegotiateRound`
@@ -223,7 +271,7 @@ pub fn run_negotiation_with_store(
     max_rounds: usize,
     store: &mut PreparedStore,
 ) -> Result<NegotiationReport, MuppetError> {
-    run_negotiation_impl(session, negotiators, max_rounds, Some(store))
+    run_negotiation_impl(session, negotiators, max_rounds, Some(store), Schedule::RoundRobin)
 }
 
 /// The one-shot reference path: every query compiles a fresh engine.
@@ -235,7 +283,7 @@ pub fn run_negotiation_cold(
     negotiators: &mut BTreeMap<PartyId, Box<dyn Negotiator>>,
     max_rounds: usize,
 ) -> Result<NegotiationReport, MuppetError> {
-    run_negotiation_impl(session, negotiators, max_rounds, None)
+    run_negotiation_impl(session, negotiators, max_rounds, None, Schedule::RoundRobin)
 }
 
 fn run_negotiation_impl(
@@ -243,9 +291,11 @@ fn run_negotiation_impl(
     negotiators: &mut BTreeMap<PartyId, Box<dyn Negotiator>>,
     max_rounds: usize,
     mut warm: Option<&mut PreparedStore>,
+    schedule: Schedule,
 ) -> Result<NegotiationReport, MuppetError> {
     let mut trace = Vec::new();
     let party_ids: Vec<PartyId> = session.parties().iter().map(|p| p.id).collect();
+    let turn_cycle = schedule.turn_cycle(&party_ids);
     let names = session.party_names();
     let mut unchanged_streak = 0usize;
 
@@ -263,7 +313,7 @@ fn run_negotiation_impl(
                 trace,
             });
         }
-        let turn = party_ids[round % party_ids.len()];
+        let turn = turn_cycle[round % turn_cycle.len()];
         let turn_name = names.get(&turn).cloned().unwrap_or_default();
         if let Some(ex) = &rec.exhausted {
             // A timed-out round degrades instead of aborting the whole
@@ -364,7 +414,7 @@ fn run_negotiation_impl(
         } else {
             unchanged_streak += 1;
             trace.push(format!("  {} stood firm", turn_name));
-            if unchanged_streak >= party_ids.len() {
+            if unchanged_streak >= turn_cycle.len() {
                 trace.push("negotiation stuck: a full cycle with no revisions".to_string());
                 return Ok(NegotiationReport {
                     success: false,

@@ -45,6 +45,12 @@ impl NamedGoal {
     }
 }
 
+// The production `From<muppet_goals::NamedFormula>` impl lives in
+// `muppet-goals` (this crate is domain-free; goals is the domain side).
+// Unit-test builds of this crate are a *separate* crate from the
+// `muppet` rlib that dev-dependency links against, so that impl targets
+// a different `NamedGoal` type here — mirror it for tests only.
+#[cfg(test)]
 impl From<muppet_goals::NamedFormula> for NamedGoal {
     fn from(nf: muppet_goals::NamedFormula) -> NamedGoal {
         NamedGoal {

@@ -387,10 +387,14 @@ impl<'a> Session<'a> {
             .goals
             .iter()
             .map(|g| {
+                // Tagged with the party id: the display name is only a
+                // label, so renaming a party can never alias another
+                // party's cached group encodings.
                 FormulaGroup::new(
                     format!("{}: {}", party.name, g.name),
                     vec![g.formula.clone()],
                 )
+                .with_tag(u64::from(party.id.0))
             })
             .collect()
     }
@@ -425,10 +429,13 @@ impl<'a> Session<'a> {
                 }
             }
             if !committed.is_empty() {
-                groups.push(FormulaGroup::new(
-                    format!("{}: committed settings", p.name),
-                    committed,
-                ));
+                groups.push(
+                    FormulaGroup::new(
+                        format!("{}: committed settings", p.name),
+                        committed,
+                    )
+                    .with_tag(u64::from(p.id.0)),
+                );
             }
         }
         (bounds, groups)
@@ -1071,6 +1078,46 @@ mod tests {
                 .with_goals(istio_goals.into_iter().map(NamedGoal::from)),
         );
         session
+    }
+
+    #[test]
+    fn renaming_a_party_cannot_alias_another_partys_group_keys() {
+        // Cache fingerprints of goal/commitment groups must derive from
+        // the stable PartyId, not the display name: if party 0 is
+        // renamed to what party 1 used to be called (and handed its
+        // goals), the resulting groups must NOT collide with party 1's
+        // original encodings in any warm store keyed by content_key.
+        let mv = MeshVocab::paper_example();
+        let session = paper_session(&mv, &IstioGoal::fig3());
+        let istio = session.party(mv.istio_party).unwrap().clone();
+        let istio_keys: Vec<u128> = session
+            .goal_groups(&istio)
+            .iter()
+            .map(|g| g.content_key())
+            .collect();
+        // Same name, same goals, different identity (the k8s slot).
+        let impostor = Party::new(mv.k8s_party, istio.name.clone())
+            .with_goals(istio.goals.iter().cloned());
+        let impostor_keys: Vec<u128> = session
+            .goal_groups(&impostor)
+            .iter()
+            .map(|g| g.content_key())
+            .collect();
+        assert_eq!(istio_keys.len(), impostor_keys.len());
+        for (a, b) in istio_keys.iter().zip(&impostor_keys) {
+            assert_ne!(a, b, "party rename aliased a cached group key");
+        }
+        // Commitment groups are tagged the same way.
+        let mut committed = istio.clone();
+        committed.offer.require(mv.istio_eg_guard, vec![mv.svc_atom("test-frontend").unwrap()]);
+        let mut impostor_committed = impostor.clone();
+        impostor_committed.offer = committed.offer.clone();
+        let (_, a) = session.merge_offers(&[&committed], ReconcileMode::Blameable);
+        let (_, b) = session.merge_offers(&[&impostor_committed], ReconcileMode::Blameable);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a[0].name, b[0].name, "display names intentionally equal");
+        assert_ne!(a[0].content_key(), b[0].content_key());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! aborted) is returned to its requester but never stored, so a cached
 //! verdict always equals what a cold, unlimited solve would say.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -34,9 +34,7 @@ use muppet::{
     QueryStats, Reconciliation, ReconcileMode, RetryPolicy, Session,
 };
 use muppet::default_threads;
-use muppet_goals::{collect_goal_ports, IstioGoal, K8sGoal};
 use muppet_logic::{Instance, PartyId, Universe, Vocabulary};
-use muppet_mesh::manifest::parse_manifests;
 use muppet_scenario::ConfigDelta;
 use muppet_stream::{StreamSession, StreamSpec, StreamStats};
 
@@ -401,19 +399,23 @@ impl Engine {
         span.attr("session", hex_fp.clone());
         if req.op == Op::OpenSession {
             let ws = relock(&handle);
-            let mut resp = Response::success(
-                None,
-                Json::obj([
-                    ("session", Json::str(&hex_fp)),
-                    ("services", Json::num(ws.core.bundle.mesh.services().len() as u64)),
-                    (
-                        "ports",
-                        Json::Arr(ws.core.ports.iter().map(|&p| Json::num(u64::from(p))).collect()),
-                    ),
-                    ("k8s_goals", Json::num(ws.core.k8s_goals.len() as u64)),
-                    ("istio_goals", Json::num(ws.core.istio_goals.len() as u64)),
-                ]),
-            );
+            let model = &ws.core.model;
+            let mut pairs = vec![
+                ("session".to_string(), Json::str(&hex_fp)),
+                ("domain".to_string(), Json::str(model.domain)),
+                ("services".to_string(), Json::num(model.services as u64)),
+                (
+                    "ports".to_string(),
+                    Json::Arr(model.ports.iter().map(|&p| Json::num(u64::from(p))).collect()),
+                ),
+            ];
+            // One goal-count key per party, named by role — for the
+            // mesh domain these are the historical `k8s_goals` /
+            // `istio_goals` keys.
+            for p in &model.parties {
+                pairs.push((format!("{}_goals", p.role), Json::num(p.goals.len() as u64)));
+            }
+            let mut resp = Response::success(None, Json::Obj(pairs));
             resp.session = Some(hex_fp);
             return Ok(resp);
         }
@@ -493,42 +495,54 @@ impl Engine {
         let spec = &core.spec;
         let mut fp = Fingerprinter::new();
         fp.add_str("result-v1").add_str(req.op.name());
-        // Every operation sees the universe, which derives from the
-        // manifests, the *combined* goal-table port set, extras and
-        // mTLS — so all keys hash those.
+        // Every operation sees the domain's interpretation of the
+        // universe, which derives from the manifests, the *combined*
+        // goal-table port set, extras and mTLS — so all keys hash those.
+        fp.add_str(core.model.domain);
         fp.add_str(&spec.manifests).add_bool(spec.mtls);
-        fp.add_u64(core.ports.len() as u64);
-        for &p in &core.ports {
+        fp.add_u64(core.model.ports.len() as u64);
+        for &p in &core.model.ports {
             fp.add_u64(u64::from(p));
         }
+        // Parties are hashed by stable role name, goal tables in slot
+        // order — never by display strings, so renaming a party's
+        // presentation cannot alias another party's results.
         match req.op {
             Op::CheckConsistency => {
                 // Depends on one party's goals only.
                 let party = self.party_from(req.party.as_deref(), "party", core)?;
-                fp.add_str(canonical_party(party, core));
+                fp.add_str(core.model.role(party));
                 fp.add_str(core.goals_text(party));
             }
             Op::ExtractEnvelope => {
-                // Depends on the *sender's* goals and deployed config
+                // Depends on the *senders'* goals and deployed configs
                 // only — the delta-aware case: recipient goal edits
                 // that keep the port universe intact hit the same key.
-                let to = self.party_from(req.to.as_deref().or(Some("istio")), "to", core)?;
-                let from = other_party(to, core);
-                fp.add_str(canonical_party(to, core));
-                fp.add_str(core.goals_text(from));
+                let to = self.party_or_slot(req.to.as_deref(), 1, core)?;
+                fp.add_str(core.model.role(to));
+                for s in core.model.others(to) {
+                    fp.add_str(core.goals_text(s));
+                }
             }
             Op::Reconcile => {
-                fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
+                for p in &core.model.parties {
+                    fp.add_str(&p.goals_text);
+                }
                 fp.add_str(req.mode.as_deref().unwrap_or("hard"));
             }
             Op::CheckConformance => {
-                let provider =
-                    self.party_from(req.provider.as_deref().or(Some("k8s")), "provider", core)?;
-                fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
-                fp.add_str(canonical_party(provider, core));
+                let provider = self.party_or_slot(req.provider.as_deref(), 0, core)?;
+                let tenant = self.tenant_for(req.to.as_deref(), provider, core)?;
+                for p in &core.model.parties {
+                    fp.add_str(&p.goals_text);
+                }
+                fp.add_str(core.model.role(provider));
+                fp.add_str(core.model.role(tenant));
             }
             Op::NegotiateRound => {
-                fp.add_str(&spec.k8s_goals).add_str(&spec.istio_goals);
+                for p in &core.model.parties {
+                    fp.add_str(&p.goals_text);
+                }
                 fp.add_u64(req.max_rounds.unwrap_or(4));
             }
             Op::OpenSession | Op::Stats | Op::Trace | Op::Shutdown | Op::Watch
@@ -592,18 +606,22 @@ impl Engine {
                 Ok((reconciliation_json(&session, &rec), definite))
             }
             Op::ExtractEnvelope => {
-                let to = self.party_from(req.to.as_deref().or(Some("istio")), "to", core)?;
-                let from = other_party(to, core);
-                let c_from = core.deployed(from)?;
+                // `E_{S→to}`: every *other* party is a sender with its
+                // deployed configuration fixed. For two-party domains
+                // this is exactly the paper's `E_{from→to}`.
+                let to = self.party_or_slot(req.to.as_deref(), 1, core)?;
+                let mut senders = Vec::new();
+                for from in core.model.others(to) {
+                    senders.push((from, core.deployed(from)?));
+                }
                 let env = session
-                    .compute_envelope(from, to, &c_from)
+                    .compute_multi_envelope(&senders, to)
                     .map_err(describe_err)?;
                 Ok((envelope_json(&session, &env), true))
             }
             Op::CheckConformance => {
-                let provider =
-                    self.party_from(req.provider.as_deref().or(Some("k8s")), "provider", core)?;
-                let tenant = other_party(provider, core);
+                let provider = self.party_or_slot(req.provider.as_deref(), 0, core)?;
+                let tenant = self.tenant_for(req.to.as_deref(), provider, core)?;
                 let preferred = core.deployed(tenant)?;
                 let report =
                     run_conformance_with_store(&session, provider, tenant, Some(&preferred), prepared)
@@ -612,19 +630,27 @@ impl Engine {
             }
             Op::NegotiateRound => {
                 let rounds = req.max_rounds.unwrap_or(4).min(64) as usize;
-                // Paper roles (Fig. 9): the cluster admin holds firm;
-                // the mesh admin's goals are negotiable — soften them
-                // so blamed rows can be dropped round by round.
-                let istio = core.mv.istio_party;
-                if let Ok(p) = session.party_mut(istio) {
-                    for g in &mut p.goals {
-                        g.hard = false;
+                // Paper roles (Fig. 9), generalized round-robin: the
+                // slot-0 admin holds firm; every other party's goals
+                // are negotiable — soften them so blamed rows can be
+                // dropped round by round.
+                let ids: Vec<PartyId> = core.model.parties.iter().map(|p| p.id).collect();
+                for &id in &ids[1..] {
+                    if let Ok(p) = session.party_mut(id) {
+                        for g in &mut p.goals {
+                            g.hard = false;
+                        }
                     }
                 }
                 let mut negotiators: std::collections::BTreeMap<PartyId, Box<dyn Negotiator>> =
                     std::collections::BTreeMap::new();
-                negotiators.insert(core.mv.k8s_party, Box::new(Stubborn));
-                negotiators.insert(core.mv.istio_party, Box::new(DropBlamedSoftGoals));
+                for (slot, &id) in ids.iter().enumerate() {
+                    if slot == 0 {
+                        negotiators.insert(id, Box::new(Stubborn));
+                    } else {
+                        negotiators.insert(id, Box::new(DropBlamedSoftGoals));
+                    }
+                }
                 let report = muppet::negotiate::run_negotiation_with_store(
                     &mut session,
                     &mut negotiators,
@@ -637,7 +663,7 @@ impl Engine {
                         .configs
                         .iter()
                         .map(|(id, c)| {
-                            (canonical_party(*id, core).to_string(), instance_json(&session, c))
+                            (core.model.role(*id).to_string(), instance_json(&session, c))
                         })
                         .collect(),
                 );
@@ -675,8 +701,55 @@ impl Engine {
         field: &str,
         core: &crate::spec::WarmCore,
     ) -> Result<PartyId, String> {
-        let name = name.ok_or_else(|| format!("missing \"{field}\" (use k8s or istio)"))?;
+        let name = name.ok_or_else(|| {
+            let roles: Vec<&str> = core.model.parties.iter().map(|p| p.role.as_str()).collect();
+            format!("missing \"{field}\" (use one of {})", roles.join(", "))
+        })?;
         core.party_id(name)
+    }
+
+    /// Resolve an optional party name, defaulting to the domain's
+    /// party at `slot` (the conventional provider/recipient slots).
+    fn party_or_slot(
+        &self,
+        name: Option<&str>,
+        slot: usize,
+        core: &crate::spec::WarmCore,
+    ) -> Result<PartyId, String> {
+        match name {
+            Some(n) => core.party_id(n),
+            None => core
+                .model
+                .parties
+                .get(slot)
+                .map(|p| p.id)
+                .ok_or_else(|| format!("domain has no party in slot {slot}")),
+        }
+    }
+
+    /// The conformance tenant: `to` when named, else the first party
+    /// that is not the provider.
+    fn tenant_for(
+        &self,
+        name: Option<&str>,
+        provider: PartyId,
+        core: &crate::spec::WarmCore,
+    ) -> Result<PartyId, String> {
+        match name {
+            Some(n) => {
+                let id = core.party_id(n)?;
+                if id == provider {
+                    return Err("conformance tenant must differ from the provider".to_string());
+                }
+                Ok(id)
+            }
+            None => core
+                .model
+                .others(provider)
+                .into_iter()
+                .next()
+                .ok_or_else(|| "conformance needs at least two parties".to_string()),
+        }
     }
 
     /// `watch`: open a streaming session over an inline spec. Solves the
@@ -691,7 +764,21 @@ impl Engine {
             .spec
             .as_ref()
             .ok_or_else(|| "watch needs an inline \"spec\"".to_string())?;
-        let stream_spec = stream_spec_from(spec)?;
+        // The streaming engine is mesh-only for now: it edits the
+        // K8s/Istio goal tables row by row.
+        if spec.domain_name() != muppet_domain::DEFAULT_DOMAIN {
+            return Err(format!(
+                "watch supports only the {:?} domain (got {:?})",
+                muppet_domain::DEFAULT_DOMAIN,
+                spec.domain_name()
+            ));
+        }
+        if spec.mtls {
+            return Err("watch does not support mtls specs".to_string());
+        }
+        let texts = spec.goal_texts();
+        let stream_spec =
+            StreamSpec::from_wire(&spec.manifests, &texts[0], &texts[1], &spec.extra_ports)?;
         let threads = req
             .threads
             .map(|t| t.clamp(1, 64) as usize)
@@ -962,32 +1049,6 @@ impl Engine {
     }
 }
 
-/// Build the streaming-session state from a wire spec: parsed mesh plus
-/// the *raw* goal tables (a stream edits rows, so it keeps them
-/// untranslated). Goal-table ports are folded into the extras so every
-/// referenced port is in the stream universe, mirroring the warm-session
-/// port derivation.
-fn stream_spec_from(spec: &SessionSpec) -> Result<StreamSpec, String> {
-    if spec.mtls {
-        return Err("watch does not support mtls specs".to_string());
-    }
-    let bundle = parse_manifests(&spec.manifests).map_err(|e| e.to_string())?;
-    if bundle.mesh.services().is_empty() {
-        return Err("no Service documents found in the manifests".into());
-    }
-    let k8s_goals = K8sGoal::parse_csv(&spec.k8s_goals).map_err(|e| e.to_string())?;
-    let istio_goals = IstioGoal::parse_csv(&spec.istio_goals).map_err(|e| e.to_string())?;
-    let mut ports: BTreeSet<u16> = collect_goal_ports(&k8s_goals, &istio_goals);
-    ports.extend(&spec.extra_ports);
-    Ok(StreamSpec {
-        mesh: bundle.mesh,
-        k8s_goals,
-        istio_goals,
-        extra_ports: ports.into_iter().collect(),
-        bounded: false,
-    })
-}
-
 /// One per-delta [`StreamStats`] as a wire object.
 fn stream_stats_json(s: &StreamStats) -> Json {
     Json::obj([
@@ -1097,24 +1158,6 @@ fn trace_json(n: Option<u64>) -> Json {
         ("capacity", Json::num(muppet_obs::ring_capacity() as u64)),
         ("traces", Json::Arr(traces)),
     ])
-}
-
-/// The canonical wire name of a party.
-fn canonical_party(id: PartyId, core: &crate::spec::WarmCore) -> &'static str {
-    if id == core.mv.k8s_party {
-        "k8s"
-    } else {
-        "istio"
-    }
-}
-
-/// The other party in a two-party core.
-fn other_party(id: PartyId, core: &crate::spec::WarmCore) -> PartyId {
-    if id == core.mv.k8s_party {
-        core.mv.istio_party
-    } else {
-        core.mv.k8s_party
-    }
 }
 
 fn describe_err(e: MuppetError) -> String {

@@ -1,55 +1,89 @@
 //! Session specifications and warm sessions.
 //!
-//! A [`SessionSpec`] is the wire-level description of a two-party
-//! configuration session: manifest YAML (services + deployed policies),
-//! the two CSV goal tables, and feature flags — exactly the inputs
-//! `muppet-cli` takes from files, but carried inline so the daemon
-//! needs no filesystem access to serve a client.
+//! A [`SessionSpec`] is the wire-level description of a configuration
+//! session: which registered [`ConfigDomain`] interprets it, manifest
+//! YAML (services + deployed policies), one CSV goal table per party,
+//! and feature flags — exactly the inputs `muppet-cli` takes from
+//! files, but carried inline so the daemon needs no filesystem access
+//! to serve a client.
 //!
-//! Loading a spec produces a [`WarmSession`]: the parsed artifacts
-//! ([`WarmCore`]) plus a [`PreparedStore`] of grounded/encoded solver
-//! state. The core is immutable after load; a `muppet::Session` (which
-//! borrows the universe) is rebuilt cheaply per request from it, while
-//! the prepared store persists and keeps CNF warm across requests.
-
-use std::collections::BTreeSet;
+//! Loading a spec produces a [`WarmSession`]: the domain-built
+//! [`DomainModel`] ([`WarmCore`]) plus a [`PreparedStore`] of
+//! grounded/encoded solver state. The core is immutable after load; a
+//! `muppet::Session` (which borrows the universe) is rebuilt cheaply
+//! per request from it, while the prepared store persists and keeps CNF
+//! warm across requests.
 
 use muppet::fingerprint::Fingerprinter;
-use muppet::{NamedGoal, Party, PreparedStore, Session};
-use muppet_goals::{translate_istio_goals, translate_k8s_goals, IstioGoal, K8sGoal};
-use muppet_logic::{Formula, Instance, PartyId, Vocabulary};
-use muppet_mesh::manifest::{parse_manifests, ManifestBundle};
-use muppet_mesh::MeshVocab;
+use muppet::{PreparedStore, Session};
+use muppet_domain::{ConfigDomain, DomainInput, DomainModel, DEFAULT_DOMAIN};
+use muppet_logic::{Instance, PartyId};
 
 use crate::json::Json;
 
 /// Everything that defines a session, as content (no file paths).
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
 pub struct SessionSpec {
-    /// Concatenated YAML manifests: Services plus any deployed
-    /// NetworkPolicy / AuthorizationPolicy / PeerAuthentication docs.
+    /// The registered domain interpreting this spec. Empty means the
+    /// default (`"mesh"`, the paper's K8s/Istio pair), so pre-plugin
+    /// wire clients keep working unchanged.
+    pub domain: String,
+    /// Concatenated YAML manifests: structure documents plus any
+    /// deployed policy documents the domain understands.
     pub manifests: String,
-    /// K8s goal table CSV (`port,perm,selector`); may be empty.
+    /// Mesh-domain alias for the slot-0 goal table
+    /// (`port,perm,selector`); used when [`SessionSpec::goals`] is
+    /// empty. Kept as a first-class field for wire compatibility.
     pub k8s_goals: String,
-    /// Istio goal table CSV
-    /// (`srcService,dstService,srcPort,dstPort`); may be empty.
+    /// Mesh-domain alias for the slot-1 goal table
+    /// (`srcService,dstService,srcPort,dstPort`); used when
+    /// [`SessionSpec::goals`] is empty.
     pub istio_goals: String,
-    /// Enable the PeerAuthentication (mTLS) extension.
+    /// Per-party goal tables in the domain's slot order. When non-empty
+    /// this wins over the two legacy alias fields.
+    pub goals: Vec<String>,
+    /// Enable the mTLS extension where the domain supports it.
     pub mtls: bool,
     /// Spare ports widening the universe for ∃-port goals.
     pub extra_ports: Vec<u16>,
 }
 
+
 impl SessionSpec {
+    /// The effective domain name (empty field ⇒ the default domain).
+    pub fn domain_name(&self) -> &str {
+        if self.domain.is_empty() {
+            DEFAULT_DOMAIN
+        } else {
+            &self.domain
+        }
+    }
+
+    /// The effective per-slot goal tables: [`SessionSpec::goals`] when
+    /// set, else the two legacy mesh alias fields.
+    pub fn goal_texts(&self) -> Vec<String> {
+        if self.goals.is_empty() {
+            vec![self.k8s_goals.clone(), self.istio_goals.clone()]
+        } else {
+            self.goals.clone()
+        }
+    }
+
     /// Content fingerprint of the full spec. Identical specs — whatever
-    /// client they come from — share one warm session.
+    /// client they come from, legacy alias fields or the generic
+    /// `goals` list — share one warm session.
     pub fn fingerprint(&self) -> u128 {
         let mut fp = Fingerprinter::new();
         fp.add_str("session-spec-v1")
-            .add_str(&self.manifests)
-            .add_str(&self.k8s_goals)
-            .add_str(&self.istio_goals)
-            .add_bool(self.mtls);
+            .add_str(self.domain_name())
+            .add_str(&self.manifests);
+        let texts = self.goal_texts();
+        fp.add_u64(texts.len() as u64);
+        for t in &texts {
+            fp.add_str(t);
+        }
+        fp.add_bool(self.mtls);
         let mut ports = self.extra_ports.clone();
         ports.sort_unstable();
         ports.dedup();
@@ -60,22 +94,35 @@ impl SessionSpec {
         fp.digest()
     }
 
-    /// Serialize for the wire.
+    /// Serialize for the wire. The legacy mesh alias fields are always
+    /// present (empty strings when a generic `goals` list is used);
+    /// `domain`/`goals` are emitted only when set, so mesh specs stay
+    /// byte-compatible with pre-plugin clients.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("manifests", Json::str(&self.manifests)),
-            ("k8s_goals", Json::str(&self.k8s_goals)),
-            ("istio_goals", Json::str(&self.istio_goals)),
-            ("mtls", Json::Bool(self.mtls)),
+        let mut pairs = vec![
+            ("manifests".to_string(), Json::str(&self.manifests)),
+            ("k8s_goals".to_string(), Json::str(&self.k8s_goals)),
+            ("istio_goals".to_string(), Json::str(&self.istio_goals)),
+            ("mtls".to_string(), Json::Bool(self.mtls)),
             (
-                "extra_ports",
+                "extra_ports".to_string(),
                 Json::Arr(self.extra_ports.iter().map(|&p| Json::num(u64::from(p))).collect()),
             ),
-        ])
+        ];
+        if !self.domain.is_empty() {
+            pairs.insert(0, ("domain".to_string(), Json::str(&self.domain)));
+        }
+        if !self.goals.is_empty() {
+            pairs.push((
+                "goals".to_string(),
+                Json::Arr(self.goals.iter().map(Json::str).collect()),
+            ));
+        }
+        Json::Obj(pairs)
     }
 
     /// Deserialize from the wire. Missing string fields default to
-    /// empty; a malformed `extra_ports` entry is an error.
+    /// empty; a malformed `extra_ports` or `goals` entry is an error.
     pub fn from_json(v: &Json) -> Result<SessionSpec, String> {
         let s = |key: &str| -> Result<String, String> {
             match v.get(key) {
@@ -97,10 +144,24 @@ impl SessionSpec {
                 extra_ports.push(n as u16);
             }
         }
+        let mut goals = Vec::new();
+        if let Some(arr) = v.get("goals") {
+            let items = arr
+                .as_arr()
+                .ok_or_else(|| "spec.goals must be an array".to_string())?;
+            for item in items {
+                let t = item
+                    .as_str()
+                    .ok_or_else(|| "spec.goals entries must be strings".to_string())?;
+                goals.push(t.to_string());
+            }
+        }
         Ok(SessionSpec {
+            domain: s("domain")?,
             manifests: s("manifests")?,
             k8s_goals: s("k8s_goals")?,
             istio_goals: s("istio_goals")?,
+            goals,
             mtls: v.get("mtls").and_then(Json::as_bool).unwrap_or(false),
             extra_ports,
         })
@@ -110,7 +171,7 @@ impl SessionSpec {
     /// (jointly unsatisfiable with the Fig. 2 port-23 ban).
     pub fn paper_strict() -> SessionSpec {
         SessionSpec {
-            manifests: muppet_mesh::manifest::paper_example_manifests(),
+            manifests: muppet_domain::mesh::paper_example_manifests(),
             k8s_goals: "port,perm,selector\n23,DENY,*\n".to_string(),
             istio_goals: "srcService,dstService,srcPort,dstPort\n\
                           test-frontend,test-backend,24,25\n\
@@ -118,8 +179,7 @@ impl SessionSpec {
                           test-backend,test-db,14000,16000\n\
                           test-db,test-backend,10000,12000\n"
                 .to_string(),
-            mtls: false,
-            extra_ports: Vec::new(),
+            ..SessionSpec::default()
         }
     }
 
@@ -137,62 +197,55 @@ impl SessionSpec {
         }
     }
 
+    /// The committed Linkerd-domain example (ROADMAP item 3): a
+    /// four-service shop mesh with one unmeshed legacy workload,
+    /// platform mTLS + metrics-port goals against Linkerd reachability
+    /// rows, two of which conflict.
+    pub fn linkerd_example() -> SessionSpec {
+        SessionSpec {
+            domain: "linkerd".to_string(),
+            manifests: muppet_domain::linkerd::example_manifests(),
+            goals: vec![
+                muppet_domain::linkerd::example_platform_goals(),
+                muppet_domain::linkerd::example_linkerd_goals(),
+            ],
+            ..SessionSpec::default()
+        }
+    }
+
+    /// Build the domain model for this spec: resolve the domain in the
+    /// registry and hand it the domain-independent input.
+    pub fn build_model(&self) -> Result<(&'static dyn ConfigDomain, DomainModel), String> {
+        let domain = muppet_domain::lookup(self.domain_name()).ok_or_else(|| {
+            let known: Vec<&str> =
+                muppet_domain::registry().iter().map(|d| d.name()).collect();
+            format!(
+                "unknown domain {:?} (registered: {})",
+                self.domain_name(),
+                known.join(", ")
+            )
+        })?;
+        let input = DomainInput {
+            manifests: self.manifests.clone(),
+            goals: self.goal_texts(),
+            mtls: self.mtls,
+            extra_ports: self.extra_ports.clone(),
+        };
+        let model = domain.build(&input)?;
+        Ok((domain, model))
+    }
+
     /// Parse, translate and compile the spec into a [`WarmSession`].
-    /// Mirrors `muppet-cli`'s loading pipeline exactly (same universe
-    /// port derivation), so daemon verdicts match CLI verdicts.
+    /// Mirrors `muppet-cli`'s loading pipeline exactly (same domain
+    /// build), so daemon verdicts match CLI verdicts.
     pub fn load(self) -> Result<WarmSession, String> {
-        let bundle = parse_manifests(&self.manifests).map_err(|e| e.to_string())?;
-        if bundle.mesh.services().is_empty() {
-            return Err("no Service documents found in the manifests".into());
-        }
-        let k8s_rows = K8sGoal::parse_csv(&self.k8s_goals).map_err(|e| e.to_string())?;
-        let istio_rows = IstioGoal::parse_csv(&self.istio_goals).map_err(|e| e.to_string())?;
-        // The universe's port set derives from BOTH goal tables, the
-        // deployed policies and the explicit extras — anything touching
-        // it invalidates every per-op cache key (see Engine docs).
-        let mut ports: BTreeSet<u16> = muppet_goals::collect_goal_ports(&k8s_rows, &istio_rows);
-        ports.extend(&self.extra_ports);
-        for p in &bundle.k8s_policies {
-            for r in &p.rules {
-                ports.extend(&r.ports);
-            }
-        }
-        for p in &bundle.istio_policies {
-            for r in &p.rules {
-                ports.extend(&r.ports);
-            }
-        }
-        let port_list: Vec<u16> = ports.iter().copied().collect();
-        let mv = MeshVocab::new_with_features(
-            &bundle.mesh,
-            ports,
-            PartyId(0),
-            PartyId(1),
-            self.mtls,
-        );
-        let mut vocab = mv.vocab.clone();
-        let k8s_goals = translate_k8s_goals(&k8s_rows, &mv, &mut vocab)
-            .map_err(|e| e.to_string())?
-            .into_iter()
-            .map(NamedGoal::from)
-            .collect();
-        let istio_goals = translate_istio_goals(&istio_rows, &mv, &mut vocab)
-            .map_err(|e| e.to_string())?
-            .into_iter()
-            .map(NamedGoal::from)
-            .collect();
-        let axioms = mv.well_formedness_axioms(&mut vocab);
+        let (domain, model) = self.build_model()?;
         let fp = self.fingerprint();
         Ok(WarmSession {
             core: WarmCore {
                 spec: self,
-                bundle,
-                mv,
-                vocab,
-                axioms,
-                k8s_goals,
-                istio_goals,
-                ports: port_list,
+                domain,
+                model,
                 fp,
             },
             prepared: PreparedStore::new(),
@@ -208,20 +261,10 @@ impl SessionSpec {
 pub struct WarmCore {
     /// The original spec (for cache-key derivation).
     pub spec: SessionSpec,
-    /// Parsed manifests.
-    pub bundle: ManifestBundle,
-    /// Universe + mesh relation handles.
-    pub mv: MeshVocab,
-    /// Vocabulary after goal translation (includes fresh ∃-variables).
-    pub vocab: Vocabulary,
-    /// Well-formedness axioms.
-    pub axioms: Vec<Formula>,
-    /// Translated K8s-party goals.
-    pub k8s_goals: Vec<NamedGoal>,
-    /// Translated Istio-party goals.
-    pub istio_goals: Vec<NamedGoal>,
-    /// The derived universe port set, sorted (part of cache keys).
-    pub ports: Vec<u16>,
+    /// The registered domain that built (and interprets) the model.
+    pub domain: &'static dyn ConfigDomain,
+    /// The domain-built model: universe, vocabulary, parties, payload.
+    pub model: DomainModel,
     /// The spec fingerprint (the session's registry key).
     pub fp: u128,
 }
@@ -238,59 +281,28 @@ pub struct WarmSession {
 
 impl WarmCore {
     /// Build a fresh borrowing [`Session`] over this core. Parties are
-    /// named exactly as `muppet-cli` names them.
+    /// named exactly as `muppet-cli` names them (the domain's display
+    /// names, in slot order).
     pub fn session(&self) -> Session<'_> {
-        let mut s = Session::new(&self.mv.universe, self.vocab.clone(), self.mv.sidecar_instance());
-        s.add_axioms(self.axioms.iter().cloned());
-        s.add_party(
-            Party::new(self.mv.k8s_party, "k8s-admin")
-                .with_goals(self.k8s_goals.iter().cloned()),
-        );
-        s.add_party(
-            Party::new(self.mv.istio_party, "istio-admin")
-                .with_goals(self.istio_goals.iter().cloned()),
-        );
-        s
+        self.model.session()
     }
 
-    /// Resolve a wire party name (`"k8s"` / `"istio"`, or the full
-    /// display names) to its id.
+    /// Resolve a wire party name (a role like `"k8s"`, or a display
+    /// name like `"k8s-admin"`) to its id.
     pub fn party_id(&self, name: &str) -> Result<PartyId, String> {
-        match name {
-            "k8s" | "k8s-admin" => Ok(self.mv.k8s_party),
-            "istio" | "istio-admin" => Ok(self.mv.istio_party),
-            other => Err(format!("unknown party {other:?} (use k8s or istio)")),
-        }
+        self.model.party_id(name)
     }
 
-    /// The party's deployed configuration, compiled from the manifest
-    /// bundle's policy documents.
+    /// The party's deployed configuration, compiled by the domain from
+    /// the manifest bundle's policy documents.
     pub fn deployed(&self, id: PartyId) -> Result<Instance, String> {
-        if id == self.mv.k8s_party {
-            self.mv
-                .compile_k8s(&self.bundle.k8s_policies)
-                .map_err(|e| e.to_string())
-        } else {
-            let istio = self
-                .mv
-                .compile_istio(&self.bundle.istio_policies)
-                .map_err(|e| e.to_string())?;
-            let peer = self
-                .mv
-                .compile_peer_auth(&self.bundle.peer_auth)
-                .map_err(|e| e.to_string())?;
-            Ok(istio.union(&peer))
-        }
+        self.domain.deployed(&self.model, id)
     }
 
     /// The goal-table text belonging to a party (for delta-aware cache
     /// keys: a consistency check depends only on *this* text).
     pub fn goals_text(&self, id: PartyId) -> &str {
-        if id == self.mv.k8s_party {
-            &self.spec.k8s_goals
-        } else {
-            &self.spec.istio_goals
-        }
+        self.model.goals_text(id)
     }
 }
 
@@ -303,13 +315,18 @@ mod tests {
         let spec = SessionSpec {
             manifests: "kind: Service\n".into(),
             k8s_goals: "port,perm,selector\n".into(),
-            istio_goals: String::new(),
             mtls: true,
             extra_ports: vec![24, 26],
+            ..SessionSpec::default()
         };
         let back = SessionSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.fingerprint(), spec.fingerprint());
+        // Domain-qualified specs with a generic goals list round-trip too.
+        let linkerd = SessionSpec::linkerd_example();
+        let back = SessionSpec::from_json(&linkerd.to_json()).unwrap();
+        assert_eq!(back, linkerd);
+        assert_eq!(back.fingerprint(), linkerd.fingerprint());
     }
 
     #[test]
@@ -322,6 +339,21 @@ mod tests {
         let mut d = SessionSpec::paper_strict();
         d.mtls = true;
         assert_ne!(a.fingerprint(), d.fingerprint());
+        // The legacy alias fields and an equivalent generic goals list
+        // are the same content.
+        let mut e = SessionSpec::paper_strict();
+        e.goals = vec![e.k8s_goals.clone(), e.istio_goals.clone()];
+        e.k8s_goals = String::new();
+        e.istio_goals = String::new();
+        assert_eq!(a.fingerprint(), e.fingerprint());
+        // An explicit default domain is the same content as none.
+        let mut f = SessionSpec::paper_strict();
+        f.domain = "mesh".to_string();
+        assert_eq!(a.fingerprint(), f.fingerprint());
+        // A different domain is different content even with equal text.
+        let mut g = SessionSpec::paper_strict();
+        g.domain = "linkerd".to_string();
+        assert_ne!(a.fingerprint(), g.fingerprint());
     }
 
     #[test]
@@ -337,6 +369,19 @@ mod tests {
     }
 
     #[test]
+    fn linkerd_example_loads_through_the_registry() {
+        let warm = SessionSpec::linkerd_example().load().unwrap();
+        assert_eq!(warm.core.model.domain, "linkerd");
+        assert_eq!(warm.core.model.parties.len(), 2);
+        assert!(warm.core.party_id("platform").is_ok());
+        assert!(warm.core.party_id("linkerd-admin").is_ok());
+        assert!(warm.core.party_id("k8s").is_err());
+        let s = warm.core.session();
+        let rec = s.reconcile(muppet::ReconcileMode::HardBounds).unwrap();
+        assert!(!rec.success, "the committed example carries a conflict");
+    }
+
+    #[test]
     fn bad_specs_error_cleanly() {
         let mut spec = SessionSpec::paper_strict();
         spec.manifests = "kind: Nonsense\n".into();
@@ -344,5 +389,13 @@ mod tests {
         let mut spec = SessionSpec::paper_strict();
         spec.k8s_goals = "not,a,valid\nheader,row,x\n".into();
         assert!(spec.load().is_err());
+        let mut spec = SessionSpec::paper_strict();
+        spec.domain = "nomad".into();
+        let err = match spec.load() {
+            Ok(_) => panic!("unknown domain must not load"),
+            Err(e) => e,
+        };
+        assert!(err.contains("unknown domain"), "{err}");
+        assert!(err.contains("mesh") && err.contains("linkerd"), "{err}");
     }
 }

@@ -1,0 +1,252 @@
+//! # muppet-domain — the configuration-domain plugin layer
+//!
+//! The paper's machinery is domain-agnostic: bounded first-order goals
+//! over relational vocabularies, reconciled by a solver (Sec. 4). Only
+//! the *domain* — which relations exist, who owns them, how production
+//! manifests compile into relational instances, and how goal tables
+//! translate into formulas — is specific to K8s/Istio. This crate makes
+//! that boundary explicit: a [`ConfigDomain`] packages
+//!
+//! * the relational vocabulary and its bounds (a finite [`Universe`] of
+//!   atoms derived from the manifests),
+//! * manifest parsing and pretty-printing (production YAML in and out),
+//! * goal translation (per-party CSV tables → named bounded-FOL goals),
+//! * offer/deployed-configuration construction (manifests → [`Instance`]),
+//!
+//! and everything downstream — `muppet` sessions, the daemon, the CLI,
+//! scenario generators and the stream engine — consumes domains only
+//! through this trait and its [`registry`]. Two domains are built in:
+//!
+//! * [`mesh`] — the paper's K8s/Istio pair (NetworkPolicy,
+//!   AuthorizationPolicy, PeerAuthentication);
+//! * [`linkerd`] — Linkerd `Server`/`ServerAuthorization` with Istio
+//!   `PeerAuthentication` mTLS and `Sidecar` egress allowlists, a
+//!   genuinely different policy semantics proving the trait boundary is
+//!   real (ROADMAP item 3).
+//!
+//! A domain declares N *roles* (parties) in slot order; nothing in this
+//! crate or below assumes N = 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linkerd;
+pub mod mesh;
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use muppet::{NamedGoal, Party, Session};
+use muppet_logic::{Formula, Instance, PartyId, Universe, Vocabulary};
+
+pub use linkerd::LinkerdDomain;
+pub use mesh::MeshDomain;
+
+/// The domain-independent inputs a session is built from: manifests and
+/// one goal table per role, exactly as they arrive on the wire or from
+/// files.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DomainInput {
+    /// Concatenated YAML manifests (structure + deployed policies).
+    pub manifests: String,
+    /// Per-role goal-table texts, in the domain's slot order. Missing
+    /// trailing entries are treated as empty tables.
+    pub goals: Vec<String>,
+    /// Domain feature flag: enable the mTLS extension where the domain
+    /// supports it (the mesh domain's PeerAuthentication relations).
+    pub mtls: bool,
+    /// Spare ports widening the universe for ∃-port goals.
+    pub extra_ports: Vec<u16>,
+}
+
+impl DomainInput {
+    /// The goal text for a role slot (empty if absent).
+    pub fn goal_text(&self, slot: usize) -> &str {
+        self.goals.get(slot).map(String::as_str).unwrap_or("")
+    }
+}
+
+/// One party of a built domain model.
+pub struct DomainParty {
+    /// Stable party id — the slot index. All cache/fingerprint keys
+    /// derive from this, never from the display name.
+    pub id: PartyId,
+    /// Canonical wire name (e.g. `"k8s"`, `"platform"`): short, stable,
+    /// and what protocol fields and cache keys use.
+    pub role: String,
+    /// Human-facing display name (e.g. `"k8s-admin"`), used in blame
+    /// cores and traces.
+    pub display: String,
+    /// The party's translated goals.
+    pub goals: Vec<NamedGoal>,
+    /// The raw goal-table text this party's goals came from (delta-aware
+    /// cache keys hash exactly this).
+    pub goals_text: String,
+}
+
+/// A fully built domain model: the bounded relational session content,
+/// plus an opaque per-domain payload (parsed manifests, compile maps)
+/// that the owning [`ConfigDomain`] downcasts for `deployed`/`emit`.
+pub struct DomainModel {
+    /// Which registered domain built this model.
+    pub domain: &'static str,
+    /// The finite universe (atom bounds).
+    pub universe: Universe,
+    /// Relation declarations, including goal-translation free variables.
+    pub vocab: Vocabulary,
+    /// The fixed structural instance (deployment facts no party edits).
+    pub structure: Instance,
+    /// Well-formedness axioms.
+    pub axioms: Vec<Formula>,
+    /// The parties, in slot order.
+    pub parties: Vec<DomainParty>,
+    /// The derived universe port set, sorted (part of cache keys).
+    pub ports: Vec<u16>,
+    /// Number of structural entities (services) — for session stats.
+    pub services: usize,
+    /// Domain-private state (parsed bundles, vocabulary handles).
+    pub payload: Box<dyn Any + Send + Sync>,
+}
+
+impl DomainModel {
+    /// Build a fresh borrowing [`Session`] over this model: structure,
+    /// axioms and every party with its goals, in slot order.
+    pub fn session(&self) -> Session<'_> {
+        let mut s = Session::new(&self.universe, self.vocab.clone(), self.structure.clone());
+        s.add_axioms(self.axioms.iter().cloned());
+        for p in &self.parties {
+            s.add_party(
+                Party::new(p.id, p.display.as_str()).with_goals(p.goals.iter().cloned()),
+            );
+        }
+        s
+    }
+
+    /// Resolve a wire party name — a role or a display name — to its id.
+    pub fn party_id(&self, name: &str) -> Result<PartyId, String> {
+        for p in &self.parties {
+            if p.role == name || p.display == name {
+                return Ok(p.id);
+            }
+        }
+        let roles: Vec<&str> = self.parties.iter().map(|p| p.role.as_str()).collect();
+        Err(format!(
+            "unknown party {name:?} (use one of {})",
+            roles.join(", ")
+        ))
+    }
+
+    /// The party record for an id.
+    pub fn party(&self, id: PartyId) -> Option<&DomainParty> {
+        self.parties.iter().find(|p| p.id == id)
+    }
+
+    /// The canonical role name for an id (panics-free; `"?"` fallback).
+    pub fn role(&self, id: PartyId) -> &str {
+        self.party(id).map(|p| p.role.as_str()).unwrap_or("?")
+    }
+
+    /// The goal-table text belonging to a party.
+    pub fn goals_text(&self, id: PartyId) -> &str {
+        self.party(id).map(|p| p.goals_text.as_str()).unwrap_or("")
+    }
+
+    /// Every party id except `id`, in slot order — the senders of a
+    /// multi-source envelope, the "everyone else" of reconciliation.
+    pub fn others(&self, id: PartyId) -> Vec<PartyId> {
+        self.parties
+            .iter()
+            .map(|p| p.id)
+            .filter(|&p| p != id)
+            .collect()
+    }
+}
+
+/// A pluggable configuration domain: relation vocabulary + bounds,
+/// manifest parsing/pretty-printing, goal translation and deployed-offer
+/// construction. A domain is data plus one impl of this trait.
+pub trait ConfigDomain: Send + Sync {
+    /// Registry name (`"mesh"`, `"linkerd"`).
+    fn name(&self) -> &'static str;
+
+    /// Canonical role names, in slot order. The number of roles is the
+    /// number of parties a model of this domain has.
+    fn roles(&self) -> &'static [&'static str];
+
+    /// Display names, parallel to [`ConfigDomain::roles`].
+    fn displays(&self) -> &'static [&'static str];
+
+    /// Parse manifests, derive the universe, translate every party's
+    /// goal table and assemble the model.
+    fn build(&self, input: &DomainInput) -> Result<DomainModel, String>;
+
+    /// The party's *deployed* configuration, compiled from the model's
+    /// parsed policy documents. Errors surface per-operation (a policy
+    /// may reference entities outside the modeled subset without
+    /// invalidating the whole session).
+    fn deployed(&self, model: &DomainModel, party: PartyId) -> Result<Instance, String>;
+
+    /// The party's full *currently-deployed snapshot*: everything
+    /// [`ConfigDomain::deployed`] compiles, plus any deployment facts
+    /// the party owns that solver queries treat as revisable rather
+    /// than structural — so concrete evaluation (`check`, `explain`)
+    /// sees the cluster as it stands. For the mesh domain the Istio
+    /// slot adds its `listens` tuples here: they are the mesh
+    /// administrator's current configuration, not immutable structure.
+    fn deployed_snapshot(
+        &self,
+        model: &DomainModel,
+        party: PartyId,
+    ) -> Result<Instance, String> {
+        self.deployed(model, party)
+    }
+
+    /// Pretty-print a solved joint configuration as production manifests
+    /// (structure docs plus one policy set per party). `None` if the
+    /// domain has no manifest emitter.
+    fn emit_solution(
+        &self,
+        model: &DomainModel,
+        configs: &BTreeMap<PartyId, Instance>,
+    ) -> Option<String> {
+        let _ = (model, configs);
+        None
+    }
+}
+
+static MESH: MeshDomain = MeshDomain;
+static LINKERD: LinkerdDomain = LinkerdDomain;
+static REGISTRY: [&dyn ConfigDomain; 2] = [&MESH, &LINKERD];
+
+/// Every registered domain. Consumers reach domains only through here
+/// (or [`lookup`]); nothing outside this crate constructs domain
+/// internals directly.
+pub fn registry() -> &'static [&'static dyn ConfigDomain] {
+    &REGISTRY
+}
+
+/// Find a registered domain by name.
+pub fn lookup(name: &str) -> Option<&'static dyn ConfigDomain> {
+    registry().iter().copied().find(|d| d.name() == name)
+}
+
+/// The default domain (the paper's K8s/Istio mesh).
+pub const DEFAULT_DOMAIN: &str = "mesh";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_both_domains_and_lookup_works() {
+        let names: Vec<&str> = registry().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["mesh", "linkerd"]);
+        assert!(lookup("mesh").is_some());
+        assert!(lookup("linkerd").is_some());
+        assert!(lookup("nomad").is_none());
+        for d in registry() {
+            assert_eq!(d.roles().len(), d.displays().len());
+            assert!(d.roles().len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests for the Linkerd domain's manifest layer: random
+//! bundles survive an emit → parse round trip with identical *compiled
+//! semantics* (selector spellings normalize, so raw struct equality is
+//! the wrong oracle), and adversarial inputs — deep nesting, missing
+//! fields, unknown kinds — fail with errors rather than panics.
+
+use muppet_domain::linkerd::{
+    emit_linkerd_bundle, parse_linkerd_manifests, Clients, LinkerdBundle, LinkerdVocab, Server,
+    ServerAuthorization, SidecarPolicy,
+};
+use muppet_logic::PartyId;
+use muppet_mesh::{MtlsMode, PeerAuthentication, Selector, Service};
+use proptest::prelude::*;
+
+const POOL: [u16; 4] = [8080, 8443, 5432, 9090];
+
+/// An abstract bundle description small enough to generate with plain
+/// tuple strategies; [`build_bundle`] turns it into a `LinkerdBundle`.
+#[derive(Clone, Debug)]
+struct BundleSpec {
+    /// Per service: port mask over [`POOL`] and mesh membership.
+    services: Vec<(u8, bool)>,
+    /// Per `Server`: target service, selector kind, pool port index.
+    servers: Vec<(usize, u8, usize)>,
+    /// Per `ServerAuthorization`: server index and a clients mask
+    /// (0 ⇒ unauthenticated, else service-account set).
+    sazs: Vec<(usize, u8)>,
+    /// Per `Sidecar`: selector kind, selector service, hosts mask.
+    sidecars: Vec<(u8, usize, u8)>,
+    /// Per `PeerAuthentication`: selector kind, selector service, strict?
+    peers: Vec<(u8, usize, bool)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = BundleSpec> {
+    (
+        proptest::collection::vec((any::<u8>(), any::<bool>()), 2..=5),
+        proptest::collection::vec((0..5usize, 0..3u8, 0..POOL.len()), 0..=3),
+        proptest::collection::vec((0..3usize, any::<u8>()), 0..=3),
+        proptest::collection::vec((0..3u8, 0..5usize, any::<u8>()), 0..=2),
+        proptest::collection::vec((0..3u8, 0..5usize, any::<bool>()), 0..=2),
+    )
+        .prop_map(|(services, servers, sazs, sidecars, peers)| BundleSpec {
+            services,
+            servers,
+            sazs,
+            sidecars,
+            peers,
+        })
+}
+
+/// `Namespace` selectors are deliberately absent: they emit as a
+/// `kubernetes.io/metadata.name` label match, which is how real
+/// clusters spell them but is *not* semantics-preserving against
+/// services that carry no such label — exactly the normalization the
+/// compiled-semantics oracle would reject.
+fn selector(kind: u8, svc: &str) -> Selector {
+    match kind % 3 {
+        0 => Selector::All,
+        1 => Selector::Name(svc.to_string()),
+        _ => Selector::label("app", svc),
+    }
+}
+
+fn build_bundle(spec: &BundleSpec) -> LinkerdBundle {
+    let mut bundle = LinkerdBundle::default();
+    let names: Vec<String> = (0..spec.services.len()).map(|i| format!("s{i}")).collect();
+    for (i, &(mask, meshed)) in spec.services.iter().enumerate() {
+        let ports = POOL
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| (mask | 1) & (1 << b) != 0)
+            .map(|(_, &p)| p);
+        let mut svc = Service::new(&names[i], ports);
+        if !meshed {
+            svc = svc.without_sidecar();
+        }
+        bundle.mesh.add_service(svc);
+    }
+    let svc_at = |i: usize| &names[i % names.len()];
+    // Servers must name ports inside the universe the services induce.
+    let used: Vec<u16> = bundle
+        .mesh
+        .services()
+        .iter()
+        .flat_map(|s| s.ports.iter().copied())
+        .collect();
+    for (j, &(svc, sel, port)) in spec.servers.iter().enumerate() {
+        bundle.servers.push(Server {
+            name: format!("srv{j}"),
+            selector: selector(sel, svc_at(svc)),
+            port: used[port % used.len()],
+        });
+    }
+    if !bundle.servers.is_empty() {
+        for (j, &(srv, mask)) in spec.sazs.iter().enumerate() {
+            let clients = if mask == 0 {
+                Clients::Unauthenticated
+            } else {
+                Clients::Services(
+                    names
+                        .iter()
+                        .enumerate()
+                        .filter(|(b, _)| (mask | 1) & (1 << b) != 0)
+                        .map(|(_, n)| n.clone())
+                        .collect(),
+                )
+            };
+            bundle.authorizations.push(ServerAuthorization {
+                name: format!("saz{j}"),
+                server: bundle.servers[srv % bundle.servers.len()].name.clone(),
+                clients,
+            });
+        }
+    }
+    for (j, &(sel, svc, mask)) in spec.sidecars.iter().enumerate() {
+        bundle.sidecars.push(SidecarPolicy {
+            name: format!("egress{j}"),
+            selector: selector(sel, svc_at(svc)),
+            hosts: names
+                .iter()
+                .enumerate()
+                .filter(|(b, _)| (mask | 1) & (1 << b) != 0)
+                .map(|(_, n)| n.clone())
+                .collect(),
+        });
+    }
+    for (j, &(sel, svc, strict)) in spec.peers.iter().enumerate() {
+        bundle.peer_auth.push(PeerAuthentication {
+            name: format!("pa{j}"),
+            selector: selector(sel, svc_at(svc)),
+            mode: if strict {
+                MtlsMode::Strict
+            } else {
+                MtlsMode::Permissive
+            },
+        });
+    }
+    bundle
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// emit ∘ parse preserves compiled semantics: the platform and
+    /// linkerd configuration instances and the structure instance are
+    /// identical before and after the round trip.
+    #[test]
+    fn emit_parse_round_trip_preserves_semantics(spec in spec_strategy()) {
+        let bundle = build_bundle(&spec);
+        let emitted = emit_linkerd_bundle(&bundle);
+        let back = parse_linkerd_manifests(&emitted)
+            .unwrap_or_else(|e| panic!("emitted bundle must re-parse: {e}\n{emitted}"));
+
+        prop_assert_eq!(bundle.mesh.services().len(), back.mesh.services().len());
+        let lv = LinkerdVocab::new(&bundle.mesh, [], PartyId(0), PartyId(1));
+        prop_assert_eq!(
+            lv.compile_platform(&bundle).unwrap(),
+            lv.compile_platform(&back).unwrap(),
+            "platform semantics drifted across the round trip"
+        );
+        prop_assert_eq!(
+            lv.compile_linkerd(&bundle).unwrap(),
+            lv.compile_linkerd(&back).unwrap(),
+            "linkerd semantics drifted across the round trip"
+        );
+        prop_assert_eq!(
+            lv.structure_instance(),
+            LinkerdVocab::new(&back.mesh, [], PartyId(0), PartyId(1)).structure_instance(),
+            "structure drifted across the round trip"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_yaml_is_rejected_not_overflowed() {
+    let mut doc = String::from("kind: Server\nmetadata:\n");
+    let mut indent = String::from("  ");
+    for _ in 0..200 {
+        doc.push_str(&format!("{indent}a:\n"));
+        indent.push_str("  ");
+    }
+    doc.push_str(&format!("{indent}b: 1\n"));
+    let err = parse_linkerd_manifests(&doc).unwrap_err();
+    assert!(err.contains("deeper"), "want a depth-limit error, got: {err}");
+}
+
+#[test]
+fn malformed_documents_error_cleanly() {
+    for (input, needle) in [
+        ("kind: Frobnicator\nmetadata: {name: x}\n", "unsupported kind"),
+        ("metadata: {name: x}\n", "without a kind"),
+        ("kind: Server\nmetadata: {name: s}\nspec: {}\n", "port"),
+        (
+            "kind: ServerAuthorization\nmetadata: {name: a}\nspec: {}\n",
+            "server",
+        ),
+    ] {
+        let err = parse_linkerd_manifests(input).unwrap_err();
+        assert!(err.contains(needle), "input {input:?}: got {err:?}");
+    }
+}

@@ -26,5 +26,7 @@ pub mod csv;
 mod model;
 mod translate;
 
-pub use model::{fig2, GoalParseError, IstioGoal, K8sGoal, PortSpec};
+pub use model::{
+    fig2, istio_goals_csv, k8s_goals_csv, GoalParseError, IstioGoal, K8sGoal, PortSpec,
+};
 pub use translate::{collect_goal_ports, translate_istio_goals, translate_k8s_goals, NamedFormula};

@@ -209,6 +209,52 @@ pub fn fig2() -> Vec<K8sGoal> {
     K8sGoal::parse_csv("port,perm,selector\n23,DENY,*\n").expect("fig2 table parses")
 }
 
+/// Render K8s goal rows as the CSV table [`K8sGoal::parse_csv`] reads
+/// (`port,perm,selector` header) — the serialization dual, kept next
+/// to the parser so the row grammar lives in one crate.
+pub fn k8s_goals_csv(goals: &[K8sGoal]) -> String {
+    let mut k8s = String::from("port,perm,selector\n");
+    for g in goals {
+        let perm = match g.perm {
+            Action::Deny => "DENY",
+            Action::Allow => "ALLOW",
+        };
+        let sel = match &g.selector {
+            Selector::All => "*".to_string(),
+            Selector::Namespace(ns) => format!("ns={ns}"),
+            Selector::Name(n) => n.clone(),
+            Selector::Labels(pairs) => pairs
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .next()
+                .unwrap_or_else(|| "*".to_string()),
+        };
+        k8s.push_str(&format!("{},{},{}\n", g.port, perm, sel));
+    }
+    k8s
+}
+
+/// Render Istio goal rows as the CSV table [`IstioGoal::parse_csv`]
+/// reads (`srcService,dstService,srcPort,dstPort` header).
+pub fn istio_goals_csv(goals: &[IstioGoal]) -> String {
+    let mut istio = String::from("srcService,dstService,srcPort,dstPort\n");
+    let cell = |p: &PortSpec| match p {
+        PortSpec::Port(n) => n.to_string(),
+        PortSpec::Var(name) => format!("?{name}"),
+        PortSpec::Any => "*".to_string(),
+    };
+    for g in goals {
+        istio.push_str(&format!(
+            "{},{},{},{}\n",
+            g.src,
+            g.dst,
+            cell(&g.src_port),
+            cell(&g.dst_port)
+        ));
+    }
+    istio
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,17 @@ pub struct NamedFormula {
     pub var_names: Vec<(VarId, String)>,
 }
 
+impl From<NamedFormula> for muppet::NamedGoal {
+    fn from(nf: NamedFormula) -> muppet::NamedGoal {
+        muppet::NamedGoal {
+            name: nf.name,
+            formula: nf.formula,
+            var_names: nf.var_names,
+            hard: true,
+        }
+    }
+}
+
 /// Every concrete port mentioned in the goal tables — callers must put
 /// these in the [`MeshVocab`] port universe.
 pub fn collect_goal_ports(k8s: &[K8sGoal], istio: &[IstioGoal]) -> BTreeSet<u16> {

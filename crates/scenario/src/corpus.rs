@@ -99,6 +99,12 @@ pub enum Kind {
     /// the committed label is the verdict of the *final* state after
     /// replaying every delta.
     Stream(StreamParams),
+    /// A committed fixture of a registered [`muppet_domain`] plugin
+    /// (looked up by name); the fixtures come from [`domain_wire`].
+    Domain {
+        /// Registered domain name (`muppet_domain::lookup`).
+        domain: &'static str,
+    },
 }
 
 /// One committed corpus entry.
@@ -238,6 +244,13 @@ pub const CORPUS: &[CorpusEntry] = &[
         }),
         expected: Expected::Unsat,
         note: "paper-scale mesh, every ban targets a goal port (blame/negotiation shape)",
+    },
+    CorpusEntry {
+        name: "linkerd-shop",
+        tier: Tier::Paper,
+        kind: Kind::Domain { domain: "linkerd" },
+        expected: Expected::Unsat,
+        note: "Linkerd default-deny shop: strict-mTLS db vs the unmeshed legacy client",
     },
     CorpusEntry {
         name: "php-9-8",
@@ -394,6 +407,36 @@ pub fn cnf_instance(kind: Kind) -> Option<CnfInstance> {
     }
 }
 
+/// The committed wire fixture of a [`Kind::Domain`] entry: manifests
+/// plus one goal-table text per party, in the domain's slot order.
+/// `None` for domains without a committed corpus fixture.
+pub fn domain_wire(domain: &str) -> Option<(String, Vec<String>)> {
+    match domain {
+        "linkerd" => Some((
+            muppet_domain::linkerd::example_manifests(),
+            vec![
+                muppet_domain::linkerd::example_platform_goals(),
+                muppet_domain::linkerd::example_linkerd_goals(),
+            ],
+        )),
+        _ => None,
+    }
+}
+
+/// Build the [`muppet_domain::DomainModel`] behind a [`Kind::Domain`]
+/// entry via the plugin registry.
+pub fn domain_model(domain: &str) -> muppet_domain::DomainModel {
+    let d = muppet_domain::lookup(domain).expect("corpus domain is registered");
+    let (manifests, goals) = domain_wire(domain).expect("corpus domain has a committed fixture");
+    d.build(&muppet_domain::DomainInput {
+        manifests,
+        goals,
+        mtls: false,
+        extra_ports: Vec::new(),
+    })
+    .expect("corpus domain fixture builds")
+}
+
 /// Run an entry through the appropriate solver pipeline and return the
 /// observed verdict. Panics on a budget-exhausted (unknown) outcome —
 /// corpus entries are sized to finish.
@@ -445,6 +488,14 @@ pub fn solver_verdict(entry: &CorpusEntry) -> Expected {
                 .session(false)
                 .reconcile(muppet::ReconcileMode::HardBounds)
                 .expect("corpus stream final state reconciles within budget");
+            of_success(rec.success)
+        }
+        Kind::Domain { domain } => {
+            let model = domain_model(domain);
+            let rec = model
+                .session()
+                .reconcile(muppet::ReconcileMode::HardBounds)
+                .expect("corpus domain fixture reconciles within budget");
             of_success(rec.success)
         }
         _ => {

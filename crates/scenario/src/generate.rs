@@ -447,50 +447,10 @@ impl Scenario {
     }
 }
 
-/// Render K8s goal rows as the CSV table the CLI and daemon parse
-/// (`port,perm,selector` header).
-pub fn k8s_goals_csv(goals: &[K8sGoal]) -> String {
-    let mut k8s = String::from("port,perm,selector\n");
-    for g in goals {
-        let perm = match g.perm {
-            muppet_mesh::Action::Deny => "DENY",
-            muppet_mesh::Action::Allow => "ALLOW",
-        };
-        let sel = match &g.selector {
-            Selector::All => "*".to_string(),
-            Selector::Namespace(ns) => format!("ns={ns}"),
-            Selector::Name(n) => n.clone(),
-            Selector::Labels(pairs) => pairs
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .next()
-                .unwrap_or_else(|| "*".to_string()),
-        };
-        k8s.push_str(&format!("{},{},{}\n", g.port, perm, sel));
-    }
-    k8s
-}
-
-/// Render Istio goal rows as the CSV table the CLI and daemon parse
-/// (`srcService,dstService,srcPort,dstPort` header).
-pub fn istio_goals_csv(goals: &[IstioGoal]) -> String {
-    let mut istio = String::from("srcService,dstService,srcPort,dstPort\n");
-    let cell = |p: &PortSpec| match p {
-        PortSpec::Port(n) => n.to_string(),
-        PortSpec::Var(name) => format!("?{name}"),
-        PortSpec::Any => "*".to_string(),
-    };
-    for g in goals {
-        istio.push_str(&format!(
-            "{},{},{},{}\n",
-            g.src,
-            g.dst,
-            cell(&g.src_port),
-            cell(&g.dst_port)
-        ));
-    }
-    istio
-}
+// The CSV serializers live next to their parsers in `muppet-goals`
+// (one crate owns the row grammar); re-exported here because scenario
+// consumers historically found them at this path.
+pub use muppet_goals::{istio_goals_csv, k8s_goals_csv};
 
 #[cfg(test)]
 mod tests {

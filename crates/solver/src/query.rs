@@ -33,6 +33,12 @@ pub struct FormulaGroup {
     pub name: String,
     /// The group's formulas (conjoined).
     pub formulas: Vec<Formula>,
+    /// Identity tag folded into [`FormulaGroup::content_key`] alongside
+    /// the display name. Callers that derive group names from mutable
+    /// labels (party display names) set this to the stable id (the
+    /// `PartyId`) so renaming a party cannot alias another party's
+    /// cached encodings. Zero for groups whose name is the identity.
+    pub tag: u64,
 }
 
 impl FormulaGroup {
@@ -41,10 +47,17 @@ impl FormulaGroup {
         FormulaGroup {
             name: name.into(),
             formulas,
+            tag: 0,
         }
     }
 
-    /// Content fingerprint of the group (name + formulas) via the
+    /// Attach an identity tag (builder style).
+    pub fn with_tag(mut self, tag: u64) -> FormulaGroup {
+        self.tag = tag;
+        self
+    }
+
+    /// Content fingerprint of the group (tag + name + formulas) via the
     /// stable cross-process hasher. This is the incremental engine's
     /// dedup key: two groups with identical content share one encoding,
     /// so diffing these keys across two group sets predicts exactly
@@ -52,6 +65,7 @@ impl FormulaGroup {
     /// dirty-group report, DESIGN.md §16).
     pub fn content_key(&self) -> u128 {
         let mut fp = muppet_logic::fingerprint::Fingerprinter::new();
+        fp.add_u64(self.tag);
         fp.add_str(&self.name);
         fp.add_u64(self.formulas.len() as u64);
         fp.add_hash(&self.formulas);

@@ -76,6 +76,38 @@ impl From<&Scenario> for StreamSpec {
 }
 
 impl StreamSpec {
+    /// Build a stream spec from wire content: concatenated YAML
+    /// manifests plus the *raw* CSV goal tables (a stream edits rows,
+    /// so it keeps them untranslated). Goal-table ports are folded into
+    /// the extras so every referenced port is in the stream universe,
+    /// mirroring the daemon's warm-session port derivation. This is the
+    /// daemon `watch` entry point; deployed-policy documents in the
+    /// manifests are ignored (a stream solves goals, not conformance).
+    pub fn from_wire(
+        manifests: &str,
+        k8s_csv: &str,
+        istio_csv: &str,
+        extra_ports: &[u16],
+    ) -> Result<StreamSpec, String> {
+        let bundle =
+            muppet_mesh::manifest::parse_manifests(manifests).map_err(|e| e.to_string())?;
+        if bundle.mesh.services().is_empty() {
+            return Err("no Service documents found in the manifests".into());
+        }
+        let k8s_goals = K8sGoal::parse_csv(k8s_csv).map_err(|e| e.to_string())?;
+        let istio_goals = IstioGoal::parse_csv(istio_csv).map_err(|e| e.to_string())?;
+        let mut ports: BTreeSet<u16> =
+            muppet_goals::collect_goal_ports(&k8s_goals, &istio_goals);
+        ports.extend(extra_ports);
+        Ok(StreamSpec {
+            mesh: bundle.mesh,
+            k8s_goals,
+            istio_goals,
+            extra_ports: ports.into_iter().collect(),
+            bounded: false,
+        })
+    }
+
     /// Build the vocabulary for the current mesh + extra ports.
     pub fn vocab(&self) -> MeshVocab {
         MeshVocab::new(

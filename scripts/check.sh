@@ -93,6 +93,20 @@ test -s BENCH_robustness.json || { echo "BENCH_robustness.json missing"; exit 1;
 run cargo test -q --offline -p muppet-solver --test kernel_props
 run cargo run --release --offline -q --bin muppet-harness -- k1
 test -s BENCH_kernel.json || { echo "BENCH_kernel.json missing"; exit 1; }
+# ConfigDomain plugin lane (DESIGN.md §18): N-party differential gate
+# (the generalized engine must stay byte-identical to the committed
+# pre-refactor N=2 golden at 1 and 4 threads), N∈{2..5} round-robin
+# order-invariance proptests, the Linkerd manifest round-trip /
+# adversarial-input properties, then the M1 harness lane — the
+# committed linkerd-shop scenario end to end through the daemon
+# (registry dispatch, per-party consistency, blameable unsat verdict
+# naming both admins, soft-row negotiation to convergence) and an N=3
+# round-robin negotiation run to its fixpoint. M1 writes
+# BENCH_domains.json before its gates fire.
+run cargo test -q --offline --test nparty_differential --test nparty_props
+run cargo test -q --offline -p muppet-domain
+run cargo run --release --offline -q --bin muppet-harness -- m1
+test -s BENCH_domains.json || { echo "BENCH_domains.json missing"; exit 1; }
 # fault-inject is a non-default feature; make sure it keeps compiling.
 run cargo build -q --offline -p muppet-solver --features fault-inject
 if cargo clippy --version >/dev/null 2>&1; then

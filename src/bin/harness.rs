@@ -198,6 +198,7 @@ fn main() {
         ("W1", w1),
         ("R1", r1),
         ("K1", k1),
+        ("M1", m1),
     ];
     let mut runs: Vec<(String, f64, &'static str)> = Vec::new();
     for (id, f) in experiments {
@@ -2377,5 +2378,220 @@ fn k1(t: &mut Table) {
         "core-guided solve_target must do >= {OLL_FLOOR}x less solver work than \
          linear on minedit, measured {work_speedup:.1}x ({oll_props} vs {lin_props} \
          propagations)"
+    );
+}
+
+/// M1 — the ConfigDomain plugin lane (DESIGN.md §18). Two parts:
+///
+/// * **Part A** drives the committed `linkerd-shop` corpus scenario
+///   end-to-end through the daemon engine: `open_session` (registry
+///   dispatch on the spec's `domain` field), per-party consistency,
+///   blameable reconciliation (the committed verdict is unsat, with
+///   blame naming both administrators), and a negotiation round that
+///   must converge once the Linkerd side's soft rows drop.
+/// * **Part B** runs an N=3 round-robin negotiation (Fig. 9
+///   generalized) to its fixpoint: converge, then re-negotiate and
+///   verify the second run is a one-round no-op.
+///
+/// `BENCH_domains.json` is always written before any gate fires.
+fn m1(t: &mut Table) {
+    use muppet_bench::scenario::corpus;
+    use muppet_daemon::json::Json;
+    use muppet_daemon::{Engine, EngineConfig, Op, Request, SessionSpec};
+
+    const INST: &str = "linkerd-shop";
+
+    // ---- Part A: the Linkerd domain through the daemon ----
+    let entry = corpus::entry(INST).expect("linkerd corpus entry is committed");
+    let engine = Engine::new(EngineConfig::default());
+    let spec = SessionSpec::linkerd_example();
+
+    let t0 = std::time::Instant::now();
+    let open = engine.handle(&Request::new(Op::OpenSession).with_spec(spec.clone()), None);
+    let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(open.ok, "open_session failed: {:?}", open.error);
+    let domain = open
+        .result
+        .get("domain")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+
+    let consistent = |party: &str| -> bool {
+        let mut req = Request::new(Op::CheckConsistency).with_spec(spec.clone());
+        req.party = Some(party.to_string());
+        let resp = engine.handle(&req, None);
+        assert!(resp.ok, "consistency({party}) failed: {:?}", resp.error);
+        resp.result.get("ok").and_then(Json::as_bool) == Some(true)
+    };
+    let platform_ok = consistent("platform");
+    let linkerd_ok = consistent("linkerd");
+
+    let t1 = std::time::Instant::now();
+    let mut rec_req = Request::new(Op::Reconcile).with_spec(spec.clone());
+    rec_req.mode = Some("blameable".to_string());
+    let rec = engine.handle(&rec_req, None);
+    let rec_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert!(rec.ok, "reconcile failed: {:?}", rec.error);
+    let rec_success = rec.result.get("success").and_then(Json::as_bool) == Some(true);
+    let core_len = match rec.result.get("core") {
+        Some(Json::Arr(items)) => items.len(),
+        _ => 0,
+    };
+    let core_text = rec
+        .result
+        .get("core")
+        .map(Json::to_line)
+        .unwrap_or_default();
+    let blames_both =
+        core_text.contains("platform-admin") && core_text.contains("linkerd-admin");
+
+    let t2 = std::time::Instant::now();
+    let mut neg_req = Request::new(Op::NegotiateRound).with_spec(spec.clone());
+    neg_req.max_rounds = Some(12);
+    let neg = engine.handle(&neg_req, None);
+    let neg_ms = t2.elapsed().as_secs_f64() * 1e3;
+    assert!(neg.ok, "negotiate_round failed: {:?}", neg.error);
+    let neg_success = neg.result.get("success").and_then(Json::as_bool) == Some(true);
+    let neg_rounds = neg
+        .result
+        .get("rounds")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    row(t, "M1", INST, "domain (open_session)", domain.clone(), "linkerd");
+    row(
+        t,
+        "M1",
+        INST,
+        "per-party consistency",
+        format!("platform {platform_ok}, linkerd {linkerd_ok}"),
+        "both true",
+    );
+    row(
+        t,
+        "M1",
+        INST,
+        "reconcile verdict",
+        format!(
+            "{} in {rec_ms:.0} ms, core {core_len} goals, blames both {blames_both}",
+            if rec_success { "sat" } else { "unsat" }
+        ),
+        &format!("{} (committed label), blame both admins", entry.expected.label()),
+    );
+    row(
+        t,
+        "M1",
+        INST,
+        "negotiation (soft linkerd rows)",
+        format!(
+            "{} after {neg_rounds} round(s) in {neg_ms:.0} ms",
+            if neg_success { "converged" } else { "stuck" }
+        ),
+        "converges",
+    );
+
+    // ---- Part B: N=3 round-robin negotiation to fixpoint ----
+    use muppet::{NamedGoal, Party};
+    use muppet_logic::{Domain, PartyId, Term, Universe, Vocabulary};
+    use std::collections::BTreeMap;
+
+    let mut universe = Universe::new();
+    let sort = universe.add_sort("F");
+    let x = universe.add_atom(sort, "x");
+    let mut vocab = Vocabulary::new();
+    let parties = [PartyId(0), PartyId(1), PartyId(2)];
+    let rels = [
+        vocab.add_simple_rel("en_a", vec![sort], Domain::Party(parties[0])),
+        vocab.add_simple_rel("en_b", vec![sort], Domain::Party(parties[1])),
+        vocab.add_simple_rel("en_c", vec![sort], Domain::Party(parties[2])),
+    ];
+    let lit = |r: usize| Formula::pred(rels[r], [Term::Const(x)]);
+    let mut s = Session::new(&universe, vocab.clone(), Instance::new());
+    govern(&mut s);
+    s.add_party(Party::new(parties[0], "A").with_goals([NamedGoal::hard("require c-x", lit(2))]));
+    s.add_party(Party::new(parties[1], "B").with_goals([NamedGoal::hard(
+        "c-x implies b-x",
+        Formula::implies(lit(2), lit(1)),
+    )]));
+    s.add_party(
+        Party::new(parties[2], "C")
+            .with_goals([NamedGoal::soft("forbid b-x", Formula::not(lit(1)))]),
+    );
+    let mut negs: BTreeMap<PartyId, Box<dyn Negotiator>> = BTreeMap::new();
+    negs.insert(parties[0], Box::new(Stubborn));
+    negs.insert(parties[1], Box::new(Stubborn));
+    negs.insert(parties[2], Box::new(DropBlamedSoftGoals));
+    let t3 = std::time::Instant::now();
+    let first = run_negotiation(&mut s, &mut negs, 12).expect("3-party negotiation runs");
+    let neg3_ms = t3.elapsed().as_secs_f64() * 1e3;
+    // Fixpoint: negotiating again from the converged goal state must
+    // agree immediately (one round, nothing revised).
+    let second = run_negotiation(&mut s, &mut negs, 12).expect("fixpoint negotiation runs");
+    row(
+        t,
+        "M1",
+        "three-party",
+        "round-robin convergence",
+        format!(
+            "{} after {} round(s) in {neg3_ms:.0} ms; re-run {} in {} round(s)",
+            if first.success { "converged" } else { "stuck" },
+            first.rounds,
+            if second.success { "agreed" } else { "stuck" },
+            second.rounds
+        ),
+        "converges; re-run is a 1-round fixpoint",
+    );
+
+    // BENCH_domains.json lands before any gate fires.
+    let doc = Json::obj([
+        ("schema", Json::str("muppet-bench-domains-v1")),
+        (
+            "linkerd",
+            Json::obj([
+                ("entry", Json::str(entry.name)),
+                ("expected", Json::str(entry.expected.label())),
+                ("domain", Json::str(&domain)),
+                ("open_ms", Json::Num(open_ms)),
+                ("platform_consistent", Json::Bool(platform_ok)),
+                ("linkerd_consistent", Json::Bool(linkerd_ok)),
+                ("reconcile_success", Json::Bool(rec_success)),
+                ("reconcile_ms", Json::Num(rec_ms)),
+                ("core_goals", Json::num(core_len as u64)),
+                ("blames_both_admins", Json::Bool(blames_both)),
+                ("negotiate_success", Json::Bool(neg_success)),
+                ("negotiate_rounds", Json::num(neg_rounds)),
+                ("negotiate_ms", Json::Num(neg_ms)),
+            ]),
+        ),
+        (
+            "three_party",
+            Json::obj([
+                ("success", Json::Bool(first.success)),
+                ("rounds", Json::num(first.rounds as u64)),
+                ("wall_ms", Json::Num(neg3_ms)),
+                ("fixpoint_success", Json::Bool(second.success)),
+                ("fixpoint_rounds", Json::num(second.rounds as u64)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_domains.json", doc.to_line() + "\n") {
+        eprintln!("muppet-harness: cannot write BENCH_domains.json: {e}");
+    }
+
+    // Gates (after the bench file is on disk).
+    assert_eq!(domain, "linkerd", "open_session must dispatch through the registry");
+    assert!(platform_ok && linkerd_ok, "each party must be self-consistent");
+    assert!(
+        entry.expected.matches_success(rec_success),
+        "daemon verdict must match the committed corpus label"
+    );
+    assert!(blames_both, "blame must name both administrators: {core_text}");
+    assert!(neg_success, "soft Linkerd rows must negotiate to convergence");
+    assert!(first.success, "3-party round-robin must converge");
+    assert!(
+        second.success && second.rounds == 1,
+        "converged state must be a fixpoint (got {} round(s))",
+        second.rounds
     );
 }

@@ -23,21 +23,21 @@
 //!     same artifacts the subcommands above consume, plus provenance
 //! ```
 //!
-//! Common flags: `--extra-ports 24,26,…` widens the port universe
-//! (spare ports for ∃-port goals); `--mtls` enables the
-//! PeerAuthentication extension.
+//! Common flags: `--domain <name>` picks the registered
+//! [`muppet_domain::ConfigDomain`] interpreting the inputs (default:
+//! `mesh`, the paper's K8s/Istio pair; `--list-domains` shows all);
+//! `--goals <file>` (repeatable, one per party slot) carries goal
+//! tables for non-mesh domains; `--extra-ports 24,26,…` widens the
+//! port universe (spare ports for ∃-port goals); `--mtls` enables the
+//! PeerAuthentication extension where the domain supports it.
 
-use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use muppet::{default_threads, Budget, NamedGoal, Party, ReconcileMode, Reconciliation, RetryPolicy, Session};
-use muppet_goals::{translate_istio_goals, translate_k8s_goals, IstioGoal, K8sGoal};
-use muppet_logic::{Domain, Instance, PartyId};
-use muppet_mesh::manifest::{
-    emit_authorization_policy, emit_network_policy, emit_peer_authentication, emit_service,
-    parse_manifests, ManifestBundle,
-};
-use muppet_mesh::{evaluate_flow_full, Flow, MeshVocab};
+use muppet::{default_threads, Budget, ReconcileMode, Reconciliation, RetryPolicy, Session};
+use muppet_domain::{ConfigDomain, DomainModel};
+use muppet_goals::IstioGoal;
+use muppet_logic::PartyId;
+use muppet_mesh::{evaluate_flow_full, Flow};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,12 +51,16 @@ fn main() -> ExitCode {
 }
 
 struct Opts {
+    domain: Option<String>,
     manifests: Vec<String>,
     k8s_goals: Option<String>,
     istio_goals: Option<String>,
+    /// Generic per-party goal-table files, in the domain's slot order
+    /// (repeatable `--goals`). Wins over the two mesh alias flags.
+    goals: Vec<String>,
     extra_ports: Vec<u16>,
     mtls: bool,
-    to: String,
+    to: Option<String>,
     timeout_ms: Option<u64>,
     conflict_budget: Option<u64>,
     retries: Option<u32>,
@@ -94,12 +98,14 @@ struct Opts {
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
+        domain: None,
         manifests: Vec::new(),
         k8s_goals: None,
         istio_goals: None,
+        goals: Vec::new(),
         extra_ports: Vec::new(),
         mtls: false,
-        to: "istio".to_string(),
+        to: None,
         timeout_ms: None,
         conflict_budget: None,
         retries: None,
@@ -136,10 +142,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match a.as_str() {
+            "--domain" => opts.domain = Some(value("--domain")?),
             "--manifests" => opts.manifests.push(value("--manifests")?),
             "--k8s-goals" => opts.k8s_goals = Some(value("--k8s-goals")?),
             "--istio-goals" => opts.istio_goals = Some(value("--istio-goals")?),
-            "--to" => opts.to = value("--to")?,
+            "--goals" => opts.goals.push(value("--goals")?),
+            "--to" => opts.to = Some(value("--to")?),
             "--extra-ports" => {
                 for p in value("--extra-ports")?.split(',') {
                     opts.extra_ports.push(
@@ -302,88 +310,47 @@ fn effective_threads(opts: &Opts) -> usize {
     requested_threads(opts).unwrap_or_else(default_threads).clamp(1, 64)
 }
 
+/// The loaded inputs of a subcommand: the wire-level spec (shared with
+/// the daemon, so CLI and daemon verdicts come from one pipeline) and
+/// the domain-built model.
 struct Loaded {
-    bundle: ManifestBundle,
-    mv: MeshVocab,
-    k8s_goals: Vec<K8sGoal>,
-    istio_goals: Vec<IstioGoal>,
+    spec: muppet_daemon::SessionSpec,
+    domain: &'static dyn ConfigDomain,
+    model: DomainModel,
 }
 
 fn load(opts: &Opts) -> Result<Loaded, String> {
-    if opts.manifests.is_empty() {
-        return Err("at least one --manifests file is required".into());
+    let spec = inline_spec(opts)?.ok_or("at least one --manifests file is required")?;
+    let (domain, model) = spec.build_model()?;
+    Ok(Loaded { spec, domain, model })
+}
+
+/// A recipient party from `--to`, defaulting to the domain's slot-1
+/// party (for the mesh domain: `istio`, as before).
+fn to_party(l: &Loaded, opts: &Opts) -> Result<PartyId, String> {
+    match &opts.to {
+        Some(name) => l.model.party_id(name),
+        None => l
+            .model
+            .parties
+            .get(1)
+            .map(|p| p.id)
+            .ok_or_else(|| "domain has no recipient party".to_string()),
     }
-    let mut text = String::new();
-    for path in &opts.manifests {
-        let content = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
-        text.push_str("---\n");
-        text.push_str(&content);
-        text.push('\n');
+}
+
+/// The full deployed configuration: structure plus every party's
+/// currently-deployed snapshot (policies and owned deployment facts).
+fn deployed_all(l: &Loaded) -> Result<muppet_logic::Instance, String> {
+    let mut combined = l.model.structure.clone();
+    for p in &l.model.parties {
+        combined = combined.union(&l.domain.deployed_snapshot(&l.model, p.id)?);
     }
-    let bundle = parse_manifests(&text).map_err(|e| e.to_string())?;
-    if bundle.mesh.services().is_empty() {
-        return Err("no Service documents found in the manifests".into());
-    }
-    let k8s_goals = match &opts.k8s_goals {
-        Some(p) => K8sGoal::parse_csv(
-            &std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?,
-        )
-        .map_err(|e| e.to_string())?,
-        None => Vec::new(),
-    };
-    let istio_goals = match &opts.istio_goals {
-        Some(p) => IstioGoal::parse_csv(
-            &std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?,
-        )
-        .map_err(|e| e.to_string())?,
-        None => Vec::new(),
-    };
-    let mut ports: BTreeSet<u16> =
-        muppet_goals::collect_goal_ports(&k8s_goals, &istio_goals);
-    ports.extend(&opts.extra_ports);
-    // Ports mentioned by deployed policies must be in the universe too.
-    for p in &bundle.k8s_policies {
-        for r in &p.rules {
-            ports.extend(&r.ports);
-        }
-    }
-    for p in &bundle.istio_policies {
-        for r in &p.rules {
-            ports.extend(&r.ports);
-        }
-    }
-    let mv = MeshVocab::new_with_features(
-        &bundle.mesh,
-        ports,
-        PartyId(0),
-        PartyId(1),
-        opts.mtls,
-    );
-    Ok(Loaded {
-        bundle,
-        mv,
-        k8s_goals,
-        istio_goals,
-    })
+    Ok(combined)
 }
 
 fn build_session<'a>(l: &'a Loaded, opts: &Opts) -> Result<Session<'a>, String> {
-    let mut vocab = l.mv.vocab.clone();
-    let k8s = translate_k8s_goals(&l.k8s_goals, &l.mv, &mut vocab).map_err(|e| e.to_string())?;
-    let istio =
-        translate_istio_goals(&l.istio_goals, &l.mv, &mut vocab).map_err(|e| e.to_string())?;
-    let axioms = l.mv.well_formedness_axioms(&mut vocab);
-    let mut session = Session::new(&l.mv.universe, vocab, l.mv.sidecar_instance());
-    session.add_axioms(axioms);
-    session.add_party(
-        Party::new(l.mv.k8s_party, "k8s-admin")
-            .with_goals(k8s.into_iter().map(NamedGoal::from)),
-    );
-    session.add_party(
-        Party::new(l.mv.istio_party, "istio-admin")
-            .with_goals(istio.into_iter().map(NamedGoal::from)),
-    );
+    let mut session = l.model.session();
     // Resource governance: the deadline (if any) starts now and covers
     // every solver query this invocation runs.
     let mut budget = Budget::unlimited();
@@ -442,6 +409,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Ok(opts)
     };
     let code = match cmd.as_str() {
+        "domains" => {
+            println!("{:<10} {:<24} parties", "name", "roles");
+            for d in muppet_domain::registry() {
+                println!("{:<10} {:<24} {}", d.name(), d.roles().join(", "), d.roles().len());
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
         "check" => check(&prep(rest)?),
         "reconcile" => reconcile(&prep(rest)?),
         "envelope" => envelope(&prep(rest)?),
@@ -472,6 +446,8 @@ muppet-cli — solver-aided multi-party configuration
 
 USAGE:
   muppet-cli <check|reconcile|envelope|synthesize|explain> [flags]
+  muppet-cli domains
+      list the registered configuration domains and their party roles
   muppet-cli gen    --scenario <name> [--seed <n>] --out <dir> | gen --list
       materialize a corpus scenario (manifests.yaml + goal CSVs +
       scenario.json provenance; DIMACS .cnf for CNF-kind entries)
@@ -492,13 +468,19 @@ USAGE:
       on EOF (see `gen --scenario stream-policy-churn` for a delta file)
 
 FLAGS:
+  --domain <name>        registered domain interpreting the inputs
+                         (default: mesh; `muppet-cli domains` lists all)
   --manifests <file>     YAML manifests (repeatable): Services and any
-                         deployed NetworkPolicy / AuthorizationPolicy /
-                         PeerAuthentication objects
-  --k8s-goals <file>     CSV goal table: port, perm, selector
-  --istio-goals <file>   CSV goal table: srcService, dstService, srcPort, dstPort
+                         deployed policy objects the domain understands
+  --k8s-goals <file>     mesh CSV goal table: port, perm, selector
+  --istio-goals <file>   mesh CSV goal table: srcService, dstService,
+                         srcPort, dstPort
+  --goals <file>         per-party goal table, repeatable in the
+                         domain's slot order (wins over the two mesh
+                         alias flags above)
   --extra-ports <list>   comma-separated spare ports for ∃-port goals
-  --to <k8s|istio>       envelope recipient (default: istio)
+  --to <party>           envelope recipient, a role or display name
+                         (default: the domain's slot-1 party, e.g. istio)
   --mtls                 enable the PeerAuthentication extension
   --timeout-ms <n>       wall-clock budget for all solver work (default: none)
   --conflict-budget <n>  solver conflict cap per attempt (default: none)
@@ -531,7 +513,8 @@ FLAGS:
   --retry-deadline-ms <n> client: total budget across all attempts and
                          backoff sleeps (default: 30000)
   --no-retry             client: fail immediately instead of backing off
-  --party <k8s|istio>    client: party for check_consistency
+  --party <name>         client: party for check_consistency (a role
+                         like k8s, or a display name)
   --mode <hard|blameable> client: reconcile mode (default: hard)
   --max-rounds <n>       client: negotiation rounds (default: 4)
   --deltas <file>        watch: config edits, one `ConfigDelta` line each
@@ -557,20 +540,7 @@ EXIT CODES:
 fn check(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
     let session = build_session(&l, opts)?;
-    let deployed = l
-        .mv
-        .structure_instance()
-        .union(&l.mv.compile_k8s(&l.bundle.k8s_policies).map_err(|e| e.to_string())?)
-        .union(
-            &l.mv
-                .compile_istio(&l.bundle.istio_policies)
-                .map_err(|e| e.to_string())?,
-        )
-        .union(
-            &l.mv
-                .compile_peer_auth(&l.bundle.peer_auth)
-                .map_err(|e| e.to_string())?,
-        );
+    let deployed = deployed_all(&l)?;
     let results = session.check_goals(&deployed);
     let mut failures = 0;
     for (name, holds) in &results {
@@ -583,27 +553,33 @@ fn check(opts: &Opts) -> Result<ExitCode, String> {
         println!("all {} goal(s) hold under the deployed configuration", results.len());
         return Ok(ExitCode::SUCCESS);
     }
-    // Fault localization: show dataplane traces for the broken
-    // reachability rows.
-    println!("\n{failures} goal(s) violated. Dataplane diagnosis:");
-    for g in &l.istio_goals {
-        if let (muppet_goals::PortSpec::Port(dp), Some(_)) =
-            (&g.dst_port, l.bundle.mesh.service(&g.dst))
-        {
-            let d = evaluate_flow_full(
-                &l.bundle.mesh,
-                &l.bundle.k8s_policies,
-                &l.bundle.istio_policies,
-                &l.bundle.peer_auth,
-                &Flow::new(g.src.clone(), g.dst.clone(), 0, *dp),
-            );
-            if !d.allowed {
-                println!("  {} → {}:{} is blocked:", g.src, g.dst, dp);
-                for line in &d.trace {
-                    println!("    {line}");
+    // Fault localization (mesh domain only): show dataplane traces for
+    // the broken reachability rows.
+    if let Some(pay) = muppet_domain::mesh::payload(&l.model) {
+        println!("\n{failures} goal(s) violated. Dataplane diagnosis:");
+        let rows =
+            IstioGoal::parse_csv(&l.spec.goal_texts()[1]).map_err(|e| e.to_string())?;
+        for g in &rows {
+            if let (muppet_goals::PortSpec::Port(dp), Some(_)) =
+                (&g.dst_port, pay.bundle.mesh.service(&g.dst))
+            {
+                let d = evaluate_flow_full(
+                    &pay.bundle.mesh,
+                    &pay.bundle.k8s_policies,
+                    &pay.bundle.istio_policies,
+                    &pay.bundle.peer_auth,
+                    &Flow::new(g.src.clone(), g.dst.clone(), 0, *dp),
+                );
+                if !d.allowed {
+                    println!("  {} → {}:{} is blocked:", g.src, g.dst, dp);
+                    for line in &d.trace {
+                        println!("    {line}");
+                    }
                 }
             }
         }
+    } else {
+        println!("\n{failures} goal(s) violated.");
     }
     Ok(ExitCode::from(1))
 }
@@ -638,22 +614,16 @@ fn reconcile(opts: &Opts) -> Result<ExitCode, String> {
 fn envelope(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
     let session = build_session(&l, opts)?;
-    let (from, to) = match opts.to.as_str() {
-        "istio" => (l.mv.k8s_party, l.mv.istio_party),
-        "k8s" => (l.mv.istio_party, l.mv.k8s_party),
-        other => return Err(format!("--to must be istio or k8s, got {other:?}")),
-    };
-    // The sender's fixed configuration is whatever its deployed policies
-    // say.
-    let c_from = if from == l.mv.k8s_party {
-        l.mv.compile_k8s(&l.bundle.k8s_policies).map_err(|e| e.to_string())?
-    } else {
-        l.mv
-            .compile_istio(&l.bundle.istio_policies)
-            .map_err(|e| e.to_string())?
-    };
+    let to = to_party(&l, opts)?;
+    // Every other party is a sender; each sender's fixed configuration
+    // is whatever its deployed policies say. Two-party domains reduce
+    // to the paper's `E_{from→to}`.
+    let mut senders = Vec::new();
+    for from in l.model.others(to) {
+        senders.push((from, l.domain.deployed(&l.model, from)?));
+    }
     let env = session
-        .compute_envelope(from, to, &c_from)
+        .compute_multi_envelope(&senders, to)
         .map_err(|e| e.to_string())?;
     if env.is_trivial() {
         if env.self_satisfied.is_empty() {
@@ -694,35 +664,23 @@ fn envelope(opts: &Opts) -> Result<ExitCode, String> {
 fn explain(opts: &Opts) -> Result<ExitCode, String> {
     let l = load(opts)?;
     let session = build_session(&l, opts)?;
-    let (from, to) = match opts.to.as_str() {
-        "istio" => (l.mv.k8s_party, l.mv.istio_party),
-        "k8s" => (l.mv.istio_party, l.mv.k8s_party),
-        other => return Err(format!("--to must be istio or k8s, got {other:?}")),
-    };
-    let c_from = if from == l.mv.k8s_party {
-        l.mv.compile_k8s(&l.bundle.k8s_policies).map_err(|e| e.to_string())?
-    } else {
-        l.mv
-            .compile_istio(&l.bundle.istio_policies)
-            .map_err(|e| e.to_string())?
-    };
+    let to = to_party(&l, opts)?;
+    let mut senders = Vec::new();
+    for from in l.model.others(to) {
+        senders.push((from, l.domain.deployed(&l.model, from)?));
+    }
     let env = session
-        .compute_envelope(from, to, &c_from)
+        .compute_multi_envelope(&senders, to)
         .map_err(|e| e.to_string())?;
     if env.is_trivial() {
         println!("(the envelope is trivial; nothing to explain)");
         return Ok(ExitCode::SUCCESS);
     }
-    // The recipient's deployed configuration.
-    let recipient_config = if to == l.mv.istio_party {
-        l.mv.structure_instance().union(
-            &l.mv
-                .compile_istio(&l.bundle.istio_policies)
-                .map_err(|e| e.to_string())?,
-        )
-    } else {
-        l.mv.compile_k8s(&l.bundle.k8s_policies).map_err(|e| e.to_string())?
-    };
+    // The recipient's deployed configuration, in its structural context.
+    let recipient_config = l
+        .model
+        .structure
+        .union(&l.domain.deployed_snapshot(&l.model, to)?);
     let mut violated = 0;
     for p in &env.predicates {
         let exp = muppet::explain::explain_predicate(
@@ -762,33 +720,19 @@ fn synthesize(opts: &Opts) -> Result<ExitCode, String> {
         }
         return Ok(ExitCode::from(1));
     }
-    let k8s_cfg = rec.configs[&l.mv.k8s_party].clone();
-    let istio_cfg = rec.configs[&l.mv.istio_party].clone();
-    let updated_mesh = l.mv.decompile_services(&istio_cfg);
-    for svc in updated_mesh.services() {
-        println!("---");
-        print!("{}", emit_service(svc));
-    }
-    for p in l.mv.decompile_k8s(&k8s_cfg) {
-        println!("---");
-        print!("{}", emit_network_policy(&p));
-    }
-    for p in l.mv.decompile_istio(&istio_cfg) {
-        println!("---");
-        print!("{}", emit_authorization_policy(&p));
-    }
-    for p in l.mv.decompile_peer_auth(&istio_cfg) {
-        println!("---");
-        print!("{}", emit_peer_authentication(&p));
-    }
+    let yaml = l
+        .domain
+        .emit_solution(&l.model, &rec.configs)
+        .ok_or_else(|| {
+            format!("domain {:?} has no manifest emitter; cannot synthesize", l.model.domain)
+        })?;
+    print!("{yaml}");
     // Sanity: the emitted configuration satisfies every goal.
-    let combined = session
-        .structure()
-        .union(&k8s_cfg)
-        .union(&istio_cfg);
+    let mut combined = session.structure().clone();
+    for c in rec.configs.values() {
+        combined = combined.union(c);
+    }
     let all_ok = session.check_goals(&combined).iter().all(|(_, h)| *h);
-    let istio_domain = istio_cfg.restrict_to_domain(session.vocab(), Domain::Party(l.mv.istio_party));
-    debug_assert_eq!(istio_domain, istio_cfg);
     if !all_ok {
         return Err("internal error: synthesized configuration fails verification".into());
     }
@@ -894,6 +838,46 @@ fn gen_cmd(opts: &Opts) -> Result<ExitCode, String> {
                 "{name} is a relational (pre-CNF) instance with no file form; \
                  run it via the harness S1 lane"
             ));
+        }
+        Kind::Domain { domain } => {
+            if opts.seed.is_some() {
+                return Err(format!("{name} is a fixed domain fixture; --seed does not apply"));
+            }
+            let d = muppet_domain::lookup(domain)
+                .ok_or_else(|| format!("corpus domain {domain:?} is not registered"))?;
+            let (manifests, goals) = corpus::domain_wire(domain)
+                .ok_or_else(|| format!("domain {domain:?} has no committed fixture"))?;
+            write("manifests.yaml", &manifests)?;
+            let mut goal_files = Vec::new();
+            for (role, text) in d.roles().iter().zip(&goals) {
+                let file = format!("{role}-goals.csv");
+                write(&file, text)?;
+                goal_files.push(file);
+            }
+            write(
+                "scenario.json",
+                &format!(
+                    "{{\"schema\":\"muppet-scenario-domain-v1\",\"name\":\"{}\",\
+                     \"domain\":\"{}\",\"expected\":\"{}\"}}\n",
+                    entry.name,
+                    domain,
+                    entry.expected.label()
+                ),
+            )?;
+            println!(
+                "wrote {out}/{{manifests.yaml,{},scenario.json}} ({} domain, expected {})",
+                goal_files.join(","),
+                domain,
+                entry.expected
+            );
+            let goal_flags: Vec<String> = goal_files
+                .iter()
+                .map(|f| format!("--goals {out}/{f}"))
+                .collect();
+            println!(
+                "run: muppet-cli reconcile --domain {domain} --manifests {out}/manifests.yaml {}",
+                goal_flags.join(" ")
+            );
         }
         Kind::Stream(mut params) => {
             if let Some(seed) = opts.seed {
@@ -1029,10 +1013,16 @@ fn inline_spec(opts: &Opts) -> Result<Option<muppet_daemon::SessionSpec>, String
             None => Ok(String::new()),
         }
     };
+    let mut goals = Vec::new();
+    for p in &opts.goals {
+        goals.push(std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?);
+    }
     Ok(Some(muppet_daemon::SessionSpec {
+        domain: opts.domain.clone().unwrap_or_default(),
         manifests: text,
         k8s_goals: read_opt(&opts.k8s_goals)?,
         istio_goals: read_opt(&opts.istio_goals)?,
+        goals,
         mtls: opts.mtls,
         extra_ports: opts.extra_ports.clone(),
     }))
@@ -1163,7 +1153,7 @@ fn client_cmd(op_name: &str, opts: &Opts) -> Result<ExitCode, String> {
     req.spec = inline_spec(opts)?;
     req.party = opts.party.clone();
     req.mode = opts.mode.clone();
-    req.to = if opts.to == "istio" { None } else { Some(opts.to.clone()) };
+    req.to = opts.to.clone();
     req.max_rounds = opts.max_rounds;
     req.timeout_ms = opts.timeout_ms;
     req.conflict_budget = opts.conflict_budget;
@@ -1211,7 +1201,3 @@ fn client_cmd(op_name: &str, opts: &Opts) -> Result<ExitCode, String> {
         _ => ExitCode::SUCCESS,
     })
 }
-
-// `Instance` is used in type positions above; keep the import honest.
-#[allow(dead_code)]
-fn _type_uses(_: Instance) {}

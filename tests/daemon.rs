@@ -54,7 +54,7 @@ fn oracle() -> Oracle {
         .expect("reconcile")
         .success;
     let istio_consistent = s
-        .local_consistency(strict.core.mv.istio_party)
+        .local_consistency(strict.core.party_id("istio").expect("party"))
         .expect("consistency")
         .ok;
     let r = relaxed.core.session();
@@ -62,11 +62,11 @@ fn oracle() -> Oracle {
         .reconcile(muppet::ReconcileMode::HardBounds)
         .expect("reconcile")
         .success;
-    let tenant = relaxed.core.mv.istio_party;
+    let tenant = relaxed.core.party_id("istio").expect("party");
     let preferred = relaxed.core.deployed(tenant).expect("deployed");
     let conformance_success = muppet::conformance::run_conformance(
         &r,
-        relaxed.core.mv.k8s_party,
+        relaxed.core.party_id("k8s").expect("party"),
         tenant,
         Some(&preferred),
     )
@@ -492,6 +492,7 @@ fn client_disconnect_cancels_in_flight_portfolio_solve() {
         istio_goals,
         mtls: false,
         extra_ports,
+        ..SessionSpec::default()
     };
     let (handle, path) = start("kill", 2);
     let mut req = Request::new(Op::Reconcile).with_spec(spec);

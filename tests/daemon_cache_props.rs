@@ -104,8 +104,8 @@ proptest! {
         let warm = {
             let ws = spec.clone().load().expect("load");
             let s = ws.core.session();
-            let from = ws.core.mv.k8s_party;
-            let to = ws.core.mv.istio_party;
+            let from = ws.core.party_id("k8s").expect("party");
+            let to = ws.core.party_id("istio").expect("party");
             let c_from = ws.core.deployed(from).expect("deployed");
             let env = s.compute_envelope(from, to, &c_from).expect("envelope");
             env.render_alloy(s.vocab(), s.universe())
@@ -136,7 +136,7 @@ proptest! {
         let spec = spec_with(istio_csv(&rows), false);
         let oracle = {
             let ws = spec.clone().load().expect("load");
-            let party = ws.core.mv.istio_party;
+            let party = ws.core.party_id("istio").expect("party");
             ws.core.session().local_consistency(party).expect("consistency").ok
         };
         let mut req = Request::new(Op::CheckConsistency).with_spec(spec);

@@ -2,6 +2,7 @@
 //! reject garbage with errors, never panic, and accept-then-roundtrip
 //! whatever they accept.
 
+use muppet_domain::linkerd::{parse_linkerd_manifests, PlatformGoal};
 use muppet_goals::{IstioGoal, K8sGoal};
 use muppet_mesh::manifest::parse_manifests;
 use muppet_sat::parse_dimacs;
@@ -71,17 +72,21 @@ proptest! {
         ), "literal {} must be rejected", lit);
     }
 
-    /// Goal-table CSV parsing never panics on arbitrary input.
+    /// Goal-table CSV parsing never panics on arbitrary input — all
+    /// three tables: K8s bans, Istio reachability, Linkerd platform.
     #[test]
     fn goal_csv_never_panics(input in "[ -~\n,]{0,300}") {
         let _ = K8sGoal::parse_csv(&input);
         let _ = IstioGoal::parse_csv(&input);
+        let _ = PlatformGoal::parse_csv(&input);
     }
 
-    /// Manifest parsing never panics on arbitrary YAML-ish input.
+    /// Manifest parsing never panics on arbitrary YAML-ish input, in
+    /// either domain's dialect.
     #[test]
     fn manifest_never_panics(input in "[ -~\n]{0,400}") {
         let _ = parse_manifests(&input);
+        let _ = parse_linkerd_manifests(&input);
     }
 
     /// The YAML parser itself never panics on arbitrary input — including
@@ -215,6 +220,16 @@ proptest! {
                     "Service" | "NetworkPolicy" | "AuthorizationPolicy" | "PeerAuthentication"
                 ),
                 "accepted unknown kind {kind:?}: {bundle:?}"
+            );
+        }
+        if let Ok(bundle) = parse_linkerd_manifests(&doc) {
+            prop_assert!(
+                matches!(
+                    kind.as_str(),
+                    "Service" | "Server" | "ServerAuthorization" | "Sidecar"
+                        | "PeerAuthentication"
+                ),
+                "linkerd accepted unknown kind {kind:?}: {bundle:?}"
             );
         }
     }
